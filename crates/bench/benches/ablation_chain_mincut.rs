@@ -1,0 +1,41 @@
+//! **Ablation T2b** — Theorem 2.6's chain-join min-cut against the generic
+//! exact hitting-set solver on the same instances.
+//!
+//! The min-cut route is polynomial in the database; the generic solver pays
+//! for the (potentially exponential) witness enumeration. Both return the
+//! same optimum (property-tested); this bench shows the cost separation
+//! growing with chain length and width.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_bench::chain_workload;
+use dap_core::deletion::chain::chain_min_source_deletion;
+use dap_core::deletion::source_side_effect::{greedy_source_deletion, min_source_deletion};
+use std::hint::black_box;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/chain_join");
+    group.sample_size(10);
+    for (layers, width) in [(3usize, 6usize), (4, 6), (5, 6), (4, 10)] {
+        let w = chain_workload(601, layers, width);
+        let label = format!("k={layers},w={width}");
+        group.bench_with_input(BenchmarkId::new("mincut", &label), &w, |b, w| {
+            b.iter(|| {
+                black_box(chain_min_source_deletion(&w.query, &w.db, &w.target).expect("chain"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("exact_hypergraph", &label), &w, |b, w| {
+            b.iter(|| {
+                black_box(min_source_deletion(&w.query, &w.db, &w.target).expect("solves"))
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_hypergraph", &label), &w, |b, w| {
+            b.iter(|| {
+                black_box(greedy_source_deletion(&w.query, &w.db, &w.target).expect("solves"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_chain);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! **Ablation A1** — greedy vs exact hitting set (the engine behind the
+//! source-side-effect solvers for the NP-hard classes).
+//!
+//! The paper's §1: greedy is `O(log n)`-approximate and nothing polynomial
+//! beats `o(log n)` [12]. This bench shows the runtime gap (greedy
+//! polynomial, exact exponential trend) — the *quality* gap is measured by
+//! `report_table2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_setcover::{exact_hitting_set, greedy_hitting_set, random_hitting_set};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_greedy_vs_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/hitting_set");
+    for n in [12usize, 18, 24, 30] {
+        let mut rng = StdRng::seed_from_u64(501);
+        let inst = random_hitting_set(&mut rng, n, 2 * n, 3);
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("n={n}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(greedy_hitting_set(inst))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("n={n}")),
+            &inst,
+            |b, inst| b.iter(|| black_box(exact_hitting_set(inst))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_greedy_vs_exact);
+criterion_main!(benches);

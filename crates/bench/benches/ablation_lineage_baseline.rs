@@ -1,0 +1,47 @@
+//! **Ablation A2** — the Cui–Widom lineage enumeration baseline ([14] in
+//! the paper) against the witness-hypergraph solver on the side-effect-free
+//! deletion decision.
+//!
+//! The baseline re-evaluates the query per candidate subset of the lineage;
+//! the hypergraph solver answers combinatorially after one provenance pass.
+//! Witness multiplicity (the `groups` knob) drives the separation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_bench::pj_multiwitness_workload;
+use dap_core::deletion::lineage_baseline::{side_effect_free_via_lineage, BaselineOptions};
+use dap_core::deletion::view_side_effect::{side_effect_free, ExactOptions};
+use std::hint::black_box;
+
+fn bench_baseline_vs_hypergraph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/lineage_baseline");
+    group.sample_size(10);
+    for groups in [2usize, 3, 4] {
+        let w = pj_multiwitness_workload(3, groups, 3);
+        let label = format!("witnesses={groups}");
+        group.bench_with_input(BenchmarkId::new("hypergraph", &label), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    side_effect_free(&w.query, &w.db, &w.target, &ExactOptions::default())
+                        .expect("solves"),
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("lineage_reeval", &label), &w, |b, w| {
+            b.iter(|| {
+                black_box(
+                    side_effect_free_via_lineage(
+                        &w.query,
+                        &w.db,
+                        &w.target,
+                        &BaselineOptions::default(),
+                    )
+                    .expect("solves"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baseline_vs_hypergraph);
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! **Figures 1–3** — cost of building and solving the paper's exact example
+//! instances, plus reduction-construction throughput as the encoded input
+//! grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_core::deletion::view_side_effect::{side_effect_free, ExactOptions};
+use dap_core::figures;
+use dap_core::reductions::{thm2_1, thm2_2, thm2_5};
+use dap_sat::random_monotone_3sat;
+use dap_setcover::random_hitting_set;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_paper_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/solve_paper_instances");
+    group.bench_function("figure1_build_and_solve", |b| {
+        b.iter(|| {
+            let fig = figures::figure1();
+            black_box(
+                side_effect_free(
+                    &fig.instance.query,
+                    &fig.instance.db,
+                    &fig.instance.target,
+                    &ExactOptions::default(),
+                )
+                .expect("solves"),
+            )
+        })
+    });
+    group.bench_function("figure2_build_and_solve", |b| {
+        b.iter(|| {
+            let fig = figures::figure2();
+            black_box(
+                side_effect_free(
+                    &fig.instance.query,
+                    &fig.instance.db,
+                    &fig.instance.target,
+                    &ExactOptions::default(),
+                )
+                .expect("solves"),
+            )
+        })
+    });
+    group.bench_function("figure3_build_and_solve", |b| {
+        b.iter(|| {
+            let fig = figures::figure3();
+            black_box(
+                dap_core::deletion::source_side_effect::min_source_deletion(
+                    &fig.instance.query,
+                    &fig.instance.db,
+                    &fig.instance.target,
+                )
+                .expect("solves"),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_reduction_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures/construction_throughput");
+    for n in [10usize, 40, 160] {
+        let mut rng = StdRng::seed_from_u64(401);
+        let f = random_monotone_3sat(&mut rng, n, 2 * n);
+        group.bench_with_input(BenchmarkId::new("thm2_1", format!("n={n}")), &f, |b, f| {
+            b.iter(|| black_box(thm2_1::reduce(f)))
+        });
+        group.bench_with_input(BenchmarkId::new("thm2_2", format!("n={n}")), &f, |b, f| {
+            b.iter(|| black_box(thm2_2::reduce(f)))
+        });
+        let hs = random_hitting_set(&mut rng, n.min(40), n.min(40), 3);
+        group.bench_with_input(BenchmarkId::new("thm2_5", format!("n={n}")), &hs, |b, hs| {
+            b.iter(|| black_box(thm2_5::reduce(hs)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_normal_form(c: &mut Criterion) {
+    // Theorem 3.1's rewriting itself: cost of normalizing a union of joins
+    // as the query grows (branches × joins multiply).
+    let mut group = c.benchmark_group("figures/normalize_throughput");
+    for branches in [2usize, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(402);
+        let f = random_monotone_3sat(&mut rng, 6, branches);
+        let red = thm2_2::reduce(&f);
+        let catalog = red.instance.db.catalog();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("clauses={branches}")),
+            &(red.instance.query.clone(), catalog),
+            |b, (q, cat)| {
+                b.iter(|| black_box(dap_relalg::normalize(q, cat).expect("normalizes")))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_paper_figures,
+    bench_reduction_construction,
+    bench_normal_form
+);
+criterion_main!(benches);

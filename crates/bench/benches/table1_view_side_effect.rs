@@ -1,0 +1,100 @@
+//! **Table 1 (§2.1)** — deciding side-effect-free view deletion.
+//!
+//! Reproduces the dichotomy's *shape*: the NP-hard rows (PJ via Thm 2.1
+//! instances, JU via Thm 2.2 instances) scale with the encoded formula,
+//! while the polynomial rows (SPU via Thm 2.3, SJ via Thm 2.4) scale
+//! near-linearly with the database.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_bench::{sj_workload, spu_workload};
+use dap_core::deletion::view_side_effect::{
+    side_effect_free, sj_view_deletion, spu_view_deletion, ExactOptions,
+};
+use dap_core::reductions::{thm2_1, thm2_2};
+use dap_sat::random_monotone_3sat;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pj_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/PJ_side_effect_free");
+    for n in [4usize, 8, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(101);
+        let f = random_monotone_3sat(&mut rng, n, n + n / 2);
+        let red = thm2_1::reduce(&f);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &red, |b, red| {
+            b.iter(|| {
+                black_box(
+                    side_effect_free(
+                        &red.instance.query,
+                        &red.instance.db,
+                        &red.instance.target,
+                        &ExactOptions::default(),
+                    )
+                    .expect("solves"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ju_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/JU_side_effect_free");
+    for n in [4usize, 6, 8, 10] {
+        let mut rng = StdRng::seed_from_u64(102);
+        let f = random_monotone_3sat(&mut rng, n, n);
+        let red = thm2_2::reduce(&f);
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &red, |b, red| {
+            b.iter(|| {
+                black_box(
+                    side_effect_free(
+                        &red.instance.query,
+                        &red.instance.db,
+                        &red.instance.target,
+                        &ExactOptions::default(),
+                    )
+                    .expect("solves"),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_spu_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/SPU_poly");
+    for size in [200usize, 800, 3200] {
+        let w = spu_workload(103, size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tuples={size}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    black_box(spu_view_deletion(&w.query, &w.db, &w.target).expect("solves"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sj_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1/SJ_poly");
+    for size in [100usize, 400, 1600] {
+        let w = sj_workload(104, size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tuples={size}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    black_box(sj_view_deletion(&w.query, &w.db, &w.target).expect("solves"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pj_hard, bench_ju_hard, bench_spu_poly, bench_sj_poly);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! **Table 2 (§2.2)** — minimum source deletion.
+//!
+//! NP-hard rows via the hitting-set reductions (Thm 2.5 for PJ, Thm 2.7 for
+//! JU), including the greedy `H_n` contrast; polynomial rows via Thm 2.8
+//! (SPU) and Thm 2.9 (SJ).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_bench::{sj_workload, spu_workload};
+use dap_core::deletion::source_side_effect::{
+    greedy_source_deletion, min_source_deletion, sj_source_deletion, spu_source_deletion,
+};
+use dap_core::reductions::{thm2_5, thm2_7};
+use dap_setcover::random_hitting_set;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_pj_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/PJ_min_source_exact");
+    group.sample_size(10);
+    for n in [3usize, 4, 5] {
+        let mut rng = StdRng::seed_from_u64(201);
+        let hs = random_hitting_set(&mut rng, n, n, 2);
+        let red = thm2_5::reduce(&hs);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("elements={n}")),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(
+                        min_source_deletion(
+                            &red.instance.query,
+                            &red.instance.db,
+                            &red.instance.target,
+                        )
+                        .expect("solves"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_ju_hard_exact_vs_greedy(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/JU_min_source");
+    for n in [8usize, 12, 16] {
+        let mut rng = StdRng::seed_from_u64(202);
+        let hs = random_hitting_set(&mut rng, n, n, 3);
+        let red = thm2_7::reduce(&hs);
+        group.bench_with_input(
+            BenchmarkId::new("exact", format!("elements={n}")),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(
+                        min_source_deletion(
+                            &red.instance.query,
+                            &red.instance.db,
+                            &red.instance.target,
+                        )
+                        .expect("solves"),
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("greedy", format!("elements={n}")),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(
+                        greedy_source_deletion(
+                            &red.instance.query,
+                            &red.instance.db,
+                            &red.instance.target,
+                        )
+                        .expect("solves"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spu_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/SPU_poly");
+    for size in [200usize, 800, 3200] {
+        let w = spu_workload(203, size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tuples={size}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    black_box(spu_source_deletion(&w.query, &w.db, &w.target).expect("solves"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sj_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/SJ_poly");
+    for size in [100usize, 400, 1600] {
+        let w = sj_workload(204, size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tuples={size}")),
+            &w,
+            |b, w| {
+                b.iter(|| {
+                    black_box(sj_source_deletion(&w.query, &w.db, &w.target).expect("solves"))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pj_hard,
+    bench_ju_hard_exact_vs_greedy,
+    bench_spu_poly,
+    bench_sj_poly
+);
+criterion_main!(benches);

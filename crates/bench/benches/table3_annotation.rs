@@ -1,0 +1,129 @@
+//! **Table 3 (§3.1)** — side-effect-free annotation placement.
+//!
+//! The NP-hard row (PJ) scales with the number of clause relations in the
+//! Thm 3.2 reduction — combined complexity, visible as exponential growth in
+//! the joined intermediates; the polynomial rows (SJU via Thm 3.4, SPU via
+//! Thm 3.3) scale with the database. A fourth series exercises
+//! Corollary 3.1's witness-membership question via why-provenance.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_bench::{sju_placement_workload, spu_placement_workload};
+use dap_core::placement::generic::min_side_effect_placement;
+use dap_core::placement::sju::sju_placement;
+use dap_core::placement::spu::spu_placement;
+use dap_core::reductions::thm3_2;
+use dap_provenance::why_provenance;
+use dap_sat::{Clause, Cnf, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+/// Random connected 3-CNF (clause i shares a variable with clause i-1).
+fn connected_3cnf(seed: u64, n: usize, m: usize) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(m);
+    let mut prev: Vec<usize> = (0..3).collect();
+    for _ in 0..m {
+        let mut vars = vec![prev[rng.gen_range(0..prev.len())]];
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..n);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        clauses.push(Clause::new(
+            vars.iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }),
+        ));
+        prev = vars;
+    }
+    Cnf::new(n, clauses)
+}
+
+fn bench_pj_hard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/PJ_placement");
+    group.sample_size(10);
+    // The joined intermediates grow ~4^m; m=5 is already ~1k rows with full
+    // location tracking — the exponential trend is visible well before the
+    // bench becomes unrunnable.
+    for m in [2usize, 3, 4, 5] {
+        let f = connected_3cnf(301, 4 + m, m);
+        let red = thm3_2::reduce(&f).expect("connected");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("clauses={m}")),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(
+                        min_side_effect_placement(
+                            &red.instance.query,
+                            &red.instance.db,
+                            &red.target_location,
+                        )
+                        .expect("solves"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sju_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/SJU_poly");
+    for size in [50usize, 200, 800] {
+        let w = sju_placement_workload(302, size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tuples={size}")),
+            &w,
+            |b, w| {
+                b.iter(|| black_box(sju_placement(&w.query, &w.db, &w.target).expect("solves")))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_spu_poly(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/SPU_poly");
+    for size in [200usize, 800, 3200] {
+        let w = spu_placement_workload(303, size);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("tuples={size}")),
+            &w,
+            |b, w| {
+                b.iter(|| black_box(spu_placement(&w.query, &w.db, &w.target).expect("solves")))
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_corollary_3_1_witness_membership(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/corollary3_1_witnesses");
+    group.sample_size(10);
+    for m in [2usize, 3, 4] {
+        let f = connected_3cnf(304, 4 + m, m);
+        let red = thm3_2::reduce(&f).expect("connected");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("clauses={m}")),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(
+                        why_provenance(&red.instance.query, &red.instance.db).expect("computes"),
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_pj_hard,
+    bench_sju_poly,
+    bench_spu_poly,
+    bench_corollary_3_1_witness_membership
+);
+criterion_main!(benches);

@@ -1,0 +1,115 @@
+//! Regenerate **Table 3** (§3.1, side-effect-free annotation): complexity
+//! rows plus measured evidence — the PJ reduction's combined-complexity
+//! blow-up, SJU/SPU polynomial scaling, and Corollary 3.1's witness series.
+//!
+//! ```text
+//! cargo run --release -p dap-bench --bin report_table3
+//! ```
+
+use dap_bench::{median_time, sju_placement_workload, spu_placement_workload};
+use dap_core::placement::generic::min_side_effect_placement;
+use dap_core::placement::sju::sju_placement;
+use dap_core::placement::spu::spu_placement;
+use dap_core::reductions::thm3_2;
+use dap_core::{format_paper_table, Problem};
+use dap_provenance::why_provenance;
+use dap_sat::{dpll, Clause, Cnf, Lit};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn connected_3cnf(seed: u64, n: usize, m: usize) -> Cnf {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut clauses = Vec::with_capacity(m);
+    let mut prev: Vec<usize> = (0..3).collect();
+    for _ in 0..m {
+        let mut vars = vec![prev[rng.gen_range(0..prev.len())]];
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..n);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        clauses.push(Clause::new(
+            vars.iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }),
+        ));
+        prev = vars;
+    }
+    Cnf::new(n, clauses)
+}
+
+fn main() {
+    println!("==============================================================");
+    println!(" Table 3 — side-effect-free annotation placement (paper §3.1)");
+    println!("==============================================================\n");
+    println!("{}", format_paper_table(Problem::AnnotationPlacement));
+
+    println!("measured evidence (medians of 5 runs)\n");
+
+    // --- NP-hard row: PJ via Theorem 3.2 -----------------------------------
+    println!("Queries involving PJ — Thm 3.2 instances (connected 3SAT):");
+    println!("{:>8} {:>10} {:>14} {:>10}", "clauses", "|S|", "median time", "DPLL agree");
+    for m in [2usize, 3, 4, 5] {
+        let f = connected_3cnf(20, 4 + m, m);
+        let red = thm3_2::reduce(&f).expect("connected");
+        let mut agree = true;
+        let t = median_time(5, || {
+            let best = min_side_effect_placement(
+                &red.instance.query,
+                &red.instance.db,
+                &red.target_location,
+            )
+            .expect("solves");
+            agree &= best.is_side_effect_free() == dpll::is_satisfiable(&f);
+        });
+        println!(
+            "{:>8} {:>10} {:>14?} {:>10}",
+            m,
+            red.instance.db.tuple_count(),
+            t,
+            if agree { "yes" } else { "NO" }
+        );
+        assert!(agree, "Thm 3.2 must track satisfiability");
+    }
+
+    // --- P row: SJU via Theorem 3.4 -----------------------------------------
+    println!("\nSJU — Thm 3.4 branch counting:");
+    println!("{:>8} {:>14}", "|S|", "median time");
+    for size in [50usize, 200, 800, 3200] {
+        let w = sju_placement_workload(21, size);
+        let t = median_time(5, || {
+            let _ = sju_placement(&w.query, &w.db, &w.target).expect("solves");
+        });
+        println!("{:>8} {:>14?}", w.db.tuple_count(), t);
+    }
+
+    // --- P row: SPU via Theorem 3.3 -----------------------------------------
+    println!("\nSPU — Thm 3.3 linear scan (always side-effect-free):");
+    println!("{:>8} {:>14}", "|S|", "median time");
+    for size in [200usize, 800, 3200, 12800] {
+        let w = spu_placement_workload(22, size);
+        let t = median_time(5, || {
+            let sol = spu_placement(&w.query, &w.db, &w.target).expect("solves");
+            assert!(sol.is_side_effect_free());
+        });
+        println!("{:>8} {:>14?}", w.db.tuple_count(), t);
+    }
+
+    // --- Corollary 3.1: why/where-provenance both blow up on PJ -------------
+    println!("\nCorollary 3.1 — witness computation on the Thm 3.2 instances:");
+    println!("{:>8} {:>12} {:>14}", "clauses", "#witnesses", "median time");
+    for m in [2usize, 3, 4] {
+        let f = connected_3cnf(23, 4 + m, m);
+        let red = thm3_2::reduce(&f).expect("connected");
+        let mut count = 0usize;
+        let t = median_time(5, || {
+            let why =
+                why_provenance(&red.instance.query, &red.instance.db).expect("computes");
+            count = why.total_witnesses();
+        });
+        println!("{:>8} {:>12} {:>14?}", m, count, t);
+    }
+
+    println!("\nshape check: the PJ row's time and witness counts grow exponentially");
+    println!("with the number of clause relations (combined complexity); SJU and SPU");
+    println!("stay polynomial in |S| — and JU, NP-hard for deletion, is now in P.");
+}

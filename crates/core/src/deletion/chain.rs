@@ -1,0 +1,259 @@
+//! Theorem 2.6 — minimum source deletion for **chain joins** via min-cut.
+//!
+//! For a normal-form PJ query whose joined relations form a chain
+//! `R_1 ⋈ … ⋈ R_k` (only consecutive relations share attributes), the
+//! paper's construction:
+//!
+//! 1. drop from each `R_i` the tuples that disagree with the target `t_0`
+//!    on `R_i`'s projected attributes;
+//! 2. build a layered graph — one node per surviving tuple, an edge between
+//!    consecutive layers when the tuples agree on the shared attributes;
+//! 3. connect a source `s` to all of layer 1 and all of layer `k` to a sink
+//!    `t`, give nodes capacity 1 and edges capacity ∞ (node-splitting);
+//! 4. every `s–t` path is a witness of `t_0`, so a minimum `s–t` node cut is
+//!    a minimum source deletion.
+//!
+//! This gives a **polynomial** algorithm for a query class whose general
+//! form is set-cover-hard — the special case the dichotomy table footnotes.
+
+use crate::deletion::Deletion;
+use crate::error::{CoreError, Result};
+use dap_flow::UnitNodeGraph;
+use dap_relalg::{
+    detect_chain_join, eval, Attr, Database, Query, Schema, Tid, Tuple,
+};
+use std::collections::BTreeSet;
+
+/// Minimum source deletion for a chain-join query (optional outer
+/// projection over a join of distinct relations whose shared-attribute graph
+/// is a path). Errors with [`CoreError::NotAChain`] if the query does not
+/// have that shape.
+pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Deletion> {
+    let catalog = db.catalog();
+    let chain = detect_chain_join(q, &catalog).ok_or(CoreError::NotAChain)?;
+    let out_schema = dap_relalg::output_schema(q, &catalog)?;
+    if target.arity() != out_schema.arity() {
+        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+    }
+
+    // Step 1: per layer, the tuples that agree with the target on the
+    // layer's projected attributes.
+    struct Layer {
+        rel: dap_relalg::RelName,
+        schema: Schema,
+        rows: Vec<usize>, // surviving row indices
+    }
+    let mut layers: Vec<Layer> = Vec::with_capacity(chain.order.len());
+    for rel_name in &chain.order {
+        let rel = db.require(rel_name)?;
+        let projected: Vec<(usize, &dap_relalg::Value)> = rel
+            .schema()
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| {
+                out_schema
+                    .index_of(a)
+                    .map(|out_idx| (i, target.get(out_idx)))
+            })
+            .collect();
+        let rows = rel
+            .tuples()
+            .iter()
+            .enumerate()
+            .filter(|(_, u)| projected.iter().all(|(i, v)| u.get(*i) == *v))
+            .map(|(row, _)| row)
+            .collect();
+        layers.push(Layer { rel: rel.name().clone(), schema: rel.schema().clone(), rows });
+    }
+
+    // Step 2–3: the node-split layered network.
+    let total: usize = layers.iter().map(|l| l.rows.len()).sum();
+    let mut graph = UnitNodeGraph::new(total);
+    let mut node_of: Vec<Vec<usize>> = Vec::with_capacity(layers.len());
+    let mut next = 0usize;
+    for layer in &layers {
+        node_of.push(layer.rows.iter().map(|_| { let n = next; next += 1; n }).collect());
+    }
+    for (i, layer) in layers.iter().enumerate() {
+        if i == 0 {
+            for &n in &node_of[0] {
+                graph.connect_source(n);
+            }
+        }
+        if i + 1 == layers.len() {
+            for &n in &node_of[i] {
+                graph.connect_sink(n);
+            }
+            break;
+        }
+        let nxt = &layers[i + 1];
+        let shared: Vec<Attr> = layer.schema.shared_with(&nxt.schema);
+        let l_pos: Vec<usize> = shared
+            .iter()
+            .map(|a| layer.schema.index_of(a).expect("shared attr"))
+            .collect();
+        let r_pos: Vec<usize> = shared
+            .iter()
+            .map(|a| nxt.schema.index_of(a).expect("shared attr"))
+            .collect();
+        let lrel = db.require(&layer.rel)?;
+        let rrel = db.require(&nxt.rel)?;
+        for (li, &lrow) in layer.rows.iter().enumerate() {
+            let lt = lrel.tuple_at(lrow).expect("surviving row");
+            for (ri, &rrow) in nxt.rows.iter().enumerate() {
+                let rt = rrel.tuple_at(rrow).expect("surviving row");
+                let agree = l_pos
+                    .iter()
+                    .zip(&r_pos)
+                    .all(|(&lp, &rp)| lt.get(lp) == rt.get(rp));
+                if agree {
+                    graph.add_edge(node_of[i][li], node_of[i + 1][ri]);
+                }
+            }
+        }
+    }
+
+    // Step 4: min node cut = minimum source deletion.
+    let (value, cut_nodes) = graph.min_node_cut();
+    if value == 0 {
+        // No s–t path means no witness: the target is not in the view.
+        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+    }
+    // Map node ids back to tids.
+    let mut deletions = BTreeSet::new();
+    for (i, layer) in layers.iter().enumerate() {
+        for (li, &row) in layer.rows.iter().enumerate() {
+            if cut_nodes.contains(&node_of[i][li]) {
+                deletions.insert(Tid { rel: layer.rel.clone(), row });
+            }
+        }
+    }
+    debug_assert_eq!(deletions.len() as u64, value);
+
+    // Side effects by re-evaluation (the why-provenance of a chain join can
+    // be exponentially large; the view diff is not).
+    let before = eval(q, db)?;
+    if !before.contains(target) {
+        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+    }
+    let after = eval(q, &db.without(&deletions))?;
+    debug_assert!(!after.contains(target), "the cut must delete the target");
+    let view_side_effects: BTreeSet<Tuple> = before
+        .tuples
+        .iter()
+        .filter(|u| *u != target && !after.contains(u))
+        .cloned()
+        .collect();
+    Ok(Deletion { deletions, view_side_effects })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deletion::source_side_effect::min_source_deletion;
+    use dap_relalg::{parse_database, parse_query, tuple};
+
+    fn chain_db() -> Database {
+        parse_database(
+            "relation R1(A, B) { (a, b1), (a, b2) }
+             relation R2(B, C) { (b1, c1), (b2, c1), (b2, c2) }
+             relation R3(C, D) { (c1, d), (c2, d) }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn three_layer_chain_minimum() {
+        let db = chain_db();
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A, D])").unwrap();
+        let t = tuple(["a", "d"]);
+        let sol = chain_min_source_deletion(&q, &db, &t).unwrap();
+        // Exact hitting-set agrees on the size.
+        let exact = min_source_deletion(&q, &db, &t).unwrap();
+        assert_eq!(sol.source_cost(), exact.source_cost());
+        // Verify the deletion really removes the target.
+        let after = eval(&q, &db.without(&sol.deletions)).unwrap();
+        assert!(!after.contains(&t));
+    }
+
+    #[test]
+    fn bottleneck_is_found() {
+        // All paths go through the single (x, c) tuple.
+        let db = parse_database(
+            "relation R1(A, B) { (a1, x), (a2, x), (a3, x) }
+             relation R2(B, C) { (x, c) }
+             relation R3(C, D) { (c, d1), (c, d2) }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A])").unwrap();
+        let t = tuple(["a1"]);
+        let sol = chain_min_source_deletion(&q, &db, &t).unwrap();
+        // The target (a1) requires only paths through (a1,x): deleting
+        // (a1,x) is the unique minimum of size 1 — the filtered first layer
+        // contains only (a1, x).
+        assert_eq!(sol.source_cost(), 1);
+        assert_eq!(
+            sol.deletions,
+            BTreeSet::from([db.tid_of("R1", &tuple(["a1", "x"])).unwrap()])
+        );
+    }
+
+    #[test]
+    fn projection_filter_restricts_layers() {
+        let db = chain_db();
+        // Project A and C: target fixes C = c1, so (b2,c2), (c2,d) rows are
+        // irrelevant.
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A, C])").unwrap();
+        let t = tuple(["a", "c1"]);
+        let sol = chain_min_source_deletion(&q, &db, &t).unwrap();
+        let exact = min_source_deletion(&q, &db, &t).unwrap();
+        assert_eq!(sol.source_cost(), exact.source_cost());
+        let after = eval(&q, &db.without(&sol.deletions)).unwrap();
+        assert!(!after.contains(&t));
+    }
+
+    #[test]
+    fn two_relation_chain_agrees_with_exact() {
+        let db = parse_database(
+            "relation R1(A, B) { (a, x1), (a, x2), (a2, x1) }
+             relation R2(B, C) { (x1, c), (x2, c) }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan R1, scan R2), [A, C])").unwrap();
+        for t in eval(&q, &db).unwrap().tuples.clone() {
+            let chain = chain_min_source_deletion(&q, &db, &t).unwrap();
+            let exact = min_source_deletion(&q, &db, &t).unwrap();
+            assert_eq!(chain.source_cost(), exact.source_cost(), "target {t}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_chain_and_missing_target() {
+        let db = chain_db();
+        let q = parse_query("project(join(scan R1, scan R1), [A])").unwrap();
+        assert!(matches!(
+            chain_min_source_deletion(&q, &db, &tuple(["a"])),
+            Err(CoreError::NotAChain)
+        ));
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A, D])").unwrap();
+        assert!(matches!(
+            chain_min_source_deletion(&q, &db, &tuple(["zz", "zz"])),
+            Err(CoreError::TargetNotInView { .. })
+        ));
+    }
+
+    #[test]
+    fn pure_join_chain_without_projection() {
+        let db = parse_database(
+            "relation R1(A, B) { (a, b) }
+             relation R2(B, C) { (b, c) }",
+        )
+        .unwrap();
+        let q = parse_query("join(scan R1, scan R2)").unwrap();
+        let t = tuple(["a", "b", "c"]);
+        let sol = chain_min_source_deletion(&q, &db, &t).unwrap();
+        assert_eq!(sol.source_cost(), 1);
+        assert!(sol.is_side_effect_free());
+    }
+}

@@ -1,0 +1,406 @@
+//! The **view side-effect problem** (§2.1): delete `t` from the view while
+//! killing as few other view tuples as possible.
+//!
+//! * For arbitrary monotone queries the problem is NP-hard (Thms 2.1, 2.2) —
+//!   [`min_view_side_effects`] is an exact branch-and-bound that enumerates
+//!   minimal hitting sets of the target's witness hypergraph, pruning with
+//!   the (monotone) side-effect count.
+//! * [`side_effect_free`] decides the paper's headline question — "is there
+//!   a side-effect-free deletion?" — by running the same search capped at
+//!   zero side effects.
+//! * [`spu_view_deletion`] (Thm 2.3) and [`sj_view_deletion`] (Thm 2.4) are
+//!   the polynomial algorithms for the tractable classes.
+
+use crate::deletion::{Deletion, DeletionInstance};
+use crate::error::{CoreError, Result};
+use dap_provenance::Witness;
+use dap_relalg::{normalize, output_schema, Database, OpFootprint, Query, Tid, Tuple};
+use std::collections::BTreeSet;
+
+/// Knobs for the exact exponential search.
+#[derive(Clone, Copy, Debug)]
+pub struct ExactOptions {
+    /// Abort with [`CoreError::BudgetExhausted`] after this many search
+    /// nodes. The NP-hard instances grow exponentially; benches use this to
+    /// bound runs.
+    pub node_budget: u64,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions { node_budget: u64::MAX }
+    }
+}
+
+/// Find a deletion for `target` minimizing the number of other view tuples
+/// lost. Exact for every monotone SPJRU query; exponential time in the worst
+/// case (the problem is NP-hard for PJ and JU queries).
+pub fn min_view_side_effects(
+    q: &Query,
+    db: &Database,
+    target: &Tuple,
+    opts: &ExactOptions,
+) -> Result<Deletion> {
+    let inst = DeletionInstance::build(q, db, target)?;
+    let found = search(&inst, usize::MAX, opts)?;
+    let (deletions, _) = found.expect("a hitting set always exists (delete the whole support)");
+    let view_side_effects = inst.side_effects(&deletions);
+    Ok(Deletion { deletions, view_side_effects })
+}
+
+/// Decide whether a **side-effect-free** deletion exists (the paper's §2.1
+/// dichotomy question), returning one if so.
+pub fn side_effect_free(
+    q: &Query,
+    db: &Database,
+    target: &Tuple,
+    opts: &ExactOptions,
+) -> Result<Option<Deletion>> {
+    let inst = DeletionInstance::build(q, db, target)?;
+    let found = search(&inst, 1, opts)?; // cap: only solutions with < 1 side effects
+    Ok(found.map(|(deletions, _)| Deletion {
+        deletions,
+        view_side_effects: BTreeSet::new(),
+    }))
+}
+
+/// Branch-and-bound over (minimal) hitting sets of the target's witnesses.
+/// Returns the best solution with side-effect count `< cap`, or `None`.
+fn search(
+    inst: &DeletionInstance,
+    cap: usize,
+    opts: &ExactOptions,
+) -> Result<Option<(BTreeSet<Tid>, usize)>> {
+    struct Ctx<'a> {
+        inst: &'a DeletionInstance,
+        nodes: u64,
+        budget: u64,
+        best: Option<(BTreeSet<Tid>, usize)>,
+        bound: usize,
+    }
+
+    fn recurse(
+        ctx: &mut Ctx<'_>,
+        current: &mut BTreeSet<Tid>,
+        excluded: &mut BTreeSet<Tid>,
+    ) -> Result<()> {
+        ctx.nodes += 1;
+        if ctx.nodes > ctx.budget {
+            return Err(CoreError::BudgetExhausted { budget: ctx.budget });
+        }
+        // Side effects only grow as `current` grows — prune at the bound.
+        let se = ctx.inst.side_effect_count(current);
+        if se >= ctx.bound {
+            return Ok(());
+        }
+        // Pick the unhit witness with the fewest available choices
+        // (fail-first); `None` means `current` is already a hitting set.
+        let next: Option<&Witness> = ctx
+            .inst
+            .target_witnesses
+            .iter()
+            .filter(|w| !w.iter().any(|tid| current.contains(tid)))
+            .min_by_key(|w| w.iter().filter(|tid| !excluded.contains(*tid)).count());
+        let Some(w) = next else {
+            ctx.best = Some((current.clone(), se));
+            ctx.bound = se; // future solutions must be strictly better
+            return Ok(());
+        };
+        let choices: Vec<Tid> =
+            w.iter().filter(|tid| !excluded.contains(*tid)).cloned().collect();
+        let mut locally_excluded = Vec::new();
+        for tid in choices {
+            current.insert(tid.clone());
+            recurse(ctx, current, excluded)?;
+            current.remove(&tid);
+            // Standard minimal-hitting-set enumeration: once a branch for
+            // `tid` is fully explored, later siblings must not use it.
+            excluded.insert(tid.clone());
+            locally_excluded.push(tid);
+            if ctx.bound == 0 {
+                break; // cannot beat a perfect solution
+            }
+        }
+        for tid in locally_excluded {
+            excluded.remove(&tid);
+        }
+        Ok(())
+    }
+
+    let mut ctx = Ctx { inst, nodes: 0, budget: opts.node_budget, best: None, bound: cap };
+    let mut current = BTreeSet::new();
+    let mut excluded = BTreeSet::new();
+    recurse(&mut ctx, &mut current, &mut excluded)?;
+    Ok(ctx.best)
+}
+
+/// Theorem 2.3: for SPU queries (select/project/union, no join, no rename)
+/// there is a **unique** minimal deletion and it is always side-effect-free:
+/// delete every source tuple that produces `t` through any branch.
+/// Runs in linear time via the union normal form — no provenance index.
+pub fn spu_view_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Deletion> {
+    let fp = OpFootprint::of(q);
+    if fp.join || fp.rename {
+        return Err(CoreError::WrongClass {
+            expected: "SPU (join-free, rename-free)",
+            found: fp.letters(),
+        });
+    }
+    let catalog = db.catalog();
+    let out_schema = output_schema(q, &catalog)?;
+    let nf = normalize(q, &catalog)?;
+    let mut deletions = BTreeSet::new();
+    for branch in &nf.branches {
+        debug_assert_eq!(branch.scans.len(), 1, "join-free branches have one scan");
+        let scan = &branch.scans[0];
+        let rel = db.require(&scan.rel)?;
+        // No joins and no renames ⇒ current names equal original names.
+        let schema = rel.schema();
+        // For each output attribute, its position in the scanned relation.
+        let positions = schema.positions_of(out_schema.attrs())?;
+        for (row, u) in rel.tuples().iter().enumerate() {
+            if branch.pred.eval(schema, u)? && &u.project_positions(&positions) == target {
+                deletions.insert(Tid { rel: rel.name().clone(), row });
+            }
+        }
+    }
+    if deletions.is_empty() {
+        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+    }
+    // Theorem 2.3 guarantees no side effects; the cross-check lives in the
+    // module tests (agreement with the exact solver and re-evaluation).
+    Ok(Deletion { deletions, view_side_effects: BTreeSet::new() })
+}
+
+/// Theorem 2.4: for SJ queries every view tuple has a **single** witness
+/// (one source tuple per joined relation). The minimum-view-side-effect
+/// deletion removes the witness component shared with the fewest other view
+/// tuples; it is side-effect-free iff some component appears in no other
+/// witness.
+pub fn sj_view_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Deletion> {
+    let fp = OpFootprint::of(q);
+    if fp.project || fp.union_ {
+        return Err(CoreError::WrongClass {
+            expected: "SJ (projection-free, union-free)",
+            found: fp.letters(),
+        });
+    }
+    let inst = DeletionInstance::build(q, db, target)?;
+    debug_assert_eq!(
+        inst.target_witnesses.len(),
+        1,
+        "SJ output tuples have exactly one witness"
+    );
+    let witness = &inst.target_witnesses[0];
+    let best = witness
+        .iter()
+        .map(|tid| {
+            let single = BTreeSet::from([tid.clone()]);
+            let count = inst.side_effect_count(&single);
+            (count, single)
+        })
+        .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
+        .expect("witnesses are non-empty");
+    let view_side_effects = inst.side_effects(&best.1);
+    Ok(Deletion { deletions: best.1, view_side_effects })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{parse_database, parse_query, tuple};
+
+    fn usergroup() -> (Query, Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q =
+            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    #[test]
+    fn exact_finds_side_effect_free_deletion() {
+        let (q, db) = usergroup();
+        let t = tuple(["bob", "report"]);
+        let sol = min_view_side_effects(&q, &db, &t, &ExactOptions::default()).unwrap();
+        assert!(sol.is_side_effect_free(), "solution {sol}");
+        let inst = DeletionInstance::build(&q, &db, &t).unwrap();
+        assert!(inst.deletes_target(&sol.deletions));
+        assert!(inst.verify_against_reevaluation(&sol.deletions).unwrap());
+    }
+
+    #[test]
+    fn exact_reports_unavoidable_side_effects() {
+        // Every deletion of (a,c) from Π_{A,C}(R1 ⋈ R2) with a shared middle
+        // value kills a neighbor.
+        let db = parse_database(
+            "relation R1(A, B) { (a, x), (a2, x) }
+             relation R2(B, C) { (x, c), (x, c2) }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan R1, scan R2), [A, C])").unwrap();
+        let t = tuple(["a", "c"]);
+        let sol = min_view_side_effects(&q, &db, &t, &ExactOptions::default()).unwrap();
+        // Deleting (a,x) kills (a,c2); deleting (x,c) kills (a2,c). Either
+        // way exactly one side effect.
+        assert_eq!(sol.view_cost(), 1);
+        assert_eq!(sol.source_cost(), 1);
+        assert!(side_effect_free(&q, &db, &t, &ExactOptions::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn decision_and_optimization_agree() {
+        let (q, db) = usergroup();
+        for t in dap_relalg::eval(&q, &db).unwrap().tuples.clone() {
+            let min = min_view_side_effects(&q, &db, &t, &ExactOptions::default()).unwrap();
+            let free = side_effect_free(&q, &db, &t, &ExactOptions::default()).unwrap();
+            assert_eq!(min.is_side_effect_free(), free.is_some(), "target {t}");
+        }
+    }
+
+    #[test]
+    fn budget_is_enforced() {
+        let (q, db) = usergroup();
+        let t = tuple(["bob", "report"]);
+        let err =
+            min_view_side_effects(&q, &db, &t, &ExactOptions { node_budget: 1 }).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+    }
+
+    #[test]
+    fn missing_target_errors() {
+        let (q, db) = usergroup();
+        let err = min_view_side_effects(&q, &db, &tuple(["zz", "zz"]), &ExactOptions::default())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::TargetNotInView { .. }));
+    }
+
+    #[test]
+    fn spu_unique_deletion_is_side_effect_free() {
+        let db = parse_database(
+            "relation R(A, B) { (a1, b1), (a1, b2), (a2, b1) }
+             relation S(A, B) { (a1, b1), (a3, b3) }",
+        )
+        .unwrap();
+        // Π_A(σ_{B=b1}(R)) ∪ Π_A(S)
+        let q = parse_query(
+            "union(project(select(scan R, B = 'b1'), [A]), project(scan S, [A]))",
+        )
+        .unwrap();
+        let t = tuple(["a1"]);
+        let sol = spu_view_deletion(&q, &db, &t).unwrap();
+        // Must delete (a1,b1) from R (passes the selection) and both S rows
+        // projecting to a1: (a1,b1).
+        assert_eq!(sol.source_cost(), 2);
+        assert!(sol.is_side_effect_free());
+        // Cross-check against the exact solver and re-evaluation.
+        let exact = min_view_side_effects(&q, &db, &t, &ExactOptions::default()).unwrap();
+        assert_eq!(exact.deletions, sol.deletions, "Thm 2.3: the solution is unique");
+        let inst = DeletionInstance::build(&q, &db, &t).unwrap();
+        assert!(inst.verify_against_reevaluation(&sol.deletions).unwrap());
+        assert!(inst.side_effects(&sol.deletions).is_empty());
+    }
+
+    #[test]
+    fn spu_rejects_wrong_class_and_missing_target() {
+        let (q, db) = usergroup();
+        assert!(matches!(
+            spu_view_deletion(&q, &db, &tuple(["bob", "report"])),
+            Err(CoreError::WrongClass { .. })
+        ));
+        let db2 = parse_database("relation R(A) { (a) }").unwrap();
+        let q2 = parse_query("scan R").unwrap();
+        assert!(matches!(
+            spu_view_deletion(&q2, &db2, &tuple(["zz"])),
+            Err(CoreError::TargetNotInView { .. })
+        ));
+    }
+
+    #[test]
+    fn sj_picks_min_side_effect_component() {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (staff, memo)
+             }",
+        )
+        .unwrap();
+        let q = parse_query("join(scan UserGroup, scan GroupFile)").unwrap();
+        let t = tuple(["ann", "staff", "report"]);
+        let sol = sj_view_deletion(&q, &db, &t).unwrap();
+        // Deleting (ann,staff) kills (ann,staff,memo) → 1 side effect.
+        // Deleting (staff,report) kills (bob,staff,report) → 1 side effect.
+        assert_eq!(sol.view_cost(), 1);
+        assert_eq!(sol.source_cost(), 1);
+        let inst = DeletionInstance::build(&q, &db, &t).unwrap();
+        assert!(inst.verify_against_reevaluation(&sol.deletions).unwrap());
+    }
+
+    #[test]
+    fn sj_side_effect_free_when_component_unshared() {
+        let db = parse_database(
+            "relation R(A, B) { (a1, k), (a2, k) }
+             relation S(B, C) { (k, c1) }",
+        )
+        .unwrap();
+        let q = parse_query("join(scan R, scan S)").unwrap();
+        let t = tuple(["a1", "k", "c1"]);
+        let sol = sj_view_deletion(&q, &db, &t).unwrap();
+        // (a1,k) participates only in the target's witness.
+        assert!(sol.is_side_effect_free());
+        assert_eq!(
+            sol.deletions,
+            BTreeSet::from([db.tid_of("R", &tuple(["a1", "k"])).unwrap()])
+        );
+    }
+
+    #[test]
+    fn sj_agrees_with_exact_solver() {
+        let (_, db) = usergroup();
+        let q = parse_query("join(scan UserGroup, scan GroupFile)").unwrap();
+        for t in dap_relalg::eval(&q, &db).unwrap().tuples.clone() {
+            let sj = sj_view_deletion(&q, &db, &t).unwrap();
+            let exact = min_view_side_effects(&q, &db, &t, &ExactOptions::default()).unwrap();
+            assert_eq!(sj.view_cost(), exact.view_cost(), "target {t}");
+        }
+    }
+
+    #[test]
+    fn sj_rejects_wrong_class() {
+        let (q, db) = usergroup();
+        assert!(matches!(
+            sj_view_deletion(&q, &db, &tuple(["bob", "report"])),
+            Err(CoreError::WrongClass { .. })
+        ));
+    }
+
+    #[test]
+    fn ju_union_of_joins_side_effect_structure() {
+        // A miniature of the Theorem 2.2 construction: deleting (T, F) from
+        // (R1 ⋈ RP1) ∪ (R1 ⋈ S1-as-A2) forces deleting T or F.
+        let db = parse_database(
+            "relation R1(A1) { (T) }
+             relation RP1(A2) { (F) }
+             relation S1(A2) { (c1) }",
+        )
+        .unwrap();
+        let q = parse_query("union(join(scan R1, scan RP1), join(scan R1, scan S1))").unwrap();
+        let t = tuple(["T", "F"]);
+        // Deleting F from RP1 is side-effect-free; deleting T kills (T, c1).
+        let sol = min_view_side_effects(&q, &db, &t, &ExactOptions::default()).unwrap();
+        assert!(sol.is_side_effect_free());
+        assert_eq!(
+            sol.deletions,
+            BTreeSet::from([db.tid_of("RP1", &tuple(["F"])).unwrap()])
+        );
+    }
+}

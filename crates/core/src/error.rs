@@ -1,0 +1,120 @@
+//! Error type for the solver layer.
+
+use dap_provenance::ViewLoc;
+use dap_relalg::{RelalgError, Tuple};
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+/// Everything that can go wrong posing or solving a deletion-propagation or
+/// annotation-placement problem.
+#[derive(Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// An underlying relational-algebra error (type checking, evaluation…).
+    Relalg(RelalgError),
+    /// The tuple asked to be deleted is not in the view.
+    TargetNotInView {
+        /// The missing tuple.
+        tuple: Tuple,
+    },
+    /// The view location asked to be annotated does not exist (tuple not in
+    /// the view, or attribute not in the view schema).
+    TargetLocationNotInView {
+        /// The missing location.
+        loc: ViewLoc,
+    },
+    /// No source location propagates to the target view location. Per the
+    /// paper this only happens for queries introducing constants, which the
+    /// framework excludes — but a caller can still ask.
+    NoCandidateLocation {
+        /// The unreachable location.
+        loc: ViewLoc,
+    },
+    /// A class-specific solver was invoked on a query outside its class.
+    WrongClass {
+        /// What the solver requires, e.g. `"SPU (join-free, rename-free)"`.
+        expected: &'static str,
+        /// The operator footprint actually found.
+        found: String,
+    },
+    /// The chain-join solver was invoked on a non-chain query.
+    NotAChain,
+    /// The exact solver exceeded its search-node budget.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Relalg(e) => write!(f, "{e}"),
+            CoreError::TargetNotInView { tuple } => {
+                write!(f, "tuple {tuple} is not in the view")
+            }
+            CoreError::TargetLocationNotInView { loc } => {
+                write!(f, "view location {loc} does not exist")
+            }
+            CoreError::NoCandidateLocation { loc } => {
+                write!(f, "no source location propagates to view location {loc}")
+            }
+            CoreError::WrongClass { expected, found } => {
+                write!(f, "solver requires a {expected} query, found footprint {found}")
+            }
+            CoreError::NotAChain => {
+                write!(f, "query is not a chain join over distinct relations")
+            }
+            CoreError::BudgetExhausted { budget } => {
+                write!(f, "exact search exceeded its node budget of {budget}")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CoreError({self})")
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Relalg(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelalgError> for CoreError {
+    fn from(e: RelalgError) -> Self {
+        CoreError::Relalg(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_converts() {
+        let e: CoreError = RelalgError::UnknownRelation { rel: "R".into() }.into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e = CoreError::TargetNotInView { tuple: dap_relalg::tuple(["a"]) };
+        assert_eq!(e.to_string(), "tuple (a) is not in the view");
+        let e = CoreError::WrongClass { expected: "SPU", found: "PJ".into() };
+        assert!(e.to_string().contains("SPU") && e.to_string().contains("PJ"));
+        let e = CoreError::BudgetExhausted { budget: 7 };
+        assert!(e.to_string().contains('7'));
+    }
+
+    #[test]
+    fn error_source_chains() {
+        use std::error::Error;
+        let e: CoreError = RelalgError::UnknownRelation { rel: "R".into() }.into();
+        assert!(e.source().is_some());
+        assert!(CoreError::NotAChain.source().is_none());
+    }
+}

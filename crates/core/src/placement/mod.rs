@@ -1,0 +1,66 @@
+//! Annotation placement (Section 3 of the paper).
+//!
+//! Given a view location `(Q(S), t, A)`, find a **single source location**
+//! whose annotation propagates there (under the Section 3 forward rules)
+//! while annotating the fewest other view locations. The optimal solution is
+//! always a single source location (§3.1), unlike deletion where whole sets
+//! are needed.
+//!
+//! | module | algorithm | paper result |
+//! |--------|-----------|--------------|
+//! | [`generic`] | where-provenance candidates + forward propagation, exact for every SPJRU query (exponential in query size for PJ — Thm 3.2 says that is unavoidable) | Thm 3.2 |
+//! | [`spu`] | linear scan over normal-form branches | Thm 3.3 |
+//! | [`sju`] | per-branch component counting without extra materialization | Thm 3.4 |
+
+pub mod generic;
+pub mod sju;
+pub mod spu;
+
+use dap_provenance::{SourceLoc, ViewLoc};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A solution to the annotation placement problem.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Placement {
+    /// The source location to annotate.
+    pub source: SourceLoc,
+    /// View locations other than the target that also receive the
+    /// annotation.
+    pub side_effects: BTreeSet<ViewLoc>,
+}
+
+impl Placement {
+    /// Whether only the requested view location receives the annotation.
+    pub fn is_side_effect_free(&self) -> bool {
+        self.side_effects.is_empty()
+    }
+
+    /// Number of extra annotated view locations.
+    pub fn cost(&self) -> usize {
+        self.side_effects.len()
+    }
+}
+
+impl fmt::Display for Placement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "annotate {} (side effects: {})", self.source, self.side_effects.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{tuple, Tid};
+
+    #[test]
+    fn accessors_and_display() {
+        let p = Placement {
+            source: SourceLoc::new(Tid::new("R", 1), "A"),
+            side_effects: BTreeSet::from([ViewLoc::new(tuple(["v"]), "A")]),
+        };
+        assert!(!p.is_side_effect_free());
+        assert_eq!(p.cost(), 1);
+        assert_eq!(p.to_string(), "annotate (R#1, A) (side effects: 1)");
+    }
+}

@@ -1,0 +1,143 @@
+//! Theorem 3.3 — annotation placement for SPU queries in linear time.
+//!
+//! "We scan the input relation until we find the tuple `t'` which satisfies
+//! the selection condition and whose projected attributes equal `t`.
+//! Annotate attribute `A` of `t'` — only the desired view location receives
+//! the annotation." For unions, apply the procedure per SP branch until a
+//! match is found.
+
+use crate::error::{CoreError, Result};
+use crate::placement::Placement;
+use dap_provenance::{SourceLoc, ViewLoc};
+use dap_relalg::{normalize, output_schema, Database, OpFootprint, Query, Tid};
+use std::collections::BTreeSet;
+
+/// Side-effect-free placement for an SPU query (select/project/union; no
+/// join, no rename). Always succeeds when the target location exists
+/// (Theorem 3.3: there is **always** a side-effect-free placement).
+pub fn spu_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Placement> {
+    let fp = OpFootprint::of(q);
+    if fp.join || fp.rename {
+        return Err(CoreError::WrongClass {
+            expected: "SPU (join-free, rename-free)",
+            found: fp.letters(),
+        });
+    }
+    let catalog = db.catalog();
+    let out_schema = output_schema(q, &catalog)?;
+    if !out_schema.contains(&target.attr) {
+        return Err(CoreError::TargetLocationNotInView { loc: target.clone() });
+    }
+    let nf = normalize(q, &catalog)?;
+    for branch in &nf.branches {
+        debug_assert_eq!(branch.scans.len(), 1, "join-free branches have one scan");
+        let scan = &branch.scans[0];
+        // No renames anywhere ⇒ current names are original names.
+        if !branch.proj.contains(&target.attr) {
+            // The branch projects the attribute away — it cannot transmit
+            // annotations to (·, A). (With identical output attr sets per
+            // branch this cannot actually happen; keep the guard.)
+            continue;
+        }
+        let rel = db.require(&scan.rel)?;
+        let schema = rel.schema();
+        let positions = schema.positions_of(out_schema.attrs())?;
+        for (row, u) in rel.tuples().iter().enumerate() {
+            if branch.pred.eval(schema, u)? && u.project_positions(&positions) == target.tuple {
+                // Found the paper's t': annotate (t', A).
+                return Ok(Placement {
+                    source: SourceLoc::new(
+                        Tid { rel: rel.name().clone(), row },
+                        target.attr.clone(),
+                    ),
+                    side_effects: BTreeSet::new(),
+                });
+            }
+        }
+    }
+    Err(CoreError::TargetLocationNotInView { loc: target.clone() })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::generic::min_side_effect_placement;
+    use dap_provenance::propagate;
+    use dap_relalg::{parse_database, parse_query, tuple};
+
+    fn fixture() -> (Query, Database) {
+        let db = parse_database(
+            "relation R(A, B) { (a1, b1), (a1, b2), (a2, b1) }
+             relation S(A, B) { (a1, b1), (a3, b3) }",
+        )
+        .unwrap();
+        let q = parse_query(
+            "union(project(select(scan R, B = 'b1'), [A]), project(scan S, [A]))",
+        )
+        .unwrap();
+        (q, db)
+    }
+
+    #[test]
+    fn placement_is_side_effect_free_and_verified() {
+        let (q, db) = fixture();
+        let view = dap_relalg::eval(&q, &db).unwrap();
+        for t in &view.tuples {
+            let target = ViewLoc::new(t.clone(), "A");
+            let p = spu_placement(&q, &db, &target).unwrap();
+            assert!(p.is_side_effect_free());
+            // The independent forward propagator confirms: exactly the
+            // target is annotated.
+            let reached = propagate(&q, &db, &p.source).unwrap();
+            assert_eq!(reached, BTreeSet::from([target]));
+        }
+    }
+
+    #[test]
+    fn agrees_with_generic_solver() {
+        let (q, db) = fixture();
+        let view = dap_relalg::eval(&q, &db).unwrap();
+        for t in &view.tuples {
+            let target = ViewLoc::new(t.clone(), "A");
+            let fast = spu_placement(&q, &db, &target).unwrap();
+            let generic = min_side_effect_placement(&q, &db, &target).unwrap();
+            assert_eq!(fast.cost(), generic.cost(), "both are optimal (0)");
+            assert_eq!(generic.cost(), 0, "Thm 3.3: always side-effect-free");
+        }
+    }
+
+    #[test]
+    fn selection_is_respected() {
+        let db = parse_database("relation R(A, B) { (a1, b1), (a1, b2) }").unwrap();
+        let q = parse_query("project(select(scan R, B = 'b2'), [A])").unwrap();
+        let p = spu_placement(&q, &db, &ViewLoc::new(tuple(["a1"]), "A")).unwrap();
+        // Must pick the row passing the selection, not (a1, b1).
+        assert_eq!(
+            p.source,
+            SourceLoc::new(db.tid_of("R", &tuple(["a1", "b2"])).unwrap(), "A")
+        );
+    }
+
+    #[test]
+    fn rejects_wrong_class_and_missing_locations() {
+        let db = parse_database(
+            "relation R(A, B) { (a, b) }
+             relation S(B, C) { (b, c) }",
+        )
+        .unwrap();
+        let joined = parse_query("join(scan R, scan S)").unwrap();
+        assert!(matches!(
+            spu_placement(&joined, &db, &ViewLoc::new(tuple(["a", "b", "c"]), "A")),
+            Err(CoreError::WrongClass { .. })
+        ));
+        let q = parse_query("project(scan R, [A])").unwrap();
+        assert!(matches!(
+            spu_placement(&q, &db, &ViewLoc::new(tuple(["zz"]), "A")),
+            Err(CoreError::TargetLocationNotInView { .. })
+        ));
+        assert!(matches!(
+            spu_placement(&q, &db, &ViewLoc::new(tuple(["a"]), "B")),
+            Err(CoreError::TargetLocationNotInView { .. })
+        ));
+    }
+}

@@ -1,0 +1,223 @@
+//! Theorem 2.1 — monotone 3SAT ≤ₚ side-effect-free deletion for PJ queries.
+//!
+//! Two relations `R1(A,B)` and `R2(B,C)`:
+//!
+//! * one variable gadget per variable `x_i`: `(a, x_i) ∈ R1`,
+//!   `(x_i, c) ∈ R2`;
+//! * per **positive** clause `C_i = (x_{i1}+x_{i2}+x_{i3})`: tuples
+//!   `(a_i, x_{i1..3}) ∈ R1` with a fresh `a_i`;
+//! * per **negative** clause `C_j = (x̄_{j1}+x̄_{j2}+x̄_{j3})`: tuples
+//!   `(x_{j1..3}, c_j) ∈ R2` with a fresh `c_j`.
+//!
+//! The query is `Π_{A,C}(R1 ⋈ R2)` and the target is `(a, c)`. Deleting
+//! `(a, x_i)` reads "x_i := true", deleting `(x_i, c)` reads "x_i := false";
+//! clause-tuples `(a_i, c)` / `(a, c_j)` survive iff the clause is
+//! satisfied, so a side-effect-free deletion exists iff the formula is
+//! satisfiable.
+//!
+//! (On the sign convention: the ACM postprint's text extraction lost the
+//! overbars, but the survival argument — `(a_i, c)` lives iff some
+//! `(x_{ik}, c)` survives, i.e. iff some `x_{ik}` is *true* — pins the `R1`
+//! clause gadgets to positive clauses, matching Figure 1's data for
+//! `(x̄1+x̄2+x̄3)(x2+x4+x5)(x̄4+x̄1+x̄3)`.)
+
+use crate::reductions::{clause_value, var_value, ReducedInstance};
+use dap_relalg::{schema, Database, Query, Relation, Tid, Tuple, Value};
+use dap_sat::Monotone3Sat;
+use std::collections::BTreeSet;
+
+/// The reduced instance of Theorem 2.1, with the formula retained for
+/// encode/decode.
+#[derive(Clone, Debug)]
+pub struct Thm21 {
+    /// The monotone 3SAT formula being reduced.
+    pub formula: Monotone3Sat,
+    /// The reduced deletion instance.
+    pub instance: ReducedInstance,
+}
+
+/// Build the Theorem 2.1 instance for `formula`.
+pub fn reduce(formula: &Monotone3Sat) -> Thm21 {
+    let n = formula.num_vars;
+    let mut r1: Vec<Tuple> = Vec::with_capacity(n + 3 * formula.clauses.len());
+    let mut r2: Vec<Tuple> = Vec::with_capacity(n + 3 * formula.clauses.len());
+    // Variable gadgets.
+    for i in 0..n {
+        r1.push(Tuple::new([Value::str("a"), Value::str(var_value(i))]));
+        r2.push(Tuple::new([Value::str(var_value(i)), Value::str("c")]));
+    }
+    // Clause gadgets: positive clauses into R1 (fresh a_i), negative into R2
+    // (fresh c_j).
+    for (idx, clause) in formula.clauses.iter().enumerate() {
+        if clause.positive {
+            let a_i = format!("a{}", idx + 1);
+            for &v in &clause.vars {
+                r1.push(Tuple::new([Value::str(&a_i), Value::str(var_value(v))]));
+            }
+        } else {
+            let c_j = clause_value(idx);
+            for &v in &clause.vars {
+                r2.push(Tuple::new([Value::str(var_value(v)), Value::str(&c_j)]));
+            }
+        }
+    }
+    let db = Database::from_relations(vec![
+        Relation::new("R1", schema(["A", "B"]), r1).expect("consistent arity"),
+        Relation::new("R2", schema(["B", "C"]), r2).expect("consistent arity"),
+    ])
+    .expect("two distinct relations");
+    let query = Query::scan("R1").join(Query::scan("R2")).project(["A", "C"]);
+    let target = Tuple::new([Value::str("a"), Value::str("c")]);
+    Thm21 { formula: formula.clone(), instance: ReducedInstance { db, query, target } }
+}
+
+impl Thm21 {
+    /// The `Tid` of the variable gadget `(a, x_i)` in `R1`.
+    pub fn r1_var_tid(&self, var: usize) -> Tid {
+        self.instance
+            .db
+            .tid_of("R1", &Tuple::new([Value::str("a"), Value::str(var_value(var))]))
+            .expect("variable gadget exists")
+    }
+
+    /// The `Tid` of the variable gadget `(x_i, c)` in `R2`.
+    pub fn r2_var_tid(&self, var: usize) -> Tid {
+        self.instance
+            .db
+            .tid_of("R2", &Tuple::new([Value::str(var_value(var)), Value::str("c")]))
+            .expect("variable gadget exists")
+    }
+
+    /// Encode a truth assignment as a deletion set: `x_i = true` deletes
+    /// `(a, x_i)`, `x_i = false` deletes `(x_i, c)`.
+    pub fn encode(&self, assignment: &[bool]) -> BTreeSet<Tid> {
+        assert_eq!(assignment.len(), self.formula.num_vars);
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if v { self.r1_var_tid(i) } else { self.r2_var_tid(i) })
+            .collect()
+    }
+
+    /// Decode a deletion set back into an assignment: `x_i = true` iff
+    /// `(a, x_i)` was deleted.
+    pub fn decode(&self, deletions: &BTreeSet<Tid>) -> Vec<bool> {
+        (0..self.formula.num_vars)
+            .map(|i| deletions.contains(&self.r1_var_tid(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deletion::view_side_effect::{side_effect_free, ExactOptions};
+    use crate::deletion::DeletionInstance;
+    use dap_sat::{dpll, random_monotone_3sat, random_satisfiable_monotone_3sat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_formula() -> Monotone3Sat {
+        Monotone3Sat::parse("(!x1 + !x2 + !x3)(x2 + x4 + x5)(!x4 + !x1 + !x3)").unwrap()
+    }
+
+    #[test]
+    fn construction_matches_figure_1_counts() {
+        let red = reduce(&paper_formula());
+        let db = &red.instance.db;
+        // R1: 5 variable rows + 3 rows for the positive clause (a2).
+        assert_eq!(db.get("R1").unwrap().len(), 8);
+        // R2: 5 variable rows + 3+3 rows for the two negative clauses.
+        assert_eq!(db.get("R2").unwrap().len(), 11);
+        // View: (a,c), (a,c1), (a,c3), (a2,c), (a2,c1), (a2,c3).
+        let view = dap_relalg::eval(&red.instance.query, db).unwrap();
+        assert_eq!(view.len(), 6);
+        assert!(view.contains(&red.instance.target));
+    }
+
+    #[test]
+    fn satisfying_assignment_encodes_to_side_effect_free_deletion() {
+        let red = reduce(&paper_formula());
+        let model = dpll::solve(&red.formula.to_cnf()).expect("satisfiable");
+        let deletions = red.encode(&model);
+        let inst = DeletionInstance::build(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+        )
+        .unwrap();
+        assert!(inst.deletes_target(&deletions));
+        assert!(inst.side_effects(&deletions).is_empty(), "no side effects");
+    }
+
+    #[test]
+    fn solver_solution_decodes_to_satisfying_assignment() {
+        let red = reduce(&paper_formula());
+        let sol = side_effect_free(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+            &ExactOptions::default(),
+        )
+        .unwrap()
+        .expect("paper formula is satisfiable");
+        let assignment = red.decode(&sol.deletions);
+        assert!(red.formula.eval(&assignment), "decoded assignment satisfies the formula");
+    }
+
+    #[test]
+    fn unsatisfiable_formula_admits_no_side_effect_free_deletion() {
+        // (x1+x1+x1)(!x1+!x1+!x1) is unsatisfiable.
+        let f = Monotone3Sat::parse("(x1 + x1 + x1)(!x1 + !x1 + !x1)").unwrap();
+        let red = reduce(&f);
+        let sol = side_effect_free(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+            &ExactOptions::default(),
+        )
+        .unwrap();
+        assert!(sol.is_none());
+    }
+
+    #[test]
+    fn round_trip_on_random_formulas() {
+        let mut rng = StdRng::seed_from_u64(2002);
+        for trial in 0..20 {
+            let f = random_monotone_3sat(&mut rng, 5, 4 + trial % 5);
+            let red = reduce(&f);
+            let sat = dpll::is_satisfiable(&f.to_cnf());
+            let sol = side_effect_free(
+                &red.instance.query,
+                &red.instance.db,
+                &red.instance.target,
+                &ExactOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(sat, sol.is_some(), "SAT ⟺ side-effect-free, formula {f}");
+            if let Some(sol) = sol {
+                assert!(red.formula.eval(&red.decode(&sol.deletions)));
+            }
+        }
+    }
+
+    #[test]
+    fn planted_satisfiable_formulas_always_round_trip() {
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let (f, hidden) = random_satisfiable_monotone_3sat(&mut rng, 6, 8);
+            let red = reduce(&f);
+            let deletions = red.encode(&hidden);
+            let inst = DeletionInstance::build(
+                &red.instance.query,
+                &red.instance.db,
+                &red.instance.target,
+            )
+            .unwrap();
+            assert!(inst.deletes_target(&deletions));
+            assert!(inst.side_effects(&deletions).is_empty());
+            // decode ∘ encode = identity.
+            assert_eq!(red.decode(&deletions), hidden);
+        }
+    }
+}

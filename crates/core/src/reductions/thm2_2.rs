@@ -1,0 +1,226 @@
+//! Theorem 2.2 — monotone 3SAT ≤ₚ side-effect-free deletion for JU queries
+//! (projection-free!).
+//!
+//! `2(m+n)` unary relations:
+//!
+//! * per variable `x_i`: `R_i(A1) = {T}` and `R'_i(A2) = {F}`;
+//! * per **positive** clause `C_i`: `S_i(A2) = {c_i}`, with query branch
+//!   `(R_{i1} ⋈ S_i) ∪ (R_{i2} ⋈ S_i) ∪ (R_{i3} ⋈ S_i)` producing `(T, c_i)`;
+//! * per **negative** clause `C_j`: `S'_j(A1) = {c_j}`, with branches
+//!   `(S'_j ⋈ R'_{j1}) ∪ …` producing `(c_j, F)`;
+//! * per variable: the branch `R_i ⋈ R'_i`, producing `(T, F)`.
+//!
+//! The goal is deleting `(T, F)`: each variable branch forces deleting `T`
+//! from `R_i` ("false") or `F` from `R'_i` ("true"); the clause tuples
+//! survive iff their clauses are satisfied.
+
+use crate::reductions::{clause_value, ReducedInstance};
+use dap_relalg::{schema, Database, Query, Relation, Tid, Tuple, Value};
+use dap_sat::Monotone3Sat;
+use std::collections::BTreeSet;
+
+/// The reduced instance of Theorem 2.2.
+#[derive(Clone, Debug)]
+pub struct Thm22 {
+    /// The monotone 3SAT formula being reduced.
+    pub formula: Monotone3Sat,
+    /// The reduced deletion instance.
+    pub instance: ReducedInstance,
+}
+
+/// Relation name for the variable gadget `R_i(A1) = {T}`.
+pub fn r_name(var: usize) -> String {
+    format!("R{}", var + 1)
+}
+
+/// Relation name for the negated variable gadget `R'_i(A2) = {F}`
+/// (the paper's `R'`; rendered `RP` for "prime").
+pub fn rp_name(var: usize) -> String {
+    format!("RP{}", var + 1)
+}
+
+/// Relation name for the positive-clause gadget `S_i(A2) = {c_i}`.
+pub fn s_name(clause: usize) -> String {
+    format!("S{}", clause + 1)
+}
+
+/// Relation name for the negative-clause gadget `S'_j(A1) = {c_j}`.
+pub fn sp_name(clause: usize) -> String {
+    format!("SP{}", clause + 1)
+}
+
+/// Build the Theorem 2.2 instance for `formula`.
+pub fn reduce(formula: &Monotone3Sat) -> Thm22 {
+    let mut relations = Vec::new();
+    for i in 0..formula.num_vars {
+        relations.push(
+            Relation::new(r_name(i), schema(["A1"]), vec![Tuple::new([Value::str("T")])])
+                .expect("unary tuple"),
+        );
+        relations.push(
+            Relation::new(rp_name(i), schema(["A2"]), vec![Tuple::new([Value::str("F")])])
+                .expect("unary tuple"),
+        );
+    }
+    let mut branches: Vec<Query> = Vec::new();
+    for (idx, clause) in formula.clauses.iter().enumerate() {
+        // The paper creates BOTH S_i(A2) and S'_i(A1) for every clause
+        // ("there are two relations…"), using one or the other in the query
+        // depending on the clause's sign — hence 2(m+n) relations total.
+        relations.push(
+            Relation::new(
+                s_name(idx),
+                schema(["A2"]),
+                vec![Tuple::new([Value::str(clause_value(idx))])],
+            )
+            .expect("unary tuple"),
+        );
+        relations.push(
+            Relation::new(
+                sp_name(idx),
+                schema(["A1"]),
+                vec![Tuple::new([Value::str(clause_value(idx))])],
+            )
+            .expect("unary tuple"),
+        );
+        if clause.positive {
+            for &v in &clause.vars {
+                branches.push(Query::scan(r_name(v)).join(Query::scan(s_name(idx))));
+            }
+        } else {
+            for &v in &clause.vars {
+                // S' first so the branch schema reads (A1, A2).
+                branches.push(Query::scan(sp_name(idx)).join(Query::scan(rp_name(v))));
+            }
+        }
+    }
+    for i in 0..formula.num_vars {
+        branches.push(Query::scan(r_name(i)).join(Query::scan(rp_name(i))));
+    }
+    let db = Database::from_relations(relations).expect("distinct relation names");
+    let query = Query::union_all(branches);
+    let target = Tuple::new([Value::str("T"), Value::str("F")]);
+    Thm22 { formula: formula.clone(), instance: ReducedInstance { db, query, target } }
+}
+
+impl Thm22 {
+    /// The `Tid` of `T` in `R_i` (the only tuple).
+    pub fn t_tid(&self, var: usize) -> Tid {
+        Tid::new(r_name(var), 0)
+    }
+
+    /// The `Tid` of `F` in `R'_i` (the only tuple).
+    pub fn f_tid(&self, var: usize) -> Tid {
+        Tid::new(rp_name(var), 0)
+    }
+
+    /// Encode an assignment: `x_i = true` deletes `F` from `R'_i`,
+    /// `x_i = false` deletes `T` from `R_i`.
+    pub fn encode(&self, assignment: &[bool]) -> BTreeSet<Tid> {
+        assert_eq!(assignment.len(), self.formula.num_vars);
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| if v { self.f_tid(i) } else { self.t_tid(i) })
+            .collect()
+    }
+
+    /// Decode a deletion set: `x_i = true` iff `T` **remains** in `R_i`
+    /// (the paper's convention).
+    pub fn decode(&self, deletions: &BTreeSet<Tid>) -> Vec<bool> {
+        (0..self.formula.num_vars)
+            .map(|i| !deletions.contains(&self.t_tid(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deletion::view_side_effect::{side_effect_free, ExactOptions};
+    use crate::deletion::DeletionInstance;
+    use dap_relalg::tuple;
+    use dap_sat::{dpll, random_monotone_3sat};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn paper_formula() -> Monotone3Sat {
+        Monotone3Sat::parse("(!x1 + !x2 + !x3)(x2 + x4 + x5)(!x4 + !x1 + !x3)").unwrap()
+    }
+
+    #[test]
+    fn construction_matches_figure_2() {
+        let red = reduce(&paper_formula());
+        let db = &red.instance.db;
+        // 2(m+n) = 2(3+5) = 16 relations.
+        assert_eq!(db.relation_count(), 16);
+        // Output: m+1 distinct tuples (Figure 2's table).
+        let view = dap_relalg::eval(&red.instance.query, db).unwrap();
+        assert_eq!(view.len(), 4);
+        assert!(view.contains(&tuple(["c1", "F"])));
+        assert!(view.contains(&tuple(["T", "c2"])));
+        assert!(view.contains(&tuple(["c3", "F"])));
+        assert!(view.contains(&tuple(["T", "F"])));
+        // The query is projection-free: a JU query.
+        let fp = dap_relalg::OpFootprint::of(&red.instance.query);
+        assert!(fp.join && fp.union_ && !fp.project && !fp.select);
+    }
+
+    #[test]
+    fn satisfying_assignment_is_side_effect_free() {
+        let red = reduce(&paper_formula());
+        let model = dpll::solve(&red.formula.to_cnf()).expect("satisfiable");
+        let deletions = red.encode(&model);
+        let inst = DeletionInstance::build(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+        )
+        .unwrap();
+        assert!(inst.deletes_target(&deletions));
+        assert!(inst.side_effects(&deletions).is_empty());
+    }
+
+    #[test]
+    fn solver_round_trip_matches_dpll() {
+        let mut rng = StdRng::seed_from_u64(22);
+        for trial in 0..15 {
+            let f = random_monotone_3sat(&mut rng, 4, 3 + trial % 4);
+            let red = reduce(&f);
+            let sat = dpll::is_satisfiable(&f.to_cnf());
+            let sol = side_effect_free(
+                &red.instance.query,
+                &red.instance.db,
+                &red.instance.target,
+                &ExactOptions::default(),
+            )
+            .unwrap();
+            assert_eq!(sat, sol.is_some(), "SAT ⟺ side-effect-free, formula {f}");
+            if let Some(sol) = sol {
+                let assignment = red.decode(&sol.deletions);
+                assert!(red.formula.eval(&assignment), "decoded assignment satisfies {f}");
+            }
+        }
+    }
+
+    #[test]
+    fn unsat_formula_has_no_side_effect_free_deletion() {
+        let f = Monotone3Sat::parse("(x1 + x1 + x1)(!x1 + !x1 + !x1)").unwrap();
+        let red = reduce(&f);
+        let sol = side_effect_free(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+            &ExactOptions::default(),
+        )
+        .unwrap();
+        assert!(sol.is_none());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let red = reduce(&paper_formula());
+        let assignment = vec![true, false, true, false, true];
+        assert_eq!(red.decode(&red.encode(&assignment)), assignment);
+    }
+}

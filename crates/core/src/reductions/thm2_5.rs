@@ -1,0 +1,209 @@
+//! Theorem 2.5 — hitting set ≤ₚ (approximation-preserving) minimum source
+//! deletion for PJ queries.
+//!
+//! Relations (Figure 3 of the paper):
+//!
+//! * `R0(S, A1, …, An)`: the characteristic vector of each set `S_i` —
+//!   `(s_i, w_1, …, w_n)` with `w_j = x_j` if `x_j ∈ S_i`, else the dummy
+//!   `d`;
+//! * for each element `x_j`: `R_j(A_j, B_j, C)` with `n+1` tuples
+//!   `(x_j, α_0, c), (d, α_1, c), …, (d, α_n, c)`.
+//!
+//! The query is `Π_C(R0 ⋈ R1 ⋈ … ⋈ Rn)` with the single output tuple `(c)`;
+//! a set row generates `n^{n-|S_i|}` witnesses, and the cheapest way to kill
+//! them all per set is deleting some `(x_p, α_0, c)` with `x_p ∈ S_i` —
+//! a hitting set.
+
+use crate::reductions::{var_value, ReducedInstance};
+use dap_relalg::{Attr, Database, Query, Relation, Schema, Tid, Tuple, Value};
+use dap_setcover::HittingSet;
+use std::collections::BTreeSet;
+
+/// The reduced instance of Theorem 2.5.
+#[derive(Clone, Debug)]
+pub struct Thm25 {
+    /// The hitting-set instance being reduced.
+    pub hitting_set: HittingSet,
+    /// The reduced deletion instance.
+    pub instance: ReducedInstance,
+}
+
+/// Relation name for the element gadget `R_{j+1}` of element `j`.
+pub fn element_rel_name(element: usize) -> String {
+    format!("R{}", element + 1)
+}
+
+/// Build the Theorem 2.5 instance for `hs`.
+pub fn reduce(hs: &HittingSet) -> Thm25 {
+    let n = hs.num_elements;
+    // R0(S, A1..An): characteristic vectors.
+    let mut r0_attrs: Vec<Attr> = vec![Attr::new("S")];
+    r0_attrs.extend((0..n).map(|j| Attr::new(format!("A{}", j + 1))));
+    let r0_schema = Schema::new(r0_attrs).expect("distinct attrs");
+    let r0_tuples: Vec<Tuple> = hs
+        .sets
+        .iter()
+        .enumerate()
+        .map(|(i, set)| {
+            let mut vals = Vec::with_capacity(n + 1);
+            vals.push(Value::str(format!("s{}", i + 1)));
+            vals.extend((0..n).map(|j| {
+                if set.contains(&j) {
+                    Value::str(var_value(j))
+                } else {
+                    Value::str("d")
+                }
+            }));
+            Tuple::new(vals)
+        })
+        .collect();
+    let mut relations =
+        vec![Relation::new("R0", r0_schema, r0_tuples).expect("consistent arity")];
+    // R_j(A_j, B_j, C): the element gadgets.
+    for j in 0..n {
+        let schema = Schema::new([
+            Attr::new(format!("A{}", j + 1)),
+            Attr::new(format!("B{}", j + 1)),
+            Attr::new("C"),
+        ])
+        .expect("distinct attrs");
+        let mut tuples =
+            vec![Tuple::new([Value::str(var_value(j)), Value::str("alpha0"), Value::str("c")])];
+        for k in 1..=n {
+            tuples.push(Tuple::new([
+                Value::str("d"),
+                Value::str(format!("alpha{k}")),
+                Value::str("c"),
+            ]));
+        }
+        relations.push(
+            Relation::new(element_rel_name(j), schema, tuples).expect("consistent arity"),
+        );
+    }
+    let db = Database::from_relations(relations).expect("distinct names");
+    let query = Query::join_all(
+        std::iter::once(Query::scan("R0"))
+            .chain((0..n).map(|j| Query::scan(element_rel_name(j)))),
+    )
+    .project(["C"]);
+    let target = Tuple::new([Value::str("c")]);
+    Thm25 { hitting_set: hs.clone(), instance: ReducedInstance { db, query, target } }
+}
+
+impl Thm25 {
+    /// The `Tid` of the keyed gadget tuple `(x_p, α_0, c)` in `R_{p+1}`.
+    pub fn alpha0_tid(&self, element: usize) -> Tid {
+        self.instance
+            .db
+            .tid_of(
+                &element_rel_name(element),
+                &Tuple::new([Value::str(var_value(element)), Value::str("alpha0"), Value::str("c")]),
+            )
+            .expect("gadget tuple exists")
+    }
+
+    /// Encode a hitting set as a deletion set: delete `(x_p, α_0, c)` for
+    /// each chosen element `p`.
+    pub fn encode(&self, hitting: &BTreeSet<usize>) -> BTreeSet<Tid> {
+        hitting.iter().map(|&p| self.alpha0_tid(p)).collect()
+    }
+
+    /// Decode a deletion set into the chosen elements: `p ∈ H` iff
+    /// `(x_p, α_0, c)` was deleted. (The paper's WLOG argument normalizes
+    /// any optimal solution into this form.)
+    pub fn decode(&self, deletions: &BTreeSet<Tid>) -> BTreeSet<usize> {
+        (0..self.hitting_set.num_elements)
+            .filter(|&p| deletions.contains(&self.alpha0_tid(p)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deletion::source_side_effect::{greedy_source_deletion, min_source_deletion};
+    use crate::deletion::DeletionInstance;
+    use dap_setcover::{exact_hitting_set, random_hitting_set};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_instance() -> HittingSet {
+        HittingSet::new(
+            3,
+            vec![BTreeSet::from([0, 1]), BTreeSet::from([1, 2]), BTreeSet::from([0, 2])],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_shapes_match_figure_3() {
+        let hs = small_instance();
+        let red = reduce(&hs);
+        let db = &red.instance.db;
+        assert_eq!(db.relation_count(), 4, "R0 plus one relation per element");
+        let r0 = db.get("R0").unwrap();
+        assert_eq!(r0.schema().arity(), 4, "S, A1..A3");
+        assert_eq!(r0.len(), 3, "one row per set");
+        for j in 0..3 {
+            let rj = db.get(&element_rel_name(j)).unwrap();
+            assert_eq!(rj.len(), 4, "n+1 tuples");
+            assert_eq!(rj.schema().arity(), 3);
+        }
+        // The view is the single tuple (c).
+        let view = dap_relalg::eval(&red.instance.query, db).unwrap();
+        assert_eq!(view.len(), 1);
+        assert!(view.contains(&red.instance.target));
+    }
+
+    #[test]
+    fn encoded_hitting_set_deletes_target() {
+        let hs = small_instance();
+        let red = reduce(&hs);
+        let optimal = exact_hitting_set(&hs);
+        let deletions = red.encode(&optimal);
+        let inst = DeletionInstance::build(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+        )
+        .unwrap();
+        assert!(inst.deletes_target(&deletions));
+        assert_eq!(red.decode(&deletions), optimal);
+    }
+
+    #[test]
+    fn minimum_source_deletion_equals_minimum_hitting_set() {
+        let hs = small_instance();
+        let red = reduce(&hs);
+        let optimal_hs = exact_hitting_set(&hs).len();
+        let sol =
+            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
+        assert_eq!(sol.source_cost(), optimal_hs, "optima transfer (Thm 2.5)");
+    }
+
+    #[test]
+    fn equivalence_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(25);
+        for _ in 0..6 {
+            let hs = random_hitting_set(&mut rng, 4, 3, 2);
+            let red = reduce(&hs);
+            let optimal_hs = exact_hitting_set(&hs).len();
+            let sol = min_source_deletion(
+                &red.instance.query,
+                &red.instance.db,
+                &red.instance.target,
+            )
+            .unwrap();
+            assert_eq!(sol.source_cost(), optimal_hs, "instance {hs}");
+            // Greedy is valid and within the harmonic bound of optimal.
+            let greedy = greedy_source_deletion(
+                &red.instance.query,
+                &red.instance.db,
+                &red.instance.target,
+            )
+            .unwrap();
+            assert!(greedy.source_cost() >= optimal_hs);
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Theorem 2.7 — hitting set ≤ₚ minimum source deletion for JU queries
+//! **with renaming** (the paper notes hardness without renaming is open).
+//!
+//! After padding the sets to a uniform size `k`: one unary relation
+//! `R_i(A) = {(a)}` per element, and per set `S_i = {x_{i1}, …, x_{ik}}` the
+//! branch
+//!
+//! ```text
+//! Q_i = δ_{A→A1}(R_{i1}) ⋈ … ⋈ δ_{A→Ak}(R_{ik})
+//! ```
+//!
+//! The view is the single tuple `(a, …, a)`; each branch is one witness, so
+//! deleting the tuple is exactly hitting every set.
+
+use crate::reductions::ReducedInstance;
+use dap_relalg::{Database, Query, Relation, Tid, Tuple, Value};
+use dap_setcover::HittingSet;
+use std::collections::BTreeSet;
+
+/// The reduced instance of Theorem 2.7.
+#[derive(Clone, Debug)]
+pub struct Thm27 {
+    /// The (padded, `k`-uniform) hitting-set instance.
+    pub hitting_set: HittingSet,
+    /// The uniform set size after padding.
+    pub k: usize,
+    /// The reduced deletion instance.
+    pub instance: ReducedInstance,
+}
+
+/// Relation name for element `i`'s gadget.
+pub fn element_rel_name(element: usize) -> String {
+    format!("R{}", element + 1)
+}
+
+/// Build the Theorem 2.7 instance, padding `hs` to uniform set size first
+/// (the padding preserves the optimum; see
+/// [`HittingSet::pad_to_uniform`]).
+pub fn reduce(hs: &HittingSet) -> Thm27 {
+    let k = hs.sets.iter().map(BTreeSet::len).max().unwrap_or(1);
+    let padded = hs.pad_to_uniform(k);
+    let relations: Vec<Relation> = (0..padded.num_elements)
+        .map(|i| {
+            Relation::new(
+                element_rel_name(i),
+                dap_relalg::schema(["A"]),
+                vec![Tuple::new([Value::str("a")])],
+            )
+            .expect("unary tuple")
+        })
+        .collect();
+    let branches: Vec<Query> = padded
+        .sets
+        .iter()
+        .map(|set| {
+            Query::join_all(set.iter().enumerate().map(|(pos, &elem)| {
+                Query::scan(element_rel_name(elem))
+                    .rename([("A".to_string(), format!("A{}", pos + 1))])
+            }))
+        })
+        .collect();
+    let db = Database::from_relations(relations).expect("distinct names");
+    let query = Query::union_all(branches);
+    let target = Tuple::new(vec![Value::str("a"); k]);
+    Thm27 { hitting_set: padded, k, instance: ReducedInstance { db, query, target } }
+}
+
+impl Thm27 {
+    /// The `Tid` of element `i`'s single tuple `(a)`.
+    pub fn element_tid(&self, element: usize) -> Tid {
+        Tid::new(element_rel_name(element), 0)
+    }
+
+    /// Encode a hitting set as a deletion set.
+    pub fn encode(&self, hitting: &BTreeSet<usize>) -> BTreeSet<Tid> {
+        hitting.iter().map(|&i| self.element_tid(i)).collect()
+    }
+
+    /// Decode a deletion set into chosen elements.
+    pub fn decode(&self, deletions: &BTreeSet<Tid>) -> BTreeSet<usize> {
+        (0..self.hitting_set.num_elements)
+            .filter(|&i| deletions.contains(&self.element_tid(i)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::deletion::source_side_effect::min_source_deletion;
+    use crate::deletion::DeletionInstance;
+    use dap_setcover::{exact_hitting_set, random_hitting_set};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_instance() -> HittingSet {
+        HittingSet::new(
+            4,
+            vec![
+                BTreeSet::from([0, 1]),
+                BTreeSet::from([1, 2, 3]),
+                BTreeSet::from([0, 3]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_shape() {
+        let red = reduce(&small_instance());
+        // Padding to k=3 adds fresh elements for the two 2-element sets.
+        assert_eq!(red.k, 3);
+        assert_eq!(red.hitting_set.num_elements, 6);
+        assert_eq!(red.instance.db.relation_count(), 6);
+        // The query uses join, union and rename — no projection.
+        let fp = dap_relalg::OpFootprint::of(&red.instance.query);
+        assert!(fp.join && fp.union_ && fp.rename && !fp.project);
+        // View = single k-ary all-a tuple.
+        let view = dap_relalg::eval(&red.instance.query, &red.instance.db).unwrap();
+        assert_eq!(view.len(), 1);
+        assert!(view.contains(&red.instance.target));
+        assert_eq!(red.instance.target.arity(), 3);
+    }
+
+    #[test]
+    fn optima_transfer_exactly() {
+        let hs = small_instance();
+        let red = reduce(&hs);
+        let optimal = exact_hitting_set(&hs).len();
+        // Padding preserves the optimum.
+        assert_eq!(exact_hitting_set(&red.hitting_set).len(), optimal);
+        let sol =
+            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
+        assert_eq!(sol.source_cost(), optimal);
+        // Decode is a valid hitting set of the padded instance.
+        let decoded = red.decode(&sol.deletions);
+        assert!(red.hitting_set.is_hitting(&decoded));
+    }
+
+    #[test]
+    fn encoded_hitting_set_deletes_the_tuple() {
+        let hs = small_instance();
+        let red = reduce(&hs);
+        let optimal = exact_hitting_set(&red.hitting_set);
+        let deletions = red.encode(&optimal);
+        let inst = DeletionInstance::build(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+        )
+        .unwrap();
+        assert!(inst.deletes_target(&deletions));
+        // The view has a single tuple, so no side effects are possible —
+        // exactly why this reduction targets SOURCE minimality.
+        assert!(inst.side_effects(&deletions).is_empty());
+        assert_eq!(red.decode(&deletions), optimal);
+    }
+
+    #[test]
+    fn equivalence_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(27);
+        for _ in 0..8 {
+            let hs = random_hitting_set(&mut rng, 6, 4, 3);
+            let red = reduce(&hs);
+            let optimal = exact_hitting_set(&hs).len();
+            let sol = min_source_deletion(
+                &red.instance.query,
+                &red.instance.db,
+                &red.instance.target,
+            )
+            .unwrap();
+            assert_eq!(sol.source_cost(), optimal, "instance {hs}");
+        }
+    }
+}

@@ -1,0 +1,338 @@
+//! Theorem 3.2 — 3SAT ≤ₚ side-effect-free annotation for PJ queries.
+//!
+//! Per clause `C_i` over variables `(v1, v2, v3)`: a relation
+//! `R_i(C_i, X_{v1}, X_{v2}, X_{v3})` holding the **seven** assignments
+//! satisfying the clause (values `T`/`F`) plus a dummy row `(c_i, d, d, d)`;
+//! the last relation also holds `(c'_m, d, d, d)`. The query is
+//! `Π_{C_1..C_m}(R_1 ⋈ … ⋈ R_m)` — variables shared between clauses become
+//! shared `X_v` attributes, so the natural join enforces consistency. The
+//! view has two tuples, `(c_1,…,c_m)` and `(c_1,…,c'_m)`; annotating
+//! `((c_1,…,c_m), C_1)` side-effect-free is possible iff the formula is
+//! satisfiable (annotating the dummy always also annotates the second
+//! tuple).
+//!
+//! **Implementation note (not spelled out in the paper):** the equivalence
+//! needs the formula's clause–variable graph to be *connected*; otherwise a
+//! combination can mix real rows (for the component containing `C_1`) with
+//! dummy rows (elsewhere, including the `c'_m` row) and annotate the second
+//! tuple even under satisfiability. 3SAT restricted to connected formulas
+//! is still NP-hard (connect components with bridge clauses), so the
+//! dichotomy is unaffected; [`reduce`] rejects disconnected inputs.
+
+use crate::reductions::{clause_value, ReducedInstance};
+use dap_provenance::ViewLoc;
+use dap_relalg::{Attr, Database, Query, Relation, Schema, Tid, Tuple, Value};
+use dap_sat::Cnf;
+
+/// The reduced instance of Theorem 3.2.
+#[derive(Clone, Debug)]
+pub struct Thm32 {
+    /// The 3SAT formula being reduced.
+    pub formula: Cnf,
+    /// The reduced instance; `target` is the first view tuple
+    /// `(c_1, …, c_m)`.
+    pub instance: ReducedInstance,
+    /// The location to annotate: `((c_1,…,c_m), C1)`.
+    pub target_location: ViewLoc,
+}
+
+/// Relation name for clause `i`'s gadget.
+pub fn clause_rel_name(clause: usize) -> String {
+    format!("R{}", clause + 1)
+}
+
+/// Attribute name for clause `i`'s id column.
+pub fn clause_attr(clause: usize) -> Attr {
+    Attr::new(format!("C{}", clause + 1))
+}
+
+/// Attribute name for variable `v`'s shared column.
+pub fn var_attr(var: usize) -> Attr {
+    Attr::new(format!("X{}", var + 1))
+}
+
+/// Whether the clause–variable incidence graph of `f` is connected
+/// (required for the reduction; see the module docs).
+pub fn is_connected(f: &Cnf) -> bool {
+    if f.clauses.len() <= 1 {
+        return true;
+    }
+    // Union clauses sharing a variable via BFS over clause indices.
+    let m = f.clauses.len();
+    let mut visited = vec![false; m];
+    let mut queue = vec![0usize];
+    visited[0] = true;
+    let mut seen = 1;
+    while let Some(i) = queue.pop() {
+        for (j, clause) in f.clauses.iter().enumerate() {
+            if !visited[j]
+                && f.clauses[i]
+                    .lits
+                    .iter()
+                    .any(|a| clause.lits.iter().any(|b| a.var == b.var))
+            {
+                visited[j] = true;
+                seen += 1;
+                queue.push(j);
+            }
+        }
+    }
+    seen == m
+}
+
+/// Build the Theorem 3.2 instance. Errors if a clause does not have exactly
+/// three distinct variables, the formula is empty, or the clause–variable
+/// graph is disconnected.
+pub fn reduce(f: &Cnf) -> Result<Thm32, String> {
+    let m = f.clauses.len();
+    if m == 0 {
+        return Err("formula has no clauses".to_string());
+    }
+    for (i, c) in f.clauses.iter().enumerate() {
+        if c.lits.len() != 3 {
+            return Err(format!("clause {i} does not have exactly 3 literals"));
+        }
+        let mut vars: Vec<usize> = c.lits.iter().map(|l| l.var).collect();
+        vars.sort_unstable();
+        vars.dedup();
+        if vars.len() != 3 {
+            return Err(format!("clause {i} repeats a variable"));
+        }
+    }
+    if !is_connected(f) {
+        return Err("clause-variable graph is disconnected (see module docs)".to_string());
+    }
+
+    let tf = |b: bool| Value::str(if b { "T" } else { "F" });
+    let mut relations = Vec::with_capacity(m);
+    for (i, clause) in f.clauses.iter().enumerate() {
+        let vars: Vec<usize> = clause.lits.iter().map(|l| l.var).collect();
+        let mut attrs = vec![clause_attr(i)];
+        attrs.extend(vars.iter().map(|&v| var_attr(v)));
+        let schema = Schema::new(attrs).expect("distinct vars per clause");
+        let mut tuples = Vec::with_capacity(9);
+        // The seven satisfying assignments of the clause.
+        for bits in 0u8..8 {
+            let assign: Vec<bool> = (0..3).map(|k| bits & (1 << k) != 0).collect();
+            let satisfied = clause
+                .lits
+                .iter()
+                .zip(&assign)
+                .any(|(lit, &val)| val == lit.positive);
+            if satisfied {
+                let mut vals = vec![Value::str(clause_value(i))];
+                vals.extend(assign.iter().map(|&b| tf(b)));
+                tuples.push(Tuple::new(vals));
+            }
+        }
+        // The dummy row; the last relation gets the extra c'_m dummy.
+        let mut dummy = vec![Value::str(clause_value(i))];
+        dummy.extend(std::iter::repeat_n(Value::str("d"), 3));
+        tuples.push(Tuple::new(dummy));
+        if i + 1 == m {
+            let mut prime = vec![Value::str(format!("cp{m}"))];
+            prime.extend(std::iter::repeat_n(Value::str("d"), 3));
+            tuples.push(Tuple::new(prime));
+        }
+        relations.push(
+            Relation::new(clause_rel_name(i), schema, tuples).expect("consistent arity"),
+        );
+    }
+    let db = Database::from_relations(relations).expect("distinct names");
+    let query =
+        Query::join_all((0..m).map(|i| Query::scan(clause_rel_name(i))))
+            .project((0..m).map(clause_attr));
+    let target: Tuple = (0..m).map(|i| Value::str(clause_value(i))).collect();
+    let target_location = ViewLoc::new(target.clone(), clause_attr(0));
+    Ok(Thm32 {
+        formula: f.clone(),
+        instance: ReducedInstance { db, query, target },
+        target_location,
+    })
+}
+
+impl Thm32 {
+    /// The `Tid` of the `R_1` assignment row matching `assignment`
+    /// (restricted to clause 1's variables). `None` if the restriction does
+    /// not satisfy clause 1.
+    pub fn encode(&self, assignment: &[bool]) -> Option<Tid> {
+        let clause = &self.formula.clauses[0];
+        let tf = |b: bool| Value::str(if b { "T" } else { "F" });
+        let mut vals = vec![Value::str(clause_value(0))];
+        vals.extend(clause.lits.iter().map(|l| tf(assignment[l.var])));
+        let row = Tuple::new(vals);
+        self.instance.db.tid_of(&clause_rel_name(0), &row)
+    }
+
+    /// Whether `tid` refers to an assignment row (as opposed to a dummy).
+    pub fn is_assignment_row(&self, tid: &Tid) -> bool {
+        self.instance
+            .db
+            .tuple(tid)
+            .is_some_and(|t| t.values().iter().all(|v| v.as_str() != Some("d")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::placement::generic::{min_side_effect_placement, side_effect_free_placement};
+    use dap_provenance::propagate;
+    use dap_sat::{dpll, Clause, Lit};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// `(x1 ∨ x2 ∨ ¬x3)(x3 ∨ ¬x4 ∨ x5)` — connected via x3.
+    fn sat_formula() -> Cnf {
+        Cnf::new(
+            5,
+            vec![
+                Clause::new([Lit::pos(0), Lit::pos(1), Lit::neg(2)]),
+                Clause::new([Lit::pos(2), Lit::neg(3), Lit::pos(4)]),
+            ],
+        )
+    }
+
+    /// An unsatisfiable connected 3-CNF: all eight sign patterns over
+    /// {x1,x2,x3}.
+    fn unsat_formula() -> Cnf {
+        let lits = |a: bool, b: bool, c: bool| {
+            Clause::new([
+                Lit { var: 0, positive: a },
+                Lit { var: 1, positive: b },
+                Lit { var: 2, positive: c },
+            ])
+        };
+        let clauses = (0u8..8)
+            .map(|bits| lits(bits & 1 != 0, bits & 2 != 0, bits & 4 != 0))
+            .collect();
+        Cnf::new(3, clauses)
+    }
+
+    #[test]
+    fn construction_shape() {
+        let red = reduce(&sat_formula()).unwrap();
+        let db = &red.instance.db;
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.get("R1").unwrap().len(), 8, "7 assignments + dummy");
+        assert_eq!(db.get("R2").unwrap().len(), 9, "7 assignments + 2 dummies");
+        // Two view tuples: (c1, c2) and (c1, cp2).
+        let view = dap_relalg::eval(&red.instance.query, db).unwrap();
+        assert_eq!(view.len(), 2);
+        assert!(view.contains(&red.instance.target));
+    }
+
+    #[test]
+    fn satisfiable_gives_side_effect_free_annotation() {
+        let red = reduce(&sat_formula()).unwrap();
+        let sol = side_effect_free_placement(
+            &red.instance.query,
+            &red.instance.db,
+            &red.target_location,
+        )
+        .unwrap();
+        let sol = sol.expect("formula is satisfiable");
+        assert!(red.is_assignment_row(&sol.source.tid), "must not be the dummy");
+    }
+
+    #[test]
+    fn unsatisfiable_forces_side_effects() {
+        let red = reduce(&unsat_formula()).unwrap();
+        assert!(!dpll::is_satisfiable(&red.formula));
+        let best = min_side_effect_placement(
+            &red.instance.query,
+            &red.instance.db,
+            &red.target_location,
+        )
+        .unwrap();
+        assert!(!best.is_side_effect_free(), "UNSAT ⇒ dummy is the only candidate");
+        assert_eq!(best.cost(), 1, "the second output tuple gets annotated");
+    }
+
+    #[test]
+    fn encoding_a_model_is_side_effect_free() {
+        let red = reduce(&sat_formula()).unwrap();
+        let model = dpll::solve(&red.formula).expect("satisfiable");
+        let tid = red.encode(&model).expect("model satisfies clause 1");
+        let src = dap_provenance::SourceLoc::new(tid, clause_attr(0));
+        let reached =
+            propagate(&red.instance.query, &red.instance.db, &src).unwrap();
+        assert!(reached.contains(&red.target_location));
+        assert_eq!(reached.len(), 1, "only the target is annotated");
+    }
+
+    #[test]
+    fn round_trip_on_random_connected_formulas() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..8 {
+            // Chain-connected: clause i shares its first var with clause
+            // i-1.
+            let n = 6usize;
+            let m = 3usize;
+            let mut clauses = Vec::new();
+            let mut prev_vars = vec![0usize, 1, 2];
+            for i in 0..m {
+                let shared = prev_vars[rng.gen_range(0..3)];
+                let mut vars = vec![shared];
+                while vars.len() < 3 {
+                    let v = rng.gen_range(0..n);
+                    if !vars.contains(&v) {
+                        vars.push(v);
+                    }
+                }
+                let lits: Vec<Lit> = vars
+                    .iter()
+                    .map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) })
+                    .collect();
+                clauses.push(Clause::new(lits.clone()));
+                prev_vars = vars;
+                let _ = i;
+            }
+            let f = Cnf::new(n, clauses);
+            let red = reduce(&f).expect("connected by construction");
+            let sat = dpll::is_satisfiable(&f);
+            let free = side_effect_free_placement(
+                &red.instance.query,
+                &red.instance.db,
+                &red.target_location,
+            )
+            .unwrap();
+            assert_eq!(sat, free.is_some(), "SAT ⟺ side-effect-free, formula {f}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        // Disconnected.
+        let f = Cnf::new(
+            6,
+            vec![
+                Clause::new([Lit::pos(0), Lit::pos(1), Lit::pos(2)]),
+                Clause::new([Lit::pos(3), Lit::pos(4), Lit::pos(5)]),
+            ],
+        );
+        assert!(reduce(&f).unwrap_err().contains("disconnected"));
+        // Repeated variable.
+        let f = Cnf::new(2, vec![Clause::new([Lit::pos(0), Lit::pos(0), Lit::pos(1)])]);
+        assert!(reduce(&f).is_err());
+        // Not 3 literals.
+        let f = Cnf::new(2, vec![Clause::new([Lit::pos(0), Lit::pos(1)])]);
+        assert!(reduce(&f).is_err());
+        // Empty.
+        assert!(reduce(&Cnf::new(0, vec![])).is_err());
+    }
+
+    #[test]
+    fn corollary_3_1_witness_membership_is_exposed() {
+        // Corollary 3.1: "is t' part of a witness for t" reduces to the same
+        // structure — check the machinery answers it via provenance.
+        let red = reduce(&sat_formula()).unwrap();
+        let why = dap_provenance::why_provenance(&red.instance.query, &red.instance.db).unwrap();
+        let witnesses = why.witnesses_of(&red.instance.target).unwrap();
+        // Some witness uses only assignment rows iff satisfiable.
+        let all_real = witnesses.iter().any(|w| {
+            w.iter().all(|tid| red.is_assignment_row(tid))
+        });
+        assert!(all_real, "satisfiable formula has an all-assignment witness");
+    }
+}

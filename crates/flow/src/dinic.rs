@@ -1,0 +1,164 @@
+//! Dinic's max-flow algorithm: BFS level graph + DFS blocking flows.
+//! `O(V²E)` in general — far more than enough for the layered witness
+//! networks of Theorem 2.6, which have one node per surviving source tuple.
+
+use crate::graph::FlowNetwork;
+use std::collections::VecDeque;
+
+/// Compute the maximum `s → t` flow, mutating `g` into its residual network
+/// (which [`crate::mincut::min_cut_side`] then reads).
+pub fn max_flow(g: &mut FlowNetwork, s: usize, t: usize) -> u64 {
+    assert_ne!(s, t, "source equals sink");
+    let n = g.len();
+    let mut flow = 0u64;
+    let mut level = vec![-1i32; n];
+    let mut iter = vec![0usize; n];
+    loop {
+        // BFS: build the level graph on residual edges.
+        level.fill(-1);
+        level[s] = 0;
+        let mut q = VecDeque::from([s]);
+        while let Some(v) = q.pop_front() {
+            for e in &g.adj[v] {
+                if e.cap > 0 && level[e.to] < 0 {
+                    level[e.to] = level[v] + 1;
+                    q.push_back(e.to);
+                }
+            }
+        }
+        if level[t] < 0 {
+            return flow; // sink unreachable: done
+        }
+        // DFS blocking flow with the standard current-arc optimization.
+        iter.fill(0);
+        while let Some(f) = dfs(g, s, t, u64::MAX, &level, &mut iter) {
+            flow += f;
+        }
+    }
+}
+
+fn dfs(
+    g: &mut FlowNetwork,
+    v: usize,
+    t: usize,
+    limit: u64,
+    level: &[i32],
+    iter: &mut [usize],
+) -> Option<u64> {
+    if v == t {
+        return Some(limit);
+    }
+    while iter[v] < g.adj[v].len() {
+        let i = iter[v];
+        let (to, cap) = {
+            let e = &g.adj[v][i];
+            (e.to, e.cap)
+        };
+        if cap > 0 && level[v] < level[to] {
+            if let Some(d) = dfs(g, to, t, limit.min(cap), level, iter) {
+                let rev = g.adj[v][i].rev;
+                g.adj[v][i].cap -= d;
+                g.adj[to][rev].cap += d;
+                return Some(d);
+            }
+        }
+        iter[v] += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::INF;
+
+    #[test]
+    fn single_edge() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 7);
+        assert_eq!(max_flow(&mut g, 0, 1), 7);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        //   0 → 1 → 3
+        //   0 → 2 → 3   plus cross 1 → 2
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 3);
+        g.add_edge(0, 2, 2);
+        g.add_edge(1, 3, 2);
+        g.add_edge(2, 3, 3);
+        g.add_edge(1, 2, 1);
+        assert_eq!(max_flow(&mut g, 0, 3), 5);
+    }
+
+    #[test]
+    fn disconnected_is_zero() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 4);
+        assert_eq!(max_flow(&mut g, 0, 2), 0);
+    }
+
+    #[test]
+    fn respects_bottleneck_with_inf_edges() {
+        // s → a (INF), a → b (1), b → t (INF): flow = 1.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, INF);
+        g.add_edge(1, 2, 1);
+        g.add_edge(2, 3, INF);
+        assert_eq!(max_flow(&mut g, 0, 3), 1);
+    }
+
+    #[test]
+    fn parallel_edges_accumulate() {
+        let mut g = FlowNetwork::new(2);
+        g.add_edge(0, 1, 2);
+        g.add_edge(0, 1, 3);
+        assert_eq!(max_flow(&mut g, 0, 1), 5);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_cut_on_random_graphs() {
+        // Brute-force min cut by enumerating all s-side subsets (n ≤ 10).
+        fn brute_min_cut(edges: &[(usize, usize, u64)], n: usize, s: usize, t: usize) -> u64 {
+            let mut best = u64::MAX;
+            for bits in 0u32..(1 << n) {
+                if bits & (1 << s) == 0 || bits & (1 << t) != 0 {
+                    continue;
+                }
+                let cut: u64 = edges
+                    .iter()
+                    .filter(|(u, v, _)| bits & (1 << u) != 0 && bits & (1 << v) == 0)
+                    .map(|(_, _, c)| c)
+                    .sum();
+                best = best.min(cut);
+            }
+            best
+        }
+        let mut seed = 0xabcdefu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..30 {
+            let n = 6;
+            let m = 10;
+            let edges: Vec<(usize, usize, u64)> = (0..m)
+                .filter_map(|_| {
+                    let u = (next() % n as u64) as usize;
+                    let v = (next() % n as u64) as usize;
+                    (u != v).then(|| (u, v, next() % 9 + 1))
+                })
+                .collect();
+            let mut g = FlowNetwork::new(n);
+            for &(u, v, c) in &edges {
+                g.add_edge(u, v, c);
+            }
+            let flow = max_flow(&mut g, 0, n - 1);
+            let cut = brute_min_cut(&edges, n, 0, n - 1);
+            assert_eq!(flow, cut, "max-flow = min-cut on {edges:?}");
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Flow networks over dense integer node ids.
+
+use std::fmt;
+
+/// Edge capacities. `INF` stands in for the paper's `∞` edges in the layered
+/// witness network of Theorem 2.6 (chosen so sums never overflow).
+pub const INF: u64 = u64::MAX / 4;
+
+/// A directed edge with residual bookkeeping.
+#[derive(Clone, Debug)]
+pub struct Edge {
+    /// Target node.
+    pub to: usize,
+    /// Remaining capacity.
+    pub cap: u64,
+    /// Index of the reverse edge in `to`'s adjacency list.
+    pub rev: usize,
+    /// Whether this edge was added by the user (vs. a residual reverse).
+    pub is_forward: bool,
+}
+
+/// A directed flow network with unit-indexed nodes.
+#[derive(Clone, Default)]
+pub struct FlowNetwork {
+    /// Adjacency lists: `adj[v]` holds the edges out of `v` (plus residual
+    /// reverse edges).
+    pub adj: Vec<Vec<Edge>>,
+}
+
+impl FlowNetwork {
+    /// An empty network with `n` nodes.
+    pub fn new(n: usize) -> FlowNetwork {
+        FlowNetwork { adj: vec![Vec::new(); n] }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Whether the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Add a node, returning its id.
+    pub fn add_node(&mut self) -> usize {
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
+    /// Add a directed edge `from → to` with capacity `cap`. Returns
+    /// `(from, index)` so callers can look the edge up after max-flow.
+    pub fn add_edge(&mut self, from: usize, to: usize, cap: u64) -> (usize, usize) {
+        assert!(from < self.len() && to < self.len(), "node out of range");
+        assert_ne!(from, to, "self-loops carry no flow");
+        let fwd_idx = self.adj[from].len();
+        let rev_idx = self.adj[to].len();
+        self.adj[from].push(Edge { to, cap, rev: rev_idx, is_forward: true });
+        self.adj[to].push(Edge { to: from, cap: 0, rev: fwd_idx, is_forward: false });
+        (from, fwd_idx)
+    }
+
+    /// Current residual capacity of the edge at `(node, index)`.
+    pub fn residual(&self, handle: (usize, usize)) -> u64 {
+        self.adj[handle.0][handle.1].cap
+    }
+}
+
+impl fmt::Debug for FlowNetwork {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let edges: usize =
+            self.adj.iter().flatten().filter(|e| e.is_forward).count();
+        write!(f, "FlowNetwork({} nodes, {} edges)", self.len(), edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let mut g = FlowNetwork::new(2);
+        let c = g.add_node();
+        assert_eq!(c, 2);
+        assert_eq!(g.len(), 3);
+        let h = g.add_edge(0, 1, 5);
+        assert_eq!(g.residual(h), 5);
+        // Reverse edge exists with zero capacity.
+        assert_eq!(g.adj[1].len(), 1);
+        assert_eq!(g.adj[1][0].cap, 0);
+        assert!(!g.adj[1][0].is_forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn rejects_self_loop() {
+        let mut g = FlowNetwork::new(1);
+        g.add_edge(0, 0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        let mut g = FlowNetwork::new(1);
+        g.add_edge(0, 5, 1);
+    }
+}

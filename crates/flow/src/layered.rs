@@ -1,0 +1,174 @@
+//! Node-capacitated layered networks — the exact construction of
+//! Theorem 2.6.
+//!
+//! The theorem builds a layered graph whose `i`-th layer holds the surviving
+//! tuples of relation `R_i`, connects agreeing tuples in consecutive layers
+//! with `∞` edges, splits every node `v` into `v_in -1→ v_out`, and reads a
+//! minimum source deletion off a minimum `s–t` cut. This module provides the
+//! node-split machinery generically; `dap-core::deletion::chain` instantiates
+//! it with tuples.
+
+use crate::graph::{FlowNetwork, INF};
+use crate::mincut::{cut_edges, min_cut};
+use std::collections::BTreeSet;
+
+/// A graph where *nodes* (not edges) have unit capacity. Internally each
+/// node `v` becomes `v_in → v_out` with capacity 1 and all user edges are
+/// `∞`.
+#[derive(Clone, Debug)]
+pub struct UnitNodeGraph {
+    net: FlowNetwork,
+    /// Number of user-visible nodes.
+    n: usize,
+    /// The synthetic source and sink (not split).
+    s: usize,
+    t: usize,
+}
+
+impl UnitNodeGraph {
+    /// Create with `n` unit-capacity nodes plus a source and sink.
+    pub fn new(n: usize) -> UnitNodeGraph {
+        // Layout: node v → v_in = 2v, v_out = 2v+1; s = 2n, t = 2n+1.
+        let mut net = FlowNetwork::new(2 * n + 2);
+        for v in 0..n {
+            net.add_edge(2 * v, 2 * v + 1, 1);
+        }
+        UnitNodeGraph { net, n, s: 2 * n, t: 2 * n + 1 }
+    }
+
+    /// Number of user-visible nodes.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the graph has no user nodes.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Connect user node `u` to user node `v` (capacity ∞).
+    pub fn add_edge(&mut self, u: usize, v: usize) {
+        assert!(u < self.n && v < self.n && u != v);
+        self.net.add_edge(2 * u + 1, 2 * v, INF);
+    }
+
+    /// Connect the source to user node `v`.
+    pub fn connect_source(&mut self, v: usize) {
+        assert!(v < self.n);
+        self.net.add_edge(self.s, 2 * v, INF);
+    }
+
+    /// Connect user node `v` to the sink.
+    pub fn connect_sink(&mut self, v: usize) {
+        assert!(v < self.n);
+        self.net.add_edge(2 * v + 1, self.t, INF);
+    }
+
+    /// Compute the minimum set of user nodes whose removal disconnects
+    /// source from sink, with the cut value. Since only the `v_in → v_out`
+    /// edges have finite capacity, every crossing edge of a finite min cut
+    /// is a split edge, i.e. a node.
+    pub fn min_node_cut(mut self) -> (u64, BTreeSet<usize>) {
+        let (flow, side) = min_cut(&mut self.net, self.s, self.t);
+        let nodes = cut_edges(&self.net, &side)
+            .into_iter()
+            .filter_map(|(u, v)| {
+                // A split edge is (2v, 2v+1).
+                (u % 2 == 0 && v == u + 1).then_some(u / 2)
+            })
+            .collect();
+        (flow, nodes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_path_cuts_one_node() {
+        // s → 0 → 1 → 2 → t : min node cut = 1.
+        let mut g = UnitNodeGraph::new(3);
+        g.connect_source(0);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.connect_sink(2);
+        let (value, nodes) = g.min_node_cut();
+        assert_eq!(value, 1);
+        assert_eq!(nodes.len(), 1);
+    }
+
+    #[test]
+    fn two_disjoint_paths_cut_two_nodes() {
+        // s → {0,1} → {2,3} → t with 0→2, 1→3 only.
+        let mut g = UnitNodeGraph::new(4);
+        g.connect_source(0);
+        g.connect_source(1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 3);
+        g.connect_sink(2);
+        g.connect_sink(3);
+        let (value, nodes) = g.min_node_cut();
+        assert_eq!(value, 2);
+        assert_eq!(nodes.len(), 2);
+    }
+
+    #[test]
+    fn shared_middle_node_cuts_once() {
+        // Two paths that both pass through node 2: cutting node 2 suffices.
+        let mut g = UnitNodeGraph::new(5);
+        g.connect_source(0);
+        g.connect_source(1);
+        g.add_edge(0, 2);
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_edge(2, 4);
+        g.connect_sink(3);
+        g.connect_sink(4);
+        let (value, nodes) = g.min_node_cut();
+        assert_eq!(value, 1);
+        assert_eq!(nodes, BTreeSet::from([2]));
+    }
+
+    #[test]
+    fn disconnected_needs_no_cut() {
+        let mut g = UnitNodeGraph::new(2);
+        g.connect_source(0);
+        g.connect_sink(1);
+        // No 0 → 1 edge.
+        let (value, nodes) = g.min_node_cut();
+        assert_eq!(value, 0);
+        assert!(nodes.is_empty());
+    }
+
+    #[test]
+    fn cut_is_valid_separator() {
+        // 3×3 grid-ish layered graph; verify removing the cut nodes kills
+        // all s-t paths (checked by recomputing flow on a rebuilt graph).
+        let build = |removed: &BTreeSet<usize>| {
+            let mut g = UnitNodeGraph::new(6);
+            for v in 0..3 {
+                if !removed.contains(&v) {
+                    g.connect_source(v);
+                }
+            }
+            for u in 0..3 {
+                for v in 3..6 {
+                    if !removed.contains(&u) && !removed.contains(&v) && (u + v) % 2 == 0 {
+                        g.add_edge(u, v);
+                    }
+                }
+            }
+            for v in 3..6 {
+                if !removed.contains(&v) {
+                    g.connect_sink(v);
+                }
+            }
+            g
+        };
+        let (value, nodes) = build(&BTreeSet::new()).min_node_cut();
+        assert!(value > 0);
+        let (after, _) = build(&nodes).min_node_cut();
+        assert_eq!(after, 0, "removing the cut nodes disconnects s from t");
+    }
+}

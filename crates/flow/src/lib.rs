@@ -1,0 +1,31 @@
+//! # dap-flow — max-flow / min-cut
+//!
+//! Flow substrate for the chain-join special case of the source deletion
+//! problem (Theorem 2.6): a layered, node-capacitated witness network whose
+//! minimum `s–t` node cut is exactly the minimum source deletion.
+//!
+//! ```
+//! use dap_flow::UnitNodeGraph;
+//!
+//! // s → 0 → 1 → t : deleting either node kills the only path.
+//! let mut g = UnitNodeGraph::new(2);
+//! g.connect_source(0);
+//! g.add_edge(0, 1);
+//! g.connect_sink(1);
+//! let (value, nodes) = g.min_node_cut();
+//! assert_eq!(value, 1);
+//! assert_eq!(nodes.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dinic;
+pub mod graph;
+pub mod layered;
+pub mod mincut;
+
+pub use dinic::max_flow;
+pub use graph::{Edge, FlowNetwork, INF};
+pub use layered::UnitNodeGraph;
+pub use mincut::{cut_edges, min_cut, min_cut_side};

@@ -1,0 +1,136 @@
+//! Property tests: max-flow equals brute-force min-cut, and node cuts
+//! really disconnect.
+
+use dap_flow::{max_flow, FlowNetwork, UnitNodeGraph};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+struct RandomGraph {
+    n: usize,
+    edges: Vec<(usize, usize, u64)>,
+}
+
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = RandomGraph> {
+    (3..=max_n).prop_flat_map(move |n| {
+        let edge = (0..n, 0..n, 1..8u64)
+            .prop_filter("no self loops", |(u, v, _)| u != v);
+        proptest::collection::vec(edge, 0..max_m)
+            .prop_map(move |edges| RandomGraph { n, edges })
+    })
+}
+
+/// Min cut by enumerating all source-side subsets (n ≤ 10).
+fn brute_min_cut(g: &RandomGraph, s: usize, t: usize) -> u64 {
+    let mut best = u64::MAX;
+    for bits in 0u32..(1 << g.n) {
+        if bits & (1 << s) == 0 || bits & (1 << t) != 0 {
+            continue;
+        }
+        let cut: u64 = g
+            .edges
+            .iter()
+            .filter(|(u, v, _)| bits & (1 << u) != 0 && bits & (1 << v) == 0)
+            .map(|(_, _, c)| c)
+            .sum();
+        best = best.min(cut);
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn max_flow_equals_min_cut(g in arb_graph(7, 16)) {
+        let mut net = FlowNetwork::new(g.n);
+        for &(u, v, c) in &g.edges {
+            net.add_edge(u, v, c);
+        }
+        let flow = max_flow(&mut net, 0, g.n - 1);
+        prop_assert_eq!(flow, brute_min_cut(&g, 0, g.n - 1), "graph {:?}", g);
+    }
+
+    #[test]
+    fn flow_is_monotone_in_capacity(g in arb_graph(6, 12)) {
+        let mut net = FlowNetwork::new(g.n);
+        for &(u, v, c) in &g.edges {
+            net.add_edge(u, v, c);
+        }
+        let base = max_flow(&mut net.clone(), 0, g.n - 1);
+        // Doubling every capacity cannot reduce the flow.
+        let mut bigger = FlowNetwork::new(g.n);
+        for &(u, v, c) in &g.edges {
+            bigger.add_edge(u, v, c * 2);
+        }
+        let double = max_flow(&mut bigger, 0, g.n - 1);
+        prop_assert!(double >= base);
+        prop_assert!(double <= base * 2);
+    }
+}
+
+#[derive(Clone, Debug)]
+struct RandomLayered {
+    layers: Vec<usize>,          // nodes per layer
+    edges: Vec<(usize, usize)>,  // global node ids between consecutive layers
+}
+
+fn arb_layered() -> impl Strategy<Value = RandomLayered> {
+    (2..4usize)
+        .prop_flat_map(|depth| proptest::collection::vec(1..4usize, depth))
+        .prop_flat_map(|layers| {
+            let mut offsets = vec![0usize];
+            for &w in &layers {
+                offsets.push(offsets.last().unwrap() + w);
+            }
+            let mut candidates: Vec<(usize, usize)> = Vec::new();
+            for l in 0..layers.len() - 1 {
+                for a in 0..layers[l] {
+                    for b in 0..layers[l + 1] {
+                        candidates.push((offsets[l] + a, offsets[l + 1] + b));
+                    }
+                }
+            }
+            let count = candidates.len();
+            proptest::collection::btree_set(0..count.max(1), 0..=count)
+                .prop_map(move |picked| RandomLayered {
+                    layers: layers.clone(),
+                    edges: picked.into_iter().map(|i| candidates[i]).collect(),
+                })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn node_cut_disconnects(g in arb_layered()) {
+        let total: usize = g.layers.iter().sum();
+        let first: usize = g.layers[0];
+        let last_start = total - g.layers.last().unwrap();
+        let build = |removed: &BTreeSet<usize>| {
+            let mut net = UnitNodeGraph::new(total);
+            for v in 0..first {
+                if !removed.contains(&v) {
+                    net.connect_source(v);
+                }
+            }
+            for &(u, v) in &g.edges {
+                if !removed.contains(&u) && !removed.contains(&v) {
+                    net.add_edge(u, v);
+                }
+            }
+            for v in last_start..total {
+                if !removed.contains(&v) {
+                    net.connect_sink(v);
+                }
+            }
+            net
+        };
+        let (value, nodes) = build(&BTreeSet::new()).min_node_cut();
+        prop_assert_eq!(value as usize, nodes.len());
+        // Removing the cut disconnects source from sink.
+        let (after, _) = build(&nodes).min_node_cut();
+        prop_assert_eq!(after, 0, "cut {:?} failed to disconnect {:?}", nodes, g);
+    }
+}

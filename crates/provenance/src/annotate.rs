@@ -1,0 +1,282 @@
+//! Forward annotation propagation — the paper's Section 3 rules, implemented
+//! *forwards* (an annotation is planted on one source location and carried
+//! through the operator tree).
+//!
+//! This is deliberately an independent implementation from
+//! [`crate::where_prov`], which computes the same relation backwards; the two
+//! are cross-checked in tests and property tests. The forward direction is
+//! also what an annotation *system* (the paper's motivating scenario —
+//! biological annotation servers) would execute at query time.
+//!
+//! The rules, verbatim from the paper:
+//!
+//! * **Selection**: `(R, t', A)` propagates to `(σ_C(R), t, A)` if `t = t'`.
+//! * **Projection**: `(R, t', A)` propagates to `(Π_B(R), t, A)` if `A ∈ B`
+//!   and `t'.B = t`.
+//! * **Join**: `(R1, t1, A)` (or `(R2, t2, A)`) propagates to
+//!   `(R1 ⋈ R2, t, A)` if `t.R1 = t1` (or `t.R2 = t2`).
+//! * **Union**: `(R1, t1, A)` (or `(R2, t2, A)`) propagates to
+//!   `(R1 ∪ R2, t, A)` if `t = t1` (or `t = t2`).
+//! * **Renaming**: `(R, t, A)` propagates to `(δ_θ(R), t', θ(A))` if `t' = t`.
+
+use crate::location::{SourceLoc, ViewLoc};
+use dap_relalg::{output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// The result of propagating one source annotation forward: every view
+/// location that carries it.
+pub fn propagate(q: &Query, db: &Database, src: &SourceLoc) -> Result<BTreeSet<ViewLoc>> {
+    let catalog = db.catalog();
+    output_schema(q, &catalog)?;
+    let (schema, map) = walk(q, db, src)?;
+    let mut out = BTreeSet::new();
+    for (t, marks) in map {
+        for (idx, marked) in marks.iter().enumerate() {
+            if *marked {
+                out.insert(ViewLoc::new(t.clone(), schema.attrs()[idx].clone()));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Marks per attribute position: `true` where the annotation is present.
+type Marks = Vec<bool>;
+type AnnMap = BTreeMap<Tuple, Marks>;
+
+fn or_into(dst: &mut Marks, src: &Marks) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= *s;
+    }
+}
+
+fn walk(q: &Query, db: &Database, src: &SourceLoc) -> Result<(Schema, AnnMap)> {
+    match q {
+        Query::Scan(rel) => {
+            let r = db.require(rel)?;
+            let attrs = r.schema().attrs().to_vec();
+            let map = r
+                .tuples()
+                .iter()
+                .enumerate()
+                .map(|(row, t)| {
+                    let tid = Tid { rel: r.name().clone(), row };
+                    let marks: Marks = attrs
+                        .iter()
+                        .map(|a| tid == src.tid && *a == src.attr)
+                        .collect();
+                    (t.clone(), marks)
+                })
+                .collect();
+            Ok((r.schema().clone(), map))
+        }
+        Query::Select { input, pred } => {
+            let (schema, map) = walk(input, db, src)?;
+            let mut out = AnnMap::new();
+            for (t, marks) in map {
+                if pred.eval(&schema, &t)? {
+                    out.insert(t, marks);
+                }
+            }
+            Ok((schema, out))
+        }
+        Query::Project { input, attrs } => {
+            let (schema, map) = walk(input, db, src)?;
+            let out_schema = schema.project(attrs)?;
+            let positions = schema.positions_of(attrs)?;
+            let mut out = AnnMap::new();
+            for (t, marks) in map {
+                let key = t.project_positions(&positions);
+                let kept: Marks = positions.iter().map(|&i| marks[i]).collect();
+                out.entry(key)
+                    .and_modify(|existing| or_into(existing, &kept))
+                    .or_insert(kept);
+            }
+            Ok((out_schema, out))
+        }
+        Query::Join { left, right } => {
+            let (ls, lmap) = walk(left, db, src)?;
+            let (rs, rmap) = walk(right, db, src)?;
+            let shared: Vec<Attr> = ls.shared_with(&rs);
+            let out_schema = ls.join_with(&rs);
+            let l_keys: Vec<usize> =
+                shared.iter().map(|a| ls.index_of(a).expect("shared")).collect();
+            let r_keys: Vec<usize> =
+                shared.iter().map(|a| rs.index_of(a).expect("shared")).collect();
+            let r_extra: Vec<usize> = rs
+                .attrs()
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !ls.contains(a))
+                .map(|(i, _)| i)
+                .collect();
+            let merge_from_right: Vec<Option<usize>> =
+                ls.attrs().iter().map(|a| rs.index_of(a)).collect();
+            let mut table: HashMap<Vec<dap_relalg::Value>, Vec<(&Tuple, &Marks)>> =
+                HashMap::with_capacity(rmap.len());
+            for (t, marks) in &rmap {
+                let key = r_keys.iter().map(|&i| t.get(i).clone()).collect::<Vec<_>>();
+                table.entry(key).or_default().push((t, marks));
+            }
+            let mut out = AnnMap::new();
+            for (lt, lmarks) in &lmap {
+                let key = l_keys.iter().map(|&i| lt.get(i).clone()).collect::<Vec<_>>();
+                let Some(matches) = table.get(&key) else { continue };
+                for (rt, rmarks) in matches {
+                    let joined = lt.join_concat(rt, &r_extra);
+                    let mut marks: Marks = Vec::with_capacity(out_schema.arity());
+                    for (i, from_right) in merge_from_right.iter().enumerate() {
+                        let mut m = lmarks[i];
+                        if let Some(j) = from_right {
+                            m |= rmarks[*j];
+                        }
+                        marks.push(m);
+                    }
+                    for &j in &r_extra {
+                        marks.push(rmarks[j]);
+                    }
+                    out.entry(joined)
+                        .and_modify(|existing| or_into(existing, &marks))
+                        .or_insert(marks);
+                }
+            }
+            Ok((out_schema, out))
+        }
+        Query::Union { left, right } => {
+            let (ls, lmap) = walk(left, db, src)?;
+            let (rs, rmap) = walk(right, db, src)?;
+            let positions = rs.positions_of(ls.attrs())?;
+            let mut out = lmap;
+            for (t, marks) in rmap {
+                let aligned_tuple = t.project_positions(&positions);
+                let aligned_marks: Marks = positions.iter().map(|&i| marks[i]).collect();
+                out.entry(aligned_tuple)
+                    .and_modify(|existing| or_into(existing, &aligned_marks))
+                    .or_insert(aligned_marks);
+            }
+            Ok((ls, out))
+        }
+        Query::Rename { input, mapping } => {
+            let (schema, map) = walk(input, db, src)?;
+            Ok((schema.rename(mapping)?, map))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::where_prov::where_provenance;
+    use dap_relalg::{parse_database, parse_query, tuple};
+
+    fn fixture() -> (Query, Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q =
+            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    fn src(db: &Database, rel: &str, t: &Tuple, attr: &str) -> SourceLoc {
+        SourceLoc::new(db.tid_of(rel, t).unwrap(), attr)
+    }
+
+    #[test]
+    fn annotation_on_user_reaches_both_files() {
+        let (q, db) = fixture();
+        let s = src(&db, "UserGroup", &tuple(["bob", "dev"]), "user");
+        let reached = propagate(&q, &db, &s).unwrap();
+        // (bob,dev).user flows to bob's rows derived via dev: both main and
+        // report.
+        assert_eq!(reached.len(), 2);
+        assert!(reached.contains(&ViewLoc::new(tuple(["bob", "main"]), "user")));
+        assert!(reached.contains(&ViewLoc::new(tuple(["bob", "report"]), "user")));
+    }
+
+    #[test]
+    fn annotation_on_projected_away_attr_disappears() {
+        let (q, db) = fixture();
+        let s = src(&db, "UserGroup", &tuple(["bob", "dev"]), "grp");
+        assert!(propagate(&q, &db, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn annotation_on_nonexistent_location_reaches_nothing() {
+        let (q, db) = fixture();
+        let s = SourceLoc::new(Tid::new("UserGroup", 99), "user");
+        assert!(propagate(&q, &db, &s).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_propagation_agrees_with_inverted_where_provenance() {
+        // The structural consistency check: forward rules = backward rules.
+        let (q, db) = fixture();
+        let wp = where_provenance(&q, &db).unwrap();
+        for tid in db.all_tids() {
+            let r = db.get(tid.rel.as_str()).unwrap();
+            for a in r.schema().attrs() {
+                let s = SourceLoc::new(tid.clone(), a.clone());
+                assert_eq!(
+                    propagate(&q, &db, &s).unwrap(),
+                    wp.reached_from(&s),
+                    "disagreement for source location {s}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rename_moves_annotation_to_new_attribute_name() {
+        let db = parse_database("relation R(A) { (v) }").unwrap();
+        let q = parse_query("rename(scan R, {A -> X})").unwrap();
+        let s = SourceLoc::new(db.tid_of("R", &tuple(["v"])).unwrap(), "A");
+        let reached = propagate(&q, &db, &s).unwrap();
+        assert_eq!(reached.len(), 1);
+        assert!(reached.contains(&ViewLoc::new(tuple(["v"]), "X")));
+    }
+
+    #[test]
+    fn union_spreads_annotation_to_merged_tuple() {
+        let db = parse_database(
+            "relation R(A) { (v) }
+             relation S(A) { (v) }",
+        )
+        .unwrap();
+        let q = parse_query("union(scan R, scan S)").unwrap();
+        let s = SourceLoc::new(db.tid_of("S", &tuple(["v"])).unwrap(), "A");
+        let reached = propagate(&q, &db, &s).unwrap();
+        assert_eq!(reached.len(), 1, "the merged (v) carries the S annotation");
+    }
+
+    #[test]
+    fn join_shared_attribute_from_either_side() {
+        let (_, db) = fixture();
+        let q = parse_query("join(scan UserGroup, scan GroupFile)").unwrap();
+        let t = tuple(["ann", "staff", "report"]);
+        let from_left = src(&db, "UserGroup", &tuple(["ann", "staff"]), "grp");
+        let from_right = src(&db, "GroupFile", &tuple(["staff", "report"]), "grp");
+        let reached_l = propagate(&q, &db, &from_left).unwrap();
+        let reached_r = propagate(&q, &db, &from_right).unwrap();
+        let view_loc = ViewLoc::new(t, "grp");
+        assert!(reached_l.contains(&view_loc));
+        assert!(reached_r.contains(&view_loc));
+    }
+
+    #[test]
+    fn selection_with_explicit_equality_does_not_copy() {
+        let db = parse_database("relation R(A, B) { (v, v) }").unwrap();
+        let q = parse_query("select(scan R, A = B)").unwrap();
+        let s = SourceLoc::new(db.tid_of("R", &tuple(["v", "v"])).unwrap(), "A");
+        let reached = propagate(&q, &db, &s).unwrap();
+        assert_eq!(reached.len(), 1);
+        assert!(reached.contains(&ViewLoc::new(tuple(["v", "v"]), "A")));
+        assert!(!reached.contains(&ViewLoc::new(tuple(["v", "v"]), "B")));
+    }
+}

@@ -1,0 +1,131 @@
+//! Locations — the unit of annotation.
+//!
+//! The paper defines a location as a triple `(R, t, A)`: attribute `A` of
+//! tuple `t` of relation `R`. In the source database, tuples have stable
+//! identities ([`Tid`]), so a source location is a `(Tid, Attr)` pair. View
+//! tuples are identified by value (the view is an anonymous set), so a view
+//! location is a `(Tuple, Attr)` pair.
+
+use dap_relalg::{Attr, Database, Schema, Tid, Tuple};
+use std::fmt;
+
+/// A location `(R, t, A)` in the **source** database.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SourceLoc {
+    /// The tuple's identity.
+    pub tid: Tid,
+    /// The attribute within the tuple.
+    pub attr: Attr,
+}
+
+impl SourceLoc {
+    /// Build a source location.
+    pub fn new(tid: Tid, attr: impl Into<Attr>) -> SourceLoc {
+        SourceLoc { tid, attr: attr.into() }
+    }
+
+    /// Whether this location exists in `db` (the tuple exists and its
+    /// relation's schema has the attribute).
+    pub fn exists_in(&self, db: &Database) -> bool {
+        db.tuple(&self.tid).is_some()
+            && db
+                .get(self.tid.rel.as_str())
+                .is_some_and(|r| r.schema().contains(&self.attr))
+    }
+
+    /// The value stored at this location, if it exists.
+    pub fn value_in<'a>(&self, db: &'a Database) -> Option<&'a dap_relalg::Value> {
+        let rel = db.get(self.tid.rel.as_str())?;
+        let idx = rel.schema().index_of(&self.attr)?;
+        rel.tuple_at(self.tid.row).map(|t| t.get(idx))
+    }
+}
+
+impl fmt::Display for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.tid, self.attr)
+    }
+}
+
+impl fmt::Debug for SourceLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SourceLoc{self}")
+    }
+}
+
+/// A location `(Q(S), t, A)` in the **view**: an output tuple (identified by
+/// value) and one of its attributes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ViewLoc {
+    /// The view tuple.
+    pub tuple: Tuple,
+    /// The annotated attribute.
+    pub attr: Attr,
+}
+
+impl ViewLoc {
+    /// Build a view location.
+    pub fn new(tuple: Tuple, attr: impl Into<Attr>) -> ViewLoc {
+        ViewLoc { tuple, attr: attr.into() }
+    }
+
+    /// The value at this location, given the view's schema.
+    pub fn value_under<'a>(&'a self, schema: &Schema) -> Option<&'a dap_relalg::Value> {
+        self.tuple.value_of(schema, &self.attr)
+    }
+}
+
+impl fmt::Display for ViewLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.tuple, self.attr)
+    }
+}
+
+impl fmt::Debug for ViewLoc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ViewLoc{self}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{parse_database, tuple, Value};
+
+    fn db() -> Database {
+        parse_database("relation R(A, B) { (a, x1), (a, x2) }").unwrap()
+    }
+
+    #[test]
+    fn source_loc_existence_and_value() {
+        let db = db();
+        let tid = db.tid_of("R", &tuple(["a", "x2"])).unwrap();
+        let loc = SourceLoc::new(tid.clone(), "B");
+        assert!(loc.exists_in(&db));
+        assert_eq!(loc.value_in(&db), Some(&Value::str("x2")));
+
+        let missing_attr = SourceLoc::new(tid, "Z");
+        assert!(!missing_attr.exists_in(&db));
+        assert_eq!(missing_attr.value_in(&db), None);
+
+        let missing_tuple = SourceLoc::new(Tid::new("R", 99), "A");
+        assert!(!missing_tuple.exists_in(&db));
+    }
+
+    #[test]
+    fn view_loc_value() {
+        let schema = dap_relalg::schema(["A", "C"]);
+        let loc = ViewLoc::new(tuple(["a", "c"]), "C");
+        assert_eq!(loc.value_under(&schema), Some(&Value::str("c")));
+        assert_eq!(ViewLoc::new(tuple(["a", "c"]), "Z").value_under(&schema), None);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let l1 = SourceLoc::new(Tid::new("R", 0), "A");
+        let l2 = SourceLoc::new(Tid::new("R", 1), "A");
+        assert!(l1 < l2);
+        assert_eq!(l1.to_string(), "(R#0, A)");
+        assert_eq!(ViewLoc::new(tuple(["a"]), "A").to_string(), "((a), A)");
+    }
+}

@@ -1,0 +1,279 @@
+//! An annotation store — the systems side of the paper's motivation.
+//!
+//! §1: annotators "may not have update privileges to the database so that
+//! annotations have to be stored in a separate database", and "a query
+//! cannot *see* the annotation, it can only transmit it". This module is
+//! that separate database: free-text annotations keyed by source location,
+//! plus the machinery to materialize an **annotated view** — every view
+//! location paired with the annotations the forward rules deliver to it —
+//! and to place new view-level annotations optimally via the placement
+//! solvers (which callers invoke; the store only records the outcome).
+
+use crate::location::{SourceLoc, ViewLoc};
+use crate::where_prov::where_provenance;
+use dap_relalg::{Database, Query, Result, Schema, Tuple};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A database plus out-of-band annotations on its locations.
+#[derive(Clone, Debug, Default)]
+pub struct AnnotationStore {
+    notes: BTreeMap<SourceLoc, Vec<String>>,
+}
+
+impl AnnotationStore {
+    /// An empty store.
+    pub fn new() -> AnnotationStore {
+        AnnotationStore::default()
+    }
+
+    /// Attach a note to a source location. Returns `false` (and stores
+    /// nothing) if the location does not exist in `db`.
+    pub fn annotate(&mut self, db: &Database, loc: SourceLoc, note: impl Into<String>) -> bool {
+        if !loc.exists_in(db) {
+            return false;
+        }
+        self.notes.entry(loc).or_default().push(note.into());
+        true
+    }
+
+    /// The notes attached to a location.
+    pub fn notes_at(&self, loc: &SourceLoc) -> &[String] {
+        self.notes.get(loc).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Total number of notes.
+    pub fn len(&self) -> usize {
+        self.notes.values().map(Vec::len).sum()
+    }
+
+    /// Whether the store holds no notes.
+    pub fn is_empty(&self) -> bool {
+        self.notes.is_empty()
+    }
+
+    /// All annotated locations.
+    pub fn locations(&self) -> impl Iterator<Item = &SourceLoc> {
+        self.notes.keys()
+    }
+
+    /// Materialize the annotated view of `q`: every output tuple with, per
+    /// attribute, the notes that propagate there under the Section 3 rules.
+    pub fn annotated_view(&self, q: &Query, db: &Database) -> Result<AnnotatedView> {
+        let wp = where_provenance(q, db)?;
+        let mut rows = Vec::new();
+        for (t, sets) in wp.iter() {
+            let mut per_attr: Vec<Vec<&str>> = Vec::with_capacity(sets.len());
+            for locs in sets {
+                let mut notes: Vec<&str> = Vec::new();
+                for loc in locs {
+                    for n in self.notes_at(loc) {
+                        notes.push(n.as_str());
+                    }
+                }
+                notes.sort_unstable();
+                notes.dedup();
+                per_attr.push(notes);
+            }
+            rows.push((t.clone(), per_attr));
+        }
+        Ok(AnnotatedView {
+            schema: wp.schema.clone(),
+            rows: rows
+                .into_iter()
+                .map(|(t, per_attr)| AnnotatedRow {
+                    tuple: t,
+                    notes: per_attr
+                        .into_iter()
+                        .map(|ns| ns.into_iter().map(String::from).collect())
+                        .collect(),
+                })
+                .collect(),
+        })
+    }
+
+    /// The view locations that currently carry at least one note under `q`.
+    pub fn annotated_view_locations(
+        &self,
+        q: &Query,
+        db: &Database,
+    ) -> Result<BTreeSet<ViewLoc>> {
+        let view = self.annotated_view(q, db)?;
+        let mut out = BTreeSet::new();
+        for row in &view.rows {
+            for (idx, notes) in row.notes.iter().enumerate() {
+                if !notes.is_empty() {
+                    out.insert(ViewLoc::new(
+                        row.tuple.clone(),
+                        view.schema.attrs()[idx].clone(),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// One row of an annotated view: the tuple plus per-attribute note lists.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnnotatedRow {
+    /// The output tuple.
+    pub tuple: Tuple,
+    /// Notes per schema position (deduplicated, sorted).
+    pub notes: Vec<Vec<String>>,
+}
+
+/// A materialized view with annotations attached to its locations.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct AnnotatedView {
+    /// The view schema.
+    pub schema: Schema,
+    /// The annotated rows, in sorted tuple order.
+    pub rows: Vec<AnnotatedRow>,
+}
+
+impl AnnotatedView {
+    /// The notes visible at `(t, attr)`.
+    pub fn notes_at(&self, t: &Tuple, attr: &dap_relalg::Attr) -> Option<&[String]> {
+        let idx = self.schema.index_of(attr)?;
+        self.rows
+            .iter()
+            .find(|r| &r.tuple == t)
+            .map(|r| r.notes[idx].as_slice())
+    }
+}
+
+impl fmt::Display for AnnotatedView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for row in &self.rows {
+            write!(f, "{}", row.tuple)?;
+            let mut any = false;
+            for (idx, notes) in row.notes.iter().enumerate() {
+                for n in notes {
+                    if !any {
+                        write!(f, "   [")?;
+                        any = true;
+                    } else {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{}: {n}", self.schema.attrs()[idx])?;
+                }
+            }
+            if any {
+                write!(f, "]")?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{parse_database, parse_query, tuple, Tid};
+
+    fn fixture() -> (Query, Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q =
+            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    #[test]
+    fn annotate_and_read_back() {
+        let (_, db) = fixture();
+        let mut store = AnnotationStore::new();
+        let loc = SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(), "user");
+        assert!(store.annotate(&db, loc.clone(), "spelling?"));
+        assert!(store.annotate(&db, loc.clone(), "verified 2026-06"));
+        assert_eq!(store.notes_at(&loc), ["spelling?", "verified 2026-06"]);
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn rejects_nonexistent_locations() {
+        let (_, db) = fixture();
+        let mut store = AnnotationStore::new();
+        assert!(!store.annotate(&db, SourceLoc::new(Tid::new("UserGroup", 99), "user"), "x"));
+        assert!(!store.annotate(&db, SourceLoc::new(Tid::new("UserGroup", 0), "nope"), "x"));
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn annotated_view_carries_notes_forward() {
+        let (q, db) = fixture();
+        let mut store = AnnotationStore::new();
+        let loc = SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(), "user");
+        store.annotate(&db, loc, "check identity");
+        let view = store.annotated_view(&q, &db).unwrap();
+        // (bob, main).user and (bob, report).user both receive the note.
+        assert_eq!(
+            view.notes_at(&tuple(["bob", "main"]), &"user".into()).unwrap(),
+            ["check identity"]
+        );
+        assert_eq!(
+            view.notes_at(&tuple(["bob", "report"]), &"user".into()).unwrap(),
+            ["check identity"]
+        );
+        // ann's rows stay clean.
+        assert!(view
+            .notes_at(&tuple(["ann", "report"]), &"user".into())
+            .unwrap()
+            .is_empty());
+        // The file attribute is untouched.
+        assert!(view
+            .notes_at(&tuple(["bob", "main"]), &"file".into())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn annotation_on_projected_away_attr_is_invisible() {
+        let (q, db) = fixture();
+        let mut store = AnnotationStore::new();
+        let loc = SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(), "grp");
+        store.annotate(&db, loc, "ghost note");
+        let locations = store.annotated_view_locations(&q, &db).unwrap();
+        assert!(locations.is_empty(), "grp is projected away");
+    }
+
+    #[test]
+    fn duplicate_notes_collapse_per_location() {
+        let (q, db) = fixture();
+        let mut store = AnnotationStore::new();
+        // The same note text from two sources that merge at one view
+        // location: (bob, report).user receives it through staff AND dev.
+        for grp in ["staff", "dev"] {
+            let loc =
+                SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", grp])).unwrap(), "user");
+            store.annotate(&db, loc, "dup");
+        }
+        let view = store.annotated_view(&q, &db).unwrap();
+        assert_eq!(
+            view.notes_at(&tuple(["bob", "report"]), &"user".into()).unwrap(),
+            ["dup"],
+            "same text deduplicates at the merged location"
+        );
+    }
+
+    #[test]
+    fn display_lists_annotated_cells() {
+        let (q, db) = fixture();
+        let mut store = AnnotationStore::new();
+        let loc = SourceLoc::new(db.tid_of("GroupFile", &tuple(["dev", "main"])).unwrap(), "file");
+        store.annotate(&db, loc, "stale?");
+        let view = store.annotated_view(&q, &db).unwrap();
+        let text = view.to_string();
+        assert!(text.contains("(bob, main)   [file: stale?]"), "got:\n{text}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Witnesses — the paper's footnote 4: "A witness for a tuple `t` in a view
+//! is a minimal subset `S'` of source data `S` such that `t ∈ Q(S')`".
+//!
+//! For a monotone query, `t ∈ Q(S \ T)` iff some minimal witness of `t`
+//! survives `T` intact. Deletion propagation is therefore hitting-set
+//! structure over minimal witnesses, which is why this module is the
+//! foundation of the deletion solvers in `dap-core`.
+
+use dap_relalg::{eval, Database, Query, Result, Tid, Tuple};
+use std::collections::BTreeSet;
+
+/// A set of source tuples sufficient to produce some output tuple.
+pub type Witness = BTreeSet<Tid>;
+
+/// Remove duplicates and non-minimal (superset) witnesses. The result is
+/// sorted and contains only inclusion-minimal sets.
+pub fn minimize(mut witnesses: Vec<Witness>) -> Vec<Witness> {
+    // Sort by size so any superset appears after one of its subsets.
+    witnesses.sort_by(|a, b| a.len().cmp(&b.len()).then_with(|| a.cmp(b)));
+    witnesses.dedup();
+    let mut minimal: Vec<Witness> = Vec::with_capacity(witnesses.len());
+    'outer: for w in witnesses {
+        for kept in &minimal {
+            if kept.is_subset(&w) {
+                continue 'outer;
+            }
+        }
+        minimal.push(w);
+    }
+    minimal.sort();
+    minimal
+}
+
+/// Whether `candidate` is a *sufficient* set for `t`: `t ∈ Q(candidate)`.
+/// (A witness in the paper's sense is additionally minimal; see
+/// [`is_minimal_witness`].)
+pub fn is_sufficient(q: &Query, db: &Database, candidate: &BTreeSet<Tid>, t: &Tuple) -> Result<bool> {
+    let restricted = db.restrict(candidate);
+    Ok(eval(q, &restricted)?.contains(t))
+}
+
+/// Whether `candidate` is a minimal witness for `t`: sufficient, and no
+/// proper subset is sufficient (checked by dropping one element at a time —
+/// correct for monotone queries).
+pub fn is_minimal_witness(
+    q: &Query,
+    db: &Database,
+    candidate: &BTreeSet<Tid>,
+    t: &Tuple,
+) -> Result<bool> {
+    if !is_sufficient(q, db, candidate, t)? {
+        return Ok(false);
+    }
+    for drop in candidate {
+        let mut smaller = candidate.clone();
+        smaller.remove(drop);
+        if is_sufficient(q, db, &smaller, t)? {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Union of all tuples appearing in any of the `witnesses` — the candidate
+/// pool for deletions targeting the witnessed tuple.
+pub fn support(witnesses: &[Witness]) -> BTreeSet<Tid> {
+    witnesses.iter().flatten().cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{parse_database, parse_query};
+
+    fn fixture() -> (Query, Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q =
+            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    #[test]
+    fn minimize_removes_supersets_and_dupes() {
+        let w = |tids: &[(&str, usize)]| -> Witness {
+            tids.iter().map(|(r, i)| Tid::new(*r, *i)).collect()
+        };
+        let a = w(&[("R", 0)]);
+        let ab = w(&[("R", 0), ("R", 1)]);
+        let c = w(&[("R", 2)]);
+        let out = minimize(vec![ab.clone(), a.clone(), c.clone(), a.clone()]);
+        assert_eq!(out, vec![a, c]);
+    }
+
+    #[test]
+    fn minimize_keeps_incomparable_sets() {
+        let w = |tids: &[usize]| -> Witness { tids.iter().map(|i| Tid::new("R", *i)).collect() };
+        let out = minimize(vec![w(&[0, 1]), w(&[1, 2]), w(&[0, 2])]);
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn sufficiency_and_minimality() {
+        let (q, db) = fixture();
+        let t = dap_relalg::tuple(["bob", "report"]);
+        let ug_bob_staff = db.tid_of("UserGroup", &dap_relalg::tuple(["bob", "staff"])).unwrap();
+        let gf_staff = db.tid_of("GroupFile", &dap_relalg::tuple(["staff", "report"])).unwrap();
+        let ug_bob_dev = db.tid_of("UserGroup", &dap_relalg::tuple(["bob", "dev"])).unwrap();
+
+        let w: Witness = [ug_bob_staff.clone(), gf_staff.clone()].into_iter().collect();
+        assert!(is_sufficient(&q, &db, &w, &t).unwrap());
+        assert!(is_minimal_witness(&q, &db, &w, &t).unwrap());
+
+        // A proper superset is sufficient but not minimal.
+        let bigger: Witness =
+            [ug_bob_staff.clone(), gf_staff.clone(), ug_bob_dev].into_iter().collect();
+        assert!(is_sufficient(&q, &db, &bigger, &t).unwrap());
+        assert!(!is_minimal_witness(&q, &db, &bigger, &t).unwrap());
+
+        // Half a witness is not sufficient.
+        let half: Witness = [ug_bob_staff].into_iter().collect();
+        assert!(!is_sufficient(&q, &db, &half, &t).unwrap());
+        assert!(!is_minimal_witness(&q, &db, &half, &t).unwrap());
+    }
+
+    #[test]
+    fn support_unions_everything() {
+        let w = |tids: &[usize]| -> Witness { tids.iter().map(|i| Tid::new("R", *i)).collect() };
+        let s = support(&[w(&[0, 1]), w(&[1, 2])]);
+        assert_eq!(s.len(), 3);
+    }
+}

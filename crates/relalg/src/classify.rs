@@ -1,0 +1,358 @@
+//! Query classification: operator footprints, SPJU subclasses, and
+//! chain-join detection (the poly-time special case of Theorem 2.6).
+//!
+//! The paper's dichotomy theorems are stated per *subclass* of SPJU queries —
+//! which operators a query uses determines which complexity row it falls in.
+//! This module computes that footprint; the complexity tables themselves live
+//! in `dap-core::dichotomy`, next to the solvers they dispatch.
+
+use crate::database::Catalog;
+use crate::name::{Attr, RelName};
+use crate::query::Query;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Which of the five monotone operators a query uses.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpFootprint {
+    /// Uses selection (σ).
+    pub select: bool,
+    /// Uses projection (Π).
+    pub project: bool,
+    /// Uses natural join (⋈).
+    pub join: bool,
+    /// Uses union (∪).
+    pub union_: bool,
+    /// Uses renaming (δ).
+    pub rename: bool,
+}
+
+impl OpFootprint {
+    /// Compute the footprint of a query.
+    pub fn of(q: &Query) -> OpFootprint {
+        let mut fp = OpFootprint::default();
+        fn walk(q: &Query, fp: &mut OpFootprint) {
+            match q {
+                Query::Scan(_) => {}
+                Query::Select { input, .. } => {
+                    fp.select = true;
+                    walk(input, fp);
+                }
+                Query::Project { input, .. } => {
+                    fp.project = true;
+                    walk(input, fp);
+                }
+                Query::Join { left, right } => {
+                    fp.join = true;
+                    walk(left, fp);
+                    walk(right, fp);
+                }
+                Query::Union { left, right } => {
+                    fp.union_ = true;
+                    walk(left, fp);
+                    walk(right, fp);
+                }
+                Query::Rename { input, .. } => {
+                    fp.rename = true;
+                    walk(input, fp);
+                }
+            }
+        }
+        walk(q, &mut fp);
+        fp
+    }
+
+    /// Uses both projection and join — the paper's "queries involving PJ".
+    pub fn has_pj(&self) -> bool {
+        self.project && self.join
+    }
+
+    /// Uses both join and union — the paper's "queries involving JU".
+    pub fn has_ju(&self) -> bool {
+        self.join && self.union_
+    }
+
+    /// Falls inside SPU (no join). Renaming is allowed; it never affects the
+    /// paper's classification of the poly-time cases.
+    pub fn is_spu(&self) -> bool {
+        !self.join
+    }
+
+    /// Falls inside SJ (no project, no union).
+    pub fn is_sj(&self) -> bool {
+        !self.project && !self.union_
+    }
+
+    /// Falls inside SJU (no project).
+    pub fn is_sju(&self) -> bool {
+        !self.project
+    }
+
+    /// The conventional letter string, e.g. `"SPJ"` or `"JU"`.
+    pub fn letters(&self) -> String {
+        let mut s = String::new();
+        if self.select {
+            s.push('S');
+        }
+        if self.project {
+            s.push('P');
+        }
+        if self.join {
+            s.push('J');
+        }
+        if self.rename {
+            s.push('R');
+        }
+        if self.union_ {
+            s.push('U');
+        }
+        if s.is_empty() {
+            s.push('-'); // bare scan
+        }
+        s
+    }
+}
+
+impl fmt::Display for OpFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.letters())
+    }
+}
+
+impl fmt::Debug for OpFootprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "OpFootprint({self})")
+    }
+}
+
+/// A detected chain join (Theorem 2.6): a PJ query in normal form whose
+/// joined relations can be ordered `R1, …, Rk` such that only consecutive
+/// relations share attributes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ChainJoin {
+    /// The relations in chain order.
+    pub order: Vec<RelName>,
+    /// The outer projection attributes (`None` when the query has no
+    /// projection — a pure J chain).
+    pub project: Option<Vec<Attr>>,
+}
+
+/// Try to recognize `q` as a chain join: an optional outer `Project` over a
+/// join tree of *distinct* base-relation scans, whose shared-attribute graph
+/// is a simple path. Returns the chain order if so.
+///
+/// This mirrors Theorem 2.6's precondition: "PJ queries in normal form whose
+/// joins on distinct relations form a chain".
+pub fn detect_chain_join(q: &Query, catalog: &Catalog) -> Option<ChainJoin> {
+    // Peel an optional outer projection.
+    let (project, join_tree) = match q {
+        Query::Project { input, attrs } => (Some(attrs.clone()), &**input),
+        other => (None, other),
+    };
+
+    // The rest must be a join tree of plain scans.
+    fn collect_scans(q: &Query, out: &mut Vec<RelName>) -> bool {
+        match q {
+            Query::Scan(r) => {
+                out.push(r.clone());
+                true
+            }
+            Query::Join { left, right } => {
+                collect_scans(left, out) && collect_scans(right, out)
+            }
+            _ => false,
+        }
+    }
+    let mut rels = Vec::new();
+    if !collect_scans(join_tree, &mut rels) {
+        return None;
+    }
+    // Distinct relations only (self-joins are outside the theorem).
+    let distinct: BTreeSet<&RelName> = rels.iter().collect();
+    if distinct.len() != rels.len() {
+        return None;
+    }
+    if rels.len() == 1 {
+        return Some(ChainJoin { order: rels, project });
+    }
+
+    // Shared-attribute graph: vertex per relation, edge iff schemas share an
+    // attribute. A chain order exists iff the graph is a simple path (then
+    // non-consecutive relations share nothing by construction).
+    let schemas: Vec<_> = rels.iter().map(|r| catalog.get(r)).collect();
+    if schemas.iter().any(Option::is_none) {
+        return None;
+    }
+    let n = rels.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let shares = !schemas[i]
+                .expect("checked")
+                .shared_with(schemas[j].expect("checked"))
+                .is_empty();
+            if shares {
+                adj[i].push(j);
+                adj[j].push(i);
+            }
+        }
+    }
+    // Path graph: exactly two degree-1 endpoints, all others degree 2,
+    // connected (which the degree condition plus edge count implies only if
+    // we also walk it — do the walk).
+    let degrees: Vec<usize> = adj.iter().map(Vec::len).collect();
+    let endpoints: Vec<usize> =
+        (0..n).filter(|&i| degrees[i] == 1).collect();
+    if endpoints.len() != 2 || degrees.iter().any(|&d| d == 0 || d > 2) {
+        return None;
+    }
+    // Walk from one endpoint; must visit every vertex exactly once.
+    let mut order = Vec::with_capacity(n);
+    let mut prev = usize::MAX;
+    let mut cur = endpoints[0];
+    loop {
+        order.push(cur);
+        let next = adj[cur].iter().copied().find(|&v| v != prev);
+        match next {
+            Some(v) => {
+                prev = cur;
+                cur = v;
+            }
+            None => break,
+        }
+    }
+    if order.len() != n {
+        return None;
+    }
+    Some(ChainJoin { order: order.into_iter().map(|i| rels[i].clone()).collect(), project })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Pred;
+    use crate::schema::schema;
+
+    #[test]
+    fn footprint_letters() {
+        let q = Query::scan("R");
+        assert_eq!(OpFootprint::of(&q).letters(), "-");
+        let q = Query::scan("R")
+            .select(Pred::True)
+            .project(["A"])
+            .join(Query::scan("S"))
+            .union(Query::scan("T"))
+            .rename([("A", "B")]);
+        // The nested join/union/rename mark all operators.
+        assert_eq!(OpFootprint::of(&q).letters(), "SPJRU");
+    }
+
+    #[test]
+    fn subclass_predicates() {
+        let pj = OpFootprint::of(&Query::scan("R").join(Query::scan("S")).project(["A"]));
+        assert!(pj.has_pj() && !pj.has_ju() && !pj.is_spu() && !pj.is_sj());
+
+        let ju = OpFootprint::of(&Query::scan("R").join(Query::scan("S")).union(Query::scan("T")));
+        assert!(ju.has_ju() && !ju.has_pj() && ju.is_sju());
+
+        let spu = OpFootprint::of(
+            &Query::scan("R").select(Pred::True).project(["A"]).union(Query::scan("T")),
+        );
+        assert!(spu.is_spu() && !spu.has_pj());
+
+        let sj = OpFootprint::of(&Query::scan("R").select(Pred::True).join(Query::scan("S")));
+        assert!(sj.is_sj() && sj.is_sju());
+    }
+
+    fn chain_catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("R1".into(), schema(["A", "B"]));
+        c.insert("R2".into(), schema(["B", "C"]));
+        c.insert("R3".into(), schema(["C", "D"]));
+        c.insert("X".into(), schema(["A", "D"])); // would close a cycle
+        c
+    }
+
+    #[test]
+    fn detects_simple_chain() {
+        let c = chain_catalog();
+        let q = Query::scan("R1")
+            .join(Query::scan("R2"))
+            .join(Query::scan("R3"))
+            .project(["A", "D"]);
+        let chain = detect_chain_join(&q, &c).expect("chain");
+        assert_eq!(
+            chain.order,
+            vec![RelName::new("R1"), RelName::new("R2"), RelName::new("R3")]
+        );
+        assert_eq!(chain.project.as_deref(), Some(&["A".into(), "D".into()][..]));
+    }
+
+    #[test]
+    fn chain_order_independent_of_join_shape() {
+        let c = chain_catalog();
+        // Join written out of order: (R2 ⋈ R3) ⋈ R1 — still a chain.
+        let q = Query::scan("R2").join(Query::scan("R3")).join(Query::scan("R1"));
+        let chain = detect_chain_join(&q, &c).expect("chain");
+        // Either endpoint may come first.
+        let names: Vec<&str> = chain.order.iter().map(RelName::as_str).collect();
+        assert!(names == ["R1", "R2", "R3"] || names == ["R3", "R2", "R1"]);
+        assert!(chain.project.is_none());
+    }
+
+    #[test]
+    fn rejects_cycle() {
+        let c = chain_catalog();
+        let q = Query::scan("R1")
+            .join(Query::scan("R2"))
+            .join(Query::scan("R3"))
+            .join(Query::scan("X"));
+        assert!(detect_chain_join(&q, &c).is_none());
+    }
+
+    #[test]
+    fn rejects_disconnected_and_star() {
+        let mut c = Catalog::new();
+        c.insert("A1".into(), schema(["A"]));
+        c.insert("A2".into(), schema(["B"]));
+        let q = Query::scan("A1").join(Query::scan("A2"));
+        assert!(detect_chain_join(&q, &c).is_none(), "cross product is not a chain");
+
+        let mut c = Catalog::new();
+        c.insert("Hub".into(), schema(["A", "B", "C"]));
+        c.insert("S1".into(), schema(["A"]));
+        c.insert("S2".into(), schema(["B"]));
+        c.insert("S3".into(), schema(["C"]));
+        let q = Query::join_all(vec![
+            Query::scan("Hub"),
+            Query::scan("S1"),
+            Query::scan("S2"),
+            Query::scan("S3"),
+        ]);
+        assert!(detect_chain_join(&q, &c).is_none(), "star is not a chain");
+    }
+
+    #[test]
+    fn rejects_self_join_and_non_scan_inputs() {
+        let c = chain_catalog();
+        let q = Query::scan("R1").join(Query::scan("R1"));
+        assert!(detect_chain_join(&q, &c).is_none());
+        let q = Query::scan("R1").select(Pred::True).join(Query::scan("R2"));
+        assert!(detect_chain_join(&q, &c).is_none());
+    }
+
+    #[test]
+    fn single_scan_is_a_trivial_chain() {
+        let c = chain_catalog();
+        let chain = detect_chain_join(&Query::scan("R1").project(["A"]), &c).expect("chain");
+        assert_eq!(chain.order.len(), 1);
+    }
+
+    #[test]
+    fn two_relation_chain() {
+        let c = chain_catalog();
+        let q = Query::scan("R1").join(Query::scan("R2")).project(["A", "C"]);
+        let chain = detect_chain_join(&q, &c).expect("chain");
+        assert_eq!(chain.order.len(), 2);
+    }
+}

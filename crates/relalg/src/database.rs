@@ -1,0 +1,263 @@
+//! Databases: named collections of relations, plus the stable tuple identity
+//! ([`Tid`]) that the deletion and provenance machinery is built on.
+
+use crate::error::{RelalgError, Result};
+use crate::name::RelName;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A stable identifier for one source tuple: relation name plus the row index
+/// within that relation's sorted instance. Deleting a set of `Tid`s from a
+/// database is the paper's source deletion `S \ T`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tid {
+    /// The relation the tuple lives in.
+    pub rel: RelName,
+    /// Stable row index within [`Relation::tuples`].
+    pub row: usize,
+}
+
+impl Tid {
+    /// Build a tuple id.
+    pub fn new(rel: impl Into<RelName>, row: usize) -> Tid {
+        Tid { rel: rel.into(), row }
+    }
+}
+
+impl fmt::Display for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}#{}", self.rel, self.row)
+    }
+}
+
+impl fmt::Debug for Tid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tid({self})")
+    }
+}
+
+/// Schema catalog: what the type checker needs to know about a database.
+pub type Catalog = BTreeMap<RelName, Schema>;
+
+/// A database instance: a set of named relations.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Database {
+    rels: BTreeMap<RelName, Relation>,
+}
+
+impl Database {
+    /// An empty database.
+    pub fn new() -> Database {
+        Database::default()
+    }
+
+    /// Build from an iterator of relations; errors on duplicate names.
+    pub fn from_relations<I: IntoIterator<Item = Relation>>(rels: I) -> Result<Database> {
+        let mut db = Database::new();
+        for r in rels {
+            db.add(r)?;
+        }
+        Ok(db)
+    }
+
+    /// Insert a relation; errors if the name is already present.
+    pub fn add(&mut self, rel: Relation) -> Result<()> {
+        if self.rels.contains_key(rel.name()) {
+            return Err(RelalgError::DuplicateAttr { attr: rel.name().as_str().into() });
+        }
+        self.rels.insert(rel.name().clone(), rel);
+        Ok(())
+    }
+
+    /// Look up a relation by name.
+    pub fn get(&self, name: &str) -> Option<&Relation> {
+        self.rels.get(name)
+    }
+
+    /// Look up a relation, erroring like the evaluator does.
+    pub fn require(&self, name: &RelName) -> Result<&Relation> {
+        self.rels
+            .get(name)
+            .ok_or_else(|| RelalgError::UnknownRelation { rel: name.clone() })
+    }
+
+    /// All relations in name order.
+    pub fn relations(&self) -> impl Iterator<Item = &Relation> {
+        self.rels.values()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.rels.len()
+    }
+
+    /// Total number of tuples across all relations (the paper's `|S|`).
+    pub fn tuple_count(&self) -> usize {
+        self.rels.values().map(Relation::len).sum()
+    }
+
+    /// The schema catalog for type checking.
+    pub fn catalog(&self) -> Catalog {
+        self.rels
+            .iter()
+            .map(|(n, r)| (n.clone(), r.schema().clone()))
+            .collect()
+    }
+
+    /// The tuple a [`Tid`] refers to, if it exists.
+    pub fn tuple(&self, tid: &Tid) -> Option<&Tuple> {
+        self.rels.get(&tid.rel).and_then(|r| r.tuple_at(tid.row))
+    }
+
+    /// The `Tid` of `t` within relation `rel`, if present.
+    pub fn tid_of(&self, rel: &str, t: &Tuple) -> Option<Tid> {
+        let r = self.rels.get(rel)?;
+        r.row_of(t).map(|row| Tid { rel: r.name().clone(), row })
+    }
+
+    /// Iterate over every tuple id in the database.
+    pub fn all_tids(&self) -> impl Iterator<Item = Tid> + '_ {
+        self.rels.values().flat_map(|r| {
+            let name = r.name().clone();
+            (0..r.len()).map(move |row| Tid { rel: name.clone(), row })
+        })
+    }
+
+    /// The sub-instance containing exactly the tuples named by `keep`
+    /// (relations keep their schemas, so queries stay well-typed). Used to
+    /// check witness candidates: `W` is a witness for `t` iff
+    /// `t ∈ Q(restrict(S, W))`.
+    pub fn restrict(&self, keep: &BTreeSet<Tid>) -> Database {
+        let deletions: BTreeSet<Tid> =
+            self.all_tids().filter(|tid| !keep.contains(tid)).collect();
+        self.without(&deletions)
+    }
+
+    /// The paper's `S \ T`: a copy of the database with the tuples named by
+    /// `deletions` removed. Tids refer to *this* instance; the result
+    /// re-packs row indices.
+    pub fn without(&self, deletions: &BTreeSet<Tid>) -> Database {
+        let mut by_rel: BTreeMap<&RelName, BTreeSet<usize>> = BTreeMap::new();
+        for tid in deletions {
+            by_rel.entry(&tid.rel).or_default().insert(tid.row);
+        }
+        let rels = self
+            .rels
+            .iter()
+            .map(|(n, r)| {
+                let rel = match by_rel.get(n) {
+                    Some(rows) => r.without_rows(rows),
+                    None => r.clone(),
+                };
+                (n.clone(), rel)
+            })
+            .collect();
+        Database { rels }
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, r) in self.rels.values().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            f.write_str(&r.to_table_string())?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Database({} relations, {} tuples)",
+            self.relation_count(),
+            self.tuple_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+    use crate::tuple::tuple;
+
+    fn db() -> Database {
+        Database::from_relations(vec![
+            Relation::new("R1", schema(["A", "B"]), vec![tuple(["a", "x1"]), tuple(["a", "x2"])])
+                .unwrap(),
+            Relation::new("R2", schema(["B", "C"]), vec![tuple(["x1", "c"])]).unwrap(),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn lookup_and_counts() {
+        let db = db();
+        assert_eq!(db.relation_count(), 2);
+        assert_eq!(db.tuple_count(), 3);
+        assert!(db.get("R1").is_some());
+        assert!(db.get("Rx").is_none());
+        assert!(db.require(&"Rx".into()).is_err());
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut d = db();
+        let dup = Relation::empty("R1", schema(["Z"]));
+        assert!(d.add(dup).is_err());
+    }
+
+    #[test]
+    fn tids_round_trip() {
+        let db = db();
+        let tid = db.tid_of("R1", &tuple(["a", "x2"])).unwrap();
+        assert_eq!(tid.row, 1);
+        assert_eq!(db.tuple(&tid), Some(&tuple(["a", "x2"])));
+        assert_eq!(db.tid_of("R1", &tuple(["zz", "zz"])), None);
+        assert_eq!(db.tuple(&Tid::new("R1", 99)), None);
+    }
+
+    #[test]
+    fn all_tids_enumerates_everything() {
+        let db = db();
+        let tids: Vec<Tid> = db.all_tids().collect();
+        assert_eq!(tids.len(), 3);
+        assert!(tids.contains(&Tid::new("R2", 0)));
+    }
+
+    #[test]
+    fn without_removes_only_named_tuples() {
+        let db = db();
+        let t = db.tid_of("R1", &tuple(["a", "x1"])).unwrap();
+        let out = db.without(&BTreeSet::from([t]));
+        assert_eq!(out.get("R1").unwrap().len(), 1);
+        assert_eq!(out.get("R2").unwrap().len(), 1);
+        assert!(!out.get("R1").unwrap().contains(&tuple(["a", "x1"])));
+        // original untouched
+        assert_eq!(db.tuple_count(), 3);
+    }
+
+    #[test]
+    fn without_empty_set_is_identity() {
+        let db = db();
+        assert_eq!(db.without(&BTreeSet::new()), db);
+    }
+
+    #[test]
+    fn catalog_reflects_schemas() {
+        let cat = db().catalog();
+        assert_eq!(cat.get("R1"), Some(&schema(["A", "B"])));
+    }
+
+    #[test]
+    fn tid_display() {
+        assert_eq!(Tid::new("R1", 3).to_string(), "R1#3");
+    }
+}

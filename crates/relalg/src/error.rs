@@ -1,0 +1,97 @@
+//! Error type shared by the relational-algebra layer.
+
+use crate::name::{Attr, RelName};
+use crate::schema::Schema;
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, RelalgError>;
+
+/// Everything that can go wrong constructing, type-checking, parsing or
+/// evaluating a query.
+#[derive(Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are named self-descriptively
+pub enum RelalgError {
+    /// A schema or projection listed the same attribute twice.
+    DuplicateAttr { attr: Attr },
+    /// An attribute was referenced that the schema does not contain.
+    UnknownAttr { attr: Attr, schema: Schema },
+    /// A relation was referenced that the database does not contain.
+    UnknownRelation { rel: RelName },
+    /// A tuple's arity does not match its relation's schema.
+    ArityMismatch { rel: RelName, expected: usize, got: usize },
+    /// Union applied to branches with different attribute sets.
+    UnionIncompatible { left: Schema, right: Schema },
+    /// The same attribute was used twice as a rename source.
+    DuplicateRenameSource { attr: Attr },
+    /// A comparison between values of different runtime types.
+    TypeMismatch { context: String },
+    /// Query text failed to parse.
+    Parse { line: usize, col: usize, message: String },
+    /// A user-supplied attribute used the reserved internal prefix `#`.
+    ReservedAttr { attr: Attr },
+}
+
+impl fmt::Display for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelalgError::DuplicateAttr { attr } => {
+                write!(f, "duplicate attribute `{attr}`")
+            }
+            RelalgError::UnknownAttr { attr, schema } => {
+                write!(f, "unknown attribute `{attr}` in schema {schema}")
+            }
+            RelalgError::UnknownRelation { rel } => {
+                write!(f, "unknown relation `{rel}`")
+            }
+            RelalgError::ArityMismatch { rel, expected, got } => {
+                write!(f, "tuple arity {got} does not match schema arity {expected} of `{rel}`")
+            }
+            RelalgError::UnionIncompatible { left, right } => {
+                write!(f, "union branches have incompatible schemas {left} and {right}")
+            }
+            RelalgError::DuplicateRenameSource { attr } => {
+                write!(f, "attribute `{attr}` renamed more than once")
+            }
+            RelalgError::TypeMismatch { context } => {
+                write!(f, "type mismatch: {context}")
+            }
+            RelalgError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            RelalgError::ReservedAttr { attr } => {
+                write!(f, "attribute `{attr}` uses the reserved internal prefix '#'")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for RelalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RelalgError({self})")
+    }
+}
+
+impl std::error::Error for RelalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = RelalgError::UnknownAttr { attr: "Z".into(), schema: schema(["A", "B"]) };
+        assert_eq!(e.to_string(), "unknown attribute `Z` in schema (A, B)");
+        let e = RelalgError::UnknownRelation { rel: "R".into() };
+        assert!(e.to_string().contains("`R`"));
+        let e = RelalgError::Parse { line: 2, col: 5, message: "expected ')'".into() };
+        assert!(e.to_string().contains("2:5"));
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&RelalgError::DuplicateAttr { attr: "A".into() });
+    }
+}

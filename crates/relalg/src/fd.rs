@@ -1,0 +1,314 @@
+//! Functional dependencies and key constraints.
+//!
+//! Section 2.1.1 of the paper remarks that "most joins are performed on
+//! foreign keys" and that *project-join queries based on key constraints*
+//! admit a polynomial side-effect-free deletion test. This module supplies
+//! the machinery: per-relation FDs, attribute-set closure, key tests,
+//! instance validation, and the query-level condition — **do the projected
+//! attributes functionally determine the whole join?** — that
+//! `dap-core::deletion::keyed` dispatches on.
+
+use crate::database::Database;
+use crate::name::{Attr, RelName};
+use crate::normalize::Branch;
+use crate::relation::Relation;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::fmt;
+
+/// A functional dependency `lhs → rhs` over one relation's attributes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub struct Fd {
+    /// Determinant attributes.
+    pub lhs: BTreeSet<Attr>,
+    /// Determined attributes.
+    pub rhs: BTreeSet<Attr>,
+}
+
+impl Fd {
+    /// Build an FD from attribute lists.
+    pub fn new<I, J, A, B>(lhs: I, rhs: J) -> Fd
+    where
+        I: IntoIterator<Item = A>,
+        J: IntoIterator<Item = B>,
+        A: Into<Attr>,
+        B: Into<Attr>,
+    {
+        Fd {
+            lhs: lhs.into_iter().map(Into::into).collect(),
+            rhs: rhs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// A key constraint: `key → all attributes of the schema`.
+    pub fn key<I, A>(key: I, schema: &crate::schema::Schema) -> Fd
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        Fd {
+            lhs: key.into_iter().map(Into::into).collect(),
+            rhs: schema.attrs().iter().cloned().collect(),
+        }
+    }
+
+    /// Rewrite the FD under an attribute renaming (old → new pairs).
+    pub fn rename(&self, mapping: &[(Attr, Attr)]) -> Fd {
+        let rename_one = |a: &Attr| -> Attr {
+            mapping
+                .iter()
+                .find(|(old, _)| old == a)
+                .map(|(_, new)| new.clone())
+                .unwrap_or_else(|| a.clone())
+        };
+        Fd {
+            lhs: self.lhs.iter().map(rename_one).collect(),
+            rhs: self.rhs.iter().map(rename_one).collect(),
+        }
+    }
+
+    /// Whether `rel`'s instance satisfies the FD: no two tuples agree on
+    /// `lhs` while disagreeing on `rhs`.
+    pub fn holds_on(&self, rel: &Relation) -> bool {
+        let schema = rel.schema();
+        let lhs_pos: Vec<usize> = match self.lhs.iter().map(|a| schema.index_of(a)).collect() {
+            Some(v) => v,
+            None => return false, // FD mentions unknown attributes
+        };
+        let rhs_pos: Vec<usize> = match self.rhs.iter().map(|a| schema.index_of(a)).collect() {
+            Some(v) => v,
+            None => return false,
+        };
+        let mut seen: HashMap<Vec<&crate::value::Value>, Vec<&crate::value::Value>> =
+            HashMap::with_capacity(rel.len());
+        for t in rel.tuples() {
+            let key: Vec<_> = lhs_pos.iter().map(|&i| t.get(i)).collect();
+            let val: Vec<_> = rhs_pos.iter().map(|&i| t.get(i)).collect();
+            match seen.entry(key) {
+                std::collections::hash_map::Entry::Occupied(e) => {
+                    if e.get() != &val {
+                        return false;
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(val);
+                }
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let list = |s: &BTreeSet<Attr>| -> String {
+            s.iter().map(Attr::as_str).collect::<Vec<_>>().join(", ")
+        };
+        write!(f, "{{{}}} -> {{{}}}", list(&self.lhs), list(&self.rhs))
+    }
+}
+
+/// FDs declared per relation.
+#[derive(Clone, PartialEq, Eq, Debug, Default)]
+pub struct FdCatalog {
+    fds: BTreeMap<RelName, Vec<Fd>>,
+}
+
+impl FdCatalog {
+    /// An empty catalog (no constraints known).
+    pub fn new() -> FdCatalog {
+        FdCatalog::default()
+    }
+
+    /// Declare an FD on `rel`.
+    pub fn add(&mut self, rel: impl Into<RelName>, fd: Fd) -> &mut Self {
+        self.fds.entry(rel.into()).or_default().push(fd);
+        self
+    }
+
+    /// Declare `key` as a key of `rel` in `db` (shorthand for
+    /// `key → schema`). Panics if the relation is missing.
+    pub fn add_key(&mut self, db: &Database, rel: &str, key: &[&str]) -> &mut Self {
+        let r = db.get(rel).expect("relation exists");
+        let fd = Fd::key(key.iter().copied(), r.schema());
+        self.add(r.name().clone(), fd)
+    }
+
+    /// The FDs declared on `rel`.
+    pub fn fds_of(&self, rel: &str) -> &[Fd] {
+        self.fds.get(rel).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Check that every declared FD holds on its relation's instance.
+    pub fn validate(&self, db: &Database) -> Result<(), String> {
+        for (rel, fds) in &self.fds {
+            let r = db
+                .get(rel.as_str())
+                .ok_or_else(|| format!("FD declared on unknown relation `{rel}`"))?;
+            for fd in fds {
+                if !fd.holds_on(r) {
+                    return Err(format!("FD {fd} violated by instance of `{rel}`"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Attribute-set closure under a set of FDs (the textbook fixpoint).
+pub fn closure(attrs: &BTreeSet<Attr>, fds: &[Fd]) -> BTreeSet<Attr> {
+    let mut out = attrs.clone();
+    loop {
+        let before = out.len();
+        for fd in fds {
+            if fd.lhs.is_subset(&out) {
+                out.extend(fd.rhs.iter().cloned());
+            }
+        }
+        if out.len() == before {
+            return out;
+        }
+    }
+}
+
+/// Whether `attrs` is a superkey of `schema` under `fds`.
+pub fn is_superkey(attrs: &BTreeSet<Attr>, schema: &crate::schema::Schema, fds: &[Fd]) -> bool {
+    let c = closure(attrs, fds);
+    schema.attrs().iter().all(|a| c.contains(a))
+}
+
+/// The §2.1.1 condition on a normal-form branch: do the branch's projected
+/// attributes functionally determine **every** attribute of the join,
+/// under the scans' FDs rewritten into the branch's current names?
+///
+/// When this holds, every output tuple of the branch extends uniquely to a
+/// joined tuple — a single witness — so the side-effect-free deletion test
+/// is polynomial (`dap-core::deletion::keyed`).
+pub fn projection_determines_join(branch: &Branch, catalog: &FdCatalog) -> bool {
+    let mut fds: Vec<Fd> = Vec::new();
+    for scan in &branch.scans {
+        for fd in catalog.fds_of(scan.rel.as_str()) {
+            fds.push(fd.rename(&scan.mapping));
+        }
+    }
+    let projected: BTreeSet<Attr> = branch.proj.iter().cloned().collect();
+    let all = branch.current_names();
+    let c = closure(&projected, &fds);
+    all.is_subset(&c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize;
+    use crate::parser::{parse_database, parse_query};
+    use crate::schema::schema;
+
+    fn emp_db() -> Database {
+        parse_database(
+            "relation Emp(eid, dept) { (e1, sales), (e2, sales), (e3, eng) }
+             relation Dept(dept, mgr) { (sales, ann), (eng, bob) }",
+        )
+        .unwrap()
+    }
+
+    fn attrs(names: &[&str]) -> BTreeSet<Attr> {
+        names.iter().map(Attr::new).collect()
+    }
+
+    #[test]
+    fn closure_fixpoint() {
+        let fds = vec![Fd::new(["A"], ["B"]), Fd::new(["B"], ["C"]), Fd::new(["C", "D"], ["E"])];
+        let c = closure(&attrs(&["A"]), &fds);
+        assert!(c.contains(&Attr::new("A")));
+        assert!(c.contains(&Attr::new("B")));
+        assert!(c.contains(&Attr::new("C")));
+        assert!(!c.contains(&Attr::new("E")), "needs D too");
+        let c = closure(&attrs(&["A", "D"]), &fds);
+        assert!(c.contains(&Attr::new("E")));
+    }
+
+    #[test]
+    fn superkey_test() {
+        let s = schema(["A", "B", "C"]);
+        let fds = vec![Fd::new(["A"], ["B"]), Fd::new(["B"], ["C"])];
+        assert!(is_superkey(&attrs(&["A"]), &s, &fds));
+        assert!(!is_superkey(&attrs(&["B"]), &s, &fds));
+    }
+
+    #[test]
+    fn fd_holds_on_instance() {
+        let db = emp_db();
+        let dept = db.get("Dept").unwrap();
+        assert!(Fd::new(["dept"], ["mgr"]).holds_on(dept));
+        let emp = db.get("Emp").unwrap();
+        assert!(Fd::new(["eid"], ["dept"]).holds_on(emp));
+        assert!(!Fd::new(["dept"], ["eid"]).holds_on(emp), "sales has two eids");
+        assert!(!Fd::new(["nope"], ["eid"]).holds_on(emp), "unknown attr fails");
+    }
+
+    #[test]
+    fn catalog_validation() {
+        let db = emp_db();
+        let mut cat = FdCatalog::new();
+        cat.add_key(&db, "Emp", &["eid"]);
+        cat.add_key(&db, "Dept", &["dept"]);
+        assert!(cat.validate(&db).is_ok());
+        cat.add("Emp", Fd::new(["dept"], ["eid"]));
+        assert!(cat.validate(&db).is_err());
+        let mut bad = FdCatalog::new();
+        bad.add("Ghost", Fd::new(["A"], ["B"]));
+        assert!(bad.validate(&db).is_err());
+    }
+
+    #[test]
+    fn fd_rename() {
+        let fd = Fd::new(["A"], ["B", "C"]);
+        let renamed = fd.rename(&[("A".into(), "X".into()), ("C".into(), "Y".into())]);
+        assert_eq!(renamed, Fd::new(["X"], ["B", "Y"]));
+    }
+
+    #[test]
+    fn projection_determines_join_on_fk_query() {
+        let db = emp_db();
+        let mut cat = FdCatalog::new();
+        cat.add_key(&db, "Emp", &["eid"]);
+        cat.add_key(&db, "Dept", &["dept"]);
+        // Π_{eid,mgr}(Emp ⋈ Dept): eid → dept (Emp key), dept → mgr (Dept
+        // key), so {eid, mgr} determines everything.
+        let q = parse_query("project(join(scan Emp, scan Dept), [eid, mgr])").unwrap();
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert!(projection_determines_join(&nf.branches[0], &cat));
+
+        // Π_{mgr}(Emp ⋈ Dept): mgr determines nothing — condition fails.
+        let q = parse_query("project(join(scan Emp, scan Dept), [mgr])").unwrap();
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert!(!projection_determines_join(&nf.branches[0], &cat));
+
+        // Without any FDs the condition never holds (unless nothing is
+        // projected away).
+        let q = parse_query("project(join(scan Emp, scan Dept), [eid, mgr])").unwrap();
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert!(!projection_determines_join(&nf.branches[0], &FdCatalog::new()));
+    }
+
+    #[test]
+    fn projection_determines_join_through_rename() {
+        let db = emp_db();
+        let mut cat = FdCatalog::new();
+        cat.add_key(&db, "Emp", &["eid"]);
+        cat.add_key(&db, "Dept", &["dept"]);
+        // Rename eid → worker before projecting: the FD must follow the
+        // rename.
+        let q = parse_query(
+            "project(rename(join(scan Emp, scan Dept), {eid -> worker}), [worker, mgr])",
+        )
+        .unwrap();
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert!(projection_determines_join(&nf.branches[0], &cat));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Fd::new(["A", "B"], ["C"]).to_string(), "{A, B} -> {C}");
+    }
+}

@@ -1,0 +1,68 @@
+//! # dap-relalg — the relational substrate
+//!
+//! A from-scratch, set-semantics relational algebra engine for the **monotone
+//! SPJRU fragment** (select, project, natural join, rename, union) — exactly
+//! the query language studied by Buneman, Khanna and Tan in *"On Propagation
+//! of Deletions and Annotations Through Views"* (PODS 2002).
+//!
+//! The crate provides:
+//!
+//! * values, tuples, schemas, relations and databases with **stable tuple
+//!   identities** ([`Tid`]) — the unit of source deletion;
+//! * the [`Query`] AST with builders, a text [`parser`] and a round-tripping
+//!   pretty printer;
+//! * a type checker ([`output_schema`]) and a materializing evaluator
+//!   ([`eval()`](eval::eval));
+//! * query classification ([`OpFootprint`], [`detect_chain_join`]) used by
+//!   the paper's dichotomy theorems;
+//! * the **union normal form** rewriter ([`normalize()`](normalize::normalize), Theorem 3.1 of the
+//!   paper), which underpins the polynomial-time solvers.
+//!
+//! ```
+//! use dap_relalg::{parse_database, parse_query, eval};
+//!
+//! let db = parse_database(
+//!     "relation UserGroup(user, grp) { (ann, staff), (bob, dev) }
+//!      relation GroupFile(grp, file) { (staff, 'r.txt'), (dev, 'm.rs') }",
+//! ).unwrap();
+//! let q = parse_query(
+//!     "project(join(scan UserGroup, scan GroupFile), [user, file])",
+//! ).unwrap();
+//! let view = eval(&q, &db).unwrap();
+//! assert_eq!(view.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod classify;
+pub mod database;
+pub mod error;
+pub mod eval;
+pub mod fd;
+pub mod name;
+pub mod normalize;
+pub mod parser;
+pub mod predicate;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod tuple;
+pub mod typecheck;
+pub mod value;
+
+pub use classify::{detect_chain_join, ChainJoin, OpFootprint};
+pub use database::{Catalog, Database, Tid};
+pub use error::{RelalgError, Result};
+pub use eval::{eval, ResultSet};
+pub use fd::{closure, is_superkey, projection_determines_join, Fd, FdCatalog};
+pub use name::{Attr, RelName};
+pub use normalize::{is_normal_form, normalize, Branch, NormalForm, RenamedScan};
+pub use parser::{parse_database, parse_pred, parse_query};
+pub use predicate::{CmpOp, Operand, Pred};
+pub use query::Query;
+pub use relation::Relation;
+pub use schema::{schema, Schema};
+pub use tuple::{tuple, Tuple};
+pub use typecheck::{output_schema, reject_internal_attrs};
+pub use value::Value;

@@ -1,0 +1,561 @@
+//! Union normal form for SPJRU queries (Theorem 3.1).
+//!
+//! Every SPJRU query can be rewritten as a **union of
+//! select-project-join-rename branches**
+//!
+//! ```text
+//! Q  ≡  ⋃_i  Π_{B_i}( σ_{p_i}( δ(R_{i,1}) ⋈ … ⋈ δ(R_{i,k_i}) ) )
+//! ```
+//!
+//! using only rewrites that preserve both the result *and* the
+//! annotation-propagation relation `R(Q, S)` between source and view
+//! locations (the paper's Theorem 3.1):
+//!
+//! * renames are pushed down to the leaf scans,
+//! * joins and selections distribute over unions,
+//! * projections are pulled above joins, renaming projected-away attributes
+//!   to fresh internal names (`#k`) so they cannot capture attributes of the
+//!   other join operand.
+//!
+//! The normal form is what the polynomial solvers in `dap-core` (Theorems
+//! 2.3, 2.4, 2.8, 2.9, 3.3, 3.4) are defined over.
+
+use crate::database::Catalog;
+use crate::error::{RelalgError, Result};
+use crate::name::{Attr, RelName};
+use crate::predicate::Pred;
+use crate::query::Query;
+use crate::typecheck::output_schema;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A base-relation scan whose attributes have (possibly) been renamed.
+/// `mapping` is total: one `(original, current)` pair per schema attribute.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct RenamedScan {
+    /// The base relation.
+    pub rel: RelName,
+    /// `(original attribute, current attribute)` for every attribute of the
+    /// relation, in schema order.
+    pub mapping: Vec<(Attr, Attr)>,
+}
+
+impl RenamedScan {
+    fn identity(rel: RelName, attrs: &[Attr]) -> RenamedScan {
+        RenamedScan { rel, mapping: attrs.iter().map(|a| (a.clone(), a.clone())).collect() }
+    }
+
+    /// The current (post-rename) attribute names, in schema order.
+    pub fn current_attrs(&self) -> Vec<Attr> {
+        self.mapping.iter().map(|(_, cur)| cur.clone()).collect()
+    }
+
+    /// The current name of original attribute `orig`, if it exists.
+    pub fn current_of(&self, orig: &Attr) -> Option<&Attr> {
+        self.mapping.iter().find(|(o, _)| o == orig).map(|(_, c)| c)
+    }
+
+    /// The original name of current attribute `cur`, if it exists.
+    pub fn original_of(&self, cur: &Attr) -> Option<&Attr> {
+        self.mapping.iter().find(|(_, c)| c == cur).map(|(o, _)| o)
+    }
+
+    fn substitute(&mut self, subst: &BTreeMap<Attr, Attr>) {
+        for (_, cur) in &mut self.mapping {
+            if let Some(new) = subst.get(cur) {
+                *cur = new.clone();
+            }
+        }
+    }
+
+    /// Render as a query fragment: `scan R` or `rename(scan R, {…})`.
+    pub fn to_query(&self) -> Query {
+        let nontrivial: Vec<(Attr, Attr)> = self
+            .mapping
+            .iter()
+            .filter(|(o, c)| o != c)
+            .cloned()
+            .collect();
+        if nontrivial.is_empty() {
+            Query::scan(self.rel.clone())
+        } else {
+            Query::scan(self.rel.clone()).rename(nontrivial)
+        }
+    }
+}
+
+/// One select-project-join-rename branch of the normal form.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Branch {
+    /// The renamed scans joined together (natural join on shared current
+    /// names).
+    pub scans: Vec<RenamedScan>,
+    /// Selection applied below the projection (over current names).
+    pub pred: Pred,
+    /// Output attributes (current names), in order.
+    pub proj: Vec<Attr>,
+}
+
+impl Branch {
+    /// All current attribute names across the branch's scans (the join's
+    /// output attribute set).
+    pub fn current_names(&self) -> BTreeSet<Attr> {
+        self.scans
+            .iter()
+            .flat_map(|s| s.mapping.iter().map(|(_, c)| c.clone()))
+            .collect()
+    }
+
+    /// Current names that are *not* projected (internal to the branch).
+    pub fn internal_names(&self) -> BTreeSet<Attr> {
+        let out: BTreeSet<Attr> = self.proj.iter().cloned().collect();
+        self.current_names().difference(&out).cloned().collect()
+    }
+
+    fn substitute(&mut self, subst: &BTreeMap<Attr, Attr>) {
+        if subst.is_empty() {
+            return;
+        }
+        for s in &mut self.scans {
+            s.substitute(subst);
+        }
+        let pairs: Vec<(Attr, Attr)> =
+            subst.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        self.pred = self.pred.rename(&pairs);
+        for a in &mut self.proj {
+            if let Some(new) = subst.get(a) {
+                *a = new.clone();
+            }
+        }
+    }
+
+    /// Rebuild the branch as a `Query`: `Π_proj(σ_pred(⋈ δ(scans)))`.
+    pub fn to_query(&self) -> Query {
+        let join = Query::join_all(self.scans.iter().map(RenamedScan::to_query));
+        let selected = match &self.pred {
+            Pred::True => join,
+            p => join.select(p.clone()),
+        };
+        selected.project(self.proj.clone())
+    }
+}
+
+impl fmt::Display for Branch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_query())
+    }
+}
+
+/// A query in union normal form: one or more SPJR branches.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct NormalForm {
+    /// The branches; their projections are union-compatible.
+    pub branches: Vec<Branch>,
+}
+
+impl NormalForm {
+    /// Rebuild as a `Query` (union of branch queries).
+    pub fn to_query(&self) -> Query {
+        Query::union_all(self.branches.iter().map(Branch::to_query))
+    }
+
+    /// The output attributes (of the first branch — all branches share the
+    /// attribute set).
+    pub fn output_attrs(&self) -> &[Attr] {
+        &self.branches[0].proj
+    }
+}
+
+impl fmt::Display for NormalForm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_query())
+    }
+}
+
+/// Internal rewriting state: the fresh-name counter.
+struct Normalizer<'a> {
+    catalog: &'a Catalog,
+    fresh: u64,
+}
+
+impl<'a> Normalizer<'a> {
+    fn freshen(&mut self, branch: &mut Branch, names: impl IntoIterator<Item = Attr>) {
+        let subst: BTreeMap<Attr, Attr> = names
+            .into_iter()
+            .map(|n| (n, Attr::fresh(&mut self.fresh)))
+            .collect();
+        branch.substitute(&subst);
+    }
+
+    fn normalize(&mut self, q: &Query) -> Result<Vec<Branch>> {
+        match q {
+            Query::Scan(rel) => {
+                let schema = self
+                    .catalog
+                    .get(rel)
+                    .ok_or_else(|| RelalgError::UnknownRelation { rel: rel.clone() })?;
+                Ok(vec![Branch {
+                    scans: vec![RenamedScan::identity(rel.clone(), schema.attrs())],
+                    pred: Pred::True,
+                    proj: schema.attrs().to_vec(),
+                }])
+            }
+            Query::Select { input, pred } => {
+                let mut branches = self.normalize(input)?;
+                for b in &mut branches {
+                    // `pred` references output attrs, which are the branch's
+                    // current projected names — valid below the projection.
+                    b.pred = b.pred.clone().and(pred.clone());
+                }
+                Ok(branches)
+            }
+            Query::Project { input, attrs } => {
+                let mut branches = self.normalize(input)?;
+                for b in &mut branches {
+                    // attrs ⊆ b.proj by well-typedness.
+                    b.proj = attrs.clone();
+                }
+                Ok(branches)
+            }
+            Query::Union { left, right } => {
+                let mut branches = self.normalize(left)?;
+                branches.extend(self.normalize(right)?);
+                Ok(branches)
+            }
+            Query::Rename { input, mapping } => {
+                let mut branches = self.normalize(input)?;
+                for b in &mut branches {
+                    // Rename output attrs old→new inside the branch. Targets
+                    // may collide with internal names; free those first.
+                    let targets: BTreeSet<Attr> =
+                        mapping.iter().map(|(_, new)| new.clone()).collect();
+                    let colliding: Vec<Attr> = b
+                        .internal_names()
+                        .intersection(&targets)
+                        .cloned()
+                        .collect();
+                    self.freshen(b, colliding);
+                    // Two-step substitution so swaps (A→B, B→A) work.
+                    let step1: BTreeMap<Attr, Attr> = mapping
+                        .iter()
+                        .map(|(old, _)| (old.clone(), Attr::fresh(&mut self.fresh)))
+                        .collect();
+                    let step2: BTreeMap<Attr, Attr> = mapping
+                        .iter()
+                        .map(|(old, new)| (step1[old].clone(), new.clone()))
+                        .collect();
+                    b.substitute(&step1);
+                    b.substitute(&step2);
+                }
+                Ok(branches)
+            }
+            Query::Join { left, right } => {
+                let lbranches = self.normalize(left)?;
+                let rbranches = self.normalize(right)?;
+                let mut out = Vec::with_capacity(lbranches.len() * rbranches.len());
+                for lb in &lbranches {
+                    for rb in &rbranches {
+                        out.push(self.join_branches(lb.clone(), rb.clone()));
+                    }
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Join two branches: pull both projections above a combined join,
+    /// renaming internal (projected-away) attributes apart so they cannot
+    /// capture the other side's attributes.
+    fn join_branches(&mut self, mut lb: Branch, mut rb: Branch) -> Branch {
+        let l_out: BTreeSet<Attr> = lb.proj.iter().cloned().collect();
+        // Left internals colliding with any right-side name.
+        let r_names = rb.current_names();
+        let l_coll: Vec<Attr> =
+            lb.internal_names().intersection(&r_names).cloned().collect();
+        self.freshen(&mut lb, l_coll);
+        // Right internals colliding with any (updated) left-side name.
+        let l_names = lb.current_names();
+        let r_coll: Vec<Attr> =
+            rb.internal_names().intersection(&l_names).cloned().collect();
+        self.freshen(&mut rb, r_coll);
+        // Now the only shared current names are projected on both sides —
+        // exactly the natural-join attributes of the original query.
+        let mut proj = lb.proj.clone();
+        proj.extend(rb.proj.iter().filter(|a| !l_out.contains(*a)).cloned());
+        let mut scans = lb.scans;
+        scans.extend(rb.scans);
+        Branch { scans, pred: lb.pred.and(rb.pred), proj }
+    }
+}
+
+/// Rewrite `q` into union normal form. The result satisfies
+/// `eval(nf.to_query(), db) == eval(q, db)` for every database with
+/// `catalog`'s schemas, and induces the same annotation-propagation relation
+/// (Theorem 3.1); both properties are covered by tests.
+pub fn normalize(q: &Query, catalog: &Catalog) -> Result<NormalForm> {
+    // Type-check first: normalization assumes a well-formed query.
+    output_schema(q, catalog)?;
+    let mut n = Normalizer { catalog, fresh: 0 };
+    let branches = n.normalize(q)?;
+    Ok(NormalForm { branches })
+}
+
+/// Whether `q` is already syntactically in normal form: a union tree of
+/// branches, each `Π(σ(join-of-(renamed-)scans))` with every layer optional.
+pub fn is_normal_form(q: &Query) -> bool {
+    fn is_scan_or_rename(q: &Query) -> bool {
+        match q {
+            Query::Scan(_) => true,
+            Query::Rename { input, .. } => matches!(**input, Query::Scan(_)),
+            _ => false,
+        }
+    }
+    fn is_join_tree(q: &Query) -> bool {
+        match q {
+            Query::Join { left, right } => is_join_tree(left) && is_join_tree(right),
+            other => is_scan_or_rename(other),
+        }
+    }
+    fn is_branch(q: &Query) -> bool {
+        let below_project = match q {
+            Query::Project { input, .. } => input,
+            other => other,
+        };
+        let below_select = match below_project {
+            Query::Select { input, .. } => input,
+            other => other,
+        };
+        is_join_tree(below_select)
+    }
+    match q {
+        Query::Union { left, right } => is_normal_form(left) && is_normal_form(right),
+        other => is_branch(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::eval::eval;
+    use crate::relation::Relation;
+    use crate::schema::schema;
+    use crate::tuple::tuple;
+
+    fn db() -> Database {
+        Database::from_relations(vec![
+            Relation::new(
+                "R",
+                schema(["A", "B"]),
+                vec![tuple(["a1", "b1"]), tuple(["a1", "b2"]), tuple(["a2", "b2"])],
+            )
+            .unwrap(),
+            Relation::new(
+                "S",
+                schema(["B", "C"]),
+                vec![tuple(["b1", "c1"]), tuple(["b2", "c1"]), tuple(["b2", "c2"])],
+            )
+            .unwrap(),
+            Relation::new(
+                "T",
+                schema(["A", "B"]),
+                vec![tuple(["a3", "b1"]), tuple(["a1", "b1"])],
+            )
+            .unwrap(),
+        ])
+        .unwrap()
+    }
+
+    fn assert_equiv(q: &Query, db: &Database) {
+        let nf = normalize(q, &db.catalog()).expect("normalizes");
+        let original = eval(q, db).expect("eval q");
+        let rewritten = eval(&nf.to_query(), db).expect("eval nf");
+        assert_eq!(
+            original.tuple_set(),
+            rewritten.tuple_set(),
+            "normal form changed the result of {q}\nnormal form: {nf}"
+        );
+        assert!(is_normal_form(&nf.to_query()), "not in normal form: {nf}");
+    }
+
+    #[test]
+    fn scan_is_single_identity_branch() {
+        let db = db();
+        let nf = normalize(&Query::scan("R"), &db.catalog()).unwrap();
+        assert_eq!(nf.branches.len(), 1);
+        assert_eq!(nf.branches[0].proj, vec![Attr::new("A"), Attr::new("B")]);
+        assert_equiv(&Query::scan("R"), &db);
+    }
+
+    #[test]
+    fn select_project_fold_into_branch() {
+        let db = db();
+        let q = Query::scan("R").select(Pred::attr_eq_const("A", "a1")).project(["B"]);
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches.len(), 1);
+        assert_eq!(nf.branches[0].proj, vec![Attr::new("B")]);
+        assert_ne!(nf.branches[0].pred, Pred::True);
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn join_distributes_over_union() {
+        let db = db();
+        let q = Query::scan("R").union(Query::scan("T")).join(Query::scan("S"));
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches.len(), 2, "(R∪T)⋈S → (R⋈S) ∪ (T⋈S)");
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn projection_pulled_above_join_with_capture_avoidance() {
+        let db = db();
+        // Π_A(R) ⋈ T : R's projected-away B must NOT join with T's B.
+        let q = Query::scan("R").project(["A"]).join(Query::scan("T"));
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches.len(), 1);
+        let b = &nf.branches[0];
+        // R's B is renamed to an internal name.
+        let r_scan = &b.scans[0];
+        assert_eq!(r_scan.rel, RelName::new("R"));
+        let b_current = r_scan.current_of(&"B".into()).unwrap();
+        assert!(b_current.is_internal());
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn projected_join_attr_still_joins() {
+        let db = db();
+        // Π_B(R) ⋈ S : B is projected, so it must still be the join attr.
+        let q = Query::scan("R").project(["B"]).join(Query::scan("S"));
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        let b = &nf.branches[0];
+        assert_eq!(b.scans[0].current_of(&"B".into()), Some(&Attr::new("B")));
+        assert_eq!(b.scans[1].current_of(&"B".into()), Some(&Attr::new("B")));
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn rename_pushed_into_branch() {
+        let db = db();
+        let q = Query::scan("R").rename([("A", "X")]).join(Query::scan("T"));
+        assert_equiv(&q, &db);
+        // The rename swap case.
+        let q = Query::scan("R").rename([("A", "B"), ("B", "A")]);
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches[0].scans[0].current_of(&"A".into()), Some(&Attr::new("B")));
+        assert_eq!(nf.branches[0].scans[0].current_of(&"B".into()), Some(&Attr::new("A")));
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn rename_target_colliding_with_internal_name() {
+        let db = db();
+        // Project away B, then rename A→B: the internal B must be freed.
+        let q = Query::scan("R").project(["A"]).rename([("A", "B")]).join(Query::scan("S"));
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn self_join_through_projection() {
+        let db = db();
+        // Π_A(R) ⋈ R — a self-join where one side lost B.
+        let q = Query::scan("R").project(["A"]).join(Query::scan("R"));
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches[0].scans.len(), 2);
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn union_of_joins_and_selects() {
+        let db = db();
+        let q = Query::scan("R")
+            .join(Query::scan("S"))
+            .project(["A", "C"])
+            .union(
+                Query::scan("T")
+                    .select(Pred::attr_eq_const("A", "a1"))
+                    .join(Query::scan("S"))
+                    .project(["A", "C"]),
+            );
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches.len(), 2);
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn nested_unions_flatten_to_branches() {
+        let db = db();
+        let q = Query::union_all(vec![Query::scan("R"), Query::scan("T"), Query::scan("R")]);
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches.len(), 3);
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn select_above_union_distributes() {
+        let db = db();
+        let q = Query::scan("R")
+            .union(Query::scan("T"))
+            .select(Pred::attr_eq_const("B", "b1"));
+        let nf = normalize(&q, &db.catalog()).unwrap();
+        assert_eq!(nf.branches.len(), 2);
+        for b in &nf.branches {
+            assert_ne!(b.pred, Pred::True);
+        }
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn select_referencing_renamed_attr() {
+        let db = db();
+        let q = Query::scan("R")
+            .rename([("A", "X")])
+            .select(Pred::attr_eq_const("X", "a1"))
+            .project(["X"]);
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn deep_mixed_query() {
+        let db = db();
+        let q = Query::scan("R")
+            .project(["A", "B"])
+            .join(Query::scan("S").select(Pred::attr_eq_const("C", "c1")))
+            .project(["A", "C"])
+            .union(Query::scan("T").join(Query::scan("S")).project(["A", "C"]))
+            .select(Pred::attr_eq_const("A", "a1"));
+        assert_equiv(&q, &db);
+    }
+
+    #[test]
+    fn is_normal_form_detects_shapes() {
+        assert!(is_normal_form(&Query::scan("R")));
+        assert!(is_normal_form(
+            &Query::scan("R").join(Query::scan("S")).project(["A"])
+        ));
+        assert!(is_normal_form(&Query::scan("R").select(Pred::True)));
+        assert!(is_normal_form(
+            &Query::scan("R").rename([("A", "X")]).join(Query::scan("S"))
+        ));
+        // Projection below a join is NOT normal form.
+        assert!(!is_normal_form(
+            &Query::scan("R").project(["A"]).join(Query::scan("S"))
+        ));
+        // Union under a join is NOT normal form.
+        assert!(!is_normal_form(
+            &Query::scan("R").union(Query::scan("T")).join(Query::scan("S"))
+        ));
+        // Union of branches is normal form.
+        assert!(is_normal_form(
+            &Query::scan("R").union(Query::scan("T").select(Pred::True))
+        ));
+    }
+
+    #[test]
+    fn normalize_rejects_ill_typed() {
+        let db = db();
+        assert!(normalize(&Query::scan("Nope"), &db.catalog()).is_err());
+        assert!(normalize(&Query::scan("R").project(["Z"]), &db.catalog()).is_err());
+    }
+}

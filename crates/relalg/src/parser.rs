@@ -1,0 +1,647 @@
+//! A small text syntax for queries and database fixtures.
+//!
+//! Query syntax (exactly what [`Query`]'s `Display` emits, so parsing and
+//! printing round-trip):
+//!
+//! ```text
+//! project(join(scan UserGroup, scan GroupFile), [user, file])
+//! select(scan R, (A = 'a1' and N >= 5))
+//! rename(scan R, {A -> X, B -> Y})
+//! union(scan R, scan S)
+//! ```
+//!
+//! Database fixture syntax (used by tests and examples; bare identifiers in
+//! tuples are string constants, matching the paper's symbolic values):
+//!
+//! ```text
+//! relation R1(A, B) { (a, x1), (a, x2) }
+//! relation R2(B, C) { (x1, c) }
+//! ```
+
+use crate::database::Database;
+use crate::error::{RelalgError, Result};
+use crate::name::Attr;
+use crate::predicate::{CmpOp, Operand, Pred};
+use crate::query::Query;
+use crate::relation::Relation;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Tok {
+    Ident(String),
+    Int(i64),
+    Str(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Arrow,
+    Cmp(CmpOp),
+    Eof,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Lexer<'a> {
+        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> RelalgError {
+        RelalgError::Parse { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.src.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn skip_ws_and_comments(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                // `--` line comments.
+                Some(b'-') if self.src.get(self.pos + 1) == Some(&b'-') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn next_tok(&mut self) -> Result<Tok> {
+        self.skip_ws_and_comments();
+        let Some(c) = self.peek() else { return Ok(Tok::Eof) };
+        match c {
+            b'(' => {
+                self.bump();
+                Ok(Tok::LParen)
+            }
+            b')' => {
+                self.bump();
+                Ok(Tok::RParen)
+            }
+            b'[' => {
+                self.bump();
+                Ok(Tok::LBracket)
+            }
+            b']' => {
+                self.bump();
+                Ok(Tok::RBracket)
+            }
+            b'{' => {
+                self.bump();
+                Ok(Tok::LBrace)
+            }
+            b'}' => {
+                self.bump();
+                Ok(Tok::RBrace)
+            }
+            b',' => {
+                self.bump();
+                Ok(Tok::Comma)
+            }
+            b'=' => {
+                self.bump();
+                Ok(Tok::Cmp(CmpOp::Eq))
+            }
+            b'!' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Tok::Cmp(CmpOp::Ne))
+                } else {
+                    Err(self.err("expected '=' after '!'"))
+                }
+            }
+            b'<' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Tok::Cmp(CmpOp::Le))
+                } else {
+                    Ok(Tok::Cmp(CmpOp::Lt))
+                }
+            }
+            b'>' => {
+                self.bump();
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    Ok(Tok::Cmp(CmpOp::Ge))
+                } else {
+                    Ok(Tok::Cmp(CmpOp::Gt))
+                }
+            }
+            b'-' => {
+                // `->` arrow or negative integer (comments were skipped).
+                self.bump();
+                match self.peek() {
+                    Some(b'>') => {
+                        self.bump();
+                        Ok(Tok::Arrow)
+                    }
+                    Some(d) if d.is_ascii_digit() => {
+                        let n = self.lex_int()?;
+                        Ok(Tok::Int(-n))
+                    }
+                    _ => Err(self.err("expected '>' or digits after '-'")),
+                }
+            }
+            b'\'' => {
+                self.bump();
+                let mut s = String::new();
+                loop {
+                    match self.bump() {
+                        Some(b'\'') => {
+                            // SQL-style doubled quote is a literal quote.
+                            if self.peek() == Some(b'\'') {
+                                self.bump();
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c as char),
+                        None => return Err(self.err("unterminated string literal")),
+                    }
+                }
+                Ok(Tok::Str(s))
+            }
+            d if d.is_ascii_digit() => Ok(Tok::Int(self.lex_int()?)),
+            c if c.is_ascii_alphabetic() || c == b'_' || c == b'#' => {
+                let mut s = String::new();
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_alphanumeric() || c == b'_' || c == b'#' || c == b'.' {
+                        s.push(c as char);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                Ok(Tok::Ident(s))
+            }
+            other => Err(self.err(format!("unexpected character '{}'", other as char))),
+        }
+    }
+
+    fn lex_int(&mut self) -> Result<i64> {
+        let mut n: i64 = 0;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                n = n
+                    .checked_mul(10)
+                    .and_then(|n| n.checked_add(i64::from(c - b'0')))
+                    .ok_or_else(|| self.err("integer literal overflows i64"))?;
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        Ok(n)
+    }
+}
+
+struct Parser<'a> {
+    lexer: Lexer<'a>,
+    tok: Tok,
+}
+
+impl<'a> Parser<'a> {
+    fn new(src: &'a str) -> Result<Parser<'a>> {
+        let mut lexer = Lexer::new(src);
+        let tok = lexer.next_tok()?;
+        Ok(Parser { lexer, tok })
+    }
+
+    fn err(&self, message: impl Into<String>) -> RelalgError {
+        self.lexer.err(message)
+    }
+
+    fn advance(&mut self) -> Result<Tok> {
+        let next = self.lexer.next_tok()?;
+        Ok(std::mem::replace(&mut self.tok, next))
+    }
+
+    fn expect(&mut self, tok: &Tok, what: &str) -> Result<()> {
+        if &self.tok == tok {
+            self.advance()?;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected {what}, found {:?}", self.tok)))
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.advance()? {
+            Tok::Ident(s) => Ok(s),
+            other => Err(self.err(format!("expected {what}, found {other:?}"))),
+        }
+    }
+
+    // ---- queries ----
+
+    fn query(&mut self) -> Result<Query> {
+        let head = self.ident("a query operator")?;
+        match head.as_str() {
+            "scan" => Ok(Query::scan(self.ident("a relation name")?)),
+            "select" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let input = self.query()?;
+                self.expect(&Tok::Comma, "','")?;
+                let pred = self.pred()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(input.select(pred))
+            }
+            "project" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let input = self.query()?;
+                self.expect(&Tok::Comma, "','")?;
+                self.expect(&Tok::LBracket, "'['")?;
+                let mut attrs: Vec<Attr> = Vec::new();
+                if self.tok != Tok::RBracket {
+                    loop {
+                        attrs.push(self.ident("an attribute")?.into());
+                        if self.tok == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBracket, "']'")?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(input.project(attrs))
+            }
+            "join" | "union" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let left = self.query()?;
+                self.expect(&Tok::Comma, "','")?;
+                let right = self.query()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(if head == "join" { left.join(right) } else { left.union(right) })
+            }
+            "rename" => {
+                self.expect(&Tok::LParen, "'('")?;
+                let input = self.query()?;
+                self.expect(&Tok::Comma, "','")?;
+                self.expect(&Tok::LBrace, "'{'")?;
+                let mut mapping: Vec<(Attr, Attr)> = Vec::new();
+                if self.tok != Tok::RBrace {
+                    loop {
+                        let old = self.ident("an attribute")?;
+                        self.expect(&Tok::Arrow, "'->'")?;
+                        let new = self.ident("an attribute")?;
+                        mapping.push((old.into(), new.into()));
+                        if self.tok == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RBrace, "'}'")?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(input.rename(mapping))
+            }
+            other => Err(self.err(format!("unknown query operator `{other}`"))),
+        }
+    }
+
+    // ---- predicates ----
+
+    fn pred(&mut self) -> Result<Pred> {
+        self.or_pred()
+    }
+
+    fn or_pred(&mut self) -> Result<Pred> {
+        let mut p = self.and_pred()?;
+        while self.tok == Tok::Ident("or".into()) {
+            self.advance()?;
+            p = p.or(self.and_pred()?);
+        }
+        Ok(p)
+    }
+
+    fn and_pred(&mut self) -> Result<Pred> {
+        let mut p = self.not_pred()?;
+        while self.tok == Tok::Ident("and".into()) {
+            self.advance()?;
+            let rhs = self.not_pred()?;
+            p = Pred::And(Box::new(p), Box::new(rhs));
+        }
+        Ok(p)
+    }
+
+    fn not_pred(&mut self) -> Result<Pred> {
+        match &self.tok {
+            Tok::Ident(s) if s == "not" => {
+                self.advance()?;
+                Ok(self.not_pred()?.negate())
+            }
+            Tok::LParen => {
+                self.advance()?;
+                let p = self.pred()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(p)
+            }
+            Tok::Ident(s) if s == "true" => {
+                // Either the `true` predicate or a boolean operand compared
+                // with something. Peek at the next token to decide.
+                self.advance()?;
+                if let Tok::Cmp(_) = self.tok {
+                    self.comparison_tail(Operand::Const(Value::bool(true)))
+                } else {
+                    Ok(Pred::True)
+                }
+            }
+            _ => {
+                let lhs = self.operand()?;
+                self.comparison_tail(lhs)
+            }
+        }
+    }
+
+    fn comparison_tail(&mut self, lhs: Operand) -> Result<Pred> {
+        match self.advance()? {
+            Tok::Cmp(op) => {
+                let rhs = self.operand()?;
+                Ok(Pred::Cmp { lhs, op, rhs })
+            }
+            other => Err(self.err(format!("expected a comparison operator, found {other:?}"))),
+        }
+    }
+
+    fn operand(&mut self) -> Result<Operand> {
+        match self.advance()? {
+            Tok::Ident(s) if s == "true" => Ok(Operand::Const(Value::bool(true))),
+            Tok::Ident(s) if s == "false" => Ok(Operand::Const(Value::bool(false))),
+            Tok::Ident(s) => Ok(Operand::Attr(s.into())),
+            Tok::Int(i) => Ok(Operand::Const(Value::int(i))),
+            Tok::Str(s) => Ok(Operand::Const(Value::str(s))),
+            other => Err(self.err(format!("expected an operand, found {other:?}"))),
+        }
+    }
+
+    // ---- database fixtures ----
+
+    fn database(&mut self) -> Result<Database> {
+        let mut db = Database::new();
+        while self.tok != Tok::Eof {
+            let kw = self.ident("`relation`")?;
+            if kw != "relation" {
+                return Err(self.err(format!("expected `relation`, found `{kw}`")));
+            }
+            let name = self.ident("a relation name")?;
+            self.expect(&Tok::LParen, "'('")?;
+            let mut attrs: Vec<Attr> = Vec::new();
+            if self.tok != Tok::RParen {
+                loop {
+                    attrs.push(self.ident("an attribute")?.into());
+                    if self.tok == Tok::Comma {
+                        self.advance()?;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            self.expect(&Tok::RParen, "')'")?;
+            let schema = Schema::new(attrs)?;
+            self.expect(&Tok::LBrace, "'{'")?;
+            let mut tuples = Vec::new();
+            while self.tok == Tok::LParen {
+                self.advance()?;
+                let mut values: Vec<Value> = Vec::new();
+                if self.tok != Tok::RParen {
+                    loop {
+                        values.push(self.value()?);
+                        if self.tok == Tok::Comma {
+                            self.advance()?;
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&Tok::RParen, "')'")?;
+                tuples.push(Tuple::new(values));
+                if self.tok == Tok::Comma {
+                    self.advance()?;
+                }
+            }
+            self.expect(&Tok::RBrace, "'}'")?;
+            db.add(Relation::new(name, schema, tuples)?)?;
+        }
+        Ok(db)
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.advance()? {
+            // Bare identifiers are symbolic string constants, like the
+            // paper's `a`, `x1`, `c3`.
+            Tok::Ident(s) if s == "true" => Ok(Value::bool(true)),
+            Tok::Ident(s) if s == "false" => Ok(Value::bool(false)),
+            Tok::Ident(s) => Ok(Value::str(s)),
+            Tok::Str(s) => Ok(Value::str(s)),
+            Tok::Int(i) => Ok(Value::int(i)),
+            other => Err(self.err(format!("expected a value, found {other:?}"))),
+        }
+    }
+
+    fn finish<T>(self, value: T) -> Result<T> {
+        if self.tok == Tok::Eof {
+            Ok(value)
+        } else {
+            Err(self.err(format!("trailing input: {:?}", self.tok)))
+        }
+    }
+}
+
+/// Parse a query from its text form.
+pub fn parse_query(src: &str) -> Result<Query> {
+    let mut p = Parser::new(src)?;
+    let q = p.query()?;
+    p.finish(q)
+}
+
+/// Parse a selection predicate from its text form.
+pub fn parse_pred(src: &str) -> Result<Pred> {
+    let mut p = Parser::new(src)?;
+    let pred = p.pred()?;
+    p.finish(pred)
+}
+
+/// Parse a database fixture (a sequence of `relation … { … }` blocks).
+pub fn parse_database(src: &str) -> Result<Database> {
+    let mut p = Parser::new(src)?;
+    let db = p.database()?;
+    p.finish(db)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+    use crate::tuple::tuple;
+
+    #[test]
+    fn parses_scan_and_nested_operators() {
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])")
+            .unwrap();
+        assert_eq!(
+            q,
+            Query::scan("UserGroup")
+                .join(Query::scan("GroupFile"))
+                .project(["user", "file"])
+        );
+    }
+
+    #[test]
+    fn parses_select_with_predicate() {
+        let q = parse_query("select(scan R, (A = 'a1' and N >= 5))").unwrap();
+        match q {
+            Query::Select { pred, .. } => {
+                assert_eq!(pred.to_string(), "(A = 'a1' and N >= 5)");
+            }
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn parses_rename_and_union() {
+        let q = parse_query("union(rename(scan R, {A -> X, B -> Y}), scan S)").unwrap();
+        assert_eq!(
+            q,
+            Query::scan("R").rename([("A", "X"), ("B", "Y")]).union(Query::scan("S"))
+        );
+        let q = parse_query("rename(scan R, {})").unwrap();
+        assert_eq!(q, Query::scan("R").rename(Vec::<(&str, &str)>::new()));
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let queries = vec![
+            Query::scan("R"),
+            Query::scan("R").select(Pred::attr_eq_const("A", "a'quote")),
+            Query::scan("R").select(
+                Pred::attr_eq_attr("A", "B")
+                    .or(Pred::attr_eq_const("N", -3))
+                    .and(Pred::True)
+                    .negate(),
+            ),
+            Query::scan("R").project(["A", "B"]).join(Query::scan("S")),
+            Query::scan("R").rename([("A", "X")]).union(Query::scan("S")),
+        ];
+        for q in queries {
+            let text = q.to_string();
+            let parsed = parse_query(&text)
+                .unwrap_or_else(|e| panic!("failed to re-parse `{text}`: {e}"));
+            assert_eq!(parsed, q, "round trip failed for `{text}`");
+        }
+    }
+
+    #[test]
+    fn pred_corner_cases() {
+        assert_eq!(parse_pred("true").unwrap(), Pred::True);
+        let p = parse_pred("true = B").unwrap();
+        assert_eq!(p.to_string(), "true = B");
+        let p = parse_pred("A != 'x' or not B < 3").unwrap();
+        assert_eq!(p.to_string(), "(A != 'x' or (not B < 3))");
+        // `and` binds tighter than `or`.
+        let p = parse_pred("A = 1 or B = 2 and C = 3").unwrap();
+        assert_eq!(p.to_string(), "(A = 1 or (B = 2 and C = 3))");
+    }
+
+    #[test]
+    fn parses_database_fixture() {
+        let db = parse_database(
+            "-- Figure 1's R1 fragment
+             relation R1(A, B) { (a, x1), (a, x2) }
+             relation R2(B, C) { (x1, c) }
+             relation Empty(Z) { }",
+        )
+        .unwrap();
+        assert_eq!(db.relation_count(), 3);
+        let r1 = db.get("R1").unwrap();
+        assert_eq!(r1.schema(), &schema(["A", "B"]));
+        assert!(r1.contains(&tuple(["a", "x2"])));
+        assert!(db.get("Empty").unwrap().is_empty());
+    }
+
+    #[test]
+    fn fixture_values_mix_types() {
+        let db = parse_database("relation R(A, B, C) { (a, 1, true), ('sp ace', -2, false) }")
+            .unwrap();
+        let r = db.get("R").unwrap();
+        assert!(r.contains(&Tuple::new(vec![
+            Value::str("a"),
+            Value::int(1),
+            Value::bool(true)
+        ])));
+        assert!(r.contains(&Tuple::new(vec![
+            Value::str("sp ace"),
+            Value::int(-2),
+            Value::bool(false)
+        ])));
+    }
+
+    #[test]
+    fn string_escaping_round_trip() {
+        let q = parse_query("select(scan R, A = 'it''s')").unwrap();
+        match &q {
+            Query::Select { pred, .. } => match pred {
+                Pred::Cmp { rhs: Operand::Const(v), .. } => {
+                    assert_eq!(v.as_str(), Some("it's"));
+                }
+                _ => panic!("expected comparison"),
+            },
+            _ => panic!("expected select"),
+        }
+    }
+
+    #[test]
+    fn error_positions() {
+        let err = parse_query("project(scan R, [A").unwrap_err();
+        assert!(matches!(err, RelalgError::Parse { .. }));
+        let err = parse_query("frobnicate(scan R)").unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+        let err = parse_database("relation R(A) { (1) } garbage").unwrap_err();
+        assert!(err.to_string().contains("relation"));
+        let err = parse_query("scan R extra").unwrap_err();
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn lexer_errors() {
+        assert!(parse_query("select(scan R, A ! B)").is_err());
+        assert!(parse_query("select(scan R, A = 'unterminated)").is_err());
+        assert!(parse_query("select(scan R, A = 99999999999999999999)").is_err());
+        assert!(parse_query("select(scan R, A @ B)").is_err());
+    }
+}

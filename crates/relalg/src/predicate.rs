@@ -1,0 +1,402 @@
+//! Selection predicates.
+//!
+//! Selection on any tuple-level predicate is a monotone operator, so the
+//! predicate language allows comparisons, conjunction, disjunction and
+//! negation over a single tuple's attributes — the query as a whole stays in
+//! the paper's monotone fragment.
+
+use crate::error::{RelalgError, Result};
+use crate::name::Attr;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::value::Value;
+use std::fmt;
+
+/// One side of a comparison: an attribute reference or a constant.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// The value of an attribute of the current tuple.
+    Attr(Attr),
+    /// A literal constant.
+    Const(Value),
+}
+
+impl Operand {
+    fn eval<'a>(&'a self, schema: &Schema, t: &'a Tuple) -> Result<&'a Value> {
+        match self {
+            Operand::Attr(a) => t.value_of(schema, a).ok_or_else(|| RelalgError::UnknownAttr {
+                attr: a.clone(),
+                schema: schema.clone(),
+            }),
+            Operand::Const(v) => Ok(v),
+        }
+    }
+
+    fn validate(&self, schema: &Schema) -> Result<()> {
+        match self {
+            Operand::Attr(a) if !schema.contains(a) => Err(RelalgError::UnknownAttr {
+                attr: a.clone(),
+                schema: schema.clone(),
+            }),
+            _ => Ok(()),
+        }
+    }
+
+    /// Apply an attribute renaming (old → new) to attribute references.
+    pub fn rename(&self, mapping: &[(Attr, Attr)]) -> Operand {
+        match self {
+            Operand::Attr(a) => {
+                let renamed = mapping
+                    .iter()
+                    .find(|(old, _)| old == a)
+                    .map(|(_, new)| new.clone())
+                    .unwrap_or_else(|| a.clone());
+                Operand::Attr(renamed)
+            }
+            Operand::Const(v) => Operand::Const(v.clone()),
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Attr(a) => write!(f, "{a}"),
+            // SQL-style quoting: a literal quote is doubled, so the crate's
+            // parser can read every printed predicate back.
+            Operand::Const(Value::Str(s)) => write!(f, "'{}'", s.replace('\'', "''")),
+            Operand::Const(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn apply(self, l: &Value, r: &Value) -> Result<bool> {
+        // Equality across types is simply false/true; ordering across types
+        // is a type error (comparing `5 < 'a'` is almost certainly a bug).
+        match self {
+            CmpOp::Eq => Ok(l == r),
+            CmpOp::Ne => Ok(l != r),
+            _ => {
+                if std::mem::discriminant(l) != std::mem::discriminant(r) {
+                    return Err(RelalgError::TypeMismatch {
+                        context: format!(
+                            "ordered comparison between {} and {}",
+                            l.type_name(),
+                            r.type_name()
+                        ),
+                    });
+                }
+                Ok(match self {
+                    CmpOp::Lt => l < r,
+                    CmpOp::Le => l <= r,
+                    CmpOp::Gt => l > r,
+                    CmpOp::Ge => l >= r,
+                    CmpOp::Eq | CmpOp::Ne => unreachable!(),
+                })
+            }
+        }
+    }
+
+    /// The SQL-ish symbol for this operator.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+/// A tuple-level selection predicate.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Pred {
+    /// Always true (the neutral element for conjunction).
+    True,
+    /// A comparison between two operands.
+    Cmp {
+        /// Left operand.
+        lhs: Operand,
+        /// Comparison operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// Both sub-predicates hold.
+    And(Box<Pred>, Box<Pred>),
+    /// At least one sub-predicate holds.
+    Or(Box<Pred>, Box<Pred>),
+    /// The sub-predicate does not hold.
+    Not(Box<Pred>),
+}
+
+impl Pred {
+    /// `lhs op rhs` comparison.
+    pub fn cmp(lhs: Operand, op: CmpOp, rhs: Operand) -> Pred {
+        Pred::Cmp { lhs, op, rhs }
+    }
+
+    /// `attr = constant`, the most common selection shape.
+    pub fn attr_eq_const(attr: impl Into<Attr>, v: impl Into<Value>) -> Pred {
+        Pred::Cmp {
+            lhs: Operand::Attr(attr.into()),
+            op: CmpOp::Eq,
+            rhs: Operand::Const(v.into()),
+        }
+    }
+
+    /// `attr1 = attr2` equality between two attributes of the same tuple.
+    pub fn attr_eq_attr(a: impl Into<Attr>, b: impl Into<Attr>) -> Pred {
+        Pred::Cmp {
+            lhs: Operand::Attr(a.into()),
+            op: CmpOp::Eq,
+            rhs: Operand::Attr(b.into()),
+        }
+    }
+
+    /// Conjunction that collapses `True` operands.
+    pub fn and(self, other: Pred) -> Pred {
+        match (self, other) {
+            (Pred::True, p) | (p, Pred::True) => p,
+            (a, b) => Pred::And(Box::new(a), Box::new(b)),
+        }
+    }
+
+    /// Disjunction.
+    pub fn or(self, other: Pred) -> Pred {
+        Pred::Or(Box::new(self), Box::new(other))
+    }
+
+    /// Negation.
+    pub fn negate(self) -> Pred {
+        Pred::Not(Box::new(self))
+    }
+
+    /// Evaluate against a tuple under `schema`.
+    pub fn eval(&self, schema: &Schema, t: &Tuple) -> Result<bool> {
+        match self {
+            Pred::True => Ok(true),
+            Pred::Cmp { lhs, op, rhs } => {
+                let l = lhs.eval(schema, t)?;
+                let r = rhs.eval(schema, t)?;
+                op.apply(l, r)
+            }
+            Pred::And(a, b) => Ok(a.eval(schema, t)? && b.eval(schema, t)?),
+            Pred::Or(a, b) => Ok(a.eval(schema, t)? || b.eval(schema, t)?),
+            Pred::Not(p) => Ok(!p.eval(schema, t)?),
+        }
+    }
+
+    /// Check all attribute references exist in `schema`.
+    pub fn validate(&self, schema: &Schema) -> Result<()> {
+        match self {
+            Pred::True => Ok(()),
+            Pred::Cmp { lhs, rhs, .. } => {
+                lhs.validate(schema)?;
+                rhs.validate(schema)
+            }
+            Pred::And(a, b) | Pred::Or(a, b) => {
+                a.validate(schema)?;
+                b.validate(schema)
+            }
+            Pred::Not(p) => p.validate(schema),
+        }
+    }
+
+    /// All attributes referenced by the predicate, in first-occurrence order.
+    pub fn referenced_attrs(&self) -> Vec<Attr> {
+        fn walk(p: &Pred, out: &mut Vec<Attr>) {
+            let mut push = |o: &Operand| {
+                if let Operand::Attr(a) = o {
+                    if !out.contains(a) {
+                        out.push(a.clone());
+                    }
+                }
+            };
+            match p {
+                Pred::True => {}
+                Pred::Cmp { lhs, rhs, .. } => {
+                    push(lhs);
+                    push(rhs);
+                }
+                Pred::And(a, b) | Pred::Or(a, b) => {
+                    walk(a, out);
+                    walk(b, out);
+                }
+                Pred::Not(q) => walk(q, out),
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// Apply an attribute renaming (old → new) to every attribute reference.
+    pub fn rename(&self, mapping: &[(Attr, Attr)]) -> Pred {
+        match self {
+            Pred::True => Pred::True,
+            Pred::Cmp { lhs, op, rhs } => Pred::Cmp {
+                lhs: lhs.rename(mapping),
+                op: *op,
+                rhs: rhs.rename(mapping),
+            },
+            Pred::And(a, b) => Pred::And(Box::new(a.rename(mapping)), Box::new(b.rename(mapping))),
+            Pred::Or(a, b) => Pred::Or(Box::new(a.rename(mapping)), Box::new(b.rename(mapping))),
+            Pred::Not(p) => Pred::Not(Box::new(p.rename(mapping))),
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pred::True => write!(f, "true"),
+            Pred::Cmp { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Pred::And(a, b) => write!(f, "({a} and {b})"),
+            Pred::Or(a, b) => write!(f, "({a} or {b})"),
+            Pred::Not(p) => write!(f, "(not {p})"),
+        }
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Pred({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+    use crate::tuple::tuple;
+
+    fn s() -> Schema {
+        schema(["A", "B", "N"])
+    }
+
+    fn t() -> Tuple {
+        tuple([Value::str("a"), Value::str("b"), Value::int(5)])
+    }
+
+    #[test]
+    fn constant_and_attr_comparisons() {
+        assert!(Pred::attr_eq_const("A", "a").eval(&s(), &t()).unwrap());
+        assert!(!Pred::attr_eq_const("A", "z").eval(&s(), &t()).unwrap());
+        assert!(!Pred::attr_eq_attr("A", "B").eval(&s(), &t()).unwrap());
+        let refl = Pred::attr_eq_attr("A", "A");
+        assert!(refl.eval(&s(), &t()).unwrap());
+    }
+
+    #[test]
+    fn ordering_comparisons() {
+        let p = Pred::cmp(
+            Operand::Attr("N".into()),
+            CmpOp::Gt,
+            Operand::Const(Value::int(3)),
+        );
+        assert!(p.eval(&s(), &t()).unwrap());
+        let p = Pred::cmp(
+            Operand::Attr("N".into()),
+            CmpOp::Le,
+            Operand::Const(Value::int(4)),
+        );
+        assert!(!p.eval(&s(), &t()).unwrap());
+    }
+
+    #[test]
+    fn cross_type_equality_is_false_not_error() {
+        let p = Pred::attr_eq_const("N", "five");
+        assert!(!p.eval(&s(), &t()).unwrap());
+    }
+
+    #[test]
+    fn cross_type_ordering_is_error() {
+        let p = Pred::cmp(
+            Operand::Attr("N".into()),
+            CmpOp::Lt,
+            Operand::Const(Value::str("five")),
+        );
+        assert!(matches!(p.eval(&s(), &t()), Err(RelalgError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let yes = Pred::attr_eq_const("A", "a");
+        let no = Pred::attr_eq_const("B", "zzz");
+        assert!(!yes.clone().and(no.clone()).eval(&s(), &t()).unwrap());
+        assert!(yes.clone().or(no.clone()).eval(&s(), &t()).unwrap());
+        assert!(no.clone().negate().eval(&s(), &t()).unwrap());
+        assert!(Pred::True.eval(&s(), &t()).unwrap());
+    }
+
+    #[test]
+    fn and_collapses_true() {
+        let p = Pred::True.and(Pred::attr_eq_const("A", "a"));
+        assert_eq!(p, Pred::attr_eq_const("A", "a"));
+        let p = Pred::attr_eq_const("A", "a").and(Pred::True);
+        assert_eq!(p, Pred::attr_eq_const("A", "a"));
+    }
+
+    #[test]
+    fn validation_finds_unknown_attrs() {
+        let p = Pred::attr_eq_const("Z", 1);
+        assert!(p.validate(&s()).is_err());
+        assert!(p.eval(&s(), &t()).is_err());
+        let nested = Pred::True.and(Pred::attr_eq_attr("A", "Q").negate());
+        assert!(nested.validate(&s()).is_err());
+    }
+
+    #[test]
+    fn referenced_attrs_in_order_without_dupes() {
+        let p = Pred::attr_eq_attr("B", "A").and(Pred::attr_eq_const("A", 1));
+        assert_eq!(
+            p.referenced_attrs(),
+            vec![Attr::new("B"), Attr::new("A")]
+        );
+    }
+
+    #[test]
+    fn rename_rewrites_attr_refs() {
+        let p = Pred::attr_eq_attr("A", "B").or(Pred::attr_eq_const("A", 1));
+        let q = p.rename(&[("A".into(), "X".into())]);
+        assert_eq!(q.referenced_attrs(), vec![Attr::new("X"), Attr::new("B")]);
+    }
+
+    #[test]
+    fn display_reads_like_sql() {
+        let p = Pred::attr_eq_const("A", "a").and(Pred::attr_eq_const("N", 5));
+        assert_eq!(p.to_string(), "(A = 'a' and N = 5)");
+        assert_eq!(Pred::True.to_string(), "true");
+        assert_eq!(
+            Pred::attr_eq_const("N", 5).negate().to_string(),
+            "(not N = 5)"
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! The monotone SPJRU query AST: **S**elect, **P**roject, natural **J**oin,
+//! **R**ename and **U**nion over base relations.
+//!
+//! This is exactly the fragment of relational algebra the paper studies. All
+//! five operators are monotone, so `S' ⊆ S ⇒ Q(S') ⊆ Q(S)` — the property the
+//! witness semantics of deletion propagation relies on (property-tested in
+//! `eval.rs`).
+
+use crate::name::{Attr, RelName};
+use crate::predicate::Pred;
+use std::fmt;
+
+/// A monotone relational query.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub enum Query {
+    /// Scan a base relation.
+    Scan(RelName),
+    /// `σ_pred(input)`.
+    Select {
+        /// Input query.
+        input: Box<Query>,
+        /// Tuple-level predicate.
+        pred: Pred,
+    },
+    /// `Π_attrs(input)` with set semantics (duplicates removed).
+    Project {
+        /// Input query.
+        input: Box<Query>,
+        /// Output attributes, in order.
+        attrs: Vec<Attr>,
+    },
+    /// Natural join `left ⋈ right` on the shared attribute names.
+    Join {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Set union `left ∪ right`; the branches must have the same attribute
+    /// set (the right side is reordered to the left's attribute order).
+    Union {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Attribute renaming `δ_mapping(input)`, `mapping` is (old → new).
+    Rename {
+        /// Input query.
+        input: Box<Query>,
+        /// Injective old → new attribute mapping.
+        mapping: Vec<(Attr, Attr)>,
+    },
+}
+
+impl Query {
+    /// Scan a base relation by name.
+    pub fn scan(rel: impl Into<RelName>) -> Query {
+        Query::Scan(rel.into())
+    }
+
+    /// Apply a selection predicate.
+    pub fn select(self, pred: Pred) -> Query {
+        Query::Select { input: Box::new(self), pred }
+    }
+
+    /// Project onto the named attributes.
+    pub fn project<I, A>(self, attrs: I) -> Query
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        Query::Project {
+            input: Box::new(self),
+            attrs: attrs.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Natural join with another query.
+    pub fn join(self, right: Query) -> Query {
+        Query::Join { left: Box::new(self), right: Box::new(right) }
+    }
+
+    /// Set union with another query.
+    pub fn union(self, right: Query) -> Query {
+        Query::Union { left: Box::new(self), right: Box::new(right) }
+    }
+
+    /// Rename attributes (old → new pairs).
+    pub fn rename<I, A, B>(self, mapping: I) -> Query
+    where
+        I: IntoIterator<Item = (A, B)>,
+        A: Into<Attr>,
+        B: Into<Attr>,
+    {
+        Query::Rename {
+            input: Box::new(self),
+            mapping: mapping.into_iter().map(|(a, b)| (a.into(), b.into())).collect(),
+        }
+    }
+
+    /// Union of several queries, left-associated. Panics on an empty list.
+    pub fn union_all<I: IntoIterator<Item = Query>>(queries: I) -> Query {
+        let mut it = queries.into_iter();
+        let first = it.next().expect("union_all of zero queries");
+        it.fold(first, Query::union)
+    }
+
+    /// Natural join of several queries, left-associated. Panics on an empty
+    /// list.
+    pub fn join_all<I: IntoIterator<Item = Query>>(queries: I) -> Query {
+        let mut it = queries.into_iter();
+        let first = it.next().expect("join_all of zero queries");
+        it.fold(first, Query::join)
+    }
+
+    /// All base relations scanned by the query, in first-occurrence order
+    /// (with duplicates for self-joins).
+    pub fn scans(&self) -> Vec<RelName> {
+        fn walk(q: &Query, out: &mut Vec<RelName>) {
+            match q {
+                Query::Scan(r) => out.push(r.clone()),
+                Query::Select { input, .. }
+                | Query::Project { input, .. }
+                | Query::Rename { input, .. } => walk(input, out),
+                Query::Join { left, right } | Query::Union { left, right } => {
+                    walk(left, out);
+                    walk(right, out);
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk(self, &mut out);
+        out
+    }
+
+    /// The distinct base relations referenced.
+    pub fn relations(&self) -> Vec<RelName> {
+        let mut out = Vec::new();
+        for r in self.scans() {
+            if !out.contains(&r) {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Number of AST nodes — a crude "query size" used by benches.
+    pub fn node_count(&self) -> usize {
+        match self {
+            Query::Scan(_) => 1,
+            Query::Select { input, .. }
+            | Query::Project { input, .. }
+            | Query::Rename { input, .. } => 1 + input.node_count(),
+            Query::Join { left, right } | Query::Union { left, right } => {
+                1 + left.node_count() + right.node_count()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    /// Functional syntax that the crate's parser accepts back
+    /// (`parser::parse_query(q.to_string())` round-trips).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Scan(r) => write!(f, "scan {r}"),
+            Query::Select { input, pred } => write!(f, "select({input}, {pred})"),
+            Query::Project { input, attrs } => {
+                write!(f, "project({input}, [")?;
+                for (i, a) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "])")
+            }
+            Query::Join { left, right } => write!(f, "join({left}, {right})"),
+            Query::Union { left, right } => write!(f, "union({left}, {right})"),
+            Query::Rename { input, mapping } => {
+                write!(f, "rename({input}, {{")?;
+                for (i, (a, b)) in mapping.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a} -> {b}")?;
+                }
+                write!(f, "}})")
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Query({self})")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Section 2.1.1 query:
+    /// `Π_{user,file}(UserGroup ⋈ GroupFile)`.
+    fn usergroup_query() -> Query {
+        Query::scan("UserGroup")
+            .join(Query::scan("GroupFile"))
+            .project(["user", "file"])
+    }
+
+    #[test]
+    fn builders_compose() {
+        let q = usergroup_query();
+        match &q {
+            Query::Project { attrs, input } => {
+                assert_eq!(attrs.len(), 2);
+                assert!(matches!(**input, Query::Join { .. }));
+            }
+            _ => panic!("expected project at root"),
+        }
+    }
+
+    #[test]
+    fn display_functional_syntax() {
+        let q = usergroup_query();
+        assert_eq!(
+            q.to_string(),
+            "project(join(scan UserGroup, scan GroupFile), [user, file])"
+        );
+        let q = Query::scan("R")
+            .select(Pred::attr_eq_const("A", 1))
+            .rename([("A", "B")]);
+        assert_eq!(q.to_string(), "rename(select(scan R, A = 1), {A -> B})");
+    }
+
+    #[test]
+    fn scans_and_relations() {
+        let q = Query::scan("R").join(Query::scan("R")).union(Query::scan("S"));
+        assert_eq!(q.scans().len(), 3);
+        assert_eq!(q.relations().len(), 2);
+    }
+
+    #[test]
+    fn union_all_and_join_all() {
+        let q = Query::union_all(vec![
+            Query::scan("A"),
+            Query::scan("B"),
+            Query::scan("C"),
+        ]);
+        assert_eq!(q.scans().len(), 3);
+        assert!(matches!(q, Query::Union { .. }));
+        let j = Query::join_all(vec![Query::scan("A"), Query::scan("B")]);
+        assert!(matches!(j, Query::Join { .. }));
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(Query::scan("R").node_count(), 1);
+        assert_eq!(usergroup_query().node_count(), 4);
+    }
+}

@@ -1,0 +1,267 @@
+//! Relation schemas: ordered lists of distinct attribute names.
+//!
+//! The paper works with named attributes and natural join, so a schema is a
+//! *set* of attributes for compatibility questions, but we keep a
+//! presentation order so tuples are positional and views print like the
+//! paper's figures.
+
+use crate::error::{RelalgError, Result};
+use crate::name::Attr;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// An ordered list of distinct attributes.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Schema {
+    attrs: Vec<Attr>,
+}
+
+impl Schema {
+    /// Build a schema, rejecting duplicate attribute names.
+    pub fn new<I, A>(attrs: I) -> Result<Schema>
+    where
+        I: IntoIterator<Item = A>,
+        A: Into<Attr>,
+    {
+        let attrs: Vec<Attr> = attrs.into_iter().map(Into::into).collect();
+        let mut seen = BTreeSet::new();
+        for a in &attrs {
+            if !seen.insert(a.clone()) {
+                return Err(RelalgError::DuplicateAttr { attr: a.clone() });
+            }
+        }
+        Ok(Schema { attrs })
+    }
+
+    /// Number of attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// Whether the schema has no attributes (the 0-ary relation).
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty()
+    }
+
+    /// Attributes in presentation order.
+    pub fn attrs(&self) -> &[Attr] {
+        &self.attrs
+    }
+
+    /// Position of `attr` within the schema, if present.
+    pub fn index_of(&self, attr: &Attr) -> Option<usize> {
+        self.attrs.iter().position(|a| a == attr)
+    }
+
+    /// Whether `attr` occurs in the schema.
+    pub fn contains(&self, attr: &Attr) -> bool {
+        self.index_of(attr).is_some()
+    }
+
+    /// The attributes as a set (order-insensitive comparisons).
+    pub fn attr_set(&self) -> BTreeSet<Attr> {
+        self.attrs.iter().cloned().collect()
+    }
+
+    /// Whether two schemas contain the same attributes, in any order.
+    /// This is the union-compatibility test.
+    pub fn same_attr_set(&self, other: &Schema) -> bool {
+        self.arity() == other.arity() && self.attr_set() == other.attr_set()
+    }
+
+    /// Attributes shared with `other`, in `self`'s order. These are the
+    /// natural-join attributes.
+    pub fn shared_with(&self, other: &Schema) -> Vec<Attr> {
+        self.attrs
+            .iter()
+            .filter(|a| other.contains(a))
+            .cloned()
+            .collect()
+    }
+
+    /// The natural-join output schema: `self`'s attributes followed by
+    /// `other`'s attributes that are not shared.
+    pub fn join_with(&self, other: &Schema) -> Schema {
+        let mut attrs = self.attrs.clone();
+        attrs.extend(
+            other
+                .attrs
+                .iter()
+                .filter(|a| !self.contains(a))
+                .cloned(),
+        );
+        Schema { attrs }
+    }
+
+    /// Restrict to `attrs` (projection schema). Errors if any attribute is
+    /// missing or listed twice.
+    pub fn project(&self, attrs: &[Attr]) -> Result<Schema> {
+        for a in attrs {
+            if !self.contains(a) {
+                return Err(RelalgError::UnknownAttr {
+                    attr: a.clone(),
+                    schema: self.clone(),
+                });
+            }
+        }
+        Schema::new(attrs.iter().cloned())
+    }
+
+    /// Apply an injective renaming `mapping` (old → new). Attributes not
+    /// mentioned keep their names. Errors if a source is missing, a source is
+    /// renamed twice, or the renamed schema has duplicate attributes.
+    pub fn rename(&self, mapping: &[(Attr, Attr)]) -> Result<Schema> {
+        let mut sources = BTreeSet::new();
+        for (old, _) in mapping {
+            if !self.contains(old) {
+                return Err(RelalgError::UnknownAttr {
+                    attr: old.clone(),
+                    schema: self.clone(),
+                });
+            }
+            if !sources.insert(old.clone()) {
+                return Err(RelalgError::DuplicateRenameSource { attr: old.clone() });
+            }
+        }
+        let renamed = self.attrs.iter().map(|a| {
+            mapping
+                .iter()
+                .find(|(old, _)| old == a)
+                .map(|(_, new)| new.clone())
+                .unwrap_or_else(|| a.clone())
+        });
+        Schema::new(renamed)
+    }
+
+    /// Positions of `attrs` within this schema; errors on a missing attribute.
+    pub fn positions_of(&self, attrs: &[Attr]) -> Result<Vec<usize>> {
+        attrs
+            .iter()
+            .map(|a| {
+                self.index_of(a).ok_or_else(|| RelalgError::UnknownAttr {
+                    attr: a.clone(),
+                    schema: self.clone(),
+                })
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Schema{self}")
+    }
+}
+
+/// Convenience constructor used pervasively in tests and examples:
+/// `schema(["A", "B"])`.
+pub fn schema<I, A>(attrs: I) -> Schema
+where
+    I: IntoIterator<Item = A>,
+    A: Into<Attr>,
+{
+    Schema::new(attrs).expect("duplicate attribute in schema literal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_duplicates() {
+        assert!(Schema::new(["A", "B", "A"]).is_err());
+        assert!(Schema::new(["A", "B"]).is_ok());
+    }
+
+    #[test]
+    fn index_and_contains() {
+        let s = schema(["A", "B", "C"]);
+        assert_eq!(s.index_of(&"B".into()), Some(1));
+        assert!(s.contains(&"C".into()));
+        assert!(!s.contains(&"Z".into()));
+        assert_eq!(s.arity(), 3);
+    }
+
+    #[test]
+    fn union_compatibility_ignores_order() {
+        let s = schema(["A", "B"]);
+        let t = schema(["B", "A"]);
+        let u = schema(["A", "C"]);
+        assert!(s.same_attr_set(&t));
+        assert!(!s.same_attr_set(&u));
+    }
+
+    #[test]
+    fn join_schema_keeps_left_order_then_right_extras() {
+        let left = schema(["A", "B"]);
+        let right = schema(["B", "C"]);
+        let j = left.join_with(&right);
+        assert_eq!(j, schema(["A", "B", "C"]));
+        assert_eq!(left.shared_with(&right), vec![Attr::new("B")]);
+    }
+
+    #[test]
+    fn join_with_disjoint_is_cross_product_schema() {
+        let left = schema(["A"]);
+        let right = schema(["B"]);
+        assert_eq!(left.join_with(&right), schema(["A", "B"]));
+        assert!(left.shared_with(&right).is_empty());
+    }
+
+    #[test]
+    fn project_validates_and_orders() {
+        let s = schema(["A", "B", "C"]);
+        assert_eq!(s.project(&["C".into(), "A".into()]).unwrap(), schema(["C", "A"]));
+        assert!(s.project(&["Z".into()]).is_err());
+        assert!(s.project(&["A".into(), "A".into()]).is_err());
+    }
+
+    #[test]
+    fn rename_applies_and_validates() {
+        let s = schema(["A", "B"]);
+        let r = s.rename(&[("A".into(), "X".into())]).unwrap();
+        assert_eq!(r, schema(["X", "B"]));
+        // unknown source
+        assert!(s.rename(&[("Z".into(), "X".into())]).is_err());
+        // duplicate source
+        assert!(s
+            .rename(&[("A".into(), "X".into()), ("A".into(), "Y".into())])
+            .is_err());
+        // collision with untouched attribute
+        assert!(s.rename(&[("A".into(), "B".into())]).is_err());
+        // swap is fine (both renamed)
+        let swapped = s
+            .rename(&[("A".into(), "B".into()), ("B".into(), "A".into())])
+            .unwrap();
+        assert_eq!(swapped, schema(["B", "A"]));
+    }
+
+    #[test]
+    fn positions_of_in_requested_order() {
+        let s = schema(["A", "B", "C"]);
+        assert_eq!(
+            s.positions_of(&["C".into(), "A".into()]).unwrap(),
+            vec![2, 0]
+        );
+        assert!(s.positions_of(&["Q".into()]).is_err());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(schema(["A", "B"]).to_string(), "(A, B)");
+        assert_eq!(Schema::new(Vec::<Attr>::new()).unwrap().to_string(), "()");
+    }
+}

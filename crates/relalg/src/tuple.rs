@@ -1,0 +1,153 @@
+//! Tuples: positional rows interpreted against a [`Schema`].
+
+use crate::schema::Schema;
+use crate::value::Value;
+use std::fmt;
+
+/// A positional tuple. Meaning is given by the schema of the relation or
+/// query result that holds it; tuples themselves are plain value vectors so
+/// set operations are cheap.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new<I, V>(values: I) -> Tuple
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple { values: values.into_iter().map(Into::into).collect() }
+    }
+
+    /// Number of fields.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// All values in positional order.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at position `idx`.
+    pub fn get(&self, idx: usize) -> &Value {
+        &self.values[idx]
+    }
+
+    /// Value of attribute `attr` under `schema`, if the attribute exists.
+    pub fn value_of(&self, schema: &Schema, attr: &crate::name::Attr) -> Option<&Value> {
+        schema.index_of(attr).map(|i| &self.values[i])
+    }
+
+    /// Project onto the given positions (in the given order).
+    pub fn project_positions(&self, positions: &[usize]) -> Tuple {
+        Tuple { values: positions.iter().map(|&i| self.values[i].clone()).collect() }
+    }
+
+    /// Concatenate with the non-shared suffix of another tuple (natural-join
+    /// output construction): `self` in full, then `other`'s values at
+    /// `other_extra_positions`.
+    pub fn join_concat(&self, other: &Tuple, other_extra_positions: &[usize]) -> Tuple {
+        let mut values = Vec::with_capacity(self.values.len() + other_extra_positions.len());
+        values.extend_from_slice(&self.values);
+        values.extend(other_extra_positions.iter().map(|&i| other.values[i].clone()));
+        Tuple { values }
+    }
+
+    /// Whether `self` and `other` agree on the paired positions
+    /// `(self_pos, other_pos)`.
+    pub fn agrees_on(&self, other: &Tuple, pairs: &[(usize, usize)]) -> bool {
+        pairs.iter().all(|&(i, j)| self.values[i] == other.values[j])
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Debug for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tuple{self}")
+    }
+}
+
+impl<V: Into<Value>> FromIterator<V> for Tuple {
+    fn from_iter<I: IntoIterator<Item = V>>(iter: I) -> Self {
+        Tuple::new(iter)
+    }
+}
+
+/// Convenience constructor: `tuple(["a", "x1"])` or `tuple([1, 2])`.
+pub fn tuple<I, V>(values: I) -> Tuple
+where
+    I: IntoIterator<Item = V>,
+    V: Into<Value>,
+{
+    Tuple::new(values)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::schema;
+
+    #[test]
+    fn construction_and_access() {
+        let t = tuple(["a", "x1"]);
+        assert_eq!(t.arity(), 2);
+        assert_eq!(t.get(1), &Value::str("x1"));
+        let s = schema(["A", "B"]);
+        assert_eq!(t.value_of(&s, &"A".into()), Some(&Value::str("a")));
+        assert_eq!(t.value_of(&s, &"Z".into()), None);
+    }
+
+    #[test]
+    fn projection_reorders_and_duplicates() {
+        let t = tuple([1, 2, 3]);
+        assert_eq!(t.project_positions(&[2, 0]), tuple([3, 1]));
+        assert_eq!(t.project_positions(&[1, 1]), tuple([2, 2]));
+        assert_eq!(t.project_positions(&[]), Tuple::new(Vec::<Value>::new()));
+    }
+
+    #[test]
+    fn join_concat_appends_extras() {
+        let left = tuple(["a", "b"]);
+        let right = tuple(["b", "c", "d"]);
+        // extras are right's positions 1 and 2.
+        assert_eq!(left.join_concat(&right, &[1, 2]), tuple(["a", "b", "c", "d"]));
+    }
+
+    #[test]
+    fn agrees_on_checks_pairs() {
+        let left = tuple(["a", "k"]);
+        let right = tuple(["k", "z"]);
+        assert!(left.agrees_on(&right, &[(1, 0)]));
+        assert!(!left.agrees_on(&right, &[(0, 0)]));
+        assert!(left.agrees_on(&right, &[])); // vacuous
+    }
+
+    #[test]
+    fn ordering_for_deterministic_sets() {
+        let mut v = vec![tuple([2, 1]), tuple([1, 9]), tuple([1, 2])];
+        v.sort();
+        assert_eq!(v, vec![tuple([1, 2]), tuple([1, 9]), tuple([2, 1])]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple(["a", "c1"]).to_string(), "(a, c1)");
+        assert_eq!(Tuple::new(Vec::<Value>::new()).to_string(), "()");
+    }
+}

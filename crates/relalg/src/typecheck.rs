@@ -1,0 +1,183 @@
+//! Static schema inference for queries.
+//!
+//! `output_schema` computes the schema `Q(S)` will have, and rejects
+//! ill-formed queries (projections of unknown attributes, incompatible
+//! unions, non-injective renames, reserved attribute names) before any
+//! evaluation happens.
+
+use crate::database::Catalog;
+use crate::error::{RelalgError, Result};
+use crate::query::Query;
+use crate::schema::Schema;
+
+/// Infer the output schema of `q` against `catalog`, validating the query.
+pub fn output_schema(q: &Query, catalog: &Catalog) -> Result<Schema> {
+    match q {
+        Query::Scan(rel) => catalog
+            .get(rel)
+            .cloned()
+            .ok_or_else(|| RelalgError::UnknownRelation { rel: rel.clone() }),
+        Query::Select { input, pred } => {
+            let schema = output_schema(input, catalog)?;
+            pred.validate(&schema)?;
+            Ok(schema)
+        }
+        Query::Project { input, attrs } => {
+            let schema = output_schema(input, catalog)?;
+            schema.project(attrs)
+        }
+        Query::Join { left, right } => {
+            let l = output_schema(left, catalog)?;
+            let r = output_schema(right, catalog)?;
+            Ok(l.join_with(&r))
+        }
+        Query::Union { left, right } => {
+            let l = output_schema(left, catalog)?;
+            let r = output_schema(right, catalog)?;
+            if !l.same_attr_set(&r) {
+                return Err(RelalgError::UnionIncompatible { left: l, right: r });
+            }
+            // The union's presentation order follows the left branch.
+            Ok(l)
+        }
+        Query::Rename { input, mapping } => {
+            let schema = output_schema(input, catalog)?;
+            schema.rename(mapping)
+        }
+    }
+}
+
+/// Validate that user-supplied queries do not use the reserved internal
+/// attribute prefix (`#`), which the normalizer owns.
+pub fn reject_internal_attrs(q: &Query) -> Result<()> {
+    fn check_schema_attrs(attrs: &[crate::name::Attr]) -> Result<()> {
+        for a in attrs {
+            if a.is_internal() {
+                return Err(RelalgError::ReservedAttr { attr: a.clone() });
+            }
+        }
+        Ok(())
+    }
+    match q {
+        Query::Scan(_) => Ok(()),
+        Query::Select { input, pred } => {
+            check_schema_attrs(&pred.referenced_attrs())?;
+            reject_internal_attrs(input)
+        }
+        Query::Project { input, attrs } => {
+            check_schema_attrs(attrs)?;
+            reject_internal_attrs(input)
+        }
+        Query::Join { left, right } | Query::Union { left, right } => {
+            reject_internal_attrs(left)?;
+            reject_internal_attrs(right)
+        }
+        Query::Rename { input, mapping } => {
+            for (a, b) in mapping {
+                if a.is_internal() || b.is_internal() {
+                    return Err(RelalgError::ReservedAttr {
+                        attr: if a.is_internal() { a.clone() } else { b.clone() },
+                    });
+                }
+            }
+            reject_internal_attrs(input)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Pred;
+    use crate::schema::schema;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.insert("R1".into(), schema(["A", "B"]));
+        c.insert("R2".into(), schema(["B", "C"]));
+        c.insert("R3".into(), schema(["A", "B"]));
+        c
+    }
+
+    #[test]
+    fn scan_and_join_schemas() {
+        let c = catalog();
+        let q = Query::scan("R1").join(Query::scan("R2"));
+        assert_eq!(output_schema(&q, &c).unwrap(), schema(["A", "B", "C"]));
+    }
+
+    #[test]
+    fn unknown_relation() {
+        let c = catalog();
+        assert!(matches!(
+            output_schema(&Query::scan("Zed"), &c),
+            Err(RelalgError::UnknownRelation { .. })
+        ));
+    }
+
+    #[test]
+    fn select_validates_predicate() {
+        let c = catalog();
+        let ok = Query::scan("R1").select(Pred::attr_eq_const("A", 1));
+        assert!(output_schema(&ok, &c).is_ok());
+        let bad = Query::scan("R1").select(Pred::attr_eq_const("C", 1));
+        assert!(output_schema(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn project_schema_and_errors() {
+        let c = catalog();
+        let q = Query::scan("R1").project(["B"]);
+        assert_eq!(output_schema(&q, &c).unwrap(), schema(["B"]));
+        let bad = Query::scan("R1").project(["Z"]);
+        assert!(output_schema(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let c = catalog();
+        let ok = Query::scan("R1").union(Query::scan("R3"));
+        assert_eq!(output_schema(&ok, &c).unwrap(), schema(["A", "B"]));
+        let bad = Query::scan("R1").union(Query::scan("R2"));
+        assert!(matches!(
+            output_schema(&bad, &c),
+            Err(RelalgError::UnionIncompatible { .. })
+        ));
+        // Reordered attribute sets are compatible.
+        let reordered = Query::scan("R1").union(Query::scan("R3").project(["B", "A"]));
+        assert_eq!(output_schema(&reordered, &c).unwrap(), schema(["A", "B"]));
+    }
+
+    #[test]
+    fn rename_schema() {
+        let c = catalog();
+        let q = Query::scan("R1").rename([("A", "X")]);
+        assert_eq!(output_schema(&q, &c).unwrap(), schema(["X", "B"]));
+        // Rename enabling a union (Theorem 2.7 uses δ this way).
+        let q = Query::scan("R2")
+            .rename([("B", "A"), ("C", "B")])
+            .union(Query::scan("R1"));
+        assert_eq!(output_schema(&q, &c).unwrap(), schema(["A", "B"]));
+        let bad = Query::scan("R1").rename([("A", "B")]);
+        assert!(output_schema(&bad, &c).is_err());
+    }
+
+    #[test]
+    fn self_join_is_idempotent_schema() {
+        let c = catalog();
+        let q = Query::scan("R1").join(Query::scan("R1"));
+        assert_eq!(output_schema(&q, &c).unwrap(), schema(["A", "B"]));
+    }
+
+    #[test]
+    fn internal_attr_rejection() {
+        let q = Query::scan("R1").project(["#0"]);
+        assert!(reject_internal_attrs(&q).is_err());
+        let q = Query::scan("R1").rename([("A", "#1")]);
+        assert!(reject_internal_attrs(&q).is_err());
+        let q = Query::scan("R1").select(Pred::attr_eq_const("#2", 0));
+        assert!(reject_internal_attrs(&q).is_err());
+        let q = Query::scan("R1").project(["A"]);
+        assert!(reject_internal_attrs(&q).is_ok());
+    }
+}

@@ -1,0 +1,164 @@
+//! Atomic values stored in tuples.
+//!
+//! The paper's constructions use symbolic constants (`a`, `x1`, `c3`, `T`, `F`,
+//! dummies `d`) and the examples use strings and numbers, so the value domain
+//! is integers, strings and booleans. Strings are shared `Arc<str>` because
+//! join keys and provenance copies clone values heavily.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value. Totally ordered across variants (Bool < Int <
+/// Str) so relations have a deterministic iteration order.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Value {
+    /// Boolean constant (`true` / `false`).
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// Interned string / symbolic constant.
+    Str(Arc<str>),
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build an integer value.
+    pub fn int(i: i64) -> Value {
+        Value::Int(i)
+    }
+
+    /// Build a boolean value.
+    pub fn bool(b: bool) -> Value {
+        Value::Bool(b)
+    }
+
+    /// The string content, if this is a string value.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer content, if this is an integer value.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// A short name for the value's runtime type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Str(_) => "str",
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => f.write_str(s),
+        }
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "{:?}", &**s),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(i: i32) -> Self {
+        Value::Int(i64::from(i))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::str(s)
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(Arc::from(s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_meaning() {
+        assert_eq!(Value::int(42).to_string(), "42");
+        assert_eq!(Value::str("x1").to_string(), "x1");
+        assert_eq!(Value::bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn ordering_across_variants_is_total_and_stable() {
+        let mut vs = vec![Value::str("a"), Value::int(3), Value::bool(false), Value::int(-1)];
+        vs.sort();
+        assert_eq!(
+            vs,
+            vec![Value::bool(false), Value::int(-1), Value::int(3), Value::str("a")]
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::str("abc").as_str(), Some("abc"));
+        assert_eq!(Value::int(7).as_int(), Some(7));
+        assert_eq!(Value::int(7).as_str(), None);
+        assert_eq!(Value::str("abc").as_int(), None);
+    }
+
+    #[test]
+    fn from_impls() {
+        let v: Value = 5i64.into();
+        assert_eq!(v, Value::int(5));
+        let v: Value = "s".into();
+        assert_eq!(v, Value::str("s"));
+        let v: Value = true.into();
+        assert_eq!(v, Value::bool(true));
+        let v: Value = 5i32.into();
+        assert_eq!(v, Value::int(5));
+        let v: Value = String::from("owned").into();
+        assert_eq!(v, Value::str("owned"));
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::int(0).type_name(), "int");
+        assert_eq!(Value::str("").type_name(), "str");
+        assert_eq!(Value::bool(true).type_name(), "bool");
+    }
+}

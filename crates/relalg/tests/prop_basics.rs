@@ -1,0 +1,117 @@
+//! Property tests on the core data structures: values, tuples, schemas,
+//! predicates and the parser.
+
+use dap_relalg::{
+    parse_pred, schema, tuple, Attr, CmpOp, Operand, Pred, Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::int),
+        any::<bool>().prop_map(Value::bool),
+        "[a-z][a-z0-9']{0,6}".prop_map(Value::str),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn value_ordering_is_total_and_consistent(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        match a.cmp(&b) {
+            Ordering::Equal => prop_assert_eq!(&a, &b),
+            Ordering::Less => prop_assert!(b > a),
+            Ordering::Greater => prop_assert!(b < a),
+        }
+        prop_assert_eq!(a.cmp(&b), b.cmp(&a).reverse());
+    }
+
+    #[test]
+    fn tuple_projection_composes(values in proptest::collection::vec(arb_value(), 1..6)) {
+        let t = Tuple::new(values.clone());
+        let all: Vec<usize> = (0..values.len()).collect();
+        prop_assert_eq!(t.project_positions(&all), t.clone());
+        let reversed: Vec<usize> = all.iter().rev().copied().collect();
+        let double_reverse = t.project_positions(&reversed).project_positions(&reversed);
+        prop_assert_eq!(double_reverse, t);
+    }
+
+    #[test]
+    fn schema_rename_round_trips(n in 1..5usize) {
+        let attrs: Vec<String> = (0..n).map(|i| format!("A{i}")).collect();
+        let s = Schema::new(attrs.clone()).expect("distinct");
+        let forward: Vec<(Attr, Attr)> = attrs
+            .iter()
+            .map(|a| (Attr::new(a), Attr::new(format!("Z_{a}"))))
+            .collect();
+        let back: Vec<(Attr, Attr)> =
+            forward.iter().map(|(o, n)| (n.clone(), o.clone())).collect();
+        let there = s.rename(&forward).expect("fresh targets");
+        let and_back = there.rename(&back).expect("fresh targets");
+        prop_assert_eq!(and_back, s);
+    }
+
+    #[test]
+    fn join_schema_is_idempotent_and_ordered(
+        left in proptest::collection::btree_set("[A-F]", 1..4),
+        right in proptest::collection::btree_set("[A-F]", 1..4),
+    ) {
+        let l = Schema::new(left.iter().cloned()).expect("distinct");
+        let r = Schema::new(right.iter().cloned()).expect("distinct");
+        let j = l.join_with(&r);
+        // Every attribute of both sides appears exactly once.
+        let union: std::collections::BTreeSet<&str> =
+            left.iter().map(String::as_str).chain(right.iter().map(String::as_str)).collect();
+        prop_assert_eq!(j.arity(), union.len());
+        // Joining again with either side changes nothing.
+        prop_assert_eq!(j.join_with(&l).arity(), j.arity());
+        prop_assert_eq!(j.join_with(&r).arity(), j.arity());
+    }
+
+    #[test]
+    fn pred_display_round_trips(
+        attr in "[a-z]{1,4}",
+        v in arb_value(),
+        op_pick in 0..6usize,
+        negate in any::<bool>(),
+    ) {
+        let op = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge][op_pick];
+        let mut p = Pred::cmp(Operand::Attr(attr.as_str().into()), op, Operand::Const(v));
+        if negate {
+            p = p.negate();
+        }
+        let text = p.to_string();
+        let parsed = parse_pred(&text)
+            .unwrap_or_else(|e| panic!("failed to parse `{text}`: {e}"));
+        prop_assert_eq!(parsed, p);
+    }
+
+    #[test]
+    fn predicate_de_morgan(
+        x in -3..3i64,
+        y in -3..3i64,
+    ) {
+        let s = schema(["A", "B"]);
+        let t = tuple([x, y]);
+        let a = Pred::attr_eq_const("A", 0);
+        let b = Pred::attr_eq_const("B", 0);
+        // ¬(a ∧ b) ≡ ¬a ∨ ¬b on every tuple.
+        let lhs = a.clone().and(b.clone()).negate().eval(&s, &t).unwrap();
+        let rhs = a.clone().negate().or(b.clone().negate()).eval(&s, &t).unwrap();
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn relation_dedup_is_idempotent(
+        rows in proptest::collection::vec(proptest::collection::vec(arb_value(), 2), 0..10),
+    ) {
+        let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
+        let r1 = dap_relalg::Relation::new("R", schema(["A", "B"]), tuples.clone()).unwrap();
+        let r2 = dap_relalg::Relation::new("R", schema(["A", "B"]), r1.tuples().to_vec()).unwrap();
+        prop_assert_eq!(r1.tuples(), r2.tuples());
+        // Sortedness.
+        prop_assert!(r1.tuples().windows(2).all(|w| w[0] < w[1]));
+    }
+}

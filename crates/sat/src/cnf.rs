@@ -1,0 +1,357 @@
+//! CNF formulas, with first-class support for the paper's **monotone 3SAT**
+//! fragment (every clause all-positive or all-negative) — the source problem
+//! of the hardness reductions in Theorems 2.1 and 2.2.
+
+use std::fmt;
+
+/// A literal: a 0-based variable index with a sign.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Lit {
+    /// 0-based variable index.
+    pub var: usize,
+    /// `true` for `x`, `false` for `¬x`.
+    pub positive: bool,
+}
+
+impl Lit {
+    /// A positive literal.
+    pub fn pos(var: usize) -> Lit {
+        Lit { var, positive: true }
+    }
+
+    /// A negative literal.
+    pub fn neg(var: usize) -> Lit {
+        Lit { var, positive: false }
+    }
+
+    /// The literal's value under an assignment.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        assignment[self.var] == self.positive
+    }
+
+    /// The complementary literal.
+    pub fn negated(&self) -> Lit {
+        Lit { var: self.var, positive: !self.positive }
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.positive {
+            write!(f, "x{}", self.var + 1)
+        } else {
+            write!(f, "!x{}", self.var + 1)
+        }
+    }
+}
+
+/// A disjunction of literals.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Clause {
+    /// The literals of the clause.
+    pub lits: Vec<Lit>,
+}
+
+impl Clause {
+    /// Build a clause.
+    pub fn new<I: IntoIterator<Item = Lit>>(lits: I) -> Clause {
+        Clause { lits: lits.into_iter().collect() }
+    }
+
+    /// Whether the clause holds under `assignment`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.lits.iter().any(|l| l.eval(assignment))
+    }
+
+    /// All-positive or all-negative?
+    pub fn is_monotone(&self) -> bool {
+        self.lits.iter().all(|l| l.positive) || self.lits.iter().all(|l| !l.positive)
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, l) in self.lits.iter().enumerate() {
+            if i > 0 {
+                write!(f, " + ")?;
+            }
+            write!(f, "{l}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A CNF formula: a conjunction of clauses over `num_vars` variables.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Cnf {
+    /// Number of variables (indices `0..num_vars`).
+    pub num_vars: usize,
+    /// The clauses.
+    pub clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Build a formula; `num_vars` must cover every literal.
+    pub fn new(num_vars: usize, clauses: Vec<Clause>) -> Cnf {
+        debug_assert!(clauses
+            .iter()
+            .flat_map(|c| &c.lits)
+            .all(|l| l.var < num_vars));
+        Cnf { num_vars, clauses }
+    }
+
+    /// Whether the formula holds under `assignment`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Every clause monotone?
+    pub fn is_monotone(&self) -> bool {
+        self.clauses.iter().all(Clause::is_monotone)
+    }
+
+    /// Every clause has exactly three literals?
+    pub fn is_3cnf(&self) -> bool {
+        self.clauses.iter().all(|c| c.lits.len() == 3)
+    }
+}
+
+impl fmt::Display for Cnf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A monotone clause: a sign plus the variables it mentions.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MonotoneClause {
+    /// `true` = all-positive clause, `false` = all-negated.
+    pub positive: bool,
+    /// 0-based variable indices (typically 3 of them).
+    pub vars: Vec<usize>,
+}
+
+impl MonotoneClause {
+    /// Whether the clause holds under `assignment`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.vars.iter().any(|&v| assignment[v] == self.positive)
+    }
+}
+
+/// A monotone 3SAT instance — the NP-hard variant the paper reduces from
+/// (hardness shown by Gold \[5\], also via Schaefer's theorem \[10\]).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Monotone3Sat {
+    /// Number of variables.
+    pub num_vars: usize,
+    /// The monotone clauses.
+    pub clauses: Vec<MonotoneClause>,
+}
+
+impl Monotone3Sat {
+    /// Build an instance, validating that every clause has exactly three
+    /// variable occurrences within range.
+    pub fn new(num_vars: usize, clauses: Vec<MonotoneClause>) -> Result<Monotone3Sat, String> {
+        for (i, c) in clauses.iter().enumerate() {
+            if c.vars.len() != 3 {
+                return Err(format!("clause {i} has {} literals, expected 3", c.vars.len()));
+            }
+            for &v in &c.vars {
+                if v >= num_vars {
+                    return Err(format!("clause {i} references variable x{} > x{num_vars}", v + 1));
+                }
+            }
+        }
+        Ok(Monotone3Sat { num_vars, clauses })
+    }
+
+    /// Parse from the paper's notation, e.g.
+    /// `"(x1 + x2 + x3)(!x2 + !x4 + !x5)(x4 + x1 + x3)"`.
+    /// `!` (or `~`) negates; each clause must be all-positive or
+    /// all-negative; variables are 1-based `x<k>` names.
+    pub fn parse(src: &str) -> Result<Monotone3Sat, String> {
+        let mut clauses = Vec::new();
+        let mut num_vars = 0usize;
+        let mut rest = src.trim();
+        while !rest.is_empty() {
+            let open = rest
+                .find('(')
+                .ok_or_else(|| format!("expected '(' at `{rest}`"))?;
+            if !rest[..open].trim().is_empty() {
+                return Err(format!("unexpected text before clause: `{}`", &rest[..open]));
+            }
+            let close = rest
+                .find(')')
+                .ok_or_else(|| "unterminated clause".to_string())?;
+            let body = &rest[open + 1..close];
+            let mut vars = Vec::new();
+            let mut signs = Vec::new();
+            for raw in body.split('+') {
+                let lit = raw.trim();
+                let (neg, name) = match lit.strip_prefix('!').or_else(|| lit.strip_prefix('~')) {
+                    Some(n) => (true, n.trim()),
+                    None => (false, lit),
+                };
+                let idx: usize = name
+                    .strip_prefix('x')
+                    .ok_or_else(|| format!("expected variable like x3, got `{lit}`"))?
+                    .parse()
+                    .map_err(|_| format!("bad variable `{lit}`"))?;
+                if idx == 0 {
+                    return Err("variables are 1-based (x1, x2, …)".to_string());
+                }
+                vars.push(idx - 1);
+                signs.push(!neg);
+                num_vars = num_vars.max(idx);
+            }
+            if signs.windows(2).any(|w| w[0] != w[1]) {
+                return Err(format!("clause ({body}) mixes positive and negative literals"));
+            }
+            clauses.push(MonotoneClause { positive: signs.first().copied().unwrap_or(true), vars });
+            rest = rest[close + 1..].trim_start();
+        }
+        Monotone3Sat::new(num_vars, clauses)
+    }
+
+    /// Whether the instance holds under `assignment`.
+    pub fn eval(&self, assignment: &[bool]) -> bool {
+        self.clauses.iter().all(|c| c.eval(assignment))
+    }
+
+    /// Convert to a general CNF formula (for the DPLL solver).
+    pub fn to_cnf(&self) -> Cnf {
+        let clauses = self
+            .clauses
+            .iter()
+            .map(|c| {
+                Clause::new(c.vars.iter().map(|&v| Lit { var: v, positive: c.positive }))
+            })
+            .collect();
+        Cnf::new(self.num_vars, clauses)
+    }
+
+    /// The all-positive clauses, with their original indices.
+    pub fn positive_clauses(&self) -> impl Iterator<Item = (usize, &MonotoneClause)> {
+        self.clauses.iter().enumerate().filter(|(_, c)| c.positive)
+    }
+
+    /// The all-negated clauses, with their original indices.
+    pub fn negative_clauses(&self) -> impl Iterator<Item = (usize, &MonotoneClause)> {
+        self.clauses.iter().enumerate().filter(|(_, c)| !c.positive)
+    }
+}
+
+impl fmt::Display for Monotone3Sat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.clauses {
+            write!(f, "(")?;
+            for (i, &v) in c.vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, " + ")?;
+                }
+                if !c.positive {
+                    write!(f, "!")?;
+                }
+                write!(f, "x{}", v + 1)?;
+            }
+            write!(f, ")")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_eval_and_negation() {
+        let a = [true, false];
+        assert!(Lit::pos(0).eval(&a));
+        assert!(!Lit::pos(1).eval(&a));
+        assert!(Lit::neg(1).eval(&a));
+        assert_eq!(Lit::pos(0).negated(), Lit::neg(0));
+        assert_eq!(Lit::pos(0).to_string(), "x1");
+        assert_eq!(Lit::neg(2).to_string(), "!x3");
+    }
+
+    #[test]
+    fn clause_and_cnf_eval() {
+        let c = Clause::new([Lit::pos(0), Lit::neg(1)]);
+        assert!(c.eval(&[false, false]));
+        assert!(!c.eval(&[false, true]));
+        let f = Cnf::new(2, vec![c.clone(), Clause::new([Lit::pos(1)])]);
+        assert!(f.eval(&[true, true]));
+        assert!(!f.eval(&[false, false]));
+    }
+
+    #[test]
+    fn monotonicity_checks() {
+        assert!(Clause::new([Lit::pos(0), Lit::pos(1)]).is_monotone());
+        assert!(Clause::new([Lit::neg(0), Lit::neg(1)]).is_monotone());
+        assert!(!Clause::new([Lit::pos(0), Lit::neg(1)]).is_monotone());
+    }
+
+    #[test]
+    fn parse_paper_example() {
+        // The Figure 1 formula (with the overbars the postprint lost).
+        let f = Monotone3Sat::parse("(!x1 + !x2 + !x3)(x2 + x4 + x5)(!x4 + !x1 + !x3)").unwrap();
+        assert_eq!(f.num_vars, 5);
+        assert_eq!(f.clauses.len(), 3);
+        assert!(!f.clauses[0].positive);
+        assert!(f.clauses[1].positive);
+        assert!(!f.clauses[2].positive);
+        assert_eq!(f.positive_clauses().count(), 1);
+        assert_eq!(f.negative_clauses().count(), 2);
+        // x2 = true satisfies clause 2; x1 = false satisfies clauses 1 and 3.
+        assert!(f.eval(&[false, true, false, false, false]));
+        assert!(!f.eval(&[true, false, true, true, false]));
+    }
+
+    #[test]
+    fn parse_rejects_mixed_and_garbage() {
+        assert!(Monotone3Sat::parse("(x1 + !x2 + x3)").is_err());
+        assert!(Monotone3Sat::parse("(x1 + x2)").is_err(), "not 3 literals");
+        assert!(Monotone3Sat::parse("(x0 + x1 + x2)").is_err(), "1-based");
+        assert!(Monotone3Sat::parse("(y1 + y2 + y3)").is_err());
+        assert!(Monotone3Sat::parse("junk(x1 + x2 + x3)").is_err());
+        assert!(Monotone3Sat::parse("(x1 + x2 + x3").is_err());
+    }
+
+    #[test]
+    fn display_round_trips() {
+        let text = "(!x1 + !x2 + !x3)(x2 + x4 + x5)";
+        let f = Monotone3Sat::parse(text).unwrap();
+        assert_eq!(Monotone3Sat::parse(&f.to_string()).unwrap(), f);
+    }
+
+    #[test]
+    fn to_cnf_preserves_semantics() {
+        let f = Monotone3Sat::parse("(!x1 + !x2 + !x3)(x2 + x4 + x5)(!x4 + !x1 + !x3)").unwrap();
+        let cnf = f.to_cnf();
+        assert!(cnf.is_monotone());
+        assert!(cnf.is_3cnf());
+        for bits in 0u32..(1 << f.num_vars) {
+            let a: Vec<bool> = (0..f.num_vars).map(|i| bits & (1 << i) != 0).collect();
+            assert_eq!(f.eval(&a), cnf.eval(&a), "assignment {a:?}");
+        }
+    }
+
+    #[test]
+    fn new_validates() {
+        assert!(Monotone3Sat::new(
+            2,
+            vec![MonotoneClause { positive: true, vars: vec![0, 1, 2] }]
+        )
+        .is_err());
+        assert!(Monotone3Sat::new(
+            3,
+            vec![MonotoneClause { positive: true, vars: vec![0, 1] }]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! A DPLL SAT solver with unit propagation and pure-literal elimination.
+//!
+//! Used as the reference oracle for the hardness reductions: a monotone 3SAT
+//! instance is satisfiable iff the reduced view-deletion (Thm 2.1/2.2) or
+//! annotation-placement (Thm 3.2) instance has a side-effect-free solution —
+//! the round-trip tests check both directions against this solver.
+
+use crate::cnf::{Clause, Cnf, Lit};
+
+/// Solver outcome: a satisfying assignment, or `None` for UNSAT.
+pub fn solve(f: &Cnf) -> Option<Vec<bool>> {
+    let mut assignment: Vec<Option<bool>> = vec![None; f.num_vars];
+    if dpll(&f.clauses, &mut assignment) {
+        // Unconstrained variables default to false.
+        Some(assignment.into_iter().map(|v| v.unwrap_or(false)).collect())
+    } else {
+        None
+    }
+}
+
+/// Whether the formula is satisfiable.
+pub fn is_satisfiable(f: &Cnf) -> bool {
+    solve(f).is_some()
+}
+
+/// Clause state under a partial assignment.
+enum ClauseState {
+    Satisfied,
+    /// Still undecided, with the remaining free literals.
+    Open(Vec<Lit>),
+    Conflict,
+}
+
+fn clause_state(c: &Clause, assignment: &[Option<bool>]) -> ClauseState {
+    let mut free = Vec::new();
+    for l in &c.lits {
+        match assignment[l.var] {
+            Some(v) if v == l.positive => return ClauseState::Satisfied,
+            Some(_) => {}
+            None => free.push(*l),
+        }
+    }
+    if free.is_empty() {
+        ClauseState::Conflict
+    } else {
+        ClauseState::Open(free)
+    }
+}
+
+fn dpll(clauses: &[Clause], assignment: &mut Vec<Option<bool>>) -> bool {
+    // Unit propagation + pure literal elimination to a fixed point.
+    let mut trail: Vec<usize> = Vec::new();
+    loop {
+        let mut changed = false;
+        let mut all_satisfied = true;
+        // Track polarity occurrences among open clauses for pure literals.
+        let mut occurs_pos = vec![false; assignment.len()];
+        let mut occurs_neg = vec![false; assignment.len()];
+        let mut unit: Option<Lit> = None;
+        for c in clauses {
+            match clause_state(c, assignment) {
+                ClauseState::Satisfied => {}
+                ClauseState::Conflict => {
+                    undo(assignment, &trail);
+                    return false;
+                }
+                ClauseState::Open(free) => {
+                    all_satisfied = false;
+                    if free.len() == 1 {
+                        unit = Some(free[0]);
+                    }
+                    for l in &free {
+                        if l.positive {
+                            occurs_pos[l.var] = true;
+                        } else {
+                            occurs_neg[l.var] = true;
+                        }
+                    }
+                }
+            }
+        }
+        if all_satisfied {
+            return true;
+        }
+        if let Some(l) = unit {
+            assignment[l.var] = Some(l.positive);
+            trail.push(l.var);
+            changed = true;
+        } else {
+            // Pure literal: a variable occurring with one polarity only.
+            for v in 0..assignment.len() {
+                if assignment[v].is_none() && (occurs_pos[v] ^ occurs_neg[v]) {
+                    assignment[v] = Some(occurs_pos[v]);
+                    trail.push(v);
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Branch on the first unassigned variable appearing in an open clause.
+    let branch_var = clauses.iter().find_map(|c| match clause_state(c, assignment) {
+        ClauseState::Open(free) => Some(free[0].var),
+        _ => None,
+    });
+    let Some(v) = branch_var else {
+        // No open clause → satisfied.
+        return true;
+    };
+    for value in [true, false] {
+        assignment[v] = Some(value);
+        if dpll(clauses, assignment) {
+            return true;
+        }
+        assignment[v] = None;
+    }
+    undo(assignment, &trail);
+    false
+}
+
+fn undo(assignment: &mut [Option<bool>], trail: &[usize]) {
+    for &v in trail {
+        assignment[v] = None;
+    }
+}
+
+/// Exhaustive reference solver for testing (up to ~20 variables).
+pub fn brute_force(f: &Cnf) -> Option<Vec<bool>> {
+    assert!(f.num_vars <= 24, "brute force limited to 24 variables");
+    for bits in 0u64..(1u64 << f.num_vars) {
+        let a: Vec<bool> = (0..f.num_vars).map(|i| bits & (1 << i) != 0).collect();
+        if f.eval(&a) {
+            return Some(a);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnf::Monotone3Sat;
+
+    fn cnf(clauses: Vec<Vec<i64>>) -> Cnf {
+        // DIMACS-ish: positive k = x_{k}, negative = ¬x_{k} (1-based).
+        let num_vars = clauses
+            .iter()
+            .flatten()
+            .map(|l| l.unsigned_abs() as usize)
+            .max()
+            .unwrap_or(0);
+        Cnf::new(
+            num_vars,
+            clauses
+                .into_iter()
+                .map(|c| {
+                    Clause::new(c.into_iter().map(|l| Lit {
+                        var: l.unsigned_abs() as usize - 1,
+                        positive: l > 0,
+                    }))
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        assert!(is_satisfiable(&cnf(vec![vec![1]])));
+        assert!(!is_satisfiable(&cnf(vec![vec![1], vec![-1]])));
+        assert!(is_satisfiable(&Cnf::new(0, vec![])));
+        assert!(!is_satisfiable(&Cnf::new(1, vec![Clause::new([])])));
+    }
+
+    #[test]
+    fn model_actually_satisfies() {
+        let f = cnf(vec![vec![1, 2], vec![-1, 3], vec![-2, -3], vec![1, -3]]);
+        let m = solve(&f).expect("satisfiable");
+        assert!(f.eval(&m));
+    }
+
+    #[test]
+    fn unsat_pigeonhole_2_into_1() {
+        // Two pigeons, one hole: x1 = pigeon1 in hole, x2 = pigeon2 in hole.
+        let f = cnf(vec![vec![1], vec![2], vec![-1, -2]]);
+        assert!(!is_satisfiable(&f));
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_small_formulas() {
+        // Deterministic pseudo-random 3-CNFs over 6 vars.
+        let mut seed = 0xdecafbadu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for _ in 0..120 {
+            let n = 6;
+            let m = 3 + (next() % 18) as usize;
+            let clauses: Vec<Vec<i64>> = (0..m)
+                .map(|_| {
+                    (0..3)
+                        .map(|_| {
+                            let v = (next() % n as u64) as i64 + 1;
+                            if next() % 2 == 0 {
+                                v
+                            } else {
+                                -v
+                            }
+                        })
+                        .collect()
+                })
+                .collect();
+            let f = cnf(clauses);
+            let dpll_sat = solve(&f);
+            let brute = brute_force(&f);
+            assert_eq!(dpll_sat.is_some(), brute.is_some(), "formula {f}");
+            if let Some(m) = dpll_sat {
+                assert!(f.eval(&m));
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_positive_only_is_always_sat() {
+        let f = Monotone3Sat::parse("(x1 + x2 + x3)(x2 + x4 + x5)").unwrap();
+        let m = solve(&f.to_cnf()).expect("all-true satisfies positive clauses");
+        assert!(f.eval(&m));
+    }
+
+    #[test]
+    fn unsat_monotone_instance() {
+        // (x1+x1+x1)(!x1+!x1+!x1) forces x1 both ways.
+        let f = Monotone3Sat::parse("(x1 + x1 + x1)(!x1 + !x1 + !x1)").unwrap();
+        assert!(!is_satisfiable(&f.to_cnf()));
+    }
+}

@@ -1,0 +1,98 @@
+//! Random instance generators for the benches and property tests.
+
+use crate::cnf::{Monotone3Sat, MonotoneClause};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A uniformly random monotone 3SAT instance: `m` clauses over `n ≥ 3`
+/// variables, each clause all-positive or all-negative with probability ½,
+/// over 3 distinct variables.
+pub fn random_monotone_3sat<R: Rng>(rng: &mut R, n: usize, m: usize) -> Monotone3Sat {
+    assert!(n >= 3, "need at least 3 variables");
+    let vars: Vec<usize> = (0..n).collect();
+    let clauses = (0..m)
+        .map(|_| {
+            let chosen: Vec<usize> =
+                vars.choose_multiple(rng, 3).copied().collect();
+            MonotoneClause { positive: rng.gen_bool(0.5), vars: chosen }
+        })
+        .collect();
+    Monotone3Sat::new(n, clauses).expect("generator produces valid instances")
+}
+
+/// A random monotone 3SAT instance biased toward satisfiability: a hidden
+/// assignment is drawn first and every clause is made true under it. Useful
+/// for exercising the "formula satisfiable ⇒ side-effect-free deletion
+/// exists" direction of the reductions.
+pub fn random_satisfiable_monotone_3sat<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+) -> (Monotone3Sat, Vec<bool>) {
+    assert!(n >= 3);
+    let hidden: Vec<bool> = (0..n).map(|_| rng.gen_bool(0.5)).collect();
+    let vars: Vec<usize> = (0..n).collect();
+    let mut clauses = Vec::with_capacity(m);
+    while clauses.len() < m {
+        let chosen: Vec<usize> = vars.choose_multiple(rng, 3).copied().collect();
+        let positive = rng.gen_bool(0.5);
+        // Keep only clauses the hidden assignment satisfies.
+        if chosen.iter().any(|&v| hidden[v] == positive) {
+            clauses.push(MonotoneClause { positive, vars: chosen });
+        }
+    }
+    let f = Monotone3Sat::new(n, clauses).expect("valid");
+    debug_assert!(f.eval(&hidden));
+    (f, hidden)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dpll;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_instances_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let f = random_monotone_3sat(&mut rng, 8, 12);
+            assert_eq!(f.clauses.len(), 12);
+            assert!(f.to_cnf().is_monotone());
+            assert!(f.to_cnf().is_3cnf());
+            for c in &f.clauses {
+                let mut vs = c.vars.clone();
+                vs.sort_unstable();
+                vs.dedup();
+                assert_eq!(vs.len(), 3, "variables within a clause are distinct");
+            }
+        }
+    }
+
+    #[test]
+    fn planted_instances_are_satisfiable() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..30 {
+            let (f, hidden) = random_satisfiable_monotone_3sat(&mut rng, 10, 25);
+            assert!(f.eval(&hidden));
+            assert!(dpll::is_satisfiable(&f.to_cnf()));
+        }
+    }
+
+    #[test]
+    fn dpll_agrees_with_brute_force_on_random_monotone_instances() {
+        // Random monotone 3SAT is satisfiable with high probability (any
+        // mixed assignment dodges purely-positive and purely-negative
+        // clauses), so instead of expecting UNSAT we check solver agreement.
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..40 {
+            let f = random_monotone_3sat(&mut rng, 6, 30).to_cnf();
+            assert_eq!(
+                dpll::is_satisfiable(&f),
+                dpll::brute_force(&f).is_some(),
+                "formula {f}"
+            );
+        }
+    }
+}

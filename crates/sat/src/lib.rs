@@ -1,0 +1,25 @@
+//! # dap-sat — CNF, monotone 3SAT, and a DPLL solver
+//!
+//! SAT substrate for the hardness reductions of the paper: monotone 3SAT
+//! (every clause all-positive or all-negative) is the source problem of
+//! Theorems 2.1 and 2.2, and plain 3SAT of Theorem 3.2. The [`dpll`] solver
+//! is the oracle the reduction round-trip tests compare against.
+//!
+//! ```
+//! use dap_sat::{Monotone3Sat, dpll};
+//!
+//! let f = Monotone3Sat::parse("(!x1 + !x2 + !x3)(x2 + x4 + x5)").unwrap();
+//! let model = dpll::solve(&f.to_cnf()).expect("satisfiable");
+//! assert!(f.eval(&model));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cnf;
+pub mod dpll;
+pub mod gen;
+
+pub use cnf::{Clause, Cnf, Lit, Monotone3Sat, MonotoneClause};
+pub use dpll::{brute_force, is_satisfiable, solve};
+pub use gen::{random_monotone_3sat, random_satisfiable_monotone_3sat};

@@ -1,0 +1,55 @@
+//! Property tests: DPLL agrees with exhaustive search on arbitrary small
+//! CNFs, and models returned are always real models.
+
+use dap_sat::{brute_force, solve, Clause, Cnf, Lit};
+use proptest::prelude::*;
+
+fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
+    let lit = (0..max_vars, any::<bool>())
+        .prop_map(|(var, positive)| Lit { var, positive });
+    let clause = proptest::collection::vec(lit, 0..4).prop_map(Clause::new);
+    proptest::collection::vec(clause, 0..max_clauses)
+        .prop_map(move |clauses| Cnf::new(max_vars, clauses))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn dpll_agrees_with_brute_force(f in arb_cnf(7, 12)) {
+        let fast = solve(&f);
+        let slow = brute_force(&f);
+        prop_assert_eq!(fast.is_some(), slow.is_some(), "formula {}", f);
+    }
+
+    #[test]
+    fn returned_models_satisfy(f in arb_cnf(8, 16)) {
+        if let Some(model) = solve(&f) {
+            prop_assert!(f.eval(&model), "bogus model for {}", f);
+            prop_assert_eq!(model.len(), f.num_vars);
+        }
+    }
+
+    #[test]
+    fn adding_clauses_never_makes_sat(f in arb_cnf(6, 10), extra in arb_cnf(6, 4)) {
+        // Monotonicity of UNSAT: a superset of clauses cannot become
+        // satisfiable.
+        let mut both = f.clauses.clone();
+        both.extend(extra.clauses.clone());
+        let combined = Cnf::new(6, both);
+        if solve(&f).is_none() {
+            prop_assert!(solve(&combined).is_none());
+        }
+        if solve(&combined).is_some() {
+            prop_assert!(solve(&f).is_some());
+        }
+    }
+
+    #[test]
+    fn duplicate_clauses_do_not_change_the_answer(f in arb_cnf(6, 8)) {
+        let mut doubled = f.clauses.clone();
+        doubled.extend(f.clauses.clone());
+        let d = Cnf::new(f.num_vars, doubled);
+        prop_assert_eq!(solve(&f).is_some(), solve(&d).is_some());
+    }
+}

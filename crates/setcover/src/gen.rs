@@ -1,0 +1,78 @@
+//! Random instance generators.
+
+use crate::instance::HittingSet;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// A random hitting set instance: `m` sets, each of size `k`, drawn over
+/// `n` elements (each set's elements distinct).
+pub fn random_hitting_set<R: Rng>(rng: &mut R, n: usize, m: usize, k: usize) -> HittingSet {
+    assert!(k <= n, "set size exceeds universe");
+    let elements: Vec<usize> = (0..n).collect();
+    let sets = (0..m)
+        .map(|_| {
+            elements
+                .choose_multiple(rng, k)
+                .copied()
+                .collect::<BTreeSet<usize>>()
+        })
+        .collect();
+    HittingSet::new(n, sets).expect("generator produces valid instances")
+}
+
+/// A hitting set instance with a planted small hitting set of size `h`:
+/// every generated set contains at least one planted element, so the optimum
+/// is at most `h`. Useful for measuring greedy/exact gaps at known optima.
+pub fn planted_hitting_set<R: Rng>(
+    rng: &mut R,
+    n: usize,
+    m: usize,
+    k: usize,
+    h: usize,
+) -> (HittingSet, BTreeSet<usize>) {
+    assert!(h >= 1 && h <= n && k <= n && k >= 1);
+    let planted: BTreeSet<usize> =
+        (0..n).collect::<Vec<_>>().choose_multiple(rng, h).copied().collect();
+    let planted_vec: Vec<usize> = planted.iter().copied().collect();
+    let all: Vec<usize> = (0..n).collect();
+    let sets = (0..m)
+        .map(|_| {
+            let mut s = BTreeSet::new();
+            // One guaranteed planted element…
+            s.insert(*planted_vec.choose(rng).expect("h >= 1"));
+            // …then fill to size k.
+            while s.len() < k {
+                s.insert(*all.choose(rng).expect("n >= 1"));
+            }
+            s
+        })
+        .collect();
+    (HittingSet::new(n, sets).expect("valid"), planted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn random_instances_are_well_formed() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let inst = random_hitting_set(&mut rng, 12, 9, 4);
+        assert_eq!(inst.sets.len(), 9);
+        assert!(inst.sets.iter().all(|s| s.len() == 4));
+        assert!(inst.sets.iter().flatten().all(|&x| x < 12));
+    }
+
+    #[test]
+    fn planted_set_hits_everything() {
+        let mut rng = StdRng::seed_from_u64(8);
+        for _ in 0..20 {
+            let (inst, planted) = planted_hitting_set(&mut rng, 15, 20, 4, 3);
+            assert!(inst.is_hitting(&planted));
+            assert!(planted.len() <= 3);
+        }
+    }
+}

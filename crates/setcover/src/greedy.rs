@@ -1,0 +1,152 @@
+//! The greedy `H_n`-approximation for set cover / hitting set.
+//!
+//! The paper (Section 1) notes that set cover is `O(log n)`-approximable by
+//! "a simple greedy algorithm" and that no polynomial algorithm does
+//! asymptotically better unless `NP ⊆ DTIME(n^{log log n})` (Feige \[12\]).
+//! This greedy is the approximation arm of the source-side-effect solvers
+//! for the NP-hard query classes.
+
+use crate::instance::{HittingSet, SetCover};
+use std::collections::BTreeSet;
+
+/// Greedy set cover: repeatedly take the set covering the most uncovered
+/// elements. Returns chosen set indices, or `None` if no cover exists.
+pub fn greedy_set_cover(inst: &SetCover) -> Option<BTreeSet<usize>> {
+    let mut uncovered: BTreeSet<usize> = (0..inst.universe).collect();
+    let mut chosen = BTreeSet::new();
+    while !uncovered.is_empty() {
+        let (best, gain) = inst
+            .sets
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (i, s.intersection(&uncovered).count()))
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))?;
+        if gain == 0 {
+            return None; // remaining elements are uncoverable
+        }
+        chosen.insert(best);
+        uncovered.retain(|x| !inst.sets[best].contains(x));
+    }
+    Some(chosen)
+}
+
+/// Greedy hitting set: repeatedly take the element hitting the most un-hit
+/// sets. (Equivalently: greedy set cover on the dual.) Always succeeds for a
+/// valid instance because every set is non-empty.
+pub fn greedy_hitting_set(inst: &HittingSet) -> BTreeSet<usize> {
+    let mut unhit: Vec<bool> = vec![true; inst.sets.len()];
+    let mut remaining = inst.sets.len();
+    let mut chosen = BTreeSet::new();
+    while remaining > 0 {
+        let mut gain = vec![0usize; inst.num_elements];
+        for (i, s) in inst.sets.iter().enumerate() {
+            if unhit[i] {
+                for &x in s {
+                    gain[x] += 1;
+                }
+            }
+        }
+        let best = (0..inst.num_elements)
+            .max_by_key(|&x| (gain[x], std::cmp::Reverse(x)))
+            .expect("non-empty universe");
+        debug_assert!(gain[best] > 0, "every unhit set is non-empty");
+        chosen.insert(best);
+        for (i, s) in inst.sets.iter().enumerate() {
+            if unhit[i] && s.contains(&best) {
+                unhit[i] = false;
+                remaining -= 1;
+            }
+        }
+    }
+    chosen
+}
+
+/// The harmonic number `H_n = 1 + 1/2 + … + 1/n` — the greedy's worst-case
+/// approximation ratio for sets of size at most `n`.
+pub fn harmonic(n: usize) -> f64 {
+    (1..=n).map(|k| 1.0 / k as f64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(sets: &[&[usize]]) -> HittingSet {
+        let n = sets.iter().flat_map(|s| s.iter()).max().map_or(0, |m| m + 1);
+        HittingSet::new(n, sets.iter().map(|s| s.iter().copied().collect()).collect()).unwrap()
+    }
+
+    #[test]
+    fn greedy_hitting_set_is_valid() {
+        let h = hs(&[&[0, 1], &[1, 2], &[3], &[0, 3]]);
+        let sol = greedy_hitting_set(&h);
+        assert!(h.is_hitting(&sol));
+    }
+
+    #[test]
+    fn greedy_finds_obvious_single_element() {
+        // Element 5 hits everything.
+        let h = hs(&[&[0, 5], &[1, 5], &[2, 5], &[3, 5]]);
+        let sol = greedy_hitting_set(&h);
+        assert_eq!(sol, BTreeSet::from([5]));
+    }
+
+    #[test]
+    fn greedy_set_cover_valid_and_handles_infeasible() {
+        let sc = SetCover::new(
+            4,
+            vec![
+                BTreeSet::from([0, 1]),
+                BTreeSet::from([1, 2]),
+                BTreeSet::from([2, 3]),
+            ],
+        )
+        .unwrap();
+        let sol = greedy_set_cover(&sc).expect("feasible");
+        assert!(sc.is_cover(&sol));
+        assert!(sol.len() <= 3);
+
+        let infeasible = SetCover::new(3, vec![BTreeSet::from([0])]).unwrap();
+        assert!(greedy_set_cover(&infeasible).is_none());
+    }
+
+    #[test]
+    fn greedy_can_be_suboptimal_but_within_ratio() {
+        // Classic greedy trap: pairs {0,1},{2,3},{4,5} (optimal = 3 via the
+        // big sets) vs elements that overlap.
+        let sc = SetCover::new(
+            6,
+            vec![
+                BTreeSet::from([0, 1]),
+                BTreeSet::from([2, 3]),
+                BTreeSet::from([4, 5]),
+                BTreeSet::from([0, 2, 4]),
+                BTreeSet::from([1, 3, 5]),
+            ],
+        )
+        .unwrap();
+        let sol = greedy_set_cover(&sc).unwrap();
+        assert!(sc.is_cover(&sol));
+        // Optimal is 2 ({0,2,4} and {1,3,5}); greedy may use 3 but never
+        // more than H_3 × 2 ≈ 3.67.
+        assert!(sol.len() as f64 <= harmonic(3) * 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn greedy_matches_duality() {
+        let h = hs(&[&[0, 1], &[1, 2], &[0, 2], &[2, 3]]);
+        let direct = greedy_hitting_set(&h);
+        assert!(h.is_hitting(&direct));
+        let via_dual = greedy_set_cover(&h.to_set_cover()).expect("feasible");
+        // Duality: chosen element x in hitting set = chosen set x in the
+        // dual cover. Both must be valid; sizes may differ by tie-breaking.
+        assert!(h.is_hitting(&via_dual));
+    }
+
+    #[test]
+    fn harmonic_values() {
+        assert!((harmonic(1) - 1.0).abs() < 1e-12);
+        assert!((harmonic(3) - (1.0 + 0.5 + 1.0 / 3.0)).abs() < 1e-12);
+        assert!(harmonic(100) < 6.0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Set cover and hitting set instances.
+//!
+//! The paper's Section 2.2 reductions start from the **hitting set** problem:
+//! given sets `S_1, …, S_m` over elements `{x_1, …, x_n}`, find the smallest
+//! `X' ⊆ X` with `S_i ∩ X' ≠ ∅` for all `i`. Hitting set is the dual of set
+//! cover (transpose the element–set incidence matrix) and shares its
+//! `Θ(log n)` approximability threshold \[12\].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A hitting set instance: `sets` over elements `0..num_elements`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct HittingSet {
+    /// Number of elements in the universe.
+    pub num_elements: usize,
+    /// The sets that must each be hit.
+    pub sets: Vec<BTreeSet<usize>>,
+}
+
+impl HittingSet {
+    /// Build an instance, validating element ranges and rejecting empty sets
+    /// (an empty set can never be hit).
+    pub fn new(num_elements: usize, sets: Vec<BTreeSet<usize>>) -> Result<HittingSet, String> {
+        for (i, s) in sets.iter().enumerate() {
+            if s.is_empty() {
+                return Err(format!("set {i} is empty and can never be hit"));
+            }
+            if let Some(&max) = s.iter().next_back() {
+                if max >= num_elements {
+                    return Err(format!(
+                        "set {i} contains element {max} ≥ universe size {num_elements}"
+                    ));
+                }
+            }
+        }
+        Ok(HittingSet { num_elements, sets })
+    }
+
+    /// Whether `chosen` hits every set.
+    pub fn is_hitting(&self, chosen: &BTreeSet<usize>) -> bool {
+        self.sets.iter().all(|s| !s.is_disjoint(chosen))
+    }
+
+    /// Pad every set with fresh distinct elements until all sets have size
+    /// `k` (Theorem 2.7 assumes uniform set size "without loss of
+    /// generality" this way). Padding never changes the optimal hitting set
+    /// size when `k ≥` the largest original set, because fresh elements each
+    /// occur in a single set.
+    pub fn pad_to_uniform(&self, k: usize) -> HittingSet {
+        assert!(
+            self.sets.iter().all(|s| s.len() <= k),
+            "k must be at least the largest set size"
+        );
+        let mut next = self.num_elements;
+        let sets = self
+            .sets
+            .iter()
+            .map(|s| {
+                let mut s = s.clone();
+                while s.len() < k {
+                    s.insert(next);
+                    next += 1;
+                }
+                s
+            })
+            .collect();
+        HittingSet { num_elements: next, sets }
+    }
+
+    /// The dual set cover instance: element `x` becomes the set
+    /// `{ i | x ∈ S_i }`; covering all of `0..m` with element-sets is
+    /// exactly hitting all the `S_i`.
+    pub fn to_set_cover(&self) -> SetCover {
+        let mut sets = vec![BTreeSet::new(); self.num_elements];
+        for (i, s) in self.sets.iter().enumerate() {
+            for &x in s {
+                sets[x].insert(i);
+            }
+        }
+        SetCover { universe: self.sets.len(), sets }
+    }
+}
+
+impl fmt::Display for HittingSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "hitting set over {} elements:", self.num_elements)?;
+        for (i, s) in self.sets.iter().enumerate() {
+            write!(f, "  S{} = {{", i + 1)?;
+            for (j, x) in s.iter().enumerate() {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "x{}", x + 1)?;
+            }
+            writeln!(f, "}}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A set cover instance: cover `0..universe` using as few of `sets` as
+/// possible.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct SetCover {
+    /// Universe size (elements are `0..universe`).
+    pub universe: usize,
+    /// Candidate sets, addressed by index.
+    pub sets: Vec<BTreeSet<usize>>,
+}
+
+impl SetCover {
+    /// Build an instance, validating element ranges.
+    pub fn new(universe: usize, sets: Vec<BTreeSet<usize>>) -> Result<SetCover, String> {
+        for (i, s) in sets.iter().enumerate() {
+            if let Some(&max) = s.iter().next_back() {
+                if max >= universe {
+                    return Err(format!("set {i} contains element {max} ≥ universe {universe}"));
+                }
+            }
+        }
+        Ok(SetCover { universe, sets })
+    }
+
+    /// Whether the selected set indices cover the whole universe.
+    pub fn is_cover(&self, chosen: &BTreeSet<usize>) -> bool {
+        let mut covered: BTreeSet<usize> = BTreeSet::new();
+        for &i in chosen {
+            covered.extend(self.sets[i].iter().copied());
+        }
+        covered.len() == self.universe
+    }
+
+    /// Whether a cover exists at all (the union of all sets is the universe).
+    pub fn is_feasible(&self) -> bool {
+        let all: BTreeSet<usize> = self.sets.iter().flatten().copied().collect();
+        all.len() == self.universe
+    }
+
+    /// The dual hitting set instance (transpose back).
+    pub fn to_hitting_set(&self) -> HittingSet {
+        let mut sets = vec![BTreeSet::new(); self.universe];
+        for (i, s) in self.sets.iter().enumerate() {
+            for &x in s {
+                sets[x].insert(i);
+            }
+        }
+        HittingSet { num_elements: self.sets.len(), sets }
+    }
+}
+
+impl fmt::Display for SetCover {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "set cover over universe {}:", self.universe)?;
+        for (i, s) in self.sets.iter().enumerate() {
+            writeln!(f, "  S{} = {s:?}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hs(sets: &[&[usize]]) -> HittingSet {
+        let n = sets.iter().flat_map(|s| s.iter()).max().map_or(0, |m| m + 1);
+        HittingSet::new(n, sets.iter().map(|s| s.iter().copied().collect()).collect()).unwrap()
+    }
+
+    #[test]
+    fn hitting_check() {
+        let h = hs(&[&[0, 1], &[1, 2], &[3]]);
+        assert!(h.is_hitting(&BTreeSet::from([1, 3])));
+        assert!(!h.is_hitting(&BTreeSet::from([0, 2])));
+        assert!(!h.is_hitting(&BTreeSet::new()));
+    }
+
+    #[test]
+    fn validation() {
+        assert!(HittingSet::new(2, vec![BTreeSet::from([5])]).is_err());
+        assert!(HittingSet::new(2, vec![BTreeSet::new()]).is_err());
+        assert!(SetCover::new(2, vec![BTreeSet::from([5])]).is_err());
+    }
+
+    #[test]
+    fn duality_round_trip() {
+        let h = hs(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let sc = h.to_set_cover();
+        assert_eq!(sc.universe, 3, "one cover element per original set");
+        assert_eq!(sc.sets.len(), 3, "one cover set per original element");
+        // Element 1 hits sets 0 and 1.
+        assert_eq!(sc.sets[1], BTreeSet::from([0, 1]));
+        let back = sc.to_hitting_set();
+        assert_eq!(back.sets, h.sets);
+        assert_eq!(back.num_elements, h.num_elements);
+    }
+
+    #[test]
+    fn duality_preserves_solutions() {
+        let h = hs(&[&[0, 1], &[1, 2], &[0, 2]]);
+        let sc = h.to_set_cover();
+        // {x1} hits S1,S2 but not S3; {x0, x2} hits everything.
+        assert!(h.is_hitting(&BTreeSet::from([0, 2])));
+        assert!(sc.is_cover(&BTreeSet::from([0, 2])));
+        assert!(!h.is_hitting(&BTreeSet::from([1])));
+        assert!(!sc.is_cover(&BTreeSet::from([1])));
+    }
+
+    #[test]
+    fn padding_makes_uniform_and_preserves_optimum_shape() {
+        let h = hs(&[&[0], &[0, 1], &[1, 2, 3]]);
+        let padded = h.pad_to_uniform(3);
+        assert!(padded.sets.iter().all(|s| s.len() == 3));
+        assert_eq!(padded.sets.len(), h.sets.len());
+        // Original elements still hit the same sets.
+        assert!(padded.is_hitting(&BTreeSet::from([0, 1])));
+        // An original hitting set still hits the padded instance.
+        assert!(h.is_hitting(&BTreeSet::from([0, 1])));
+    }
+
+    #[test]
+    fn feasibility() {
+        let sc = SetCover::new(3, vec![BTreeSet::from([0, 1])]).unwrap();
+        assert!(!sc.is_feasible());
+        let sc = SetCover::new(2, vec![BTreeSet::from([0]), BTreeSet::from([1])]).unwrap();
+        assert!(sc.is_feasible());
+    }
+}

@@ -1,0 +1,80 @@
+//! Property tests: exact optimality against exhaustive search, greedy
+//! validity and its harmonic bound, duality invariants.
+
+use dap_setcover::{
+    exact_hitting_set, exact_set_cover, greedy_hitting_set, greedy_set_cover, harmonic,
+    HittingSet,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn arb_hitting_set(max_elems: usize, max_sets: usize) -> impl Strategy<Value = HittingSet> {
+    let set = proptest::collection::btree_set(0..max_elems, 1..4);
+    proptest::collection::vec(set, 1..max_sets)
+        .prop_map(move |sets| HittingSet::new(max_elems, sets).expect("valid"))
+}
+
+/// Exhaustive optimum (universe ≤ 12).
+fn brute_optimum(inst: &HittingSet) -> usize {
+    (0u32..(1 << inst.num_elements))
+        .filter_map(|bits| {
+            let chosen: BTreeSet<usize> =
+                (0..inst.num_elements).filter(|i| bits & (1 << i) != 0).collect();
+            inst.is_hitting(&chosen).then_some(chosen.len())
+        })
+        .min()
+        .expect("choosing everything always hits")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn exact_is_optimal(inst in arb_hitting_set(9, 8)) {
+        let sol = exact_hitting_set(&inst);
+        prop_assert!(inst.is_hitting(&sol));
+        prop_assert_eq!(sol.len(), brute_optimum(&inst), "instance {}", inst);
+    }
+
+    #[test]
+    fn greedy_is_valid_and_bounded(inst in arb_hitting_set(10, 10)) {
+        let greedy = greedy_hitting_set(&inst);
+        prop_assert!(inst.is_hitting(&greedy));
+        let exact = exact_hitting_set(&inst);
+        let k = inst.sets.iter().map(BTreeSet::len).max().unwrap_or(1);
+        prop_assert!(
+            greedy.len() as f64 <= harmonic(k) * exact.len() as f64 + 1e-9,
+            "greedy {} vs exact {} exceeds H_{}", greedy.len(), exact.len(), k
+        );
+    }
+
+    #[test]
+    fn duality_preserves_optimum(inst in arb_hitting_set(8, 6)) {
+        let direct = exact_hitting_set(&inst).len();
+        let via_dual = exact_set_cover(&inst.to_set_cover()).expect("feasible").len();
+        prop_assert_eq!(direct, via_dual);
+        // And round-tripping the instance is the identity.
+        prop_assert_eq!(inst.to_set_cover().to_hitting_set().sets, inst.sets.clone());
+    }
+
+    #[test]
+    fn greedy_cover_agrees_with_feasibility(inst in arb_hitting_set(8, 6)) {
+        let sc = inst.to_set_cover();
+        let greedy = greedy_set_cover(&sc);
+        prop_assert_eq!(greedy.is_some(), sc.is_feasible());
+        if let Some(g) = greedy {
+            prop_assert!(sc.is_cover(&g));
+        }
+    }
+
+    #[test]
+    fn padding_preserves_the_optimum(inst in arb_hitting_set(8, 6)) {
+        let k = inst.sets.iter().map(BTreeSet::len).max().unwrap_or(1);
+        let padded = inst.pad_to_uniform(k);
+        prop_assert_eq!(
+            exact_hitting_set(&inst).len(),
+            exact_hitting_set(&padded).len(),
+            "padding with fresh elements must not change the optimum"
+        );
+    }
+}

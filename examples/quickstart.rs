@@ -1,0 +1,70 @@
+//! Quickstart: evaluate a view, trace provenance, delete a view tuple, and
+//! place an annotation — the full API in one sitting.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use dap::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's running example (Section 2.1.1, after [14]): users belong
+    // to groups, groups share files.
+    let db = parse_database(
+        "relation UserGroup(user, grp) {
+             (ann, staff), (bob, staff), (bob, dev)
+         }
+         relation GroupFile(grp, file) {
+             (staff, report), (dev, main), (dev, report)
+         }",
+    )?;
+    let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])")?;
+
+    println!("== Source database ==\n{db}");
+    let view = eval(&q, &db)?;
+    println!("== View: {q} ==\n{}", view.to_table_string("V"));
+
+    // --- Why-provenance: the witnesses of a view tuple --------------------
+    let target = tuple(["bob", "report"]);
+    let witnesses = minimal_witnesses(&q, &db, &target)?;
+    println!("(bob, report) has {} minimal witnesses:", witnesses.len());
+    for w in &witnesses {
+        let ids: Vec<String> = w.iter().map(|tid| tid.to_string()).collect();
+        println!("  {{{}}}", ids.join(", "));
+    }
+
+    // --- Deletion propagation ---------------------------------------------
+    let (deletion, solver) = delete_min_view_side_effects(&q, &db, &target)?;
+    println!("\nDelete (bob, report) minimizing view side effects [{solver}]:");
+    println!("  {deletion}");
+    for tid in &deletion.deletions {
+        println!("    {tid} = {}", db.tuple(tid).expect("tid valid"));
+    }
+
+    let (deletion, solver) = delete_min_source(&q, &db, &target)?;
+    println!("Delete (bob, report) minimizing source deletions [{solver}]:");
+    println!("  {deletion}");
+
+    // --- Annotation placement ----------------------------------------------
+    // A curator wants to attach "this value looks wrong" to the `user` field
+    // of (ann, report) in the VIEW. Which source field should carry it?
+    let loc = ViewLoc::new(tuple(["ann", "report"]), "user");
+    let (placement, solver) = place_annotation(&q, &db, &loc)?;
+    println!("\nAnnotate {loc} [{solver}]:");
+    println!("  {placement}");
+    println!(
+        "  i.e. write the annotation on attribute `{}` of source tuple {}",
+        placement.source.attr,
+        db.tuple(&placement.source.tid).expect("tid valid"),
+    );
+
+    // --- The dichotomy ------------------------------------------------------
+    let fp = OpFootprint::of(&q);
+    println!("\nQuery class: {fp}");
+    for problem in
+        [Problem::ViewSideEffect, Problem::SourceSideEffect, Problem::AnnotationPlacement]
+    {
+        println!("  {problem}: {}", complexity(problem, &fp));
+    }
+    Ok(())
+}

@@ -1,0 +1,85 @@
+//! Regenerate the paper's Figures 1–3 from their formulas and *solve* them:
+//! the hardness constructions as runnable artifacts.
+//!
+//! ```text
+//! cargo run --example reduction_gallery
+//! ```
+
+use dap::core::deletion::view_side_effect::{side_effect_free, ExactOptions};
+use dap::core::figures;
+use dap::core::reductions::thm3_2;
+use dap::prelude::*;
+use dap::sat::{dpll, Clause, Cnf, Lit};
+use dap::setcover::exact_hitting_set;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- Figure 1: Theorem 2.1 (monotone 3SAT → PJ deletion) -------------
+    let fig1 = figures::figure1();
+    println!("=== Figure 1 — Π_A,C(R1 ⋈ R2) for {} ===", fig1.formula);
+    println!("{}", figures::render_instance(&fig1.instance));
+    let sol = side_effect_free(
+        &fig1.instance.query,
+        &fig1.instance.db,
+        &fig1.instance.target,
+        &ExactOptions::default(),
+    )?
+    .expect("the figure's formula is satisfiable");
+    let assignment = fig1.decode(&sol.deletions);
+    println!(
+        "side-effect-free deletion found; decoded assignment: {:?}",
+        assignment
+            .iter()
+            .enumerate()
+            .map(|(i, b)| format!("x{}={}", i + 1, b))
+            .collect::<Vec<_>>()
+    );
+    assert!(fig1.formula.eval(&assignment));
+
+    // ---- Figure 2: Theorem 2.2 (monotone 3SAT → JU deletion) -------------
+    let fig2 = figures::figure2();
+    println!("\n=== Figure 2 — the JU construction for the same formula ===");
+    let view = eval(&fig2.instance.query, &fig2.instance.db)?;
+    println!("{}", view.to_table_string("Q(S)"));
+    let sol = side_effect_free(
+        &fig2.instance.query,
+        &fig2.instance.db,
+        &fig2.instance.target,
+        &ExactOptions::default(),
+    )?
+    .expect("satisfiable");
+    println!("deleting (T, F) side-effect-free: {sol}");
+    assert!(fig2.formula.eval(&fig2.decode(&sol.deletions)));
+
+    // ---- Figure 3: Theorem 2.5 (hitting set → PJ source deletion) --------
+    let fig3 = figures::figure3();
+    println!("\n=== Figure 3 — Π_C(R0 ⋈ R1 ⋈ … ⋈ Rn) ===");
+    println!("{}", figures::render_instance(&fig3.instance));
+    let optimum = exact_hitting_set(&fig3.hitting_set);
+    let (sol, solver) =
+        delete_min_source(&fig3.instance.query, &fig3.instance.db, &fig3.instance.target)?;
+    println!("minimum hitting set size {} ⇔ minimum source deletion {} [{solver}]",
+        optimum.len(), sol.source_cost());
+    assert_eq!(optimum.len(), sol.source_cost());
+
+    // ---- Theorem 3.2 (3SAT → PJ annotation) ------------------------------
+    let f = Cnf::new(
+        4,
+        vec![
+            Clause::new([Lit::pos(0), Lit::neg(1), Lit::pos(2)]),
+            Clause::new([Lit::neg(2), Lit::pos(3), Lit::pos(0)]),
+        ],
+    );
+    let red = thm3_2::reduce(&f).expect("connected formula");
+    println!("\n=== Theorem 3.2 — annotate ((c1, c2), C1) ===");
+    let view = eval(&red.instance.query, &red.instance.db)?;
+    println!("{}", view.to_table_string("Q(S)"));
+    let (placement, _) = place_annotation(&red.instance.query, &red.instance.db, &red.target_location)?;
+    println!("best placement: {placement}");
+    assert_eq!(
+        placement.is_side_effect_free(),
+        dpll::is_satisfiable(&f),
+        "side-effect-free ⟺ satisfiable"
+    );
+    println!("\nall four reductions verified against their oracles.");
+    Ok(())
+}

@@ -1,0 +1,252 @@
+//! `dap` — command-line front end for deletion propagation and annotation
+//! placement.
+//!
+//! ```text
+//! dap eval      <db.dap> '<query>'                 evaluate a view
+//! dap witnesses <db.dap> '<query>' '<tuple>'       minimal witnesses of a view tuple
+//! dap delete    <db.dap> '<query>' '<tuple>' [view|source]
+//!                                                  propagate a view deletion
+//! dap annotate  <db.dap> '<query>' '<tuple>' <attr>
+//!                                                  place a view annotation
+//! dap classify  '<query>'                          the paper's three complexity rows
+//! dap normalize <db.dap> '<query>'                 union normal form (Thm 3.1)
+//! dap tables                                       print the paper's dichotomy tables
+//! ```
+//!
+//! Database files use the fixture syntax, e.g.
+//!
+//! ```text
+//! relation UserGroup(user, grp) { (ann, staff), (bob, dev) }
+//! relation GroupFile(grp, file) { (staff, report), (dev, main) }
+//! ```
+//!
+//! Tuples are comma-separated values: `bob,report` or `(bob, report)`;
+//! quotes are optional for bare symbols, integers and booleans are parsed.
+
+use dap::prelude::*;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(output) => {
+            print!("{output}");
+            ExitCode::SUCCESS
+        }
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("\n{}", usage());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn usage() -> &'static str {
+    "usage:
+  dap eval      <db.dap> '<query>'
+  dap witnesses <db.dap> '<query>' '<tuple>'
+  dap delete    <db.dap> '<query>' '<tuple>' [view|source]
+  dap annotate  <db.dap> '<query>' '<tuple>' <attr>
+  dap classify  '<query>'
+  dap normalize <db.dap> '<query>'
+  dap tables"
+}
+
+/// Parse a comma-separated tuple literal: `bob,report`, `(bob, report)`,
+/// `1,true,x`.
+fn parse_tuple(src: &str) -> Result<Tuple, String> {
+    let inner = src.trim().trim_start_matches('(').trim_end_matches(')');
+    if inner.trim().is_empty() {
+        return Ok(Tuple::new(Vec::<Value>::new()));
+    }
+    let values: Vec<Value> = inner
+        .split(',')
+        .map(|raw| {
+            let v = raw.trim().trim_matches('\'');
+            if let Ok(i) = v.parse::<i64>() {
+                Value::int(i)
+            } else if v == "true" {
+                Value::bool(true)
+            } else if v == "false" {
+                Value::bool(false)
+            } else {
+                Value::str(v)
+            }
+        })
+        .collect();
+    Ok(Tuple::new(values))
+}
+
+fn load_db(path: &str) -> Result<Database, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    parse_database(&text).map_err(|e| format!("in `{path}`: {e}"))
+}
+
+fn run(args: &[String]) -> Result<String, String> {
+    let cmd = args.first().map(String::as_str).ok_or("missing command")?;
+    match cmd {
+        "eval" => {
+            let [db_path, query] = take::<2>(&args[1..])?;
+            let db = load_db(db_path)?;
+            let q = parse_query(query).map_err(|e| e.to_string())?;
+            let view = eval(&q, &db).map_err(|e| e.to_string())?;
+            Ok(view.to_table_string("view"))
+        }
+        "witnesses" => {
+            let [db_path, query, tuple_text] = take::<3>(&args[1..])?;
+            let db = load_db(db_path)?;
+            let q = parse_query(query).map_err(|e| e.to_string())?;
+            let t = parse_tuple(tuple_text)?;
+            let ws = minimal_witnesses(&q, &db, &t).map_err(|e| e.to_string())?;
+            if ws.is_empty() {
+                return Err(format!("tuple {t} is not in the view"));
+            }
+            let mut out = format!("{} minimal witnesses for {t}:\n", ws.len());
+            for w in ws {
+                let parts: Vec<String> = w
+                    .iter()
+                    .map(|tid| format!("{tid}={}", db.tuple(tid).expect("valid")))
+                    .collect();
+                out.push_str(&format!("  {{{}}}\n", parts.join(", ")));
+            }
+            Ok(out)
+        }
+        "delete" => {
+            let rest = &args[1..];
+            if rest.len() < 3 {
+                return Err("delete needs <db> <query> <tuple> [view|source]".into());
+            }
+            let objective = rest.get(3).map(String::as_str).unwrap_or("view");
+            let db = load_db(&rest[0])?;
+            let q = parse_query(&rest[1]).map_err(|e| e.to_string())?;
+            let t = parse_tuple(&rest[2])?;
+            let (sol, solver) = match objective {
+                "view" => delete_min_view_side_effects(&q, &db, &t),
+                "source" => delete_min_source(&q, &db, &t),
+                other => return Err(format!("unknown objective `{other}` (view|source)")),
+            }
+            .map_err(|e| e.to_string())?;
+            let mut out = format!("{sol}\n  solver: {solver}\n  source tuples:\n");
+            for tid in &sol.deletions {
+                out.push_str(&format!("    {tid} = {}\n", db.tuple(tid).expect("valid")));
+            }
+            if !sol.view_side_effects.is_empty() {
+                out.push_str("  view side effects:\n");
+                for dead in &sol.view_side_effects {
+                    out.push_str(&format!("    {dead}\n"));
+                }
+            }
+            Ok(out)
+        }
+        "annotate" => {
+            let [db_path, query, tuple_text, attr] = take::<4>(&args[1..])?;
+            let db = load_db(db_path)?;
+            let q = parse_query(query).map_err(|e| e.to_string())?;
+            let t = parse_tuple(tuple_text)?;
+            let loc = ViewLoc::new(t, attr.as_str());
+            let (sol, solver) =
+                place_annotation(&q, &db, &loc).map_err(|e| e.to_string())?;
+            let mut out = format!("{sol}\n  solver: {solver}\n  source tuple: {}\n",
+                db.tuple(&sol.source.tid).expect("valid"));
+            if !sol.side_effects.is_empty() {
+                out.push_str("  also annotates:\n");
+                for v in &sol.side_effects {
+                    out.push_str(&format!("    {v}\n"));
+                }
+            }
+            Ok(out)
+        }
+        "classify" => {
+            let [query] = take::<1>(&args[1..])?;
+            let q = parse_query(query).map_err(|e| e.to_string())?;
+            let fp = OpFootprint::of(&q);
+            let mut out = format!("query class: {fp}\n");
+            for problem in [
+                Problem::ViewSideEffect,
+                Problem::SourceSideEffect,
+                Problem::AnnotationPlacement,
+            ] {
+                out.push_str(&format!("  {problem}: {}\n", complexity(problem, &fp)));
+            }
+            Ok(out)
+        }
+        "normalize" => {
+            let [db_path, query] = take::<2>(&args[1..])?;
+            let db = load_db(db_path)?;
+            let q = parse_query(query).map_err(|e| e.to_string())?;
+            let nf = normalize(&q, &db.catalog()).map_err(|e| e.to_string())?;
+            let mut out = format!("{} branch(es):\n", nf.branches.len());
+            for b in &nf.branches {
+                out.push_str(&format!("  {b}\n"));
+            }
+            Ok(out)
+        }
+        "tables" => {
+            let mut out = String::new();
+            for problem in [
+                Problem::ViewSideEffect,
+                Problem::SourceSideEffect,
+                Problem::AnnotationPlacement,
+            ] {
+                out.push_str(&format!("— {problem} —\n"));
+                out.push_str(&format_paper_table(problem));
+                out.push('\n');
+            }
+            Ok(out)
+        }
+        other => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Extract exactly `N` positional arguments.
+fn take<const N: usize>(args: &[String]) -> Result<[&String; N], String> {
+    if args.len() != N {
+        return Err(format!("expected {N} arguments, got {}", args.len()));
+    }
+    let mut it = args.iter();
+    Ok(std::array::from_fn(|_| it.next().expect("length checked")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tuple_parsing() {
+        assert_eq!(parse_tuple("bob,report").unwrap(), tuple(["bob", "report"]));
+        assert_eq!(parse_tuple("(bob, report)").unwrap(), tuple(["bob", "report"]));
+        assert_eq!(
+            parse_tuple("1, true, x").unwrap(),
+            Tuple::new(vec![Value::int(1), Value::bool(true), Value::str("x")])
+        );
+        assert_eq!(parse_tuple("'quoted'").unwrap(), tuple(["quoted"]));
+        assert_eq!(parse_tuple("()").unwrap().arity(), 0);
+    }
+
+    #[test]
+    fn classify_runs_without_files() {
+        let out = run(&[
+            "classify".into(),
+            "project(join(scan R, scan S), [A])".into(),
+        ])
+        .unwrap();
+        assert!(out.contains("PJ"));
+        assert!(out.contains("NP-hard"));
+    }
+
+    #[test]
+    fn tables_runs() {
+        let out = run(&["tables".into()]).unwrap();
+        assert!(out.contains("Queries involving PJ"));
+        assert!(out.contains("SJU"));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&[]).is_err());
+        assert!(run(&["frobnicate".into()]).is_err());
+        assert!(run(&["eval".into(), "/no/such/file".into(), "scan R".into()]).is_err());
+        assert!(run(&["delete".into()]).is_err());
+    }
+}

@@ -1,0 +1,171 @@
+//! End-to-end tests of the `dap` CLI binary (spawned as a real process via
+//! the path Cargo exports for integration tests).
+
+use std::io::Write;
+use std::process::Command;
+
+fn dap() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dap"))
+}
+
+fn fixture_file() -> tempfile::TempPath {
+    let mut f = tempfile::NamedTempFile::new().expect("temp file");
+    writeln!(
+        f,
+        "relation UserGroup(user, grp) {{ (ann, staff), (bob, staff), (bob, dev) }}
+         relation GroupFile(grp, file) {{ (staff, report), (dev, main), (dev, report) }}"
+    )
+    .expect("write fixture");
+    f.into_temp_path()
+}
+
+/// Minimal stand-in for the `tempfile` crate (not in the offline set):
+/// a named file in the target tmp dir, deleted on drop.
+mod tempfile {
+    use std::path::{Path, PathBuf};
+
+    pub struct NamedTempFile {
+        path: PathBuf,
+        file: std::fs::File,
+    }
+
+    pub struct TempPath(PathBuf);
+
+    impl NamedTempFile {
+        pub fn new() -> std::io::Result<NamedTempFile> {
+            let dir = std::env::temp_dir();
+            let path = dir.join(format!(
+                "dap-cli-test-{}-{:?}.dap",
+                std::process::id(),
+                std::thread::current().id()
+            ));
+            let file = std::fs::File::create(&path)?;
+            Ok(NamedTempFile { path, file })
+        }
+
+        pub fn into_temp_path(self) -> TempPath {
+            TempPath(self.path)
+        }
+    }
+
+    impl std::io::Write for NamedTempFile {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.file, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.file)
+        }
+    }
+
+    impl std::ops::Deref for TempPath {
+        type Target = Path;
+        fn deref(&self) -> &Path {
+            &self.0
+        }
+    }
+
+    impl Drop for TempPath {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.0);
+        }
+    }
+}
+
+const QUERY: &str = "project(join(scan UserGroup, scan GroupFile), [user, file])";
+
+#[test]
+fn eval_prints_the_view() {
+    let db = fixture_file();
+    let out = dap()
+        .args(["eval", db.to_str().unwrap(), QUERY])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("bob") && text.contains("report"), "got:\n{text}");
+}
+
+#[test]
+fn witnesses_lists_both_derivations() {
+    let db = fixture_file();
+    let out = dap()
+        .args(["witnesses", db.to_str().unwrap(), QUERY, "bob,report"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("2 minimal witnesses"), "got:\n{text}");
+}
+
+#[test]
+fn delete_view_and_source_objectives() {
+    let db = fixture_file();
+    for objective in ["view", "source"] {
+        let out = dap()
+            .args(["delete", db.to_str().unwrap(), QUERY, "bob,report", objective])
+            .output()
+            .expect("runs");
+        assert!(out.status.success());
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("delete {"), "got:\n{text}");
+        assert!(text.contains("solver:"), "got:\n{text}");
+    }
+}
+
+#[test]
+fn annotate_picks_side_effect_free_location() {
+    let db = fixture_file();
+    let out = dap()
+        .args(["annotate", db.to_str().unwrap(), QUERY, "ann,report", "user"])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("annotate (UserGroup#0, user)"), "got:\n{text}");
+    assert!(text.contains("side effects: 0"), "got:\n{text}");
+}
+
+#[test]
+fn classify_and_tables_need_no_db() {
+    let out = dap().args(["classify", QUERY]).output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("NP-hard"));
+
+    let out = dap().args(["tables"]).output().expect("runs");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("Queries involving JU"));
+}
+
+#[test]
+fn normalize_shows_branches() {
+    let db = fixture_file();
+    let out = dap()
+        .args(["normalize", db.to_str().unwrap(), QUERY])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("1 branch(es):"), "got:\n{text}");
+}
+
+#[test]
+fn bad_usage_fails_with_message() {
+    let out = dap().args(["delete"]).output().expect("runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "got:\n{err}");
+
+    let out = dap().args(["nonsense"]).output().expect("runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_tuple_is_an_error() {
+    let db = fixture_file();
+    let out = dap()
+        .args(["delete", db.to_str().unwrap(), QUERY, "zz,zz"])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("not in the view"));
+}

@@ -1,0 +1,192 @@
+//! Integration checks for the paper's printed artifacts: Figures 1–3
+//! regenerated tuple-for-tuple, and the three dichotomy tables.
+
+use dap::core::figures;
+use dap::core::{complexity, paper_table, Complexity, Problem};
+use dap::prelude::*;
+
+#[test]
+fn figure1_full_contents() {
+    let fig = figures::figure1();
+    let db = &fig.instance.db;
+
+    // R1 rows exactly as printed in Figure 1.
+    let r1_rows: Vec<(&str, &str)> = vec![
+        ("a", "x1"), ("a", "x2"), ("a", "x3"), ("a", "x4"), ("a", "x5"),
+        ("a2", "x2"), ("a2", "x4"), ("a2", "x5"),
+    ];
+    let r1 = db.get("R1").unwrap();
+    assert_eq!(r1.len(), r1_rows.len());
+    for (a, b) in r1_rows {
+        assert!(r1.contains(&tuple([a, b])), "R1 missing ({a}, {b})");
+    }
+
+    // R2 rows exactly as printed.
+    let r2_rows: Vec<(&str, &str)> = vec![
+        ("x1", "c"), ("x2", "c"), ("x3", "c"), ("x4", "c"), ("x5", "c"),
+        ("x1", "c1"), ("x2", "c1"), ("x3", "c1"),
+        ("x4", "c3"), ("x1", "c3"), ("x3", "c3"),
+    ];
+    let r2 = db.get("R2").unwrap();
+    assert_eq!(r2.len(), r2_rows.len());
+    for (b, c) in r2_rows {
+        assert!(r2.contains(&tuple([b, c])), "R2 missing ({b}, {c})");
+    }
+
+    // The view table.
+    let view = eval(&fig.instance.query, db).unwrap();
+    let view_rows: Vec<(&str, &str)> = vec![
+        ("a", "c"), ("a", "c1"), ("a", "c3"),
+        ("a2", "c"), ("a2", "c1"), ("a2", "c3"),
+    ];
+    assert_eq!(view.len(), view_rows.len());
+    for (a, c) in view_rows {
+        assert!(view.contains(&tuple([a, c])), "view missing ({a}, {c})");
+    }
+}
+
+#[test]
+fn figure1_is_solvable_side_effect_free() {
+    // x2 = true (satisfying the positive clause), everything else false
+    // satisfies the figure's formula; the encoded deletion is
+    // side-effect-free.
+    let fig = figures::figure1();
+    let assignment = vec![false, true, false, false, false];
+    assert!(fig.formula.eval(&assignment));
+    let deletions = fig.encode(&assignment);
+    let inst = DeletionInstance::build(
+        &fig.instance.query,
+        &fig.instance.db,
+        &fig.instance.target,
+    )
+    .unwrap();
+    assert!(inst.deletes_target(&deletions));
+    assert!(inst.side_effects(&deletions).is_empty());
+}
+
+#[test]
+fn figure2_full_contents() {
+    let fig = figures::figure2();
+    let db = &fig.instance.db;
+    assert_eq!(db.relation_count(), 16, "2(m+n) = 2(3+5)");
+    // R1..R5 hold T; RP1..RP5 hold F; S*/SP* hold c1..c3.
+    for i in 0..5 {
+        assert!(db.get(&format!("R{}", i + 1)).unwrap().contains(&tuple(["T"])));
+        assert!(db.get(&format!("RP{}", i + 1)).unwrap().contains(&tuple(["F"])));
+    }
+    for j in 0..3 {
+        assert!(db.get(&format!("S{}", j + 1)).unwrap().contains(&tuple([format!("c{}", j + 1)])));
+        assert!(db.get(&format!("SP{}", j + 1)).unwrap().contains(&tuple([format!("c{}", j + 1)])));
+    }
+    // Figure 2's output table.
+    let view = eval(&fig.instance.query, db).unwrap();
+    assert_eq!(view.len(), 4);
+    for t in [
+        tuple(["c1", "F"]),
+        tuple(["T", "c2"]),
+        tuple(["c3", "F"]),
+        tuple(["T", "F"]),
+    ] {
+        assert!(view.contains(&t), "view missing {t}");
+    }
+}
+
+#[test]
+fn figure3_generic_shapes() {
+    let fig = figures::figure3();
+    let db = &fig.instance.db;
+    let n = fig.hitting_set.num_elements;
+    // R0 is (S, A1..An) with one row per set.
+    let r0 = db.get("R0").unwrap();
+    assert_eq!(r0.schema().arity(), n + 1);
+    assert_eq!(r0.len(), fig.hitting_set.sets.len());
+    // Each R_i is (A_i, B_i, C) with n+1 rows: one keyed x_i row, n dummies.
+    for j in 0..n {
+        let rj = db.get(&format!("R{}", j + 1)).unwrap();
+        assert_eq!(rj.len(), n + 1);
+        let keyed: Vec<_> = rj
+            .tuples()
+            .iter()
+            .filter(|t| t.get(0).as_str() != Some("d"))
+            .collect();
+        assert_eq!(keyed.len(), 1);
+        assert_eq!(keyed[0].get(1).as_str(), Some("alpha0"));
+    }
+    // The view is the single tuple (c).
+    let view = eval(&fig.instance.query, db).unwrap();
+    assert_eq!(view.len(), 1);
+    assert!(view.contains(&tuple(["c"])));
+}
+
+#[test]
+fn the_three_tables_are_the_papers() {
+    // §2.1 table.
+    assert_eq!(
+        paper_table(Problem::ViewSideEffect),
+        vec![
+            ("Queries involving PJ", Complexity::NpHard),
+            ("Queries involving JU", Complexity::NpHard),
+            ("SPU", Complexity::PolyTime),
+            ("SJ", Complexity::PolyTime),
+        ]
+    );
+    // §2.2 table.
+    assert_eq!(
+        paper_table(Problem::SourceSideEffect),
+        vec![
+            ("Queries involving PJ", Complexity::NpHard),
+            ("Queries involving JU", Complexity::NpHard),
+            ("SPU", Complexity::PolyTime),
+            ("SJ", Complexity::PolyTime),
+        ]
+    );
+    // §3.1 table.
+    assert_eq!(
+        paper_table(Problem::AnnotationPlacement),
+        vec![
+            ("Queries involving PJ", Complexity::NpHard),
+            ("SJU", Complexity::PolyTime),
+            ("SPU", Complexity::PolyTime),
+        ]
+    );
+}
+
+#[test]
+fn classification_agrees_with_tables_on_representatives() {
+    let reprs: Vec<(&str, [Complexity; 3])> = vec![
+        // (query, [view, source, annotation])
+        (
+            "project(join(scan R, scan S), [A])",
+            [Complexity::NpHard, Complexity::NpHard, Complexity::NpHard],
+        ),
+        (
+            "union(join(scan R, scan S), join(scan T, scan S))",
+            [Complexity::NpHard, Complexity::NpHard, Complexity::PolyTime],
+        ),
+        (
+            "union(project(scan R, [A]), project(scan T, [A]))",
+            [Complexity::PolyTime, Complexity::PolyTime, Complexity::PolyTime],
+        ),
+        (
+            "select(join(scan R, scan S), A = 'v0')",
+            [Complexity::PolyTime, Complexity::PolyTime, Complexity::PolyTime],
+        ),
+    ];
+    for (text, expected) in reprs {
+        let fp = OpFootprint::of(&parse_query(text).unwrap());
+        assert_eq!(complexity(Problem::ViewSideEffect, &fp), expected[0], "{text}");
+        assert_eq!(complexity(Problem::SourceSideEffect, &fp), expected[1], "{text}");
+        assert_eq!(complexity(Problem::AnnotationPlacement, &fp), expected[2], "{text}");
+    }
+}
+
+#[test]
+fn rendered_figures_are_stable() {
+    // The report binaries print these; pin the header lines so the output
+    // format stays reviewable.
+    let text = figures::render_instance(&figures::figure1().instance);
+    assert!(text.starts_with("R1\nA"));
+    assert!(text.contains("\nR2\nB"));
+    let fig3 = figures::render_instance(&figures::figure3().instance);
+    assert!(fig3.contains("R0\nS"));
+}

@@ -1,0 +1,121 @@
+//! Property tests tying the Boolean-provenance view, the witness view and
+//! actual query re-evaluation together, plus the §2.1.1 keyed fast path on
+//! FD-satisfying random instances.
+
+mod common;
+
+use common::{small_database, typed_query};
+use dap::core::deletion::keyed::{is_keyed, keyed_view_deletion};
+use dap::core::deletion::view_side_effect::{min_view_side_effects, ExactOptions};
+use dap::prelude::*;
+use dap::provenance::provenance_exprs;
+use dap::relalg::{Fd, FdCatalog};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Provenance expressions and minimal witnesses agree on every output
+    /// tuple (prime implicants = witness basis).
+    #[test]
+    fn expressions_equal_witness_bases((q, _) in typed_query(), db in small_database()) {
+        let exprs = provenance_exprs(&q, &db).expect("computes");
+        let why = why_provenance(&q, &db).expect("computes");
+        prop_assert_eq!(exprs.len(), why.len());
+        for (t, e) in exprs.iter() {
+            let implicants = e.prime_implicants();
+            prop_assert_eq!(
+                implicants.as_slice(),
+                why.witnesses_of(t).expect("tuple in view"),
+                "mismatch for {} under {}", t, q
+            );
+        }
+    }
+
+    /// Evaluating an expression under a deletion valuation predicts
+    /// membership in the re-evaluated view.
+    #[test]
+    fn expressions_predict_deletions(
+        (q, _) in typed_query(),
+        db in small_database(),
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..6),
+    ) {
+        let exprs = provenance_exprs(&q, &db).expect("computes");
+        let tids: Vec<Tid> = db.all_tids().collect();
+        if tids.is_empty() {
+            return Ok(());
+        }
+        let deleted: BTreeSet<Tid> =
+            picks.iter().map(|p| tids[p.index(tids.len())].clone()).collect();
+        let after = eval(&q, &db.without(&deleted)).expect("evaluates");
+        for (t, e) in exprs.iter() {
+            prop_assert_eq!(e.eval_deleted(&deleted), after.contains(t), "tuple {}", t);
+        }
+    }
+}
+
+/// Build an FD-clean database: relation R(A,B) where A is a key, and
+/// Dept-like S(B,C) where B is a key. (Generated values are deduplicated on
+/// the key columns.)
+fn keyed_database(seed: u64, size: usize) -> (Database, FdCatalog) {
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    let mut rng = StdRng::seed_from_u64(seed);
+    let domain = (size / 2).max(2);
+    let r_rows: Vec<Tuple> = (0..size)
+        .map(|i| {
+            tuple([format!("a{i}"), format!("b{}", rng.gen_range(0..domain))])
+        })
+        .collect();
+    let s_rows: Vec<Tuple> = (0..domain)
+        .map(|b| tuple([format!("b{b}"), format!("c{}", rng.gen_range(0..domain))]))
+        .collect();
+    let db = Database::from_relations(vec![
+        Relation::new("R", schema(["A", "B"]), r_rows).expect("arity"),
+        Relation::new("S", schema(["B", "C"]), s_rows).expect("arity"),
+    ])
+    .expect("names");
+    let mut fds = FdCatalog::new();
+    fds.add("R", Fd::new(["A"], ["B"]));
+    fds.add("S", Fd::new(["B"], ["C"]));
+    (db, fds)
+}
+
+#[test]
+fn keyed_fast_path_matches_exact_on_random_fk_instances() {
+    for seed in 0..8u64 {
+        let (db, fds) = keyed_database(seed, 12);
+        assert!(fds.validate(&db).is_ok(), "construction satisfies the FDs");
+        // Π_{A,C}(R ⋈ S): A → B (key of R), B → C (key of S) ⇒ keyed.
+        let q = Query::scan("R").join(Query::scan("S")).project(["A", "C"]);
+        assert!(is_keyed(&q, &db, &fds).unwrap());
+        let view = eval(&q, &db).unwrap();
+        for t in view.tuples.iter().take(4) {
+            let fast = keyed_view_deletion(&q, &db, &fds, t).unwrap();
+            let exact = min_view_side_effects(&q, &db, t, &ExactOptions::default()).unwrap();
+            assert_eq!(fast.view_cost(), exact.view_cost(), "seed {seed}, target {t}");
+            // Unique witness: the instance is SJ-shaped.
+            let inst = DeletionInstance::build(&q, &db, t).unwrap();
+            assert_eq!(inst.target_witnesses.len(), 1);
+        }
+    }
+}
+
+#[test]
+fn unkeyed_projection_is_rejected_by_the_fast_path() {
+    let (db, fds) = keyed_database(99, 10);
+    // Π_C(R ⋈ S): C determines nothing.
+    let q = Query::scan("R").join(Query::scan("S")).project(["C"]);
+    assert!(!is_keyed(&q, &db, &fds).unwrap());
+}
+
+#[test]
+fn violated_fd_catalog_rejected_on_real_data() {
+    let (db, mut fds) = keyed_database(7, 10);
+    // B → A is false in R whenever two A-values share a B (domain is
+    // smaller than the relation, so collisions exist for this seed).
+    fds.add("R", Fd::new(["B"], ["A"]));
+    let q = Query::scan("R").join(Query::scan("S")).project(["A", "C"]);
+    assert!(!is_keyed(&q, &db, &fds).unwrap());
+}

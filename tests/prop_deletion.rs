@@ -1,0 +1,150 @@
+//! Property tests for deletion propagation: solver soundness against
+//! re-evaluation, optimality against brute force, cross-solver agreement on
+//! the tractable classes.
+
+mod common;
+
+use common::{small_database, typed_query};
+use dap::core::deletion::chain::chain_min_source_deletion;
+use dap::core::deletion::source_side_effect::{greedy_source_deletion, min_source_deletion};
+use dap::core::deletion::view_side_effect::{
+    min_view_side_effects, side_effect_free, ExactOptions,
+};
+use dap::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Brute-force the minimum-view-side-effect deletion over every subset of
+/// the target's witness support (only called when the support is small).
+fn brute_force_view_min(
+    q: &Query,
+    db: &Database,
+    target: &Tuple,
+) -> Option<(usize, usize)> {
+    let inst = DeletionInstance::build(q, db, target).ok()?;
+    let support = inst.support.clone();
+    if support.len() > 10 {
+        return None;
+    }
+    let mut best: Option<(usize, usize)> = None; // (side effects, |T|)
+    for bits in 0u32..(1 << support.len()) {
+        let deleted: BTreeSet<Tid> = support
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| bits & (1 << i) != 0)
+            .map(|(_, tid)| tid.clone())
+            .collect();
+        if !inst.deletes_target(&deleted) {
+            continue;
+        }
+        let se = inst.side_effect_count(&deleted);
+        let cost = (se, deleted.len());
+        best = Some(match best {
+            None => cost,
+            Some(b) if cost.0 < b.0 => cost,
+            Some(b) => b,
+        });
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exact view-side-effect solver matches brute force and its
+    /// solutions verify against re-evaluation.
+    #[test]
+    fn exact_view_solver_is_optimal((q, _) in typed_query(), db in small_database()) {
+        let view = eval(&q, &db).expect("evaluates");
+        // Check up to 3 targets per instance to bound time.
+        for target in view.tuples.iter().take(3) {
+            let Some((brute_se, _)) = brute_force_view_min(&q, &db, target) else { continue };
+            let sol = min_view_side_effects(&q, &db, target, &ExactOptions::default())
+                .expect("solves");
+            prop_assert_eq!(sol.view_cost(), brute_se, "target {}", target);
+            // Soundness via re-evaluation.
+            let inst = DeletionInstance::build(&q, &db, target).expect("builds");
+            prop_assert!(inst.verify_against_reevaluation(&sol.deletions).expect("ok"));
+            prop_assert!(inst.deletes_target(&sol.deletions));
+            // Decision agrees with optimization.
+            let free = side_effect_free(&q, &db, target, &ExactOptions::default())
+                .expect("solves");
+            prop_assert_eq!(free.is_some(), brute_se == 0);
+        }
+    }
+
+    /// The exact source solver really deletes the target, and greedy is a
+    /// valid (possibly larger) deletion.
+    #[test]
+    fn source_solvers_are_sound((q, _) in typed_query(), db in small_database()) {
+        let view = eval(&q, &db).expect("evaluates");
+        for target in view.tuples.iter().take(3) {
+            let exact = min_source_deletion(&q, &db, target).expect("solves");
+            let greedy = greedy_source_deletion(&q, &db, target).expect("solves");
+            let inst = DeletionInstance::build(&q, &db, target).expect("builds");
+            prop_assert!(inst.deletes_target(&exact.deletions));
+            prop_assert!(inst.deletes_target(&greedy.deletions));
+            prop_assert!(exact.source_cost() <= greedy.source_cost());
+            prop_assert!(inst.verify_against_reevaluation(&exact.deletions).expect("ok"));
+            // The view-side-effect optimum never needs more view damage than
+            // the source optimum causes.
+            let view_min = min_view_side_effects(&q, &db, target, &ExactOptions::default())
+                .expect("solves");
+            prop_assert!(view_min.view_cost() <= exact.view_cost());
+        }
+    }
+
+    /// On chain joins the min-cut solver matches the exact hitting-set
+    /// solver.
+    #[test]
+    fn chain_min_cut_is_optimal(db in small_database()) {
+        // R(A,B) ⋈ S(B,C) is a 2-chain over the generated database.
+        let q = Query::scan("R").join(Query::scan("S")).project(["A", "C"]);
+        let view = eval(&q, &db).expect("evaluates");
+        for target in view.tuples.iter().take(4) {
+            let via_cut = chain_min_source_deletion(&q, &db, target).expect("chain");
+            let via_exact = min_source_deletion(&q, &db, target).expect("exact");
+            prop_assert_eq!(via_cut.source_cost(), via_exact.source_cost(),
+                "target {}", target);
+            let inst = DeletionInstance::build(&q, &db, target).expect("builds");
+            prop_assert!(inst.deletes_target(&via_cut.deletions));
+        }
+    }
+
+    /// Dispatcher results are always sound deletions, whatever solver ran.
+    #[test]
+    fn dispatcher_is_sound((q, _) in typed_query(), db in small_database()) {
+        let view = eval(&q, &db).expect("evaluates");
+        for target in view.tuples.iter().take(2) {
+            let (view_sol, _) =
+                delete_min_view_side_effects(&q, &db, target).expect("solves");
+            let (src_sol, _) = delete_min_source(&q, &db, target).expect("solves");
+            let after_view = eval(&q, &db.without(&view_sol.deletions)).expect("ok");
+            let after_src = eval(&q, &db.without(&src_sol.deletions)).expect("ok");
+            prop_assert!(!after_view.contains(target));
+            prop_assert!(!after_src.contains(target));
+            // Reported side effects match reality.
+            let dead: BTreeSet<Tuple> = view
+                .tuples
+                .iter()
+                .filter(|t| *t != target && !after_view.contains(t))
+                .cloned()
+                .collect();
+            prop_assert_eq!(dead, view_sol.view_side_effects.clone());
+        }
+    }
+
+    /// SPU dispatcher results are side-effect-free (Theorem 2.3) — checked
+    /// on generated join-free queries.
+    #[test]
+    fn spu_deletions_are_side_effect_free((q, _) in typed_query(), db in small_database()) {
+        let fp = OpFootprint::of(&q);
+        prop_assume!(!fp.join && !fp.rename);
+        let view = eval(&q, &db).expect("evaluates");
+        for target in view.tuples.iter().take(3) {
+            let (sol, kind) = delete_min_view_side_effects(&q, &db, target).expect("solves");
+            prop_assert_eq!(kind, SolverKind::Spu);
+            prop_assert!(sol.is_side_effect_free(), "Thm 2.3 violated on {}", q);
+        }
+    }
+}

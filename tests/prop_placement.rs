@@ -1,0 +1,125 @@
+//! Property tests for annotation placement: the generic solver is verified
+//! against independent forward propagation and brute force; the polynomial
+//! solvers agree with it on their classes.
+
+mod common;
+
+use common::{small_database, typed_query};
+use dap::core::placement::generic::min_side_effect_placement;
+use dap::core::placement::sju::sju_placement;
+use dap::core::placement::spu::spu_placement;
+use dap::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// Brute-force optimal placement: try every source location, measure its
+/// propagation with the independent forward propagator.
+fn brute_force_placement(
+    q: &Query,
+    db: &Database,
+    target: &ViewLoc,
+) -> Option<usize> {
+    let mut best: Option<usize> = None;
+    for tid in db.all_tids() {
+        let rel = db.get(tid.rel.as_str()).expect("exists");
+        for attr in rel.schema().attrs() {
+            let src = SourceLoc::new(tid.clone(), attr.clone());
+            let reached = propagate(q, db, &src).expect("computes");
+            if reached.contains(target) {
+                let cost = reached.len() - 1;
+                best = Some(best.map_or(cost, |b: usize| b.min(cost)));
+            }
+        }
+    }
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// The generic solver matches the brute-force optimum and its reported
+    /// side effects match the forward rules.
+    #[test]
+    fn generic_placement_is_optimal((q, _) in typed_query(), db in small_database()) {
+        let view = eval(&q, &db).expect("evaluates");
+        // Bound work: first two tuples, first two attributes.
+        for t in view.tuples.iter().take(2) {
+            for attr in view.schema.attrs().iter().take(2) {
+                let target = ViewLoc::new(t.clone(), attr.clone());
+                let brute = brute_force_placement(&q, &db, &target);
+                match min_side_effect_placement(&q, &db, &target) {
+                    Ok(sol) => {
+                        prop_assert_eq!(Some(sol.cost()), brute, "target {}", target);
+                        let mut reached = propagate(&q, &db, &sol.source).expect("ok");
+                        prop_assert!(reached.remove(&target));
+                        prop_assert_eq!(reached, sol.side_effects);
+                    }
+                    Err(CoreError::NoCandidateLocation { .. }) => {
+                        prop_assert_eq!(brute, None);
+                    }
+                    Err(e) => prop_assert!(false, "unexpected error {e}"),
+                }
+            }
+        }
+    }
+
+    /// Theorem 3.3 (SPU): placement is always side-effect-free, and the
+    /// fast solver agrees with the generic one.
+    #[test]
+    fn spu_placement_side_effect_free((q, _) in typed_query(), db in small_database()) {
+        let fp = OpFootprint::of(&q);
+        prop_assume!(!fp.join && !fp.rename);
+        let view = eval(&q, &db).expect("evaluates");
+        for t in view.tuples.iter().take(3) {
+            for attr in view.schema.attrs().iter().take(2) {
+                let target = ViewLoc::new(t.clone(), attr.clone());
+                let fast = spu_placement(&q, &db, &target).expect("solves");
+                prop_assert!(fast.is_side_effect_free(), "Thm 3.3 violated");
+                let reached = propagate(&q, &db, &fast.source).expect("ok");
+                prop_assert_eq!(reached, BTreeSet::from([target]));
+            }
+        }
+    }
+
+    /// Theorem 3.4 (SJU): the branch-counting solver matches the generic
+    /// optimum.
+    #[test]
+    fn sju_placement_matches_generic((q, _) in typed_query(), db in small_database()) {
+        let fp = OpFootprint::of(&q);
+        prop_assume!(!fp.project);
+        let view = eval(&q, &db).expect("evaluates");
+        for t in view.tuples.iter().take(2) {
+            for attr in view.schema.attrs().iter().take(2) {
+                let target = ViewLoc::new(t.clone(), attr.clone());
+                let fast = sju_placement(&q, &db, &target).expect("solves");
+                let generic = min_side_effect_placement(&q, &db, &target).expect("solves");
+                prop_assert_eq!(fast.cost(), generic.cost(), "target {} on {}", target, q);
+                // The fast solver's claimed propagation is real.
+                let mut reached = propagate(&q, &db, &fast.source).expect("ok");
+                prop_assert!(reached.remove(&target));
+                prop_assert_eq!(reached, fast.side_effects);
+            }
+        }
+    }
+
+    /// The dispatcher always returns a verified placement.
+    #[test]
+    fn placement_dispatcher_is_sound((q, _) in typed_query(), db in small_database()) {
+        let view = eval(&q, &db).expect("evaluates");
+        for t in view.tuples.iter().take(2) {
+            let attr = view.schema.attrs()[0].clone();
+            let target = ViewLoc::new(t.clone(), attr);
+            match place_annotation(&q, &db, &target) {
+                Ok((sol, _)) => {
+                    let reached = propagate(&q, &db, &sol.source).expect("ok");
+                    prop_assert!(reached.contains(&target));
+                    prop_assert_eq!(reached.len() - 1, sol.cost());
+                }
+                Err(CoreError::NoCandidateLocation { .. }) => {
+                    prop_assert_eq!(brute_force_placement(&q, &db, &target), None);
+                }
+                Err(e) => prop_assert!(false, "unexpected error {e}"),
+            }
+        }
+    }
+}

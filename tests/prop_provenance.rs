@@ -1,0 +1,143 @@
+//! Property tests for provenance: witness soundness/minimality, the
+//! forward/backward agreement of annotation propagation, and Theorem 3.1's
+//! annotation half — normalization preserves the location relation `R`.
+
+mod common;
+
+use common::{small_database, typed_query};
+use dap::prelude::*;
+use dap::provenance::is_sufficient;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported witness produces the tuple; every view tuple has at
+    /// least one witness; witness tuple-ids exist.
+    #[test]
+    fn witnesses_are_sound((q, _) in typed_query(), db in small_database()) {
+        let why = why_provenance(&q, &db).expect("computes");
+        let view = eval(&q, &db).expect("evaluates");
+        prop_assert_eq!(why.len(), view.len());
+        for (t, ws) in why.iter() {
+            prop_assert!(!ws.is_empty());
+            for w in ws {
+                for tid in w {
+                    prop_assert!(db.tuple(tid).is_some());
+                }
+                prop_assert!(is_sufficient(&q, &db, w, t).expect("evaluates"),
+                    "witness {:?} fails for {}", w, t);
+            }
+        }
+    }
+
+    /// Witness bases contain only inclusion-minimal sets, pairwise
+    /// incomparable.
+    #[test]
+    fn witness_bases_are_antichains((q, _) in typed_query(), db in small_database()) {
+        let why = why_provenance(&q, &db).expect("computes");
+        for (_, ws) in why.iter() {
+            for (i, a) in ws.iter().enumerate() {
+                for (j, b) in ws.iter().enumerate() {
+                    if i != j {
+                        prop_assert!(!a.is_subset(b), "witness basis not an antichain");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dropping any single tuple from a minimal witness breaks it.
+    #[test]
+    fn witnesses_are_minimal((q, _) in typed_query(), db in small_database()) {
+        let why = why_provenance(&q, &db).expect("computes");
+        // Bound the work: check the first few tuples only.
+        for (t, ws) in why.iter().take(4) {
+            for w in ws.iter().take(4) {
+                for drop in w {
+                    let mut smaller = w.clone();
+                    smaller.remove(drop);
+                    prop_assert!(
+                        !is_sufficient(&q, &db, &smaller, t).expect("evaluates"),
+                        "witness {:?} for {} not minimal", w, t
+                    );
+                }
+            }
+        }
+    }
+
+    /// The forward propagation rules and inverted where-provenance agree on
+    /// every source location.
+    #[test]
+    fn forward_equals_inverted_backward((q, _) in typed_query(), db in small_database()) {
+        let wp = where_provenance(&q, &db).expect("computes");
+        for tid in db.all_tids() {
+            let rel = db.get(tid.rel.as_str()).expect("exists");
+            for attr in rel.schema().attrs() {
+                let src = SourceLoc::new(tid.clone(), attr.clone());
+                let forward = propagate(&q, &db, &src).expect("computes");
+                prop_assert_eq!(forward, wp.reached_from(&src), "location {}", src);
+            }
+        }
+    }
+
+    /// Where-provenance respects values: an annotation only lands on view
+    /// fields holding the same value as the source field (annotations ride
+    /// on copies).
+    #[test]
+    fn where_provenance_is_value_consistent((q, _) in typed_query(), db in small_database()) {
+        let wp = where_provenance(&q, &db).expect("computes");
+        for (t, sets) in wp.iter() {
+            for (idx, locs) in sets.iter().enumerate() {
+                for loc in locs {
+                    let source_value = loc.value_in(&db).expect("location exists");
+                    prop_assert_eq!(source_value, t.get(idx), "copied value must match");
+                }
+            }
+        }
+    }
+
+    /// Theorem 3.1, annotation half: normalization preserves the relation
+    /// `R(Q, S)` between source and view locations (up to the view's column
+    /// order, which we realign).
+    #[test]
+    fn normal_form_preserves_annotation_relation(
+        (q, sch) in typed_query(),
+        db in small_database(),
+    ) {
+        let nf = normalize(&q, &db.catalog()).expect("normalizes");
+        let nfq = nf.to_query();
+        let wp_q = where_provenance(&q, &db).expect("computes");
+        let wp_nf = where_provenance(&nfq, &db).expect("computes");
+        // Realign NF view tuples to the original schema order.
+        let positions = wp_nf.schema.positions_of(sch.attrs()).expect("same attr set");
+        for tid in db.all_tids() {
+            let rel = db.get(tid.rel.as_str()).expect("exists");
+            for attr in rel.schema().attrs() {
+                let src = SourceLoc::new(tid.clone(), attr.clone());
+                let via_q = wp_q.reached_from(&src);
+                let via_nf: BTreeSet<ViewLoc> = wp_nf
+                    .reached_from(&src)
+                    .into_iter()
+                    .map(|v| ViewLoc::new(v.tuple.project_positions(&positions), v.attr))
+                    .collect();
+                prop_assert_eq!(via_q, via_nf, "R changed for {} on query {}", src, q);
+            }
+        }
+    }
+
+    /// Lineage is the per-relation union of witnesses and is contained in
+    /// the witness support.
+    #[test]
+    fn lineage_matches_witness_support((q, _) in typed_query(), db in small_database()) {
+        let why = why_provenance(&q, &db).expect("computes");
+        for (t, ws) in why.iter().take(6) {
+            let l = lineage(&q, &db, t).expect("computes");
+            let support: BTreeSet<Tid> = ws.iter().flatten().cloned().collect();
+            let flattened: BTreeSet<Tid> =
+                l.values().flatten().cloned().collect();
+            prop_assert_eq!(flattened, support);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests for the relational substrate: evaluator laws, parser
+//! round-trips, and the normal form's result-equivalence (Theorem 3.1,
+//! result half).
+
+mod common;
+
+use common::{small_database, tid_subset, typed_query};
+use dap::prelude::*;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Generated queries really are type-correct and evaluate.
+    #[test]
+    fn generated_queries_typecheck((q, sch) in typed_query(), db in small_database()) {
+        let inferred = dap::relalg::output_schema(&q, &db.catalog()).expect("type-correct");
+        prop_assert_eq!(&inferred, &sch);
+        let out = eval(&q, &db).expect("evaluates");
+        prop_assert_eq!(&out.schema, &sch);
+    }
+
+    /// Monotonicity: S' ⊆ S ⇒ Q(S') ⊆ Q(S) for every SPJRU query.
+    #[test]
+    fn eval_is_monotone(
+        (q, _) in typed_query(),
+        db in small_database(),
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 0..8),
+    ) {
+        let full = eval(&q, &db).expect("evaluates").tuple_set();
+        let tids = tid_subset(&db);
+        if tids.is_empty() {
+            return Ok(());
+        }
+        let deleted: BTreeSet<Tid> =
+            picks.iter().map(|p| tids[p.index(tids.len())].clone()).collect();
+        let sub = eval(&q, &db.without(&deleted)).expect("evaluates").tuple_set();
+        prop_assert!(sub.is_subset(&full), "deletion grew the view");
+    }
+
+    /// The pretty-printer and parser are inverse on generated ASTs.
+    #[test]
+    fn query_display_round_trips((q, _) in typed_query()) {
+        let text = q.to_string();
+        let parsed = parse_query(&text).expect("printed query parses");
+        prop_assert_eq!(parsed, q);
+    }
+
+    /// Theorem 3.1, result half: the union normal form computes the same
+    /// view on every database.
+    #[test]
+    fn normal_form_preserves_results((q, _) in typed_query(), db in small_database()) {
+        let nf = normalize(&q, &db.catalog()).expect("normalizes");
+        let original = eval(&q, &db).expect("evaluates");
+        let rewritten = eval(&nf.to_query(), &db).expect("evaluates");
+        prop_assert_eq!(original.tuple_set(), rewritten.tuple_set());
+        prop_assert!(dap::relalg::is_normal_form(&nf.to_query()));
+    }
+
+    /// Idempotence of set semantics: unioning a query with itself changes
+    /// nothing; joining a query with itself changes nothing.
+    #[test]
+    fn set_semantics_idempotence((q, _) in typed_query(), db in small_database()) {
+        let base = eval(&q, &db).expect("evaluates").tuple_set();
+        let doubled = eval(&q.clone().union(q.clone()), &db).expect("evaluates").tuple_set();
+        prop_assert_eq!(&doubled, &base);
+        let self_joined = eval(&q.clone().join(q.clone()), &db).expect("evaluates").tuple_set();
+        prop_assert_eq!(&self_joined, &base);
+    }
+
+    /// Selection with `true` is the identity; projection onto the full
+    /// schema is the identity.
+    #[test]
+    fn identity_operators((q, sch) in typed_query(), db in small_database()) {
+        let base = eval(&q, &db).expect("evaluates").tuple_set();
+        let selected = eval(&q.clone().select(Pred::True), &db).expect("ok").tuple_set();
+        prop_assert_eq!(&selected, &base);
+        let attrs: Vec<&str> = sch.attrs().iter().map(Attr::as_str).collect();
+        let projected = eval(&q.clone().project(attrs), &db).expect("ok").tuple_set();
+        prop_assert_eq!(&projected, &base);
+    }
+
+    /// Union is commutative and associative on tuple sets.
+    #[test]
+    fn union_laws(db in small_database()) {
+        let r = Query::scan("R");
+        let t = Query::scan("T");
+        let rt = eval(&r.clone().union(t.clone()), &db).expect("ok").tuple_set();
+        let tr = eval(&t.clone().union(r.clone()), &db).expect("ok").tuple_set();
+        prop_assert_eq!(&rt, &tr);
+        let assoc1 = eval(&r.clone().union(t.clone()).union(r.clone()), &db)
+            .expect("ok")
+            .tuple_set();
+        prop_assert_eq!(&assoc1, &rt);
+    }
+
+    /// Join is commutative up to column order.
+    #[test]
+    fn join_commutes_up_to_order(db in small_database()) {
+        let rs = eval(&Query::scan("R").join(Query::scan("S")), &db).expect("ok");
+        let sr = eval(&Query::scan("S").join(Query::scan("R")), &db).expect("ok");
+        // Reorder sr's columns to rs's schema.
+        let positions = sr.schema.positions_of(rs.schema.attrs()).expect("same attrs");
+        let reordered: BTreeSet<Tuple> =
+            sr.tuples.iter().map(|t| t.project_positions(&positions)).collect();
+        prop_assert_eq!(reordered, rs.tuple_set());
+    }
+}

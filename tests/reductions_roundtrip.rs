@@ -1,0 +1,192 @@
+//! End-to-end reduction round-trips: every hardness construction is checked
+//! against its independent oracle (DPLL for the SAT reductions, exact
+//! hitting set for the covering reductions) on randomized instances.
+
+use dap::core::deletion::source_side_effect::min_source_deletion;
+use dap::core::deletion::view_side_effect::{side_effect_free, ExactOptions};
+use dap::core::placement::generic::side_effect_free_placement;
+use dap::core::reductions::{thm2_1, thm2_2, thm2_5, thm2_7, thm3_2};
+use dap::prelude::*;
+use dap::sat::{dpll, random_monotone_3sat, Clause, Cnf, Lit};
+use dap::setcover::{exact_hitting_set, random_hitting_set};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn thm2_1_matches_dpll_on_many_instances() {
+    let mut rng = StdRng::seed_from_u64(0xBADA55);
+    let mut sat_count = 0;
+    let mut unsat_count = 0;
+    for trial in 0..30 {
+        let f = random_monotone_3sat(&mut rng, 4 + trial % 3, 3 + trial % 6);
+        let red = thm2_1::reduce(&f);
+        let sat = dpll::is_satisfiable(&f.to_cnf());
+        let sol = side_effect_free(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+            &ExactOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sat, sol.is_some(), "Thm 2.1 round trip failed on {f}");
+        if sat {
+            sat_count += 1;
+            let deletions = sol.unwrap().deletions;
+            assert!(red.formula.eval(&red.decode(&deletions)));
+        } else {
+            unsat_count += 1;
+        }
+    }
+    // The sweep should exercise the satisfiable side at least.
+    assert!(sat_count > 0, "sweep must include satisfiable instances ({unsat_count} UNSAT)");
+}
+
+#[test]
+fn thm2_2_matches_dpll_on_many_instances() {
+    let mut rng = StdRng::seed_from_u64(0xC0FFEE);
+    for trial in 0..20 {
+        let f = random_monotone_3sat(&mut rng, 4, 3 + trial % 5);
+        let red = thm2_2::reduce(&f);
+        let sat = dpll::is_satisfiable(&f.to_cnf());
+        let sol = side_effect_free(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+            &ExactOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(sat, sol.is_some(), "Thm 2.2 round trip failed on {f}");
+    }
+}
+
+#[test]
+fn thm2_1_and_thm2_2_agree_with_each_other() {
+    // Both reductions decide the same formula — their answers must match.
+    let mut rng = StdRng::seed_from_u64(0x1234);
+    for _ in 0..10 {
+        let f = random_monotone_3sat(&mut rng, 4, 5);
+        let red1 = thm2_1::reduce(&f);
+        let red2 = thm2_2::reduce(&f);
+        let a = side_effect_free(
+            &red1.instance.query,
+            &red1.instance.db,
+            &red1.instance.target,
+            &ExactOptions::default(),
+        )
+        .unwrap()
+        .is_some();
+        let b = side_effect_free(
+            &red2.instance.query,
+            &red2.instance.db,
+            &red2.instance.target,
+            &ExactOptions::default(),
+        )
+        .unwrap()
+        .is_some();
+        assert_eq!(a, b, "the two reductions disagree on {f}");
+    }
+}
+
+#[test]
+fn thm2_5_optimum_equals_hitting_set_optimum() {
+    let mut rng = StdRng::seed_from_u64(0x25);
+    for _ in 0..5 {
+        let hs = random_hitting_set(&mut rng, 4, 4, 2);
+        let red = thm2_5::reduce(&hs);
+        let expected = exact_hitting_set(&hs).len();
+        let sol =
+            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
+        assert_eq!(sol.source_cost(), expected, "Thm 2.5 optimum transfer on {hs}");
+    }
+}
+
+#[test]
+fn thm2_7_optimum_equals_hitting_set_optimum() {
+    let mut rng = StdRng::seed_from_u64(0x27);
+    for _ in 0..10 {
+        let hs = random_hitting_set(&mut rng, 7, 5, 3);
+        let red = thm2_7::reduce(&hs);
+        let expected = exact_hitting_set(&hs).len();
+        let sol =
+            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
+        assert_eq!(sol.source_cost(), expected, "Thm 2.7 optimum transfer on {hs}");
+        // And the greedy bound carries over.
+        let greedy = dap::core::deletion::source_side_effect::greedy_source_deletion(
+            &red.instance.query,
+            &red.instance.db,
+            &red.instance.target,
+        )
+        .unwrap();
+        assert!(greedy.source_cost() >= expected);
+        let hn = dap::setcover::harmonic(3);
+        assert!(
+            greedy.source_cost() as f64 <= hn * expected as f64 + 1e-9,
+            "greedy exceeded its H_k bound"
+        );
+    }
+}
+
+/// Random *connected* 3-CNF: clause i shares a variable with clause i-1.
+fn random_connected_3cnf(rng: &mut StdRng, n: usize, m: usize) -> Cnf {
+    assert!(n >= 3);
+    let mut clauses = Vec::with_capacity(m);
+    let mut prev: Vec<usize> = (0..3).collect();
+    for _ in 0..m {
+        let mut vars = vec![prev[rng.gen_range(0..prev.len())]];
+        while vars.len() < 3 {
+            let v = rng.gen_range(0..n);
+            if !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+        clauses.push(Clause::new(
+            vars.iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }),
+        ));
+        prev = vars;
+    }
+    Cnf::new(n, clauses)
+}
+
+#[test]
+fn thm3_2_matches_dpll_on_connected_instances() {
+    let mut rng = StdRng::seed_from_u64(0x32);
+    for trial in 0..12 {
+        let f = random_connected_3cnf(&mut rng, 5, 2 + trial % 3);
+        let red = thm3_2::reduce(&f).expect("connected by construction");
+        let sat = dpll::is_satisfiable(&f);
+        let free = side_effect_free_placement(
+            &red.instance.query,
+            &red.instance.db,
+            &red.target_location,
+        )
+        .unwrap();
+        assert_eq!(sat, free.is_some(), "Thm 3.2 round trip failed on {f}");
+        if let Some(p) = free {
+            assert!(red.is_assignment_row(&p.source.tid));
+        }
+    }
+}
+
+#[test]
+fn corollary_3_1_witness_membership_tracks_satisfiability() {
+    // Corollary 3.1: deciding "is t' part of a witness for t" embeds SAT.
+    // On the Thm 3.2 instance: an R1 assignment row is part of a witness of
+    // (c1..cm) iff its partial assignment extends to a model.
+    let mut rng = StdRng::seed_from_u64(0x31c);
+    for _ in 0..6 {
+        let f = random_connected_3cnf(&mut rng, 5, 3);
+        let red = thm3_2::reduce(&f).expect("connected");
+        let why = why_provenance(&red.instance.query, &red.instance.db).unwrap();
+        let witnesses = why.witnesses_of(&red.instance.target).unwrap();
+        let has_all_real_witness = witnesses
+            .iter()
+            .any(|w| w.iter().all(|tid| red.is_assignment_row(tid)));
+        assert_eq!(
+            has_all_real_witness,
+            dpll::is_satisfiable(&f),
+            "witness structure must track satisfiability on {f}"
+        );
+    }
+}
