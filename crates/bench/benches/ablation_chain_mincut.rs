@@ -24,9 +24,7 @@ fn bench_chain(c: &mut Criterion) {
             })
         });
         group.bench_with_input(BenchmarkId::new("exact_hypergraph", &label), &w, |b, w| {
-            b.iter(|| {
-                black_box(min_source_deletion(&w.query, &w.db, &w.target).expect("solves"))
-            })
+            b.iter(|| black_box(min_source_deletion(&w.query, &w.db, &w.target).expect("solves")))
         });
         group.bench_with_input(BenchmarkId::new("greedy_hypergraph", &label), &w, |b, w| {
             b.iter(|| {

@@ -70,9 +70,11 @@ fn bench_reduction_construction(c: &mut Criterion) {
             b.iter(|| black_box(thm2_2::reduce(f)))
         });
         let hs = random_hitting_set(&mut rng, n.min(40), n.min(40), 3);
-        group.bench_with_input(BenchmarkId::new("thm2_5", format!("n={n}")), &hs, |b, hs| {
-            b.iter(|| black_box(thm2_5::reduce(hs)))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("thm2_5", format!("n={n}")),
+            &hs,
+            |b, hs| b.iter(|| black_box(thm2_5::reduce(hs))),
+        );
     }
     group.finish();
 }
@@ -89,9 +91,7 @@ fn bench_normal_form(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("clauses={branches}")),
             &(red.instance.query.clone(), catalog),
-            |b, (q, cat)| {
-                b.iter(|| black_box(dap_relalg::normalize(q, cat).expect("normalizes")))
-            },
+            |b, (q, cat)| b.iter(|| black_box(dap_relalg::normalize(q, cat).expect("normalizes"))),
         );
     }
     group.finish();

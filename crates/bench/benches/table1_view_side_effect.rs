@@ -22,19 +22,23 @@ fn bench_pj_hard(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(101);
         let f = random_monotone_3sat(&mut rng, n, n + n / 2);
         let red = thm2_1::reduce(&f);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &red, |b, red| {
-            b.iter(|| {
-                black_box(
-                    side_effect_free(
-                        &red.instance.query,
-                        &red.instance.db,
-                        &red.instance.target,
-                        &ExactOptions::default(),
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(
+                        side_effect_free(
+                            &red.instance.query,
+                            &red.instance.db,
+                            &red.instance.target,
+                            &ExactOptions::default(),
+                        )
+                        .expect("solves"),
                     )
-                    .expect("solves"),
-                )
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -45,19 +49,23 @@ fn bench_ju_hard(c: &mut Criterion) {
         let mut rng = StdRng::seed_from_u64(102);
         let f = random_monotone_3sat(&mut rng, n, n);
         let red = thm2_2::reduce(&f);
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n={n}")), &red, |b, red| {
-            b.iter(|| {
-                black_box(
-                    side_effect_free(
-                        &red.instance.query,
-                        &red.instance.db,
-                        &red.instance.target,
-                        &ExactOptions::default(),
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n={n}")),
+            &red,
+            |b, red| {
+                b.iter(|| {
+                    black_box(
+                        side_effect_free(
+                            &red.instance.query,
+                            &red.instance.db,
+                            &red.instance.target,
+                            &ExactOptions::default(),
+                        )
+                        .expect("solves"),
                     )
-                    .expect("solves"),
-                )
-            })
-        });
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -70,9 +78,7 @@ fn bench_spu_poly(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("tuples={size}")),
             &w,
             |b, w| {
-                b.iter(|| {
-                    black_box(spu_view_deletion(&w.query, &w.db, &w.target).expect("solves"))
-                })
+                b.iter(|| black_box(spu_view_deletion(&w.query, &w.db, &w.target).expect("solves")))
             },
         );
     }
@@ -87,14 +93,18 @@ fn bench_sj_poly(c: &mut Criterion) {
             BenchmarkId::from_parameter(format!("tuples={size}")),
             &w,
             |b, w| {
-                b.iter(|| {
-                    black_box(sj_view_deletion(&w.query, &w.db, &w.target).expect("solves"))
-                })
+                b.iter(|| black_box(sj_view_deletion(&w.query, &w.db, &w.target).expect("solves")))
             },
         );
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_pj_hard, bench_ju_hard, bench_spu_poly, bench_sj_poly);
+criterion_group!(
+    benches,
+    bench_pj_hard,
+    bench_ju_hard,
+    bench_spu_poly,
+    bench_sj_poly
+);
 criterion_main!(benches);

@@ -31,9 +31,10 @@ fn connected_3cnf(seed: u64, n: usize, m: usize) -> Cnf {
                 vars.push(v);
             }
         }
-        clauses.push(Clause::new(
-            vars.iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }),
-        ));
+        clauses.push(Clause::new(vars.iter().map(|&v| Lit {
+            var: v,
+            positive: rng.gen_bool(0.5),
+        })));
         prev = vars;
     }
     Cnf::new(n, clauses)
@@ -75,9 +76,7 @@ fn bench_sju_poly(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("tuples={size}")),
             &w,
-            |b, w| {
-                b.iter(|| black_box(sju_placement(&w.query, &w.db, &w.target).expect("solves")))
-            },
+            |b, w| b.iter(|| black_box(sju_placement(&w.query, &w.db, &w.target).expect("solves"))),
         );
     }
     group.finish();
@@ -90,9 +89,7 @@ fn bench_spu_poly(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(format!("tuples={size}")),
             &w,
-            |b, w| {
-                b.iter(|| black_box(spu_placement(&w.query, &w.db, &w.target).expect("solves")))
-            },
+            |b, w| b.iter(|| black_box(spu_placement(&w.query, &w.db, &w.target).expect("solves"))),
         );
     }
     group.finish();

@@ -57,7 +57,10 @@ fn main() {
         &ExactOptions::default(),
     )
     .expect("solves");
-    println!("goal: delete (T, F). side-effect-free deletion exists: {}", sol.is_some());
+    println!(
+        "goal: delete (T, F). side-effect-free deletion exists: {}",
+        sol.is_some()
+    );
     assert_eq!(sol.is_some(), dpll::is_satisfiable(&fig2.formula.to_cnf()));
 
     // ---------------- Figure 3 ----------------
@@ -68,9 +71,12 @@ fn main() {
     println!("=====================================================\n");
     println!("{}", figures::render_instance(&fig3.instance));
     let hs_opt = exact_hitting_set(&fig3.hitting_set).len();
-    let sol =
-        min_source_deletion(&fig3.instance.query, &fig3.instance.db, &fig3.instance.target)
-            .expect("solves");
+    let sol = min_source_deletion(
+        &fig3.instance.query,
+        &fig3.instance.db,
+        &fig3.instance.target,
+    )
+    .expect("solves");
     println!(
         "\ngoal: delete (c) with minimum source deletions.\n\
          minimum source deletion = {} tuples; minimum hitting set = {} elements.",

@@ -26,7 +26,10 @@ fn main() {
 
     // --- NP-hard row 1: PJ via Theorem 2.1 ---------------------------------
     println!("Queries involving PJ — Thm 2.1 instances (monotone 3SAT, m = 1.5n):");
-    println!("{:>6} {:>10} {:>14} {:>10}", "n", "|S|", "median time", "DPLL agree");
+    println!(
+        "{:>6} {:>10} {:>14} {:>10}",
+        "n", "|S|", "median time", "DPLL agree"
+    );
     for n in [4usize, 8, 12, 16] {
         let mut rng = StdRng::seed_from_u64(1);
         let f = random_monotone_3sat(&mut rng, n, n + n / 2);
@@ -54,7 +57,10 @@ fn main() {
 
     // --- NP-hard row 2: JU via Theorem 2.2 ---------------------------------
     println!("\nQueries involving JU — Thm 2.2 instances (monotone 3SAT, m = n):");
-    println!("{:>6} {:>10} {:>14} {:>10}", "n", "|S|", "median time", "DPLL agree");
+    println!(
+        "{:>6} {:>10} {:>14} {:>10}",
+        "n", "|S|", "median time", "DPLL agree"
+    );
     for n in [4usize, 6, 8, 10] {
         let mut rng = StdRng::seed_from_u64(2);
         let f = random_monotone_3sat(&mut rng, n, n);

@@ -27,7 +27,10 @@ fn main() {
 
     // --- PJ via Theorem 2.5 --------------------------------------------------
     println!("Queries involving PJ — Thm 2.5 instances (hitting set, k = 2):");
-    println!("{:>6} {:>8} {:>14} {:>16}", "n", "|S|", "median time", "optimum = HS opt");
+    println!(
+        "{:>6} {:>8} {:>14} {:>16}",
+        "n", "|S|", "median time", "optimum = HS opt"
+    );
     for n in [3usize, 4, 5] {
         let mut rng = StdRng::seed_from_u64(10);
         let hs = random_hitting_set(&mut rng, n, n, 2);
@@ -35,13 +38,9 @@ fn main() {
         let expected = exact_hitting_set(&hs).len();
         let mut got = usize::MAX;
         let t = median_time(5, || {
-            got = min_source_deletion(
-                &red.instance.query,
-                &red.instance.db,
-                &red.instance.target,
-            )
-            .expect("solves")
-            .source_cost();
+            got = min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                .expect("solves")
+                .source_cost();
         });
         println!(
             "{:>6} {:>8} {:>14?} {:>16}",
@@ -66,23 +65,17 @@ fn main() {
         let red = thm2_7::reduce(&hs);
         let mut exact_cost = 0usize;
         let te = median_time(5, || {
-            exact_cost = min_source_deletion(
-                &red.instance.query,
-                &red.instance.db,
-                &red.instance.target,
-            )
-            .expect("solves")
-            .source_cost();
+            exact_cost =
+                min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                    .expect("solves")
+                    .source_cost();
         });
         let mut greedy_cost = 0usize;
         let tg = median_time(5, || {
-            greedy_cost = greedy_source_deletion(
-                &red.instance.query,
-                &red.instance.db,
-                &red.instance.target,
-            )
-            .expect("solves")
-            .source_cost();
+            greedy_cost =
+                greedy_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                    .expect("solves")
+                    .source_cost();
         });
         let ratio = greedy_cost as f64 / exact_cost as f64;
         println!(

@@ -29,9 +29,10 @@ fn connected_3cnf(seed: u64, n: usize, m: usize) -> Cnf {
                 vars.push(v);
             }
         }
-        clauses.push(Clause::new(
-            vars.iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }),
-        ));
+        clauses.push(Clause::new(vars.iter().map(|&v| Lit {
+            var: v,
+            positive: rng.gen_bool(0.5),
+        })));
         prev = vars;
     }
     Cnf::new(n, clauses)
@@ -47,7 +48,10 @@ fn main() {
 
     // --- NP-hard row: PJ via Theorem 3.2 -----------------------------------
     println!("Queries involving PJ — Thm 3.2 instances (connected 3SAT):");
-    println!("{:>8} {:>10} {:>14} {:>10}", "clauses", "|S|", "median time", "DPLL agree");
+    println!(
+        "{:>8} {:>10} {:>14} {:>10}",
+        "clauses", "|S|", "median time", "DPLL agree"
+    );
     for m in [2usize, 3, 4, 5] {
         let f = connected_3cnf(20, 4 + m, m);
         let red = thm3_2::reduce(&f).expect("connected");
@@ -96,14 +100,16 @@ fn main() {
 
     // --- Corollary 3.1: why/where-provenance both blow up on PJ -------------
     println!("\nCorollary 3.1 — witness computation on the Thm 3.2 instances:");
-    println!("{:>8} {:>12} {:>14}", "clauses", "#witnesses", "median time");
+    println!(
+        "{:>8} {:>12} {:>14}",
+        "clauses", "#witnesses", "median time"
+    );
     for m in [2usize, 3, 4] {
         let f = connected_3cnf(23, 4 + m, m);
         let red = thm3_2::reduce(&f).expect("connected");
         let mut count = 0usize;
         let t = median_time(5, || {
-            let why =
-                why_provenance(&red.instance.query, &red.instance.db).expect("computes");
+            let why = why_provenance(&red.instance.query, &red.instance.db).expect("computes");
             count = why.total_witnesses();
         });
         println!("{:>8} {:>12} {:>14?}", m, count, t);

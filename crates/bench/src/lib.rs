@@ -71,7 +71,11 @@ pub fn spu_workload(seed: u64, size: usize) -> DeletionWorkload {
         .select(Pred::attr_eq_const("B", "v0"))
         .project(["A"])
         .union(Query::scan("S").project(["A"]));
-    DeletionWorkload { db, query, target: Tuple::new([Value::str("hit")]) }
+    DeletionWorkload {
+        db,
+        query,
+        target: Tuple::new([Value::str("hit")]),
+    }
 }
 
 /// An SJ workload: `R(A,B) ⋈ S(B,C)` with `size` tuples per relation; the
@@ -109,15 +113,22 @@ pub fn chain_workload(seed: u64, layers: usize, width: usize) -> DeletionWorkloa
             .map(|_| Tuple::new([val(&mut r, domain), val(&mut r, domain)]))
             .collect();
         rels.push(
-            Relation::new(format!("R{}", l + 1), schema([a.as_str(), b.as_str()]), rows)
-                .expect("arity"),
+            Relation::new(
+                format!("R{}", l + 1),
+                schema([a.as_str(), b.as_str()]),
+                rows,
+            )
+            .expect("arity"),
         );
     }
     let db = Database::from_relations(rels).expect("names");
     let query = Query::join_all((0..layers).map(|l| Query::scan(format!("R{}", l + 1))))
         .project(["A0".to_string(), format!("A{layers}")]);
     let view = eval(&query, &db).expect("evaluates");
-    assert!(!view.is_empty(), "chain workload produced an empty view; adjust seed");
+    assert!(
+        !view.is_empty(),
+        "chain workload produced an empty view; adjust seed"
+    );
     let target = view.tuples[0].clone();
     DeletionWorkload { db, query, target }
 }
@@ -250,8 +261,7 @@ mod tests {
     #[test]
     fn pj_multiwitness_counts() {
         let w = pj_multiwitness_workload(3, 4, 2);
-        let witnesses =
-            dap_provenance::minimal_witnesses(&w.query, &w.db, &w.target).unwrap();
+        let witnesses = dap_provenance::minimal_witnesses(&w.query, &w.db, &w.target).unwrap();
         assert_eq!(witnesses.len(), 4, "one witness per group");
     }
 

@@ -19,9 +19,7 @@
 use crate::deletion::Deletion;
 use crate::error::{CoreError, Result};
 use dap_flow::UnitNodeGraph;
-use dap_relalg::{
-    detect_chain_join, eval, Attr, Database, Query, Schema, Tid, Tuple,
-};
+use dap_relalg::{detect_chain_join, eval, Attr, Database, Query, Schema, Tid, Tuple};
 use std::collections::BTreeSet;
 
 /// Minimum source deletion for a chain-join query (optional outer
@@ -33,7 +31,9 @@ pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Re
     let chain = detect_chain_join(q, &catalog).ok_or(CoreError::NotAChain)?;
     let out_schema = dap_relalg::output_schema(q, &catalog)?;
     if target.arity() != out_schema.arity() {
-        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+        return Err(CoreError::TargetNotInView {
+            tuple: target.clone(),
+        });
     }
 
     // Step 1: per layer, the tuples that agree with the target on the
@@ -64,7 +64,11 @@ pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Re
             .filter(|(_, u)| projected.iter().all(|(i, v)| u.get(*i) == *v))
             .map(|(row, _)| row)
             .collect();
-        layers.push(Layer { rel: rel.name().clone(), schema: rel.schema().clone(), rows });
+        layers.push(Layer {
+            rel: rel.name().clone(),
+            schema: rel.schema().clone(),
+            rows,
+        });
     }
 
     // Step 2–3: the node-split layered network.
@@ -73,7 +77,17 @@ pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Re
     let mut node_of: Vec<Vec<usize>> = Vec::with_capacity(layers.len());
     let mut next = 0usize;
     for layer in &layers {
-        node_of.push(layer.rows.iter().map(|_| { let n = next; next += 1; n }).collect());
+        node_of.push(
+            layer
+                .rows
+                .iter()
+                .map(|_| {
+                    let n = next;
+                    next += 1;
+                    n
+                })
+                .collect(),
+        );
     }
     for (i, layer) in layers.iter().enumerate() {
         if i == 0 {
@@ -118,14 +132,19 @@ pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Re
     let (value, cut_nodes) = graph.min_node_cut();
     if value == 0 {
         // No s–t path means no witness: the target is not in the view.
-        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+        return Err(CoreError::TargetNotInView {
+            tuple: target.clone(),
+        });
     }
     // Map node ids back to tids.
     let mut deletions = BTreeSet::new();
     for (i, layer) in layers.iter().enumerate() {
         for (li, &row) in layer.rows.iter().enumerate() {
             if cut_nodes.contains(&node_of[i][li]) {
-                deletions.insert(Tid { rel: layer.rel.clone(), row });
+                deletions.insert(Tid {
+                    rel: layer.rel.clone(),
+                    row,
+                });
             }
         }
     }
@@ -135,7 +154,9 @@ pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Re
     // be exponentially large; the view diff is not).
     let before = eval(q, db)?;
     if !before.contains(target) {
-        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+        return Err(CoreError::TargetNotInView {
+            tuple: target.clone(),
+        });
     }
     let after = eval(q, &db.without(&deletions))?;
     debug_assert!(!after.contains(target), "the cut must delete the target");
@@ -145,7 +166,10 @@ pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Re
         .filter(|u| *u != target && !after.contains(u))
         .cloned()
         .collect();
-    Ok(Deletion { deletions, view_side_effects })
+    Ok(Deletion {
+        deletions,
+        view_side_effects,
+    })
 }
 
 #[cfg(test)]

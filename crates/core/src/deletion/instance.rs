@@ -13,7 +13,7 @@
 //! query.
 
 use crate::error::{CoreError, Result};
-use dap_provenance::{why_provenance, Witness, WhyProvenance};
+use dap_provenance::{why_provenance, WhyProvenance, Witness};
 use dap_relalg::{Database, Query, Tid, Tuple};
 use std::collections::BTreeSet;
 
@@ -41,7 +41,9 @@ impl DeletionInstance {
         let why = why_provenance(query, db)?;
         let target_witnesses = why
             .witnesses_of(target)
-            .ok_or_else(|| CoreError::TargetNotInView { tuple: target.clone() })?
+            .ok_or_else(|| CoreError::TargetNotInView {
+                tuple: target.clone(),
+            })?
             .to_vec();
         let support: BTreeSet<Tid> = target_witnesses.iter().flatten().cloned().collect();
         Ok(DeletionInstance {
@@ -67,9 +69,7 @@ impl DeletionInstance {
         self.why
             .iter()
             .filter(|(t, _)| **t != self.target)
-            .filter(|(_, ws)| {
-                ws.iter().all(|w| w.iter().any(|tid| deleted.contains(tid)))
-            })
+            .filter(|(_, ws)| ws.iter().all(|w| w.iter().any(|tid| deleted.contains(tid))))
             .map(|(t, _)| t.clone())
             .collect()
     }
@@ -80,9 +80,7 @@ impl DeletionInstance {
         self.why
             .iter()
             .filter(|(t, _)| **t != self.target)
-            .filter(|(_, ws)| {
-                ws.iter().all(|w| w.iter().any(|tid| deleted.contains(tid)))
-            })
+            .filter(|(_, ws)| ws.iter().all(|w| w.iter().any(|tid| deleted.contains(tid))))
             .count()
     }
 
@@ -123,8 +121,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         DeletionInstance::build(&q, &db, &tuple(["bob", "report"])).unwrap()
     }
 
@@ -147,17 +144,25 @@ mod tests {
     fn deletes_target_requires_hitting_all_witnesses() {
         let inst = instance();
         // Deleting just (bob, staff) leaves the dev witness alive.
-        let one = BTreeSet::from([inst.db.tid_of("UserGroup", &tuple(["bob", "staff"])).unwrap()]);
+        let one = BTreeSet::from([inst
+            .db
+            .tid_of("UserGroup", &tuple(["bob", "staff"]))
+            .unwrap()]);
         assert!(!inst.deletes_target(&one));
         // Deleting both of bob's memberships kills the target.
         let both: BTreeSet<Tid> = [
-            inst.db.tid_of("UserGroup", &tuple(["bob", "staff"])).unwrap(),
+            inst.db
+                .tid_of("UserGroup", &tuple(["bob", "staff"]))
+                .unwrap(),
             inst.db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(),
         ]
         .into();
         assert!(inst.deletes_target(&both));
         // …but with a side effect: (bob, main) dies too.
-        assert_eq!(inst.side_effects(&both), BTreeSet::from([tuple(["bob", "main"])]));
+        assert_eq!(
+            inst.side_effects(&both),
+            BTreeSet::from([tuple(["bob", "main"])])
+        );
         assert_eq!(inst.side_effect_count(&both), 1);
     }
 
@@ -167,8 +172,12 @@ mod tests {
         // Delete (staff,report) and (dev,report) from GroupFile: kills
         // bob/report AND ann/report — has a side effect.
         let files: BTreeSet<Tid> = [
-            inst.db.tid_of("GroupFile", &tuple(["staff", "report"])).unwrap(),
-            inst.db.tid_of("GroupFile", &tuple(["dev", "report"])).unwrap(),
+            inst.db
+                .tid_of("GroupFile", &tuple(["staff", "report"]))
+                .unwrap(),
+            inst.db
+                .tid_of("GroupFile", &tuple(["dev", "report"]))
+                .unwrap(),
         ]
         .into();
         assert!(inst.deletes_target(&files));
@@ -176,8 +185,12 @@ mod tests {
         // Mixed: delete (bob,staff) + (dev,report): kills both witnesses of
         // the target and nothing else.
         let mixed: BTreeSet<Tid> = [
-            inst.db.tid_of("UserGroup", &tuple(["bob", "staff"])).unwrap(),
-            inst.db.tid_of("GroupFile", &tuple(["dev", "report"])).unwrap(),
+            inst.db
+                .tid_of("UserGroup", &tuple(["bob", "staff"]))
+                .unwrap(),
+            inst.db
+                .tid_of("GroupFile", &tuple(["dev", "report"]))
+                .unwrap(),
         ]
         .into();
         assert!(inst.deletes_target(&mixed));

@@ -54,12 +54,14 @@ pub fn keyed_view_deletion(
         q,
         db,
         target,
-        &ExactOptions { node_budget: budget },
+        &ExactOptions {
+            node_budget: budget,
+        },
     );
     match sol {
-        Err(CoreError::BudgetExhausted { .. }) => unreachable!(
-            "keyed instances have ≤ one witness per branch; the search is polynomial"
-        ),
+        Err(CoreError::BudgetExhausted { .. }) => {
+            unreachable!("keyed instances have ≤ one witness per branch; the search is polynomial")
+        }
         other => other,
     }
 }
@@ -163,7 +165,11 @@ mod tests {
         let q = parse_query("project(join(scan Emp, scan Dept), [eid, mgr])").unwrap();
         let t = tuple(["e1", "ann"]);
         let inst = DeletionInstance::build(&q, &db, &t).unwrap();
-        assert_eq!(inst.target_witnesses.len(), 1, "key joins give single witnesses");
+        assert_eq!(
+            inst.target_witnesses.len(),
+            1,
+            "key joins give single witnesses"
+        );
         assert_eq!(inst.target_witnesses[0].len(), 2);
     }
 
@@ -186,7 +192,11 @@ mod tests {
         let (db, fds) = fk_db();
         let q = parse_query("project(join(scan Emp, scan Dept), [eid, mgr])").unwrap();
         let sol = keyed_source_deletion(&q, &db, &fds, &tuple(["e1", "ann"])).unwrap();
-        assert_eq!(sol.source_cost(), 1, "single witness → delete one component");
+        assert_eq!(
+            sol.source_cost(),
+            1,
+            "single witness → delete one component"
+        );
     }
 
     #[test]

@@ -23,7 +23,9 @@ pub struct BaselineOptions {
 
 impl Default for BaselineOptions {
     fn default() -> Self {
-        BaselineOptions { max_evaluations: u64::MAX }
+        BaselineOptions {
+            max_evaluations: u64::MAX,
+        }
     }
 }
 
@@ -38,7 +40,9 @@ pub fn side_effect_free_via_lineage(
 ) -> Result<Option<Deletion>> {
     let before = eval(q, db)?;
     if !before.contains(target) {
-        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+        return Err(CoreError::TargetNotInView {
+            tuple: target.clone(),
+        });
     }
     let pool: Vec<Tid> = {
         let l = lineage(q, db, target)?;
@@ -50,11 +54,12 @@ pub fn side_effect_free_via_lineage(
     for size in 1..=pool.len() {
         let mut indices: Vec<usize> = (0..size).collect();
         loop {
-            let candidate: BTreeSet<Tid> =
-                indices.iter().map(|&i| pool[i].clone()).collect();
+            let candidate: BTreeSet<Tid> = indices.iter().map(|&i| pool[i].clone()).collect();
             evaluations += 1;
             if evaluations > opts.max_evaluations {
-                return Err(CoreError::BudgetExhausted { budget: opts.max_evaluations });
+                return Err(CoreError::BudgetExhausted {
+                    budget: opts.max_evaluations,
+                });
             }
             let after = eval(q, &db.without(&candidate))?;
             if !after.contains(target) && after.len() == before.len() - 1 {
@@ -107,8 +112,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 
@@ -136,8 +140,9 @@ mod tests {
         )
         .unwrap();
         let q = parse_query("project(join(scan R1, scan R2), [A, C])").unwrap();
-        let out = side_effect_free_via_lineage(&q, &db, &tuple(["a", "c"]), &BaselineOptions::default())
-            .unwrap();
+        let out =
+            side_effect_free_via_lineage(&q, &db, &tuple(["a", "c"]), &BaselineOptions::default())
+                .unwrap();
         assert!(out.is_none(), "every deletion has a side effect here");
     }
 
@@ -160,7 +165,12 @@ mod tests {
     fn baseline_errors_on_missing_target() {
         let (q, db) = usergroup();
         assert!(matches!(
-            side_effect_free_via_lineage(&q, &db, &tuple(["zz", "zz"]), &BaselineOptions::default()),
+            side_effect_free_via_lineage(
+                &q,
+                &db,
+                &tuple(["zz", "zz"]),
+                &BaselineOptions::default()
+            ),
             Err(CoreError::TargetNotInView { .. })
         ));
     }

@@ -60,7 +60,11 @@ impl fmt::Display for Deletion {
             }
             write!(f, "{tid}")?;
         }
-        write!(f, "}} (view side effects: {})", self.view_side_effects.len())
+        write!(
+            f,
+            "}} (view side effects: {})",
+            self.view_side_effects.len()
+        )
     }
 }
 

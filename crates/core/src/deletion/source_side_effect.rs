@@ -22,8 +22,11 @@ use std::collections::{BTreeMap, BTreeSet};
 /// set instance. Returns the instance plus the element-index → `Tid` map.
 fn to_hitting_set(inst: &DeletionInstance) -> (HittingSet, Vec<Tid>) {
     let elements: Vec<Tid> = inst.support.clone();
-    let index: BTreeMap<&Tid, usize> =
-        elements.iter().enumerate().map(|(i, tid)| (tid, i)).collect();
+    let index: BTreeMap<&Tid, usize> = elements
+        .iter()
+        .enumerate()
+        .map(|(i, tid)| (tid, i))
+        .collect();
     let sets: Vec<BTreeSet<usize>> = inst
         .target_witnesses
         .iter()
@@ -42,7 +45,10 @@ fn solution_from_indices(
     let deletions: BTreeSet<Tid> = chosen.into_iter().map(|i| elements[i].clone()).collect();
     debug_assert!(inst.deletes_target(&deletions));
     let view_side_effects = inst.side_effects(&deletions);
-    Deletion { deletions, view_side_effects }
+    Deletion {
+        deletions,
+        view_side_effects,
+    }
 }
 
 /// Exact minimum source deletion for any monotone SPJRU query. Worst-case
@@ -108,8 +114,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 

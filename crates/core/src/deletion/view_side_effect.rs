@@ -28,7 +28,9 @@ pub struct ExactOptions {
 
 impl Default for ExactOptions {
     fn default() -> Self {
-        ExactOptions { node_budget: u64::MAX }
+        ExactOptions {
+            node_budget: u64::MAX,
+        }
     }
 }
 
@@ -45,7 +47,10 @@ pub fn min_view_side_effects(
     let found = search(&inst, usize::MAX, opts)?;
     let (deletions, _) = found.expect("a hitting set always exists (delete the whole support)");
     let view_side_effects = inst.side_effects(&deletions);
-    Ok(Deletion { deletions, view_side_effects })
+    Ok(Deletion {
+        deletions,
+        view_side_effects,
+    })
 }
 
 /// Decide whether a **side-effect-free** deletion exists (the paper's §2.1
@@ -106,8 +111,11 @@ fn search(
             ctx.bound = se; // future solutions must be strictly better
             return Ok(());
         };
-        let choices: Vec<Tid> =
-            w.iter().filter(|tid| !excluded.contains(*tid)).cloned().collect();
+        let choices: Vec<Tid> = w
+            .iter()
+            .filter(|tid| !excluded.contains(*tid))
+            .cloned()
+            .collect();
         let mut locally_excluded = Vec::new();
         for tid in choices {
             current.insert(tid.clone());
@@ -127,7 +135,13 @@ fn search(
         Ok(())
     }
 
-    let mut ctx = Ctx { inst, nodes: 0, budget: opts.node_budget, best: None, bound: cap };
+    let mut ctx = Ctx {
+        inst,
+        nodes: 0,
+        budget: opts.node_budget,
+        best: None,
+        bound: cap,
+    };
     let mut current = BTreeSet::new();
     let mut excluded = BTreeSet::new();
     recurse(&mut ctx, &mut current, &mut excluded)?;
@@ -160,16 +174,24 @@ pub fn spu_view_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Del
         let positions = schema.positions_of(out_schema.attrs())?;
         for (row, u) in rel.tuples().iter().enumerate() {
             if branch.pred.eval(schema, u)? && &u.project_positions(&positions) == target {
-                deletions.insert(Tid { rel: rel.name().clone(), row });
+                deletions.insert(Tid {
+                    rel: rel.name().clone(),
+                    row,
+                });
             }
         }
     }
     if deletions.is_empty() {
-        return Err(CoreError::TargetNotInView { tuple: target.clone() });
+        return Err(CoreError::TargetNotInView {
+            tuple: target.clone(),
+        });
     }
     // Theorem 2.3 guarantees no side effects; the cross-check lives in the
     // module tests (agreement with the exact solver and re-evaluation).
-    Ok(Deletion { deletions, view_side_effects: BTreeSet::new() })
+    Ok(Deletion {
+        deletions,
+        view_side_effects: BTreeSet::new(),
+    })
 }
 
 /// Theorem 2.4: for SJ queries every view tuple has a **single** witness
@@ -202,7 +224,10 @@ pub fn sj_view_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Dele
         .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
         .expect("witnesses are non-empty");
     let view_side_effects = inst.side_effects(&best.1);
-    Ok(Deletion { deletions: best.1, view_side_effects })
+    Ok(Deletion {
+        deletions: best.1,
+        view_side_effects,
+    })
 }
 
 #[cfg(test)]
@@ -220,8 +245,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 
@@ -252,7 +276,9 @@ mod tests {
         // way exactly one side effect.
         assert_eq!(sol.view_cost(), 1);
         assert_eq!(sol.source_cost(), 1);
-        assert!(side_effect_free(&q, &db, &t, &ExactOptions::default()).unwrap().is_none());
+        assert!(side_effect_free(&q, &db, &t, &ExactOptions::default())
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -269,8 +295,7 @@ mod tests {
     fn budget_is_enforced() {
         let (q, db) = usergroup();
         let t = tuple(["bob", "report"]);
-        let err =
-            min_view_side_effects(&q, &db, &t, &ExactOptions { node_budget: 1 }).unwrap_err();
+        let err = min_view_side_effects(&q, &db, &t, &ExactOptions { node_budget: 1 }).unwrap_err();
         assert!(matches!(err, CoreError::BudgetExhausted { .. }));
     }
 
@@ -290,10 +315,8 @@ mod tests {
         )
         .unwrap();
         // Π_A(σ_{B=b1}(R)) ∪ Π_A(S)
-        let q = parse_query(
-            "union(project(select(scan R, B = 'b1'), [A]), project(scan S, [A]))",
-        )
-        .unwrap();
+        let q = parse_query("union(project(select(scan R, B = 'b1'), [A]), project(scan S, [A]))")
+            .unwrap();
         let t = tuple(["a1"]);
         let sol = spu_view_deletion(&q, &db, &t).unwrap();
         // Must delete (a1,b1) from R (passes the selection) and both S rows
@@ -302,7 +325,10 @@ mod tests {
         assert!(sol.is_side_effect_free());
         // Cross-check against the exact solver and re-evaluation.
         let exact = min_view_side_effects(&q, &db, &t, &ExactOptions::default()).unwrap();
-        assert_eq!(exact.deletions, sol.deletions, "Thm 2.3: the solution is unique");
+        assert_eq!(
+            exact.deletions, sol.deletions,
+            "Thm 2.3: the solution is unique"
+        );
         let inst = DeletionInstance::build(&q, &db, &t).unwrap();
         assert!(inst.verify_against_reevaluation(&sol.deletions).unwrap());
         assert!(inst.side_effects(&sol.deletions).is_empty());

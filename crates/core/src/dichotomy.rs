@@ -176,7 +176,10 @@ pub fn delete_min_source(
         return Ok((sj_source_deletion(q, db, target)?, SolverKind::Sj));
     }
     if detect_chain_join(q, &db.catalog()).is_some() {
-        return Ok((chain_min_source_deletion(q, db, target)?, SolverKind::ChainMinCut));
+        return Ok((
+            chain_min_source_deletion(q, db, target)?,
+            SolverKind::ChainMinCut,
+        ));
     }
     Ok((min_source_deletion(q, db, target)?, SolverKind::ExactSearch))
 }
@@ -212,7 +215,10 @@ pub fn place_annotation(
     if !fp.project {
         return Ok((sju_placement(q, db, target)?, SolverKind::Sju));
     }
-    Ok((min_side_effect_placement(q, db, target)?, SolverKind::GenericPlacement))
+    Ok((
+        min_side_effect_placement(q, db, target)?,
+        SolverKind::GenericPlacement,
+    ))
 }
 
 /// Render one of the paper's tables as aligned text (used by the report
@@ -222,13 +228,21 @@ pub fn format_paper_table(problem: Problem) -> String {
     let header = match problem {
         Problem::ViewSideEffect => "Deciding whether there is a side-effect-free deletion",
         Problem::SourceSideEffect => "Finding the minimum source deletions",
-        Problem::AnnotationPlacement => {
-            "Deciding whether there is a side-effect-free annotation"
-        }
+        Problem::AnnotationPlacement => "Deciding whether there is a side-effect-free annotation",
     };
-    let width = rows.iter().map(|(c, _)| c.len()).max().unwrap_or(0).max("Query class".len());
+    let width = rows
+        .iter()
+        .map(|(c, _)| c.len())
+        .max()
+        .unwrap_or(0)
+        .max("Query class".len());
     let mut out = String::new();
-    out.push_str(&format!("{:width$}  {}\n", "Query class", header, width = width));
+    out.push_str(&format!(
+        "{:width$}  {}\n",
+        "Query class",
+        header,
+        width = width
+    ));
     for (class, cx) in rows {
         out.push_str(&format!("{class:width$}  {cx}\n", width = width));
     }
@@ -265,21 +279,35 @@ mod tests {
         let ju = fp_of("union(join(scan R, scan S), scan T)");
         let sju = fp_of("select(join(scan R, scan S), A = 1)");
         let spu = fp_of("project(select(scan R, A = 1), [A])");
-        assert_eq!(complexity(Problem::AnnotationPlacement, &pj), Complexity::NpHard);
+        assert_eq!(
+            complexity(Problem::AnnotationPlacement, &pj),
+            Complexity::NpHard
+        );
         // JU without projection is polynomial for annotation — the class
         // that flips between the two problems.
-        assert_eq!(complexity(Problem::AnnotationPlacement, &ju), Complexity::PolyTime);
-        assert_eq!(complexity(Problem::AnnotationPlacement, &sju), Complexity::PolyTime);
-        assert_eq!(complexity(Problem::AnnotationPlacement, &spu), Complexity::PolyTime);
+        assert_eq!(
+            complexity(Problem::AnnotationPlacement, &ju),
+            Complexity::PolyTime
+        );
+        assert_eq!(
+            complexity(Problem::AnnotationPlacement, &sju),
+            Complexity::PolyTime
+        );
+        assert_eq!(
+            complexity(Problem::AnnotationPlacement, &spu),
+            Complexity::PolyTime
+        );
     }
 
     #[test]
     fn rename_never_changes_the_class() {
         let with = fp_of("rename(project(join(scan R, scan S), [A]), {A -> B})");
         let without = fp_of("project(join(scan R, scan S), [A])");
-        for problem in
-            [Problem::ViewSideEffect, Problem::SourceSideEffect, Problem::AnnotationPlacement]
-        {
+        for problem in [
+            Problem::ViewSideEffect,
+            Problem::SourceSideEffect,
+            Problem::AnnotationPlacement,
+        ] {
             assert_eq!(complexity(problem, &with), complexity(problem, &without));
         }
     }
@@ -309,8 +337,7 @@ mod tests {
         assert_eq!(kind, SolverKind::Spu);
         let (_, kind) = delete_min_source(&q, &db, &tuple(["a"])).unwrap();
         assert_eq!(kind, SolverKind::Spu);
-        let (_, kind) =
-            place_annotation(&q, &db, &ViewLoc::new(tuple(["a"]), "A")).unwrap();
+        let (_, kind) = place_annotation(&q, &db, &ViewLoc::new(tuple(["a"]), "A")).unwrap();
         assert_eq!(kind, SolverKind::Spu);
 
         // SJ → Sj / Sju.
@@ -330,8 +357,7 @@ mod tests {
         assert_eq!(kind, SolverKind::ChainMinCut);
         let (_, kind) = delete_min_view_side_effects(&q, &db, &t).unwrap();
         assert_eq!(kind, SolverKind::ExactSearch);
-        let (_, kind) =
-            place_annotation(&q, &db, &ViewLoc::new(tuple(["a", "c"]), "A")).unwrap();
+        let (_, kind) = place_annotation(&q, &db, &ViewLoc::new(tuple(["a", "c"]), "A")).unwrap();
         assert_eq!(kind, SolverKind::GenericPlacement);
     }
 
@@ -374,8 +400,7 @@ mod tests {
         assert_eq!(view_sol.view_cost(), 1, "unavoidable side effect");
         let (src_sol, _) = delete_min_source(&q, &db, &t).unwrap();
         assert_eq!(src_sol.source_cost(), 1);
-        let (placement, _) =
-            place_annotation(&q, &db, &ViewLoc::new(t.clone(), "A")).unwrap();
+        let (placement, _) = place_annotation(&q, &db, &ViewLoc::new(t.clone(), "A")).unwrap();
         // The only candidate (R(a,x).A) also reaches (a,c2).A — one
         // unavoidable side effect.
         assert_eq!(placement.cost(), 1);

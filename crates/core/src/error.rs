@@ -61,7 +61,10 @@ impl fmt::Display for CoreError {
                 write!(f, "no source location propagates to view location {loc}")
             }
             CoreError::WrongClass { expected, found } => {
-                write!(f, "solver requires a {expected} query, found footprint {found}")
+                write!(
+                    f,
+                    "solver requires a {expected} query, found footprint {found}"
+                )
             }
             CoreError::NotAChain => {
                 write!(f, "query is not a chain join over distinct relations")
@@ -102,9 +105,14 @@ mod tests {
     fn displays_and_converts() {
         let e: CoreError = RelalgError::UnknownRelation { rel: "R".into() }.into();
         assert!(e.to_string().contains("unknown relation"));
-        let e = CoreError::TargetNotInView { tuple: dap_relalg::tuple(["a"]) };
+        let e = CoreError::TargetNotInView {
+            tuple: dap_relalg::tuple(["a"]),
+        };
         assert_eq!(e.to_string(), "tuple (a) is not in the view");
-        let e = CoreError::WrongClass { expected: "SPU", found: "PJ".into() };
+        let e = CoreError::WrongClass {
+            expected: "SPU",
+            found: "PJ".into(),
+        };
         assert!(e.to_string().contains("SPU") && e.to_string().contains("PJ"));
         let e = CoreError::BudgetExhausted { budget: 7 };
         assert!(e.to_string().contains('7'));

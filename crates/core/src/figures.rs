@@ -90,17 +90,29 @@ mod tests {
         let r2 = db.get("R2").unwrap();
         assert_eq!(r2.len(), 11);
         for (b, c) in [
-            ("x1", "c"), ("x2", "c"), ("x3", "c"), ("x4", "c"), ("x5", "c"),
-            ("x1", "c1"), ("x2", "c1"), ("x3", "c1"),
-            ("x4", "c3"), ("x1", "c3"), ("x3", "c3"),
+            ("x1", "c"),
+            ("x2", "c"),
+            ("x3", "c"),
+            ("x4", "c"),
+            ("x5", "c"),
+            ("x1", "c1"),
+            ("x2", "c1"),
+            ("x3", "c1"),
+            ("x4", "c3"),
+            ("x1", "c3"),
+            ("x3", "c3"),
         ] {
             assert!(r2.contains(&tuple([b, c])), "R2 missing ({b}, {c})");
         }
         // The view table of Figure 1.
         let view = dap_relalg::eval(&fig.instance.query, db).unwrap();
         let expected: Vec<_> = [
-            ("a", "c"), ("a", "c1"), ("a", "c3"),
-            ("a2", "c"), ("a2", "c1"), ("a2", "c3"),
+            ("a", "c"),
+            ("a", "c1"),
+            ("a", "c3"),
+            ("a2", "c"),
+            ("a2", "c1"),
+            ("a2", "c3"),
         ]
         .iter()
         .map(|(a, c)| tuple([*a, *c]))

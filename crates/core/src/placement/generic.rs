@@ -16,17 +16,17 @@ use std::collections::BTreeSet;
 
 /// Find the source location whose annotation reaches `target` with the
 /// fewest other annotated view locations.
-pub fn min_side_effect_placement(
-    q: &Query,
-    db: &Database,
-    target: &ViewLoc,
-) -> Result<Placement> {
+pub fn min_side_effect_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Placement> {
     let wp = where_provenance(q, db)?;
     let candidates: &BTreeSet<SourceLoc> = wp
         .locations_of(&target.tuple, &target.attr)
-        .ok_or_else(|| CoreError::TargetLocationNotInView { loc: target.clone() })?;
+        .ok_or_else(|| CoreError::TargetLocationNotInView {
+            loc: target.clone(),
+        })?;
     if candidates.is_empty() {
-        return Err(CoreError::NoCandidateLocation { loc: target.clone() });
+        return Err(CoreError::NoCandidateLocation {
+            loc: target.clone(),
+        });
     }
     let mut best: Option<Placement> = None;
     for cand in candidates {
@@ -39,7 +39,10 @@ pub fn min_side_effect_placement(
         };
         if better {
             let done = reached.is_empty();
-            best = Some(Placement { source: cand.clone(), side_effects: reached });
+            best = Some(Placement {
+                source: cand.clone(),
+                side_effects: reached,
+            });
             if done {
                 break; // cannot beat zero side effects
             }
@@ -75,8 +78,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 
@@ -90,7 +92,10 @@ mod tests {
         assert!(p.is_side_effect_free());
         assert_eq!(
             p.source,
-            SourceLoc::new(db.tid_of("UserGroup", &tuple(["ann", "staff"])).unwrap(), "user")
+            SourceLoc::new(
+                db.tid_of("UserGroup", &tuple(["ann", "staff"])).unwrap(),
+                "user"
+            )
         );
         // Verify with the independent forward propagator.
         let reached = propagate(&q, &db, &p.source).unwrap();
@@ -108,7 +113,10 @@ mod tests {
         assert!(p.is_side_effect_free());
         assert_eq!(
             p.source,
-            SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", "staff"])).unwrap(), "user")
+            SourceLoc::new(
+                db.tid_of("UserGroup", &tuple(["bob", "staff"])).unwrap(),
+                "user"
+            )
         );
         // And (bob, main).user has exactly one candidate, which also hits
         // (bob, report).user? No — (bob,dev).user reaches main and report.
@@ -118,7 +126,9 @@ mod tests {
         assert!(p
             .side_effects
             .contains(&ViewLoc::new(tuple(["bob", "report"]), "user")));
-        assert!(side_effect_free_placement(&q, &db, &target).unwrap().is_none());
+        assert!(side_effect_free_placement(&q, &db, &target)
+            .unwrap()
+            .is_none());
     }
 
     #[test]
@@ -133,7 +143,10 @@ mod tests {
         assert!(p.is_side_effect_free());
         assert_eq!(
             p.source,
-            SourceLoc::new(db.tid_of("GroupFile", &tuple(["dev", "report"])).unwrap(), "file")
+            SourceLoc::new(
+                db.tid_of("GroupFile", &tuple(["dev", "report"])).unwrap(),
+                "file"
+            )
         );
     }
 
@@ -143,12 +156,9 @@ mod tests {
         let err = min_side_effect_placement(&q, &db, &ViewLoc::new(tuple(["zz", "zz"]), "user"))
             .unwrap_err();
         assert!(matches!(err, CoreError::TargetLocationNotInView { .. }));
-        let err = min_side_effect_placement(
-            &q,
-            &db,
-            &ViewLoc::new(tuple(["ann", "report"]), "nope"),
-        )
-        .unwrap_err();
+        let err =
+            min_side_effect_placement(&q, &db, &ViewLoc::new(tuple(["ann", "report"]), "nope"))
+                .unwrap_err();
         assert!(matches!(err, CoreError::TargetLocationNotInView { .. }));
     }
 

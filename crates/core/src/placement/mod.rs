@@ -44,7 +44,12 @@ impl Placement {
 
 impl fmt::Display for Placement {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "annotate {} (side effects: {})", self.source, self.side_effects.len())
+        write!(
+            f,
+            "annotate {} (side effects: {})",
+            self.source,
+            self.side_effects.len()
+        )
     }
 }
 

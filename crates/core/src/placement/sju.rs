@@ -30,7 +30,9 @@ pub fn sju_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
     let catalog = db.catalog();
     let out_schema = output_schema(q, &catalog)?;
     if !out_schema.contains(&target.attr) {
-        return Err(CoreError::TargetLocationNotInView { loc: target.clone() });
+        return Err(CoreError::TargetLocationNotInView {
+            loc: target.clone(),
+        });
     }
     let nf = normalize(q, &catalog)?;
     // Materialize every branch view once (the paper's model takes Q(S) as
@@ -43,20 +45,19 @@ pub fn sju_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
 
     // The source tuple of scan `j` that a branch output tuple `t` embeds.
     // (`t` is given in the branch's own output order here.)
-    let scan_component = |branch: &Branch,
-                          view_schema: &dap_relalg::Schema,
-                          t: &Tuple,
-                          scan_idx: usize|
-     -> Tuple {
-        let scan = &branch.scans[scan_idx];
-        scan.mapping
-            .iter()
-            .map(|(_, cur)| {
-                let pos = view_schema.index_of(cur).expect("no projection: attr visible");
-                t.get(pos).clone()
-            })
-            .collect()
-    };
+    let scan_component =
+        |branch: &Branch, view_schema: &dap_relalg::Schema, t: &Tuple, scan_idx: usize| -> Tuple {
+            let scan = &branch.scans[scan_idx];
+            scan.mapping
+                .iter()
+                .map(|(_, cur)| {
+                    let pos = view_schema
+                        .index_of(cur)
+                        .expect("no projection: attr visible");
+                    t.get(pos).clone()
+                })
+                .collect()
+        };
 
     // Collect candidates from every branch containing the target tuple.
     let mut candidates: BTreeSet<SourceLoc> = BTreeSet::new();
@@ -77,14 +78,20 @@ pub fn sju_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
         }
         for (j, scan) in branch.scans.iter().enumerate() {
             // Does this scan carry the target attribute (post-rename)?
-            let Some(orig) = scan.original_of(&target.attr) else { continue };
+            let Some(orig) = scan.original_of(&target.attr) else {
+                continue;
+            };
             let component = scan_component(branch, &view.schema, &branch_tuple, j);
-            let Some(tid) = db.tid_of(scan.rel.as_str(), &component) else { continue };
+            let Some(tid) = db.tid_of(scan.rel.as_str(), &component) else {
+                continue;
+            };
             candidates.insert(SourceLoc::new(tid, orig.clone()));
         }
     }
     if candidates.is_empty() {
-        return Err(CoreError::TargetLocationNotInView { loc: target.clone() });
+        return Err(CoreError::TargetLocationNotInView {
+            loc: target.clone(),
+        });
     }
 
     // Side effects of annotating candidate ℓ = (u, a): every view location
@@ -99,7 +106,9 @@ pub fn sju_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
                 if scan.rel != cand.tid.rel {
                     continue;
                 }
-                let Some(cur) = scan.current_of(&cand.attr) else { continue };
+                let Some(cur) = scan.current_of(&cand.attr) else {
+                    continue;
+                };
                 for t in &view.tuples {
                     if scan_component(branch, &view.schema, t, j) == source_tuple {
                         // Realign t to the view's output order for the
@@ -122,7 +131,10 @@ pub fn sju_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
         };
         if better {
             let done = reached.is_empty();
-            best = Some(Placement { source: cand, side_effects: reached });
+            best = Some(Placement {
+                source: cand,
+                side_effects: reached,
+            });
             if done {
                 break;
             }
@@ -169,7 +181,10 @@ mod tests {
         assert_eq!(p.cost(), 1);
         assert_eq!(
             p.source,
-            SourceLoc::new(db.tid_of("UserGroup", &tuple(["ann", "staff"])).unwrap(), "user")
+            SourceLoc::new(
+                db.tid_of("UserGroup", &tuple(["ann", "staff"])).unwrap(),
+                "user"
+            )
         );
     }
 
@@ -208,7 +223,9 @@ mod tests {
         let target = ViewLoc::new(tuple(["T", "F"]), "A1");
         let p = sju_placement(&q, &db, &target).unwrap();
         assert_eq!(p.cost(), 1);
-        assert!(p.side_effects.contains(&ViewLoc::new(tuple(["T", "c1"]), "A1")));
+        assert!(p
+            .side_effects
+            .contains(&ViewLoc::new(tuple(["T", "c1"]), "A1")));
         // (T, F).A2 candidate: RP(F).A2 — side-effect-free.
         let target = ViewLoc::new(tuple(["T", "F"]), "A2");
         let p = sju_placement(&q, &db, &target).unwrap();
@@ -240,8 +257,7 @@ mod tests {
     #[test]
     fn rejects_projection_and_missing_location() {
         let (_, db) = fixture();
-        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])")
-            .unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         assert!(matches!(
             sju_placement(&q, &db, &ViewLoc::new(tuple(["ann", "report"]), "user")),
             Err(CoreError::WrongClass { .. })

@@ -26,7 +26,9 @@ pub fn spu_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
     let catalog = db.catalog();
     let out_schema = output_schema(q, &catalog)?;
     if !out_schema.contains(&target.attr) {
-        return Err(CoreError::TargetLocationNotInView { loc: target.clone() });
+        return Err(CoreError::TargetLocationNotInView {
+            loc: target.clone(),
+        });
     }
     let nf = normalize(q, &catalog)?;
     for branch in &nf.branches {
@@ -47,7 +49,10 @@ pub fn spu_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
                 // Found the paper's t': annotate (t', A).
                 return Ok(Placement {
                     source: SourceLoc::new(
-                        Tid { rel: rel.name().clone(), row },
+                        Tid {
+                            rel: rel.name().clone(),
+                            row,
+                        },
                         target.attr.clone(),
                     ),
                     side_effects: BTreeSet::new(),
@@ -55,7 +60,9 @@ pub fn spu_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
             }
         }
     }
-    Err(CoreError::TargetLocationNotInView { loc: target.clone() })
+    Err(CoreError::TargetLocationNotInView {
+        loc: target.clone(),
+    })
 }
 
 #[cfg(test)]
@@ -71,10 +78,8 @@ mod tests {
              relation S(A, B) { (a1, b1), (a3, b3) }",
         )
         .unwrap();
-        let q = parse_query(
-            "union(project(select(scan R, B = 'b1'), [A]), project(scan S, [A]))",
-        )
-        .unwrap();
+        let q = parse_query("union(project(select(scan R, B = 'b1'), [A]), project(scan S, [A]))")
+            .unwrap();
         (q, db)
     }
 

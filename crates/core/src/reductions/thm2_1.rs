@@ -66,9 +66,14 @@ pub fn reduce(formula: &Monotone3Sat) -> Thm21 {
         Relation::new("R2", schema(["B", "C"]), r2).expect("consistent arity"),
     ])
     .expect("two distinct relations");
-    let query = Query::scan("R1").join(Query::scan("R2")).project(["A", "C"]);
+    let query = Query::scan("R1")
+        .join(Query::scan("R2"))
+        .project(["A", "C"]);
     let target = Tuple::new([Value::str("a"), Value::str("c")]);
-    Thm21 { formula: formula.clone(), instance: ReducedInstance { db, query, target } }
+    Thm21 {
+        formula: formula.clone(),
+        instance: ReducedInstance { db, query, target },
+    }
 }
 
 impl Thm21 {
@@ -76,7 +81,10 @@ impl Thm21 {
     pub fn r1_var_tid(&self, var: usize) -> Tid {
         self.instance
             .db
-            .tid_of("R1", &Tuple::new([Value::str("a"), Value::str(var_value(var))]))
+            .tid_of(
+                "R1",
+                &Tuple::new([Value::str("a"), Value::str(var_value(var))]),
+            )
             .expect("variable gadget exists")
     }
 
@@ -84,7 +92,10 @@ impl Thm21 {
     pub fn r2_var_tid(&self, var: usize) -> Tid {
         self.instance
             .db
-            .tid_of("R2", &Tuple::new([Value::str(var_value(var)), Value::str("c")]))
+            .tid_of(
+                "R2",
+                &Tuple::new([Value::str(var_value(var)), Value::str("c")]),
+            )
             .expect("variable gadget exists")
     }
 
@@ -95,7 +106,13 @@ impl Thm21 {
         assignment
             .iter()
             .enumerate()
-            .map(|(i, &v)| if v { self.r1_var_tid(i) } else { self.r2_var_tid(i) })
+            .map(|(i, &v)| {
+                if v {
+                    self.r1_var_tid(i)
+                } else {
+                    self.r2_var_tid(i)
+                }
+            })
             .collect()
     }
 
@@ -140,12 +157,9 @@ mod tests {
         let red = reduce(&paper_formula());
         let model = dpll::solve(&red.formula.to_cnf()).expect("satisfiable");
         let deletions = red.encode(&model);
-        let inst = DeletionInstance::build(
-            &red.instance.query,
-            &red.instance.db,
-            &red.instance.target,
-        )
-        .unwrap();
+        let inst =
+            DeletionInstance::build(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
         assert!(inst.deletes_target(&deletions));
         assert!(inst.side_effects(&deletions).is_empty(), "no side effects");
     }
@@ -162,7 +176,10 @@ mod tests {
         .unwrap()
         .expect("paper formula is satisfiable");
         let assignment = red.decode(&sol.deletions);
-        assert!(red.formula.eval(&assignment), "decoded assignment satisfies the formula");
+        assert!(
+            red.formula.eval(&assignment),
+            "decoded assignment satisfies the formula"
+        );
     }
 
     #[test]

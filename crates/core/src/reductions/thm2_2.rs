@@ -54,12 +54,20 @@ pub fn reduce(formula: &Monotone3Sat) -> Thm22 {
     let mut relations = Vec::new();
     for i in 0..formula.num_vars {
         relations.push(
-            Relation::new(r_name(i), schema(["A1"]), vec![Tuple::new([Value::str("T")])])
-                .expect("unary tuple"),
+            Relation::new(
+                r_name(i),
+                schema(["A1"]),
+                vec![Tuple::new([Value::str("T")])],
+            )
+            .expect("unary tuple"),
         );
         relations.push(
-            Relation::new(rp_name(i), schema(["A2"]), vec![Tuple::new([Value::str("F")])])
-                .expect("unary tuple"),
+            Relation::new(
+                rp_name(i),
+                schema(["A2"]),
+                vec![Tuple::new([Value::str("F")])],
+            )
+            .expect("unary tuple"),
         );
     }
     let mut branches: Vec<Query> = Vec::new();
@@ -100,7 +108,10 @@ pub fn reduce(formula: &Monotone3Sat) -> Thm22 {
     let db = Database::from_relations(relations).expect("distinct relation names");
     let query = Query::union_all(branches);
     let target = Tuple::new([Value::str("T"), Value::str("F")]);
-    Thm22 { formula: formula.clone(), instance: ReducedInstance { db, query, target } }
+    Thm22 {
+        formula: formula.clone(),
+        instance: ReducedInstance { db, query, target },
+    }
 }
 
 impl Thm22 {
@@ -171,12 +182,9 @@ mod tests {
         let red = reduce(&paper_formula());
         let model = dpll::solve(&red.formula.to_cnf()).expect("satisfiable");
         let deletions = red.encode(&model);
-        let inst = DeletionInstance::build(
-            &red.instance.query,
-            &red.instance.db,
-            &red.instance.target,
-        )
-        .unwrap();
+        let inst =
+            DeletionInstance::build(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
         assert!(inst.deletes_target(&deletions));
         assert!(inst.side_effects(&deletions).is_empty());
     }
@@ -198,7 +206,10 @@ mod tests {
             assert_eq!(sat, sol.is_some(), "SAT ⟺ side-effect-free, formula {f}");
             if let Some(sol) = sol {
                 let assignment = red.decode(&sol.deletions);
-                assert!(red.formula.eval(&assignment), "decoded assignment satisfies {f}");
+                assert!(
+                    red.formula.eval(&assignment),
+                    "decoded assignment satisfies {f}"
+                );
             }
         }
     }

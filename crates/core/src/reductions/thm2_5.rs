@@ -57,8 +57,7 @@ pub fn reduce(hs: &HittingSet) -> Thm25 {
             Tuple::new(vals)
         })
         .collect();
-    let mut relations =
-        vec![Relation::new("R0", r0_schema, r0_tuples).expect("consistent arity")];
+    let mut relations = vec![Relation::new("R0", r0_schema, r0_tuples).expect("consistent arity")];
     // R_j(A_j, B_j, C): the element gadgets.
     for j in 0..n {
         let schema = Schema::new([
@@ -67,8 +66,11 @@ pub fn reduce(hs: &HittingSet) -> Thm25 {
             Attr::new("C"),
         ])
         .expect("distinct attrs");
-        let mut tuples =
-            vec![Tuple::new([Value::str(var_value(j)), Value::str("alpha0"), Value::str("c")])];
+        let mut tuples = vec![Tuple::new([
+            Value::str(var_value(j)),
+            Value::str("alpha0"),
+            Value::str("c"),
+        ])];
         for k in 1..=n {
             tuples.push(Tuple::new([
                 Value::str("d"),
@@ -76,18 +78,19 @@ pub fn reduce(hs: &HittingSet) -> Thm25 {
                 Value::str("c"),
             ]));
         }
-        relations.push(
-            Relation::new(element_rel_name(j), schema, tuples).expect("consistent arity"),
-        );
+        relations
+            .push(Relation::new(element_rel_name(j), schema, tuples).expect("consistent arity"));
     }
     let db = Database::from_relations(relations).expect("distinct names");
     let query = Query::join_all(
-        std::iter::once(Query::scan("R0"))
-            .chain((0..n).map(|j| Query::scan(element_rel_name(j)))),
+        std::iter::once(Query::scan("R0")).chain((0..n).map(|j| Query::scan(element_rel_name(j)))),
     )
     .project(["C"]);
     let target = Tuple::new([Value::str("c")]);
-    Thm25 { hitting_set: hs.clone(), instance: ReducedInstance { db, query, target } }
+    Thm25 {
+        hitting_set: hs.clone(),
+        instance: ReducedInstance { db, query, target },
+    }
 }
 
 impl Thm25 {
@@ -97,7 +100,11 @@ impl Thm25 {
             .db
             .tid_of(
                 &element_rel_name(element),
-                &Tuple::new([Value::str(var_value(element)), Value::str("alpha0"), Value::str("c")]),
+                &Tuple::new([
+                    Value::str(var_value(element)),
+                    Value::str("alpha0"),
+                    Value::str("c"),
+                ]),
             )
             .expect("gadget tuple exists")
     }
@@ -130,7 +137,11 @@ mod tests {
     fn small_instance() -> HittingSet {
         HittingSet::new(
             3,
-            vec![BTreeSet::from([0, 1]), BTreeSet::from([1, 2]), BTreeSet::from([0, 2])],
+            vec![
+                BTreeSet::from([0, 1]),
+                BTreeSet::from([1, 2]),
+                BTreeSet::from([0, 2]),
+            ],
         )
         .unwrap()
     }
@@ -161,12 +172,9 @@ mod tests {
         let red = reduce(&hs);
         let optimal = exact_hitting_set(&hs);
         let deletions = red.encode(&optimal);
-        let inst = DeletionInstance::build(
-            &red.instance.query,
-            &red.instance.db,
-            &red.instance.target,
-        )
-        .unwrap();
+        let inst =
+            DeletionInstance::build(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
         assert!(inst.deletes_target(&deletions));
         assert_eq!(red.decode(&deletions), optimal);
     }
@@ -176,9 +184,8 @@ mod tests {
         let hs = small_instance();
         let red = reduce(&hs);
         let optimal_hs = exact_hitting_set(&hs).len();
-        let sol =
-            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
-                .unwrap();
+        let sol = min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+            .unwrap();
         assert_eq!(sol.source_cost(), optimal_hs, "optima transfer (Thm 2.5)");
     }
 
@@ -189,20 +196,14 @@ mod tests {
             let hs = random_hitting_set(&mut rng, 4, 3, 2);
             let red = reduce(&hs);
             let optimal_hs = exact_hitting_set(&hs).len();
-            let sol = min_source_deletion(
-                &red.instance.query,
-                &red.instance.db,
-                &red.instance.target,
-            )
-            .unwrap();
+            let sol =
+                min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                    .unwrap();
             assert_eq!(sol.source_cost(), optimal_hs, "instance {hs}");
             // Greedy is valid and within the harmonic bound of optimal.
-            let greedy = greedy_source_deletion(
-                &red.instance.query,
-                &red.instance.db,
-                &red.instance.target,
-            )
-            .unwrap();
+            let greedy =
+                greedy_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                    .unwrap();
             assert!(greedy.source_cost() >= optimal_hs);
         }
     }

@@ -62,7 +62,11 @@ pub fn reduce(hs: &HittingSet) -> Thm27 {
     let db = Database::from_relations(relations).expect("distinct names");
     let query = Query::union_all(branches);
     let target = Tuple::new(vec![Value::str("a"); k]);
-    Thm27 { hitting_set: padded, k, instance: ReducedInstance { db, query, target } }
+    Thm27 {
+        hitting_set: padded,
+        k,
+        instance: ReducedInstance { db, query, target },
+    }
 }
 
 impl Thm27 {
@@ -129,9 +133,8 @@ mod tests {
         let optimal = exact_hitting_set(&hs).len();
         // Padding preserves the optimum.
         assert_eq!(exact_hitting_set(&red.hitting_set).len(), optimal);
-        let sol =
-            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
-                .unwrap();
+        let sol = min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+            .unwrap();
         assert_eq!(sol.source_cost(), optimal);
         // Decode is a valid hitting set of the padded instance.
         let decoded = red.decode(&sol.deletions);
@@ -144,12 +147,9 @@ mod tests {
         let red = reduce(&hs);
         let optimal = exact_hitting_set(&red.hitting_set);
         let deletions = red.encode(&optimal);
-        let inst = DeletionInstance::build(
-            &red.instance.query,
-            &red.instance.db,
-            &red.instance.target,
-        )
-        .unwrap();
+        let inst =
+            DeletionInstance::build(&red.instance.query, &red.instance.db, &red.instance.target)
+                .unwrap();
         assert!(inst.deletes_target(&deletions));
         // The view has a single tuple, so no side effects are possible —
         // exactly why this reduction targets SOURCE minimality.
@@ -164,12 +164,9 @@ mod tests {
             let hs = random_hitting_set(&mut rng, 6, 4, 3);
             let red = reduce(&hs);
             let optimal = exact_hitting_set(&hs).len();
-            let sol = min_source_deletion(
-                &red.instance.query,
-                &red.instance.db,
-                &red.instance.target,
-            )
-            .unwrap();
+            let sol =
+                min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+                    .unwrap();
             assert_eq!(sol.source_cost(), optimal, "instance {hs}");
         }
     }

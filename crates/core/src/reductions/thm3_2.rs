@@ -134,14 +134,12 @@ pub fn reduce(f: &Cnf) -> Result<Thm32, String> {
             prime.extend(std::iter::repeat_n(Value::str("d"), 3));
             tuples.push(Tuple::new(prime));
         }
-        relations.push(
-            Relation::new(clause_rel_name(i), schema, tuples).expect("consistent arity"),
-        );
+        relations
+            .push(Relation::new(clause_rel_name(i), schema, tuples).expect("consistent arity"));
     }
     let db = Database::from_relations(relations).expect("distinct names");
-    let query =
-        Query::join_all((0..m).map(|i| Query::scan(clause_rel_name(i))))
-            .project((0..m).map(clause_attr));
+    let query = Query::join_all((0..m).map(|i| Query::scan(clause_rel_name(i))))
+        .project((0..m).map(clause_attr));
     let target: Tuple = (0..m).map(|i| Value::str(clause_value(i))).collect();
     let target_location = ViewLoc::new(target.clone(), clause_attr(0));
     Ok(Thm32 {
@@ -198,9 +196,18 @@ mod tests {
     fn unsat_formula() -> Cnf {
         let lits = |a: bool, b: bool, c: bool| {
             Clause::new([
-                Lit { var: 0, positive: a },
-                Lit { var: 1, positive: b },
-                Lit { var: 2, positive: c },
+                Lit {
+                    var: 0,
+                    positive: a,
+                },
+                Lit {
+                    var: 1,
+                    positive: b,
+                },
+                Lit {
+                    var: 2,
+                    positive: c,
+                },
             ])
         };
         let clauses = (0u8..8)
@@ -225,27 +232,27 @@ mod tests {
     #[test]
     fn satisfiable_gives_side_effect_free_annotation() {
         let red = reduce(&sat_formula()).unwrap();
-        let sol = side_effect_free_placement(
-            &red.instance.query,
-            &red.instance.db,
-            &red.target_location,
-        )
-        .unwrap();
+        let sol =
+            side_effect_free_placement(&red.instance.query, &red.instance.db, &red.target_location)
+                .unwrap();
         let sol = sol.expect("formula is satisfiable");
-        assert!(red.is_assignment_row(&sol.source.tid), "must not be the dummy");
+        assert!(
+            red.is_assignment_row(&sol.source.tid),
+            "must not be the dummy"
+        );
     }
 
     #[test]
     fn unsatisfiable_forces_side_effects() {
         let red = reduce(&unsat_formula()).unwrap();
         assert!(!dpll::is_satisfiable(&red.formula));
-        let best = min_side_effect_placement(
-            &red.instance.query,
-            &red.instance.db,
-            &red.target_location,
-        )
-        .unwrap();
-        assert!(!best.is_side_effect_free(), "UNSAT ⇒ dummy is the only candidate");
+        let best =
+            min_side_effect_placement(&red.instance.query, &red.instance.db, &red.target_location)
+                .unwrap();
+        assert!(
+            !best.is_side_effect_free(),
+            "UNSAT ⇒ dummy is the only candidate"
+        );
         assert_eq!(best.cost(), 1, "the second output tuple gets annotated");
     }
 
@@ -255,8 +262,7 @@ mod tests {
         let model = dpll::solve(&red.formula).expect("satisfiable");
         let tid = red.encode(&model).expect("model satisfies clause 1");
         let src = dap_provenance::SourceLoc::new(tid, clause_attr(0));
-        let reached =
-            propagate(&red.instance.query, &red.instance.db, &src).unwrap();
+        let reached = propagate(&red.instance.query, &red.instance.db, &src).unwrap();
         assert!(reached.contains(&red.target_location));
         assert_eq!(reached.len(), 1, "only the target is annotated");
     }
@@ -272,7 +278,7 @@ mod tests {
             let mut clauses = Vec::new();
             let mut prev_vars = vec![0usize, 1, 2];
             for i in 0..m {
-                let shared = prev_vars[rng.gen_range(0..3)];
+                let shared = prev_vars[rng.gen_range(0..3usize)];
                 let mut vars = vec![shared];
                 while vars.len() < 3 {
                     let v = rng.gen_range(0..n);
@@ -282,7 +288,10 @@ mod tests {
                 }
                 let lits: Vec<Lit> = vars
                     .iter()
-                    .map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) })
+                    .map(|&v| Lit {
+                        var: v,
+                        positive: rng.gen_bool(0.5),
+                    })
                     .collect();
                 clauses.push(Clause::new(lits.clone()));
                 prev_vars = vars;
@@ -313,7 +322,10 @@ mod tests {
         );
         assert!(reduce(&f).unwrap_err().contains("disconnected"));
         // Repeated variable.
-        let f = Cnf::new(2, vec![Clause::new([Lit::pos(0), Lit::pos(0), Lit::pos(1)])]);
+        let f = Cnf::new(
+            2,
+            vec![Clause::new([Lit::pos(0), Lit::pos(0), Lit::pos(1)])],
+        );
         assert!(reduce(&f).is_err());
         // Not 3 literals.
         let f = Cnf::new(2, vec![Clause::new([Lit::pos(0), Lit::pos(1)])]);
@@ -330,9 +342,12 @@ mod tests {
         let why = dap_provenance::why_provenance(&red.instance.query, &red.instance.db).unwrap();
         let witnesses = why.witnesses_of(&red.instance.target).unwrap();
         // Some witness uses only assignment rows iff satisfiable.
-        let all_real = witnesses.iter().any(|w| {
-            w.iter().all(|tid| red.is_assignment_row(tid))
-        });
-        assert!(all_real, "satisfiable formula has an all-assignment witness");
+        let all_real = witnesses
+            .iter()
+            .any(|w| w.iter().all(|tid| red.is_assignment_row(tid)));
+        assert!(
+            all_real,
+            "satisfiable formula has an all-assignment witness"
+        );
     }
 }

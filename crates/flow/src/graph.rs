@@ -30,7 +30,9 @@ pub struct FlowNetwork {
 impl FlowNetwork {
     /// An empty network with `n` nodes.
     pub fn new(n: usize) -> FlowNetwork {
-        FlowNetwork { adj: vec![Vec::new(); n] }
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -56,8 +58,18 @@ impl FlowNetwork {
         assert_ne!(from, to, "self-loops carry no flow");
         let fwd_idx = self.adj[from].len();
         let rev_idx = self.adj[to].len();
-        self.adj[from].push(Edge { to, cap, rev: rev_idx, is_forward: true });
-        self.adj[to].push(Edge { to: from, cap: 0, rev: fwd_idx, is_forward: false });
+        self.adj[from].push(Edge {
+            to,
+            cap,
+            rev: rev_idx,
+            is_forward: true,
+        });
+        self.adj[to].push(Edge {
+            to: from,
+            cap: 0,
+            rev: fwd_idx,
+            is_forward: false,
+        });
         (from, fwd_idx)
     }
 
@@ -69,8 +81,7 @@ impl FlowNetwork {
 
 impl fmt::Debug for FlowNetwork {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        let edges: usize =
-            self.adj.iter().flatten().filter(|e| e.is_forward).count();
+        let edges: usize = self.adj.iter().flatten().filter(|e| e.is_forward).count();
         write!(f, "FlowNetwork({} nodes, {} edges)", self.len(), edges)
     }
 }

@@ -33,7 +33,12 @@ impl UnitNodeGraph {
         for v in 0..n {
             net.add_edge(2 * v, 2 * v + 1, 1);
         }
-        UnitNodeGraph { net, n, s: 2 * n, t: 2 * n + 1 }
+        UnitNodeGraph {
+            net,
+            n,
+            s: 2 * n,
+            t: 2 * n + 1,
+        }
     }
 
     /// Number of user-visible nodes.

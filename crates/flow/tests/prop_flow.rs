@@ -13,10 +13,8 @@ struct RandomGraph {
 
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = RandomGraph> {
     (3..=max_n).prop_flat_map(move |n| {
-        let edge = (0..n, 0..n, 1..8u64)
-            .prop_filter("no self loops", |(u, v, _)| u != v);
-        proptest::collection::vec(edge, 0..max_m)
-            .prop_map(move |edges| RandomGraph { n, edges })
+        let edge = (0..n, 0..n, 1..8u64).prop_filter("no self loops", |(u, v, _)| u != v);
+        proptest::collection::vec(edge, 0..max_m).prop_map(move |edges| RandomGraph { n, edges })
     })
 }
 
@@ -71,8 +69,8 @@ proptest! {
 
 #[derive(Clone, Debug)]
 struct RandomLayered {
-    layers: Vec<usize>,          // nodes per layer
-    edges: Vec<(usize, usize)>,  // global node ids between consecutive layers
+    layers: Vec<usize>,         // nodes per layer
+    edges: Vec<(usize, usize)>, // global node ids between consecutive layers
 }
 
 fn arb_layered() -> impl Strategy<Value = RandomLayered> {
@@ -92,11 +90,12 @@ fn arb_layered() -> impl Strategy<Value = RandomLayered> {
                 }
             }
             let count = candidates.len();
-            proptest::collection::btree_set(0..count.max(1), 0..=count)
-                .prop_map(move |picked| RandomLayered {
+            proptest::collection::btree_set(0..count.max(1), 0..=count).prop_map(move |picked| {
+                RandomLayered {
                     layers: layers.clone(),
                     edges: picked.into_iter().map(|i| candidates[i]).collect(),
-                })
+                }
+            })
         })
 }
 

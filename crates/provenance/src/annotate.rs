@@ -60,7 +60,10 @@ fn walk(q: &Query, db: &Database, src: &SourceLoc) -> Result<(Schema, AnnMap)> {
                 .iter()
                 .enumerate()
                 .map(|(row, t)| {
-                    let tid = Tid { rel: r.name().clone(), row };
+                    let tid = Tid {
+                        rel: r.name().clone(),
+                        row,
+                    };
                     let marks: Marks = attrs
                         .iter()
                         .map(|a| tid == src.tid && *a == src.attr)
@@ -99,10 +102,14 @@ fn walk(q: &Query, db: &Database, src: &SourceLoc) -> Result<(Schema, AnnMap)> {
             let (rs, rmap) = walk(right, db, src)?;
             let shared: Vec<Attr> = ls.shared_with(&rs);
             let out_schema = ls.join_with(&rs);
-            let l_keys: Vec<usize> =
-                shared.iter().map(|a| ls.index_of(a).expect("shared")).collect();
-            let r_keys: Vec<usize> =
-                shared.iter().map(|a| rs.index_of(a).expect("shared")).collect();
+            let l_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| ls.index_of(a).expect("shared"))
+                .collect();
+            let r_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| rs.index_of(a).expect("shared"))
+                .collect();
             let r_extra: Vec<usize> = rs
                 .attrs()
                 .iter()
@@ -120,8 +127,13 @@ fn walk(q: &Query, db: &Database, src: &SourceLoc) -> Result<(Schema, AnnMap)> {
             }
             let mut out = AnnMap::new();
             for (lt, lmarks) in &lmap {
-                let key = l_keys.iter().map(|&i| lt.get(i).clone()).collect::<Vec<_>>();
-                let Some(matches) = table.get(&key) else { continue };
+                let key = l_keys
+                    .iter()
+                    .map(|&i| lt.get(i).clone())
+                    .collect::<Vec<_>>();
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
                 for (rt, rmarks) in matches {
                     let joined = lt.join_concat(rt, &r_extra);
                     let mut marks: Marks = Vec::with_capacity(out_schema.arity());
@@ -179,8 +191,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 

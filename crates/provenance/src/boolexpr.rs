@@ -187,7 +187,13 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, ExprMap)> {
                 .iter()
                 .enumerate()
                 .map(|(row, t)| {
-                    (t.clone(), BoolExpr::Var(Tid { rel: r.name().clone(), row }))
+                    (
+                        t.clone(),
+                        BoolExpr::Var(Tid {
+                            rel: r.name().clone(),
+                            row,
+                        }),
+                    )
                 })
                 .collect();
             Ok((r.schema().clone(), map))
@@ -222,10 +228,14 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, ExprMap)> {
             let (rs, rmap) = walk(right, db)?;
             let shared: Vec<Attr> = ls.shared_with(&rs);
             let out_schema = ls.join_with(&rs);
-            let l_keys: Vec<usize> =
-                shared.iter().map(|a| ls.index_of(a).expect("shared")).collect();
-            let r_keys: Vec<usize> =
-                shared.iter().map(|a| rs.index_of(a).expect("shared")).collect();
+            let l_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| ls.index_of(a).expect("shared"))
+                .collect();
+            let r_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| rs.index_of(a).expect("shared"))
+                .collect();
             let r_extra: Vec<usize> = rs
                 .attrs()
                 .iter()
@@ -241,8 +251,13 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, ExprMap)> {
             }
             let mut out = ExprMap::new();
             for (lt, le) in &lmap {
-                let key = l_keys.iter().map(|&i| lt.get(i).clone()).collect::<Vec<_>>();
-                let Some(matches) = table.get(&key) else { continue };
+                let key = l_keys
+                    .iter()
+                    .map(|&i| lt.get(i).clone())
+                    .collect::<Vec<_>>();
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
                 for (rt, re) in matches {
                     let joined = lt.join_concat(rt, &r_extra);
                     let product = le.clone().and((*re).clone());
@@ -293,8 +308,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 

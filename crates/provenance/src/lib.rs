@@ -47,9 +47,9 @@ pub mod witness;
 
 pub use annotate::propagate;
 pub use boolexpr::{provenance_exprs, BoolExpr, ProvenanceExprs};
-pub use store::{AnnotatedRow, AnnotatedView, AnnotationStore};
 pub use lineage::{lineage, lineage_from_why, lineage_size, lineage_support, Lineage};
 pub use location::{SourceLoc, ViewLoc};
+pub use store::{AnnotatedRow, AnnotatedView, AnnotationStore};
 pub use where_prov::{where_provenance, WhereProvenance};
 pub use why::{minimal_witnesses, why_provenance, WhyProvenance};
 pub use witness::{is_minimal_witness, is_sufficient, minimize, support, Witness};

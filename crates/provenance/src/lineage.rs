@@ -65,8 +65,11 @@ pub fn enumerate_join_witnesses(l: &Lineage, shape: &[RelName]) -> Vec<Witness> 
     let mut out = Vec::new();
     let mut indices = vec![0usize; pools.len()];
     loop {
-        let witness: Witness =
-            indices.iter().zip(&pools).map(|(&i, pool)| pool[i].clone()).collect();
+        let witness: Witness = indices
+            .iter()
+            .zip(&pools)
+            .map(|(&i, pool)| pool[i].clone())
+            .collect();
         out.push(witness);
         // Advance the mixed-radix counter.
         let mut k = 0;
@@ -99,8 +102,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 

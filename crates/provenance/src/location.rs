@@ -21,7 +21,10 @@ pub struct SourceLoc {
 impl SourceLoc {
     /// Build a source location.
     pub fn new(tid: Tid, attr: impl Into<Attr>) -> SourceLoc {
-        SourceLoc { tid, attr: attr.into() }
+        SourceLoc {
+            tid,
+            attr: attr.into(),
+        }
     }
 
     /// Whether this location exists in `db` (the tuple exists and its
@@ -66,7 +69,10 @@ pub struct ViewLoc {
 impl ViewLoc {
     /// Build a view location.
     pub fn new(tuple: Tuple, attr: impl Into<Attr>) -> ViewLoc {
-        ViewLoc { tuple, attr: attr.into() }
+        ViewLoc {
+            tuple,
+            attr: attr.into(),
+        }
     }
 
     /// The value at this location, given the view's schema.
@@ -117,7 +123,10 @@ mod tests {
         let schema = dap_relalg::schema(["A", "C"]);
         let loc = ViewLoc::new(tuple(["a", "c"]), "C");
         assert_eq!(loc.value_under(&schema), Some(&Value::str("c")));
-        assert_eq!(ViewLoc::new(tuple(["a", "c"]), "Z").value_under(&schema), None);
+        assert_eq!(
+            ViewLoc::new(tuple(["a", "c"]), "Z").value_under(&schema),
+            None
+        );
     }
 
     #[test]

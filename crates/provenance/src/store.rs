@@ -93,11 +93,7 @@ impl AnnotationStore {
     }
 
     /// The view locations that currently carry at least one note under `q`.
-    pub fn annotated_view_locations(
-        &self,
-        q: &Query,
-        db: &Database,
-    ) -> Result<BTreeSet<ViewLoc>> {
+    pub fn annotated_view_locations(&self, q: &Query, db: &Database) -> Result<BTreeSet<ViewLoc>> {
         let view = self.annotated_view(q, db)?;
         let mut out = BTreeSet::new();
         for row in &view.rows {
@@ -183,8 +179,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 
@@ -192,7 +187,10 @@ mod tests {
     fn annotate_and_read_back() {
         let (_, db) = fixture();
         let mut store = AnnotationStore::new();
-        let loc = SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(), "user");
+        let loc = SourceLoc::new(
+            db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(),
+            "user",
+        );
         assert!(store.annotate(&db, loc.clone(), "spelling?"));
         assert!(store.annotate(&db, loc.clone(), "verified 2026-06"));
         assert_eq!(store.notes_at(&loc), ["spelling?", "verified 2026-06"]);
@@ -213,16 +211,21 @@ mod tests {
     fn annotated_view_carries_notes_forward() {
         let (q, db) = fixture();
         let mut store = AnnotationStore::new();
-        let loc = SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(), "user");
+        let loc = SourceLoc::new(
+            db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(),
+            "user",
+        );
         store.annotate(&db, loc, "check identity");
         let view = store.annotated_view(&q, &db).unwrap();
         // (bob, main).user and (bob, report).user both receive the note.
         assert_eq!(
-            view.notes_at(&tuple(["bob", "main"]), &"user".into()).unwrap(),
+            view.notes_at(&tuple(["bob", "main"]), &"user".into())
+                .unwrap(),
             ["check identity"]
         );
         assert_eq!(
-            view.notes_at(&tuple(["bob", "report"]), &"user".into()).unwrap(),
+            view.notes_at(&tuple(["bob", "report"]), &"user".into())
+                .unwrap(),
             ["check identity"]
         );
         // ann's rows stay clean.
@@ -241,7 +244,10 @@ mod tests {
     fn annotation_on_projected_away_attr_is_invisible() {
         let (q, db) = fixture();
         let mut store = AnnotationStore::new();
-        let loc = SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(), "grp");
+        let loc = SourceLoc::new(
+            db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(),
+            "grp",
+        );
         store.annotate(&db, loc, "ghost note");
         let locations = store.annotated_view_locations(&q, &db).unwrap();
         assert!(locations.is_empty(), "grp is projected away");
@@ -254,13 +260,16 @@ mod tests {
         // The same note text from two sources that merge at one view
         // location: (bob, report).user receives it through staff AND dev.
         for grp in ["staff", "dev"] {
-            let loc =
-                SourceLoc::new(db.tid_of("UserGroup", &tuple(["bob", grp])).unwrap(), "user");
+            let loc = SourceLoc::new(
+                db.tid_of("UserGroup", &tuple(["bob", grp])).unwrap(),
+                "user",
+            );
             store.annotate(&db, loc, "dup");
         }
         let view = store.annotated_view(&q, &db).unwrap();
         assert_eq!(
-            view.notes_at(&tuple(["bob", "report"]), &"user".into()).unwrap(),
+            view.notes_at(&tuple(["bob", "report"]), &"user".into())
+                .unwrap(),
             ["dup"],
             "same text deduplicates at the merged location"
         );
@@ -270,10 +279,16 @@ mod tests {
     fn display_lists_annotated_cells() {
         let (q, db) = fixture();
         let mut store = AnnotationStore::new();
-        let loc = SourceLoc::new(db.tid_of("GroupFile", &tuple(["dev", "main"])).unwrap(), "file");
+        let loc = SourceLoc::new(
+            db.tid_of("GroupFile", &tuple(["dev", "main"])).unwrap(),
+            "file",
+        );
         store.annotate(&db, loc, "stale?");
         let view = store.annotated_view(&q, &db).unwrap();
         let text = view.to_string();
-        assert!(text.contains("(bob, main)   [file: stale?]"), "got:\n{text}");
+        assert!(
+            text.contains("(bob, main)   [file: stale?]"),
+            "got:\n{text}"
+        );
     }
 }

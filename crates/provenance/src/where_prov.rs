@@ -107,11 +107,16 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
                 .iter()
                 .enumerate()
                 .map(|(row, t)| {
-                    let tid = Tid { rel: r.name().clone(), row };
+                    let tid = Tid {
+                        rel: r.name().clone(),
+                        row,
+                    };
                     let sets: LocSets = attrs
                         .iter()
                         .map(|a| {
-                            [SourceLoc::new(tid.clone(), a.clone())].into_iter().collect()
+                            [SourceLoc::new(tid.clone(), a.clone())]
+                                .into_iter()
+                                .collect()
                         })
                         .collect();
                     (t.clone(), sets)
@@ -151,10 +156,14 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
             let (rs, rmap) = walk(right, db)?;
             let shared: Vec<Attr> = ls.shared_with(&rs);
             let out_schema = ls.join_with(&rs);
-            let l_keys: Vec<usize> =
-                shared.iter().map(|a| ls.index_of(a).expect("shared")).collect();
-            let r_keys: Vec<usize> =
-                shared.iter().map(|a| rs.index_of(a).expect("shared")).collect();
+            let l_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| ls.index_of(a).expect("shared"))
+                .collect();
+            let r_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| rs.index_of(a).expect("shared"))
+                .collect();
             let r_extra: Vec<usize> = rs
                 .attrs()
                 .iter()
@@ -165,11 +174,8 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
             // For each left position that is a shared attribute, the right
             // position it merges with (the join rule sends annotations from
             // BOTH operands to a shared output attribute).
-            let merge_from_right: Vec<Option<usize>> = ls
-                .attrs()
-                .iter()
-                .map(|a| rs.index_of(a))
-                .collect();
+            let merge_from_right: Vec<Option<usize>> =
+                ls.attrs().iter().map(|a| rs.index_of(a)).collect();
             let mut table: HashMap<Vec<dap_relalg::Value>, Vec<(&Tuple, &LocSets)>> =
                 HashMap::with_capacity(rmap.len());
             for (t, sets) in &rmap {
@@ -178,8 +184,13 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
             }
             let mut out = AnnMap::new();
             for (lt, lsets) in &lmap {
-                let key = l_keys.iter().map(|&i| lt.get(i).clone()).collect::<Vec<_>>();
-                let Some(matches) = table.get(&key) else { continue };
+                let key = l_keys
+                    .iter()
+                    .map(|&i| lt.get(i).clone())
+                    .collect::<Vec<_>>();
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
                 for (rt, rsets) in matches {
                     let joined = lt.join_concat(rt, &r_extra);
                     let mut sets: LocSets = Vec::with_capacity(out_schema.arity());
@@ -207,8 +218,7 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
             let mut out = lmap;
             for (t, sets) in rmap {
                 let aligned_tuple = t.project_positions(&positions);
-                let aligned_sets: LocSets =
-                    positions.iter().map(|&i| sets[i].clone()).collect();
+                let aligned_sets: LocSets = positions.iter().map(|&i| sets[i].clone()).collect();
                 out.entry(aligned_tuple)
                     .and_modify(|existing| merge_into(existing, &aligned_sets))
                     .or_insert(aligned_sets);
@@ -239,8 +249,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 
@@ -264,7 +273,10 @@ mod tests {
         let t = tuple(["ann", "staff"]);
         let locs = wp.locations_of(&t, &"user".into()).unwrap();
         assert_eq!(locs.len(), 1);
-        assert_eq!(locs.iter().next().unwrap(), &src(&db, "UserGroup", &t, "user"));
+        assert_eq!(
+            locs.iter().next().unwrap(),
+            &src(&db, "UserGroup", &t, "user")
+        );
     }
 
     #[test]
@@ -294,7 +306,11 @@ mod tests {
         let wp = where_provenance(&q, &db).unwrap();
         let t = tuple(["ann", "staff", "report"]);
         let locs = wp.locations_of(&t, &"grp".into()).unwrap();
-        assert_eq!(locs.len(), 2, "shared attr gets annotations from both operands");
+        assert_eq!(
+            locs.len(),
+            2,
+            "shared attr gets annotations from both operands"
+        );
         assert!(locs.contains(&src(&db, "UserGroup", &tuple(["ann", "staff"]), "grp")));
         assert!(locs.contains(&src(&db, "GroupFile", &tuple(["staff", "report"]), "grp")));
         // Non-shared attributes come from exactly one side.

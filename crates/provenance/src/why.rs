@@ -85,7 +85,12 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
                 .iter()
                 .enumerate()
                 .map(|(row, t)| {
-                    let w: Witness = [Tid { rel: r.name().clone(), row }].into_iter().collect();
+                    let w: Witness = [Tid {
+                        rel: r.name().clone(),
+                        row,
+                    }]
+                    .into_iter()
+                    .collect();
                     (t.clone(), vec![w])
                 })
                 .collect();
@@ -120,10 +125,14 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
             let (rs, rmap) = walk(right, db)?;
             let shared: Vec<Attr> = ls.shared_with(&rs);
             let out_schema = ls.join_with(&rs);
-            let l_keys: Vec<usize> =
-                shared.iter().map(|a| ls.index_of(a).expect("shared")).collect();
-            let r_keys: Vec<usize> =
-                shared.iter().map(|a| rs.index_of(a).expect("shared")).collect();
+            let l_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| ls.index_of(a).expect("shared"))
+                .collect();
+            let r_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| rs.index_of(a).expect("shared"))
+                .collect();
             let r_extra: Vec<usize> = rs
                 .attrs()
                 .iter()
@@ -139,8 +148,13 @@ fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
             }
             let mut out = AnnMap::new();
             for (lt, lws) in &lmap {
-                let key = l_keys.iter().map(|&i| lt.get(i).clone()).collect::<Vec<_>>();
-                let Some(matches) = table.get(&key) else { continue };
+                let key = l_keys
+                    .iter()
+                    .map(|&i| lt.get(i).clone())
+                    .collect::<Vec<_>>();
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
                 for (rt, rws) in matches {
                     let joined = lt.join_concat(rt, &r_extra);
                     let combined: Vec<Witness> = lws
@@ -196,8 +210,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 
@@ -231,8 +244,14 @@ mod tests {
         for (t, ws) in why.iter() {
             assert!(!ws.is_empty());
             for w in ws {
-                assert!(is_sufficient(&q, &db, w, t).unwrap(), "witness {w:?} for {t}");
-                assert!(is_minimal_witness(&q, &db, w, t).unwrap(), "minimality of {w:?} for {t}");
+                assert!(
+                    is_sufficient(&q, &db, w, t).unwrap(),
+                    "witness {w:?} for {t}"
+                );
+                assert!(
+                    is_minimal_witness(&q, &db, w, t).unwrap(),
+                    "minimality of {w:?} for {t}"
+                );
             }
         }
     }
@@ -299,7 +318,9 @@ mod tests {
     #[test]
     fn missing_tuple_has_no_witnesses() {
         let (q, db) = fixture();
-        assert!(minimal_witnesses(&q, &db, &tuple(["zz", "zz"])).unwrap().is_empty());
+        assert!(minimal_witnesses(&q, &db, &tuple(["zz", "zz"]))
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

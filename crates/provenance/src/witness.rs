@@ -34,7 +34,12 @@ pub fn minimize(mut witnesses: Vec<Witness>) -> Vec<Witness> {
 /// Whether `candidate` is a *sufficient* set for `t`: `t ∈ Q(candidate)`.
 /// (A witness in the paper's sense is additionally minimal; see
 /// [`is_minimal_witness`].)
-pub fn is_sufficient(q: &Query, db: &Database, candidate: &BTreeSet<Tid>, t: &Tuple) -> Result<bool> {
+pub fn is_sufficient(
+    q: &Query,
+    db: &Database,
+    candidate: &BTreeSet<Tid>,
+    t: &Tuple,
+) -> Result<bool> {
     let restricted = db.restrict(candidate);
     Ok(eval(q, &restricted)?.contains(t))
 }
@@ -82,8 +87,7 @@ mod tests {
              }",
         )
         .unwrap();
-        let q =
-            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         (q, db)
     }
 
@@ -110,17 +114,26 @@ mod tests {
     fn sufficiency_and_minimality() {
         let (q, db) = fixture();
         let t = dap_relalg::tuple(["bob", "report"]);
-        let ug_bob_staff = db.tid_of("UserGroup", &dap_relalg::tuple(["bob", "staff"])).unwrap();
-        let gf_staff = db.tid_of("GroupFile", &dap_relalg::tuple(["staff", "report"])).unwrap();
-        let ug_bob_dev = db.tid_of("UserGroup", &dap_relalg::tuple(["bob", "dev"])).unwrap();
+        let ug_bob_staff = db
+            .tid_of("UserGroup", &dap_relalg::tuple(["bob", "staff"]))
+            .unwrap();
+        let gf_staff = db
+            .tid_of("GroupFile", &dap_relalg::tuple(["staff", "report"]))
+            .unwrap();
+        let ug_bob_dev = db
+            .tid_of("UserGroup", &dap_relalg::tuple(["bob", "dev"]))
+            .unwrap();
 
-        let w: Witness = [ug_bob_staff.clone(), gf_staff.clone()].into_iter().collect();
+        let w: Witness = [ug_bob_staff.clone(), gf_staff.clone()]
+            .into_iter()
+            .collect();
         assert!(is_sufficient(&q, &db, &w, &t).unwrap());
         assert!(is_minimal_witness(&q, &db, &w, &t).unwrap());
 
         // A proper superset is sufficient but not minimal.
-        let bigger: Witness =
-            [ug_bob_staff.clone(), gf_staff.clone(), ug_bob_dev].into_iter().collect();
+        let bigger: Witness = [ug_bob_staff.clone(), gf_staff.clone(), ug_bob_dev]
+            .into_iter()
+            .collect();
         assert!(is_sufficient(&q, &db, &bigger, &t).unwrap());
         assert!(!is_minimal_witness(&q, &db, &bigger, &t).unwrap());
 

@@ -157,9 +157,7 @@ pub fn detect_chain_join(q: &Query, catalog: &Catalog) -> Option<ChainJoin> {
                 out.push(r.clone());
                 true
             }
-            Query::Join { left, right } => {
-                collect_scans(left, out) && collect_scans(right, out)
-            }
+            Query::Join { left, right } => collect_scans(left, out) && collect_scans(right, out),
             _ => false,
         }
     }
@@ -173,7 +171,10 @@ pub fn detect_chain_join(q: &Query, catalog: &Catalog) -> Option<ChainJoin> {
         return None;
     }
     if rels.len() == 1 {
-        return Some(ChainJoin { order: rels, project });
+        return Some(ChainJoin {
+            order: rels,
+            project,
+        });
     }
 
     // Shared-attribute graph: vertex per relation, edge iff schemas share an
@@ -201,8 +202,7 @@ pub fn detect_chain_join(q: &Query, catalog: &Catalog) -> Option<ChainJoin> {
     // connected (which the degree condition plus edge count implies only if
     // we also walk it — do the walk).
     let degrees: Vec<usize> = adj.iter().map(Vec::len).collect();
-    let endpoints: Vec<usize> =
-        (0..n).filter(|&i| degrees[i] == 1).collect();
+    let endpoints: Vec<usize> = (0..n).filter(|&i| degrees[i] == 1).collect();
     if endpoints.len() != 2 || degrees.iter().any(|&d| d == 0 || d > 2) {
         return None;
     }
@@ -224,7 +224,10 @@ pub fn detect_chain_join(q: &Query, catalog: &Catalog) -> Option<ChainJoin> {
     if order.len() != n {
         return None;
     }
-    Some(ChainJoin { order: order.into_iter().map(|i| rels[i].clone()).collect(), project })
+    Some(ChainJoin {
+        order: order.into_iter().map(|i| rels[i].clone()).collect(),
+        project,
+    })
 }
 
 #[cfg(test)]
@@ -252,11 +255,18 @@ mod tests {
         let pj = OpFootprint::of(&Query::scan("R").join(Query::scan("S")).project(["A"]));
         assert!(pj.has_pj() && !pj.has_ju() && !pj.is_spu() && !pj.is_sj());
 
-        let ju = OpFootprint::of(&Query::scan("R").join(Query::scan("S")).union(Query::scan("T")));
+        let ju = OpFootprint::of(
+            &Query::scan("R")
+                .join(Query::scan("S"))
+                .union(Query::scan("T")),
+        );
         assert!(ju.has_ju() && !ju.has_pj() && ju.is_sju());
 
         let spu = OpFootprint::of(
-            &Query::scan("R").select(Pred::True).project(["A"]).union(Query::scan("T")),
+            &Query::scan("R")
+                .select(Pred::True)
+                .project(["A"])
+                .union(Query::scan("T")),
         );
         assert!(spu.is_spu() && !spu.has_pj());
 
@@ -285,14 +295,19 @@ mod tests {
             chain.order,
             vec![RelName::new("R1"), RelName::new("R2"), RelName::new("R3")]
         );
-        assert_eq!(chain.project.as_deref(), Some(&["A".into(), "D".into()][..]));
+        assert_eq!(
+            chain.project.as_deref(),
+            Some(&["A".into(), "D".into()][..])
+        );
     }
 
     #[test]
     fn chain_order_independent_of_join_shape() {
         let c = chain_catalog();
         // Join written out of order: (R2 ⋈ R3) ⋈ R1 — still a chain.
-        let q = Query::scan("R2").join(Query::scan("R3")).join(Query::scan("R1"));
+        let q = Query::scan("R2")
+            .join(Query::scan("R3"))
+            .join(Query::scan("R1"));
         let chain = detect_chain_join(&q, &c).expect("chain");
         // Either endpoint may come first.
         let names: Vec<&str> = chain.order.iter().map(RelName::as_str).collect();
@@ -316,7 +331,10 @@ mod tests {
         c.insert("A1".into(), schema(["A"]));
         c.insert("A2".into(), schema(["B"]));
         let q = Query::scan("A1").join(Query::scan("A2"));
-        assert!(detect_chain_join(&q, &c).is_none(), "cross product is not a chain");
+        assert!(
+            detect_chain_join(&q, &c).is_none(),
+            "cross product is not a chain"
+        );
 
         let mut c = Catalog::new();
         c.insert("Hub".into(), schema(["A", "B", "C"]));
@@ -351,7 +369,9 @@ mod tests {
     #[test]
     fn two_relation_chain() {
         let c = chain_catalog();
-        let q = Query::scan("R1").join(Query::scan("R2")).project(["A", "C"]);
+        let q = Query::scan("R1")
+            .join(Query::scan("R2"))
+            .project(["A", "C"]);
         let chain = detect_chain_join(&q, &c).expect("chain");
         assert_eq!(chain.order.len(), 2);
     }

@@ -23,7 +23,10 @@ pub struct Tid {
 impl Tid {
     /// Build a tuple id.
     pub fn new(rel: impl Into<RelName>, row: usize) -> Tid {
-        Tid { rel: rel.into(), row }
+        Tid {
+            rel: rel.into(),
+            row,
+        }
     }
 }
 
@@ -66,7 +69,9 @@ impl Database {
     /// Insert a relation; errors if the name is already present.
     pub fn add(&mut self, rel: Relation) -> Result<()> {
         if self.rels.contains_key(rel.name()) {
-            return Err(RelalgError::DuplicateAttr { attr: rel.name().as_str().into() });
+            return Err(RelalgError::DuplicateAttr {
+                attr: rel.name().as_str().into(),
+            });
         }
         self.rels.insert(rel.name().clone(), rel);
         Ok(())
@@ -115,14 +120,20 @@ impl Database {
     /// The `Tid` of `t` within relation `rel`, if present.
     pub fn tid_of(&self, rel: &str, t: &Tuple) -> Option<Tid> {
         let r = self.rels.get(rel)?;
-        r.row_of(t).map(|row| Tid { rel: r.name().clone(), row })
+        r.row_of(t).map(|row| Tid {
+            rel: r.name().clone(),
+            row,
+        })
     }
 
     /// Iterate over every tuple id in the database.
     pub fn all_tids(&self) -> impl Iterator<Item = Tid> + '_ {
         self.rels.values().flat_map(|r| {
             let name = r.name().clone();
-            (0..r.len()).map(move |row| Tid { rel: name.clone(), row })
+            (0..r.len()).map(move |row| Tid {
+                rel: name.clone(),
+                row,
+            })
         })
     }
 
@@ -131,8 +142,7 @@ impl Database {
     /// check witness candidates: `W` is a witness for `t` iff
     /// `t ∈ Q(restrict(S, W))`.
     pub fn restrict(&self, keep: &BTreeSet<Tid>) -> Database {
-        let deletions: BTreeSet<Tid> =
-            self.all_tids().filter(|tid| !keep.contains(tid)).collect();
+        let deletions: BTreeSet<Tid> = self.all_tids().filter(|tid| !keep.contains(tid)).collect();
         self.without(&deletions)
     }
 
@@ -190,8 +200,12 @@ mod tests {
 
     fn db() -> Database {
         Database::from_relations(vec![
-            Relation::new("R1", schema(["A", "B"]), vec![tuple(["a", "x1"]), tuple(["a", "x2"])])
-                .unwrap(),
+            Relation::new(
+                "R1",
+                schema(["A", "B"]),
+                vec![tuple(["a", "x1"]), tuple(["a", "x2"])],
+            )
+            .unwrap(),
             Relation::new("R2", schema(["B", "C"]), vec![tuple(["x1", "c"])]).unwrap(),
         ])
         .unwrap()

@@ -19,7 +19,11 @@ pub enum RelalgError {
     /// A relation was referenced that the database does not contain.
     UnknownRelation { rel: RelName },
     /// A tuple's arity does not match its relation's schema.
-    ArityMismatch { rel: RelName, expected: usize, got: usize },
+    ArityMismatch {
+        rel: RelName,
+        expected: usize,
+        got: usize,
+    },
     /// Union applied to branches with different attribute sets.
     UnionIncompatible { left: Schema, right: Schema },
     /// The same attribute was used twice as a rename source.
@@ -27,7 +31,11 @@ pub enum RelalgError {
     /// A comparison between values of different runtime types.
     TypeMismatch { context: String },
     /// Query text failed to parse.
-    Parse { line: usize, col: usize, message: String },
+    Parse {
+        line: usize,
+        col: usize,
+        message: String,
+    },
     /// A user-supplied attribute used the reserved internal prefix `#`.
     ReservedAttr { attr: Attr },
 }
@@ -45,10 +53,16 @@ impl fmt::Display for RelalgError {
                 write!(f, "unknown relation `{rel}`")
             }
             RelalgError::ArityMismatch { rel, expected, got } => {
-                write!(f, "tuple arity {got} does not match schema arity {expected} of `{rel}`")
+                write!(
+                    f,
+                    "tuple arity {got} does not match schema arity {expected} of `{rel}`"
+                )
             }
             RelalgError::UnionIncompatible { left, right } => {
-                write!(f, "union branches have incompatible schemas {left} and {right}")
+                write!(
+                    f,
+                    "union branches have incompatible schemas {left} and {right}"
+                )
             }
             RelalgError::DuplicateRenameSource { attr } => {
                 write!(f, "attribute `{attr}` renamed more than once")
@@ -60,7 +74,10 @@ impl fmt::Display for RelalgError {
                 write!(f, "parse error at {line}:{col}: {message}")
             }
             RelalgError::ReservedAttr { attr } => {
-                write!(f, "attribute `{attr}` uses the reserved internal prefix '#'")
+                write!(
+                    f,
+                    "attribute `{attr}` uses the reserved internal prefix '#'"
+                )
             }
         }
     }
@@ -81,11 +98,18 @@ mod tests {
 
     #[test]
     fn messages_are_informative() {
-        let e = RelalgError::UnknownAttr { attr: "Z".into(), schema: schema(["A", "B"]) };
+        let e = RelalgError::UnknownAttr {
+            attr: "Z".into(),
+            schema: schema(["A", "B"]),
+        };
         assert_eq!(e.to_string(), "unknown attribute `Z` in schema (A, B)");
         let e = RelalgError::UnknownRelation { rel: "R".into() };
         assert!(e.to_string().contains("`R`"));
-        let e = RelalgError::Parse { line: 2, col: 5, message: "expected ')'".into() };
+        let e = RelalgError::Parse {
+            line: 2,
+            col: 5,
+            message: "expected ')'".into(),
+        };
         assert!(e.to_string().contains("2:5"));
     }
 

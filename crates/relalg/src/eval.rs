@@ -27,7 +27,10 @@ pub struct ResultSet {
 
 impl ResultSet {
     fn from_set(schema: Schema, set: BTreeSet<Tuple>) -> ResultSet {
-        ResultSet { schema, tuples: set.into_iter().collect() }
+        ResultSet {
+            schema,
+            tuples: set.into_iter().collect(),
+        }
     }
 
     /// Number of output tuples.
@@ -80,7 +83,10 @@ fn eval_unchecked(q: &Query, db: &Database) -> Result<ResultSet> {
     match q {
         Query::Scan(rel) => {
             let r = db.require(rel)?;
-            Ok(ResultSet { schema: r.schema().clone(), tuples: r.tuples().to_vec() })
+            Ok(ResultSet {
+                schema: r.schema().clone(),
+                tuples: r.tuples().to_vec(),
+            })
         }
         Query::Select { input, pred } => {
             let input = eval_unchecked(input, db)?;
@@ -120,7 +126,10 @@ fn eval_unchecked(q: &Query, db: &Database) -> Result<ResultSet> {
         Query::Rename { input, mapping } => {
             let input = eval_unchecked(input, db)?;
             let schema = input.schema.rename(mapping)?;
-            Ok(ResultSet { schema, tuples: input.tuples })
+            Ok(ResultSet {
+                schema,
+                tuples: input.tuples,
+            })
         }
     }
 }
@@ -129,10 +138,14 @@ fn eval_unchecked(q: &Query, db: &Database) -> Result<ResultSet> {
 pub(crate) fn hash_join(l: &ResultSet, r: &ResultSet) -> ResultSet {
     let shared: Vec<Attr> = l.schema.shared_with(&r.schema);
     let schema = l.schema.join_with(&r.schema);
-    let l_keys: Vec<usize> =
-        shared.iter().map(|a| l.schema.index_of(a).expect("shared attr")).collect();
-    let r_keys: Vec<usize> =
-        shared.iter().map(|a| r.schema.index_of(a).expect("shared attr")).collect();
+    let l_keys: Vec<usize> = shared
+        .iter()
+        .map(|a| l.schema.index_of(a).expect("shared attr"))
+        .collect();
+    let r_keys: Vec<usize> = shared
+        .iter()
+        .map(|a| r.schema.index_of(a).expect("shared attr"))
+        .collect();
     // Positions of the right tuple's non-shared attributes, in schema order.
     let r_extra: Vec<usize> = r
         .schema
@@ -265,15 +278,22 @@ mod tests {
         let db = usergroup_db();
         let q = Query::scan("UserGroup").join(Query::scan("UserGroup"));
         let out = eval(&q, &db).unwrap();
-        assert_eq!(out.tuple_set(), eval(&Query::scan("UserGroup"), &db).unwrap().tuple_set());
+        assert_eq!(
+            out.tuple_set(),
+            eval(&Query::scan("UserGroup"), &db).unwrap().tuple_set()
+        );
     }
 
     #[test]
     fn union_aligns_attribute_order() {
         let db = Database::from_relations(vec![
             Relation::new("L", schema(["A", "B"]), vec![tuple(["1", "2"])]).unwrap(),
-            Relation::new("R", schema(["B", "A"]), vec![tuple(["2", "1"]), tuple(["9", "8"])])
-                .unwrap(),
+            Relation::new(
+                "R",
+                schema(["B", "A"]),
+                vec![tuple(["2", "1"]), tuple(["9", "8"])],
+            )
+            .unwrap(),
         ])
         .unwrap();
         let out = eval(&Query::scan("L").union(Query::scan("R")), &db).unwrap();
@@ -296,9 +316,8 @@ mod tests {
     fn rename_enables_union_across_relations() {
         let db = usergroup_db();
         // δ renames GroupFile(group,file) to (user,group)-compatible shape.
-        let q = Query::scan("UserGroup").union(
-            Query::scan("GroupFile").rename([("group", "user"), ("file", "group")]),
-        );
+        let q = Query::scan("UserGroup")
+            .union(Query::scan("GroupFile").rename([("group", "user"), ("file", "group")]));
         let out = eval(&q, &db).unwrap();
         assert_eq!(out.len(), 6);
     }

@@ -217,7 +217,11 @@ mod tests {
 
     #[test]
     fn closure_fixpoint() {
-        let fds = vec![Fd::new(["A"], ["B"]), Fd::new(["B"], ["C"]), Fd::new(["C", "D"], ["E"])];
+        let fds = vec![
+            Fd::new(["A"], ["B"]),
+            Fd::new(["B"], ["C"]),
+            Fd::new(["C", "D"], ["E"]),
+        ];
         let c = closure(&attrs(&["A"]), &fds);
         assert!(c.contains(&Attr::new("A")));
         assert!(c.contains(&Attr::new("B")));
@@ -242,8 +246,14 @@ mod tests {
         assert!(Fd::new(["dept"], ["mgr"]).holds_on(dept));
         let emp = db.get("Emp").unwrap();
         assert!(Fd::new(["eid"], ["dept"]).holds_on(emp));
-        assert!(!Fd::new(["dept"], ["eid"]).holds_on(emp), "sales has two eids");
-        assert!(!Fd::new(["nope"], ["eid"]).holds_on(emp), "unknown attr fails");
+        assert!(
+            !Fd::new(["dept"], ["eid"]).holds_on(emp),
+            "sales has two eids"
+        );
+        assert!(
+            !Fd::new(["nope"], ["eid"]).holds_on(emp),
+            "unknown attr fails"
+        );
     }
 
     #[test]
@@ -288,7 +298,10 @@ mod tests {
         // projected away).
         let q = parse_query("project(join(scan Emp, scan Dept), [eid, mgr])").unwrap();
         let nf = normalize(&q, &db.catalog()).unwrap();
-        assert!(!projection_determines_join(&nf.branches[0], &FdCatalog::new()));
+        assert!(!projection_determines_join(
+            &nf.branches[0],
+            &FdCatalog::new()
+        ));
     }
 
     #[test]

@@ -42,7 +42,10 @@ pub struct RenamedScan {
 
 impl RenamedScan {
     fn identity(rel: RelName, attrs: &[Attr]) -> RenamedScan {
-        RenamedScan { rel, mapping: attrs.iter().map(|a| (a.clone(), a.clone())).collect() }
+        RenamedScan {
+            rel,
+            mapping: attrs.iter().map(|a| (a.clone(), a.clone())).collect(),
+        }
     }
 
     /// The current (post-rename) attribute names, in schema order.
@@ -119,8 +122,7 @@ impl Branch {
         for s in &mut self.scans {
             s.substitute(subst);
         }
-        let pairs: Vec<(Attr, Attr)> =
-            subst.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
+        let pairs: Vec<(Attr, Attr)> = subst.iter().map(|(a, b)| (a.clone(), b.clone())).collect();
         self.pred = self.pred.rename(&pairs);
         for a in &mut self.proj {
             if let Some(new) = subst.get(a) {
@@ -229,11 +231,8 @@ impl<'a> Normalizer<'a> {
                     // may collide with internal names; free those first.
                     let targets: BTreeSet<Attr> =
                         mapping.iter().map(|(_, new)| new.clone()).collect();
-                    let colliding: Vec<Attr> = b
-                        .internal_names()
-                        .intersection(&targets)
-                        .cloned()
-                        .collect();
+                    let colliding: Vec<Attr> =
+                        b.internal_names().intersection(&targets).cloned().collect();
                     self.freshen(b, colliding);
                     // Two-step substitution so swaps (A→B, B→A) work.
                     let step1: BTreeMap<Attr, Attr> = mapping
@@ -270,13 +269,19 @@ impl<'a> Normalizer<'a> {
         let l_out: BTreeSet<Attr> = lb.proj.iter().cloned().collect();
         // Left internals colliding with any right-side name.
         let r_names = rb.current_names();
-        let l_coll: Vec<Attr> =
-            lb.internal_names().intersection(&r_names).cloned().collect();
+        let l_coll: Vec<Attr> = lb
+            .internal_names()
+            .intersection(&r_names)
+            .cloned()
+            .collect();
         self.freshen(&mut lb, l_coll);
         // Right internals colliding with any (updated) left-side name.
         let l_names = lb.current_names();
-        let r_coll: Vec<Attr> =
-            rb.internal_names().intersection(&l_names).cloned().collect();
+        let r_coll: Vec<Attr> = rb
+            .internal_names()
+            .intersection(&l_names)
+            .cloned()
+            .collect();
         self.freshen(&mut rb, r_coll);
         // Now the only shared current names are projected on both sides —
         // exactly the natural-join attributes of the original query.
@@ -284,7 +289,11 @@ impl<'a> Normalizer<'a> {
         proj.extend(rb.proj.iter().filter(|a| !l_out.contains(*a)).cloned());
         let mut scans = lb.scans;
         scans.extend(rb.scans);
-        Branch { scans, pred: lb.pred.and(rb.pred), proj }
+        Branch {
+            scans,
+            pred: lb.pred.and(rb.pred),
+            proj,
+        }
     }
 }
 
@@ -347,13 +356,21 @@ mod tests {
             Relation::new(
                 "R",
                 schema(["A", "B"]),
-                vec![tuple(["a1", "b1"]), tuple(["a1", "b2"]), tuple(["a2", "b2"])],
+                vec![
+                    tuple(["a1", "b1"]),
+                    tuple(["a1", "b2"]),
+                    tuple(["a2", "b2"]),
+                ],
             )
             .unwrap(),
             Relation::new(
                 "S",
                 schema(["B", "C"]),
-                vec![tuple(["b1", "c1"]), tuple(["b2", "c1"]), tuple(["b2", "c2"])],
+                vec![
+                    tuple(["b1", "c1"]),
+                    tuple(["b2", "c1"]),
+                    tuple(["b2", "c2"]),
+                ],
             )
             .unwrap(),
             Relation::new(
@@ -390,7 +407,9 @@ mod tests {
     #[test]
     fn select_project_fold_into_branch() {
         let db = db();
-        let q = Query::scan("R").select(Pred::attr_eq_const("A", "a1")).project(["B"]);
+        let q = Query::scan("R")
+            .select(Pred::attr_eq_const("A", "a1"))
+            .project(["B"]);
         let nf = normalize(&q, &db.catalog()).unwrap();
         assert_eq!(nf.branches.len(), 1);
         assert_eq!(nf.branches[0].proj, vec![Attr::new("B")]);
@@ -401,7 +420,9 @@ mod tests {
     #[test]
     fn join_distributes_over_union() {
         let db = db();
-        let q = Query::scan("R").union(Query::scan("T")).join(Query::scan("S"));
+        let q = Query::scan("R")
+            .union(Query::scan("T"))
+            .join(Query::scan("S"));
         let nf = normalize(&q, &db.catalog()).unwrap();
         assert_eq!(nf.branches.len(), 2, "(R∪T)⋈S → (R⋈S) ∪ (T⋈S)");
         assert_equiv(&q, &db);
@@ -443,8 +464,14 @@ mod tests {
         // The rename swap case.
         let q = Query::scan("R").rename([("A", "B"), ("B", "A")]);
         let nf = normalize(&q, &db.catalog()).unwrap();
-        assert_eq!(nf.branches[0].scans[0].current_of(&"A".into()), Some(&Attr::new("B")));
-        assert_eq!(nf.branches[0].scans[0].current_of(&"B".into()), Some(&Attr::new("A")));
+        assert_eq!(
+            nf.branches[0].scans[0].current_of(&"A".into()),
+            Some(&Attr::new("B"))
+        );
+        assert_eq!(
+            nf.branches[0].scans[0].current_of(&"B".into()),
+            Some(&Attr::new("A"))
+        );
         assert_equiv(&q, &db);
     }
 
@@ -452,7 +479,10 @@ mod tests {
     fn rename_target_colliding_with_internal_name() {
         let db = db();
         // Project away B, then rename A→B: the internal B must be freed.
-        let q = Query::scan("R").project(["A"]).rename([("A", "B")]).join(Query::scan("S"));
+        let q = Query::scan("R")
+            .project(["A"])
+            .rename([("A", "B")])
+            .join(Query::scan("S"));
         assert_equiv(&q, &db);
     }
 
@@ -544,7 +574,9 @@ mod tests {
         ));
         // Union under a join is NOT normal form.
         assert!(!is_normal_form(
-            &Query::scan("R").union(Query::scan("T")).join(Query::scan("S"))
+            &Query::scan("R")
+                .union(Query::scan("T"))
+                .join(Query::scan("S"))
         ));
         // Union of branches is normal form.
         assert!(is_normal_form(

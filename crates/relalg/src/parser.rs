@@ -54,11 +54,20 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Lexer<'a> {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn err(&self, message: impl Into<String>) -> RelalgError {
-        RelalgError::Parse { line: self.line, col: self.col, message: message.into() }
+        RelalgError::Parse {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<u8> {
@@ -99,7 +108,9 @@ impl<'a> Lexer<'a> {
 
     fn next_tok(&mut self) -> Result<Tok> {
         self.skip_ws_and_comments();
-        let Some(c) = self.peek() else { return Ok(Tok::Eof) };
+        let Some(c) = self.peek() else {
+            return Ok(Tok::Eof);
+        };
         match c {
             b'(' => {
                 self.bump();
@@ -306,7 +317,11 @@ impl<'a> Parser<'a> {
                 self.expect(&Tok::Comma, "','")?;
                 let right = self.query()?;
                 self.expect(&Tok::RParen, "')'")?;
-                Ok(if head == "join" { left.join(right) } else { left.union(right) })
+                Ok(if head == "join" {
+                    left.join(right)
+                } else {
+                    left.union(right)
+                })
             }
             "rename" => {
                 self.expect(&Tok::LParen, "'('")?;
@@ -512,8 +527,7 @@ mod tests {
 
     #[test]
     fn parses_scan_and_nested_operators() {
-        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])")
-            .unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
         assert_eq!(
             q,
             Query::scan("UserGroup")
@@ -538,7 +552,9 @@ mod tests {
         let q = parse_query("union(rename(scan R, {A -> X, B -> Y}), scan S)").unwrap();
         assert_eq!(
             q,
-            Query::scan("R").rename([("A", "X"), ("B", "Y")]).union(Query::scan("S"))
+            Query::scan("R")
+                .rename([("A", "X"), ("B", "Y")])
+                .union(Query::scan("S"))
         );
         let q = parse_query("rename(scan R, {})").unwrap();
         assert_eq!(q, Query::scan("R").rename(Vec::<(&str, &str)>::new()));
@@ -556,12 +572,14 @@ mod tests {
                     .negate(),
             ),
             Query::scan("R").project(["A", "B"]).join(Query::scan("S")),
-            Query::scan("R").rename([("A", "X")]).union(Query::scan("S")),
+            Query::scan("R")
+                .rename([("A", "X")])
+                .union(Query::scan("S")),
         ];
         for q in queries {
             let text = q.to_string();
-            let parsed = parse_query(&text)
-                .unwrap_or_else(|e| panic!("failed to re-parse `{text}`: {e}"));
+            let parsed =
+                parse_query(&text).unwrap_or_else(|e| panic!("failed to re-parse `{text}`: {e}"));
             assert_eq!(parsed, q, "round trip failed for `{text}`");
         }
     }
@@ -596,8 +614,8 @@ mod tests {
 
     #[test]
     fn fixture_values_mix_types() {
-        let db = parse_database("relation R(A, B, C) { (a, 1, true), ('sp ace', -2, false) }")
-            .unwrap();
+        let db =
+            parse_database("relation R(A, B, C) { (a, 1, true), ('sp ace', -2, false) }").unwrap();
         let r = db.get("R").unwrap();
         assert!(r.contains(&Tuple::new(vec![
             Value::str("a"),
@@ -616,7 +634,10 @@ mod tests {
         let q = parse_query("select(scan R, A = 'it''s')").unwrap();
         match &q {
             Query::Select { pred, .. } => match pred {
-                Pred::Cmp { rhs: Operand::Const(v), .. } => {
+                Pred::Cmp {
+                    rhs: Operand::Const(v),
+                    ..
+                } => {
                     assert_eq!(v.as_str(), Some("it's"));
                 }
                 _ => panic!("expected comparison"),

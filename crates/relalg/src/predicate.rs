@@ -24,10 +24,12 @@ pub enum Operand {
 impl Operand {
     fn eval<'a>(&'a self, schema: &Schema, t: &'a Tuple) -> Result<&'a Value> {
         match self {
-            Operand::Attr(a) => t.value_of(schema, a).ok_or_else(|| RelalgError::UnknownAttr {
-                attr: a.clone(),
-                schema: schema.clone(),
-            }),
+            Operand::Attr(a) => t
+                .value_of(schema, a)
+                .ok_or_else(|| RelalgError::UnknownAttr {
+                    attr: a.clone(),
+                    schema: schema.clone(),
+                }),
             Operand::Const(v) => Ok(v),
         }
     }
@@ -343,7 +345,10 @@ mod tests {
             CmpOp::Lt,
             Operand::Const(Value::str("five")),
         );
-        assert!(matches!(p.eval(&s(), &t()), Err(RelalgError::TypeMismatch { .. })));
+        assert!(matches!(
+            p.eval(&s(), &t()),
+            Err(RelalgError::TypeMismatch { .. })
+        ));
     }
 
     #[test]
@@ -376,10 +381,7 @@ mod tests {
     #[test]
     fn referenced_attrs_in_order_without_dupes() {
         let p = Pred::attr_eq_attr("B", "A").and(Pred::attr_eq_const("A", 1));
-        assert_eq!(
-            p.referenced_attrs(),
-            vec![Attr::new("B"), Attr::new("A")]
-        );
+        assert_eq!(p.referenced_attrs(), vec![Attr::new("B"), Attr::new("A")]);
     }
 
     #[test]

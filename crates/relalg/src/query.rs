@@ -61,7 +61,10 @@ impl Query {
 
     /// Apply a selection predicate.
     pub fn select(self, pred: Pred) -> Query {
-        Query::Select { input: Box::new(self), pred }
+        Query::Select {
+            input: Box::new(self),
+            pred,
+        }
     }
 
     /// Project onto the named attributes.
@@ -78,12 +81,18 @@ impl Query {
 
     /// Natural join with another query.
     pub fn join(self, right: Query) -> Query {
-        Query::Join { left: Box::new(self), right: Box::new(right) }
+        Query::Join {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// Set union with another query.
     pub fn union(self, right: Query) -> Query {
-        Query::Union { left: Box::new(self), right: Box::new(right) }
+        Query::Union {
+            left: Box::new(self),
+            right: Box::new(right),
+        }
     }
 
     /// Rename attributes (old → new pairs).
@@ -95,7 +104,10 @@ impl Query {
     {
         Query::Rename {
             input: Box::new(self),
-            mapping: mapping.into_iter().map(|(a, b)| (a.into(), b.into())).collect(),
+            mapping: mapping
+                .into_iter()
+                .map(|(a, b)| (a.into(), b.into()))
+                .collect(),
         }
     }
 
@@ -237,18 +249,16 @@ mod tests {
 
     #[test]
     fn scans_and_relations() {
-        let q = Query::scan("R").join(Query::scan("R")).union(Query::scan("S"));
+        let q = Query::scan("R")
+            .join(Query::scan("R"))
+            .union(Query::scan("S"));
         assert_eq!(q.scans().len(), 3);
         assert_eq!(q.relations().len(), 2);
     }
 
     #[test]
     fn union_all_and_join_all() {
-        let q = Query::union_all(vec![
-            Query::scan("A"),
-            Query::scan("B"),
-            Query::scan("C"),
-        ]);
+        let q = Query::union_all(vec![Query::scan("A"), Query::scan("B"), Query::scan("C")]);
         assert_eq!(q.scans().len(), 3);
         assert!(matches!(q, Query::Union { .. }));
         let j = Query::join_all(vec![Query::scan("A"), Query::scan("B")]);

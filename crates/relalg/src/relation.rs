@@ -40,12 +40,20 @@ impl Relation {
                 });
             }
         }
-        Ok(Relation { name, schema, tuples: set.into_iter().collect() })
+        Ok(Relation {
+            name,
+            schema,
+            tuples: set.into_iter().collect(),
+        })
     }
 
     /// An empty relation over `schema`.
     pub fn empty(name: impl Into<RelName>, schema: Schema) -> Relation {
-        Relation { name: name.into(), schema, tuples: Vec::new() }
+        Relation {
+            name: name.into(),
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// The relation's name.
@@ -98,7 +106,11 @@ impl Relation {
             .filter(|(i, _)| !rows.contains(i))
             .map(|(_, t)| t.clone())
             .collect();
-        Relation { name: self.name.clone(), schema: self.schema.clone(), tuples }
+        Relation {
+            name: self.name.clone(),
+            schema: self.schema.clone(),
+            tuples,
+        }
     }
 
     /// A copy of this relation with `extra` tuples inserted.
@@ -119,8 +131,7 @@ impl Relation {
     /// a  x2
     /// ```
     pub fn to_table_string(&self) -> String {
-        let headers: Vec<String> =
-            self.schema.attrs().iter().map(|a| a.to_string()).collect();
+        let headers: Vec<String> = self.schema.attrs().iter().map(|a| a.to_string()).collect();
         let rows: Vec<Vec<String>> = self
             .tuples
             .iter()
@@ -164,7 +175,13 @@ impl fmt::Display for Relation {
 
 impl fmt::Debug for Relation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Relation({} {} with {} tuples)", self.name, self.schema, self.len())
+        write!(
+            f,
+            "Relation({} {} with {} tuples)",
+            self.name,
+            self.schema,
+            self.len()
+        )
     }
 }
 
@@ -220,7 +237,9 @@ mod tests {
     #[test]
     fn with_tuples_adds_and_dedups() {
         let r = r1();
-        let out = r.with_tuples(vec![tuple(["b", "y"]), tuple(["a", "x1"])]).unwrap();
+        let out = r
+            .with_tuples(vec![tuple(["b", "y"]), tuple(["a", "x1"])])
+            .unwrap();
         assert_eq!(out.len(), 3);
     }
 

@@ -83,13 +83,7 @@ impl Schema {
     /// `other`'s attributes that are not shared.
     pub fn join_with(&self, other: &Schema) -> Schema {
         let mut attrs = self.attrs.clone();
-        attrs.extend(
-            other
-                .attrs
-                .iter()
-                .filter(|a| !self.contains(a))
-                .cloned(),
-        );
+        attrs.extend(other.attrs.iter().filter(|a| !self.contains(a)).cloned());
         Schema { attrs }
     }
 
@@ -224,7 +218,10 @@ mod tests {
     #[test]
     fn project_validates_and_orders() {
         let s = schema(["A", "B", "C"]);
-        assert_eq!(s.project(&["C".into(), "A".into()]).unwrap(), schema(["C", "A"]));
+        assert_eq!(
+            s.project(&["C".into(), "A".into()]).unwrap(),
+            schema(["C", "A"])
+        );
         assert!(s.project(&["Z".into()]).is_err());
         assert!(s.project(&["A".into(), "A".into()]).is_err());
     }

@@ -19,7 +19,9 @@ impl Tuple {
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        Tuple { values: values.into_iter().map(Into::into).collect() }
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
     }
 
     /// Number of fields.
@@ -44,7 +46,9 @@ impl Tuple {
 
     /// Project onto the given positions (in the given order).
     pub fn project_positions(&self, positions: &[usize]) -> Tuple {
-        Tuple { values: positions.iter().map(|&i| self.values[i].clone()).collect() }
+        Tuple {
+            values: positions.iter().map(|&i| self.values[i].clone()).collect(),
+        }
     }
 
     /// Concatenate with the non-shared suffix of another tuple (natural-join
@@ -53,14 +57,20 @@ impl Tuple {
     pub fn join_concat(&self, other: &Tuple, other_extra_positions: &[usize]) -> Tuple {
         let mut values = Vec::with_capacity(self.values.len() + other_extra_positions.len());
         values.extend_from_slice(&self.values);
-        values.extend(other_extra_positions.iter().map(|&i| other.values[i].clone()));
+        values.extend(
+            other_extra_positions
+                .iter()
+                .map(|&i| other.values[i].clone()),
+        );
         Tuple { values }
     }
 
     /// Whether `self` and `other` agree on the paired positions
     /// `(self_pos, other_pos)`.
     pub fn agrees_on(&self, other: &Tuple, pairs: &[(usize, usize)]) -> bool {
-        pairs.iter().all(|&(i, j)| self.values[i] == other.values[j])
+        pairs
+            .iter()
+            .all(|&(i, j)| self.values[i] == other.values[j])
     }
 }
 
@@ -126,7 +136,10 @@ mod tests {
         let left = tuple(["a", "b"]);
         let right = tuple(["b", "c", "d"]);
         // extras are right's positions 1 and 2.
-        assert_eq!(left.join_concat(&right, &[1, 2]), tuple(["a", "b", "c", "d"]));
+        assert_eq!(
+            left.join_concat(&right, &[1, 2]),
+            tuple(["a", "b", "c", "d"])
+        );
     }
 
     #[test]

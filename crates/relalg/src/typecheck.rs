@@ -76,7 +76,11 @@ pub fn reject_internal_attrs(q: &Query) -> Result<()> {
             for (a, b) in mapping {
                 if a.is_internal() || b.is_internal() {
                     return Err(RelalgError::ReservedAttr {
-                        attr: if a.is_internal() { a.clone() } else { b.clone() },
+                        attr: if a.is_internal() {
+                            a.clone()
+                        } else {
+                            b.clone()
+                        },
                     });
                 }
             }

@@ -125,11 +125,21 @@ mod tests {
 
     #[test]
     fn ordering_across_variants_is_total_and_stable() {
-        let mut vs = vec![Value::str("a"), Value::int(3), Value::bool(false), Value::int(-1)];
+        let mut vs = vec![
+            Value::str("a"),
+            Value::int(3),
+            Value::bool(false),
+            Value::int(-1),
+        ];
         vs.sort();
         assert_eq!(
             vs,
-            vec![Value::bool(false), Value::int(-1), Value::int(3), Value::str("a")]
+            vec![
+                Value::bool(false),
+                Value::int(-1),
+                Value::int(3),
+                Value::str("a")
+            ]
         );
     }
 

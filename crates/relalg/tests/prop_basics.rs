@@ -1,9 +1,7 @@
 //! Property tests on the core data structures: values, tuples, schemas,
 //! predicates and the parser.
 
-use dap_relalg::{
-    parse_pred, schema, tuple, Attr, CmpOp, Operand, Pred, Schema, Tuple, Value,
-};
+use dap_relalg::{parse_pred, schema, tuple, Attr, CmpOp, Operand, Pred, Schema, Tuple, Value};
 use proptest::prelude::*;
 
 fn arb_value() -> impl Strategy<Value = Value> {

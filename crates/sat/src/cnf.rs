@@ -16,12 +16,18 @@ pub struct Lit {
 impl Lit {
     /// A positive literal.
     pub fn pos(var: usize) -> Lit {
-        Lit { var, positive: true }
+        Lit {
+            var,
+            positive: true,
+        }
     }
 
     /// A negative literal.
     pub fn neg(var: usize) -> Lit {
-        Lit { var, positive: false }
+        Lit {
+            var,
+            positive: false,
+        }
     }
 
     /// The literal's value under an assignment.
@@ -31,7 +37,10 @@ impl Lit {
 
     /// The complementary literal.
     pub fn negated(&self) -> Lit {
-        Lit { var: self.var, positive: !self.positive }
+        Lit {
+            var: self.var,
+            positive: !self.positive,
+        }
     }
 }
 
@@ -55,7 +64,9 @@ pub struct Clause {
 impl Clause {
     /// Build a clause.
     pub fn new<I: IntoIterator<Item = Lit>>(lits: I) -> Clause {
-        Clause { lits: lits.into_iter().collect() }
+        Clause {
+            lits: lits.into_iter().collect(),
+        }
     }
 
     /// Whether the clause holds under `assignment`.
@@ -158,11 +169,17 @@ impl Monotone3Sat {
     pub fn new(num_vars: usize, clauses: Vec<MonotoneClause>) -> Result<Monotone3Sat, String> {
         for (i, c) in clauses.iter().enumerate() {
             if c.vars.len() != 3 {
-                return Err(format!("clause {i} has {} literals, expected 3", c.vars.len()));
+                return Err(format!(
+                    "clause {i} has {} literals, expected 3",
+                    c.vars.len()
+                ));
             }
             for &v in &c.vars {
                 if v >= num_vars {
-                    return Err(format!("clause {i} references variable x{} > x{num_vars}", v + 1));
+                    return Err(format!(
+                        "clause {i} references variable x{} > x{num_vars}",
+                        v + 1
+                    ));
                 }
             }
         }
@@ -182,7 +199,10 @@ impl Monotone3Sat {
                 .find('(')
                 .ok_or_else(|| format!("expected '(' at `{rest}`"))?;
             if !rest[..open].trim().is_empty() {
-                return Err(format!("unexpected text before clause: `{}`", &rest[..open]));
+                return Err(format!(
+                    "unexpected text before clause: `{}`",
+                    &rest[..open]
+                ));
             }
             let close = rest
                 .find(')')
@@ -209,9 +229,14 @@ impl Monotone3Sat {
                 num_vars = num_vars.max(idx);
             }
             if signs.windows(2).any(|w| w[0] != w[1]) {
-                return Err(format!("clause ({body}) mixes positive and negative literals"));
+                return Err(format!(
+                    "clause ({body}) mixes positive and negative literals"
+                ));
             }
-            clauses.push(MonotoneClause { positive: signs.first().copied().unwrap_or(true), vars });
+            clauses.push(MonotoneClause {
+                positive: signs.first().copied().unwrap_or(true),
+                vars,
+            });
             rest = rest[close + 1..].trim_start();
         }
         Monotone3Sat::new(num_vars, clauses)
@@ -228,7 +253,10 @@ impl Monotone3Sat {
             .clauses
             .iter()
             .map(|c| {
-                Clause::new(c.vars.iter().map(|&v| Lit { var: v, positive: c.positive }))
+                Clause::new(c.vars.iter().map(|&v| Lit {
+                    var: v,
+                    positive: c.positive,
+                }))
             })
             .collect();
         Cnf::new(self.num_vars, clauses)
@@ -345,12 +373,18 @@ mod tests {
     fn new_validates() {
         assert!(Monotone3Sat::new(
             2,
-            vec![MonotoneClause { positive: true, vars: vec![0, 1, 2] }]
+            vec![MonotoneClause {
+                positive: true,
+                vars: vec![0, 1, 2]
+            }]
         )
         .is_err());
         assert!(Monotone3Sat::new(
             3,
-            vec![MonotoneClause { positive: true, vars: vec![0, 1] }]
+            vec![MonotoneClause {
+                positive: true,
+                vars: vec![0, 1]
+            }]
         )
         .is_err());
     }

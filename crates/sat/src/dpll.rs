@@ -103,10 +103,12 @@ fn dpll(clauses: &[Clause], assignment: &mut Vec<Option<bool>>) -> bool {
     }
 
     // Branch on the first unassigned variable appearing in an open clause.
-    let branch_var = clauses.iter().find_map(|c| match clause_state(c, assignment) {
-        ClauseState::Open(free) => Some(free[0].var),
-        _ => None,
-    });
+    let branch_var = clauses
+        .iter()
+        .find_map(|c| match clause_state(c, assignment) {
+            ClauseState::Open(free) => Some(free[0].var),
+            _ => None,
+        });
     let Some(v) = branch_var else {
         // No open clause → satisfied.
         return true;

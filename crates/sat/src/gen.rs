@@ -12,9 +12,11 @@ pub fn random_monotone_3sat<R: Rng>(rng: &mut R, n: usize, m: usize) -> Monotone
     let vars: Vec<usize> = (0..n).collect();
     let clauses = (0..m)
         .map(|_| {
-            let chosen: Vec<usize> =
-                vars.choose_multiple(rng, 3).copied().collect();
-            MonotoneClause { positive: rng.gen_bool(0.5), vars: chosen }
+            let chosen: Vec<usize> = vars.choose_multiple(rng, 3).copied().collect();
+            MonotoneClause {
+                positive: rng.gen_bool(0.5),
+                vars: chosen,
+            }
         })
         .collect();
     Monotone3Sat::new(n, clauses).expect("generator produces valid instances")
@@ -38,7 +40,10 @@ pub fn random_satisfiable_monotone_3sat<R: Rng>(
         let positive = rng.gen_bool(0.5);
         // Keep only clauses the hidden assignment satisfies.
         if chosen.iter().any(|&v| hidden[v] == positive) {
-            clauses.push(MonotoneClause { positive, vars: chosen });
+            clauses.push(MonotoneClause {
+                positive,
+                vars: chosen,
+            });
         }
     }
     let f = Monotone3Sat::new(n, clauses).expect("valid");

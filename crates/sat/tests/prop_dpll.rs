@@ -5,8 +5,7 @@ use dap_sat::{brute_force, solve, Clause, Cnf, Lit};
 use proptest::prelude::*;
 
 fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = Cnf> {
-    let lit = (0..max_vars, any::<bool>())
-        .prop_map(|(var, positive)| Lit { var, positive });
+    let lit = (0..max_vars, any::<bool>()).prop_map(|(var, positive)| Lit { var, positive });
     let clause = proptest::collection::vec(lit, 0..4).prop_map(Clause::new);
     proptest::collection::vec(clause, 0..max_clauses)
         .prop_map(move |clauses| Cnf::new(max_vars, clauses))

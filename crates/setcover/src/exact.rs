@@ -34,11 +34,7 @@ fn disjoint_lower_bound(inst: &HittingSet, hit: &[bool]) -> usize {
 }
 
 fn branch(inst: &HittingSet, current: &mut BTreeSet<usize>, best: &mut BTreeSet<usize>) {
-    let hit: Vec<bool> = inst
-        .sets
-        .iter()
-        .map(|s| !s.is_disjoint(current))
-        .collect();
+    let hit: Vec<bool> = inst.sets.iter().map(|s| !s.is_disjoint(current)).collect();
     // Find the smallest un-hit set to branch on (fail-first heuristic).
     let next = inst
         .sets
@@ -88,7 +84,9 @@ fn cover_branch(
     for &i in current.iter() {
         covered.extend(inst.sets[i].iter().copied());
     }
-    let uncovered: Vec<usize> = (0..inst.universe).filter(|x| !covered.contains(x)).collect();
+    let uncovered: Vec<usize> = (0..inst.universe)
+        .filter(|x| !covered.contains(x))
+        .collect();
     if uncovered.is_empty() {
         if current.len() < best.len() {
             *best = current.clone();
@@ -117,8 +115,16 @@ mod tests {
     use rand::SeedableRng;
 
     fn hs(sets: &[&[usize]]) -> HittingSet {
-        let n = sets.iter().flat_map(|s| s.iter()).max().map_or(0, |m| m + 1);
-        HittingSet::new(n, sets.iter().map(|s| s.iter().copied().collect()).collect()).unwrap()
+        let n = sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .max()
+            .map_or(0, |m| m + 1);
+        HittingSet::new(
+            n,
+            sets.iter().map(|s| s.iter().copied().collect()).collect(),
+        )
+        .unwrap()
     }
 
     /// Reference: brute force over all element subsets (≤ 16 elements).
@@ -126,8 +132,9 @@ mod tests {
         assert!(inst.num_elements <= 16);
         (0u32..(1 << inst.num_elements))
             .filter_map(|bits| {
-                let chosen: BTreeSet<usize> =
-                    (0..inst.num_elements).filter(|i| bits & (1 << i) != 0).collect();
+                let chosen: BTreeSet<usize> = (0..inst.num_elements)
+                    .filter(|i| bits & (1 << i) != 0)
+                    .collect();
                 inst.is_hitting(&chosen).then_some(chosen.len())
             })
             .min()
@@ -185,7 +192,9 @@ mod tests {
         for _ in 0..20 {
             let inst = random_hitting_set(&mut rng, 8, 6, 3);
             let hs_opt = exact_hitting_set(&inst).len();
-            let sc_opt = exact_set_cover(&inst.to_set_cover()).expect("feasible").len();
+            let sc_opt = exact_set_cover(&inst.to_set_cover())
+                .expect("feasible")
+                .len();
             assert_eq!(hs_opt, sc_opt, "duality preserves the optimum");
         }
     }

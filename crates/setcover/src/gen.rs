@@ -32,8 +32,11 @@ pub fn planted_hitting_set<R: Rng>(
     h: usize,
 ) -> (HittingSet, BTreeSet<usize>) {
     assert!(h >= 1 && h <= n && k <= n && k >= 1);
-    let planted: BTreeSet<usize> =
-        (0..n).collect::<Vec<_>>().choose_multiple(rng, h).copied().collect();
+    let planted: BTreeSet<usize> = (0..n)
+        .collect::<Vec<_>>()
+        .choose_multiple(rng, h)
+        .copied()
+        .collect();
     let planted_vec: Vec<usize> = planted.iter().copied().collect();
     let all: Vec<usize> = (0..n).collect();
     let sets = (0..m)

@@ -72,8 +72,16 @@ mod tests {
     use super::*;
 
     fn hs(sets: &[&[usize]]) -> HittingSet {
-        let n = sets.iter().flat_map(|s| s.iter()).max().map_or(0, |m| m + 1);
-        HittingSet::new(n, sets.iter().map(|s| s.iter().copied().collect()).collect()).unwrap()
+        let n = sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .max()
+            .map_or(0, |m| m + 1);
+        HittingSet::new(
+            n,
+            sets.iter().map(|s| s.iter().copied().collect()).collect(),
+        )
+        .unwrap()
     }
 
     #[test]

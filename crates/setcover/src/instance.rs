@@ -65,7 +65,10 @@ impl HittingSet {
                 s
             })
             .collect();
-        HittingSet { num_elements: next, sets }
+        HittingSet {
+            num_elements: next,
+            sets,
+        }
     }
 
     /// The dual set cover instance: element `x` becomes the set
@@ -78,7 +81,10 @@ impl HittingSet {
                 sets[x].insert(i);
             }
         }
-        SetCover { universe: self.sets.len(), sets }
+        SetCover {
+            universe: self.sets.len(),
+            sets,
+        }
     }
 }
 
@@ -115,7 +121,9 @@ impl SetCover {
         for (i, s) in sets.iter().enumerate() {
             if let Some(&max) = s.iter().next_back() {
                 if max >= universe {
-                    return Err(format!("set {i} contains element {max} ≥ universe {universe}"));
+                    return Err(format!(
+                        "set {i} contains element {max} ≥ universe {universe}"
+                    ));
                 }
             }
         }
@@ -145,7 +153,10 @@ impl SetCover {
                 sets[x].insert(i);
             }
         }
-        HittingSet { num_elements: self.sets.len(), sets }
+        HittingSet {
+            num_elements: self.sets.len(),
+            sets,
+        }
     }
 }
 
@@ -164,8 +175,16 @@ mod tests {
     use super::*;
 
     fn hs(sets: &[&[usize]]) -> HittingSet {
-        let n = sets.iter().flat_map(|s| s.iter()).max().map_or(0, |m| m + 1);
-        HittingSet::new(n, sets.iter().map(|s| s.iter().copied().collect()).collect()).unwrap()
+        let n = sets
+            .iter()
+            .flat_map(|s| s.iter())
+            .max()
+            .map_or(0, |m| m + 1);
+        HittingSet::new(
+            n,
+            sets.iter().map(|s| s.iter().copied().collect()).collect(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -2,8 +2,7 @@
 //! validity and its harmonic bound, duality invariants.
 
 use dap_setcover::{
-    exact_hitting_set, exact_set_cover, greedy_hitting_set, greedy_set_cover, harmonic,
-    HittingSet,
+    exact_hitting_set, exact_set_cover, greedy_hitting_set, greedy_set_cover, harmonic, HittingSet,
 };
 use proptest::prelude::*;
 use std::collections::BTreeSet;
@@ -18,8 +17,9 @@ fn arb_hitting_set(max_elems: usize, max_sets: usize) -> impl Strategy<Value = H
 fn brute_optimum(inst: &HittingSet) -> usize {
     (0u32..(1 << inst.num_elements))
         .filter_map(|bits| {
-            let chosen: BTreeSet<usize> =
-                (0..inst.num_elements).filter(|i| bits & (1 << i) != 0).collect();
+            let chosen: BTreeSet<usize> = (0..inst.num_elements)
+                .filter(|i| bits & (1 << i) != 0)
+                .collect();
             inst.is_hitting(&chosen).then_some(chosen.len())
         })
         .min()

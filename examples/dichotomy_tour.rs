@@ -9,9 +9,11 @@ use dap::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Print the paper's tables verbatim.
-    for problem in
-        [Problem::ViewSideEffect, Problem::SourceSideEffect, Problem::AnnotationPlacement]
-    {
+    for problem in [
+        Problem::ViewSideEffect,
+        Problem::SourceSideEffect,
+        Problem::AnnotationPlacement,
+    ] {
         println!("— {problem} —");
         println!("{}", format_paper_table(problem));
     }
@@ -27,13 +29,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("SP", "project(select(scan R, A = 'a1'), [B])"),
         ("SPU", "union(project(scan R, [A, B]), scan R2)"),
         ("SJ", "select(join(scan R, scan S), A = 'a1')"),
-        ("SJU (JU)", "union(join(scan R, scan S), join(scan R2, scan S))"),
+        (
+            "SJU (JU)",
+            "union(join(scan R, scan S), join(scan R2, scan S))",
+        ),
         ("PJ", "project(join(scan R, scan S), [A, C])"),
-        ("PJ chain ×3", "project(join(join(scan R, scan S), scan T), [A, D])"),
-        ("PJU", "union(project(join(scan R, scan S), [A, B]), scan R2)"),
+        (
+            "PJ chain ×3",
+            "project(join(join(scan R, scan S), scan T), [A, D])",
+        ),
+        (
+            "PJU",
+            "union(project(join(scan R, scan S), [A, B]), scan R2)",
+        ),
     ];
 
-    println!("{:14} {:7} {:>6} {:>6} {:>6}  solver used for source-minimal deletion", "query", "class", "view", "src", "annot");
+    println!(
+        "{:14} {:7} {:>6} {:>6} {:>6}  solver used for source-minimal deletion",
+        "query", "class", "view", "src", "annot"
+    );
     for (label, text) in &gallery {
         let q = parse_query(text)?;
         let fp = OpFootprint::of(&q);
@@ -57,7 +71,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ju = parse_query("union(join(scan R, scan S), join(scan R2, scan S))")?;
     let fp = OpFootprint::of(&ju);
     assert_eq!(complexity(Problem::ViewSideEffect, &fp), Complexity::NpHard);
-    assert_eq!(complexity(Problem::AnnotationPlacement, &fp), Complexity::PolyTime);
+    assert_eq!(
+        complexity(Problem::AnnotationPlacement, &fp),
+        Complexity::PolyTime
+    );
     let view = eval(&ju, &db)?;
     let loc = ViewLoc::new(view.tuples[0].clone(), view.schema.attrs()[0].clone());
     let (placement, solver) = place_annotation(&ju, &db, &loc)?;

@@ -73,6 +73,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for tid in &deletion.deletions {
         println!("  delete {} = {}", tid, db.tuple(tid).expect("valid"));
     }
-    assert!(deletion.is_side_effect_free(), "the ovary call is independently retractable");
+    assert!(
+        deletion.is_side_effect_free(),
+        "the ovary call is independently retractable"
+    );
     Ok(())
 }

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let q = parse_query("project(join(scan Emp, scan Dept), [eid, mgr])")?;
     let view = eval(&q, &db)?;
-    println!("Who reports to whom:\n{}", view.to_table_string("ReportsTo"));
+    println!(
+        "Who reports to whom:\n{}",
+        view.to_table_string("ReportsTo")
+    );
 
     // --- Boolean provenance expressions ------------------------------------
     println!("provenance expressions (witnesses as Boolean polynomials):");
@@ -37,10 +40,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     fds.add_key(&db, "Emp", &["eid"]);
     fds.add_key(&db, "Dept", &["dept"]);
     assert!(fds.validate(&db).is_ok());
-    println!("\nkeyed query (projection determines the join): {}", is_keyed(&q, &db, &fds)?);
+    println!(
+        "\nkeyed query (projection determines the join): {}",
+        is_keyed(&q, &db, &fds)?
+    );
     let t = tuple(["e1", "ann"]);
-    let sol = keyed_side_effect_free(&q, &db, &fds, &t)?
-        .expect("e1's row is independently deletable");
+    let sol =
+        keyed_side_effect_free(&q, &db, &fds, &t)?.expect("e1's row is independently deletable");
     println!("side-effect-free deletion of {t}: {sol}");
 
     // --- The annotation store ------------------------------------------------
@@ -63,11 +69,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (placement, _) = place_annotation(&q, &db, &loc)?;
     assert!(placement.is_side_effect_free());
     store.annotate(&db, placement.source.clone(), "badge reissued");
-    println!("after a second, private note:\n{}", store.annotated_view(&q, &db)?);
+    println!(
+        "after a second, private note:\n{}",
+        store.annotated_view(&q, &db)?
+    );
 
     // --- Where-provenance inspection -----------------------------------------
     let wp = where_provenance(&q, &db)?;
-    let locs = wp.locations_of(&tuple(["e1", "ann"]), &"mgr".into()).expect("exists");
+    let locs = wp
+        .locations_of(&tuple(["e1", "ann"]), &"mgr".into())
+        .expect("exists");
     println!("where-provenance of (e1, ann).mgr:");
     for l in locs {
         println!("  {l} = {}", l.value_in(&db).expect("exists"));

@@ -61,9 +61,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- The dichotomy ------------------------------------------------------
     let fp = OpFootprint::of(&q);
     println!("\nQuery class: {fp}");
-    for problem in
-        [Problem::ViewSideEffect, Problem::SourceSideEffect, Problem::AnnotationPlacement]
-    {
+    for problem in [
+        Problem::ViewSideEffect,
+        Problem::SourceSideEffect,
+        Problem::AnnotationPlacement,
+    ] {
         println!("  {problem}: {}", complexity(problem, &fp));
     }
     Ok(())

@@ -55,10 +55,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Figure 3 — Π_C(R0 ⋈ R1 ⋈ … ⋈ Rn) ===");
     println!("{}", figures::render_instance(&fig3.instance));
     let optimum = exact_hitting_set(&fig3.hitting_set);
-    let (sol, solver) =
-        delete_min_source(&fig3.instance.query, &fig3.instance.db, &fig3.instance.target)?;
-    println!("minimum hitting set size {} ⇔ minimum source deletion {} [{solver}]",
-        optimum.len(), sol.source_cost());
+    let (sol, solver) = delete_min_source(
+        &fig3.instance.query,
+        &fig3.instance.db,
+        &fig3.instance.target,
+    )?;
+    println!(
+        "minimum hitting set size {} ⇔ minimum source deletion {} [{solver}]",
+        optimum.len(),
+        sol.source_cost()
+    );
     assert_eq!(optimum.len(), sol.source_cost());
 
     // ---- Theorem 3.2 (3SAT → PJ annotation) ------------------------------
@@ -73,7 +79,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\n=== Theorem 3.2 — annotate ((c1, c2), C1) ===");
     let view = eval(&red.instance.query, &red.instance.db)?;
     println!("{}", view.to_table_string("Q(S)"));
-    let (placement, _) = place_annotation(&red.instance.query, &red.instance.db, &red.target_location)?;
+    let (placement, _) =
+        place_annotation(&red.instance.query, &red.instance.db, &red.target_location)?;
     println!("best placement: {placement}");
     assert_eq!(
         placement.is_side_effect_free(),

@@ -30,12 +30,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])")?;
     let view = eval(&q, &db)?;
-    println!("Access view ({} rows):\n{}", view.len(), view.to_table_string("CanRead"));
+    println!(
+        "Access view ({} rows):\n{}",
+        view.len(),
+        view.to_table_string("CanRead")
+    );
 
     // For every (user, file) pair, can it be revoked side-effect-free, and
     // at what minimum cost otherwise?
     println!("revocation analysis:");
-    println!("{:22}  {:>9}  {:>12}  deleted memberships/shares", "view tuple", "witnesses", "side effects");
+    println!(
+        "{:22}  {:>9}  {:>12}  deleted memberships/shares",
+        "view tuple", "witnesses", "side effects"
+    );
     for t in view.tuples.clone() {
         let witnesses = minimal_witnesses(&q, &db, &t)?;
         let (sol, _) = delete_min_view_side_effects(&q, &db, &t)?;
@@ -59,13 +66,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (view_min, _) = delete_min_view_side_effects(&q, &db, &t)?;
     let (src_min, _) = delete_min_source(&q, &db, &t)?;
     println!("\nrevoking (bob, handbook):");
-    println!("  min view side effects: {} (deleting {} source tuples)",
-        view_min.view_cost(), view_min.source_cost());
+    println!(
+        "  min view side effects: {} (deleting {} source tuples)",
+        view_min.view_cost(),
+        view_min.source_cost()
+    );
     for dead in &view_min.view_side_effects {
         println!("    collateral: {dead}");
     }
-    println!("  min source deletions:  {} (causing {} view side effects)",
-        src_min.source_cost(), src_min.view_cost());
+    println!(
+        "  min source deletions:  {} (causing {} view side effects)",
+        src_min.source_cost(),
+        src_min.view_cost()
+    );
 
     // The two objectives genuinely conflict on this instance.
     assert!(view_min.view_cost() <= src_min.view_cost());

@@ -78,8 +78,7 @@ fn parse_tuple(src: &str) -> Result<Tuple, String> {
 }
 
 fn load_db(path: &str) -> Result<Database, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     parse_database(&text).map_err(|e| format!("in `{path}`: {e}"))
 }
 
@@ -145,10 +144,11 @@ fn run(args: &[String]) -> Result<String, String> {
             let q = parse_query(query).map_err(|e| e.to_string())?;
             let t = parse_tuple(tuple_text)?;
             let loc = ViewLoc::new(t, attr.as_str());
-            let (sol, solver) =
-                place_annotation(&q, &db, &loc).map_err(|e| e.to_string())?;
-            let mut out = format!("{sol}\n  solver: {solver}\n  source tuple: {}\n",
-                db.tuple(&sol.source.tid).expect("valid"));
+            let (sol, solver) = place_annotation(&q, &db, &loc).map_err(|e| e.to_string())?;
+            let mut out = format!(
+                "{sol}\n  solver: {solver}\n  source tuple: {}\n",
+                db.tuple(&sol.source.tid).expect("valid")
+            );
             if !sol.side_effects.is_empty() {
                 out.push_str("  also annotates:\n");
                 for v in &sol.side_effects {
@@ -215,7 +215,10 @@ mod tests {
     #[test]
     fn tuple_parsing() {
         assert_eq!(parse_tuple("bob,report").unwrap(), tuple(["bob", "report"]));
-        assert_eq!(parse_tuple("(bob, report)").unwrap(), tuple(["bob", "report"]));
+        assert_eq!(
+            parse_tuple("(bob, report)").unwrap(),
+            tuple(["bob", "report"])
+        );
         assert_eq!(
             parse_tuple("1, true, x").unwrap(),
             Tuple::new(vec![Value::int(1), Value::bool(true), Value::str("x")])

@@ -65,8 +65,8 @@ pub mod prelude {
         Placement, Problem, SolverKind,
     };
     pub use dap_provenance::{
-        lineage, minimal_witnesses, propagate, provenance_exprs, where_provenance,
-        why_provenance, AnnotationStore, BoolExpr, SourceLoc, ViewLoc, Witness,
+        lineage, minimal_witnesses, propagate, provenance_exprs, where_provenance, why_provenance,
+        AnnotationStore, BoolExpr, SourceLoc, ViewLoc, Witness,
     };
     pub use dap_relalg::{
         eval, normalize, parse_database, parse_pred, parse_query, schema, tuple, Attr, Database,

@@ -80,9 +80,16 @@ fn eval_prints_the_view() {
         .args(["eval", db.to_str().unwrap(), QUERY])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("bob") && text.contains("report"), "got:\n{text}");
+    assert!(
+        text.contains("bob") && text.contains("report"),
+        "got:\n{text}"
+    );
 }
 
 #[test]
@@ -102,7 +109,13 @@ fn delete_view_and_source_objectives() {
     let db = fixture_file();
     for objective in ["view", "source"] {
         let out = dap()
-            .args(["delete", db.to_str().unwrap(), QUERY, "bob,report", objective])
+            .args([
+                "delete",
+                db.to_str().unwrap(),
+                QUERY,
+                "bob,report",
+                objective,
+            ])
             .output()
             .expect("runs");
         assert!(out.status.success());
@@ -116,12 +129,21 @@ fn delete_view_and_source_objectives() {
 fn annotate_picks_side_effect_free_location() {
     let db = fixture_file();
     let out = dap()
-        .args(["annotate", db.to_str().unwrap(), QUERY, "ann,report", "user"])
+        .args([
+            "annotate",
+            db.to_str().unwrap(),
+            QUERY,
+            "ann,report",
+            "user",
+        ])
         .output()
         .expect("runs");
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("annotate (UserGroup#0, user)"), "got:\n{text}");
+    assert!(
+        text.contains("annotate (UserGroup#0, user)"),
+        "got:\n{text}"
+    );
     assert!(text.contains("side effects: 0"), "got:\n{text}");
 }
 

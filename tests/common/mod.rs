@@ -8,7 +8,11 @@ use proptest::prelude::*;
 /// The catalog every generated query runs against:
 /// `R(A,B)`, `S(B,C)`, `T(A,B)`.
 pub fn catalog_relations() -> Vec<(&'static str, Vec<&'static str>)> {
-    vec![("R", vec!["A", "B"]), ("S", vec!["B", "C"]), ("T", vec!["A", "B"])]
+    vec![
+        ("R", vec!["A", "B"]),
+        ("S", vec!["B", "C"]),
+        ("T", vec!["A", "B"]),
+    ]
 }
 
 /// A value drawn from a tiny alphabet so joins collide often.
@@ -21,15 +25,16 @@ pub fn small_value() -> impl Strategy<Value = Value> {
 
 /// A random database instance over [`catalog_relations`].
 pub fn small_database() -> impl Strategy<Value = Database> {
-    fn rel(
-        name: &'static str,
-        attrs: Vec<&'static str>,
-    ) -> BoxedStrategy<Relation> {
+    fn rel(name: &'static str, attrs: Vec<&'static str>) -> BoxedStrategy<Relation> {
         let arity = attrs.len();
         proptest::collection::vec(proptest::collection::vec(small_value(), arity), 0..6)
             .prop_map(move |rows| {
-                Relation::new(name, schema(attrs.clone()), rows.into_iter().map(Tuple::new))
-                    .expect("consistent arity")
+                Relation::new(
+                    name,
+                    schema(attrs.clone()),
+                    rows.into_iter().map(Tuple::new),
+                )
+                .expect("consistent arity")
             })
             .boxed()
     }
@@ -38,9 +43,7 @@ pub fn small_database() -> impl Strategy<Value = Database> {
         rel("S", vec!["B", "C"]),
         rel("T", vec!["A", "B"]),
     )
-        .prop_map(|(r, s, t)| {
-            Database::from_relations(vec![r, s, t]).expect("distinct names")
-        })
+        .prop_map(|(r, s, t)| Database::from_relations(vec![r, s, t]).expect("distinct names"))
 }
 
 /// A random predicate over `sch` (attr = const, attr = attr, conjunctions).
@@ -50,8 +53,7 @@ fn pred_for(sch: &Schema) -> BoxedStrategy<Pred> {
     let attr2 = proptest::sample::select(attrs);
     let leaf = prop_oneof![
         Just(Pred::True),
-        (attr.clone(), small_value())
-            .prop_map(|(a, v)| Pred::attr_eq_const(a.as_str(), v)),
+        (attr.clone(), small_value()).prop_map(|(a, v)| Pred::attr_eq_const(a.as_str(), v)),
         (attr, attr2).prop_map(|(a, b)| Pred::attr_eq_attr(a.as_str(), b.as_str())),
     ];
     leaf.prop_recursive(2, 6, 2, |inner| {
@@ -78,7 +80,10 @@ pub fn typed_query() -> BoxedStrategy<(Query, Schema)> {
         let select = inner.clone().prop_flat_map(|(q, s)| {
             pred_for(&s).prop_map(move |p| (q.clone().select(p), s.clone()))
         });
-        let project = (inner.clone(), proptest::collection::vec(any::<prop::sample::Index>(), 1..3))
+        let project = (
+            inner.clone(),
+            proptest::collection::vec(any::<prop::sample::Index>(), 1..3),
+        )
             .prop_map(|((q, s), picks)| {
                 let mut attrs: Vec<Attr> = Vec::new();
                 for pick in picks {
@@ -143,7 +148,9 @@ pub fn typed_query() -> BoxedStrategy<(Query, Schema)> {
                 return (q, s);
             }
             let old = s.attrs()[z % s.arity()].clone();
-            let out = s.rename(&[(old.clone(), Attr::new(&target))]).expect("fresh target");
+            let out = s
+                .rename(&[(old.clone(), Attr::new(&target))])
+                .expect("fresh target");
             (q.rename([(old.as_str().to_string(), target)]), out)
         });
         prop_oneof![select, project, join, union, rename].boxed()

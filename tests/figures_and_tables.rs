@@ -12,8 +12,14 @@ fn figure1_full_contents() {
 
     // R1 rows exactly as printed in Figure 1.
     let r1_rows: Vec<(&str, &str)> = vec![
-        ("a", "x1"), ("a", "x2"), ("a", "x3"), ("a", "x4"), ("a", "x5"),
-        ("a2", "x2"), ("a2", "x4"), ("a2", "x5"),
+        ("a", "x1"),
+        ("a", "x2"),
+        ("a", "x3"),
+        ("a", "x4"),
+        ("a", "x5"),
+        ("a2", "x2"),
+        ("a2", "x4"),
+        ("a2", "x5"),
     ];
     let r1 = db.get("R1").unwrap();
     assert_eq!(r1.len(), r1_rows.len());
@@ -23,9 +29,17 @@ fn figure1_full_contents() {
 
     // R2 rows exactly as printed.
     let r2_rows: Vec<(&str, &str)> = vec![
-        ("x1", "c"), ("x2", "c"), ("x3", "c"), ("x4", "c"), ("x5", "c"),
-        ("x1", "c1"), ("x2", "c1"), ("x3", "c1"),
-        ("x4", "c3"), ("x1", "c3"), ("x3", "c3"),
+        ("x1", "c"),
+        ("x2", "c"),
+        ("x3", "c"),
+        ("x4", "c"),
+        ("x5", "c"),
+        ("x1", "c1"),
+        ("x2", "c1"),
+        ("x3", "c1"),
+        ("x4", "c3"),
+        ("x1", "c3"),
+        ("x3", "c3"),
     ];
     let r2 = db.get("R2").unwrap();
     assert_eq!(r2.len(), r2_rows.len());
@@ -36,8 +50,12 @@ fn figure1_full_contents() {
     // The view table.
     let view = eval(&fig.instance.query, db).unwrap();
     let view_rows: Vec<(&str, &str)> = vec![
-        ("a", "c"), ("a", "c1"), ("a", "c3"),
-        ("a2", "c"), ("a2", "c1"), ("a2", "c3"),
+        ("a", "c"),
+        ("a", "c1"),
+        ("a", "c3"),
+        ("a2", "c"),
+        ("a2", "c1"),
+        ("a2", "c3"),
     ];
     assert_eq!(view.len(), view_rows.len());
     for (a, c) in view_rows {
@@ -54,12 +72,8 @@ fn figure1_is_solvable_side_effect_free() {
     let assignment = vec![false, true, false, false, false];
     assert!(fig.formula.eval(&assignment));
     let deletions = fig.encode(&assignment);
-    let inst = DeletionInstance::build(
-        &fig.instance.query,
-        &fig.instance.db,
-        &fig.instance.target,
-    )
-    .unwrap();
+    let inst = DeletionInstance::build(&fig.instance.query, &fig.instance.db, &fig.instance.target)
+        .unwrap();
     assert!(inst.deletes_target(&deletions));
     assert!(inst.side_effects(&deletions).is_empty());
 }
@@ -71,12 +85,24 @@ fn figure2_full_contents() {
     assert_eq!(db.relation_count(), 16, "2(m+n) = 2(3+5)");
     // R1..R5 hold T; RP1..RP5 hold F; S*/SP* hold c1..c3.
     for i in 0..5 {
-        assert!(db.get(&format!("R{}", i + 1)).unwrap().contains(&tuple(["T"])));
-        assert!(db.get(&format!("RP{}", i + 1)).unwrap().contains(&tuple(["F"])));
+        assert!(db
+            .get(&format!("R{}", i + 1))
+            .unwrap()
+            .contains(&tuple(["T"])));
+        assert!(db
+            .get(&format!("RP{}", i + 1))
+            .unwrap()
+            .contains(&tuple(["F"])));
     }
     for j in 0..3 {
-        assert!(db.get(&format!("S{}", j + 1)).unwrap().contains(&tuple([format!("c{}", j + 1)])));
-        assert!(db.get(&format!("SP{}", j + 1)).unwrap().contains(&tuple([format!("c{}", j + 1)])));
+        assert!(db
+            .get(&format!("S{}", j + 1))
+            .unwrap()
+            .contains(&tuple([format!("c{}", j + 1)])));
+        assert!(db
+            .get(&format!("SP{}", j + 1))
+            .unwrap()
+            .contains(&tuple([format!("c{}", j + 1)])));
     }
     // Figure 2's output table.
     let view = eval(&fig.instance.query, db).unwrap();
@@ -165,18 +191,38 @@ fn classification_agrees_with_tables_on_representatives() {
         ),
         (
             "union(project(scan R, [A]), project(scan T, [A]))",
-            [Complexity::PolyTime, Complexity::PolyTime, Complexity::PolyTime],
+            [
+                Complexity::PolyTime,
+                Complexity::PolyTime,
+                Complexity::PolyTime,
+            ],
         ),
         (
             "select(join(scan R, scan S), A = 'v0')",
-            [Complexity::PolyTime, Complexity::PolyTime, Complexity::PolyTime],
+            [
+                Complexity::PolyTime,
+                Complexity::PolyTime,
+                Complexity::PolyTime,
+            ],
         ),
     ];
     for (text, expected) in reprs {
         let fp = OpFootprint::of(&parse_query(text).unwrap());
-        assert_eq!(complexity(Problem::ViewSideEffect, &fp), expected[0], "{text}");
-        assert_eq!(complexity(Problem::SourceSideEffect, &fp), expected[1], "{text}");
-        assert_eq!(complexity(Problem::AnnotationPlacement, &fp), expected[2], "{text}");
+        assert_eq!(
+            complexity(Problem::ViewSideEffect, &fp),
+            expected[0],
+            "{text}"
+        );
+        assert_eq!(
+            complexity(Problem::SourceSideEffect, &fp),
+            expected[1],
+            "{text}"
+        );
+        assert_eq!(
+            complexity(Problem::AnnotationPlacement, &fp),
+            expected[2],
+            "{text}"
+        );
     }
 }
 

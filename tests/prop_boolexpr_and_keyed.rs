@@ -64,9 +64,7 @@ fn keyed_database(seed: u64, size: usize) -> (Database, FdCatalog) {
     let mut rng = StdRng::seed_from_u64(seed);
     let domain = (size / 2).max(2);
     let r_rows: Vec<Tuple> = (0..size)
-        .map(|i| {
-            tuple([format!("a{i}"), format!("b{}", rng.gen_range(0..domain))])
-        })
+        .map(|i| tuple([format!("a{i}"), format!("b{}", rng.gen_range(0..domain))]))
         .collect();
     let s_rows: Vec<Tuple> = (0..domain)
         .map(|b| tuple([format!("b{b}"), format!("c{}", rng.gen_range(0..domain))]))
@@ -94,7 +92,11 @@ fn keyed_fast_path_matches_exact_on_random_fk_instances() {
         for t in view.tuples.iter().take(4) {
             let fast = keyed_view_deletion(&q, &db, &fds, t).unwrap();
             let exact = min_view_side_effects(&q, &db, t, &ExactOptions::default()).unwrap();
-            assert_eq!(fast.view_cost(), exact.view_cost(), "seed {seed}, target {t}");
+            assert_eq!(
+                fast.view_cost(),
+                exact.view_cost(),
+                "seed {seed}, target {t}"
+            );
             // Unique witness: the instance is SJ-shaped.
             let inst = DeletionInstance::build(&q, &db, t).unwrap();
             assert_eq!(inst.target_witnesses.len(), 1);

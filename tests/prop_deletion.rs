@@ -16,11 +16,7 @@ use std::collections::BTreeSet;
 
 /// Brute-force the minimum-view-side-effect deletion over every subset of
 /// the target's witness support (only called when the support is small).
-fn brute_force_view_min(
-    q: &Query,
-    db: &Database,
-    target: &Tuple,
-) -> Option<(usize, usize)> {
+fn brute_force_view_min(q: &Query, db: &Database, target: &Tuple) -> Option<(usize, usize)> {
     let inst = DeletionInstance::build(q, db, target).ok()?;
     let support = inst.support.clone();
     if support.len() > 10 {

@@ -14,11 +14,7 @@ use std::collections::BTreeSet;
 
 /// Brute-force optimal placement: try every source location, measure its
 /// propagation with the independent forward propagator.
-fn brute_force_placement(
-    q: &Query,
-    db: &Database,
-    target: &ViewLoc,
-) -> Option<usize> {
+fn brute_force_placement(q: &Query, db: &Database, target: &ViewLoc) -> Option<usize> {
     let mut best: Option<usize> = None;
     for tid in db.all_tids() {
         let rel = db.get(tid.rel.as_str()).expect("exists");

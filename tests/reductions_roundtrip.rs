@@ -38,7 +38,10 @@ fn thm2_1_matches_dpll_on_many_instances() {
         }
     }
     // The sweep should exercise the satisfiable side at least.
-    assert!(sat_count > 0, "sweep must include satisfiable instances ({unsat_count} UNSAT)");
+    assert!(
+        sat_count > 0,
+        "sweep must include satisfiable instances ({unsat_count} UNSAT)"
+    );
 }
 
 #[test]
@@ -94,10 +97,13 @@ fn thm2_5_optimum_equals_hitting_set_optimum() {
         let hs = random_hitting_set(&mut rng, 4, 4, 2);
         let red = thm2_5::reduce(&hs);
         let expected = exact_hitting_set(&hs).len();
-        let sol =
-            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
-                .unwrap();
-        assert_eq!(sol.source_cost(), expected, "Thm 2.5 optimum transfer on {hs}");
+        let sol = min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+            .unwrap();
+        assert_eq!(
+            sol.source_cost(),
+            expected,
+            "Thm 2.5 optimum transfer on {hs}"
+        );
     }
 }
 
@@ -108,10 +114,13 @@ fn thm2_7_optimum_equals_hitting_set_optimum() {
         let hs = random_hitting_set(&mut rng, 7, 5, 3);
         let red = thm2_7::reduce(&hs);
         let expected = exact_hitting_set(&hs).len();
-        let sol =
-            min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
-                .unwrap();
-        assert_eq!(sol.source_cost(), expected, "Thm 2.7 optimum transfer on {hs}");
+        let sol = min_source_deletion(&red.instance.query, &red.instance.db, &red.instance.target)
+            .unwrap();
+        assert_eq!(
+            sol.source_cost(),
+            expected,
+            "Thm 2.7 optimum transfer on {hs}"
+        );
         // And the greedy bound carries over.
         let greedy = dap::core::deletion::source_side_effect::greedy_source_deletion(
             &red.instance.query,
@@ -141,9 +150,10 @@ fn random_connected_3cnf(rng: &mut StdRng, n: usize, m: usize) -> Cnf {
                 vars.push(v);
             }
         }
-        clauses.push(Clause::new(
-            vars.iter().map(|&v| Lit { var: v, positive: rng.gen_bool(0.5) }),
-        ));
+        clauses.push(Clause::new(vars.iter().map(|&v| Lit {
+            var: v,
+            positive: rng.gen_bool(0.5),
+        })));
         prev = vars;
     }
     Cnf::new(n, clauses)
@@ -156,12 +166,9 @@ fn thm3_2_matches_dpll_on_connected_instances() {
         let f = random_connected_3cnf(&mut rng, 5, 2 + trial % 3);
         let red = thm3_2::reduce(&f).expect("connected by construction");
         let sat = dpll::is_satisfiable(&f);
-        let free = side_effect_free_placement(
-            &red.instance.query,
-            &red.instance.db,
-            &red.target_location,
-        )
-        .unwrap();
+        let free =
+            side_effect_free_placement(&red.instance.query, &red.instance.db, &red.target_location)
+                .unwrap();
         assert_eq!(sat, free.is_some(), "Thm 3.2 round trip failed on {f}");
         if let Some(p) = free {
             assert!(red.is_assignment_row(&p.source.tid));

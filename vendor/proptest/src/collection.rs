@@ -1,0 +1,87 @@
+//! Collection strategies: [`vec`] and [`btree_set`].
+
+use crate::strategy::{BoxedStrategy, NewValue, Rejection, Strategy};
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+use std::ops::{Range, RangeInclusive};
+
+/// An inclusive size window for generated collections.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn pick(&self, rng: &mut TestRng) -> usize {
+        self.lo + rng.random_index(self.hi - self.lo + 1)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// A `Vec` of values from `element`, sized within `size`.
+pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+{
+    let size = size.into();
+    BoxedStrategy::from_fn(move |rng: &mut TestRng| -> NewValue<Vec<S::Value>> {
+        let len = size.pick(rng);
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(element.try_gen(rng)?);
+        }
+        Ok(out)
+    })
+}
+
+/// A `BTreeSet` of values from `element`, sized within `size`.
+///
+/// Duplicate draws are retried (bounded); if the element domain is too
+/// small to reach the minimum size, the case is rejected.
+pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<BTreeSet<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: Ord,
+{
+    let size = size.into();
+    BoxedStrategy::from_fn(move |rng: &mut TestRng| -> NewValue<BTreeSet<S::Value>> {
+        let target = size.pick(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        let max_attempts = target * 50 + 100;
+        while out.len() < target && attempts < max_attempts {
+            attempts += 1;
+            out.insert(element.try_gen(rng)?);
+        }
+        if out.len() < size.lo {
+            return Err(Rejection("btree_set domain too small for minimum size"));
+        }
+        Ok(out)
+    })
+}

@@ -1,0 +1,42 @@
+//! Sampling helpers: [`select`] and [`Index`].
+
+use crate::strategy::{NewValue, Strategy};
+use crate::test_runner::TestRng;
+
+/// A strategy choosing uniformly among the given values.
+pub fn select<T: Clone + 'static>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "sample::select of an empty vec");
+    Select { options }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Clone, Debug)]
+pub struct Select<T: Clone> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn try_gen(&self, rng: &mut TestRng) -> NewValue<T> {
+        Ok(self.options[rng.random_index(self.options.len())].clone())
+    }
+}
+
+/// A deferred random index: generated unconstrained, then projected into
+/// any collection length via [`Index::index`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Wraps raw random bits.
+    pub fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// This index projected into `0..len` (`len` must be nonzero).
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

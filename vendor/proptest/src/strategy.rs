@@ -1,0 +1,223 @@
+//! The [`Strategy`] trait and its combinators.
+//!
+//! Unlike upstream proptest, a strategy here is simply a recipe for
+//! generating values from a [`TestRng`] — there are no value trees and no
+//! shrinking. Combinators therefore compose as boxed generator closures.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::rc::Rc;
+
+/// A generated case was rejected (e.g. a `prop_filter` never passed);
+/// the runner retries with fresh randomness instead of failing.
+#[derive(Clone, Debug)]
+pub struct Rejection(pub &'static str);
+
+/// The result of one generation attempt.
+pub type NewValue<T> = Result<T, Rejection>;
+
+/// A recipe for producing random values of an output type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Attempts to generate one value.
+    fn try_gen(&self, rng: &mut TestRng) -> NewValue<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<T, F>(self, f: F) -> BoxedStrategy<T>
+    where
+        Self: Sized + 'static,
+        F: Fn(Self::Value) -> T + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.try_gen(rng).map(&f))
+    }
+
+    /// Generates a value, then generates from the strategy `f` derives
+    /// from it.
+    fn prop_flat_map<S, F>(self, f: F) -> BoxedStrategy<S::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy + 'static,
+        F: Fn(Self::Value) -> S + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            let seed = self.try_gen(rng)?;
+            f(seed).try_gen(rng)
+        })
+    }
+
+    /// Retries generation until `pred` accepts the value (bounded; rejects
+    /// the whole case if the filter never passes).
+    fn prop_filter<F>(self, _reason: &'static str, pred: F) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| {
+            for _ in 0..64 {
+                let v = self.try_gen(rng)?;
+                if pred(&v) {
+                    return Ok(v);
+                }
+            }
+            Err(Rejection("prop_filter never satisfied"))
+        })
+    }
+
+    /// Builds a recursive strategy: `self` is the leaf, and `f` wraps an
+    /// inner strategy into one more layer, applied up to `depth` times.
+    /// (`_desired_size` and `_expected_branch_size` are accepted for
+    /// upstream signature compatibility but unused — recursion depth alone
+    /// bounds generated sizes here.)
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S + 'static,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            let branch = f(current.clone()).boxed();
+            let fallback = leaf.clone();
+            current = BoxedStrategy::from_fn(move |rng| {
+                // Lean toward recursing; the leaf keeps sizes in check.
+                if rng.random_index(4) == 0 {
+                    fallback.try_gen(rng)
+                } else {
+                    branch.try_gen(rng)
+                }
+            });
+        }
+        current
+    }
+
+    /// Type-erases this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy::from_fn(move |rng| self.try_gen(rng))
+    }
+}
+
+type GenFn<T> = Rc<dyn Fn(&mut TestRng) -> NewValue<T>>;
+
+/// A cloneable, type-erased strategy.
+pub struct BoxedStrategy<T> {
+    gen: GenFn<T>,
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wraps a generator closure.
+    pub fn from_fn(f: impl Fn(&mut TestRng) -> NewValue<T> + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(f) }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn try_gen(&self, rng: &mut TestRng) -> NewValue<T> {
+        (self.gen)(rng)
+    }
+}
+
+/// A strategy that always produces a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn try_gen(&self, _rng: &mut TestRng) -> NewValue<T> {
+        Ok(self.0.clone())
+    }
+}
+
+/// Uniform choice among boxed strategies (the engine behind `prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union; panics if `options` is empty.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! of zero strategies");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn try_gen(&self, rng: &mut TestRng) -> NewValue<T> {
+        let pick = rng.random_index(self.options.len());
+        self.options[pick].try_gen(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn try_gen(&self, rng: &mut TestRng) -> NewValue<$t> {
+                Ok(rng.rng().gen_range(self.clone()))
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn try_gen(&self, rng: &mut TestRng) -> NewValue<$t> {
+                Ok(rng.rng().gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// String literals act as regex-like string strategies (see
+/// [`crate::string`] for the supported subset).
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn try_gen(&self, rng: &mut TestRng) -> NewValue<String> {
+        crate::string::generate(self, rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn try_gen(&self, rng: &mut TestRng) -> NewValue<Self::Value> {
+                let ($($name,)+) = self;
+                Ok(($($name.try_gen(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);

@@ -1,0 +1,147 @@
+//! Regex-literal string generation.
+//!
+//! Upstream proptest treats `&str` strategies as full regexes. This
+//! stand-in supports the subset the workspace uses: concatenations of
+//! atoms, where an atom is a literal character, an escaped character, or a
+//! character class `[a-z0-9']` (ranges and literals, no negation), each
+//! optionally followed by a quantifier `{m}`, `{m,n}`, `?`, `*`, or `+`
+//! (`*`/`+` are capped at 8 repetitions).
+
+use crate::strategy::{NewValue, Rejection};
+use crate::test_runner::TestRng;
+
+#[derive(Clone, Debug)]
+struct Atom {
+    /// Inclusive character ranges this atom may produce.
+    ranges: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Result<Vec<Atom>, Rejection> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let ranges = match chars[i] {
+            '[' => {
+                let mut ranges = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = if chars[i] == '\\' {
+                        i += 1;
+                        if i >= chars.len() {
+                            return Err(Rejection("dangling escape in character class"));
+                        }
+                        chars[i]
+                    } else {
+                        chars[i]
+                    };
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let hi = chars[i + 2];
+                        if lo > hi {
+                            return Err(Rejection("reversed character range"));
+                        }
+                        ranges.push((lo, hi));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                if i >= chars.len() {
+                    return Err(Rejection("unterminated character class"));
+                }
+                i += 1; // consume ']'
+                ranges
+            }
+            '\\' => {
+                i += 1;
+                if i >= chars.len() {
+                    return Err(Rejection("dangling escape"));
+                }
+                let c = chars[i];
+                i += 1;
+                vec![(c, c)]
+            }
+            c => {
+                i += 1;
+                vec![(c, c)]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() {
+            match chars[i] {
+                '{' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == '}')
+                        .ok_or(Rejection("unterminated quantifier"))?
+                        + i;
+                    let body: String = chars[i + 1..close].iter().collect();
+                    i = close + 1;
+                    if let Some((lo, hi)) = body.split_once(',') {
+                        let lo = lo.trim().parse().map_err(|_| Rejection("bad quantifier"))?;
+                        let hi = hi.trim().parse().map_err(|_| Rejection("bad quantifier"))?;
+                        (lo, hi)
+                    } else {
+                        let n = body
+                            .trim()
+                            .parse()
+                            .map_err(|_| Rejection("bad quantifier"))?;
+                        (n, n)
+                    }
+                }
+                '?' => {
+                    i += 1;
+                    (0, 1)
+                }
+                '*' => {
+                    i += 1;
+                    (0, 8)
+                }
+                '+' => {
+                    i += 1;
+                    (1, 8)
+                }
+                _ => (1, 1),
+            }
+        } else {
+            (1, 1)
+        };
+        if ranges.is_empty() {
+            return Err(Rejection("empty character class"));
+        }
+        atoms.push(Atom { ranges, min, max });
+    }
+    Ok(atoms)
+}
+
+fn gen_char(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.random_index(total as usize) as u32;
+    for &(lo, hi) in ranges {
+        let width = hi as u32 - lo as u32 + 1;
+        if pick < width {
+            return char::from_u32(lo as u32 + pick).expect("valid scalar");
+        }
+        pick -= width;
+    }
+    unreachable!("pick within total")
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> NewValue<String> {
+    let atoms = parse(pattern)?;
+    let mut out = String::new();
+    for atom in &atoms {
+        let count = atom.min + rng.random_index(atom.max - atom.min + 1);
+        for _ in 0..count {
+            out.push(gen_char(&atom.ranges, rng));
+        }
+    }
+    Ok(out)
+}

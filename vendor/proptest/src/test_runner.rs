@@ -1,0 +1,155 @@
+//! The deterministic case runner behind the `proptest!` macro.
+
+use crate::strategy::Rejection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Base seed all test streams derive from when `PROPTEST_SEED` is unset.
+/// Fixed so CI runs are reproducible by default.
+const DEFAULT_SEED: u64 = 0x0DA9_2002_0B07;
+
+/// The RNG handed to strategies during generation.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A deterministic RNG for the given seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Direct access to the underlying generator.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+
+    /// A uniform index in `0..len` (`len` must be nonzero).
+    pub fn random_index(&mut self, len: usize) -> usize {
+        self.inner.gen_range(0..len)
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case was skipped (filter or `prop_assume!` rejection); the
+    /// runner retries with fresh randomness.
+    Reject(String),
+    /// An assertion failed; the runner panics with this message.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(message: impl Into<String>) -> Self {
+        TestCaseError::Fail(message.into())
+    }
+
+    /// A rejection with the given reason.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+}
+
+impl From<Rejection> for TestCaseError {
+    fn from(r: Rejection) -> Self {
+        TestCaseError::Reject(r.0.to_string())
+    }
+}
+
+/// Configuration accepted by `#![proptest_config(..)]`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Upper bound on rejected (skipped) cases before the run aborts.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running exactly `cases` successful cases (still scaled by
+    /// `PROPTEST_CASES` if that is set).
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    let raw = std::env::var(name).ok()?;
+    let raw = raw.trim();
+    let parsed = if let Some(hex) = raw.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        raw.parse()
+    };
+    match parsed {
+        Ok(v) => Some(v),
+        Err(_) => panic!("{name}={raw} is not a valid u64"),
+    }
+}
+
+/// Runs `test` until `config.cases` cases pass, panicking on the first
+/// failure. Deterministic per test name; `PROPTEST_SEED` shifts every
+/// stream, `PROPTEST_CASES` overrides every case count.
+pub fn run(
+    config: &ProptestConfig,
+    name: &str,
+    test: &mut dyn FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // The per-test stream seed is `base ^ fnv1a(name)`; failure messages
+    // report `base` (what PROPTEST_SEED accepts), not the derived value,
+    // so the printed seed replays the failure when fed back in.
+    let base = env_u64("PROPTEST_SEED").unwrap_or(DEFAULT_SEED);
+    let seed = base ^ fnv1a(name);
+    let cases = env_u64("PROPTEST_CASES").map_or(config.cases, |n| {
+        u32::try_from(n).unwrap_or_else(|_| panic!("PROPTEST_CASES={n} exceeds u32"))
+    });
+    let mut rng = TestRng::new(seed);
+    let mut passed: u32 = 0;
+    let mut rejected: u32 = 0;
+    while passed < cases {
+        match test(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "proptest `{name}`: gave up after {rejected} rejected cases \
+                         ({passed}/{cases} passed; replay with PROPTEST_SEED={base:#x})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(message)) => {
+                panic!(
+                    "proptest `{name}`: case {} failed (replay with PROPTEST_SEED={base:#x}):\n{message}",
+                    passed + 1
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Self-tests for the proptest stand-in: the runner really iterates, the
+//! streams are deterministic, rejection and failure behave as documented.
+
+use proptest::collection;
+use proptest::prelude::*;
+use proptest::sample;
+use proptest::strategy::Strategy;
+use proptest::test_runner::{run, ProptestConfig, TestCaseError, TestRng};
+use std::cell::Cell;
+
+/// Generates `n` values from a strategy on a fixed seed.
+fn take<S: Strategy>(strategy: &S, seed: u64, n: usize) -> Vec<S::Value> {
+    let mut rng = TestRng::new(seed);
+    (0..n)
+        .map(|_| strategy.try_gen(&mut rng).expect("generates"))
+        .collect()
+}
+
+#[test]
+fn runner_executes_exactly_the_configured_cases() {
+    let count = Cell::new(0u32);
+    run(&ProptestConfig::with_cases(37), "self_count", &mut |rng| {
+        let _ = rng.random_index(10);
+        count.set(count.get() + 1);
+        Ok(())
+    });
+    assert_eq!(count.get(), 37);
+}
+
+#[test]
+fn runner_is_deterministic_per_test_name() {
+    let mut first = Vec::new();
+    run(&ProptestConfig::with_cases(20), "self_det", &mut |rng| {
+        first.push(rng.random_index(1_000_000));
+        Ok(())
+    });
+    let mut second = Vec::new();
+    run(&ProptestConfig::with_cases(20), "self_det", &mut |rng| {
+        second.push(rng.random_index(1_000_000));
+        Ok(())
+    });
+    assert_eq!(first, second, "same test name must replay the same stream");
+
+    let mut other = Vec::new();
+    run(
+        &ProptestConfig::with_cases(20),
+        "self_det_other",
+        &mut |rng| {
+            other.push(rng.random_index(1_000_000));
+            Ok(())
+        },
+    );
+    assert_ne!(first, other, "different test names should diverge");
+}
+
+#[test]
+fn rejections_are_retried_not_failed() {
+    let mut attempts = 0u32;
+    let mut passes = 0u32;
+    run(&ProptestConfig::with_cases(10), "self_reject", &mut |rng| {
+        attempts += 1;
+        if rng.random_index(2) == 0 {
+            return Err(TestCaseError::reject("coin came up tails"));
+        }
+        passes += 1;
+        Ok(())
+    });
+    assert_eq!(passes, 10);
+    assert!(attempts >= 10);
+}
+
+#[test]
+#[should_panic(expected = "self_fail")]
+fn failures_panic_with_the_message() {
+    run(&ProptestConfig::with_cases(10), "self_fail", &mut |_rng| {
+        Err(TestCaseError::fail("deliberate"))
+    });
+}
+
+#[test]
+fn ranges_and_tuples_stay_in_bounds() {
+    let values = take(&(0..5usize, -3..3i64, 1..=8u64), 1, 200);
+    for (a, b, c) in values {
+        assert!(a < 5);
+        assert!((-3..3).contains(&b));
+        assert!((1..=8).contains(&c));
+    }
+}
+
+#[test]
+fn collection_sizes_are_respected() {
+    for v in take(&collection::vec(0..100u64, 2..5), 2, 100) {
+        assert!((2..5).contains(&v.len()));
+    }
+    for s in take(&collection::btree_set(0..10usize, 3..=6), 3, 100) {
+        assert!((3..=6).contains(&s.len()));
+    }
+    // Exact size.
+    for v in take(&collection::vec(0..100u64, 4usize), 4, 20) {
+        assert_eq!(v.len(), 4);
+    }
+}
+
+#[test]
+fn string_regex_subset_generates_matching_shapes() {
+    for s in take(&"[a-z][a-z0-9']{0,6}", 5, 200) {
+        assert!(!s.is_empty() && s.len() <= 7, "bad length: {s:?}");
+        let mut chars = s.chars();
+        assert!(chars.next().unwrap().is_ascii_lowercase());
+        assert!(chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '\''));
+    }
+    for s in take(&"[A-F]", 6, 50) {
+        assert_eq!(s.len(), 1);
+        assert!(('A'..='F').contains(&s.chars().next().unwrap()));
+    }
+}
+
+#[test]
+fn malformed_patterns_reject_instead_of_panicking() {
+    let mut rng = TestRng::new(11);
+    for pattern in ["[a\\", "[z-a]", "[abc", "x{3"] {
+        assert!(
+            pattern.try_gen(&mut rng).is_err(),
+            "pattern {pattern:?} should reject"
+        );
+    }
+}
+
+#[test]
+fn combinators_compose() {
+    let even_pairs = (0..50u64)
+        .prop_map(|n| n * 2)
+        .prop_flat_map(|n| (Just(n), 0..(n + 1)))
+        .prop_filter("first must stay even", |(a, _)| a % 2 == 0);
+    for (a, b) in take(&even_pairs, 7, 100) {
+        assert_eq!(a % 2, 0);
+        assert!(b <= a);
+    }
+}
+
+#[test]
+fn oneof_and_select_cover_their_options() {
+    let strategy = prop_oneof![Just(1u8), Just(2u8), Just(3u8)];
+    let seen: std::collections::BTreeSet<u8> = take(&strategy, 8, 200).into_iter().collect();
+    assert_eq!(seen, [1u8, 2, 3].into_iter().collect());
+
+    let picked = take(&sample::select(vec!["x", "y"]), 9, 100);
+    assert!(picked.contains(&"x") && picked.contains(&"y"));
+}
+
+#[test]
+fn index_projects_into_any_length() {
+    for idx in take(&any::<sample::Index>(), 10, 100) {
+        assert!(idx.index(7) < 7);
+        assert_eq!(idx.index(1), 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The macro surface end-to-end: tuple patterns, assume, asserts.
+    #[test]
+    fn macro_surface_works((a, b) in (0..10u32, 0..10u32), flip in any::<bool>()) {
+        prop_assume!(a != b);
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        prop_assert!(lo < hi, "lo {} hi {}", lo, hi);
+        prop_assert_ne!(a, b);
+        if flip {
+            prop_assert_eq!(lo.min(hi), lo);
+        }
+    }
+
+    /// Recursive strategies terminate and respect the leaf.
+    #[test]
+    fn recursive_strategies_terminate(
+        v in Just(1usize).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner).prop_map(|(a, b)| a + b)
+        })
+    ) {
+        // depth 3 with pair-branching caps the value at 2^3.
+        prop_assert!((1..=8).contains(&v), "v was {}", v);
+    }
+}
