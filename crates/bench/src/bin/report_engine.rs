@@ -1,0 +1,104 @@
+//! Measure the batched annotated-evaluation placement path against the
+//! legacy per-candidate multipass path and emit `BENCH_engine.json`.
+//!
+//! ```text
+//! cargo run --release -p dap-bench --bin report_engine
+//! ```
+//!
+//! The workload is the `engine_vs_multipass` shape at the default Table-3
+//! sizes (|S| ≈ 50, 200, 800) with 12 candidate source locations per
+//! target; the acceptance bar is a ≥3× speedup of the batched path,
+//! asserted on the largest instance. Set `DAP_BENCH_NO_ASSERT=1` to make
+//! the run report-only (CI does: a noisy shared runner must not fail the
+//! build on a wall-clock ratio — the artifact still records it).
+
+use dap_bench::{generic_placement_workload, median_time};
+use dap_core::placement::generic::{
+    min_side_effect_placement, multipass_min_side_effect_placement,
+};
+use std::time::Duration;
+
+const SIZES: [(usize, usize, usize); 3] = [(2, 12, 2), (8, 12, 8), (33, 12, 33)];
+const RUNS: usize = 9;
+
+fn main() {
+    println!("==============================================================");
+    println!(" engine_vs_multipass — batched placement vs per-candidate path");
+    println!("==============================================================\n");
+    println!(
+        "{:>8} {:>12} {:>16} {:>16} {:>10}",
+        "|S|", "candidates", "multipass", "batched engine", "speedup"
+    );
+
+    let mut rows = Vec::new();
+    for (users, groups, files) in SIZES {
+        let w = generic_placement_workload(users, groups, files);
+        // Warm both paths once (page-in, allocator) before timing.
+        multipass_min_side_effect_placement(&w.query, &w.db, &w.target).expect("solves");
+        min_side_effect_placement(&w.query, &w.db, &w.target).expect("solves");
+        let mut slow_sol = None;
+        let slow = median_time(RUNS, || {
+            slow_sol = Some(
+                multipass_min_side_effect_placement(&w.query, &w.db, &w.target).expect("solves"),
+            );
+        });
+        let mut fast_sol = None;
+        let fast = median_time(RUNS, || {
+            fast_sol = Some(min_side_effect_placement(&w.query, &w.db, &w.target).expect("solves"));
+        });
+        let (slow_sol, fast_sol) = (slow_sol.unwrap(), fast_sol.unwrap());
+        assert_eq!(
+            slow_sol.cost(),
+            fast_sol.cost(),
+            "paths must agree on the optimum"
+        );
+        let speedup = ratio(slow, fast);
+        println!(
+            "{:>8} {:>12} {:>16?} {:>16?} {:>9.1}x",
+            w.db.tuple_count(),
+            groups,
+            slow,
+            fast,
+            speedup
+        );
+        rows.push((w.db.tuple_count(), groups, slow, fast, speedup));
+    }
+
+    let json = render_json(&rows);
+    std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
+    println!("\nwrote BENCH_engine.json");
+
+    let largest = rows.last().expect("non-empty");
+    if std::env::var_os("DAP_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            largest.4 >= 3.0,
+            "batched engine must be >=3x faster than multipass at the largest \
+             Table-3 size (measured {:.1}x)",
+            largest.4
+        );
+    }
+    println!(
+        "acceptance: batched engine is {:.1}x faster at |S|={} (bar: 3x)",
+        largest.4, largest.0
+    );
+}
+
+fn ratio(slow: Duration, fast: Duration) -> f64 {
+    slow.as_secs_f64() / fast.as_secs_f64().max(f64::EPSILON)
+}
+
+fn render_json(rows: &[(usize, usize, Duration, Duration, f64)]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"engine_vs_multipass\",\n  \"rows\": [\n");
+    for (i, (tuples, candidates, slow, fast, speedup)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"tuples\": {tuples}, \"candidates\": {candidates}, \
+             \"multipass_ns\": {}, \"engine_ns\": {}, \"speedup\": {speedup:.2}}}{}\n",
+            slow.as_nanos(),
+            fast.as_nanos(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let min = rows.iter().map(|r| r.4).fold(f64::INFINITY, f64::min);
+    out.push_str(&format!("  ],\n  \"min_speedup\": {min:.2}\n}}\n"));
+    out
+}

@@ -204,6 +204,22 @@ pub fn pj_multiwitness_workload(users: usize, groups: usize, files: usize) -> De
     }
 }
 
+/// A generic (PJ) placement workload whose target location has `groups`
+/// candidate source locations: every user is in every group and every file
+/// is shared by every group, so `(u0, f0).user` is reachable from all of
+/// u0's `UserGroup` rows. This is the shape where the batched one-pass
+/// placement engine beats the per-candidate multipass by ~`groups`× — the
+/// `engine_vs_multipass` bench and `report_engine` binary measure exactly
+/// that.
+pub fn generic_placement_workload(users: usize, groups: usize, files: usize) -> PlacementWorkload {
+    let w = pj_multiwitness_workload(users, groups, files);
+    PlacementWorkload {
+        target: ViewLoc::new(w.target.clone(), "user"),
+        db: w.db,
+        query: w.query,
+    }
+}
+
 /// Median wall time of `runs` executions of `f` (reported by the `report_*`
 /// binaries; Criterion handles the statistics for `cargo bench`).
 pub fn median_time<F: FnMut()>(runs: usize, mut f: F) -> Duration {

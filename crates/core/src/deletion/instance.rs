@@ -16,14 +16,19 @@ use crate::error::{CoreError, Result};
 use dap_provenance::{why_provenance, WhyProvenance, Witness};
 use dap_relalg::{Database, Query, Tid, Tuple};
 use std::collections::BTreeSet;
+use std::sync::Arc;
 
 /// A deletion problem `(Q, S, t)` with its witness hypergraph materialized.
+///
+/// The query and database are held by [`Arc`] so the branch-and-bound
+/// solvers (and callers building one instance per target over the same
+/// `(Q, S)`) share a single copy instead of deep-cloning both per instance.
 #[derive(Clone, Debug)]
 pub struct DeletionInstance {
-    /// The query.
-    pub query: Query,
-    /// The source database.
-    pub db: Database,
+    /// The query (shared, not cloned per instance).
+    pub query: Arc<Query>,
+    /// The source database (shared, not cloned per instance).
+    pub db: Arc<Database>,
     /// The view tuple to delete.
     pub target: Tuple,
     /// Why-provenance of the whole view.
@@ -37,8 +42,22 @@ pub struct DeletionInstance {
 
 impl DeletionInstance {
     /// Build the instance; errors if `target` is not in the view.
+    ///
+    /// Clones `query` and `db` once into shared handles; callers that
+    /// already hold [`Arc`]s (or build many instances over the same pair)
+    /// should use [`DeletionInstance::build_shared`].
     pub fn build(query: &Query, db: &Database, target: &Tuple) -> Result<DeletionInstance> {
-        let why = why_provenance(query, db)?;
+        DeletionInstance::build_shared(Arc::new(query.clone()), Arc::new(db.clone()), target)
+    }
+
+    /// Build the instance from shared handles, without cloning the query or
+    /// the database.
+    pub fn build_shared(
+        query: Arc<Query>,
+        db: Arc<Database>,
+        target: &Tuple,
+    ) -> Result<DeletionInstance> {
+        let why = why_provenance(&query, &db)?;
         let target_witnesses = why
             .witnesses_of(target)
             .ok_or_else(|| CoreError::TargetNotInView {
@@ -47,8 +66,8 @@ impl DeletionInstance {
             .to_vec();
         let support: BTreeSet<Tid> = target_witnesses.iter().flatten().cloned().collect();
         Ok(DeletionInstance {
-            query: query.clone(),
-            db: db.clone(),
+            query,
+            db,
             target: target.clone(),
             why,
             target_witnesses,

@@ -15,7 +15,7 @@ use crate::deletion::view_side_effect::{
 };
 use crate::deletion::Deletion;
 use crate::error::Result;
-use crate::placement::generic::min_side_effect_placement;
+use crate::placement::generic::{min_side_effect_placement, PlacementIndex};
 use crate::placement::sju::sju_placement;
 use crate::placement::spu::spu_placement;
 use crate::placement::Placement;
@@ -203,22 +203,73 @@ pub fn delete_min_view_side_effects_with_fds(
 
 /// Place an annotation reaching `target` with minimum side effects,
 /// dispatching to the polynomial algorithm when the query class has one.
+/// For the generic class [`min_side_effect_placement`] inverts the batched
+/// where-provenance only for this target's candidates — it does not build
+/// the whole [`PlacementIndex`].
 pub fn place_annotation(
     q: &Query,
     db: &Database,
     target: &ViewLoc,
 ) -> Result<(Placement, SolverKind)> {
+    match placement_solver_for(q) {
+        SolverKind::Spu => Ok((spu_placement(q, db, target)?, SolverKind::Spu)),
+        SolverKind::Sju => Ok((sju_placement(q, db, target)?, SolverKind::Sju)),
+        _ => Ok((
+            min_side_effect_placement(q, db, target)?,
+            SolverKind::GenericPlacement,
+        )),
+    }
+}
+
+/// The single dispatch rule shared by [`place_annotation`] and
+/// [`place_annotations`]: SPU → Thm 3.3 scan, SJU → Thm 3.4 counting,
+/// everything else → the generic engine-backed solver.
+fn placement_solver_for(q: &Query) -> SolverKind {
     let fp = OpFootprint::of(q);
     if !fp.join && !fp.rename {
-        return Ok((spu_placement(q, db, target)?, SolverKind::Spu));
+        SolverKind::Spu
+    } else if !fp.project {
+        SolverKind::Sju
+    } else {
+        SolverKind::GenericPlacement
     }
-    if !fp.project {
-        return Ok((sju_placement(q, db, target)?, SolverKind::Sju));
+}
+
+/// Batched version of [`place_annotation`]: solve many target locations
+/// over the same `(Q, S)` with the work shared across targets. For the
+/// generic (NP-hard) class this builds the annotated-evaluation placement
+/// index **once** — one tree walk for the whole batch — instead of one per
+/// target; the polynomial classes dispatch per target as before (they never
+/// materialize provenance).
+pub fn place_annotations(
+    q: &Query,
+    db: &Database,
+    targets: &[ViewLoc],
+) -> Result<(Vec<Placement>, SolverKind)> {
+    match placement_solver_for(q) {
+        SolverKind::Spu => {
+            let sols = targets
+                .iter()
+                .map(|t| spu_placement(q, db, t))
+                .collect::<Result<_>>()?;
+            Ok((sols, SolverKind::Spu))
+        }
+        SolverKind::Sju => {
+            let sols = targets
+                .iter()
+                .map(|t| sju_placement(q, db, t))
+                .collect::<Result<_>>()?;
+            Ok((sols, SolverKind::Sju))
+        }
+        _ => {
+            let index = PlacementIndex::build(q, db)?;
+            let sols = targets
+                .iter()
+                .map(|t| index.place(t))
+                .collect::<Result<_>>()?;
+            Ok((sols, SolverKind::GenericPlacement))
+        }
     }
-    Ok((
-        min_side_effect_placement(q, db, target)?,
-        SolverKind::GenericPlacement,
-    ))
 }
 
 /// Render one of the paper's tables as aligned text (used by the report
@@ -359,6 +410,41 @@ mod tests {
         assert_eq!(kind, SolverKind::ExactSearch);
         let (_, kind) = place_annotation(&q, &db, &ViewLoc::new(tuple(["a", "c"]), "A")).unwrap();
         assert_eq!(kind, SolverKind::GenericPlacement);
+    }
+
+    #[test]
+    fn batch_placement_agrees_with_single_dispatch() {
+        let db = parse_database(
+            "relation R(A, B) { (a, x), (a2, x) }
+             relation S(B, C) { (x, c), (x, c2) }",
+        )
+        .unwrap();
+        for text in [
+            "project(scan R, [A])",                  // SPU
+            "join(scan R, scan S)",                  // SJU
+            "project(join(scan R, scan S), [A, C])", // generic PJ
+        ] {
+            let q = parse_query(text).unwrap();
+            let view = dap_relalg::eval(&q, &db).unwrap();
+            let targets: Vec<ViewLoc> = view
+                .tuples
+                .iter()
+                .flat_map(|t| {
+                    view.schema
+                        .attrs()
+                        .iter()
+                        .map(|a| ViewLoc::new(t.clone(), a.clone()))
+                        .collect::<Vec<_>>()
+                })
+                .collect();
+            let (batch, batch_kind) = place_annotations(&q, &db, &targets).unwrap();
+            assert_eq!(batch.len(), targets.len());
+            for (target, sol) in targets.iter().zip(&batch) {
+                let (single, kind) = place_annotation(&q, &db, target).unwrap();
+                assert_eq!(kind, batch_kind, "query {text}");
+                assert_eq!(sol.cost(), single.cost(), "query {text} target {target}");
+            }
+        }
     }
 
     #[test]

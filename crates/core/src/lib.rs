@@ -54,7 +54,8 @@ pub mod reductions;
 pub use deletion::{Deletion, DeletionInstance};
 pub use dichotomy::{
     complexity, delete_min_source, delete_min_view_side_effects, format_paper_table, paper_table,
-    place_annotation, Complexity, Problem, SolverKind,
+    place_annotation, place_annotations, Complexity, Problem, SolverKind,
 };
 pub use error::{CoreError, Result};
+pub use placement::generic::PlacementIndex;
 pub use placement::Placement;

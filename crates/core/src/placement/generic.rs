@@ -7,15 +7,101 @@
 //! exponential dependence cannot be avoided (deciding side-effect-freeness
 //! is NP-hard in combined complexity), so this is the best uniform
 //! algorithm one can hope for.
+//!
+//! The hot path is **batched**: [`PlacementIndex`] runs the annotated
+//! evaluator once (the engine's where-provenance instance) and inverts it
+//! into a source-location → reached-view-locations map, so solving for a
+//! target — or many targets — costs one tree walk total instead of one
+//! forward propagation per candidate. The per-candidate path survives as
+//! [`multipass_min_side_effect_placement`], the legacy oracle the
+//! differential tests and the `engine_vs_multipass` bench compare against.
 
 use crate::error::{CoreError, Result};
 use crate::placement::Placement;
-use dap_provenance::{where_provenance, SourceLoc, ViewLoc};
+use dap_provenance::{
+    propagate, where_provenance, where_provenance_legacy, SourceLoc, ViewLoc, WhereProvenance,
+};
 use dap_relalg::{Database, Query};
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The batched placement solver: one annotated evaluation, shared by every
+/// candidate of every target over the same `(Q, S)`.
+#[derive(Clone, Debug)]
+pub struct PlacementIndex {
+    wp: WhereProvenance,
+    reached: BTreeMap<SourceLoc, BTreeSet<ViewLoc>>,
+}
+
+impl PlacementIndex {
+    /// Evaluate `q` once with batched location annotations and invert the
+    /// result into the forward index.
+    pub fn build(q: &Query, db: &Database) -> Result<PlacementIndex> {
+        let wp = where_provenance(q, db)?;
+        let reached = wp.inverted();
+        Ok(PlacementIndex { wp, reached })
+    }
+
+    /// The where-provenance underlying the index.
+    pub fn where_provenance(&self) -> &WhereProvenance {
+        &self.wp
+    }
+
+    /// Solve the minimum-side-effect placement for one target location.
+    pub fn place(&self, target: &ViewLoc) -> Result<Placement> {
+        let candidates: &BTreeSet<SourceLoc> = self
+            .wp
+            .locations_of(&target.tuple, &target.attr)
+            .ok_or_else(|| CoreError::TargetLocationNotInView {
+                loc: target.clone(),
+            })?;
+        if candidates.is_empty() {
+            return Err(CoreError::NoCandidateLocation {
+                loc: target.clone(),
+            });
+        }
+        Ok(best_candidate(target, candidates, &self.reached))
+    }
+}
+
+/// The shared selection loop: among `candidates` (iterated in their sorted
+/// order, matching the legacy tie-break), pick the one whose reached set —
+/// looked up in `reached` — has the fewest locations besides the target.
+fn best_candidate(
+    target: &ViewLoc,
+    candidates: &BTreeSet<SourceLoc>,
+    reached: &BTreeMap<SourceLoc, BTreeSet<ViewLoc>>,
+) -> Placement {
+    let mut best: Option<Placement> = None;
+    for cand in candidates {
+        let full = reached.get(cand).expect("candidates reach the view");
+        debug_assert!(full.contains(target), "candidate must reach the target");
+        // Strictly-better check against the index before cloning.
+        let better = match &best {
+            None => true,
+            Some(b) => full.len() - 1 < b.side_effects.len(),
+        };
+        if better {
+            let mut side_effects = full.clone();
+            side_effects.remove(target);
+            let done = side_effects.is_empty();
+            best = Some(Placement {
+                source: cand.clone(),
+                side_effects,
+            });
+            if done {
+                break; // cannot beat zero side effects
+            }
+        }
+    }
+    best.expect("candidates were non-empty")
+}
 
 /// Find the source location whose annotation reaches `target` with the
-/// fewest other annotated view locations.
+/// fewest other annotated view locations. One batched annotated evaluation,
+/// inverted only for the target's candidate set (one extra view pass — not
+/// one per candidate, and no full-index allocation). To solve many targets
+/// over the same `(Q, S)`, build a [`PlacementIndex`] once (or call
+/// [`min_side_effect_placements`]).
 pub fn min_side_effect_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Placement> {
     let wp = where_provenance(q, db)?;
     let candidates: &BTreeSet<SourceLoc> = wp
@@ -28,9 +114,58 @@ pub fn min_side_effect_placement(q: &Query, db: &Database, target: &ViewLoc) -> 
             loc: target.clone(),
         });
     }
+    let reached = wp.inverted_for(candidates);
+    Ok(best_candidate(target, candidates, &reached))
+}
+
+/// Solve the placement problem for many targets with **one** annotated
+/// evaluation shared across all of them.
+pub fn min_side_effect_placements(
+    q: &Query,
+    db: &Database,
+    targets: &[ViewLoc],
+) -> Result<Vec<Placement>> {
+    let index = PlacementIndex::build(q, db)?;
+    targets.iter().map(|t| index.place(t)).collect()
+}
+
+/// Decide whether a side-effect-free annotation exists for `target`
+/// (the §3.1 dichotomy question), returning one if so.
+pub fn side_effect_free_placement(
+    q: &Query,
+    db: &Database,
+    target: &ViewLoc,
+) -> Result<Option<Placement>> {
+    let best = min_side_effect_placement(q, db, target)?;
+    Ok(best.is_side_effect_free().then_some(best))
+}
+
+/// The legacy multipass solver: candidates from the standalone backward
+/// walk, then **one full forward propagation per candidate**. Kept as the
+/// cross-check oracle for the differential property tests and as the
+/// baseline of the `engine_vs_multipass` bench — use
+/// [`min_side_effect_placement`] everywhere else.
+pub fn multipass_min_side_effect_placement(
+    q: &Query,
+    db: &Database,
+    target: &ViewLoc,
+) -> Result<Placement> {
+    let wp = where_provenance_legacy(q, db)?;
+    let candidates: &BTreeSet<SourceLoc> = wp
+        .locations_of(&target.tuple, &target.attr)
+        .ok_or_else(|| CoreError::TargetLocationNotInView {
+            loc: target.clone(),
+        })?;
+    if candidates.is_empty() {
+        return Err(CoreError::NoCandidateLocation {
+            loc: target.clone(),
+        });
+    }
     let mut best: Option<Placement> = None;
     for cand in candidates {
-        let mut reached = wp.reached_from(cand);
+        // One whole tree walk per candidate — the cost the batched index
+        // eliminates.
+        let mut reached = propagate(q, db, cand)?;
         debug_assert!(reached.contains(target), "candidate must reach the target");
         reached.remove(target);
         let better = match &best {
@@ -49,17 +184,6 @@ pub fn min_side_effect_placement(q: &Query, db: &Database, target: &ViewLoc) -> 
         }
     }
     Ok(best.expect("candidates were non-empty"))
-}
-
-/// Decide whether a side-effect-free annotation exists for `target`
-/// (the §3.1 dichotomy question), returning one if so.
-pub fn side_effect_free_placement(
-    q: &Query,
-    db: &Database,
-    target: &ViewLoc,
-) -> Result<Option<Placement>> {
-    let best = min_side_effect_placement(q, db, target)?;
-    Ok(best.is_side_effect_free().then_some(best))
 }
 
 #[cfg(test)]
@@ -175,6 +299,31 @@ mod tests {
                 reached.remove(&target);
                 assert_eq!(reached, p.side_effects, "target {target}");
             }
+        }
+    }
+
+    #[test]
+    fn batched_index_and_multipass_agree_everywhere() {
+        let (q, db) = fixture();
+        let view = dap_relalg::eval(&q, &db).unwrap();
+        let index = PlacementIndex::build(&q, &db).unwrap();
+        let targets: Vec<ViewLoc> = view
+            .tuples
+            .iter()
+            .flat_map(|t| {
+                view.schema
+                    .attrs()
+                    .iter()
+                    .map(|a| ViewLoc::new(t.clone(), a.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let batched = min_side_effect_placements(&q, &db, &targets).unwrap();
+        for (target, fast) in targets.iter().zip(&batched) {
+            assert_eq!(fast, &index.place(target).unwrap());
+            let slow = multipass_min_side_effect_placement(&q, &db, target).unwrap();
+            assert_eq!(fast.source, slow.source, "target {target}");
+            assert_eq!(fast.side_effects, slow.side_effects, "target {target}");
         }
     }
 

@@ -4,18 +4,20 @@
 //! `Q_i` determines the participating source tuple `t.R_{ij}` of every scan
 //! `j` outright — no search. The candidates for annotating `(t, A)` are the
 //! locations `(t.R_{ij}, A)` for scans whose (renamed) schema contains `A`;
-//! the side-effect count of a candidate follows by scanning the
-//! (materialized) branch views and counting the other output tuples built
-//! from the same source tuple, "including the additional locations that
-//! would receive annotations through other queries in the union".
+//! the side-effect count of a candidate follows from a **one-pass component
+//! index** over the (materialized) branch views — each branch tuple is
+//! registered under the source tuple it embeds per scan, so counting "the
+//! additional locations that would receive annotations through other
+//! queries in the union" is a lookup instead of a rescan of every branch
+//! view per candidate.
 
 use crate::error::{CoreError, Result};
 use crate::placement::Placement;
 use dap_provenance::{SourceLoc, ViewLoc};
 use dap_relalg::{
-    eval, normalize, output_schema, Branch, Database, OpFootprint, Query, ResultSet, Tuple,
+    eval, normalize, output_schema, Branch, Database, OpFootprint, Query, ResultSet, Tid, Tuple,
 };
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// Minimum-side-effect placement for an SJU query (no projection; select,
 /// join, union and rename allowed).
@@ -94,34 +96,48 @@ pub fn sju_placement(q: &Query, db: &Database, target: &ViewLoc) -> Result<Place
         });
     }
 
-    // Side effects of annotating candidate ℓ = (u, a): every view location
-    // (t', θ_hj'(a)) where branch h's scan j' reads relation rel(u), embeds
-    // u as its component, and θ_hj' renames a.
-    let mut best: Option<Placement> = None;
-    for cand in candidates {
-        let source_tuple = db.tuple(&cand.tid).expect("candidate tids exist").clone();
-        let mut reached: BTreeSet<ViewLoc> = BTreeSet::new();
-        for (branch, view) in nf.branches.iter().zip(&branch_views) {
+    // One-pass component index: realign every branch view to the output
+    // order once, then register each branch tuple under the source tuple it
+    // embeds at each scan — as `(branch, scan, tuple index)`, so the index
+    // holds no tuple copies. Built once, reused by every candidate.
+    let aligned_views: Vec<Vec<Tuple>> = branch_views
+        .iter()
+        .map(|view| {
+            let positions = view
+                .schema
+                .positions_of(out_schema.attrs())
+                .expect("union-compatible");
+            view.tuples
+                .iter()
+                .map(|t| t.project_positions(&positions))
+                .collect()
+        })
+        .collect();
+    let mut embeds: HashMap<Tid, Vec<(usize, usize, usize)>> = HashMap::new();
+    for (h, (branch, view)) in nf.branches.iter().zip(&branch_views).enumerate() {
+        for (idx, t) in view.tuples.iter().enumerate() {
             for (j, scan) in branch.scans.iter().enumerate() {
-                if scan.rel != cand.tid.rel {
-                    continue;
-                }
-                let Some(cur) = scan.current_of(&cand.attr) else {
+                let component = scan_component(branch, &view.schema, t, j);
+                let Some(tid) = db.tid_of(scan.rel.as_str(), &component) else {
                     continue;
                 };
-                for t in &view.tuples {
-                    if scan_component(branch, &view.schema, t, j) == source_tuple {
-                        // Realign t to the view's output order for the
-                        // reported location.
-                        let positions = view
-                            .schema
-                            .positions_of(out_schema.attrs())
-                            .expect("union-compatible");
-                        let aligned = t.project_positions(&positions);
-                        reached.insert(ViewLoc::new(aligned, cur.clone()));
-                    }
-                }
+                embeds.entry(tid).or_default().push((h, j, idx));
             }
+        }
+    }
+
+    // Side effects of annotating candidate ℓ = (u, a): every view location
+    // (t', θ_hj'(a)) where branch h's scan j' reads relation rel(u), embeds
+    // u as its component, and θ_hj' renames a — a lookup in the index.
+    let mut best: Option<Placement> = None;
+    for cand in candidates {
+        let mut reached: BTreeSet<ViewLoc> = BTreeSet::new();
+        for (h, j, idx) in embeds.get(&cand.tid).map(Vec::as_slice).unwrap_or(&[]) {
+            let scan = &nf.branches[*h].scans[*j];
+            let Some(cur) = scan.current_of(&cand.attr) else {
+                continue;
+            };
+            reached.insert(ViewLoc::new(aligned_views[*h][*idx].clone(), cur.clone()));
         }
         debug_assert!(reached.contains(target), "candidate must reach the target");
         reached.remove(target);

@@ -25,6 +25,11 @@ use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// The result of propagating one source annotation forward: every view
 /// location that carries it.
+///
+/// This walks the whole operator tree **per source location** — it is the
+/// independent reference implementation the tests cross-check against. Hot
+/// paths that ask about many locations should use [`propagate_all`], which
+/// answers for *every* source location in one batched pass.
 pub fn propagate(q: &Query, db: &Database, src: &SourceLoc) -> Result<BTreeSet<ViewLoc>> {
     let catalog = db.catalog();
     output_schema(q, &catalog)?;
@@ -38,6 +43,57 @@ pub fn propagate(q: &Query, db: &Database, src: &SourceLoc) -> Result<BTreeSet<V
         }
     }
     Ok(out)
+}
+
+/// Forward propagation of **every** source location at once: one pass of the
+/// generic annotated evaluator (the batched [`crate::where_provenance`]
+/// instance), inverted into a source-location → reached-view-locations
+/// index. Replaces `propagate`-per-location loops — the annotation-placement
+/// hot path drops from `O(|locations|)` tree walks to one.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PropagationIndex {
+    /// The view's schema.
+    pub schema: Schema,
+    map: BTreeMap<SourceLoc, BTreeSet<ViewLoc>>,
+}
+
+impl PropagationIndex {
+    /// The view locations reached from `src`, if any annotation placed on
+    /// `src` reaches the view at all.
+    pub fn reached(&self, src: &SourceLoc) -> Option<&BTreeSet<ViewLoc>> {
+        self.map.get(src)
+    }
+
+    /// Like [`PropagationIndex::reached`], but owned and empty-defaulting —
+    /// drop-in for a [`propagate`] call.
+    pub fn reached_from(&self, src: &SourceLoc) -> BTreeSet<ViewLoc> {
+        self.map.get(src).cloned().unwrap_or_default()
+    }
+
+    /// Iterate over `(source location, reached view locations)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&SourceLoc, &BTreeSet<ViewLoc>)> {
+        self.map.iter()
+    }
+
+    /// Number of source locations that reach the view.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no source location reaches the view.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Propagate annotations from **all** source locations through `q` in one
+/// batched pass (see [`PropagationIndex`]).
+pub fn propagate_all(q: &Query, db: &Database) -> Result<PropagationIndex> {
+    let wp = crate::where_prov::where_provenance(q, db)?;
+    Ok(PropagationIndex {
+        map: wp.inverted(),
+        schema: wp.schema,
+    })
 }
 
 /// Marks per attribute position: `true` where the annotation is present.

@@ -168,8 +168,24 @@ impl ProvenanceExprs {
 
 /// Compute the provenance expression of every output tuple — a structural
 /// analogue of [`crate::why_provenance`] that keeps the formula instead of
-/// flattening to witnesses.
+/// flattening to witnesses. Runs on the generic annotated evaluator with the
+/// [`crate::engine::ExprAnn`] instance.
 pub fn provenance_exprs(q: &Query, db: &Database) -> Result<ProvenanceExprs> {
+    let (schema, tuples, annots) =
+        dap_relalg::eval_annotated::<crate::engine::ExprAnn>(q, db)?.into_parts();
+    let map = tuples
+        .into_iter()
+        .zip(annots.into_iter().map(|a| a.0))
+        .collect();
+    Ok(ProvenanceExprs { schema, map })
+}
+
+/// The original standalone expression walk, kept as the reference oracle
+/// for the differential property tests. The engine and legacy expressions
+/// may differ *structurally* (operand grouping), but are logically
+/// equivalent — compare via [`BoolExpr::prime_implicants`] or
+/// [`BoolExpr::eval_deleted`].
+pub fn provenance_exprs_legacy(q: &Query, db: &Database) -> Result<ProvenanceExprs> {
     let catalog = db.catalog();
     output_schema(q, &catalog)?;
     let (schema, map) = walk(q, db)?;

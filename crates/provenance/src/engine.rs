@@ -1,0 +1,242 @@
+//! The [`Annotation`] instances that turn `dap_relalg`'s generic annotated
+//! evaluator into each of this crate's provenance semantics.
+//!
+//! One tree walk ([`dap_relalg::eval_annotated`]) serves every semantics;
+//! this module only supplies the carriers and their (⊗, ⊕) structure:
+//!
+//! * [`WitnessesAnn`] — minimal witness sets (**why-provenance**, the
+//!   deletion side of the paper, §2): join takes pairwise unions, merges
+//!   concatenate, normalization keeps the inclusion-minimal basis.
+//! * [`LocationsAnn`] — per-attribute source-location sets
+//!   (**where-provenance**, the annotation side, §3): the five forward
+//!   propagation rules, batched — *every* source location is propagated in
+//!   the same pass.
+//! * [`LineageAnn`] — flat contributing-tuple sets (Cui–Widom **lineage**,
+//!   the \[14, 15\] baseline): participation semantics, equal to the
+//!   variable set of the Boolean lineage expression.
+//! * [`ExprAnn`] — positive **Boolean lineage expressions** over source
+//!   tuples (join = ∧, merge = ∨): the `PosBool` instance the paper's
+//!   conclusion gestures at.
+//!
+//! `dap_relalg::Unit` (plain evaluation) completes the set of five.
+//! Differential property tests (`tests/prop_provenance.rs`) pin every
+//! instance against its legacy single-purpose implementation.
+
+use crate::boolexpr::BoolExpr;
+use crate::location::SourceLoc;
+use crate::witness::{minimize, Witness};
+use dap_relalg::{Annotation, JoinLayout, Schema, Tid};
+use std::collections::BTreeSet;
+
+/// Minimal-witness-set annotation: the why-provenance instance.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WitnessesAnn(pub Vec<Witness>);
+
+impl Annotation for WitnessesAnn {
+    fn from_scan(tid: Tid, _schema: &Schema) -> Self {
+        WitnessesAnn(vec![[tid].into_iter().collect()])
+    }
+
+    fn join(left: &Self, right: &Self, _layout: &JoinLayout) -> Self {
+        // ⊗: every pairing of a left witness with a right witness.
+        let mut out = Vec::with_capacity(left.0.len() * right.0.len());
+        for lw in &left.0 {
+            for rw in &right.0 {
+                out.push(lw.iter().cloned().chain(rw.iter().cloned()).collect());
+            }
+        }
+        WitnessesAnn(out)
+    }
+
+    fn project(&self, _positions: &[usize]) -> Self {
+        self.clone()
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+
+    fn normalize(&mut self) {
+        self.0 = minimize(std::mem::take(&mut self.0));
+    }
+}
+
+/// Per-attribute source-location-set annotation: the where-provenance
+/// instance, which batches the paper's five forward rules over *all* source
+/// locations at once.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LocationsAnn(pub Vec<BTreeSet<SourceLoc>>);
+
+impl Annotation for LocationsAnn {
+    fn from_scan(tid: Tid, schema: &Schema) -> Self {
+        LocationsAnn(
+            schema
+                .attrs()
+                .iter()
+                .map(|a| {
+                    [SourceLoc::new(tid.clone(), a.clone())]
+                        .into_iter()
+                        .collect()
+                })
+                .collect(),
+        )
+    }
+
+    fn join(left: &Self, right: &Self, layout: &JoinLayout) -> Self {
+        // The join rule sends annotations from BOTH operands to a shared
+        // output attribute; non-shared attributes come from one side.
+        let mut out: Vec<BTreeSet<SourceLoc>> = Vec::with_capacity(layout.out_arity());
+        for (i, from_right) in layout.merge_from_right.iter().enumerate() {
+            let mut cell = left.0[i].clone();
+            if let Some(j) = from_right {
+                cell.extend(right.0[*j].iter().cloned());
+            }
+            out.push(cell);
+        }
+        for &j in &layout.right_extra {
+            out.push(right.0[j].clone());
+        }
+        LocationsAnn(out)
+    }
+
+    fn project(&self, positions: &[usize]) -> Self {
+        LocationsAnn(positions.iter().map(|&i| self.0[i].clone()).collect())
+    }
+
+    fn merge(&mut self, other: Self) {
+        for (dst, src) in self.0.iter_mut().zip(other.0) {
+            dst.extend(src);
+        }
+    }
+}
+
+/// Flat contributing-tuple-set annotation: Cui–Widom lineage (participation
+/// semantics — every source tuple appearing in *some* derivation, minimal or
+/// not). Equal to [`ExprAnn`]'s variable set, which the property tests
+/// verify.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct LineageAnn(pub BTreeSet<Tid>);
+
+impl Annotation for LineageAnn {
+    fn from_scan(tid: Tid, _schema: &Schema) -> Self {
+        LineageAnn([tid].into_iter().collect())
+    }
+
+    fn join(left: &Self, right: &Self, _layout: &JoinLayout) -> Self {
+        LineageAnn(left.0.union(&right.0).cloned().collect())
+    }
+
+    fn project(&self, _positions: &[usize]) -> Self {
+        self.clone()
+    }
+
+    fn merge(&mut self, other: Self) {
+        self.0.extend(other.0);
+    }
+}
+
+/// Positive-Boolean-expression annotation: joins multiply (AND), merges add
+/// (OR). The prime implicants of the result are exactly the minimal witness
+/// basis.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ExprAnn(pub BoolExpr);
+
+impl Annotation for ExprAnn {
+    fn from_scan(tid: Tid, _schema: &Schema) -> Self {
+        ExprAnn(BoolExpr::Var(tid))
+    }
+
+    fn join(left: &Self, right: &Self, _layout: &JoinLayout) -> Self {
+        ExprAnn(left.0.clone().and(right.0.clone()))
+    }
+
+    fn project(&self, _positions: &[usize]) -> Self {
+        self.clone()
+    }
+
+    fn merge(&mut self, other: Self) {
+        let existing = std::mem::replace(&mut self.0, BoolExpr::False);
+        self.0 = existing.or(other.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{eval_annotated, parse_database, parse_query, tuple};
+
+    fn fixture() -> (dap_relalg::Query, dap_relalg::Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    #[test]
+    fn witness_instance_minimizes() {
+        let (q, db) = fixture();
+        let ann = eval_annotated::<WitnessesAnn>(&q, &db).unwrap();
+        let ws = &ann.annotation_of(&tuple(["bob", "report"])).unwrap().0;
+        assert_eq!(ws.len(), 2, "two minimal witnesses via staff and dev");
+        for w in ws {
+            assert_eq!(w.len(), 2);
+        }
+    }
+
+    #[test]
+    fn location_instance_routes_shared_join_attrs() {
+        let (_, db) = fixture();
+        let q = parse_query("join(scan UserGroup, scan GroupFile)").unwrap();
+        let ann = eval_annotated::<LocationsAnn>(&q, &db).unwrap();
+        let grp_idx = ann.schema.index_of(&"grp".into()).unwrap();
+        let cells = &ann
+            .annotation_of(&tuple(["ann", "staff", "report"]))
+            .unwrap()
+            .0;
+        assert_eq!(cells[grp_idx].len(), 2, "shared attr fed from both sides");
+    }
+
+    #[test]
+    fn lineage_instance_is_participation_semantics() {
+        // Π_A(R) ⋈ R over R = {(a,b1),(a,b2)}: the output (a,b1) has the
+        // single minimal witness {R#0}, but BOTH rows participate in some
+        // derivation — lineage keeps both, unlike the witness support.
+        let db = parse_database("relation R(A, B) { (a, b1), (a, b2) }").unwrap();
+        let q = dap_relalg::Query::scan("R")
+            .project(["A"])
+            .join(dap_relalg::Query::scan("R"));
+        let lin = eval_annotated::<LineageAnn>(&q, &db).unwrap();
+        assert_eq!(lin.annotation_of(&tuple(["a", "b1"])).unwrap().0.len(), 2);
+        let why = eval_annotated::<WitnessesAnn>(&q, &db).unwrap();
+        let support: BTreeSet<Tid> = why
+            .annotation_of(&tuple(["a", "b1"]))
+            .unwrap()
+            .0
+            .iter()
+            .flatten()
+            .cloned()
+            .collect();
+        assert_eq!(support.len(), 1);
+    }
+
+    #[test]
+    fn expr_instance_prime_implicants_match_witnesses() {
+        let (q, db) = fixture();
+        let exprs = eval_annotated::<ExprAnn>(&q, &db).unwrap();
+        let why = eval_annotated::<WitnessesAnn>(&q, &db).unwrap();
+        for (t, e) in exprs.iter() {
+            assert_eq!(
+                e.0.prime_implicants().as_slice(),
+                why.annotation_of(t).unwrap().0.as_slice(),
+                "mismatch for {t}"
+            );
+        }
+    }
+}

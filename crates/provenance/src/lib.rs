@@ -16,6 +16,13 @@
 //! * **Lineage** ([`lineage()`](lineage::lineage)): the Cui–Widom baseline the paper contrasts
 //!   with ([14, 15]).
 //!
+//! All of these are instances of **one** generic annotated evaluation: the
+//! [`engine`] module supplies the [`dap_relalg::Annotation`] carriers
+//! (witness sets, per-attribute location sets, tuple-id sets, Boolean
+//! expressions) and `dap_relalg::eval_annotated` performs the single tree
+//! walk. The original standalone walks survive as `*_legacy` oracles for
+//! the differential property tests.
+//!
 //! ```
 //! use dap_provenance::{why_provenance, where_provenance};
 //! use dap_relalg::{parse_database, parse_query, tuple};
@@ -38,6 +45,7 @@
 
 pub mod annotate;
 pub mod boolexpr;
+pub mod engine;
 pub mod lineage;
 pub mod location;
 pub mod store;
@@ -45,11 +53,14 @@ pub mod where_prov;
 pub mod why;
 pub mod witness;
 
-pub use annotate::propagate;
-pub use boolexpr::{provenance_exprs, BoolExpr, ProvenanceExprs};
-pub use lineage::{lineage, lineage_from_why, lineage_size, lineage_support, Lineage};
+pub use annotate::{propagate, propagate_all, PropagationIndex};
+pub use boolexpr::{provenance_exprs, provenance_exprs_legacy, BoolExpr, ProvenanceExprs};
+pub use engine::{ExprAnn, LineageAnn, LocationsAnn, WitnessesAnn};
+pub use lineage::{
+    lineage, lineage_from_why, lineage_size, lineage_support, participating_tids, Lineage,
+};
 pub use location::{SourceLoc, ViewLoc};
 pub use store::{AnnotatedRow, AnnotatedView, AnnotationStore};
-pub use where_prov::{where_provenance, WhereProvenance};
-pub use why::{minimal_witnesses, why_provenance, WhyProvenance};
+pub use where_prov::{where_provenance, where_provenance_legacy, WhereProvenance};
+pub use why::{minimal_witnesses, why_provenance, why_provenance_legacy, WhyProvenance};
 pub use witness::{is_minimal_witness, is_sufficient, minimize, support, Witness};

@@ -9,9 +9,10 @@
 //! `dap-core::deletion` implements that enumeration as the baseline the
 //! ablation bench compares against.
 
+use crate::engine::LineageAnn;
 use crate::why::{why_provenance, WhyProvenance};
 use crate::witness::Witness;
-use dap_relalg::{Database, Query, RelName, Result, Tid, Tuple};
+use dap_relalg::{eval_annotated, Database, Query, RelName, Result, Tid, Tuple};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-relation contributing tuples for one output tuple.
@@ -40,6 +41,21 @@ pub fn lineage_from_why(why: &WhyProvenance, t: &Tuple) -> Lineage {
 /// deletion search.
 pub fn lineage_support(l: &Lineage) -> BTreeSet<Tid> {
     l.values().flatten().cloned().collect()
+}
+
+/// The **participation lineage** of every output tuple, computed in one pass
+/// of the generic annotated evaluator (the `TidSet` instance): all source
+/// tuples appearing in *some* derivation, minimal or not. This is Cui–Widom
+/// lineage proper and equals the variable set of the tuple's Boolean
+/// lineage expression; it is a superset of [`lineage_support`] of the
+/// minimal-witness lineage (strictly larger exactly when a tuple
+/// participates only in non-minimal derivations, e.g. through self-joins).
+pub fn participating_tids(q: &Query, db: &Database) -> Result<BTreeMap<Tuple, BTreeSet<Tid>>> {
+    let (_, tuples, annots) = eval_annotated::<LineageAnn>(q, db)?.into_parts();
+    Ok(tuples
+        .into_iter()
+        .zip(annots.into_iter().map(|a| a.0))
+        .collect())
 }
 
 /// The size of a lineage (total contributing tuples across relations).

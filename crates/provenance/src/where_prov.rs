@@ -4,12 +4,19 @@
 //! This is the form of provenance the paper identifies with **annotation
 //! placement** (Section 3): under the forward propagation rules, an
 //! annotation placed on source location `ℓ` appears at view location `v` iff
-//! `ℓ ∈ where(v)`. The computation below is the backward reading of the
-//! paper's five forward rules; `crate::annotate` implements the forward
+//! `ℓ ∈ where(v)`. The computation runs on the generic annotated evaluator
+//! ([`dap_relalg::eval_annotated`]) with the [`LocationsAnn`] instance — the
+//! backward reading of the paper's five forward rules, batched over *all*
+//! source locations in one pass; `crate::annotate` implements the forward
 //! reading independently, and the two are cross-checked by tests.
+//! [`where_provenance_legacy`] preserves the original standalone walk as the
+//! differential-test oracle.
 
+use crate::engine::LocationsAnn;
 use crate::location::{SourceLoc, ViewLoc};
-use dap_relalg::{output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple};
+use dap_relalg::{
+    eval_annotated, output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple,
+};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Per-attribute source-location sets for every output tuple.
@@ -65,6 +72,51 @@ impl WhereProvenance {
         out
     }
 
+    /// Invert into a batched forward index in **one pass** over the view:
+    /// every source location mapped to the full set of view locations it
+    /// reaches. Use this instead of calling [`WhereProvenance::reached_from`]
+    /// per candidate (which re-scans the whole view on every call) — the
+    /// placement hot loop does.
+    pub fn inverted(&self) -> BTreeMap<SourceLoc, BTreeSet<ViewLoc>> {
+        let mut out: BTreeMap<SourceLoc, BTreeSet<ViewLoc>> = BTreeMap::new();
+        for (t, sets) in &self.map {
+            for (idx, locs) in sets.iter().enumerate() {
+                let attr = &self.schema.attrs()[idx];
+                for loc in locs {
+                    out.entry(loc.clone())
+                        .or_default()
+                        .insert(ViewLoc::new(t.clone(), attr.clone()));
+                }
+            }
+        }
+        out
+    }
+
+    /// Like [`WhereProvenance::inverted`], but materializing only the
+    /// source locations in `only` — still a single pass over the view.
+    /// This is the single-target placement path: with `k` candidates it
+    /// replaces `k` [`WhereProvenance::reached_from`] view scans by one,
+    /// without paying the full-index allocation.
+    pub fn inverted_for(
+        &self,
+        only: &BTreeSet<SourceLoc>,
+    ) -> BTreeMap<SourceLoc, BTreeSet<ViewLoc>> {
+        let mut out: BTreeMap<SourceLoc, BTreeSet<ViewLoc>> = BTreeMap::new();
+        for (t, sets) in &self.map {
+            for (idx, locs) in sets.iter().enumerate() {
+                let attr = &self.schema.attrs()[idx];
+                for loc in locs {
+                    if only.contains(loc) {
+                        out.entry(loc.clone())
+                            .or_default()
+                            .insert(ViewLoc::new(t.clone(), attr.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// All view locations reached from `src` (forward propagation computed
     /// by inversion).
     pub fn reached_from(&self, src: &SourceLoc) -> BTreeSet<ViewLoc> {
@@ -80,8 +132,22 @@ impl WhereProvenance {
     }
 }
 
-/// Compute the where-provenance of every location in `Q(db)`.
+/// Compute the where-provenance of every location in `Q(db)`, in one pass
+/// of the generic annotated evaluator.
 pub fn where_provenance(q: &Query, db: &Database) -> Result<WhereProvenance> {
+    let (schema, tuples, annots) = eval_annotated::<LocationsAnn>(q, db)?.into_parts();
+    let map = tuples
+        .into_iter()
+        .zip(annots.into_iter().map(|a| a.0))
+        .collect();
+    Ok(WhereProvenance { schema, map })
+}
+
+/// The original standalone location walk, kept as the reference oracle for
+/// the differential property tests (`tests/prop_provenance.rs`). Prefer
+/// [`where_provenance`], which computes the same result on the shared
+/// engine.
+pub fn where_provenance_legacy(q: &Query, db: &Database) -> Result<WhereProvenance> {
     let catalog = db.catalog();
     output_schema(q, &catalog)?;
     let (schema, map) = walk(q, db)?;

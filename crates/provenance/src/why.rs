@@ -4,14 +4,19 @@
 //! problem (Section 1 and \[7\]): an output tuple survives a source deletion
 //! `T` iff at least one of its minimal witnesses is disjoint from `T`.
 //!
-//! The computation is an annotated evaluation that mirrors
-//! `dap_relalg::eval`, propagating witness sets through each operator and
-//! keeping only inclusion-minimal sets at every step (sound for monotone
-//! queries — see the module tests, which cross-check against brute-force
-//! witness verification).
+//! The computation runs on the generic annotated evaluator
+//! ([`dap_relalg::eval_annotated`]) with the [`WitnessesAnn`] instance:
+//! witness sets propagate through each operator and only inclusion-minimal
+//! sets survive each step (sound for monotone queries — see the module
+//! tests, which cross-check against brute-force witness verification).
+//! [`why_provenance_legacy`] preserves the original standalone walk as the
+//! differential-test oracle.
 
+use crate::engine::WitnessesAnn;
 use crate::witness::{minimize, Witness};
-use dap_relalg::{output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple};
+use dap_relalg::{
+    eval_annotated, output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple,
+};
 use std::collections::{BTreeMap, HashMap};
 
 /// The why-provenance of a whole view: for each output tuple, its minimal
@@ -57,8 +62,20 @@ impl WhyProvenance {
 }
 
 /// Compute the why-provenance (minimal witness basis) of every output tuple
-/// of `q` on `db`.
+/// of `q` on `db`, in one pass of the generic annotated evaluator.
 pub fn why_provenance(q: &Query, db: &Database) -> Result<WhyProvenance> {
+    let (schema, tuples, annots) = eval_annotated::<WitnessesAnn>(q, db)?.into_parts();
+    let map = tuples
+        .into_iter()
+        .zip(annots.into_iter().map(|a| a.0))
+        .collect();
+    Ok(WhyProvenance { schema, map })
+}
+
+/// The original standalone witness walk, kept as the reference oracle for
+/// the differential property tests (`tests/prop_provenance.rs`). Prefer
+/// [`why_provenance`], which computes the same result on the shared engine.
+pub fn why_provenance_legacy(q: &Query, db: &Database) -> Result<WhyProvenance> {
     let catalog = db.catalog();
     output_schema(q, &catalog)?;
     let (schema, map) = walk(q, db)?;

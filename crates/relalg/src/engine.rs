@@ -1,0 +1,465 @@
+//! The generic **annotated evaluator** — one tree walk for every provenance
+//! semantics.
+//!
+//! The paper's two problems (deletion propagation, §2, and annotation
+//! placement, §3) are both *provenance propagation* through the same SPJRU
+//! operator tree: joins combine the derivations of their operands (⊗), and
+//! the set-semantics merges at projections and unions accumulate alternative
+//! derivations (⊕). Plain evaluation, lineage, why-provenance,
+//! where-provenance and Boolean lineage expressions differ only in the
+//! carrier of that (⊗, ⊕) structure, so this module implements the walk
+//! **once**, parameterized over an [`Annotation`] trait, and the
+//! `dap-provenance` crate instantiates it per semantics.
+//!
+//! | instance (in `dap-provenance`) | carrier | ⊗ (join) | ⊕ (merge) | paper |
+//! |---|---|---|---|---|
+//! | `Unit` (here) | `()` | — | — | plain `Q(S)` |
+//! | lineage | `BTreeSet<Tid>` | ∪ | ∪ | §1 \[14, 15\] |
+//! | why-provenance | minimal witness sets | pairwise ∪ | concat + minimize | §2, footnote 4 |
+//! | where-provenance | per-attribute location sets | positional ∪ | positional ∪ | §3 rules |
+//! | Boolean lineage | positive Boolean exprs | ∧ | ∨ | §2.2 / conclusion |
+//!
+//! ## Performance model
+//!
+//! The legacy per-semantics walks keyed every intermediate on
+//! `BTreeMap<Tuple, A>`: each insert/lookup cloned tuples and compared whole
+//! value vectors, `O(log n)` times per operation. The engine instead interns
+//! each operator's output tuples into **dense indices** (one hash lookup per
+//! produced tuple) and keeps annotations in a flat `Vec<A>`, so ⊕-merges
+//! combine on indices. Join probe keys are borrowed `&Value` slices — no
+//! value clones on the hash path. The result is sorted once, at the root.
+
+use crate::database::{Database, Tid};
+use crate::error::Result;
+use crate::name::Attr;
+use crate::query::Query;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::typecheck::output_schema;
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// Positional layout of a natural join, handed to [`Annotation::join`] so
+/// per-attribute annotations (where-provenance, marks) can route themselves.
+/// Tuple-level annotations (witnesses, expressions) ignore it.
+#[derive(Clone, Debug)]
+pub struct JoinLayout {
+    /// Arity of the left operand (output positions `0..left_arity` come from
+    /// the left tuple).
+    pub left_arity: usize,
+    /// For each left position, the right position holding the same (shared)
+    /// attribute, if any — the join rule sends annotations from **both**
+    /// operands to a shared output attribute.
+    pub merge_from_right: Vec<Option<usize>>,
+    /// Right positions appended after the left attributes (the non-shared
+    /// suffix), in output order.
+    pub right_extra: Vec<usize>,
+}
+
+impl JoinLayout {
+    /// Arity of the join output.
+    pub fn out_arity(&self) -> usize {
+        self.left_arity + self.right_extra.len()
+    }
+}
+
+/// A provenance semiring-style annotation carried through the operator tree.
+///
+/// Laws the engine relies on (all five shipped instances satisfy them):
+///
+/// * `merge` is associative and commutative up to [`Annotation::normalize`]
+///   (the engine may ⊕-merge duplicates in any grouping);
+/// * `join` distributes over `merge` in the usual semiring sense;
+/// * `project` composes: reordering twice equals reordering once by the
+///   composed position map.
+pub trait Annotation: Clone {
+    /// The annotation of base tuple `tid`, scanned from a relation with
+    /// `schema`. Per-attribute instances seed one cell per attribute.
+    fn from_scan(tid: Tid, schema: &Schema) -> Self;
+
+    /// ⊗ — combine the annotations of two joined tuples. `layout` describes
+    /// how input positions map to output positions.
+    fn join(left: &Self, right: &Self, layout: &JoinLayout) -> Self;
+
+    /// Restrict/reorder to `positions` of the input (projection, and union
+    /// right-branch alignment). Tuple-level instances return `self` cloned.
+    fn project(&self, positions: &[usize]) -> Self;
+
+    /// ⊕ — absorb the annotation of a duplicate derivation of the same
+    /// output tuple.
+    fn merge(&mut self, other: Self);
+
+    /// Post-merge canonicalization, run once per operator on every output
+    /// annotation (e.g. witness minimization). Defaults to a no-op.
+    fn normalize(&mut self) {}
+}
+
+/// The unit annotation: carries nothing, so `eval_annotated::<Unit>` *is*
+/// plain set-semantics evaluation (cross-checked against
+/// [`crate::eval::eval`] by the differential property tests).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct Unit;
+
+impl Annotation for Unit {
+    fn from_scan(_tid: Tid, _schema: &Schema) -> Unit {
+        Unit
+    }
+    fn join(_left: &Unit, _right: &Unit, _layout: &JoinLayout) -> Unit {
+        Unit
+    }
+    fn project(&self, _positions: &[usize]) -> Unit {
+        Unit
+    }
+    fn merge(&mut self, _other: Unit) {}
+}
+
+/// A materialized annotated view: sorted output tuples with one annotation
+/// each.
+#[derive(Clone, Debug)]
+pub struct Annotated<A> {
+    /// The view's schema.
+    pub schema: Schema,
+    tuples: Vec<Tuple>,
+    annots: Vec<A>,
+}
+
+impl<A> Annotated<A> {
+    /// Number of output tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The output tuples, sorted ascending.
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// The annotations, parallel to [`Annotated::tuples`].
+    pub fn annotations(&self) -> &[A] {
+        &self.annots
+    }
+
+    /// The annotation of `t`, if `t` is in the view (binary search).
+    pub fn annotation_of(&self, t: &Tuple) -> Option<&A> {
+        self.tuples
+            .binary_search(t)
+            .ok()
+            .map(|idx| &self.annots[idx])
+    }
+
+    /// Iterate over `(tuple, annotation)` pairs in tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &A)> {
+        self.tuples.iter().zip(self.annots.iter())
+    }
+
+    /// Decompose into `(schema, tuples, annotations)` (tuples sorted, the
+    /// two vectors parallel).
+    pub fn into_parts(self) -> (Schema, Vec<Tuple>, Vec<A>) {
+        (self.schema, self.tuples, self.annots)
+    }
+}
+
+/// Evaluate `q` on `db`, carrying an `A` annotation per output tuple.
+/// One tree walk regardless of the annotation semantics.
+pub fn eval_annotated<A: Annotation>(q: &Query, db: &Database) -> Result<Annotated<A>> {
+    let catalog = db.catalog();
+    // Type-check up front so the walk cannot fail halfway on a schema error.
+    output_schema(q, &catalog)?;
+    let node = walk(q, db)?;
+    Ok(node.into_sorted())
+}
+
+/// An intermediate result: tuples in first-derivation order (deterministic,
+/// not sorted), annotations parallel.
+struct Node<A> {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+    annots: Vec<A>,
+}
+
+impl<A: Annotation> Node<A> {
+    fn into_sorted(self) -> Annotated<A> {
+        let Node {
+            schema,
+            tuples,
+            annots,
+        } = self;
+        let mut order: Vec<usize> = (0..tuples.len()).collect();
+        order.sort_by(|&i, &j| tuples[i].cmp(&tuples[j]));
+        // Drain in sorted order without cloning annotations.
+        let mut pairs: Vec<Option<(Tuple, A)>> = tuples.into_iter().zip(annots).map(Some).collect();
+        let mut sorted_tuples = Vec::with_capacity(order.len());
+        let mut sorted_annots = Vec::with_capacity(order.len());
+        for &idx in &order {
+            let (t, a) = pairs[idx].take().expect("each index visited once");
+            sorted_tuples.push(t);
+            sorted_annots.push(a);
+        }
+        Annotated {
+            schema,
+            tuples: sorted_tuples,
+            annots: sorted_annots,
+        }
+    }
+}
+
+/// Interning buckets: output tuples keyed to dense indices so ⊕-merges
+/// combine on indices, not on cloned map keys.
+struct Buckets<A> {
+    index: HashMap<Tuple, usize>,
+    annots: Vec<A>,
+}
+
+impl<A: Annotation> Buckets<A> {
+    fn with_capacity(n: usize) -> Buckets<A> {
+        Buckets {
+            index: HashMap::with_capacity(n),
+            annots: Vec::with_capacity(n),
+        }
+    }
+
+    /// Insert a derivation of `t`, ⊕-merging with an existing bucket.
+    fn add(&mut self, t: Tuple, a: A) {
+        match self.index.entry(t) {
+            Entry::Occupied(slot) => self.annots[*slot.get()].merge(a),
+            Entry::Vacant(slot) => {
+                slot.insert(self.annots.len());
+                self.annots.push(a);
+            }
+        }
+    }
+
+    /// Finish the operator: normalize every bucket and lay the tuples out in
+    /// first-derivation order.
+    fn into_node(self, schema: Schema) -> Node<A> {
+        let Buckets { index, mut annots } = self;
+        for a in &mut annots {
+            a.normalize();
+        }
+        let mut tuples: Vec<Option<Tuple>> = vec![None; annots.len()];
+        for (t, idx) in index {
+            tuples[idx] = Some(t);
+        }
+        Node {
+            schema,
+            tuples: tuples
+                .into_iter()
+                .map(|t| t.expect("every bucket has a tuple"))
+                .collect(),
+            annots,
+        }
+    }
+}
+
+fn walk<A: Annotation>(q: &Query, db: &Database) -> Result<Node<A>> {
+    match q {
+        Query::Scan(rel) => {
+            let r = db.require(rel)?;
+            let schema = r.schema().clone();
+            let annots = (0..r.len())
+                .map(|row| {
+                    A::from_scan(
+                        Tid {
+                            rel: r.name().clone(),
+                            row,
+                        },
+                        &schema,
+                    )
+                })
+                .collect();
+            Ok(Node {
+                schema,
+                tuples: r.tuples().to_vec(),
+                annots,
+            })
+        }
+        Query::Select { input, pred } => {
+            let node = walk::<A>(input, db)?;
+            let mut tuples = Vec::new();
+            let mut annots = Vec::new();
+            for (t, a) in node.tuples.into_iter().zip(node.annots) {
+                if pred.eval(&node.schema, &t)? {
+                    tuples.push(t);
+                    annots.push(a);
+                }
+            }
+            Ok(Node {
+                schema: node.schema,
+                tuples,
+                annots,
+            })
+        }
+        Query::Project { input, attrs } => {
+            let node = walk::<A>(input, db)?;
+            let schema = node.schema.project(attrs)?;
+            let positions = node.schema.positions_of(attrs)?;
+            let mut buckets = Buckets::with_capacity(node.tuples.len());
+            for (t, a) in node.tuples.iter().zip(&node.annots) {
+                buckets.add(t.project_positions(&positions), a.project(&positions));
+            }
+            Ok(buckets.into_node(schema))
+        }
+        Query::Join { left, right } => {
+            let l = walk::<A>(left, db)?;
+            let r = walk::<A>(right, db)?;
+            let shared: Vec<Attr> = l.schema.shared_with(&r.schema);
+            let schema = l.schema.join_with(&r.schema);
+            let l_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| l.schema.index_of(a).expect("shared attr"))
+                .collect();
+            let r_keys: Vec<usize> = shared
+                .iter()
+                .map(|a| r.schema.index_of(a).expect("shared attr"))
+                .collect();
+            let layout = JoinLayout {
+                left_arity: l.schema.arity(),
+                merge_from_right: l
+                    .schema
+                    .attrs()
+                    .iter()
+                    .map(|a| r.schema.index_of(a))
+                    .collect(),
+                right_extra: r
+                    .schema
+                    .attrs()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| !l.schema.contains(a))
+                    .map(|(i, _)| i)
+                    .collect(),
+            };
+            // Build on the right, probe with the left; keys are borrowed
+            // value slices — no clones on the hash path.
+            let mut table: HashMap<Vec<&Value>, Vec<usize>> =
+                HashMap::with_capacity(r.tuples.len());
+            for (idx, t) in r.tuples.iter().enumerate() {
+                let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
+                table.entry(key).or_default().push(idx);
+            }
+            let mut buckets = Buckets::with_capacity(l.tuples.len().max(r.tuples.len()));
+            for (lt, la) in l.tuples.iter().zip(&l.annots) {
+                let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
+                for &ridx in matches {
+                    let rt = &r.tuples[ridx];
+                    buckets.add(
+                        lt.join_concat(rt, &layout.right_extra),
+                        A::join(la, &r.annots[ridx], &layout),
+                    );
+                }
+            }
+            Ok(buckets.into_node(schema))
+        }
+        Query::Union { left, right } => {
+            let l = walk::<A>(left, db)?;
+            let r = walk::<A>(right, db)?;
+            // Align the right branch to the left branch's attribute order.
+            let positions = r.schema.positions_of(l.schema.attrs())?;
+            let mut buckets = Buckets::with_capacity(l.tuples.len() + r.tuples.len());
+            for (t, a) in l.tuples.into_iter().zip(l.annots) {
+                buckets.add(t, a);
+            }
+            for (t, a) in r.tuples.iter().zip(&r.annots) {
+                buckets.add(t.project_positions(&positions), a.project(&positions));
+            }
+            Ok(buckets.into_node(l.schema))
+        }
+        Query::Rename { input, mapping } => {
+            // Positionally nothing moves; annotations ride along untouched
+            // (where-provenance deliberately keeps the *original* attribute
+            // names in its source locations — the paper's renaming rule).
+            let node = walk::<A>(input, db)?;
+            Ok(Node {
+                schema: node.schema.rename(mapping)?,
+                tuples: node.tuples,
+                annots: node.annots,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::eval;
+    use crate::parser::{parse_database, parse_query};
+    use crate::tuple::tuple;
+
+    fn fixture() -> (Query, Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    #[test]
+    fn unit_instance_matches_plain_eval() {
+        let (q, db) = fixture();
+        let ann = eval_annotated::<Unit>(&q, &db).unwrap();
+        let plain = eval(&q, &db).unwrap();
+        assert_eq!(ann.tuples(), plain.tuples.as_slice());
+        assert_eq!(ann.schema, plain.schema);
+        assert_eq!(ann.annotations().len(), plain.len());
+    }
+
+    #[test]
+    fn unit_matches_eval_on_every_operator() {
+        let (_, db) = fixture();
+        for text in [
+            "scan UserGroup",
+            "select(scan UserGroup, user = 'bob')",
+            "project(scan UserGroup, [grp])",
+            "join(scan UserGroup, scan GroupFile)",
+            "union(scan UserGroup, rename(scan GroupFile, {grp -> user, file -> grp}))",
+            "rename(scan UserGroup, {user -> member})",
+        ] {
+            let q = parse_query(text).unwrap();
+            let ann = eval_annotated::<Unit>(&q, &db).unwrap();
+            let plain = eval(&q, &db).unwrap();
+            assert_eq!(ann.tuples(), plain.tuples.as_slice(), "query {text}");
+            assert_eq!(ann.schema, plain.schema, "query {text}");
+        }
+    }
+
+    #[test]
+    fn annotation_lookup_by_tuple() {
+        let (q, db) = fixture();
+        let ann = eval_annotated::<Unit>(&q, &db).unwrap();
+        assert!(ann.annotation_of(&tuple(["bob", "report"])).is_some());
+        assert!(ann.annotation_of(&tuple(["zz", "zz"])).is_none());
+    }
+
+    #[test]
+    fn type_errors_surface_before_walking() {
+        let (_, db) = fixture();
+        assert!(eval_annotated::<Unit>(&Query::scan("Nope"), &db).is_err());
+        let q = Query::scan("UserGroup").project(["nope"]);
+        assert!(eval_annotated::<Unit>(&q, &db).is_err());
+    }
+
+    #[test]
+    fn join_layout_out_arity() {
+        let layout = JoinLayout {
+            left_arity: 2,
+            merge_from_right: vec![None, Some(0)],
+            right_extra: vec![1],
+        };
+        assert_eq!(layout.out_arity(), 3);
+    }
+}

@@ -156,13 +156,15 @@ pub(crate) fn hash_join(l: &ResultSet, r: &ResultSet) -> ResultSet {
         .map(|(i, _)| i)
         .collect();
 
-    let key_of = |t: &Tuple, keys: &[usize]| -> Vec<crate::value::Value> {
-        keys.iter().map(|&i| t.get(i).clone()).collect()
-    };
+    // Keys are borrowed value slices — building and probing the table clones
+    // no `Value`s, only references into the input result sets.
+    fn key_of<'a>(t: &'a Tuple, keys: &[usize]) -> Vec<&'a crate::value::Value> {
+        keys.iter().map(|&i| t.get(i)).collect()
+    }
 
     // Build the hash table on the right side, probe with the left, so output
     // construction (left ++ right-extras) stays simple.
-    let mut table: HashMap<Vec<crate::value::Value>, Vec<&Tuple>> =
+    let mut table: HashMap<Vec<&crate::value::Value>, Vec<&Tuple>> =
         HashMap::with_capacity(r.tuples.len());
     for t in &r.tuples {
         table.entry(key_of(t, &r_keys)).or_default().push(t);

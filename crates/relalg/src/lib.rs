@@ -13,6 +13,10 @@
 //!   pretty printer;
 //! * a type checker ([`output_schema`]) and a materializing evaluator
 //!   ([`eval()`](eval::eval));
+//! * the generic **annotated evaluator** ([`engine`]): the same tree walk
+//!   parameterized over an [`Annotation`] semiring-style trait — the single
+//!   engine behind plain evaluation, lineage, why/where-provenance and
+//!   Boolean lineage expressions (instances live in `dap-provenance`);
 //! * query classification ([`OpFootprint`], [`detect_chain_join`]) used by
 //!   the paper's dichotomy theorems;
 //! * the **union normal form** rewriter ([`normalize()`](normalize::normalize), Theorem 3.1 of the
@@ -37,6 +41,7 @@
 
 pub mod classify;
 pub mod database;
+pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod fd;
@@ -53,6 +58,7 @@ pub mod value;
 
 pub use classify::{detect_chain_join, ChainJoin, OpFootprint};
 pub use database::{Catalog, Database, Tid};
+pub use engine::{eval_annotated, Annotated, Annotation, JoinLayout, Unit};
 pub use error::{RelalgError, Result};
 pub use eval::{eval, ResultSet};
 pub use fd::{closure, is_superkey, projection_determines_join, Fd, FdCatalog};

@@ -61,16 +61,18 @@ pub mod prelude {
     pub use dap_core::dichotomy::delete_min_view_side_effects_with_fds;
     pub use dap_core::{
         complexity, delete_min_source, delete_min_view_side_effects, format_paper_table,
-        paper_table, place_annotation, Complexity, CoreError, Deletion, DeletionInstance,
-        Placement, Problem, SolverKind,
+        paper_table, place_annotation, place_annotations, Complexity, CoreError, Deletion,
+        DeletionInstance, Placement, PlacementIndex, Problem, SolverKind,
     };
     pub use dap_provenance::{
-        lineage, minimal_witnesses, propagate, provenance_exprs, where_provenance, why_provenance,
-        AnnotationStore, BoolExpr, SourceLoc, ViewLoc, Witness,
+        lineage, minimal_witnesses, participating_tids, propagate, propagate_all, provenance_exprs,
+        where_provenance, why_provenance, AnnotationStore, BoolExpr, PropagationIndex, SourceLoc,
+        ViewLoc, Witness,
     };
     pub use dap_relalg::{
-        eval, normalize, parse_database, parse_pred, parse_query, schema, tuple, Attr, Database,
-        Fd, FdCatalog, OpFootprint, Pred, Query, RelName, Relation, Schema, Tid, Tuple, Value,
+        eval, eval_annotated, normalize, parse_database, parse_pred, parse_query, schema, tuple,
+        Annotation, Attr, Database, Fd, FdCatalog, OpFootprint, Pred, Query, RelName, Relation,
+        Schema, Tid, Tuple, Value,
     };
 }
 

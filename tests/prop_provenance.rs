@@ -1,12 +1,20 @@
 //! Property tests for provenance: witness soundness/minimality, the
-//! forward/backward agreement of annotation propagation, and Theorem 3.1's
-//! annotation half — normalization preserves the location relation `R`.
+//! forward/backward agreement of annotation propagation, Theorem 3.1's
+//! annotation half — normalization preserves the location relation `R` —
+//! and the **differential suite** pinning every instantiation of the
+//! generic annotated-evaluation engine against its legacy single-purpose
+//! implementation (plain eval, why, where, forward annotation, Boolean
+//! lineage).
 
 mod common;
 
 use common::{small_database, typed_query};
 use dap::prelude::*;
-use dap::provenance::is_sufficient;
+use dap::provenance::{
+    is_sufficient, participating_tids, propagate_all, provenance_exprs_legacy,
+    where_provenance_legacy, why_provenance_legacy,
+};
+use dap::relalg::{eval_annotated, Unit};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 
@@ -138,6 +146,136 @@ proptest! {
             let flattened: BTreeSet<Tid> =
                 l.values().flatten().cloned().collect();
             prop_assert_eq!(flattened, support);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Differential suite: each instantiation of the generic annotated-evaluation
+// engine must agree with its legacy single-purpose implementation on random
+// SPJRU queries and databases.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Unit instance ≡ plain evaluation: same schema, same sorted tuples.
+    #[test]
+    fn engine_unit_matches_plain_eval((q, _) in typed_query(), db in small_database()) {
+        let ann = eval_annotated::<Unit>(&q, &db).expect("computes");
+        let plain = eval(&q, &db).expect("evaluates");
+        prop_assert_eq!(ann.schema, plain.schema);
+        prop_assert_eq!(ann.tuples(), plain.tuples.as_slice());
+    }
+
+    /// Why instance ≡ legacy witness walk: identical minimal witness bases
+    /// for every output tuple.
+    #[test]
+    fn engine_why_matches_legacy((q, _) in typed_query(), db in small_database()) {
+        let fast = why_provenance(&q, &db).expect("computes");
+        let slow = why_provenance_legacy(&q, &db).expect("computes");
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Where instance ≡ legacy location walk: identical per-attribute source
+    /// location sets for every output tuple.
+    #[test]
+    fn engine_where_matches_legacy((q, _) in typed_query(), db in small_database()) {
+        let fast = where_provenance(&q, &db).expect("computes");
+        let slow = where_provenance_legacy(&q, &db).expect("computes");
+        prop_assert_eq!(fast, slow);
+    }
+
+    /// Batched forward propagation ≡ the legacy one-location-per-run rules:
+    /// the index answers every source location exactly as `propagate` does.
+    #[test]
+    fn engine_propagate_all_matches_per_location((q, _) in typed_query(), db in small_database()) {
+        let index = propagate_all(&q, &db).expect("computes");
+        for tid in db.all_tids() {
+            let rel = db.get(tid.rel.as_str()).expect("exists");
+            for attr in rel.schema().attrs() {
+                let src = SourceLoc::new(tid.clone(), attr.clone());
+                let single = propagate(&q, &db, &src).expect("computes");
+                prop_assert_eq!(index.reached_from(&src), single, "location {}", src);
+            }
+        }
+    }
+
+    /// Boolean-lineage instance ≡ legacy expression walk, compared
+    /// semantically: same prime implicants (= minimal witnesses) and the
+    /// same truth value under single- and double-deletion valuations.
+    #[test]
+    fn engine_exprs_match_legacy((q, _) in typed_query(), db in small_database()) {
+        let fast = provenance_exprs(&q, &db).expect("computes");
+        let slow = provenance_exprs_legacy(&q, &db).expect("computes");
+        prop_assert_eq!(fast.len(), slow.len());
+        let tids: Vec<Tid> = db.all_tids().collect();
+        for (t, e) in fast.iter() {
+            let legacy = slow.expr_of(t).expect("same tuples");
+            prop_assert_eq!(
+                e.prime_implicants(), legacy.prime_implicants(), "implicants for {}", t
+            );
+            for (i, a) in tids.iter().enumerate().take(4) {
+                let single: BTreeSet<Tid> = [a.clone()].into_iter().collect();
+                prop_assert_eq!(e.eval_deleted(&single), legacy.eval_deleted(&single));
+                for b in tids.iter().skip(i + 1).take(3) {
+                    let double: BTreeSet<Tid> =
+                        [a.clone(), b.clone()].into_iter().collect();
+                    prop_assert_eq!(e.eval_deleted(&double), legacy.eval_deleted(&double));
+                }
+            }
+        }
+    }
+
+    /// Lineage instance (participation semantics) ≡ the variable set of the
+    /// Boolean lineage expression, and contains the minimal-witness support.
+    #[test]
+    fn engine_lineage_matches_expr_variables((q, _) in typed_query(), db in small_database()) {
+        let lin = participating_tids(&q, &db).expect("computes");
+        let exprs = provenance_exprs(&q, &db).expect("computes");
+        let why = why_provenance(&q, &db).expect("computes");
+        prop_assert_eq!(lin.len(), exprs.len());
+        for (t, tids) in &lin {
+            prop_assert_eq!(tids, &exprs.expr_of(t).expect("same tuples").variables());
+            let support: BTreeSet<Tid> = why
+                .witnesses_of(t)
+                .expect("same tuples")
+                .iter()
+                .flatten()
+                .cloned()
+                .collect();
+            prop_assert!(support.is_subset(tids), "support ⊆ participation for {}", t);
+        }
+    }
+
+    /// The batched placement index agrees with the legacy multipass solver
+    /// (candidates via the standalone backward walk + one forward
+    /// propagation per candidate) on every view location.
+    #[test]
+    fn engine_placement_matches_multipass((q, _) in typed_query(), db in small_database()) {
+        use dap::core::placement::generic::{
+            min_side_effect_placements, multipass_min_side_effect_placement, PlacementIndex,
+        };
+        let view = eval(&q, &db).expect("evaluates");
+        let targets: Vec<ViewLoc> = view
+            .tuples
+            .iter()
+            .take(4)
+            .flat_map(|t| {
+                view.schema
+                    .attrs()
+                    .iter()
+                    .map(|a| ViewLoc::new(t.clone(), a.clone()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        let index = PlacementIndex::build(&q, &db).expect("builds");
+        let batched = min_side_effect_placements(&q, &db, &targets).expect("solves");
+        for (target, fast) in targets.iter().zip(&batched) {
+            prop_assert_eq!(fast, &index.place(target).expect("solves"));
+            let slow = multipass_min_side_effect_placement(&q, &db, target).expect("solves");
+            prop_assert_eq!(&fast.source, &slow.source, "target {}", target);
+            prop_assert_eq!(&fast.side_effects, &slow.side_effects, "target {}", target);
         }
     }
 }

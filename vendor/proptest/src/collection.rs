@@ -1,4 +1,4 @@
-//! Collection strategies: [`vec`] and [`btree_set`].
+//! Collection strategies: [`vec()`] and [`btree_set`].
 
 use crate::strategy::{BoxedStrategy, NewValue, Rejection, Strategy};
 use crate::test_runner::TestRng;
