@@ -1,0 +1,59 @@
+//! **solver_incremental** — the incremental witness-hypergraph
+//! branch-and-bound against the naive per-node-rescan baseline.
+//!
+//! Both run the *same* search skeleton on a prebuilt instance and prebuilt
+//! index (provenance and index construction hoisted out of both sides), so
+//! the measured gap is purely the per-node cost: `O(Δ)` counter updates on
+//! the [`dap_core::deletion::WitnessIndex`] vs a full `why.iter()`
+//! hypergraph rescan at every node and branch probe. The `report_solver`
+//! binary measures the same shape and asserts the ≥5× acceptance bar; this
+//! bench tracks the trend under Criterion. (The naive baseline comes from
+//! the `legacy-oracles` gate, switched on for bench builds by this crate's
+//! dev-dependencies.)
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_bench::pj_multiwitness_workload;
+use dap_core::deletion::view_side_effect::{
+    min_view_side_effects_naive_on, min_view_side_effects_on, ExactOptions,
+};
+use dap_core::deletion::DeletionContext;
+use std::hint::black_box;
+
+/// `(users, groups, files)` triples: `users · files` view tuples, `groups`
+/// target witnesses.
+const SIZES: [(usize, usize, usize); 3] = [(8, 4, 8), (16, 5, 16), (32, 6, 32)];
+
+fn bench_incremental(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_incremental/incremental");
+    group.sample_size(10);
+    for (users, groups, files) in SIZES {
+        let w = pj_multiwitness_workload(users, groups, files);
+        let ctx = DeletionContext::new(&w.query, &w.db).expect("builds");
+        let (_, mut idx) = ctx.instance_and_index(&w.target).expect("target in view");
+        let opts = ExactOptions::default();
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("view={}", users * files)),
+            |b| b.iter(|| black_box(min_view_side_effects_on(&mut idx, &opts).expect("solves"))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_naive_rescan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver_incremental/naive_rescan");
+    group.sample_size(10);
+    for (users, groups, files) in SIZES {
+        let w = pj_multiwitness_workload(users, groups, files);
+        let ctx = DeletionContext::new(&w.query, &w.db).expect("builds");
+        let inst = ctx.for_target(&w.target).expect("target in view");
+        let opts = ExactOptions::default();
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("view={}", users * files)),
+            |b| b.iter(|| black_box(min_view_side_effects_naive_on(&inst, &opts).expect("solves"))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental, bench_naive_rescan);
+criterion_main!(benches);

@@ -11,16 +11,33 @@
 //! asserted on the largest instance. Set `DAP_BENCH_NO_ASSERT=1` to make
 //! the run report-only (CI does: a noisy shared runner must not fail the
 //! build on a wall-clock ratio — the artifact still records it).
+//!
+//! The multipass baseline is a `legacy-oracles` item, so this binary needs
+//! `--features legacy-oracles`; without it a stub explains how to rerun.
 
-use dap_bench::{generic_placement_workload, median_time};
+#[cfg(feature = "legacy-oracles")]
+use dap_bench::{
+    generic_placement_workload, median_time, render_speedup_json, speedup_ratio, SpeedupRow,
+};
+#[cfg(feature = "legacy-oracles")]
 use dap_core::placement::generic::{
     min_side_effect_placement, multipass_min_side_effect_placement,
 };
-use std::time::Duration;
-
+#[cfg(feature = "legacy-oracles")]
 const SIZES: [(usize, usize, usize); 3] = [(2, 12, 2), (8, 12, 8), (33, 12, 33)];
+#[cfg(feature = "legacy-oracles")]
 const RUNS: usize = 9;
 
+#[cfg(not(feature = "legacy-oracles"))]
+fn main() {
+    eprintln!(
+        "report_engine compares against the feature-gated multipass baseline; rerun with:\n\
+         cargo run --release -p dap-bench --features legacy-oracles --bin report_engine"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(feature = "legacy-oracles")]
 fn main() {
     println!("==============================================================");
     println!(" engine_vs_multipass — batched placement vs per-candidate path");
@@ -30,7 +47,7 @@ fn main() {
         "|S|", "candidates", "multipass", "batched engine", "speedup"
     );
 
-    let mut rows = Vec::new();
+    let mut rows: Vec<SpeedupRow> = Vec::new();
     for (users, groups, files) in SIZES {
         let w = generic_placement_workload(users, groups, files);
         // Warm both paths once (page-in, allocator) before timing.
@@ -52,7 +69,7 @@ fn main() {
             fast_sol.cost(),
             "paths must agree on the optimum"
         );
-        let speedup = ratio(slow, fast);
+        let speedup = speedup_ratio(slow, fast);
         println!(
             "{:>8} {:>12} {:>16?} {:>16?} {:>9.1}x",
             w.db.tuple_count(),
@@ -64,7 +81,11 @@ fn main() {
         rows.push((w.db.tuple_count(), groups, slow, fast, speedup));
     }
 
-    let json = render_json(&rows);
+    let json = render_speedup_json(
+        "engine_vs_multipass",
+        ["tuples", "candidates", "multipass_ns", "engine_ns"],
+        &rows,
+    );
     std::fs::write("BENCH_engine.json", &json).expect("write BENCH_engine.json");
     println!("\nwrote BENCH_engine.json");
 
@@ -81,24 +102,4 @@ fn main() {
         "acceptance: batched engine is {:.1}x faster at |S|={} (bar: 3x)",
         largest.4, largest.0
     );
-}
-
-fn ratio(slow: Duration, fast: Duration) -> f64 {
-    slow.as_secs_f64() / fast.as_secs_f64().max(f64::EPSILON)
-}
-
-fn render_json(rows: &[(usize, usize, Duration, Duration, f64)]) -> String {
-    let mut out = String::from("{\n  \"bench\": \"engine_vs_multipass\",\n  \"rows\": [\n");
-    for (i, (tuples, candidates, slow, fast, speedup)) in rows.iter().enumerate() {
-        out.push_str(&format!(
-            "    {{\"tuples\": {tuples}, \"candidates\": {candidates}, \
-             \"multipass_ns\": {}, \"engine_ns\": {}, \"speedup\": {speedup:.2}}}{}\n",
-            slow.as_nanos(),
-            fast.as_nanos(),
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
-    }
-    let min = rows.iter().map(|r| r.4).fold(f64::INFINITY, f64::min);
-    out.push_str(&format!("  ],\n  \"min_speedup\": {min:.2}\n}}\n"));
-    out
 }

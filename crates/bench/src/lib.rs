@@ -220,6 +220,40 @@ pub fn generic_placement_workload(users: usize, groups: usize, files: usize) -> 
     }
 }
 
+/// `slow / fast` as a speedup factor, guarded against a zero denominator.
+/// Shared by the `report_*` speedup binaries.
+pub fn speedup_ratio(slow: Duration, fast: Duration) -> f64 {
+    slow.as_secs_f64() / fast.as_secs_f64().max(f64::EPSILON)
+}
+
+/// A measured row of a speedup report: two instance-size fields, the slow
+/// and fast timings, and their [`speedup_ratio`].
+pub type SpeedupRow = (usize, usize, Duration, Duration, f64);
+
+/// Render the shared `BENCH_*.json` shape of the speedup report binaries
+/// (`report_engine`, `report_solver`): one object per row keyed by
+/// `keys = [size_a, size_b, slow_ns, fast_ns]`, plus the minimum speedup
+/// across rows as the headline `min_speedup` field.
+pub fn render_speedup_json(bench: &str, keys: [&str; 4], rows: &[SpeedupRow]) -> String {
+    let mut out = format!("{{\n  \"bench\": \"{bench}\",\n  \"rows\": [\n");
+    for (i, (a, b, slow, fast, speedup)) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"{}\": {a}, \"{}\": {b}, \"{}\": {}, \"{}\": {}, \
+             \"speedup\": {speedup:.2}}}{}\n",
+            keys[0],
+            keys[1],
+            keys[2],
+            slow.as_nanos(),
+            keys[3],
+            fast.as_nanos(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let min = rows.iter().map(|r| r.4).fold(f64::INFINITY, f64::min);
+    out.push_str(&format!("  ],\n  \"min_speedup\": {min:.2}\n}}\n"));
+    out
+}
+
 /// Median wall time of `runs` executions of `f` (reported by the `report_*`
 /// binaries; Criterion handles the statistics for `cargo bench`).
 pub fn median_time<F: FnMut()>(runs: usize, mut f: F) -> Duration {
@@ -279,6 +313,34 @@ mod tests {
         let w = pj_multiwitness_workload(3, 4, 2);
         let witnesses = dap_provenance::minimal_witnesses(&w.query, &w.db, &w.target).unwrap();
         assert_eq!(witnesses.len(), 4, "one witness per group");
+    }
+
+    #[test]
+    fn speedup_json_shape() {
+        let rows = vec![
+            (
+                10,
+                3,
+                Duration::from_nanos(900),
+                Duration::from_nanos(100),
+                9.0,
+            ),
+            (
+                20,
+                4,
+                Duration::from_nanos(500),
+                Duration::from_nanos(100),
+                5.0,
+            ),
+        ];
+        let json = render_speedup_json("demo", ["size", "width", "slow_ns", "fast_ns"], &rows);
+        assert!(json.contains("\"bench\": \"demo\""));
+        assert!(json.contains("\"size\": 10, \"width\": 3, \"slow_ns\": 900, \"fast_ns\": 100"));
+        assert!(json.contains("\"min_speedup\": 5.00"));
+        assert_eq!(
+            speedup_ratio(Duration::from_nanos(900), Duration::from_nanos(100)),
+            9.0
+        );
     }
 
     #[test]

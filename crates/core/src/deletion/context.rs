@@ -1,0 +1,218 @@
+//! One materialization of `(Q, S)` serving many deletion targets.
+//!
+//! Every deletion solver needs the why-provenance of the view — and before
+//! this module each per-target entry point recomputed it from scratch.
+//! [`DeletionContext`] evaluates the annotated query **once**, builds the
+//! tuple-id → view-tuple *touch skeleton* of the witness hypergraph once,
+//! and then stamps out per-target [`DeletionInstance`]s
+//! ([`DeletionContext::for_target`]) and frontier-restricted
+//! [`WitnessIndex`]es ([`DeletionContext::index_for`]) in time proportional
+//! to the target's neighborhood, not the view.
+//!
+//! The solver entry points live here as methods
+//! ([`DeletionContext::min_view_side_effects`],
+//! [`DeletionContext::side_effect_free`],
+//! [`DeletionContext::min_source_deletion`],
+//! [`DeletionContext::greedy_source_deletion`]); the free functions in
+//! [`crate::deletion::view_side_effect`] and
+//! [`crate::deletion::source_side_effect`] are now thin wrappers that build
+//! a context for their single target.
+
+use crate::deletion::index::WitnessIndex;
+use crate::deletion::DeletionInstance;
+use crate::error::{CoreError, Result};
+use dap_provenance::{why_provenance, WhyProvenance};
+use dap_relalg::{Database, Query, Tid, Tuple};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The shared substrate of all deletion problems over one `(Q, S)`: the
+/// why-provenance, plus the inverted skeleton used to cut per-target
+/// frontiers out of the hypergraph without rescanning the view.
+#[derive(Clone, Debug)]
+pub struct DeletionContext {
+    query: Arc<Query>,
+    db: Arc<Database>,
+    why: Arc<WhyProvenance>,
+    /// View tuples in why-provenance order (indexed by the skeleton).
+    tuples: Vec<Tuple>,
+    /// tuple id → indices (into `tuples`) of view tuples with a witness
+    /// containing that id. The *index skeleton*: built once per `(Q, S)`.
+    touching: HashMap<Tid, Vec<usize>>,
+}
+
+impl DeletionContext {
+    /// Materialize the context; one annotated evaluation plus one pass over
+    /// the witness lists.
+    pub fn new(query: &Query, db: &Database) -> Result<DeletionContext> {
+        DeletionContext::new_shared(Arc::new(query.clone()), Arc::new(db.clone()))
+    }
+
+    /// Like [`DeletionContext::new`], from shared handles (no deep clones).
+    pub fn new_shared(query: Arc<Query>, db: Arc<Database>) -> Result<DeletionContext> {
+        let why = Arc::new(why_provenance(&query, &db)?);
+        let mut tuples = Vec::with_capacity(why.len());
+        let mut touching: HashMap<Tid, Vec<usize>> = HashMap::new();
+        for (i, (t, ws)) in why.iter().enumerate() {
+            tuples.push(t.clone());
+            let mut seen: BTreeSet<&Tid> = BTreeSet::new();
+            for tid in ws.iter().flatten() {
+                if seen.insert(tid) {
+                    touching.entry(tid.clone()).or_default().push(i);
+                }
+            }
+        }
+        Ok(DeletionContext {
+            query,
+            db,
+            why,
+            tuples,
+            touching,
+        })
+    }
+
+    /// The shared query.
+    pub fn query(&self) -> &Arc<Query> {
+        &self.query
+    }
+
+    /// The shared database.
+    pub fn db(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The shared why-provenance of the whole view.
+    pub fn why(&self) -> &Arc<WhyProvenance> {
+        &self.why
+    }
+
+    /// Stamp out the [`DeletionInstance`] for `target`, sharing the query,
+    /// database, and why-provenance — no recomputation, no deep clones.
+    /// Errors if `target` is not in the view.
+    pub fn for_target(&self, target: &Tuple) -> Result<DeletionInstance> {
+        let target_witnesses = self
+            .why
+            .witnesses_of(target)
+            .ok_or_else(|| CoreError::TargetNotInView {
+                tuple: target.clone(),
+            })?
+            .to_vec();
+        let support: BTreeSet<Tid> = target_witnesses.iter().flatten().cloned().collect();
+        Ok(DeletionInstance {
+            query: self.query.clone(),
+            db: self.db.clone(),
+            target: target.clone(),
+            why: self.why.clone(),
+            target_witnesses,
+            support: support.into_iter().collect(),
+        })
+    }
+
+    /// Build the frontier-restricted [`WitnessIndex`] for an instance
+    /// stamped from this context, visiting only view tuples the skeleton
+    /// says touch the support (identical to [`WitnessIndex::build`], built
+    /// in `O(neighborhood)` instead of `O(|view|)`).
+    pub fn index_for(&self, inst: &DeletionInstance) -> WitnessIndex {
+        let mut candidate_ids: Vec<usize> = inst
+            .support
+            .iter()
+            .filter_map(|tid| self.touching.get(tid))
+            .flatten()
+            .copied()
+            .collect();
+        candidate_ids.sort_unstable();
+        candidate_ids.dedup();
+        WitnessIndex::from_candidates(
+            &self.why,
+            inst,
+            candidate_ids.iter().map(|&i| &self.tuples[i]),
+        )
+    }
+
+    /// Instance and index for `target` in one call.
+    pub fn instance_and_index(&self, target: &Tuple) -> Result<(DeletionInstance, WitnessIndex)> {
+        let inst = self.for_target(target)?;
+        let idx = self.index_for(&inst);
+        Ok((inst, idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{parse_database, parse_query, tuple};
+
+    fn fixture() -> (Query, Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    #[test]
+    fn for_target_matches_fresh_build_on_every_view_tuple() {
+        let (q, db) = fixture();
+        let ctx = DeletionContext::new(&q, &db).unwrap();
+        for t in dap_relalg::eval(&q, &db).unwrap().tuples.clone() {
+            let stamped = ctx.for_target(&t).unwrap();
+            let fresh = DeletionInstance::build(&q, &db, &t).unwrap();
+            assert_eq!(stamped.target_witnesses, fresh.target_witnesses, "{t}");
+            assert_eq!(stamped.support, fresh.support, "{t}");
+            assert_eq!(*stamped.why, *fresh.why, "{t}");
+        }
+    }
+
+    #[test]
+    fn for_target_rejects_missing_tuple() {
+        let (q, db) = fixture();
+        let ctx = DeletionContext::new(&q, &db).unwrap();
+        assert!(matches!(
+            ctx.for_target(&tuple(["zz", "zz"])).unwrap_err(),
+            CoreError::TargetNotInView { .. }
+        ));
+    }
+
+    #[test]
+    fn skeleton_index_equals_full_scan_index() {
+        let (q, db) = fixture();
+        let ctx = DeletionContext::new(&q, &db).unwrap();
+        for t in dap_relalg::eval(&q, &db).unwrap().tuples.clone() {
+            let inst = ctx.for_target(&t).unwrap();
+            let mut via_skeleton = ctx.index_for(&inst);
+            let mut via_scan = WitnessIndex::build(&inst);
+            assert_eq!(via_skeleton.support(), via_scan.support());
+            assert_eq!(via_skeleton.frontier_len(), via_scan.frontier_len());
+            // Exercise both: every single-tid deletion agrees.
+            for slot in 0..via_scan.support().len() {
+                via_skeleton.insert_slot(slot);
+                via_scan.insert_slot(slot);
+                assert_eq!(
+                    via_skeleton.side_effect_count(),
+                    via_scan.side_effect_count()
+                );
+                assert_eq!(via_skeleton.side_effects(), via_scan.side_effects());
+                assert_eq!(via_skeleton.deletes_target(), via_scan.deletes_target());
+                via_skeleton.remove_slot(slot);
+                via_scan.remove_slot(slot);
+            }
+        }
+    }
+
+    #[test]
+    fn context_shares_one_why_across_targets() {
+        let (q, db) = fixture();
+        let ctx = DeletionContext::new(&q, &db).unwrap();
+        let a = ctx.for_target(&tuple(["bob", "report"])).unwrap();
+        let b = ctx.for_target(&tuple(["bob", "main"])).unwrap();
+        assert!(Arc::ptr_eq(&a.why, &b.why));
+        assert!(Arc::ptr_eq(&a.query, &b.query));
+        assert!(Arc::ptr_eq(&a.db, &b.db));
+    }
+}

@@ -1,0 +1,411 @@
+//! The **incremental witness-hypergraph index** behind the deletion solvers.
+//!
+//! [`DeletionInstance::side_effect_count`] rescans every view tuple's witness
+//! set (`O(|view| · |witnesses|)` with a set lookup per tuple id) — fine for
+//! a single query, ruinous inside a branch-and-bound that asks the question
+//! at **every** search node. [`WitnessIndex`] makes the question incremental:
+//!
+//! * an inverted map tuple-id → (view tuple, witness) *occurrences*,
+//! * a per-witness counter of deleted members (a witness is *hit* when the
+//!   counter is positive),
+//! * a per-view-tuple counter of live (unhit) witnesses (a tuple is *dead*
+//!   when it reaches zero), and
+//! * running totals of dead non-target tuples and unhit target witnesses,
+//!
+//! so [`WitnessIndex::insert`] / [`WitnessIndex::remove`] cost
+//! `O(occurrences of the tuple id)` and [`WitnessIndex::side_effect_count`] /
+//! [`WitnessIndex::deletes_target`] are `O(1)`. The branch-and-bound mutates
+//! the index along the recursion — insert on descend, remove on backtrack —
+//! instead of rescanning the hypergraph per node.
+//!
+//! The index is restricted to the **relevant frontier**: view tuples whose
+//! *every* witness intersects the target's support. The solvers only ever
+//! delete inside the support, and a tuple with a witness disjoint from the
+//! support keeps that witness forever — it can never be side-effected — so
+//! the frontier is exactly the set of view tuples whose death is possible.
+//! This shrinks the index from `|view|` to the target's neighborhood.
+//! Consequently the index answers are equivalent to the naive
+//! [`DeletionInstance`] scans **for deletion sets drawn from the support**
+//! (which is all the solvers ever produce); the differential property tests
+//! in `tests/prop_witness_index.rs` pin that equivalence.
+
+use crate::deletion::DeletionInstance;
+use dap_provenance::WhyProvenance;
+use dap_relalg::{Tid, Tuple};
+use std::collections::BTreeSet;
+
+/// A counter-based incremental view of one deletion problem's witness
+/// hypergraph (see the module docs). Built once per target (cheaply from a
+/// [`crate::deletion::DeletionContext`] skeleton), then mutated in place by
+/// the search.
+#[derive(Clone, Debug)]
+pub struct WitnessIndex {
+    /// The target's support, sorted — slot `i` is `tids[i]`.
+    tids: Vec<Tid>,
+    /// Whether slot `i` is currently deleted.
+    deleted: Vec<bool>,
+    /// Number of deleted slots.
+    deleted_count: usize,
+    /// slot → ids of witnesses containing that tuple id (the inverted map).
+    occurrences: Vec<Vec<usize>>,
+    /// witness id → frontier-tuple id owning it.
+    witness_owner: Vec<usize>,
+    /// witness id → number of its members currently deleted (> 0 ⇔ hit).
+    witness_hits: Vec<usize>,
+    /// frontier-tuple id → number of witnesses not yet hit (0 ⇔ dead).
+    tuple_alive: Vec<usize>,
+    /// The frontier tuples (the target is `tuples[target_tuple]`).
+    tuples: Vec<Tuple>,
+    /// Index of the target in `tuples`.
+    target_tuple: usize,
+    /// Running count of dead frontier tuples other than the target.
+    dead_other: usize,
+    /// witness id → member slots, for the target's witnesses only (the sets
+    /// the branch-and-bound branches over). Parallel to the target's
+    /// witness ids `target_witness_ids`.
+    target_witness_members: Vec<Vec<usize>>,
+    /// Global witness ids of the target's witnesses.
+    target_witness_ids: Vec<usize>,
+}
+
+impl WitnessIndex {
+    /// Build the index for `inst` by scanning the whole why-provenance.
+    /// [`crate::deletion::DeletionContext::index_for`] builds the identical
+    /// index from the shared skeleton without the full-view scan.
+    pub fn build(inst: &DeletionInstance) -> WitnessIndex {
+        Self::from_candidates(&inst.why, inst, inst.why.tuples())
+    }
+
+    /// Build the index considering only `candidates` as possible frontier
+    /// members (every view tuple with a witness intersecting the support
+    /// must be among them; extra candidates are filtered out).
+    pub(crate) fn from_candidates<'a>(
+        why: &WhyProvenance,
+        inst: &DeletionInstance,
+        candidates: impl IntoIterator<Item = &'a Tuple>,
+    ) -> WitnessIndex {
+        let tids = inst.support.clone();
+        let slot_of = |tid: &Tid| tids.binary_search(tid).ok();
+        let mut occurrences: Vec<Vec<usize>> = vec![Vec::new(); tids.len()];
+        let mut witness_owner = Vec::new();
+        let mut witness_hits = Vec::new();
+        let mut tuple_alive = Vec::new();
+        let mut tuples = Vec::new();
+        let mut target_tuple = 0;
+        let mut target_witness_members = Vec::new();
+        let mut target_witness_ids = Vec::new();
+        // Scratch: member slots per witness of the current candidate.
+        let mut member_slots: Vec<Vec<usize>> = Vec::new();
+        'candidates: for t in candidates {
+            let is_target = *t == inst.target;
+            let Some(witnesses) = why.witnesses_of(t) else {
+                continue;
+            };
+            member_slots.clear();
+            for w in witnesses {
+                let slots: Vec<usize> = w.iter().filter_map(slot_of).collect();
+                if slots.is_empty() {
+                    // A witness disjoint from the support survives any
+                    // support-only deletion: `t` is outside the frontier.
+                    debug_assert!(!is_target, "target witnesses are within the support");
+                    continue 'candidates;
+                }
+                member_slots.push(slots);
+            }
+            let tuple_id = tuples.len();
+            tuples.push(t.clone());
+            tuple_alive.push(member_slots.len());
+            if is_target {
+                target_tuple = tuple_id;
+            }
+            for slots in member_slots.drain(..) {
+                let wid = witness_owner.len();
+                witness_owner.push(tuple_id);
+                witness_hits.push(0);
+                for &slot in &slots {
+                    occurrences[slot].push(wid);
+                }
+                if is_target {
+                    target_witness_ids.push(wid);
+                    target_witness_members.push(slots);
+                }
+            }
+        }
+        debug_assert_eq!(
+            target_witness_members.len(),
+            inst.target_witnesses.len(),
+            "target must be among the candidates"
+        );
+        WitnessIndex {
+            deleted: vec![false; tids.len()],
+            deleted_count: 0,
+            occurrences,
+            witness_owner,
+            witness_hits,
+            tuple_alive,
+            tuples,
+            target_tuple,
+            dead_other: 0,
+            target_witness_members,
+            target_witness_ids,
+            tids,
+        }
+    }
+
+    /// The target's support, sorted. Slot `i` addresses `support()[i]` in
+    /// [`WitnessIndex::insert_slot`] / [`WitnessIndex::remove_slot`].
+    pub fn support(&self) -> &[Tid] {
+        &self.tids
+    }
+
+    /// The slot of `tid` in the support, if `tid` is in it.
+    pub fn slot_of(&self, tid: &Tid) -> Option<usize> {
+        self.tids.binary_search(tid).ok()
+    }
+
+    /// Number of frontier view tuples tracked (including the target).
+    pub fn frontier_len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Mark the support slot `slot` deleted: `O(occurrences of the tid)`.
+    pub fn insert_slot(&mut self, slot: usize) {
+        debug_assert!(!self.deleted[slot], "slot {slot} inserted twice");
+        self.deleted[slot] = true;
+        self.deleted_count += 1;
+        for k in 0..self.occurrences[slot].len() {
+            let wid = self.occurrences[slot][k];
+            self.witness_hits[wid] += 1;
+            if self.witness_hits[wid] == 1 {
+                let owner = self.witness_owner[wid];
+                self.tuple_alive[owner] -= 1;
+                if self.tuple_alive[owner] == 0 && owner != self.target_tuple {
+                    self.dead_other += 1;
+                }
+            }
+        }
+    }
+
+    /// Undo [`WitnessIndex::insert_slot`]: `O(occurrences of the tid)`.
+    pub fn remove_slot(&mut self, slot: usize) {
+        debug_assert!(self.deleted[slot], "slot {slot} removed but not deleted");
+        self.deleted[slot] = false;
+        self.deleted_count -= 1;
+        for k in 0..self.occurrences[slot].len() {
+            let wid = self.occurrences[slot][k];
+            self.witness_hits[wid] -= 1;
+            if self.witness_hits[wid] == 0 {
+                let owner = self.witness_owner[wid];
+                if self.tuple_alive[owner] == 0 && owner != self.target_tuple {
+                    self.dead_other -= 1;
+                }
+                self.tuple_alive[owner] += 1;
+            }
+        }
+    }
+
+    /// Mark `tid` deleted. Returns `false` (a no-op) if `tid` is outside the
+    /// support — such a deletion can never help kill the target (whose
+    /// witnesses lie entirely inside the support), and the index's answers
+    /// are only specified for support-only deletion sets (see the module
+    /// docs): a set mixing in out-of-support tids must be evaluated with
+    /// the naive [`DeletionInstance`] scans instead.
+    pub fn insert(&mut self, tid: &Tid) -> bool {
+        match self.slot_of(tid) {
+            Some(slot) => {
+                self.insert_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Undo [`WitnessIndex::insert`]. Returns `false` if `tid` is outside
+    /// the support.
+    pub fn remove(&mut self, tid: &Tid) -> bool {
+        match self.slot_of(tid) {
+            Some(slot) => {
+                self.remove_slot(slot);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of non-target frontier tuples killed by the current deletion
+    /// set — `O(1)`, the quantity §2.1 minimizes.
+    pub fn side_effect_count(&self) -> usize {
+        self.dead_other
+    }
+
+    /// Whether the current deletion set hits every witness of the target —
+    /// `O(1)`, the §2.2 feasibility test.
+    pub fn deletes_target(&self) -> bool {
+        self.tuple_alive[self.target_tuple] == 0
+    }
+
+    /// The non-target view tuples killed by the current deletion set
+    /// (`O(frontier)` — used once per solution, not per node).
+    pub fn side_effects(&self) -> BTreeSet<Tuple> {
+        self.tuples
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != self.target_tuple && self.tuple_alive[*i] == 0)
+            .map(|(_, t)| t.clone())
+            .collect()
+    }
+
+    /// The current deletion set.
+    pub fn deleted_tids(&self) -> BTreeSet<Tid> {
+        self.tids
+            .iter()
+            .zip(&self.deleted)
+            .filter(|(_, d)| **d)
+            .map(|(tid, _)| tid.clone())
+            .collect()
+    }
+
+    /// Number of currently deleted slots.
+    pub fn deleted_len(&self) -> usize {
+        self.deleted_count
+    }
+
+    /// The side-effect increase deleting `slot` would cause, by probing the
+    /// counters — `O(occurrences of the tid)`, no hypergraph rescan. This is
+    /// the branch-ordering key of the search (fail-first on *cost*, not just
+    /// witness width).
+    pub fn delta_if_deleted(&mut self, slot: usize) -> usize {
+        let before = self.dead_other;
+        self.insert_slot(slot);
+        let delta = self.dead_other - before;
+        self.remove_slot(slot);
+        delta
+    }
+
+    /// Number of target witnesses (the sets the search must hit).
+    pub fn target_witness_count(&self) -> usize {
+        self.target_witness_ids.len()
+    }
+
+    /// Member slots of target witness `i` (same order as
+    /// `DeletionInstance::target_witnesses`).
+    pub fn target_witness_members(&self, i: usize) -> &[usize] {
+        &self.target_witness_members[i]
+    }
+
+    /// Whether target witness `i` is hit by the current deletion set.
+    pub fn target_witness_hit(&self, i: usize) -> bool {
+        self.witness_hits[self.target_witness_ids[i]] > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dap_relalg::{parse_database, parse_query, tuple};
+
+    fn instance() -> DeletionInstance {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        DeletionInstance::build(&q, &db, &tuple(["bob", "report"])).unwrap()
+    }
+
+    #[test]
+    fn build_restricts_to_the_frontier() {
+        let inst = instance();
+        let idx = WitnessIndex::build(&inst);
+        // View: (ann,report), (bob,main), (bob,report). The support is
+        // bob's witnesses; (ann,report)'s only witness {UG(ann,staff),
+        // GF(staff,report)} intersects it via GF(staff,report), and
+        // (bob,main)'s via UG(bob,dev) — all three are in the frontier.
+        assert_eq!(idx.frontier_len(), 3);
+        assert_eq!(idx.support(), inst.support.as_slice());
+        assert_eq!(idx.target_witness_count(), 2);
+        assert_eq!(idx.side_effect_count(), 0);
+        assert!(!idx.deletes_target());
+    }
+
+    #[test]
+    fn insert_remove_track_naive_answers() {
+        let inst = instance();
+        let mut idx = WitnessIndex::build(&inst);
+        let both: Vec<Tid> = [
+            inst.db
+                .tid_of("UserGroup", &tuple(["bob", "staff"]))
+                .unwrap(),
+            inst.db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(),
+        ]
+        .into();
+        for tid in &both {
+            assert!(idx.insert(tid));
+        }
+        let deleted: BTreeSet<Tid> = both.iter().cloned().collect();
+        assert!(idx.deletes_target());
+        assert_eq!(idx.side_effect_count(), inst.side_effect_count(&deleted));
+        assert_eq!(idx.side_effects(), inst.side_effects(&deleted));
+        assert_eq!(idx.deleted_tids(), deleted);
+        // Backtrack fully: the index returns to the empty state.
+        for tid in &both {
+            assert!(idx.remove(tid));
+        }
+        assert_eq!(idx.side_effect_count(), 0);
+        assert!(!idx.deletes_target());
+        assert!(idx.side_effects().is_empty());
+        assert_eq!(idx.deleted_len(), 0);
+    }
+
+    #[test]
+    fn delta_probe_matches_commit() {
+        let inst = instance();
+        let mut idx = WitnessIndex::build(&inst);
+        for slot in 0..idx.support().len() {
+            let predicted = idx.delta_if_deleted(slot);
+            let before = idx.side_effect_count();
+            idx.insert_slot(slot);
+            assert_eq!(idx.side_effect_count() - before, predicted);
+            idx.remove_slot(slot);
+        }
+    }
+
+    #[test]
+    fn out_of_support_tids_are_ignored() {
+        let inst = instance();
+        let mut idx = WitnessIndex::build(&inst);
+        let outside = inst
+            .db
+            .tid_of("UserGroup", &tuple(["ann", "staff"]))
+            .unwrap();
+        assert!(idx.slot_of(&outside).is_none());
+        assert!(!idx.insert(&outside));
+        assert_eq!(idx.deleted_len(), 0);
+    }
+
+    #[test]
+    fn target_witness_accessors_follow_hits() {
+        let inst = instance();
+        let mut idx = WitnessIndex::build(&inst);
+        assert!((0..idx.target_witness_count()).all(|i| !idx.target_witness_hit(i)));
+        // Deleting GF(staff,report) hits exactly the staff witness.
+        let staff_file = inst
+            .db
+            .tid_of("GroupFile", &tuple(["staff", "report"]))
+            .unwrap();
+        idx.insert(&staff_file);
+        let hit: Vec<bool> = (0..idx.target_witness_count())
+            .map(|i| idx.target_witness_hit(i))
+            .collect();
+        assert_eq!(hit.iter().filter(|h| **h).count(), 1);
+        // The hit witness contains the deleted slot.
+        let slot = idx.slot_of(&staff_file).unwrap();
+        let wi = hit.iter().position(|h| *h).unwrap();
+        assert!(idx.target_witness_members(wi).contains(&slot));
+    }
+}

@@ -20,9 +20,10 @@ use std::sync::Arc;
 
 /// A deletion problem `(Q, S, t)` with its witness hypergraph materialized.
 ///
-/// The query and database are held by [`Arc`] so the branch-and-bound
-/// solvers (and callers building one instance per target over the same
-/// `(Q, S)`) share a single copy instead of deep-cloning both per instance.
+/// The query, database, and why-provenance are held by [`Arc`] so the
+/// branch-and-bound solvers — and a [`crate::deletion::DeletionContext`]
+/// stamping out one instance per target over the same `(Q, S)` — share a
+/// single copy instead of deep-cloning (or recomputing) per instance.
 #[derive(Clone, Debug)]
 pub struct DeletionInstance {
     /// The query (shared, not cloned per instance).
@@ -31,12 +32,12 @@ pub struct DeletionInstance {
     pub db: Arc<Database>,
     /// The view tuple to delete.
     pub target: Tuple,
-    /// Why-provenance of the whole view.
-    pub why: WhyProvenance,
+    /// Why-provenance of the whole view (shared across targets).
+    pub why: Arc<WhyProvenance>,
     /// Minimal witnesses of the target (the sets to hit).
     pub target_witnesses: Vec<Witness>,
     /// Union of the target's witnesses — the candidate deletion pool
-    /// (anything outside it only adds side effects).
+    /// (anything outside it only adds side effects). Sorted.
     pub support: Vec<Tid>,
 }
 
@@ -57,7 +58,7 @@ impl DeletionInstance {
         db: Arc<Database>,
         target: &Tuple,
     ) -> Result<DeletionInstance> {
-        let why = why_provenance(&query, &db)?;
+        let why = Arc::new(why_provenance(&query, &db)?);
         let target_witnesses = why
             .witnesses_of(target)
             .ok_or_else(|| CoreError::TargetNotInView {
@@ -73,6 +74,25 @@ impl DeletionInstance {
             target_witnesses,
             support: support.into_iter().collect(),
         })
+    }
+
+    /// The target's witnesses translated to member *slots* into the sorted
+    /// [`DeletionInstance::support`] (slot `i` ↔ `support[i]`) — the
+    /// representation the hitting-set translation, the search states, and
+    /// [`crate::deletion::WitnessIndex`] share.
+    pub fn witness_member_slots(&self) -> Vec<Vec<usize>> {
+        self.target_witnesses
+            .iter()
+            .map(|w| {
+                w.iter()
+                    .map(|tid| {
+                        self.support
+                            .binary_search(tid)
+                            .expect("witness tids are in the support")
+                    })
+                    .collect()
+            })
+            .collect()
     }
 
     /// Whether deleting `deleted` removes the target from the view

@@ -10,14 +10,23 @@
 //! | [`source_side_effect`] | exact minimum hitting set + greedy `H_n` approximation; poly SPU / SJ | Thms 2.5, 2.7–2.9 |
 //! | [`chain`] | min-cut over the layered witness network for chain joins | Thm 2.6 |
 //! | [`lineage_baseline`] | Cui–Widom-style candidate enumeration with re-evaluation | the \[14\] baseline |
+//!
+//! The searches share two substrates: [`index::WitnessIndex`], the
+//! incremental witness-hypergraph index that makes per-node side-effect
+//! counting `O(Δ)`, and [`context::DeletionContext`], which materializes the
+//! why-provenance once per `(Q, S)` and stamps out per-target instances.
 
 pub mod chain;
+pub mod context;
+pub mod index;
 pub mod instance;
 pub mod keyed;
 pub mod lineage_baseline;
 pub mod source_side_effect;
 pub mod view_side_effect;
 
+pub use context::DeletionContext;
+pub use index::WitnessIndex;
 pub use instance::DeletionInstance;
 
 use dap_relalg::{Tid, Tuple};

@@ -11,64 +11,75 @@
 //! * [`spu_source_deletion`] (Thm 2.8) and [`sj_source_deletion`] (Thm 2.9)
 //!   — the polynomial classes.
 
+use crate::deletion::index::WitnessIndex;
 use crate::deletion::view_side_effect::spu_view_deletion;
-use crate::deletion::{Deletion, DeletionInstance};
+use crate::deletion::{Deletion, DeletionContext, DeletionInstance};
 use crate::error::{CoreError, Result};
-use dap_relalg::{Database, OpFootprint, Query, Tid, Tuple};
+use dap_relalg::{Database, OpFootprint, Query, Tuple};
 use dap_setcover::{exact_hitting_set, greedy_hitting_set, HittingSet};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeSet;
 
 /// Translate the target's witness hypergraph into a `dap-setcover` hitting
-/// set instance. Returns the instance plus the element-index → `Tid` map.
-fn to_hitting_set(inst: &DeletionInstance) -> (HittingSet, Vec<Tid>) {
-    let elements: Vec<Tid> = inst.support.clone();
-    let index: BTreeMap<&Tid, usize> = elements
-        .iter()
-        .enumerate()
-        .map(|(i, tid)| (tid, i))
-        .collect();
+/// set instance. Element `i` is `inst.support[i]` — the support is already
+/// sorted, so membership indexing is the shared binary-search translation
+/// [`DeletionInstance::witness_member_slots`], with no intermediate
+/// tid → index map.
+fn to_hitting_set(inst: &DeletionInstance) -> HittingSet {
     let sets: Vec<BTreeSet<usize>> = inst
-        .target_witnesses
-        .iter()
-        .map(|w| w.iter().map(|tid| index[tid]).collect())
+        .witness_member_slots()
+        .into_iter()
+        .map(|slots| slots.into_iter().collect())
         .collect();
-    let hs = HittingSet::new(elements.len(), sets)
-        .expect("witnesses are non-empty and indices in range");
-    (hs, elements)
+    HittingSet::new(inst.support.len(), sets).expect("witnesses are non-empty and indices in range")
 }
 
-fn solution_from_indices(
-    inst: &DeletionInstance,
-    elements: &[Tid],
-    chosen: BTreeSet<usize>,
-) -> Deletion {
-    let deletions: BTreeSet<Tid> = chosen.into_iter().map(|i| elements[i].clone()).collect();
-    debug_assert!(inst.deletes_target(&deletions));
-    let view_side_effects = inst.side_effects(&deletions);
+/// Materialize a solver's chosen support slots as a [`Deletion`], reading
+/// the side effects off the index counters instead of a fresh `why.iter()`
+/// hypergraph rescan. (Hitting-set element indices and index slots address
+/// the same sorted support.)
+fn solution_from_indices(idx: &mut WitnessIndex, chosen: BTreeSet<usize>) -> Deletion {
+    for &slot in &chosen {
+        idx.insert_slot(slot);
+    }
+    debug_assert!(idx.deletes_target());
     Deletion {
-        deletions,
-        view_side_effects,
+        deletions: idx.deleted_tids(),
+        view_side_effects: idx.side_effects(),
     }
 }
 
 /// Exact minimum source deletion for any monotone SPJRU query. Worst-case
 /// exponential — the problem is as hard as set cover for PJ/JU queries
 /// (Thms 2.5, 2.7).
+///
+/// Solves one target; to solve many targets over the same `(Q, S)`, build a
+/// [`DeletionContext`] once and call
+/// [`DeletionContext::min_source_deletion`] per target.
 pub fn min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Deletion> {
-    let inst = DeletionInstance::build(q, db, target)?;
-    let (hs, elements) = to_hitting_set(&inst);
-    let chosen = exact_hitting_set(&hs);
-    Ok(solution_from_indices(&inst, &elements, chosen))
+    DeletionContext::new(q, db)?.min_source_deletion(target)
 }
 
 /// Greedy `H_n`-approximate source deletion (the paper's §1 footnote 2: a
 /// simple greedy achieves `O(log n)`, and nothing polynomial does better
 /// unless `NP ⊆ DTIME(n^{log log n})` \[12\]).
 pub fn greedy_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Deletion> {
-    let inst = DeletionInstance::build(q, db, target)?;
-    let (hs, elements) = to_hitting_set(&inst);
-    let chosen = greedy_hitting_set(&hs);
-    Ok(solution_from_indices(&inst, &elements, chosen))
+    DeletionContext::new(q, db)?.greedy_source_deletion(target)
+}
+
+impl DeletionContext {
+    /// [`min_source_deletion`] against this context's shared provenance.
+    pub fn min_source_deletion(&self, target: &Tuple) -> Result<Deletion> {
+        let (inst, mut idx) = self.instance_and_index(target)?;
+        let chosen = exact_hitting_set(&to_hitting_set(&inst));
+        Ok(solution_from_indices(&mut idx, chosen))
+    }
+
+    /// [`greedy_source_deletion`] against this context's shared provenance.
+    pub fn greedy_source_deletion(&self, target: &Tuple) -> Result<Deletion> {
+        let (inst, mut idx) = self.instance_and_index(target)?;
+        let chosen = greedy_hitting_set(&to_hitting_set(&inst));
+        Ok(solution_from_indices(&mut idx, chosen))
+    }
 }
 
 /// Theorem 2.8: for SPU queries the deletion set is **unique** (delete every

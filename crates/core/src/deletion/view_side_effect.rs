@@ -4,16 +4,26 @@
 //! * For arbitrary monotone queries the problem is NP-hard (Thms 2.1, 2.2) —
 //!   [`min_view_side_effects`] is an exact branch-and-bound that enumerates
 //!   minimal hitting sets of the target's witness hypergraph, pruning with
-//!   the (monotone) side-effect count.
+//!   the (monotone) side-effect count. The search mutates a
+//!   [`WitnessIndex`] along the recursion (insert on descend, remove on
+//!   backtrack), so each node costs `O(occurrences of the branched tid)`
+//!   instead of a full hypergraph rescan, and branch choices are ordered by
+//!   their `O(occ)` incremental side-effect delta (fail-first on cost).
 //! * [`side_effect_free`] decides the paper's headline question — "is there
 //!   a side-effect-free deletion?" — by running the same search capped at
 //!   zero side effects.
 //! * [`spu_view_deletion`] (Thm 2.3) and [`sj_view_deletion`] (Thm 2.4) are
 //!   the polynomial algorithms for the tractable classes.
+//! * `min_view_side_effects_naive` (cargo feature `legacy-oracles`) runs
+//!   the identical search with the original per-node
+//!   [`DeletionInstance::side_effect_count`] rescans — the baseline of the
+//!   `solver_incremental` bench and the differential property tests. Both
+//!   drive the same skeleton, so they explore the same tree and return
+//!   **identical** solutions.
 
-use crate::deletion::{Deletion, DeletionInstance};
+use crate::deletion::index::WitnessIndex;
+use crate::deletion::{Deletion, DeletionContext, DeletionInstance};
 use crate::error::{CoreError, Result};
-use dap_provenance::Witness;
 use dap_relalg::{normalize, output_schema, Database, OpFootprint, Query, Tid, Tuple};
 use std::collections::BTreeSet;
 
@@ -37,16 +47,84 @@ impl Default for ExactOptions {
 /// Find a deletion for `target` minimizing the number of other view tuples
 /// lost. Exact for every monotone SPJRU query; exponential time in the worst
 /// case (the problem is NP-hard for PJ and JU queries).
+///
+/// Solves one target; to solve many targets over the same `(Q, S)`, build a
+/// [`DeletionContext`] once and call
+/// [`DeletionContext::min_view_side_effects`] per target.
 pub fn min_view_side_effects(
     q: &Query,
     db: &Database,
     target: &Tuple,
     opts: &ExactOptions,
 ) -> Result<Deletion> {
+    DeletionContext::new(q, db)?.min_view_side_effects(target, opts)
+}
+
+/// The rescan baseline: the **same** branch-and-bound skeleton as
+/// [`min_view_side_effects`], but every node recomputes the side-effect
+/// count (and every branch-ordering delta probe) with a full
+/// [`DeletionInstance::side_effect_count`] hypergraph rescan. Kept as the
+/// differential-test oracle and the `solver_incremental` bench baseline
+/// (cargo feature `legacy-oracles`, like every other oracle path);
+/// identical traversal ⇒ identical solutions.
+///
+/// Note the cost model: this baseline answers every side-effect *question*
+/// of the delta-ordered search by rescanning — one rescan per node plus
+/// two per branch probe. The pre-index solver ordered branches by witness
+/// width and paid exactly one rescan per node; the bench ratio therefore
+/// measures the per-question cost gap under the shared search shape (the
+/// shape the identical-solutions guarantee requires), not a like-for-like
+/// race against the historical width-ordered search.
+#[cfg(feature = "legacy-oracles")]
+pub fn min_view_side_effects_naive(
+    q: &Query,
+    db: &Database,
+    target: &Tuple,
+    opts: &ExactOptions,
+) -> Result<Deletion> {
     let inst = DeletionInstance::build(q, db, target)?;
-    let found = search(&inst, usize::MAX, opts)?;
+    min_view_side_effects_naive_on(&inst, opts)
+}
+
+/// [`min_view_side_effects_naive`] on a prebuilt instance — lets the
+/// `solver_incremental` bench time the search alone, with the provenance
+/// materialization hoisted out of both paths (the incremental side is
+/// [`min_view_side_effects_on`]).
+#[cfg(feature = "legacy-oracles")]
+pub fn min_view_side_effects_naive_on(
+    inst: &DeletionInstance,
+    opts: &ExactOptions,
+) -> Result<Deletion> {
+    let mut state = NaiveState::new(inst);
+    let found = run_search(&mut state, usize::MAX, opts)?;
     let (deletions, _) = found.expect("a hitting set always exists (delete the whole support)");
     let view_side_effects = inst.side_effects(&deletions);
+    Ok(Deletion {
+        deletions,
+        view_side_effects,
+    })
+}
+
+/// [`min_view_side_effects`] on a prebuilt index: runs the incremental
+/// branch-and-bound on `idx` (which must be freshly built for its target —
+/// no tuples inserted) and leaves it in that clean state on success, so
+/// callers can reuse one index across solves. After a
+/// [`CoreError::BudgetExhausted`] abort the index holds the partial
+/// deletion set of the interrupted node and should be discarded.
+pub fn min_view_side_effects_on(idx: &mut WitnessIndex, opts: &ExactOptions) -> Result<Deletion> {
+    debug_assert_eq!(idx.deleted_len(), 0, "index must start empty");
+    let found = run_search(&mut IndexedState(idx), usize::MAX, opts)?;
+    let (deletions, _) = found.expect("a hitting set always exists (delete the whole support)");
+    // Replay the winner into the (fully backtracked) index and read the
+    // side effects off its counters — no hypergraph rescan — then unwind.
+    for tid in &deletions {
+        idx.insert(tid);
+    }
+    debug_assert!(idx.deletes_target());
+    let view_side_effects = idx.side_effects();
+    for tid in &deletions {
+        idx.remove(tid);
+    }
     Ok(Deletion {
         deletions,
         view_side_effects,
@@ -61,91 +139,238 @@ pub fn side_effect_free(
     target: &Tuple,
     opts: &ExactOptions,
 ) -> Result<Option<Deletion>> {
-    let inst = DeletionInstance::build(q, db, target)?;
-    let found = search(&inst, 1, opts)?; // cap: only solutions with < 1 side effects
-    Ok(found.map(|(deletions, _)| Deletion {
-        deletions,
-        view_side_effects: BTreeSet::new(),
-    }))
+    DeletionContext::new(q, db)?.side_effect_free(target, opts)
+}
+
+impl DeletionContext {
+    /// [`min_view_side_effects`] against this context's shared provenance:
+    /// stamps out the target's instance and frontier index, then runs the
+    /// incremental branch-and-bound.
+    pub fn min_view_side_effects(&self, target: &Tuple, opts: &ExactOptions) -> Result<Deletion> {
+        let (_, mut idx) = self.instance_and_index(target)?;
+        min_view_side_effects_on(&mut idx, opts)
+    }
+
+    /// [`side_effect_free`] against this context's shared provenance.
+    pub fn side_effect_free(
+        &self,
+        target: &Tuple,
+        opts: &ExactOptions,
+    ) -> Result<Option<Deletion>> {
+        let (_, mut idx) = self.instance_and_index(target)?;
+        // Cap 1: only solutions with < 1 side effects qualify.
+        let found = run_search(&mut IndexedState(&mut idx), 1, opts)?;
+        Ok(found.map(|(deletions, _)| Deletion {
+            deletions,
+            view_side_effects: BTreeSet::new(),
+        }))
+    }
+}
+
+/// What the branch-and-bound needs from its state. Two implementations
+/// drive the **same** [`run_search`] skeleton — [`IndexedState`] answers
+/// from [`WitnessIndex`] counters in `O(occ)`, [`NaiveState`] rescans the
+/// hypergraph per question — so both explore the same tree and return
+/// identical solutions; only the per-node cost differs.
+trait SearchState {
+    /// Side effects of the current deletion set.
+    fn side_effect_count(&self) -> usize;
+    /// Side-effect increase if `slot` were deleted (branch-ordering key).
+    fn delta_if_deleted(&mut self, slot: usize) -> usize;
+    /// Add support slot `slot` to the deletion set (descend).
+    fn insert(&mut self, slot: usize);
+    /// Remove support slot `slot` from the deletion set (backtrack).
+    fn remove(&mut self, slot: usize);
+    /// Size of the support (slot space).
+    fn support_len(&self) -> usize;
+    /// Number of target witnesses.
+    fn target_witness_count(&self) -> usize;
+    /// Whether target witness `i` is hit by the current deletion set.
+    fn target_witness_hit(&self, i: usize) -> bool;
+    /// Member slots of target witness `i`.
+    fn target_witness_members(&self, i: usize) -> &[usize];
+    /// The current deletion set, as tuple ids.
+    fn deleted_tids(&self) -> BTreeSet<Tid>;
+}
+
+/// Incremental search state: all answers from the index counters.
+struct IndexedState<'a>(&'a mut WitnessIndex);
+
+impl SearchState for IndexedState<'_> {
+    fn side_effect_count(&self) -> usize {
+        self.0.side_effect_count()
+    }
+    fn delta_if_deleted(&mut self, slot: usize) -> usize {
+        self.0.delta_if_deleted(slot)
+    }
+    fn insert(&mut self, slot: usize) {
+        self.0.insert_slot(slot);
+    }
+    fn remove(&mut self, slot: usize) {
+        self.0.remove_slot(slot);
+    }
+    fn support_len(&self) -> usize {
+        self.0.support().len()
+    }
+    fn target_witness_count(&self) -> usize {
+        self.0.target_witness_count()
+    }
+    fn target_witness_hit(&self, i: usize) -> bool {
+        self.0.target_witness_hit(i)
+    }
+    fn target_witness_members(&self, i: usize) -> &[usize] {
+        self.0.target_witness_members(i)
+    }
+    fn deleted_tids(&self) -> BTreeSet<Tid> {
+        self.0.deleted_tids()
+    }
+}
+
+/// Naive search state: the original per-node cost model — every
+/// side-effect question is a full `why.iter()` rescan.
+#[cfg(feature = "legacy-oracles")]
+struct NaiveState<'a> {
+    inst: &'a DeletionInstance,
+    /// Target witnesses as member slots into the sorted support.
+    members: Vec<Vec<usize>>,
+    current: BTreeSet<Tid>,
+}
+
+#[cfg(feature = "legacy-oracles")]
+impl<'a> NaiveState<'a> {
+    fn new(inst: &'a DeletionInstance) -> NaiveState<'a> {
+        NaiveState {
+            inst,
+            members: inst.witness_member_slots(),
+            current: BTreeSet::new(),
+        }
+    }
+}
+
+#[cfg(feature = "legacy-oracles")]
+impl SearchState for NaiveState<'_> {
+    fn side_effect_count(&self) -> usize {
+        self.inst.side_effect_count(&self.current)
+    }
+    fn delta_if_deleted(&mut self, slot: usize) -> usize {
+        let before = self.side_effect_count();
+        self.insert(slot);
+        let after = self.side_effect_count();
+        self.remove(slot);
+        after - before
+    }
+    fn insert(&mut self, slot: usize) {
+        self.current.insert(self.inst.support[slot].clone());
+    }
+    fn remove(&mut self, slot: usize) {
+        self.current.remove(&self.inst.support[slot]);
+    }
+    fn support_len(&self) -> usize {
+        self.inst.support.len()
+    }
+    fn target_witness_count(&self) -> usize {
+        self.members.len()
+    }
+    fn target_witness_hit(&self, i: usize) -> bool {
+        self.members[i]
+            .iter()
+            .any(|&s| self.current.contains(&self.inst.support[s]))
+    }
+    fn target_witness_members(&self, i: usize) -> &[usize] {
+        &self.members[i]
+    }
+    fn deleted_tids(&self) -> BTreeSet<Tid> {
+        self.current.clone()
+    }
+}
+
+/// Bookkeeping shared by every node of one search.
+struct SearchCtx {
+    nodes: u64,
+    budget: u64,
+    best: Option<(BTreeSet<Tid>, usize)>,
+    bound: usize,
 }
 
 /// Branch-and-bound over (minimal) hitting sets of the target's witnesses.
 /// Returns the best solution with side-effect count `< cap`, or `None`.
-fn search(
-    inst: &DeletionInstance,
+fn run_search<S: SearchState>(
+    state: &mut S,
     cap: usize,
     opts: &ExactOptions,
 ) -> Result<Option<(BTreeSet<Tid>, usize)>> {
-    struct Ctx<'a> {
-        inst: &'a DeletionInstance,
-        nodes: u64,
-        budget: u64,
-        best: Option<(BTreeSet<Tid>, usize)>,
-        bound: usize,
-    }
-
-    fn recurse(
-        ctx: &mut Ctx<'_>,
-        current: &mut BTreeSet<Tid>,
-        excluded: &mut BTreeSet<Tid>,
-    ) -> Result<()> {
-        ctx.nodes += 1;
-        if ctx.nodes > ctx.budget {
-            return Err(CoreError::BudgetExhausted { budget: ctx.budget });
-        }
-        // Side effects only grow as `current` grows — prune at the bound.
-        let se = ctx.inst.side_effect_count(current);
-        if se >= ctx.bound {
-            return Ok(());
-        }
-        // Pick the unhit witness with the fewest available choices
-        // (fail-first); `None` means `current` is already a hitting set.
-        let next: Option<&Witness> = ctx
-            .inst
-            .target_witnesses
-            .iter()
-            .filter(|w| !w.iter().any(|tid| current.contains(tid)))
-            .min_by_key(|w| w.iter().filter(|tid| !excluded.contains(*tid)).count());
-        let Some(w) = next else {
-            ctx.best = Some((current.clone(), se));
-            ctx.bound = se; // future solutions must be strictly better
-            return Ok(());
-        };
-        let choices: Vec<Tid> = w
-            .iter()
-            .filter(|tid| !excluded.contains(*tid))
-            .cloned()
-            .collect();
-        let mut locally_excluded = Vec::new();
-        for tid in choices {
-            current.insert(tid.clone());
-            recurse(ctx, current, excluded)?;
-            current.remove(&tid);
-            // Standard minimal-hitting-set enumeration: once a branch for
-            // `tid` is fully explored, later siblings must not use it.
-            excluded.insert(tid.clone());
-            locally_excluded.push(tid);
-            if ctx.bound == 0 {
-                break; // cannot beat a perfect solution
-            }
-        }
-        for tid in locally_excluded {
-            excluded.remove(&tid);
-        }
-        Ok(())
-    }
-
-    let mut ctx = Ctx {
-        inst,
+    let mut ctx = SearchCtx {
         nodes: 0,
         budget: opts.node_budget,
         best: None,
         bound: cap,
     };
-    let mut current = BTreeSet::new();
-    let mut excluded = BTreeSet::new();
-    recurse(&mut ctx, &mut current, &mut excluded)?;
+    let mut excluded = vec![false; state.support_len()];
+    recurse(state, &mut ctx, &mut excluded)?;
     Ok(ctx.best)
+}
+
+fn recurse<S: SearchState>(
+    state: &mut S,
+    ctx: &mut SearchCtx,
+    excluded: &mut [bool],
+) -> Result<()> {
+    ctx.nodes += 1;
+    if ctx.nodes > ctx.budget {
+        return Err(CoreError::BudgetExhausted { budget: ctx.budget });
+    }
+    // Side effects only grow as the deletion set grows — prune at the bound.
+    let se = state.side_effect_count();
+    if se >= ctx.bound {
+        return Ok(());
+    }
+    // Pick the unhit witness with the fewest available choices (fail-first
+    // on width); `None` means the current set is already a hitting set.
+    let mut pick: Option<(usize, usize)> = None; // (available, witness)
+    for wi in 0..state.target_witness_count() {
+        if state.target_witness_hit(wi) {
+            continue;
+        }
+        let avail = state
+            .target_witness_members(wi)
+            .iter()
+            .filter(|&&s| !excluded[s])
+            .count();
+        if pick.is_none_or(|(a, _)| avail < a) {
+            pick = Some((avail, wi));
+        }
+    }
+    let Some((_, wi)) = pick else {
+        ctx.best = Some((state.deleted_tids(), se));
+        ctx.bound = se; // future solutions must be strictly better
+        return Ok(());
+    };
+    // Order the branch choices by their incremental side-effect delta —
+    // fail-first on *cost*: cheap branches first tighten the bound early.
+    let members: Vec<usize> = state.target_witness_members(wi).to_vec();
+    let mut choices: Vec<(usize, usize)> = members
+        .into_iter()
+        .filter(|&s| !excluded[s])
+        .map(|s| (state.delta_if_deleted(s), s))
+        .collect();
+    choices.sort_unstable();
+    let mut locally_excluded = Vec::new();
+    for (_, slot) in choices {
+        state.insert(slot);
+        recurse(state, ctx, excluded)?;
+        state.remove(slot);
+        // Standard minimal-hitting-set enumeration: once a branch for
+        // `slot` is fully explored, later siblings must not use it.
+        excluded[slot] = true;
+        locally_excluded.push(slot);
+        if ctx.bound == 0 {
+            break; // cannot beat a perfect solution
+        }
+    }
+    for slot in locally_excluded {
+        excluded[slot] = false;
+    }
+    Ok(())
 }
 
 /// Theorem 2.3: for SPU queries (select/project/union, no join, no rename)
@@ -208,25 +433,41 @@ pub fn sj_view_deletion(q: &Query, db: &Database, target: &Tuple) -> Result<Dele
         });
     }
     let inst = DeletionInstance::build(q, db, target)?;
+    let idx = WitnessIndex::build(&inst);
+    sj_from_index(&inst, idx)
+}
+
+/// [`sj_view_deletion`] against a shared [`DeletionContext`] (class check is
+/// the caller's job — used by the batched dichotomy dispatcher).
+pub(crate) fn sj_view_deletion_in(ctx: &DeletionContext, target: &Tuple) -> Result<Deletion> {
+    let (inst, idx) = ctx.instance_and_index(target)?;
+    sj_from_index(&inst, idx)
+}
+
+/// Thm 2.4's component scan on the index: every per-component side-effect
+/// count is an `O(occ)` counter probe, so the whole scan is one pass over
+/// the component occurrence lists instead of one hypergraph rescan each.
+fn sj_from_index(inst: &DeletionInstance, mut idx: WitnessIndex) -> Result<Deletion> {
     debug_assert_eq!(
         inst.target_witnesses.len(),
         1,
         "SJ output tuples have exactly one witness"
     );
-    let witness = &inst.target_witnesses[0];
-    let best = witness
-        .iter()
-        .map(|tid| {
-            let single = BTreeSet::from([tid.clone()]);
-            let count = inst.side_effect_count(&single);
-            (count, single)
-        })
-        .min_by(|a, b| a.0.cmp(&b.0).then_with(|| a.1.cmp(&b.1)))
-        .expect("witnesses are non-empty");
-    let view_side_effects = inst.side_effects(&best.1);
+    let mut best: Option<(usize, usize)> = None; // (side effects, slot)
+                                                 // Slots ascend in tid order, so keeping the first strict minimum
+                                                 // reproduces the (count, tid) tie-break of the rescan implementation.
+    for slot in 0..idx.support().len() {
+        let count = idx.delta_if_deleted(slot);
+        if best.is_none_or(|(c, _)| count < c) {
+            best = Some((count, slot));
+        }
+    }
+    let (_, slot) = best.expect("witnesses are non-empty");
+    idx.insert_slot(slot);
+    debug_assert!(idx.deletes_target());
     Ok(Deletion {
-        deletions: best.1,
-        view_side_effects,
+        deletions: idx.deleted_tids(),
+        view_side_effects: idx.side_effects(),
     })
 }
 

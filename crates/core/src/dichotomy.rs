@@ -11,9 +11,9 @@ use crate::deletion::source_side_effect::{
     min_source_deletion, sj_source_deletion, spu_source_deletion,
 };
 use crate::deletion::view_side_effect::{
-    min_view_side_effects, sj_view_deletion, spu_view_deletion, ExactOptions,
+    min_view_side_effects, sj_view_deletion, sj_view_deletion_in, spu_view_deletion, ExactOptions,
 };
-use crate::deletion::Deletion;
+use crate::deletion::{Deletion, DeletionContext};
 use crate::error::Result;
 use crate::placement::generic::{min_side_effect_placement, PlacementIndex};
 use crate::placement::sju::sju_placement;
@@ -182,6 +182,85 @@ pub fn delete_min_source(
         ));
     }
     Ok((min_source_deletion(q, db, target)?, SolverKind::ExactSearch))
+}
+
+/// Batched [`delete_min_view_side_effects`]: solve many view-deletion
+/// targets over the same `(Q, S)` with the provenance work shared. The
+/// classes that materialize provenance (SJ and the exact search) build one
+/// [`DeletionContext`] — a single annotated evaluation plus one hypergraph
+/// skeleton — and stamp out per-target instances from it; SPU never
+/// materializes provenance and dispatches per target as before.
+pub fn delete_min_view_side_effects_many(
+    q: &Query,
+    db: &Database,
+    targets: &[Tuple],
+) -> Result<Vec<(Deletion, SolverKind)>> {
+    let fp = OpFootprint::of(q);
+    if !fp.join && !fp.rename {
+        return targets
+            .iter()
+            .map(|t| Ok((spu_view_deletion(q, db, t)?, SolverKind::Spu)))
+            .collect();
+    }
+    let ctx = DeletionContext::new(q, db)?;
+    if !fp.project && !fp.union_ {
+        return targets
+            .iter()
+            .map(|t| Ok((sj_view_deletion_in(&ctx, t)?, SolverKind::Sj)))
+            .collect();
+    }
+    let opts = ExactOptions::default();
+    targets
+        .iter()
+        .map(|t| {
+            Ok((
+                ctx.min_view_side_effects(t, &opts)?,
+                SolverKind::ExactSearch,
+            ))
+        })
+        .collect()
+}
+
+/// Batched [`delete_min_source`]: one shared [`DeletionContext`] for the
+/// classes that materialize provenance (see
+/// [`delete_min_view_side_effects_many`]); SPU and the chain min-cut
+/// dispatch per target.
+pub fn delete_min_source_many(
+    q: &Query,
+    db: &Database,
+    targets: &[Tuple],
+) -> Result<Vec<(Deletion, SolverKind)>> {
+    let fp = OpFootprint::of(q);
+    if !fp.join && !fp.rename {
+        return targets
+            .iter()
+            .map(|t| Ok((spu_source_deletion(q, db, t)?, SolverKind::Spu)))
+            .collect();
+    }
+    if fp.project || fp.union_ {
+        if detect_chain_join(q, &db.catalog()).is_some() {
+            return targets
+                .iter()
+                .map(|t| {
+                    Ok((
+                        chain_min_source_deletion(q, db, t)?,
+                        SolverKind::ChainMinCut,
+                    ))
+                })
+                .collect();
+        }
+        let ctx = DeletionContext::new(q, db)?;
+        return targets
+            .iter()
+            .map(|t| Ok((ctx.min_source_deletion(t)?, SolverKind::ExactSearch)))
+            .collect();
+    }
+    // SJ: Thm 2.9 = Thm 2.4's component scan, shared through the context.
+    let ctx = DeletionContext::new(q, db)?;
+    targets
+        .iter()
+        .map(|t| Ok((sj_view_deletion_in(&ctx, t)?, SolverKind::Sj)))
+        .collect()
 }
 
 /// Like [`delete_min_view_side_effects`], but additionally aware of

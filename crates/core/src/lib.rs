@@ -51,7 +51,7 @@ pub mod figures;
 pub mod placement;
 pub mod reductions;
 
-pub use deletion::{Deletion, DeletionInstance};
+pub use deletion::{Deletion, DeletionContext, DeletionInstance, WitnessIndex};
 pub use dichotomy::{
     complexity, delete_min_source, delete_min_view_side_effects, format_paper_table, paper_table,
     place_annotation, place_annotations, Complexity, Problem, SolverKind,

@@ -13,14 +13,15 @@
 //! into a source-location → reached-view-locations map, so solving for a
 //! target — or many targets — costs one tree walk total instead of one
 //! forward propagation per candidate. The per-candidate path survives as
-//! [`multipass_min_side_effect_placement`], the legacy oracle the
-//! differential tests and the `engine_vs_multipass` bench compare against.
+//! `multipass_min_side_effect_placement` (cargo feature `legacy-oracles`),
+//! the legacy oracle the differential tests and the `engine_vs_multipass`
+//! bench compare against.
 
 use crate::error::{CoreError, Result};
 use crate::placement::Placement;
-use dap_provenance::{
-    propagate, where_provenance, where_provenance_legacy, SourceLoc, ViewLoc, WhereProvenance,
-};
+#[cfg(feature = "legacy-oracles")]
+use dap_provenance::{propagate, where_provenance_legacy};
+use dap_provenance::{where_provenance, SourceLoc, ViewLoc, WhereProvenance};
 use dap_relalg::{Database, Query};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -145,6 +146,7 @@ pub fn side_effect_free_placement(
 /// cross-check oracle for the differential property tests and as the
 /// baseline of the `engine_vs_multipass` bench — use
 /// [`min_side_effect_placement`] everywhere else.
+#[cfg(feature = "legacy-oracles")]
 pub fn multipass_min_side_effect_placement(
     q: &Query,
     db: &Database,
@@ -303,6 +305,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(feature = "legacy-oracles")]
     fn batched_index_and_multipass_agree_everywhere() {
         let (q, db) = fixture();
         let view = dap_relalg::eval(&q, &db).unwrap();

@@ -13,8 +13,12 @@
 //! minimal witness basis (tested).
 
 use crate::witness::{minimize, Witness};
-use dap_relalg::{output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+#[cfg(feature = "legacy-oracles")]
+use dap_relalg::{output_schema, Attr};
+use dap_relalg::{Database, Query, Result, Schema, Tid, Tuple};
+#[cfg(feature = "legacy-oracles")]
+use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
 /// A monotone (negation-free) Boolean expression over source tuples.
@@ -185,6 +189,7 @@ pub fn provenance_exprs(q: &Query, db: &Database) -> Result<ProvenanceExprs> {
 /// may differ *structurally* (operand grouping), but are logically
 /// equivalent — compare via [`BoolExpr::prime_implicants`] or
 /// [`BoolExpr::eval_deleted`].
+#[cfg(feature = "legacy-oracles")]
 pub fn provenance_exprs_legacy(q: &Query, db: &Database) -> Result<ProvenanceExprs> {
     let catalog = db.catalog();
     output_schema(q, &catalog)?;
@@ -192,8 +197,10 @@ pub fn provenance_exprs_legacy(q: &Query, db: &Database) -> Result<ProvenanceExp
     Ok(ProvenanceExprs { schema, map })
 }
 
+#[cfg(feature = "legacy-oracles")]
 type ExprMap = BTreeMap<Tuple, BoolExpr>;
 
+#[cfg(feature = "legacy-oracles")]
 fn walk(q: &Query, db: &Database) -> Result<(Schema, ExprMap)> {
     match q {
         Query::Scan(rel) => {

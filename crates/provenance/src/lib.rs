@@ -21,7 +21,8 @@
 //! (witness sets, per-attribute location sets, tuple-id sets, Boolean
 //! expressions) and `dap_relalg::eval_annotated` performs the single tree
 //! walk. The original standalone walks survive as `*_legacy` oracles for
-//! the differential property tests.
+//! the differential property tests, behind the `legacy-oracles` cargo
+//! feature (enabled by the test suites and CI, off in release builds).
 //!
 //! ```
 //! use dap_provenance::{why_provenance, where_provenance};
@@ -54,13 +55,19 @@ pub mod why;
 pub mod witness;
 
 pub use annotate::{propagate, propagate_all, PropagationIndex};
-pub use boolexpr::{provenance_exprs, provenance_exprs_legacy, BoolExpr, ProvenanceExprs};
+#[cfg(feature = "legacy-oracles")]
+pub use boolexpr::provenance_exprs_legacy;
+pub use boolexpr::{provenance_exprs, BoolExpr, ProvenanceExprs};
 pub use engine::{ExprAnn, LineageAnn, LocationsAnn, WitnessesAnn};
 pub use lineage::{
     lineage, lineage_from_why, lineage_size, lineage_support, participating_tids, Lineage,
 };
 pub use location::{SourceLoc, ViewLoc};
 pub use store::{AnnotatedRow, AnnotatedView, AnnotationStore};
-pub use where_prov::{where_provenance, where_provenance_legacy, WhereProvenance};
-pub use why::{minimal_witnesses, why_provenance, why_provenance_legacy, WhyProvenance};
+#[cfg(feature = "legacy-oracles")]
+pub use where_prov::where_provenance_legacy;
+pub use where_prov::{where_provenance, WhereProvenance};
+#[cfg(feature = "legacy-oracles")]
+pub use why::why_provenance_legacy;
+pub use why::{minimal_witnesses, why_provenance, WhyProvenance};
 pub use witness::{is_minimal_witness, is_sufficient, minimize, support, Witness};

@@ -9,15 +9,17 @@
 //! backward reading of the paper's five forward rules, batched over *all*
 //! source locations in one pass; `crate::annotate` implements the forward
 //! reading independently, and the two are cross-checked by tests.
-//! [`where_provenance_legacy`] preserves the original standalone walk as the
-//! differential-test oracle.
+//! `where_provenance_legacy` (cargo feature `legacy-oracles`) preserves the
+//! original standalone walk as the differential-test oracle.
 
 use crate::engine::LocationsAnn;
 use crate::location::{SourceLoc, ViewLoc};
-use dap_relalg::{
-    eval_annotated, output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple,
-};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use dap_relalg::{eval_annotated, Attr, Database, Query, Result, Schema, Tuple};
+#[cfg(feature = "legacy-oracles")]
+use dap_relalg::{output_schema, Tid};
+#[cfg(feature = "legacy-oracles")]
+use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Per-attribute source-location sets for every output tuple.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -147,6 +149,7 @@ pub fn where_provenance(q: &Query, db: &Database) -> Result<WhereProvenance> {
 /// the differential property tests (`tests/prop_provenance.rs`). Prefer
 /// [`where_provenance`], which computes the same result on the shared
 /// engine.
+#[cfg(feature = "legacy-oracles")]
 pub fn where_provenance_legacy(q: &Query, db: &Database) -> Result<WhereProvenance> {
     let catalog = db.catalog();
     output_schema(q, &catalog)?;
@@ -154,15 +157,19 @@ pub fn where_provenance_legacy(q: &Query, db: &Database) -> Result<WhereProvenan
     Ok(WhereProvenance { schema, map })
 }
 
+#[cfg(feature = "legacy-oracles")]
 type LocSets = Vec<BTreeSet<SourceLoc>>;
+#[cfg(feature = "legacy-oracles")]
 type AnnMap = BTreeMap<Tuple, LocSets>;
 
+#[cfg(feature = "legacy-oracles")]
 fn merge_into(dst: &mut LocSets, src: &LocSets) {
     for (d, s) in dst.iter_mut().zip(src) {
         d.extend(s.iter().cloned());
     }
 }
 
+#[cfg(feature = "legacy-oracles")]
 fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
     match q {
         Query::Scan(rel) => {

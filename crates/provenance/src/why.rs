@@ -9,15 +9,19 @@
 //! witness sets propagate through each operator and only inclusion-minimal
 //! sets survive each step (sound for monotone queries — see the module
 //! tests, which cross-check against brute-force witness verification).
-//! [`why_provenance_legacy`] preserves the original standalone walk as the
-//! differential-test oracle.
+//! `why_provenance_legacy` (cargo feature `legacy-oracles`) preserves the
+//! original standalone walk as the differential-test oracle.
 
 use crate::engine::WitnessesAnn;
-use crate::witness::{minimize, Witness};
-use dap_relalg::{
-    eval_annotated, output_schema, Attr, Database, Query, Result, Schema, Tid, Tuple,
-};
-use std::collections::{BTreeMap, HashMap};
+#[cfg(feature = "legacy-oracles")]
+use crate::witness::minimize;
+use crate::witness::Witness;
+use dap_relalg::{eval_annotated, Database, Query, Result, Schema, Tuple};
+#[cfg(feature = "legacy-oracles")]
+use dap_relalg::{output_schema, Attr, Tid};
+use std::collections::BTreeMap;
+#[cfg(feature = "legacy-oracles")]
+use std::collections::HashMap;
 
 /// The why-provenance of a whole view: for each output tuple, its minimal
 /// witnesses.
@@ -75,6 +79,7 @@ pub fn why_provenance(q: &Query, db: &Database) -> Result<WhyProvenance> {
 /// The original standalone witness walk, kept as the reference oracle for
 /// the differential property tests (`tests/prop_provenance.rs`). Prefer
 /// [`why_provenance`], which computes the same result on the shared engine.
+#[cfg(feature = "legacy-oracles")]
 pub fn why_provenance_legacy(q: &Query, db: &Database) -> Result<WhyProvenance> {
     let catalog = db.catalog();
     output_schema(q, &catalog)?;
@@ -91,8 +96,10 @@ pub fn minimal_witnesses(q: &Query, db: &Database, t: &Tuple) -> Result<Vec<Witn
         .unwrap_or_default())
 }
 
+#[cfg(feature = "legacy-oracles")]
 type AnnMap = BTreeMap<Tuple, Vec<Witness>>;
 
+#[cfg(feature = "legacy-oracles")]
 fn walk(q: &Query, db: &Database) -> Result<(Schema, AnnMap)> {
     match q {
         Query::Scan(rel) => {

@@ -59,10 +59,12 @@ pub mod prelude {
     pub use dap_core::deletion::keyed::{is_keyed, keyed_side_effect_free, keyed_view_deletion};
     pub use dap_core::deletion::view_side_effect::ExactOptions;
     pub use dap_core::dichotomy::delete_min_view_side_effects_with_fds;
+    pub use dap_core::dichotomy::{delete_min_source_many, delete_min_view_side_effects_many};
     pub use dap_core::{
         complexity, delete_min_source, delete_min_view_side_effects, format_paper_table,
         paper_table, place_annotation, place_annotations, Complexity, CoreError, Deletion,
-        DeletionInstance, Placement, PlacementIndex, Problem, SolverKind,
+        DeletionContext, DeletionInstance, Placement, PlacementIndex, Problem, SolverKind,
+        WitnessIndex,
     };
     pub use dap_provenance::{
         lineage, minimal_witnesses, participating_tids, propagate, propagate_all, provenance_exprs,
