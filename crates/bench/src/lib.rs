@@ -220,6 +220,19 @@ pub fn generic_placement_workload(users: usize, groups: usize, files: usize) -> 
     }
 }
 
+/// A deterministic deletion stream for the view-maintenance benches: `k`
+/// tuple ids spread evenly across the whole database (every relation gets
+/// hit), in a fixed order. Spreading — rather than clustering on one
+/// relation — keeps each deletion's affected neighborhood representative.
+pub fn maintenance_deletion_sequence(db: &Database, k: usize) -> Vec<dap_relalg::Tid> {
+    let all: Vec<dap_relalg::Tid> = db.all_tids().collect();
+    if all.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    let step = (all.len() / k).max(1);
+    all.into_iter().step_by(step).take(k).collect()
+}
+
 /// `slow / fast` as a speedup factor, guarded against a zero denominator.
 /// Shared by the `report_*` speedup binaries.
 pub fn speedup_ratio(slow: Duration, fast: Duration) -> f64 {

@@ -1,13 +1,28 @@
-//! One materialization of `(Q, S)` serving many deletion targets.
+//! One materialization of `(Q, S)` serving many deletion targets — and,
+//! since the context owns a **maintained** annotated plan, surviving the
+//! deletions it recommends.
 //!
 //! Every deletion solver needs the why-provenance of the view — and before
 //! this module each per-target entry point recomputed it from scratch.
-//! [`DeletionContext`] evaluates the annotated query **once**, builds the
-//! tuple-id → view-tuple *touch skeleton* of the witness hypergraph once,
-//! and then stamps out per-target [`DeletionInstance`]s
-//! ([`DeletionContext::for_target`]) and frontier-restricted
-//! [`WitnessIndex`]es ([`DeletionContext::index_for`]) in time proportional
-//! to the target's neighborhood, not the view.
+//! [`DeletionContext`] builds the materialized pipeline
+//! ([`MaterializedPlan<WitnessesAnn>`]) **once**, derives the
+//! why-provenance and the tuple-id → view-tuple *touch skeleton* of the
+//! witness hypergraph from it, and then stamps out per-target
+//! [`DeletionInstance`]s ([`DeletionContext::for_target`]) and
+//! frontier-restricted [`WitnessIndex`]es ([`DeletionContext::index_for`])
+//! in time proportional to the target's neighborhood, not the view.
+//!
+//! The plan is what turns the context from a per-query calculator into a
+//! serving loop: after a solver commits a deletion,
+//! [`DeletionContext::apply_delete`] pushes it through the pipeline in
+//! `O(affected)`, patches the why-provenance and the touch skeleton from
+//! the returned [`ViewDelta`], and the next target is solved against the
+//! *updated* view — no re-evaluation, no context rebuild.
+//! [`DeletionContext::resolve_after_delete`] packages one turn of that
+//! apply-and-re-solve loop; the batched
+//! `delete_min_view_side_effects_apply_many` /
+//! `delete_min_source_apply_many` dispatchers in [`crate::dichotomy`] run
+//! it over whole target lists.
 //!
 //! The solver entry points live here as methods
 //! ([`DeletionContext::min_view_side_effects`],
@@ -19,30 +34,51 @@
 //! a context for their single target.
 
 use crate::deletion::index::WitnessIndex;
-use crate::deletion::DeletionInstance;
+use crate::deletion::view_side_effect::ExactOptions;
+use crate::deletion::{Deletion, DeletionInstance};
 use crate::error::{CoreError, Result};
-use dap_provenance::{why_provenance, WhyProvenance};
-use dap_relalg::{Database, Query, Tid, Tuple};
+use dap_provenance::{WhyProvenance, WitnessesAnn};
+use dap_relalg::{Database, MaterializedPlan, Query, Tid, Tuple, ViewDelta};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// The shared substrate of all deletion problems over one `(Q, S)`: the
-/// why-provenance, plus the inverted skeleton used to cut per-target
-/// frontiers out of the hypergraph without rescanning the view.
+/// maintained annotated plan, the why-provenance read off it, and the
+/// inverted skeleton used to cut per-target frontiers out of the
+/// hypergraph without rescanning the view.
+///
+/// Tuple ids always refer to the database the context was built over —
+/// applied deletions accumulate in [`DeletionContext::committed`] and never
+/// renumber anything.
 #[derive(Clone, Debug)]
 pub struct DeletionContext {
     query: Arc<Query>,
     db: Arc<Database>,
+    /// The maintained pipeline: `delete_sources` keeps the annotated view
+    /// (and hence everything below) current.
+    plan: MaterializedPlan<WitnessesAnn>,
     why: Arc<WhyProvenance>,
     /// View tuples in why-provenance order (indexed by the skeleton).
+    /// Slots are stable; deletions tombstone via `alive`.
     tuples: Vec<Tuple>,
-    /// tuple id → indices (into `tuples`) of view tuples with a witness
-    /// containing that id. The *index skeleton*: built once per `(Q, S)`.
+    /// Liveness per skeleton slot (false once a deletion removed it).
+    alive: Vec<bool>,
+    /// View tuple → skeleton slot.
+    index_of: HashMap<Tuple, usize>,
+    /// Current support of each view tuple's witness basis (used to diff
+    /// `touching` when a deletion changes a basis).
+    touch_of: Vec<BTreeSet<Tid>>,
+    /// tuple id → slots of view tuples with a witness containing that id.
+    /// The *index skeleton*: built once, patched additively on deletion
+    /// (entries may go stale — dead or no-longer-touching slots are
+    /// filtered on read — but are never missing).
     touching: HashMap<Tid, Vec<usize>>,
+    /// Every source tuple deleted through this context so far.
+    committed: BTreeSet<Tid>,
 }
 
 impl DeletionContext {
-    /// Materialize the context; one annotated evaluation plus one pass over
+    /// Materialize the context; one annotated plan build plus one pass over
     /// the witness lists.
     pub fn new(query: &Query, db: &Database) -> Result<DeletionContext> {
         DeletionContext::new_shared(Arc::new(query.clone()), Arc::new(db.clone()))
@@ -50,24 +86,36 @@ impl DeletionContext {
 
     /// Like [`DeletionContext::new`], from shared handles (no deep clones).
     pub fn new_shared(query: Arc<Query>, db: Arc<Database>) -> Result<DeletionContext> {
-        let why = Arc::new(why_provenance(&query, &db)?);
-        let mut tuples = Vec::with_capacity(why.len());
+        let plan = MaterializedPlan::<WitnessesAnn>::build(&query, &db)?;
+        let mut tuples = Vec::with_capacity(plan.len());
+        let mut index_of = HashMap::with_capacity(plan.len());
+        let mut touch_of = Vec::with_capacity(plan.len());
         let mut touching: HashMap<Tid, Vec<usize>> = HashMap::new();
-        for (i, (t, ws)) in why.iter().enumerate() {
+        for (i, (t, ann)) in plan.iter().enumerate() {
             tuples.push(t.clone());
-            let mut seen: BTreeSet<&Tid> = BTreeSet::new();
-            for tid in ws.iter().flatten() {
-                if seen.insert(tid) {
-                    touching.entry(tid.clone()).or_default().push(i);
-                }
+            index_of.insert(t.clone(), i);
+            let touch: BTreeSet<Tid> = ann.0.iter().flatten().cloned().collect();
+            for tid in &touch {
+                touching.entry(tid.clone()).or_default().push(i);
             }
+            touch_of.push(touch);
         }
+        let why = Arc::new(WhyProvenance::from_parts(
+            plan.schema().clone(),
+            plan.iter().map(|(t, a)| (t.clone(), a.0.clone())),
+        ));
+        let alive = vec![true; tuples.len()];
         Ok(DeletionContext {
             query,
             db,
+            plan,
             why,
             tuples,
+            alive,
+            index_of,
+            touch_of,
             touching,
+            committed: BTreeSet::new(),
         })
     }
 
@@ -76,19 +124,95 @@ impl DeletionContext {
         &self.query
     }
 
-    /// The shared database.
+    /// The shared database the context was built over. Applied deletions
+    /// are **not** re-packed into it — they accumulate in
+    /// [`DeletionContext::committed`], keeping every [`Tid`] stable.
     pub fn db(&self) -> &Arc<Database> {
         &self.db
     }
 
-    /// The shared why-provenance of the whole view.
+    /// The shared why-provenance of the current (maintained) view.
     pub fn why(&self) -> &Arc<WhyProvenance> {
         &self.why
     }
 
+    /// The maintained annotated view itself.
+    pub fn plan(&self) -> &MaterializedPlan<WitnessesAnn> {
+        &self.plan
+    }
+
+    /// Every source tuple deleted through this context so far.
+    pub fn committed(&self) -> &BTreeSet<Tid> {
+        &self.committed
+    }
+
+    /// Whether `t` is in the current view.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.why.witnesses_of(t).is_some()
+    }
+
+    /// Number of tuples in the current view.
+    pub fn view_len(&self) -> usize {
+        self.why.len()
+    }
+
+    /// Commit a source deletion: push it through the maintained plan
+    /// (`O(affected)`), then patch the why-provenance and the touch
+    /// skeleton from the resulting [`ViewDelta`]. View tuples whose last
+    /// witness died disappear; tuples whose basis changed (it can *grow* —
+    /// a deletion may un-absorb a previously non-minimal witness) get
+    /// their new basis and any new skeleton edges. Unknown or already
+    /// deleted tids are no-ops. Returns the view delta.
+    pub fn apply_delete(&mut self, tids: &BTreeSet<Tid>) -> ViewDelta {
+        let tid_vec: Vec<Tid> = tids.iter().cloned().collect();
+        let delta = self.plan.delete_sources(&tid_vec);
+        // Instances stamped earlier hold clones of the Arc; make_mut keeps
+        // them on the old snapshot and patches ours in place when unique.
+        let why = Arc::make_mut(&mut self.why);
+        for t in &delta.removed {
+            let i = self.index_of[t];
+            self.alive[i] = false;
+            why.remove_tuple(t);
+        }
+        for t in &delta.changed {
+            let i = self.index_of[t];
+            let ws = self
+                .plan
+                .annotation_of(t)
+                .expect("changed tuples survive the deletion")
+                .0
+                .clone();
+            let touch: BTreeSet<Tid> = ws.iter().flatten().cloned().collect();
+            for tid in touch.difference(&self.touch_of[i]) {
+                self.touching.entry(tid.clone()).or_default().push(i);
+            }
+            self.touch_of[i] = touch;
+            why.set_witnesses(t, ws);
+        }
+        self.committed.extend(tids.iter().cloned());
+        delta
+    }
+
+    /// One turn of the serving loop: commit `deletions`, then re-solve the
+    /// minimum-view-side-effect problem for `target` against the patched
+    /// view. Returns `None` if `target` is no longer (or never was) in the
+    /// view once the commit lands — there is nothing left to delete.
+    pub fn resolve_after_delete(
+        &mut self,
+        deletions: &BTreeSet<Tid>,
+        target: &Tuple,
+        opts: &ExactOptions,
+    ) -> Result<Option<Deletion>> {
+        self.apply_delete(deletions);
+        if !self.contains(target) {
+            return Ok(None);
+        }
+        self.min_view_side_effects(target, opts).map(Some)
+    }
+
     /// Stamp out the [`DeletionInstance`] for `target`, sharing the query,
     /// database, and why-provenance — no recomputation, no deep clones.
-    /// Errors if `target` is not in the view.
+    /// Errors if `target` is not in the (current) view.
     pub fn for_target(&self, target: &Tuple) -> Result<DeletionInstance> {
         let target_witnesses = self
             .why
@@ -105,13 +229,16 @@ impl DeletionContext {
             why: self.why.clone(),
             target_witnesses,
             support: support.into_iter().collect(),
+            committed: self.committed.clone(),
         })
     }
 
     /// Build the frontier-restricted [`WitnessIndex`] for an instance
     /// stamped from this context, visiting only view tuples the skeleton
     /// says touch the support (identical to [`WitnessIndex::build`], built
-    /// in `O(neighborhood)` instead of `O(|view|)`).
+    /// in `O(neighborhood)` instead of `O(|view|)`). Stale skeleton
+    /// entries — dead tuples, or tuples whose patched basis no longer
+    /// touches the tid — are filtered here and by the index build.
     pub fn index_for(&self, inst: &DeletionInstance) -> WitnessIndex {
         let mut candidate_ids: Vec<usize> = inst
             .support
@@ -119,6 +246,7 @@ impl DeletionContext {
             .filter_map(|tid| self.touching.get(tid))
             .flatten()
             .copied()
+            .filter(|&i| self.alive[i])
             .collect();
         candidate_ids.sort_unstable();
         candidate_ids.dedup();
@@ -166,6 +294,7 @@ mod tests {
             assert_eq!(stamped.target_witnesses, fresh.target_witnesses, "{t}");
             assert_eq!(stamped.support, fresh.support, "{t}");
             assert_eq!(*stamped.why, *fresh.why, "{t}");
+            assert_eq!(stamped.committed, fresh.committed, "{t}");
         }
     }
 
@@ -214,5 +343,69 @@ mod tests {
         assert!(Arc::ptr_eq(&a.why, &b.why));
         assert!(Arc::ptr_eq(&a.query, &b.query));
         assert!(Arc::ptr_eq(&a.db, &b.db));
+    }
+
+    #[test]
+    fn apply_delete_patches_view_and_skeleton() {
+        let (q, db) = fixture();
+        let mut ctx = DeletionContext::new(&q, &db).unwrap();
+        assert_eq!(ctx.view_len(), 3);
+        let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        let delta = ctx.apply_delete(&BTreeSet::from([dev.clone()]));
+        // (bob, main) loses its only witness; (bob, report) drops to one.
+        assert_eq!(delta.removed, vec![tuple(["bob", "main"])]);
+        assert_eq!(delta.changed, vec![tuple(["bob", "report"])]);
+        assert!(!ctx.contains(&tuple(["bob", "main"])));
+        assert_eq!(ctx.view_len(), 2);
+        assert_eq!(ctx.committed(), &BTreeSet::from([dev]));
+        assert_eq!(
+            ctx.why()
+                .witnesses_of(&tuple(["bob", "report"]))
+                .unwrap()
+                .len(),
+            1
+        );
+        // The patched context agrees with a context built from scratch on
+        // the deleted-from database (view tuples are renumbering-free).
+        let db2 = db.without(ctx.committed());
+        let fresh = DeletionContext::new(&q, &db2).unwrap();
+        assert_eq!(ctx.view_len(), fresh.view_len());
+        for t in dap_relalg::eval(&q, &db2).unwrap().tuples {
+            assert_eq!(
+                ctx.why().witnesses_of(&t).unwrap().len(),
+                fresh.why().witnesses_of(&t).unwrap().len(),
+                "witness multiplicity for {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn resolve_after_delete_runs_on_the_patched_view() {
+        let (q, db) = fixture();
+        let mut ctx = DeletionContext::new(&q, &db).unwrap();
+        let opts = ExactOptions::default();
+        let first = ctx
+            .min_view_side_effects(&tuple(["bob", "report"]), &opts)
+            .unwrap();
+        assert!(first.is_side_effect_free());
+        // Commit it, then ask for the next target in the same loop.
+        let second = ctx
+            .resolve_after_delete(&first.deletions, &tuple(["ann", "report"]), &opts)
+            .unwrap()
+            .expect("(ann, report) survives the first deletion");
+        // Solutions verify against re-evaluation *with* the commit applied.
+        let inst = ctx.for_target(&tuple(["ann", "report"])).unwrap();
+        assert!(inst.verify_against_reevaluation(&second.deletions).unwrap());
+        // A target the commit already removed resolves to None.
+        let mut ctx2 = DeletionContext::new(&q, &db).unwrap();
+        let both: BTreeSet<Tid> = [
+            db.tid_of("UserGroup", &tuple(["bob", "staff"])).unwrap(),
+            db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap(),
+        ]
+        .into();
+        let gone = ctx2
+            .resolve_after_delete(&both, &tuple(["bob", "main"]), &opts)
+            .unwrap();
+        assert!(gone.is_none(), "side-effected target needs no deletion");
     }
 }

@@ -39,6 +39,14 @@ pub struct DeletionInstance {
     /// Union of the target's witnesses — the candidate deletion pool
     /// (anything outside it only adds side effects). Sorted.
     pub support: Vec<Tid>,
+    /// Source tuples already deleted from `db` before this instance's
+    /// problem was posed (empty for fresh builds). A
+    /// [`crate::deletion::DeletionContext`] that has applied committed
+    /// deletions stamps them here so
+    /// [`DeletionInstance::verify_against_reevaluation`] evaluates the
+    /// right baseline; the combinatorial answers need no adjustment —
+    /// the patched why-provenance already excludes dead tuples.
+    pub committed: BTreeSet<Tid>,
 }
 
 impl DeletionInstance {
@@ -73,6 +81,7 @@ impl DeletionInstance {
             why,
             target_witnesses,
             support: support.into_iter().collect(),
+            committed: BTreeSet::new(),
         })
     }
 
@@ -125,16 +134,20 @@ impl DeletionInstance {
 
     /// Re-evaluate the query on `S \ deleted` and confirm the combinatorial
     /// answers: the target is gone and the side effects match. Used by tests
-    /// and the `verify` path of the solvers.
+    /// and the `verify` path of the solvers. Deletions in
+    /// [`DeletionInstance::committed`] are applied to both sides of the
+    /// comparison (they happened before this problem was posed).
     pub fn verify_against_reevaluation(&self, deleted: &BTreeSet<Tid>) -> Result<bool> {
-        let after = dap_relalg::eval(&self.query, &self.db.without(deleted))?;
+        let mut full: BTreeSet<Tid> = self.committed.clone();
+        full.extend(deleted.iter().cloned());
+        let after = dap_relalg::eval(&self.query, &self.db.without(&full))?;
         let expected_gone = self.deletes_target(deleted);
         let actually_gone = !after.contains(&self.target);
         if expected_gone != actually_gone {
             return Ok(false);
         }
         let predicted: BTreeSet<Tuple> = self.side_effects(deleted);
-        let before = dap_relalg::eval(&self.query, &self.db)?;
+        let before = dap_relalg::eval(&self.query, &self.db.without(&self.committed))?;
         let actually_dead: BTreeSet<Tuple> = before
             .tuples
             .iter()

@@ -263,6 +263,62 @@ pub fn delete_min_source_many(
         .collect()
 }
 
+/// The **apply-and-re-solve serving loop** over one maintained
+/// [`DeletionContext`]: solve each target with minimum view side effects,
+/// **commit** its deletion (the context pushes it through the materialized
+/// plan and patches the why-provenance and touch skeleton in
+/// `O(affected)`), and solve the next target against the updated view.
+/// Targets that an earlier commit has already removed from the view come
+/// back as `None` — there is nothing left to delete for them.
+///
+/// Unlike [`delete_min_view_side_effects_many`] (which answers independent
+/// what-if questions over the *same* view), every class runs through the
+/// context's exact search here: the maintained view is the whole point,
+/// and for the polynomial classes the search degenerates to the same
+/// unique/singleton solutions (Thms 2.3, 2.4).
+pub fn delete_min_view_side_effects_apply_many(
+    q: &Query,
+    db: &Database,
+    targets: &[Tuple],
+) -> Result<Vec<Option<Deletion>>> {
+    let mut ctx = DeletionContext::new(q, db)?;
+    let opts = ExactOptions::default();
+    let mut out = Vec::with_capacity(targets.len());
+    for t in targets {
+        if !ctx.contains(t) {
+            out.push(None);
+            continue;
+        }
+        let sol = ctx.min_view_side_effects(t, &opts)?;
+        ctx.apply_delete(&sol.deletions);
+        out.push(Some(sol));
+    }
+    Ok(out)
+}
+
+/// The apply-and-re-solve loop for the **source** side-effect objective:
+/// like [`delete_min_view_side_effects_apply_many`], but each target is
+/// solved with [`DeletionContext::min_source_deletion`] before its
+/// deletion is committed to the maintained view.
+pub fn delete_min_source_apply_many(
+    q: &Query,
+    db: &Database,
+    targets: &[Tuple],
+) -> Result<Vec<Option<Deletion>>> {
+    let mut ctx = DeletionContext::new(q, db)?;
+    let mut out = Vec::with_capacity(targets.len());
+    for t in targets {
+        if !ctx.contains(t) {
+            out.push(None);
+            continue;
+        }
+        let sol = ctx.min_source_deletion(t)?;
+        ctx.apply_delete(&sol.deletions);
+        out.push(Some(sol));
+    }
+    Ok(out)
+}
+
 /// Like [`delete_min_view_side_effects`], but additionally aware of
 /// declared functional dependencies: when the §2.1.1 keyed condition holds,
 /// the polynomial fast path is used even though the bare query class is
@@ -524,6 +580,41 @@ mod tests {
                 assert_eq!(sol.cost(), single.cost(), "query {text} target {target}");
             }
         }
+    }
+
+    #[test]
+    fn apply_many_serves_targets_against_the_maintained_view() {
+        let db = parse_database(
+            "relation R(A, B) { (a, x), (a2, x) }
+             relation S(B, C) { (x, c), (x, c2) }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan R, scan S), [A, C])").unwrap();
+        let view = dap_relalg::eval(&q, &db).unwrap();
+        let sols = delete_min_view_side_effects_apply_many(&q, &db, &view.tuples).unwrap();
+        assert_eq!(sols.len(), view.len());
+        assert!(sols[0].is_some(), "first target always solvable");
+        // Every committed deletion accumulates; at the end the view is
+        // empty under the union of all deletion sets.
+        let all: std::collections::BTreeSet<_> = sols
+            .iter()
+            .flatten()
+            .flat_map(|d| d.deletions.iter().cloned())
+            .collect();
+        let after = dap_relalg::eval(&q, &db.without(&all)).unwrap();
+        assert!(after.is_empty(), "serving loop cleared every target");
+        // Targets removed as an earlier side effect come back as None —
+        // and at least one None appears here, since every deletion of
+        // (a, c) side-effects a neighbor.
+        assert!(sols.iter().any(Option::is_none));
+        // The source-objective loop clears the view too.
+        let sols = delete_min_source_apply_many(&q, &db, &view.tuples).unwrap();
+        let all: std::collections::BTreeSet<_> = sols
+            .iter()
+            .flatten()
+            .flat_map(|d| d.deletions.iter().cloned())
+            .collect();
+        assert!(dap_relalg::eval(&q, &db.without(&all)).unwrap().is_empty());
     }
 
     #[test]

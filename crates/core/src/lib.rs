@@ -53,8 +53,9 @@ pub mod reductions;
 
 pub use deletion::{Deletion, DeletionContext, DeletionInstance, WitnessIndex};
 pub use dichotomy::{
-    complexity, delete_min_source, delete_min_view_side_effects, format_paper_table, paper_table,
-    place_annotation, place_annotations, Complexity, Problem, SolverKind,
+    complexity, delete_min_source, delete_min_source_apply_many, delete_min_view_side_effects,
+    delete_min_view_side_effects_apply_many, format_paper_table, paper_table, place_annotation,
+    place_annotations, Complexity, Problem, SolverKind,
 };
 pub use error::{CoreError, Result};
 pub use placement::generic::PlacementIndex;

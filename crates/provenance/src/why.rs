@@ -63,6 +63,32 @@ impl WhyProvenance {
     pub fn total_witnesses(&self) -> usize {
         self.map.values().map(Vec::len).sum()
     }
+
+    /// Assemble from precomputed `(tuple, minimal witnesses)` rows — the
+    /// path a maintained `MaterializedPlan<WitnessesAnn>` uses to expose
+    /// its current output as a [`WhyProvenance`] without re-evaluating.
+    pub fn from_parts(
+        schema: Schema,
+        rows: impl IntoIterator<Item = (Tuple, Vec<Witness>)>,
+    ) -> WhyProvenance {
+        WhyProvenance {
+            schema,
+            map: rows.into_iter().collect(),
+        }
+    }
+
+    /// Drop `t` from the view (a deletion side effect). Returns whether it
+    /// was present.
+    pub fn remove_tuple(&mut self, t: &Tuple) -> bool {
+        self.map.remove(t).is_some()
+    }
+
+    /// Replace (or insert) the minimal witness basis of `t` — the patch a
+    /// source deletion applies when some but not all of `t`'s derivations
+    /// died.
+    pub fn set_witnesses(&mut self, t: &Tuple, ws: Vec<Witness>) {
+        self.map.insert(t.clone(), ws);
+    }
 }
 
 /// Compute the why-provenance (minimal witness basis) of every output tuple

@@ -28,17 +28,19 @@
 //! produced tuple) and keeps annotations in a flat `Vec<A>`, so ⊕-merges
 //! combine on indices. Join probe keys are borrowed `&Value` slices — no
 //! value clones on the hash path. The result is sorted once, at the root.
+//!
+//! The walk itself lives in [`crate::plan`]: [`eval_annotated`] is exactly
+//! "build a [`crate::plan::MaterializedPlan`], read its output". Callers
+//! that will re-ask the same `(Q, S)` after source deletions should keep
+//! the plan instead — its `delete_sources` maintains this module's
+//! [`Annotated`] view incrementally.
 
 use crate::database::{Database, Tid};
 use crate::error::Result;
-use crate::name::Attr;
+use crate::plan::MaterializedPlan;
 use crate::query::Query;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
-use crate::typecheck::output_schema;
-use crate::value::Value;
-use std::collections::hash_map::Entry;
-use std::collections::HashMap;
 
 /// Positional layout of a natural join, handed to [`Annotation::join`] so
 /// per-attribute annotations (where-provenance, marks) can route themselves.
@@ -73,7 +75,13 @@ impl JoinLayout {
 /// * `join` distributes over `merge` in the usual semiring sense;
 /// * `project` composes: reordering twice equals reordering once by the
 ///   composed position map.
-pub trait Annotation: Clone {
+///
+/// The `PartialEq` bound is what lets [`crate::plan::MaterializedPlan`]
+/// stop a deletion's ripple early: a recomputed bucket annotation that
+/// compares equal to the old one is not propagated further. For that test
+/// to be sharp (never for correctness), [`Annotation::normalize`] should
+/// produce a canonical form — all five shipped instances do.
+pub trait Annotation: Clone + PartialEq {
     /// The annotation of base tuple `tid`, scanned from a relation with
     /// `schema`. Per-attribute instances seed one cell per attribute.
     fn from_scan(tid: Tid, schema: &Schema) -> Self;
@@ -163,228 +171,26 @@ impl<A> Annotated<A> {
     pub fn into_parts(self) -> (Schema, Vec<Tuple>, Vec<A>) {
         (self.schema, self.tuples, self.annots)
     }
-}
 
-/// Evaluate `q` on `db`, carrying an `A` annotation per output tuple.
-/// One tree walk regardless of the annotation semantics.
-pub fn eval_annotated<A: Annotation>(q: &Query, db: &Database) -> Result<Annotated<A>> {
-    let catalog = db.catalog();
-    // Type-check up front so the walk cannot fail halfway on a schema error.
-    output_schema(q, &catalog)?;
-    let node = walk(q, db)?;
-    Ok(node.into_sorted())
-}
-
-/// An intermediate result: tuples in first-derivation order (deterministic,
-/// not sorted), annotations parallel.
-struct Node<A> {
-    schema: Schema,
-    tuples: Vec<Tuple>,
-    annots: Vec<A>,
-}
-
-impl<A: Annotation> Node<A> {
-    fn into_sorted(self) -> Annotated<A> {
-        let Node {
+    /// Assemble from already-sorted parallel vectors (the materialized
+    /// plan's output path).
+    pub(crate) fn from_sorted_parts(schema: Schema, tuples: Vec<Tuple>, annots: Vec<A>) -> Self {
+        debug_assert!(tuples.windows(2).all(|w| w[0] < w[1]), "sorted, distinct");
+        debug_assert_eq!(tuples.len(), annots.len());
+        Annotated {
             schema,
             tuples,
             annots,
-        } = self;
-        let mut order: Vec<usize> = (0..tuples.len()).collect();
-        order.sort_by(|&i, &j| tuples[i].cmp(&tuples[j]));
-        // Drain in sorted order without cloning annotations.
-        let mut pairs: Vec<Option<(Tuple, A)>> = tuples.into_iter().zip(annots).map(Some).collect();
-        let mut sorted_tuples = Vec::with_capacity(order.len());
-        let mut sorted_annots = Vec::with_capacity(order.len());
-        for &idx in &order {
-            let (t, a) = pairs[idx].take().expect("each index visited once");
-            sorted_tuples.push(t);
-            sorted_annots.push(a);
-        }
-        Annotated {
-            schema,
-            tuples: sorted_tuples,
-            annots: sorted_annots,
         }
     }
 }
 
-/// Interning buckets: output tuples keyed to dense indices so ⊕-merges
-/// combine on indices, not on cloned map keys.
-struct Buckets<A> {
-    index: HashMap<Tuple, usize>,
-    annots: Vec<A>,
-}
-
-impl<A: Annotation> Buckets<A> {
-    fn with_capacity(n: usize) -> Buckets<A> {
-        Buckets {
-            index: HashMap::with_capacity(n),
-            annots: Vec::with_capacity(n),
-        }
-    }
-
-    /// Insert a derivation of `t`, ⊕-merging with an existing bucket.
-    fn add(&mut self, t: Tuple, a: A) {
-        match self.index.entry(t) {
-            Entry::Occupied(slot) => self.annots[*slot.get()].merge(a),
-            Entry::Vacant(slot) => {
-                slot.insert(self.annots.len());
-                self.annots.push(a);
-            }
-        }
-    }
-
-    /// Finish the operator: normalize every bucket and lay the tuples out in
-    /// first-derivation order.
-    fn into_node(self, schema: Schema) -> Node<A> {
-        let Buckets { index, mut annots } = self;
-        for a in &mut annots {
-            a.normalize();
-        }
-        let mut tuples: Vec<Option<Tuple>> = vec![None; annots.len()];
-        for (t, idx) in index {
-            tuples[idx] = Some(t);
-        }
-        Node {
-            schema,
-            tuples: tuples
-                .into_iter()
-                .map(|t| t.expect("every bucket has a tuple"))
-                .collect(),
-            annots,
-        }
-    }
-}
-
-fn walk<A: Annotation>(q: &Query, db: &Database) -> Result<Node<A>> {
-    match q {
-        Query::Scan(rel) => {
-            let r = db.require(rel)?;
-            let schema = r.schema().clone();
-            let annots = (0..r.len())
-                .map(|row| {
-                    A::from_scan(
-                        Tid {
-                            rel: r.name().clone(),
-                            row,
-                        },
-                        &schema,
-                    )
-                })
-                .collect();
-            Ok(Node {
-                schema,
-                tuples: r.tuples().to_vec(),
-                annots,
-            })
-        }
-        Query::Select { input, pred } => {
-            let node = walk::<A>(input, db)?;
-            let mut tuples = Vec::new();
-            let mut annots = Vec::new();
-            for (t, a) in node.tuples.into_iter().zip(node.annots) {
-                if pred.eval(&node.schema, &t)? {
-                    tuples.push(t);
-                    annots.push(a);
-                }
-            }
-            Ok(Node {
-                schema: node.schema,
-                tuples,
-                annots,
-            })
-        }
-        Query::Project { input, attrs } => {
-            let node = walk::<A>(input, db)?;
-            let schema = node.schema.project(attrs)?;
-            let positions = node.schema.positions_of(attrs)?;
-            let mut buckets = Buckets::with_capacity(node.tuples.len());
-            for (t, a) in node.tuples.iter().zip(&node.annots) {
-                buckets.add(t.project_positions(&positions), a.project(&positions));
-            }
-            Ok(buckets.into_node(schema))
-        }
-        Query::Join { left, right } => {
-            let l = walk::<A>(left, db)?;
-            let r = walk::<A>(right, db)?;
-            let shared: Vec<Attr> = l.schema.shared_with(&r.schema);
-            let schema = l.schema.join_with(&r.schema);
-            let l_keys: Vec<usize> = shared
-                .iter()
-                .map(|a| l.schema.index_of(a).expect("shared attr"))
-                .collect();
-            let r_keys: Vec<usize> = shared
-                .iter()
-                .map(|a| r.schema.index_of(a).expect("shared attr"))
-                .collect();
-            let layout = JoinLayout {
-                left_arity: l.schema.arity(),
-                merge_from_right: l
-                    .schema
-                    .attrs()
-                    .iter()
-                    .map(|a| r.schema.index_of(a))
-                    .collect(),
-                right_extra: r
-                    .schema
-                    .attrs()
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, a)| !l.schema.contains(a))
-                    .map(|(i, _)| i)
-                    .collect(),
-            };
-            // Build on the right, probe with the left; keys are borrowed
-            // value slices — no clones on the hash path.
-            let mut table: HashMap<Vec<&Value>, Vec<usize>> =
-                HashMap::with_capacity(r.tuples.len());
-            for (idx, t) in r.tuples.iter().enumerate() {
-                let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
-                table.entry(key).or_default().push(idx);
-            }
-            let mut buckets = Buckets::with_capacity(l.tuples.len().max(r.tuples.len()));
-            for (lt, la) in l.tuples.iter().zip(&l.annots) {
-                let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
-                let Some(matches) = table.get(&key) else {
-                    continue;
-                };
-                for &ridx in matches {
-                    let rt = &r.tuples[ridx];
-                    buckets.add(
-                        lt.join_concat(rt, &layout.right_extra),
-                        A::join(la, &r.annots[ridx], &layout),
-                    );
-                }
-            }
-            Ok(buckets.into_node(schema))
-        }
-        Query::Union { left, right } => {
-            let l = walk::<A>(left, db)?;
-            let r = walk::<A>(right, db)?;
-            // Align the right branch to the left branch's attribute order.
-            let positions = r.schema.positions_of(l.schema.attrs())?;
-            let mut buckets = Buckets::with_capacity(l.tuples.len() + r.tuples.len());
-            for (t, a) in l.tuples.into_iter().zip(l.annots) {
-                buckets.add(t, a);
-            }
-            for (t, a) in r.tuples.iter().zip(&r.annots) {
-                buckets.add(t.project_positions(&positions), a.project(&positions));
-            }
-            Ok(buckets.into_node(l.schema))
-        }
-        Query::Rename { input, mapping } => {
-            // Positionally nothing moves; annotations ride along untouched
-            // (where-provenance deliberately keeps the *original* attribute
-            // names in its source locations — the paper's renaming rule).
-            let node = walk::<A>(input, db)?;
-            Ok(Node {
-                schema: node.schema.rename(mapping)?,
-                tuples: node.tuples,
-                annots: node.annots,
-            })
-        }
-    }
+/// Evaluate `q` on `db`, carrying an `A` annotation per output tuple.
+/// One operator-tree build regardless of the annotation semantics: this is
+/// "build a [`MaterializedPlan`], read its output". Keep the plan itself
+/// when the same `(Q, S)` will be re-asked under source deletions.
+pub fn eval_annotated<A: Annotation>(q: &Query, db: &Database) -> Result<Annotated<A>> {
+    Ok(MaterializedPlan::build(q, db)?.into_annotated())
 }
 
 #[cfg(test)]

@@ -17,6 +17,10 @@
 //!   parameterized over an [`Annotation`] semiring-style trait — the single
 //!   engine behind plain evaluation, lineage, why/where-provenance and
 //!   Boolean lineage expressions (instances live in `dap-provenance`);
+//! * the **materialized operator pipeline** ([`plan`]): the walk's retained
+//!   form — [`MaterializedPlan`] keeps per-operator state so the annotated
+//!   view stays current under source deletions in `O(affected)` instead of
+//!   a full re-evaluation;
 //! * query classification ([`OpFootprint`], [`detect_chain_join`]) used by
 //!   the paper's dichotomy theorems;
 //! * the **union normal form** rewriter ([`normalize()`](normalize::normalize), Theorem 3.1 of the
@@ -48,6 +52,7 @@ pub mod fd;
 pub mod name;
 pub mod normalize;
 pub mod parser;
+pub mod plan;
 pub mod predicate;
 pub mod query;
 pub mod relation;
@@ -65,6 +70,7 @@ pub use fd::{closure, is_superkey, projection_determines_join, Fd, FdCatalog};
 pub use name::{Attr, RelName};
 pub use normalize::{is_normal_form, normalize, Branch, NormalForm, RenamedScan};
 pub use parser::{parse_database, parse_pred, parse_query};
+pub use plan::{MaterializedPlan, ViewDelta};
 pub use predicate::{CmpOp, Operand, Pred};
 pub use query::Query;
 pub use relation::Relation;

@@ -1,0 +1,936 @@
+//! The **materialized operator pipeline** — incremental view maintenance
+//! under source deletions, for every annotation semantics.
+//!
+//! [`crate::engine::eval_annotated`] answers "what is the annotated view of
+//! `Q(S)`?" with one tree walk and throws every intermediate operator state
+//! away. The serving workload of the deletion-propagation problems is the
+//! opposite shape: one hot `(Q, S)` pair asked again and again as source
+//! tuples are deleted. [`MaterializedPlan`] builds the same operator tree
+//! **once** and *retains* per-operator state — scan row liveness, the
+//! (left, right) pair behind every join output, per-bucket contributor
+//! lists at projections and unions — so that
+//! [`MaterializedPlan::delete_sources`] can push a deletion bottom-up and
+//! recompute only the buckets whose derivations actually changed, in
+//! `O(affected)` instead of an `O(|S|)` re-evaluation.
+//!
+//! ## Node state and the support-count invariants
+//!
+//! Every operator node materializes its output rows in **stable slots**
+//! (first-derivation order, exactly the order of the one-shot walk). A slot
+//! is never reused; deletion marks it dead. What "support" a node keeps per
+//! output slot depends on how the operator can merge derivations:
+//!
+//! * **Scan** — slot `i` *is* base row `i` of the relation ([`Tid::row`]);
+//!   the tid map is the identity plus a liveness bit. Deleting a source
+//!   tuple kills the slot.
+//! * **Select** — a partial 1:1 map from input slots to output slots.
+//!   No merging: an output dies exactly when its input dies.
+//! * **Join** — every output tuple has **exactly one** derivation
+//!   `(left, right)`: the joined tuple embeds the full left tuple and
+//!   determines the right tuple (shared attributes + appended extras), and
+//!   within a node tuples are distinct under set semantics. The node keeps
+//!   the pair per output plus both reverse adjacency lists — the retained
+//!   form of the build-time hash table, keyed by the same [`JoinLayout`].
+//!   An output dies when either side dies; an ⊗-recompute is one
+//!   [`Annotation::join`].
+//! * **Project / Union** — the ⊕-merge points. Each output bucket keeps
+//!   its **contributor list** (input slots whose rows project/align into
+//!   it, in derivation order). The *support count* is the list's length:
+//!   a bucket dies exactly when its last contributor dies, and any
+//!   contributor death or annotation change triggers a **bucket
+//!   recomputation** — re-⊕-merging the *surviving* inputs from scratch,
+//!   then [`Annotation::normalize`].
+//!
+//! Recomputing from surviving inputs (rather than trying to "subtract" the
+//! lost derivation) is what makes maintenance correct for non-invertible
+//! carriers: a minimal-witness basis can *grow* when a deletion kills the
+//! witness that had absorbed a larger one, and the surviving contributors
+//! still carry exactly the alternatives the fresh evaluation would see.
+//!
+//! ## Delta propagation
+//!
+//! Deltas are per-node `(removed slots, changed slots)` pairs, pushed in
+//! build (post-) order so children settle before parents:
+//!
+//! * a *removed* input slot prunes contributor lists / kills 1:1 outputs;
+//! * a *changed* input slot marks its buckets affected;
+//! * every affected bucket either dies (empty contributor list) or is
+//!   recomputed; the recomputed annotation is compared against the old one
+//!   (the [`Annotation`] `PartialEq` bound) and propagates **only if it
+//!   differs** — all shipped carriers normalize to canonical forms, so an
+//!   unchanged value stops the ripple right there.
+//!
+//! The root's delta is returned as a [`ViewDelta`]. Renames never
+//! materialize a node: they only relabel the schema, so the build collapses
+//! them into their child and records the renamed schema at the root.
+//!
+//! ```
+//! use dap_relalg::{parse_database, parse_query, tuple, MaterializedPlan, Tid, Unit};
+//!
+//! let db = parse_database(
+//!     "relation UserGroup(user, grp) { (ann, staff), (bob, staff), (bob, dev) }
+//!      relation GroupFile(grp, file) { (staff, report), (dev, main), (dev, report) }",
+//! ).unwrap();
+//! let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+//!
+//! let mut plan = MaterializedPlan::<Unit>::build(&q, &db).unwrap();
+//! assert_eq!(plan.len(), 3);
+//! // Deleting (bob, dev) kills (bob, main); (bob, report) survives via staff.
+//! let delta = plan.delete_sources(&[db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap()]);
+//! assert_eq!(delta.removed, vec![tuple(["bob", "main"])]);
+//! assert!(plan.annotation_of(&tuple(["bob", "report"])).is_some());
+//! ```
+
+use crate::database::{Database, Tid};
+use crate::engine::{Annotated, Annotation, JoinLayout};
+use crate::error::Result;
+use crate::name::{Attr, RelName};
+use crate::query::Query;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+use crate::typecheck::output_schema;
+use crate::value::Value;
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+
+/// What one [`MaterializedPlan::delete_sources`] call did to the view.
+/// Both lists are sorted ascending and disjoint.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ViewDelta {
+    /// View tuples that disappeared (their last derivation died).
+    pub removed: Vec<Tuple>,
+    /// View tuples that survive with a **different annotation** (some but
+    /// not all of their derivations died, or an upstream annotation
+    /// shrank/grew). Read the new value off
+    /// [`MaterializedPlan::annotation_of`].
+    pub changed: Vec<Tuple>,
+}
+
+impl ViewDelta {
+    /// Whether the deletion left the view completely untouched.
+    pub fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.changed.is_empty()
+    }
+}
+
+/// Materialized output rows of one operator: stable slots, tombstoned on
+/// deletion. `tuples[s]` / `annots[s]` stay readable after death but are
+/// never read by parents (their contributor lists are pruned first).
+#[derive(Clone, Debug)]
+struct Rows<A> {
+    tuples: Vec<Tuple>,
+    annots: Vec<A>,
+    alive: Vec<bool>,
+    alive_count: usize,
+}
+
+impl<A> Rows<A> {
+    fn new(tuples: Vec<Tuple>, annots: Vec<A>) -> Rows<A> {
+        let n = tuples.len();
+        Rows {
+            tuples,
+            annots,
+            alive: vec![true; n],
+            alive_count: n,
+        }
+    }
+
+    fn kill(&mut self, slot: usize) {
+        debug_assert!(self.alive[slot], "slot {slot} killed twice");
+        self.alive[slot] = false;
+        self.alive_count -= 1;
+    }
+}
+
+/// The retained per-operator state (see the module docs for the invariants
+/// each variant maintains). Child indices always point at earlier plan
+/// nodes: the build pushes children first.
+#[derive(Clone, Debug)]
+enum Op {
+    /// Slot `i` ↔ base row `i`; deletion of `Tid { rel, row }` kills slot
+    /// `row`. The relation name lives in [`MaterializedPlan::scans`].
+    Scan,
+    /// `out_of[input slot]` — the output slot the row passed through to,
+    /// if it satisfied the predicate.
+    Select {
+        child: usize,
+        out_of: Vec<Option<usize>>,
+    },
+    /// ⊕-merge buckets: `out_of` maps every input slot to its bucket,
+    /// `contributors[bucket]` lists the surviving input slots in
+    /// derivation order (the bucket's support; empty ⇒ dead).
+    Project {
+        child: usize,
+        positions: Vec<usize>,
+        out_of: Vec<usize>,
+        contributors: Vec<Vec<usize>>,
+    },
+    /// One derivation per output: `pair_of[out]` is the unique
+    /// `(left slot, right slot)` pair, `left_outs`/`right_outs` the
+    /// reverse adjacency used to find affected outputs in `O(matches)`.
+    Join {
+        left: usize,
+        right: usize,
+        layout: JoinLayout,
+        pair_of: Vec<(usize, usize)>,
+        left_outs: Vec<Vec<usize>>,
+        right_outs: Vec<Vec<usize>>,
+    },
+    /// ⊕-merge buckets with at most one contributor per branch:
+    /// `sources[out] = (left slot, right slot)` options; `(None, None)` ⇒
+    /// dead. `positions` aligns the right branch to the left schema.
+    Union {
+        left: usize,
+        right: usize,
+        positions: Vec<usize>,
+        from_left: Vec<usize>,
+        from_right: Vec<usize>,
+        sources: Vec<(Option<usize>, Option<usize>)>,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct Node<A> {
+    op: Op,
+    rows: Rows<A>,
+}
+
+/// Per-node scratch delta for one `delete_sources` push.
+#[derive(Clone, Debug, Default)]
+struct NodeDelta {
+    removed: Vec<usize>,
+    changed: Vec<usize>,
+}
+
+/// A materialized annotated pipeline for one `(Q, S)`: build once, then
+/// maintain the annotated view under source deletions with
+/// [`MaterializedPlan::delete_sources`]. See the module docs for the
+/// retained state and its invariants.
+#[derive(Clone, Debug)]
+pub struct MaterializedPlan<A> {
+    nodes: Vec<Node<A>>,
+    root: usize,
+    schema: Schema,
+    /// `(relation, scan node)` pairs — one entry per scan, so self-joins
+    /// route a deletion to every occurrence.
+    scans: Vec<(RelName, usize)>,
+    /// Root slots in sorted-tuple order (deletion never reorders; reads
+    /// filter dead slots).
+    root_order: Vec<usize>,
+    /// Root tuple → slot (lookups check liveness).
+    root_index: HashMap<Tuple, usize>,
+    /// Scratch deltas, one per node, reused across calls.
+    deltas: Vec<NodeDelta>,
+}
+
+impl<A: Annotation> MaterializedPlan<A> {
+    /// Build the pipeline for `q` over `db`: one annotated evaluation that
+    /// keeps its intermediate state. Fails (before materializing anything)
+    /// on the same type errors as evaluation.
+    pub fn build(q: &Query, db: &Database) -> Result<MaterializedPlan<A>> {
+        output_schema(q, &db.catalog())?;
+        let mut builder = Builder {
+            nodes: Vec::new(),
+            scans: Vec::new(),
+        };
+        let (root, schema) = builder.node(q, db)?;
+        let rows = &builder.nodes[root].rows;
+        let mut root_order: Vec<usize> = (0..rows.tuples.len()).collect();
+        root_order.sort_by(|&i, &j| rows.tuples[i].cmp(&rows.tuples[j]));
+        let root_index = rows
+            .tuples
+            .iter()
+            .enumerate()
+            .map(|(slot, t)| (t.clone(), slot))
+            .collect();
+        let deltas = vec![NodeDelta::default(); builder.nodes.len()];
+        Ok(MaterializedPlan {
+            nodes: builder.nodes,
+            root,
+            schema,
+            scans: builder.scans,
+            root_order,
+            root_index,
+            deltas,
+        })
+    }
+
+    /// The view's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples currently in the view.
+    pub fn len(&self) -> usize {
+        self.nodes[self.root].rows.alive_count
+    }
+
+    /// Whether the view is currently empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate over the current view in sorted tuple order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Tuple, &A)> {
+        let rows = &self.nodes[self.root].rows;
+        self.root_order
+            .iter()
+            .filter(|&&s| rows.alive[s])
+            .map(move |&s| (&rows.tuples[s], &rows.annots[s]))
+    }
+
+    /// The current annotation of `t`, if `t` is (still) in the view.
+    pub fn annotation_of(&self, t: &Tuple) -> Option<&A> {
+        let rows = &self.nodes[self.root].rows;
+        self.root_index
+            .get(t)
+            .filter(|&&s| rows.alive[s])
+            .map(|&s| &rows.annots[s])
+    }
+
+    /// Whether `t` is (still) in the view.
+    pub fn contains(&self, t: &Tuple) -> bool {
+        self.annotation_of(t).is_some()
+    }
+
+    /// Clone the current view into a sorted [`Annotated`] — what a fresh
+    /// [`crate::engine::eval_annotated`] of `Q` over the deleted-from
+    /// database would return (up to source-tuple renumbering inside the
+    /// annotations: the plan keeps the *original* [`Tid`]s).
+    pub fn snapshot(&self) -> Annotated<A> {
+        let mut tuples = Vec::with_capacity(self.len());
+        let mut annots = Vec::with_capacity(self.len());
+        for (t, a) in self.iter() {
+            tuples.push(t.clone());
+            annots.push(a.clone());
+        }
+        Annotated::from_sorted_parts(self.schema.clone(), tuples, annots)
+    }
+
+    /// Consume the plan into its current sorted output without cloning the
+    /// root rows — the one-shot evaluation path
+    /// ([`crate::engine::eval_annotated`] is exactly build + this).
+    pub fn into_annotated(mut self) -> Annotated<A> {
+        let rows = std::mem::replace(
+            &mut self.nodes[self.root].rows,
+            Rows::new(Vec::new(), Vec::new()),
+        );
+        // Zip, drop dead slots, sort by tuple, unzip: the sort moves whole
+        // pairs, so no per-element Option take-dance is needed.
+        let mut pairs: Vec<(Tuple, A)> = rows
+            .tuples
+            .into_iter()
+            .zip(rows.annots)
+            .zip(rows.alive)
+            .filter(|(_, alive)| *alive)
+            .map(|(pair, _)| pair)
+            .collect();
+        pairs.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut tuples = Vec::with_capacity(pairs.len());
+        let mut annots = Vec::with_capacity(pairs.len());
+        for (t, a) in pairs {
+            tuples.push(t);
+            annots.push(a);
+        }
+        Annotated::from_sorted_parts(self.schema, tuples, annots)
+    }
+
+    /// Delete the source tuples named by `tids` and push the change through
+    /// the pipeline, recomputing only affected buckets. Returns the view
+    /// delta. Tids addressing relations the query never scans, rows outside
+    /// the relation, or rows already deleted are no-ops, so the call is
+    /// idempotent and deletions are cumulative across calls.
+    pub fn delete_sources(&mut self, tids: &[Tid]) -> ViewDelta {
+        for d in &mut self.deltas {
+            d.removed.clear();
+            d.changed.clear();
+        }
+        for tid in tids {
+            for &(ref rel, node) in &self.scans {
+                if *rel != tid.rel {
+                    continue;
+                }
+                let rows = &mut self.nodes[node].rows;
+                if tid.row < rows.alive.len() && rows.alive[tid.row] {
+                    rows.kill(tid.row);
+                    self.deltas[node].removed.push(tid.row);
+                }
+            }
+        }
+        for id in 0..self.nodes.len() {
+            if !matches!(self.nodes[id].op, Op::Scan) {
+                self.propagate(id);
+            }
+        }
+        let rows = &self.nodes[self.root].rows;
+        let delta = &self.deltas[self.root];
+        let mut removed: Vec<Tuple> = delta
+            .removed
+            .iter()
+            .map(|&s| rows.tuples[s].clone())
+            .collect();
+        let mut changed: Vec<Tuple> = delta
+            .changed
+            .iter()
+            .map(|&s| rows.tuples[s].clone())
+            .collect();
+        removed.sort();
+        changed.sort();
+        ViewDelta { removed, changed }
+    }
+
+    /// Apply node `id`'s children's deltas to node `id` (children always
+    /// have smaller indices, so split borrows are safe).
+    fn propagate(&mut self, id: usize) {
+        let (child_deltas, rest) = self.deltas.split_at_mut(id);
+        let delta = &mut rest[0];
+        let (child_nodes, rest) = self.nodes.split_at_mut(id);
+        let Node { op, rows } = &mut rest[0];
+        match op {
+            Op::Scan => unreachable!("scan deltas are seeded, not propagated"),
+            Op::Select { child, out_of } => {
+                let ch = &child_nodes[*child];
+                let cd = &child_deltas[*child];
+                for &c in &cd.removed {
+                    if let Some(o) = out_of[c] {
+                        rows.kill(o);
+                        delta.removed.push(o);
+                    }
+                }
+                for &c in &cd.changed {
+                    if let Some(o) = out_of[c] {
+                        rows.annots[o] = ch.rows.annots[c].clone();
+                        delta.changed.push(o);
+                    }
+                }
+            }
+            Op::Project {
+                child,
+                positions,
+                out_of,
+                contributors,
+            } => {
+                let ch = &child_nodes[*child];
+                let cd = &child_deltas[*child];
+                let mut affected = Vec::new();
+                for &c in &cd.removed {
+                    let o = out_of[c];
+                    let list = &mut contributors[o];
+                    let pos = list
+                        .iter()
+                        .position(|&x| x == c)
+                        .expect("removed input slot was a live contributor");
+                    list.remove(pos);
+                    affected.push(o);
+                }
+                for &c in &cd.changed {
+                    affected.push(out_of[c]);
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                for o in affected {
+                    let list = &contributors[o];
+                    if list.is_empty() {
+                        rows.kill(o);
+                        delta.removed.push(o);
+                        continue;
+                    }
+                    let mut acc = ch.rows.annots[list[0]].project(positions);
+                    for &c in &list[1..] {
+                        acc.merge(ch.rows.annots[c].project(positions));
+                    }
+                    acc.normalize();
+                    if acc != rows.annots[o] {
+                        rows.annots[o] = acc;
+                        delta.changed.push(o);
+                    }
+                }
+            }
+            Op::Join {
+                left,
+                right,
+                layout,
+                pair_of,
+                left_outs,
+                right_outs,
+            } => {
+                let (lch, rch) = (&child_nodes[*left], &child_nodes[*right]);
+                let (ld, rd) = (&child_deltas[*left], &child_deltas[*right]);
+                // Kills first: a pair whose other side also changed must
+                // not be recomputed from a dead row.
+                for &c in &ld.removed {
+                    for &o in &left_outs[c] {
+                        if rows.alive[o] {
+                            rows.kill(o);
+                            delta.removed.push(o);
+                        }
+                    }
+                }
+                for &c in &rd.removed {
+                    for &o in &right_outs[c] {
+                        if rows.alive[o] {
+                            rows.kill(o);
+                            delta.removed.push(o);
+                        }
+                    }
+                }
+                let mut affected = Vec::new();
+                for &c in &ld.changed {
+                    for &o in &left_outs[c] {
+                        if rows.alive[o] {
+                            affected.push(o);
+                        }
+                    }
+                }
+                for &c in &rd.changed {
+                    for &o in &right_outs[c] {
+                        if rows.alive[o] {
+                            affected.push(o);
+                        }
+                    }
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                for o in affected {
+                    let (l, r) = pair_of[o];
+                    let mut acc = A::join(&lch.rows.annots[l], &rch.rows.annots[r], layout);
+                    acc.normalize();
+                    if acc != rows.annots[o] {
+                        rows.annots[o] = acc;
+                        delta.changed.push(o);
+                    }
+                }
+            }
+            Op::Union {
+                left,
+                right,
+                positions,
+                from_left,
+                from_right,
+                sources,
+            } => {
+                let (lch, rch) = (&child_nodes[*left], &child_nodes[*right]);
+                let (ld, rd) = (&child_deltas[*left], &child_deltas[*right]);
+                let mut affected = Vec::new();
+                for &c in &ld.removed {
+                    let o = from_left[c];
+                    sources[o].0 = None;
+                    affected.push(o);
+                }
+                for &c in &rd.removed {
+                    let o = from_right[c];
+                    sources[o].1 = None;
+                    affected.push(o);
+                }
+                for &c in &ld.changed {
+                    affected.push(from_left[c]);
+                }
+                for &c in &rd.changed {
+                    affected.push(from_right[c]);
+                }
+                affected.sort_unstable();
+                affected.dedup();
+                for o in affected {
+                    let mut acc = match sources[o] {
+                        (None, None) => {
+                            rows.kill(o);
+                            delta.removed.push(o);
+                            continue;
+                        }
+                        (Some(l), None) => lch.rows.annots[l].clone(),
+                        (Some(l), Some(r)) => {
+                            let mut acc = lch.rows.annots[l].clone();
+                            acc.merge(rch.rows.annots[r].project(positions));
+                            acc
+                        }
+                        (None, Some(r)) => rch.rows.annots[r].project(positions),
+                    };
+                    acc.normalize();
+                    if acc != rows.annots[o] {
+                        rows.annots[o] = acc;
+                        delta.changed.push(o);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Build-time accumulator: nodes in post-order plus the scan registry.
+struct Builder<A> {
+    nodes: Vec<Node<A>>,
+    scans: Vec<(RelName, usize)>,
+}
+
+/// ⊕-merge bucket accumulator shared by the project and union builds:
+/// interned output tuples with contributor bookkeeping.
+struct BucketAcc<A> {
+    index: HashMap<Tuple, usize>,
+    tuples: Vec<Tuple>,
+    annots: Vec<A>,
+}
+
+impl<A: Annotation> BucketAcc<A> {
+    fn with_capacity(n: usize) -> BucketAcc<A> {
+        BucketAcc {
+            index: HashMap::with_capacity(n),
+            tuples: Vec::with_capacity(n),
+            annots: Vec::with_capacity(n),
+        }
+    }
+
+    /// Insert a derivation of `t`, ⊕-merging into an existing bucket.
+    /// Returns the bucket slot.
+    fn add(&mut self, t: Tuple, a: A) -> usize {
+        match self.index.entry(t) {
+            Entry::Occupied(slot) => {
+                let o = *slot.get();
+                self.annots[o].merge(a);
+                o
+            }
+            Entry::Vacant(slot) => {
+                let o = self.annots.len();
+                self.tuples.push(slot.key().clone());
+                slot.insert(o);
+                self.annots.push(a);
+                o
+            }
+        }
+    }
+
+    /// Normalize every bucket and hand the rows over.
+    fn into_rows(self) -> Rows<A> {
+        let BucketAcc {
+            tuples, mut annots, ..
+        } = self;
+        for a in &mut annots {
+            a.normalize();
+        }
+        Rows::new(tuples, annots)
+    }
+}
+
+impl<A: Annotation> Builder<A> {
+    fn push(&mut self, op: Op, rows: Rows<A>) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node { op, rows });
+        id
+    }
+
+    /// Build the plan node for `q`, returning its index and schema.
+    /// Children are pushed before parents, so indices are in post-order.
+    fn node(&mut self, q: &Query, db: &Database) -> Result<(usize, Schema)> {
+        match q {
+            Query::Scan(rel) => {
+                let r = db.require(rel)?;
+                let schema = r.schema().clone();
+                let annots = (0..r.len())
+                    .map(|row| {
+                        A::from_scan(
+                            Tid {
+                                rel: r.name().clone(),
+                                row,
+                            },
+                            &schema,
+                        )
+                    })
+                    .collect();
+                let id = self.push(Op::Scan, Rows::new(r.tuples().to_vec(), annots));
+                self.scans.push((rel.clone(), id));
+                Ok((id, schema))
+            }
+            Query::Select { input, pred } => {
+                let (child, schema) = self.node(input, db)?;
+                let ch = &self.nodes[child].rows;
+                let mut out_of = Vec::with_capacity(ch.tuples.len());
+                let mut tuples = Vec::new();
+                let mut annots = Vec::new();
+                for (t, a) in ch.tuples.iter().zip(&ch.annots) {
+                    if pred.eval(&schema, t)? {
+                        out_of.push(Some(tuples.len()));
+                        tuples.push(t.clone());
+                        annots.push(a.clone());
+                    } else {
+                        out_of.push(None);
+                    }
+                }
+                let id = self.push(Op::Select { child, out_of }, Rows::new(tuples, annots));
+                Ok((id, schema))
+            }
+            Query::Project { input, attrs } => {
+                let (child, in_schema) = self.node(input, db)?;
+                let schema = in_schema.project(attrs)?;
+                let positions = in_schema.positions_of(attrs)?;
+                let ch = &self.nodes[child].rows;
+                let mut acc = BucketAcc::with_capacity(ch.tuples.len());
+                let mut out_of = Vec::with_capacity(ch.tuples.len());
+                for (t, a) in ch.tuples.iter().zip(&ch.annots) {
+                    out_of.push(acc.add(t.project_positions(&positions), a.project(&positions)));
+                }
+                let mut contributors = vec![Vec::new(); acc.annots.len()];
+                for (c, &o) in out_of.iter().enumerate() {
+                    contributors[o].push(c);
+                }
+                let rows = acc.into_rows();
+                let id = self.push(
+                    Op::Project {
+                        child,
+                        positions,
+                        out_of,
+                        contributors,
+                    },
+                    rows,
+                );
+                Ok((id, schema))
+            }
+            Query::Join { left, right } => {
+                let (lid, ls) = self.node(left, db)?;
+                let (rid, rs) = self.node(right, db)?;
+                let shared: Vec<Attr> = ls.shared_with(&rs);
+                let schema = ls.join_with(&rs);
+                let l_keys: Vec<usize> = shared
+                    .iter()
+                    .map(|a| ls.index_of(a).expect("shared attr"))
+                    .collect();
+                let r_keys: Vec<usize> = shared
+                    .iter()
+                    .map(|a| rs.index_of(a).expect("shared attr"))
+                    .collect();
+                let layout = JoinLayout {
+                    left_arity: ls.arity(),
+                    merge_from_right: ls.attrs().iter().map(|a| rs.index_of(a)).collect(),
+                    right_extra: rs
+                        .attrs()
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| !ls.contains(a))
+                        .map(|(i, _)| i)
+                        .collect(),
+                };
+                let (lrows, rrows) = (&self.nodes[lid].rows, &self.nodes[rid].rows);
+                // Build on the right, probe with the left; borrowed keys as
+                // in the one-shot walk — the retained state is the pair map
+                // plus the reverse adjacency, not the table itself.
+                let mut table: HashMap<Vec<&Value>, Vec<usize>> =
+                    HashMap::with_capacity(rrows.tuples.len());
+                for (idx, t) in rrows.tuples.iter().enumerate() {
+                    let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
+                    table.entry(key).or_default().push(idx);
+                }
+                let mut tuples = Vec::new();
+                let mut annots: Vec<A> = Vec::new();
+                let mut pair_of = Vec::new();
+                let mut left_outs = vec![Vec::new(); lrows.tuples.len()];
+                let mut right_outs = vec![Vec::new(); rrows.tuples.len()];
+                for (li, (lt, la)) in lrows.tuples.iter().zip(&lrows.annots).enumerate() {
+                    let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
+                    let Some(matches) = table.get(&key) else {
+                        continue;
+                    };
+                    for &ri in matches {
+                        // The joined tuple embeds the left tuple and
+                        // determines the right one, and node outputs are
+                        // sets — each output has exactly one (l, r) pair.
+                        let o = tuples.len();
+                        tuples.push(lt.join_concat(&rrows.tuples[ri], &layout.right_extra));
+                        let mut a = A::join(la, &rrows.annots[ri], &layout);
+                        a.normalize();
+                        annots.push(a);
+                        pair_of.push((li, ri));
+                        left_outs[li].push(o);
+                        right_outs[ri].push(o);
+                    }
+                }
+                debug_assert_eq!(
+                    tuples
+                        .iter()
+                        .collect::<std::collections::HashSet<_>>()
+                        .len(),
+                    tuples.len(),
+                    "join outputs are distinct: one derivation per output"
+                );
+                let id = self.push(
+                    Op::Join {
+                        left: lid,
+                        right: rid,
+                        layout,
+                        pair_of,
+                        left_outs,
+                        right_outs,
+                    },
+                    Rows::new(tuples, annots),
+                );
+                Ok((id, schema))
+            }
+            Query::Union { left, right } => {
+                let (lid, ls) = self.node(left, db)?;
+                let (rid, rs) = self.node(right, db)?;
+                // Align the right branch to the left branch's attribute
+                // order (a bijection, so aligned right tuples stay distinct).
+                let positions = rs.positions_of(ls.attrs())?;
+                let (lrows, rrows) = (&self.nodes[lid].rows, &self.nodes[rid].rows);
+                let mut acc = BucketAcc::with_capacity(lrows.tuples.len() + rrows.tuples.len());
+                let mut from_left = Vec::with_capacity(lrows.tuples.len());
+                for (t, a) in lrows.tuples.iter().zip(&lrows.annots) {
+                    from_left.push(acc.add(t.clone(), a.clone()));
+                }
+                let mut from_right = Vec::with_capacity(rrows.tuples.len());
+                for (t, a) in rrows.tuples.iter().zip(&rrows.annots) {
+                    from_right
+                        .push(acc.add(t.project_positions(&positions), a.project(&positions)));
+                }
+                let mut sources = vec![(None, None); acc.annots.len()];
+                for (c, &o) in from_left.iter().enumerate() {
+                    sources[o].0 = Some(c);
+                }
+                for (c, &o) in from_right.iter().enumerate() {
+                    sources[o].1 = Some(c);
+                }
+                let rows = acc.into_rows();
+                let id = self.push(
+                    Op::Union {
+                        left: lid,
+                        right: rid,
+                        positions,
+                        from_left,
+                        from_right,
+                        sources,
+                    },
+                    rows,
+                );
+                Ok((id, ls))
+            }
+            Query::Rename { input, mapping } => {
+                // Renaming moves no tuples and no annotations — collapse to
+                // the child and relabel the schema (the paper's rule keeps
+                // original names inside where-provenance locations).
+                let (child, schema) = self.node(input, db)?;
+                Ok((child, schema.rename(mapping)?))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{eval_annotated, Unit};
+    use crate::parser::{parse_database, parse_query};
+    use crate::tuple::tuple;
+    use std::collections::BTreeSet;
+
+    fn fixture() -> (Query, Database) {
+        let db = parse_database(
+            "relation UserGroup(user, grp) {
+                 (ann, staff), (bob, staff), (bob, dev)
+             }
+             relation GroupFile(grp, file) {
+                 (staff, report), (dev, main), (dev, report)
+             }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        (q, db)
+    }
+
+    /// Maintained output equals a fresh evaluation of the remaining
+    /// database, tuple-for-tuple (`Unit` carries no tids, so no
+    /// renumbering caveat applies).
+    fn assert_tracks_fresh(q: &Query, db: &Database, deletions: &[Tid]) {
+        let mut plan = MaterializedPlan::<Unit>::build(q, db).unwrap();
+        let mut deleted = BTreeSet::new();
+        for tid in deletions {
+            plan.delete_sources(std::slice::from_ref(tid));
+            deleted.insert(tid.clone());
+            let fresh = eval_annotated::<Unit>(q, &db.without(&deleted)).unwrap();
+            let maintained: Vec<Tuple> = plan.iter().map(|(t, _)| t.clone()).collect();
+            assert_eq!(
+                maintained,
+                fresh.tuples().to_vec(),
+                "after deleting {deleted:?}"
+            );
+            assert_eq!(plan.len(), fresh.len());
+        }
+    }
+
+    #[test]
+    fn build_matches_eval_annotated() {
+        let (q, db) = fixture();
+        let plan = MaterializedPlan::<Unit>::build(&q, &db).unwrap();
+        let fresh = eval_annotated::<Unit>(&q, &db).unwrap();
+        assert_eq!(plan.snapshot().tuples(), fresh.tuples());
+        assert_eq!(plan.schema(), &fresh.schema);
+    }
+
+    #[test]
+    fn deletions_track_fresh_eval_per_operator() {
+        let (_, db) = fixture();
+        let all: Vec<Tid> = db.all_tids().collect();
+        for text in [
+            "scan UserGroup",
+            "select(scan UserGroup, user = 'bob')",
+            "project(scan UserGroup, [grp])",
+            "join(scan UserGroup, scan GroupFile)",
+            "project(join(scan UserGroup, scan GroupFile), [user, file])",
+            "union(scan UserGroup, rename(scan GroupFile, {grp -> user, file -> grp}))",
+            "rename(scan UserGroup, {user -> member})",
+        ] {
+            let q = parse_query(text).unwrap();
+            assert_tracks_fresh(&q, &db, &all);
+        }
+    }
+
+    #[test]
+    fn delta_reports_removed_and_spares_survivors() {
+        let (q, db) = fixture();
+        let mut plan = MaterializedPlan::<Unit>::build(&q, &db).unwrap();
+        let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        let delta = plan.delete_sources(&[dev]);
+        // (bob, main) loses its only witness; (bob, report) survives via
+        // staff and Unit carries no annotation to change.
+        assert_eq!(delta.removed, vec![tuple(["bob", "main"])]);
+        assert!(delta.changed.is_empty());
+        assert!(plan.contains(&tuple(["bob", "report"])));
+        assert!(!plan.contains(&tuple(["bob", "main"])));
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn deletions_are_idempotent_and_unknown_tids_are_noops() {
+        let (q, db) = fixture();
+        let mut plan = MaterializedPlan::<Unit>::build(&q, &db).unwrap();
+        let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        assert!(!plan.delete_sources(std::slice::from_ref(&dev)).is_empty());
+        // Again, plus a tid for an unscanned relation and an out-of-range row.
+        let delta = plan.delete_sources(&[dev, Tid::new("Nope", 0), Tid::new("UserGroup", 99)]);
+        assert!(delta.is_empty());
+        assert_eq!(plan.len(), 2);
+    }
+
+    #[test]
+    fn self_join_routes_deletions_to_both_scans() {
+        let db = parse_database("relation R(A, B) { (a, b1), (a, b2) }").unwrap();
+        let q = Query::scan("R").project(["A"]).join(Query::scan("R"));
+        let all: Vec<Tid> = db.all_tids().collect();
+        assert_tracks_fresh(&q, &db, &all);
+    }
+
+    #[test]
+    fn emptying_the_source_empties_the_view() {
+        let (q, db) = fixture();
+        let mut plan = MaterializedPlan::<Unit>::build(&q, &db).unwrap();
+        let all: Vec<Tid> = db.all_tids().collect();
+        plan.delete_sources(&all);
+        assert!(plan.is_empty());
+        assert_eq!(plan.iter().count(), 0);
+        assert!(plan.snapshot().is_empty());
+    }
+
+    #[test]
+    fn type_errors_surface_before_building() {
+        let (_, db) = fixture();
+        assert!(MaterializedPlan::<Unit>::build(&Query::scan("Nope"), &db).is_err());
+        let q = Query::scan("UserGroup").project(["nope"]);
+        assert!(MaterializedPlan::<Unit>::build(&q, &db).is_err());
+    }
+}

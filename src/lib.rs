@@ -59,7 +59,10 @@ pub mod prelude {
     pub use dap_core::deletion::keyed::{is_keyed, keyed_side_effect_free, keyed_view_deletion};
     pub use dap_core::deletion::view_side_effect::ExactOptions;
     pub use dap_core::dichotomy::delete_min_view_side_effects_with_fds;
-    pub use dap_core::dichotomy::{delete_min_source_many, delete_min_view_side_effects_many};
+    pub use dap_core::dichotomy::{
+        delete_min_source_apply_many, delete_min_source_many,
+        delete_min_view_side_effects_apply_many, delete_min_view_side_effects_many,
+    };
     pub use dap_core::{
         complexity, delete_min_source, delete_min_view_side_effects, format_paper_table,
         paper_table, place_annotation, place_annotations, Complexity, CoreError, Deletion,
@@ -73,8 +76,8 @@ pub mod prelude {
     };
     pub use dap_relalg::{
         eval, eval_annotated, normalize, parse_database, parse_pred, parse_query, schema, tuple,
-        Annotation, Attr, Database, Fd, FdCatalog, OpFootprint, Pred, Query, RelName, Relation,
-        Schema, Tid, Tuple, Value,
+        Annotation, Attr, Database, Fd, FdCatalog, MaterializedPlan, OpFootprint, Pred, Query,
+        RelName, Relation, Schema, Tid, Tuple, Value, ViewDelta,
     };
 }
 

@@ -1,0 +1,324 @@
+//! Differential property tests for the **materialized pipeline**
+//! (`dap_relalg::MaterializedPlan`) and the maintained `DeletionContext`:
+//!
+//! * under random deletion sequences over random `(Q, S)`, the maintained
+//!   plan's output must equal a fresh `eval_annotated` of the shrunken
+//!   database after **every** step, for all five annotation instances;
+//! * the `ViewDelta` each step reports must be exactly the set difference
+//!   between consecutive views;
+//! * `DeletionContext::resolve_after_delete` (apply-and-re-solve on the
+//!   maintained state) must return exactly what a context rebuilt from
+//!   scratch on the deleted-from database returns.
+//!
+//! The one wrinkle is *renumbering*: fresh evaluations of `S \ T` re-pack
+//! row indices, while the maintained plan keeps the original [`Tid`]s.
+//! `Database::without` preserves relative row order, so the renumbering is
+//! the monotone (hence order-preserving) map built by [`remap_table`];
+//! maintained annotations are translated through it before comparison.
+//! All carriers normalize to canonical forms, so equality after
+//! translation is exact — except `ExprAnn`, whose OR-operand order is
+//! derivation-order dependent; it is compared via its canonical DNF
+//! (`prime_implicants`, which equals the minimal witness basis).
+
+mod common;
+
+use common::{small_database, typed_query};
+use dap::prelude::*;
+use dap::provenance::{ExprAnn, LineageAnn, LocationsAnn, SourceLoc, WitnessesAnn};
+use dap::relalg::Unit;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Debug;
+
+/// The original-tid → fresh-tid renumbering left by `db.without(deleted)`:
+/// row `r` of a relation becomes `r - |deleted rows below r|`. Monotone per
+/// relation, so it preserves every ordering the carriers rely on.
+fn remap_table(db: &Database, deleted: &BTreeSet<Tid>) -> BTreeMap<Tid, Tid> {
+    let mut map = BTreeMap::new();
+    for rel in db.relations() {
+        let mut fresh = 0usize;
+        for row in 0..rel.len() {
+            let tid = Tid::new(rel.name().clone(), row);
+            if deleted.contains(&tid) {
+                continue;
+            }
+            map.insert(tid, Tid::new(rel.name().clone(), fresh));
+            fresh += 1;
+        }
+    }
+    map
+}
+
+fn remap_tid(map: &BTreeMap<Tid, Tid>, tid: &Tid) -> Tid {
+    map.get(tid).cloned().unwrap_or_else(|| tid.clone())
+}
+
+fn remap_witnesses(map: &BTreeMap<Tid, Tid>, ws: &[Witness]) -> Vec<Witness> {
+    ws.iter()
+        .map(|w| w.iter().map(|tid| remap_tid(map, tid)).collect())
+        .collect()
+}
+
+/// Canonical, renumbering-translated form of each annotation carrier.
+trait CanonAnn: Annotation + Debug {
+    type Out: PartialEq + Debug;
+    fn canon(&self, map: &BTreeMap<Tid, Tid>) -> Self::Out;
+}
+
+impl CanonAnn for Unit {
+    type Out = ();
+    fn canon(&self, _map: &BTreeMap<Tid, Tid>) -> Self::Out {}
+}
+
+impl CanonAnn for WitnessesAnn {
+    type Out = Vec<Witness>;
+    fn canon(&self, map: &BTreeMap<Tid, Tid>) -> Self::Out {
+        remap_witnesses(map, &self.0)
+    }
+}
+
+impl CanonAnn for LocationsAnn {
+    type Out = Vec<BTreeSet<SourceLoc>>;
+    fn canon(&self, map: &BTreeMap<Tid, Tid>) -> Self::Out {
+        self.0
+            .iter()
+            .map(|cell| {
+                cell.iter()
+                    .map(|loc| SourceLoc::new(remap_tid(map, &loc.tid), loc.attr.clone()))
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+impl CanonAnn for LineageAnn {
+    type Out = BTreeSet<Tid>;
+    fn canon(&self, map: &BTreeMap<Tid, Tid>) -> Self::Out {
+        self.0.iter().map(|tid| remap_tid(map, tid)).collect()
+    }
+}
+
+impl CanonAnn for ExprAnn {
+    type Out = Vec<Witness>;
+    fn canon(&self, map: &BTreeMap<Tid, Tid>) -> Self::Out {
+        remap_witnesses(map, &self.0.prime_implicants())
+    }
+}
+
+/// The empty map: fresh annotations are already in the fresh numbering.
+fn identity() -> BTreeMap<Tid, Tid> {
+    BTreeMap::new()
+}
+
+/// Drive one `(Q, S)` instance through a deletion sequence, comparing the
+/// maintained plan against fresh evaluation after every batch.
+fn check_instance<A: CanonAnn>(
+    q: &Query,
+    db: &Database,
+    batches: &[Vec<Tid>],
+) -> std::result::Result<(), TestCaseError> {
+    let mut plan = MaterializedPlan::<A>::build(q, db).expect("typed queries build");
+    let mut deleted: BTreeSet<Tid> = BTreeSet::new();
+    let mut prev_tuples: BTreeSet<Tuple> = plan.iter().map(|(t, _)| t.clone()).collect();
+    for batch in batches {
+        let delta = plan.delete_sources(batch);
+        deleted.extend(batch.iter().cloned());
+
+        // The delta is exactly the view difference.
+        let now_tuples: BTreeSet<Tuple> = plan.iter().map(|(t, _)| t.clone()).collect();
+        let expected_removed: Vec<Tuple> = prev_tuples.difference(&now_tuples).cloned().collect();
+        prop_assert_eq!(&delta.removed, &expected_removed, "removed ≠ view diff");
+        for t in &delta.changed {
+            prop_assert!(now_tuples.contains(t), "changed tuple {} left the view", t);
+        }
+        prev_tuples = now_tuples;
+
+        // The maintained view equals a fresh evaluation of S \ T.
+        let fresh = eval_annotated::<A>(q, &db.without(&deleted)).expect("evaluates");
+        let maintained: Vec<&Tuple> = plan.iter().map(|(t, _)| t).collect();
+        let fresh_tuples: Vec<&Tuple> = fresh.tuples().iter().collect();
+        prop_assert_eq!(maintained, fresh_tuples, "tuples diverged at {:?}", deleted);
+        let map = remap_table(db, &deleted);
+        let id = identity();
+        for (t, a) in plan.iter() {
+            let fresh_a = fresh.annotation_of(t).expect("tuple sets match");
+            prop_assert_eq!(
+                a.canon(&map),
+                fresh_a.canon(&id),
+                "annotation diverged for {} at {:?}",
+                t,
+                deleted
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Turn proptest index picks into concrete deletion batches over `db`.
+fn pick_batches(db: &Database, picks: &[Vec<prop::sample::Index>]) -> Vec<Vec<Tid>> {
+    let pool: Vec<Tid> = db.all_tids().collect();
+    picks
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .filter(|_| !pool.is_empty())
+                .map(|i| pool[i.index(pool.len())].clone())
+                .collect()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Maintained `MaterializedPlan` output equals fresh `eval_annotated`
+    /// after every deletion step, for all five annotation instances.
+    #[test]
+    fn maintained_plan_tracks_fresh_eval_for_all_instances(
+        (q, _) in typed_query(),
+        db in small_database(),
+        picks in proptest::collection::vec(
+            proptest::collection::vec(any::<prop::sample::Index>(), 1..4), 1..5),
+    ) {
+        let batches = pick_batches(&db, &picks);
+        check_instance::<Unit>(&q, &db, &batches)?;
+        check_instance::<WitnessesAnn>(&q, &db, &batches)?;
+        check_instance::<LocationsAnn>(&q, &db, &batches)?;
+        check_instance::<LineageAnn>(&q, &db, &batches)?;
+        check_instance::<ExprAnn>(&q, &db, &batches)?;
+    }
+
+    /// `DeletionContext::apply_delete` keeps the why-provenance and the
+    /// frontier indexes equal to a context rebuilt from scratch on the
+    /// deleted-from database (modulo tid renumbering).
+    #[test]
+    fn patched_context_equals_rebuilt_context(
+        (q, _) in typed_query(),
+        db in small_database(),
+        picks in proptest::collection::vec(any::<prop::sample::Index>(), 1..4),
+    ) {
+        let batch: BTreeSet<Tid> = pick_batches(&db, std::slice::from_ref(&picks))
+            .remove(0)
+            .into_iter()
+            .collect();
+        let mut ctx = DeletionContext::new(&q, &db).expect("builds");
+        ctx.apply_delete(&batch);
+        let db2 = db.without(&batch);
+        let rebuilt = DeletionContext::new(&q, &db2).expect("builds");
+        prop_assert_eq!(ctx.view_len(), rebuilt.view_len());
+        let map = remap_table(&db, &batch);
+        for (t, ws) in rebuilt.why().iter() {
+            let patched = ctx.why().witnesses_of(t).expect("same view tuples");
+            prop_assert_eq!(
+                remap_witnesses(&map, patched),
+                ws.to_vec(),
+                "witness basis diverged for {}",
+                t
+            );
+            // Stamped instances and frontier indexes agree too.
+            let (pi, pidx) = ctx.instance_and_index(t).expect("target in view");
+            let (ri, ridx) = rebuilt.instance_and_index(t).expect("target in view");
+            let psupport: Vec<Tid> = pi.support.iter().map(|tid| remap_tid(&map, tid)).collect();
+            prop_assert_eq!(psupport, ri.support.clone(), "support diverged for {}", t);
+            prop_assert_eq!(pidx.frontier_len(), ridx.frontier_len(), "frontier for {}", t);
+        }
+    }
+
+    /// Apply-and-re-solve returns exactly what solving on a context rebuilt
+    /// from scratch returns, for both objectives.
+    #[test]
+    fn resolve_after_delete_equals_rebuild_from_scratch(
+        (q, _) in typed_query(),
+        db in small_database(),
+        t1 in any::<prop::sample::Index>(),
+        t2 in any::<prop::sample::Index>(),
+    ) {
+        let view = eval(&q, &db).expect("evaluates");
+        prop_assume!(!view.is_empty());
+        let first = view.tuples[t1.index(view.len())].clone();
+        let second = view.tuples[t2.index(view.len())].clone();
+        let opts = ExactOptions::default();
+
+        let mut ctx = DeletionContext::new(&q, &db).expect("builds");
+        let sol1 = ctx.min_view_side_effects(&first, &opts).expect("solves");
+        let resolved = ctx
+            .resolve_after_delete(&sol1.deletions, &second, &opts)
+            .expect("solves");
+
+        let db2 = db.without(&sol1.deletions);
+        let map = remap_table(&db, &sol1.deletions);
+        if !eval(&q, &db2).expect("evaluates").contains(&second) {
+            prop_assert!(resolved.is_none(), "target gone ⇒ nothing to re-solve");
+            return Ok(());
+        }
+        let rebuilt = DeletionContext::new(&q, &db2).expect("builds");
+        let fresh = rebuilt.min_view_side_effects(&second, &opts).expect("solves");
+        let resolved = resolved.expect("target still in view");
+        let translated: BTreeSet<Tid> =
+            resolved.deletions.iter().map(|tid| remap_tid(&map, tid)).collect();
+        prop_assert_eq!(translated, fresh.deletions, "deletion sets diverged");
+        prop_assert_eq!(resolved.view_side_effects, fresh.view_side_effects);
+
+        // Same loop under the source-side objective.
+        let mut ctx = DeletionContext::new(&q, &db).expect("builds");
+        let sol1 = ctx.min_source_deletion(&first).expect("solves");
+        ctx.apply_delete(&sol1.deletions);
+        let db2 = db.without(&sol1.deletions);
+        let map = remap_table(&db, &sol1.deletions);
+        if !eval(&q, &db2).expect("evaluates").contains(&second) {
+            prop_assert!(!ctx.contains(&second));
+            return Ok(());
+        }
+        let resolved = ctx.min_source_deletion(&second).expect("solves");
+        let rebuilt = DeletionContext::new(&q, &db2).expect("builds");
+        let fresh = rebuilt.min_source_deletion(&second).expect("solves");
+        let translated: BTreeSet<Tid> =
+            resolved.deletions.iter().map(|tid| remap_tid(&map, tid)).collect();
+        prop_assert_eq!(translated, fresh.deletions, "source deletion sets diverged");
+        prop_assert_eq!(resolved.view_side_effects, fresh.view_side_effects);
+    }
+
+    /// The serving-loop dispatchers clear every requested target: after the
+    /// loop, re-evaluating under the union of all committed deletions
+    /// leaves none of the targets in the view, and each individual solution
+    /// verifies against re-evaluation at its point in the stream.
+    #[test]
+    fn apply_many_clears_all_targets(
+        (q, _) in typed_query(),
+        db in small_database(),
+    ) {
+        let view = eval(&q, &db).expect("evaluates");
+        prop_assume!(!view.is_empty());
+        let targets: Vec<Tuple> = view.tuples.iter().take(3).cloned().collect();
+        let sols = delete_min_view_side_effects_apply_many(&q, &db, &targets)
+            .expect("solves");
+        prop_assert_eq!(sols.len(), targets.len());
+        let mut committed: BTreeSet<Tid> = BTreeSet::new();
+        for (t, sol) in targets.iter().zip(&sols) {
+            match sol {
+                Some(d) => {
+                    // The target was present when its turn came; its commit
+                    // removes it.
+                    let before = eval(&q, &db.without(&committed)).expect("evaluates");
+                    prop_assert!(before.contains(t), "Some(_) for a target not in the view");
+                    committed.extend(d.deletions.iter().cloned());
+                    let after = eval(&q, &db.without(&committed)).expect("evaluates");
+                    prop_assert!(!after.contains(t), "commit left {} in the view", t);
+                }
+                None => {
+                    // Already side-effected away by an earlier commit.
+                    prop_assert!(
+                        !eval(&q, &db.without(&committed)).expect("evaluates").contains(t),
+                        "None for {} but it is still in the view",
+                        t
+                    );
+                }
+            }
+        }
+        let final_view = eval(&q, &db.without(&committed)).expect("evaluates");
+        for t in &targets {
+            prop_assert!(!final_view.contains(t), "{} survived the serving loop", t);
+        }
+    }
+}
