@@ -37,10 +37,16 @@ use crate::deletion::index::WitnessIndex;
 use crate::deletion::view_side_effect::ExactOptions;
 use crate::deletion::{Deletion, DeletionInstance};
 use crate::error::{CoreError, Result};
-use dap_provenance::{WhyProvenance, WitnessesAnn};
-use dap_relalg::{Database, MaterializedPlan, Query, Tid, Tuple, ViewDelta};
+use dap_provenance::{WhyProvenance, Witness, WitnessesAnn};
+use dap_relalg::{Database, MaterializedPlan, ParPool, Query, Tid, Tuple, ViewDelta};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
+
+/// Most per-target [`WitnessIndex`]es the serving-loop cache retains (see
+/// [`DeletionContext::cache_index`]). Enough for any realistic hot set of
+/// repeat targets; prevents one-pass sweeps over huge views from
+/// accumulating an index per view tuple.
+const MAX_CACHED_INDEXES: usize = 256;
 
 /// The shared substrate of all deletion problems over one `(Q, S)`: the
 /// maintained annotated plan, the why-provenance read off it, and the
@@ -75,35 +81,75 @@ pub struct DeletionContext {
     touching: HashMap<Tid, Vec<usize>>,
     /// Every source tuple deleted through this context so far.
     committed: BTreeSet<Tid>,
+    /// Per-target [`WitnessIndex`]es kept warm across serving-loop turns
+    /// (the `*_turn` solver entry points): [`DeletionContext::apply_delete`]
+    /// patches each cached index in place when it can
+    /// ([`WitnessIndex::retire_tuple`]) and evicts it when the deletion
+    /// touched the index's structure, so repeat targets skip the
+    /// re-stamp from the touch skeleton entirely.
+    index_cache: HashMap<Tuple, WitnessIndex>,
+    /// Sharding policy for materialization and the solver entry points.
+    pool: ParPool,
 }
 
 impl DeletionContext {
     /// Materialize the context; one annotated plan build plus one pass over
-    /// the witness lists.
+    /// the witness lists, sharded over the process-default [`ParPool`].
     pub fn new(query: &Query, db: &Database) -> Result<DeletionContext> {
         DeletionContext::new_shared(Arc::new(query.clone()), Arc::new(db.clone()))
     }
 
+    /// [`DeletionContext::new`] with an explicit pool (the context keeps it
+    /// for its solver entry points; identical results for every pool size).
+    pub fn new_with(query: &Query, db: &Database, pool: ParPool) -> Result<DeletionContext> {
+        DeletionContext::new_shared_with(Arc::new(query.clone()), Arc::new(db.clone()), pool)
+    }
+
     /// Like [`DeletionContext::new`], from shared handles (no deep clones).
     pub fn new_shared(query: Arc<Query>, db: Arc<Database>) -> Result<DeletionContext> {
-        let plan = MaterializedPlan::<WitnessesAnn>::build(&query, &db)?;
-        let mut tuples = Vec::with_capacity(plan.len());
-        let mut index_of = HashMap::with_capacity(plan.len());
-        let mut touch_of = Vec::with_capacity(plan.len());
+        DeletionContext::new_shared_with(query, db, ParPool::global())
+    }
+
+    /// [`DeletionContext::new_shared`] with an explicit pool: the plan
+    /// build shards operator-by-operator, and the witness flattening that
+    /// feeds the why-provenance and the touch skeleton maps per view
+    /// tuple; skeleton assembly stays sequential, so the context is
+    /// identical for every pool size.
+    pub fn new_shared_with(
+        query: Arc<Query>,
+        db: Arc<Database>,
+        pool: ParPool,
+    ) -> Result<DeletionContext> {
+        let plan = MaterializedPlan::<WitnessesAnn>::build_with(&query, &db, pool)?;
+        let entries: Vec<(&Tuple, &WitnessesAnn)> = plan.iter().collect();
+        // Parallel: per-tuple witness clones and touch-set flattening.
+        let prepared: Vec<(Tuple, Vec<Witness>, BTreeSet<Tid>)> =
+            pool.par_ranges(entries.len(), 64, |range| {
+                range
+                    .map(|i| {
+                        let (t, ann) = entries[i];
+                        let touch: BTreeSet<Tid> = ann.0.iter().flatten().cloned().collect();
+                        (t.clone(), ann.0.clone(), touch)
+                    })
+                    .collect()
+            });
+        drop(entries);
+        // Sequential: skeleton and why-provenance assembly in view order.
+        let mut tuples = Vec::with_capacity(prepared.len());
+        let mut index_of = HashMap::with_capacity(prepared.len());
+        let mut touch_of = Vec::with_capacity(prepared.len());
         let mut touching: HashMap<Tid, Vec<usize>> = HashMap::new();
-        for (i, (t, ann)) in plan.iter().enumerate() {
+        let mut why_rows = Vec::with_capacity(prepared.len());
+        for (i, (t, ws, touch)) in prepared.into_iter().enumerate() {
             tuples.push(t.clone());
             index_of.insert(t.clone(), i);
-            let touch: BTreeSet<Tid> = ann.0.iter().flatten().cloned().collect();
             for tid in &touch {
                 touching.entry(tid.clone()).or_default().push(i);
             }
             touch_of.push(touch);
+            why_rows.push((t, ws));
         }
-        let why = Arc::new(WhyProvenance::from_parts(
-            plan.schema().clone(),
-            plan.iter().map(|(t, a)| (t.clone(), a.0.clone())),
-        ));
+        let why = Arc::new(WhyProvenance::from_parts(plan.schema().clone(), why_rows));
         let alive = vec![true; tuples.len()];
         Ok(DeletionContext {
             query,
@@ -116,6 +162,8 @@ impl DeletionContext {
             touch_of,
             touching,
             committed: BTreeSet::new(),
+            index_cache: HashMap::new(),
+            pool,
         })
     }
 
@@ -144,6 +192,17 @@ impl DeletionContext {
     /// Every source tuple deleted through this context so far.
     pub fn committed(&self) -> &BTreeSet<Tid> {
         &self.committed
+    }
+
+    /// The sharding policy this context was built with.
+    pub fn pool(&self) -> ParPool {
+        self.pool
+    }
+
+    /// Number of per-target indexes currently kept warm by the `*_turn`
+    /// entry points (diagnostics and tests).
+    pub fn cached_index_count(&self) -> usize {
+        self.index_cache.len()
     }
 
     /// Whether `t` is in the current view.
@@ -190,7 +249,94 @@ impl DeletionContext {
             why.set_witnesses(t, ws);
         }
         self.committed.extend(tids.iter().cloned());
+        self.patch_index_cache(&delta, tids);
         delta
+    }
+
+    /// Carry the cached per-target indexes across a committed deletion:
+    /// **patch in place** where the delta provably left the index's
+    /// structure intact, evict otherwise (the next `*_turn` call
+    /// re-stamps). The case analysis leans on one fact: a view tuple whose
+    /// basis survives a deletion *unchanged* has no witness containing a
+    /// deleted tid — so if the cached target itself is untouched, its
+    /// support and witness sets are untouched, and the only in-index
+    /// effect a removal can have is a frontier tuple dying outright
+    /// ([`WitnessIndex::retire_tuple`]). Re-based (changed) tuples can
+    /// enter, leave, or rewire the frontier, so any changed tuple that
+    /// touches an index's support — or already sits in its frontier —
+    /// evicts it.
+    fn patch_index_cache(&mut self, delta: &ViewDelta, tids: &BTreeSet<Tid>) {
+        if self.index_cache.is_empty() {
+            return;
+        }
+        if delta.is_empty() {
+            return; // the deletion touched nothing the view derives from
+        }
+        let touch_of = &self.touch_of;
+        let index_of = &self.index_of;
+        // The changed tuples' updated touch sets (just written above).
+        let changed: Vec<(&Tuple, &BTreeSet<Tid>)> = delta
+            .changed
+            .iter()
+            .map(|t| (t, &touch_of[index_of[t]]))
+            .collect();
+        self.index_cache.retain(|target, idx| {
+            // The target itself was removed or re-based: support and
+            // witnesses changed. (Both delta lists are sorted ascending.)
+            if delta.removed.binary_search(target).is_ok()
+                || delta.changed.binary_search(target).is_ok()
+            {
+                return false;
+            }
+            // Defensive: a committed tid inside the support implies the
+            // target's basis changed (covered above, but cheap to check).
+            if tids.iter().any(|tid| idx.slot_of(tid).is_some()) {
+                return false;
+            }
+            // A re-based tuple touching the support may have entered or
+            // rewired this index's frontier.
+            for (t, touch) in &changed {
+                if idx.in_frontier(t) || idx.support().iter().any(|tid| touch.contains(tid)) {
+                    return false;
+                }
+            }
+            // Removed tuples can only leave: retire them in place.
+            for t in &delta.removed {
+                idx.retire_tuple(t);
+            }
+            true
+        });
+    }
+
+    /// Take `target`'s cached index (stamping a fresh one from the
+    /// skeleton on a miss); pair with [`DeletionContext::cache_index`]
+    /// after a solve leaves it clean.
+    pub(crate) fn take_index(&mut self, target: &Tuple) -> Result<WitnessIndex> {
+        if let Some(idx) = self.index_cache.remove(target) {
+            debug_assert_eq!(idx.deleted_len(), 0, "cached indexes are clean");
+            return Ok(idx);
+        }
+        let (_, idx) = self.instance_and_index(target)?;
+        Ok(idx)
+    }
+
+    /// Return a clean index to the cache for the next turn. The cache is
+    /// bounded at [`MAX_CACHED_INDEXES`] entries: once full, inserting a
+    /// *new* target displaces an arbitrary resident entry, so the cache
+    /// tracks the current working set instead of pinning the first
+    /// [`MAX_CACHED_INDEXES`] targets forever (serving-loop commits free
+    /// slots too — a deleted target's entry is evicted by the apply
+    /// patch). Which entry is displaced never affects results: a miss
+    /// only costs a re-stamp. A one-pass sweep over a huge view therefore
+    /// cannot pin `O(view · frontier)` memory in the context.
+    pub(crate) fn cache_index(&mut self, target: &Tuple, idx: WitnessIndex) {
+        debug_assert_eq!(idx.deleted_len(), 0, "only clean indexes are cached");
+        if self.index_cache.len() >= MAX_CACHED_INDEXES && !self.index_cache.contains_key(target) {
+            if let Some(victim) = self.index_cache.keys().next().cloned() {
+                self.index_cache.remove(&victim);
+            }
+        }
+        self.index_cache.insert(target.clone(), idx);
     }
 
     /// One turn of the serving loop: commit `deletions`, then re-solve the
@@ -207,7 +353,9 @@ impl DeletionContext {
         if !self.contains(target) {
             return Ok(None);
         }
-        self.min_view_side_effects(target, opts).map(Some)
+        // The cached-index turn solver: repeat targets reuse (and the
+        // apply above may have patched in place) their stamped index.
+        self.min_view_side_effects_turn(target, opts).map(Some)
     }
 
     /// Stamp out the [`DeletionInstance`] for `target`, sharing the query,

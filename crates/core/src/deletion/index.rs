@@ -32,7 +32,7 @@
 use crate::deletion::DeletionInstance;
 use dap_provenance::WhyProvenance;
 use dap_relalg::{Tid, Tuple};
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 
 /// A counter-based incremental view of one deletion problem's witness
 /// hypergraph (see the module docs). Built once per target (cheaply from a
@@ -56,14 +56,20 @@ pub struct WitnessIndex {
     tuple_alive: Vec<usize>,
     /// The frontier tuples (the target is `tuples[target_tuple]`).
     tuples: Vec<Tuple>,
+    /// Frontier tuple → its id in `tuples` (the patching entry point).
+    tuple_ids: HashMap<Tuple, usize>,
     /// Index of the target in `tuples`.
     target_tuple: usize,
     /// Running count of dead frontier tuples other than the target.
     dead_other: usize,
-    /// witness id → member slots, for the target's witnesses only (the sets
-    /// the branch-and-bound branches over). Parallel to the target's
-    /// witness ids `target_witness_ids`.
-    target_witness_members: Vec<Vec<usize>>,
+    /// witness id → member slots (the transpose of `occurrences`). The
+    /// target's entries are the sets the branch-and-bound branches over;
+    /// the rest exist so [`WitnessIndex::retire_tuple`] can unlink a dead
+    /// tuple's witnesses in place.
+    witness_members: Vec<Vec<usize>>,
+    /// frontier-tuple id → ids of the witnesses it owns (emptied when the
+    /// tuple is retired).
+    witnesses_of_tuple: Vec<Vec<usize>>,
     /// Global witness ids of the target's witnesses.
     target_witness_ids: Vec<usize>,
 }
@@ -90,9 +96,11 @@ impl WitnessIndex {
         let mut witness_owner = Vec::new();
         let mut witness_hits = Vec::new();
         let mut tuple_alive = Vec::new();
-        let mut tuples = Vec::new();
+        let mut tuples: Vec<Tuple> = Vec::new();
+        let mut tuple_ids = HashMap::new();
         let mut target_tuple = 0;
-        let mut target_witness_members = Vec::new();
+        let mut witness_members: Vec<Vec<usize>> = Vec::new();
+        let mut witnesses_of_tuple: Vec<Vec<usize>> = Vec::new();
         let mut target_witness_ids = Vec::new();
         // Scratch: member slots per witness of the current candidate.
         let mut member_slots: Vec<Vec<usize>> = Vec::new();
@@ -114,10 +122,12 @@ impl WitnessIndex {
             }
             let tuple_id = tuples.len();
             tuples.push(t.clone());
+            tuple_ids.insert(t.clone(), tuple_id);
             tuple_alive.push(member_slots.len());
             if is_target {
                 target_tuple = tuple_id;
             }
+            let mut owned = Vec::with_capacity(member_slots.len());
             for slots in member_slots.drain(..) {
                 let wid = witness_owner.len();
                 witness_owner.push(tuple_id);
@@ -127,12 +137,14 @@ impl WitnessIndex {
                 }
                 if is_target {
                     target_witness_ids.push(wid);
-                    target_witness_members.push(slots);
                 }
+                owned.push(wid);
+                witness_members.push(slots);
             }
+            witnesses_of_tuple.push(owned);
         }
         debug_assert_eq!(
-            target_witness_members.len(),
+            target_witness_ids.len(),
             inst.target_witnesses.len(),
             "target must be among the candidates"
         );
@@ -144,9 +156,11 @@ impl WitnessIndex {
             witness_hits,
             tuple_alive,
             tuples,
+            tuple_ids,
             target_tuple,
             dead_other: 0,
-            target_witness_members,
+            witness_members,
+            witnesses_of_tuple,
             target_witness_ids,
             tids,
         }
@@ -290,12 +304,49 @@ impl WitnessIndex {
     /// Member slots of target witness `i` (same order as
     /// `DeletionInstance::target_witnesses`).
     pub fn target_witness_members(&self, i: usize) -> &[usize] {
-        &self.target_witness_members[i]
+        &self.witness_members[self.target_witness_ids[i]]
     }
 
     /// Whether target witness `i` is hit by the current deletion set.
     pub fn target_witness_hit(&self, i: usize) -> bool {
         self.witness_hits[self.target_witness_ids[i]] > 0
+    }
+
+    /// Whether `t` is one of this index's frontier tuples (retired tuples
+    /// still answer `true`; they are inert, not forgotten).
+    pub fn in_frontier(&self, t: &Tuple) -> bool {
+        self.tuple_ids.contains_key(t)
+    }
+
+    /// Permanently unlink a dead frontier tuple's witnesses, so the tuple
+    /// can never again register as a side effect — the **in-place patch**
+    /// [`crate::deletion::DeletionContext`] applies to cached per-target
+    /// indexes when a serving-loop deletion removes `t` from the view,
+    /// instead of re-stamping the index from the touch skeleton. Only
+    /// valid on a clean index (no slots currently deleted) and only for
+    /// removed tuples whose *own* basis was the only thing the deletion
+    /// touched (the context re-stamps in every other case). Retiring the
+    /// target, a tuple outside the frontier, or an already-retired tuple
+    /// is a no-op returning `false`.
+    pub fn retire_tuple(&mut self, t: &Tuple) -> bool {
+        debug_assert_eq!(self.deleted_count, 0, "retire requires a clean index");
+        let Some(&id) = self.tuple_ids.get(t) else {
+            return false;
+        };
+        if id == self.target_tuple {
+            return false;
+        }
+        let wids = std::mem::take(&mut self.witnesses_of_tuple[id]);
+        if wids.is_empty() {
+            return false;
+        }
+        for wid in wids {
+            for &slot in &self.witness_members[wid] {
+                self.occurrences[slot].retain(|&w| w != wid);
+            }
+            self.witness_members[wid].clear();
+        }
+        true
     }
 }
 
@@ -386,6 +437,38 @@ mod tests {
         assert!(idx.slot_of(&outside).is_none());
         assert!(!idx.insert(&outside));
         assert_eq!(idx.deleted_len(), 0);
+    }
+
+    #[test]
+    fn retire_tuple_makes_a_frontier_tuple_inert() {
+        let inst = instance();
+        let mut idx = WitnessIndex::build(&inst);
+        let mut fresh = WitnessIndex::build(&inst);
+        // Retire (bob, main): deleting UG(bob, dev) must no longer count it.
+        assert!(idx.in_frontier(&tuple(["bob", "main"])));
+        assert!(idx.retire_tuple(&tuple(["bob", "main"])));
+        assert!(
+            !idx.retire_tuple(&tuple(["bob", "main"])),
+            "second retire is a no-op"
+        );
+        assert!(!idx.retire_tuple(&tuple(["zz", "zz"])), "not in frontier");
+        assert!(
+            !idx.retire_tuple(&tuple(["bob", "report"])),
+            "the target never retires"
+        );
+        let dev = inst.db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        idx.insert(&dev);
+        fresh.insert(&dev);
+        assert_eq!(fresh.side_effect_count(), 1, "(bob, main) dies");
+        assert_eq!(
+            idx.side_effect_count(),
+            0,
+            "retired tuples are never side effects"
+        );
+        assert!(idx.side_effects().is_empty());
+        assert_eq!(idx.deletes_target(), fresh.deletes_target());
+        idx.remove(&dev);
+        assert_eq!(idx.side_effect_count(), 0);
     }
 
     #[test]

@@ -13,39 +13,52 @@
 
 use crate::deletion::index::WitnessIndex;
 use crate::deletion::view_side_effect::spu_view_deletion;
-use crate::deletion::{Deletion, DeletionContext, DeletionInstance};
+#[cfg(test)]
+use crate::deletion::DeletionInstance;
+use crate::deletion::{Deletion, DeletionContext};
 use crate::error::{CoreError, Result};
 use dap_relalg::{Database, OpFootprint, Query, Tuple};
 use dap_setcover::{exact_hitting_set, greedy_hitting_set, HittingSet};
 use std::collections::BTreeSet;
 
 /// Translate the target's witness hypergraph into a `dap-setcover` hitting
-/// set instance. Element `i` is `inst.support[i]` — the support is already
-/// sorted, so membership indexing is the shared binary-search translation
-/// [`DeletionInstance::witness_member_slots`], with no intermediate
-/// tid → index map.
-fn to_hitting_set(inst: &DeletionInstance) -> HittingSet {
-    let sets: Vec<BTreeSet<usize>> = inst
-        .witness_member_slots()
-        .into_iter()
-        .map(|slots| slots.into_iter().collect())
+/// set instance, straight off the index: element `i` is support slot `i`,
+/// and the index's target witness members are already the binary-search
+/// translation [`crate::deletion::DeletionInstance::witness_member_slots`]
+/// computes (same witness order, same slot space).
+fn to_hitting_set(idx: &WitnessIndex) -> HittingSet {
+    let sets: Vec<BTreeSet<usize>> = (0..idx.target_witness_count())
+        .map(|i| idx.target_witness_members(i).iter().copied().collect())
         .collect();
-    HittingSet::new(inst.support.len(), sets).expect("witnesses are non-empty and indices in range")
+    HittingSet::new(idx.support().len(), sets)
+        .expect("witnesses are non-empty and indices in range")
 }
 
 /// Materialize a solver's chosen support slots as a [`Deletion`], reading
 /// the side effects off the index counters instead of a fresh `why.iter()`
-/// hypergraph rescan. (Hitting-set element indices and index slots address
-/// the same sorted support.)
+/// hypergraph rescan, then unwind — the index is left clean for reuse
+/// (the serving loop caches it across turns).
 fn solution_from_indices(idx: &mut WitnessIndex, chosen: BTreeSet<usize>) -> Deletion {
     for &slot in &chosen {
         idx.insert_slot(slot);
     }
     debug_assert!(idx.deletes_target());
-    Deletion {
+    let sol = Deletion {
         deletions: idx.deleted_tids(),
         view_side_effects: idx.side_effects(),
+    };
+    for &slot in &chosen {
+        idx.remove_slot(slot);
     }
+    sol
+}
+
+/// Exact minimum source deletion on a prebuilt (clean) index: the
+/// hitting-set search over the target's witnesses, with the side effects
+/// read off the counters. Leaves the index clean.
+pub fn min_source_deletion_on(idx: &mut WitnessIndex) -> Deletion {
+    let chosen = exact_hitting_set(&to_hitting_set(idx));
+    solution_from_indices(idx, chosen)
 }
 
 /// Exact minimum source deletion for any monotone SPJRU query. Worst-case
@@ -69,15 +82,25 @@ pub fn greedy_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Resul
 impl DeletionContext {
     /// [`min_source_deletion`] against this context's shared provenance.
     pub fn min_source_deletion(&self, target: &Tuple) -> Result<Deletion> {
-        let (inst, mut idx) = self.instance_and_index(target)?;
-        let chosen = exact_hitting_set(&to_hitting_set(&inst));
-        Ok(solution_from_indices(&mut idx, chosen))
+        let (_, mut idx) = self.instance_and_index(target)?;
+        Ok(min_source_deletion_on(&mut idx))
+    }
+
+    /// [`DeletionContext::min_source_deletion`] for the serving loop:
+    /// solves on the target's cached, in-place-patched [`WitnessIndex`]
+    /// (see [`DeletionContext::min_view_side_effects_turn`] — same cache,
+    /// other objective). Identical solutions to the uncached entry point.
+    pub fn min_source_deletion_turn(&mut self, target: &Tuple) -> Result<Deletion> {
+        let mut idx = self.take_index(target)?;
+        let sol = min_source_deletion_on(&mut idx);
+        self.cache_index(target, idx);
+        Ok(sol)
     }
 
     /// [`greedy_source_deletion`] against this context's shared provenance.
     pub fn greedy_source_deletion(&self, target: &Tuple) -> Result<Deletion> {
-        let (inst, mut idx) = self.instance_and_index(target)?;
-        let chosen = greedy_hitting_set(&to_hitting_set(&inst));
+        let (_, mut idx) = self.instance_and_index(target)?;
+        let chosen = greedy_hitting_set(&to_hitting_set(&idx));
         Ok(solution_from_indices(&mut idx, chosen))
     }
 }

@@ -20,7 +20,7 @@ use crate::placement::sju::sju_placement;
 use crate::placement::spu::spu_placement;
 use crate::placement::Placement;
 use dap_provenance::ViewLoc;
-use dap_relalg::{detect_chain_join, Database, OpFootprint, Query, Tuple};
+use dap_relalg::{detect_chain_join, Database, OpFootprint, ParPool, Query, Tuple};
 use std::fmt;
 
 /// The two sides of the dichotomy.
@@ -185,44 +185,67 @@ pub fn delete_min_source(
 }
 
 /// Batched [`delete_min_view_side_effects`]: solve many view-deletion
-/// targets over the same `(Q, S)` with the provenance work shared. The
+/// targets over the same `(Q, S)` with the provenance work shared **and
+/// the targets fanned out across the process-default [`ParPool`]**. The
 /// classes that materialize provenance (SJ and the exact search) build one
 /// [`DeletionContext`] — a single annotated evaluation plus one hypergraph
-/// skeleton — and stamp out per-target instances from it; SPU never
-/// materializes provenance and dispatches per target as before.
+/// skeleton — and stamp per-thread instances/indexes from it; SPU never
+/// materializes provenance and dispatches per target as before. Identical
+/// results to the sequential (one-thread) dispatch in target order.
 pub fn delete_min_view_side_effects_many(
     q: &Query,
     db: &Database,
     targets: &[Tuple],
 ) -> Result<Vec<(Deletion, SolverKind)>> {
+    delete_min_view_side_effects_many_with(q, db, targets, ParPool::global())
+}
+
+/// [`delete_min_view_side_effects_many`] with an explicit pool. Each
+/// target solves independently against the immutable shared context (its
+/// own stamped [`crate::deletion::WitnessIndex`] lives on the worker's
+/// stack), so every pool size returns the same `Vec` — pinned by
+/// `tests/prop_parallel.rs`.
+pub fn delete_min_view_side_effects_many_with(
+    q: &Query,
+    db: &Database,
+    targets: &[Tuple],
+    pool: ParPool,
+) -> Result<Vec<(Deletion, SolverKind)>> {
     let fp = OpFootprint::of(q);
     if !fp.join && !fp.rename {
-        return targets
-            .iter()
-            .map(|t| Ok((spu_view_deletion(q, db, t)?, SolverKind::Spu)))
+        return pool
+            .par_map(targets, |t| {
+                Ok((spu_view_deletion(q, db, t)?, SolverKind::Spu))
+            })
+            .into_iter()
             .collect();
     }
-    let ctx = DeletionContext::new(q, db)?;
+    let ctx = DeletionContext::new_with(q, db, pool)?;
     if !fp.project && !fp.union_ {
-        return targets
-            .iter()
-            .map(|t| Ok((sj_view_deletion_in(&ctx, t)?, SolverKind::Sj)))
+        return pool
+            .par_map(targets, |t| {
+                Ok((sj_view_deletion_in(&ctx, t)?, SolverKind::Sj))
+            })
+            .into_iter()
             .collect();
     }
     let opts = ExactOptions::default();
-    targets
-        .iter()
-        .map(|t| {
-            Ok((
-                ctx.min_view_side_effects(t, &opts)?,
-                SolverKind::ExactSearch,
-            ))
-        })
-        .collect()
+    // Target-level fan-out; each solve stays sequential inside (nesting
+    // the first-level branch fan-out would oversubscribe the pool).
+    pool.par_map(targets, |t| {
+        let (_, mut idx) = ctx.instance_and_index(t)?;
+        Ok((
+            crate::deletion::view_side_effect::min_view_side_effects_on(&mut idx, &opts)?,
+            SolverKind::ExactSearch,
+        ))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Batched [`delete_min_source`]: one shared [`DeletionContext`] for the
-/// classes that materialize provenance (see
+/// classes that materialize provenance, targets fanned out across the
+/// process-default [`ParPool`] (see
 /// [`delete_min_view_side_effects_many`]); SPU and the chain min-cut
 /// dispatch per target.
 pub fn delete_min_source_many(
@@ -230,37 +253,53 @@ pub fn delete_min_source_many(
     db: &Database,
     targets: &[Tuple],
 ) -> Result<Vec<(Deletion, SolverKind)>> {
+    delete_min_source_many_with(q, db, targets, ParPool::global())
+}
+
+/// [`delete_min_source_many`] with an explicit pool; identical results
+/// for every pool size.
+pub fn delete_min_source_many_with(
+    q: &Query,
+    db: &Database,
+    targets: &[Tuple],
+    pool: ParPool,
+) -> Result<Vec<(Deletion, SolverKind)>> {
     let fp = OpFootprint::of(q);
     if !fp.join && !fp.rename {
-        return targets
-            .iter()
-            .map(|t| Ok((spu_source_deletion(q, db, t)?, SolverKind::Spu)))
+        return pool
+            .par_map(targets, |t| {
+                Ok((spu_source_deletion(q, db, t)?, SolverKind::Spu))
+            })
+            .into_iter()
             .collect();
     }
     if fp.project || fp.union_ {
         if detect_chain_join(q, &db.catalog()).is_some() {
-            return targets
-                .iter()
-                .map(|t| {
+            return pool
+                .par_map(targets, |t| {
                     Ok((
                         chain_min_source_deletion(q, db, t)?,
                         SolverKind::ChainMinCut,
                     ))
                 })
+                .into_iter()
                 .collect();
         }
-        let ctx = DeletionContext::new(q, db)?;
-        return targets
-            .iter()
-            .map(|t| Ok((ctx.min_source_deletion(t)?, SolverKind::ExactSearch)))
+        let ctx = DeletionContext::new_with(q, db, pool)?;
+        return pool
+            .par_map(targets, |t| {
+                Ok((ctx.min_source_deletion(t)?, SolverKind::ExactSearch))
+            })
+            .into_iter()
             .collect();
     }
     // SJ: Thm 2.9 = Thm 2.4's component scan, shared through the context.
-    let ctx = DeletionContext::new(q, db)?;
-    targets
-        .iter()
-        .map(|t| Ok((sj_view_deletion_in(&ctx, t)?, SolverKind::Sj)))
-        .collect()
+    let ctx = DeletionContext::new_with(q, db, pool)?;
+    pool.par_map(targets, |t| {
+        Ok((sj_view_deletion_in(&ctx, t)?, SolverKind::Sj))
+    })
+    .into_iter()
+    .collect()
 }
 
 /// The **apply-and-re-solve serving loop** over one maintained
@@ -272,39 +311,56 @@ pub fn delete_min_source_many(
 /// back as `None` — there is nothing left to delete for them.
 ///
 /// Unlike [`delete_min_view_side_effects_many`] (which answers independent
-/// what-if questions over the *same* view), every class runs through the
-/// context's exact search here: the maintained view is the whole point,
-/// and for the polynomial classes the search degenerates to the same
-/// unique/singleton solutions (Thms 2.3, 2.4).
+/// what-if questions over the *same* view), the loop's turns are data
+/// dependent, so parallelism lives inside each turn (the exact search's
+/// branch fan-out), not across turns. SPU targets take the Thm 2.3 linear
+/// path ([`DeletionContext::spu_view_deletion`]) and SJ targets the
+/// Thm 2.4 component scan — same solutions the exact search degenerates
+/// to, read straight off the maintained context. Everything else
+/// (including chain joins, whose min-cut solver is not
+/// maintenance-aware — it reads the original database, which goes stale
+/// after the first commit) solves via
+/// [`DeletionContext::min_view_side_effects_turn`], which keeps each
+/// target's [`crate::deletion::WitnessIndex`] warm (patched in place)
+/// across turns.
 pub fn delete_min_view_side_effects_apply_many(
     q: &Query,
     db: &Database,
     targets: &[Tuple],
 ) -> Result<Vec<Option<Deletion>>> {
-    let mut ctx = DeletionContext::new(q, db)?;
     let opts = ExactOptions::default();
-    let mut out = Vec::with_capacity(targets.len());
-    for t in targets {
-        if !ctx.contains(t) {
-            out.push(None);
-            continue;
-        }
-        let sol = ctx.min_view_side_effects(t, &opts)?;
-        ctx.apply_delete(&sol.deletions);
-        out.push(Some(sol));
-    }
-    Ok(out)
+    serve_apply_loop(q, db, targets, |ctx, t| {
+        ctx.min_view_side_effects_turn(t, &opts)
+    })
 }
 
 /// The apply-and-re-solve loop for the **source** side-effect objective:
-/// like [`delete_min_view_side_effects_apply_many`], but each target is
-/// solved with [`DeletionContext::min_source_deletion`] before its
-/// deletion is committed to the maintained view.
+/// like [`delete_min_view_side_effects_apply_many`], but targets outside
+/// the SPU/SJ fast paths solve with
+/// [`DeletionContext::min_source_deletion_turn`] (cached indexes again)
+/// before their deletion is committed. The fast paths apply equally:
+/// SPU's unique deletion is simultaneously both optima (Thm 2.8), and
+/// SJ's Thm 2.9 component scan already returns the size-1 minimum.
 pub fn delete_min_source_apply_many(
     q: &Query,
     db: &Database,
     targets: &[Tuple],
 ) -> Result<Vec<Option<Deletion>>> {
+    serve_apply_loop(q, db, targets, |ctx, t| ctx.min_source_deletion_turn(t))
+}
+
+/// The shared driver of both apply-and-re-solve loops: per-class routing
+/// (SPU linear / SJ component scan / `exact_turn` for the rest), one
+/// commit per live target, `None` for targets an earlier commit already
+/// removed. Keeping the routing here — one point of maintenance — is
+/// what keeps the two objectives' loops from drifting apart.
+fn serve_apply_loop(
+    q: &Query,
+    db: &Database,
+    targets: &[Tuple],
+    mut exact_turn: impl FnMut(&mut DeletionContext, &Tuple) -> Result<Deletion>,
+) -> Result<Vec<Option<Deletion>>> {
+    let fp = OpFootprint::of(q);
     let mut ctx = DeletionContext::new(q, db)?;
     let mut out = Vec::with_capacity(targets.len());
     for t in targets {
@@ -312,7 +368,13 @@ pub fn delete_min_source_apply_many(
             out.push(None);
             continue;
         }
-        let sol = ctx.min_source_deletion(t)?;
+        let sol = if !fp.join && !fp.rename {
+            ctx.spu_view_deletion(t)?
+        } else if !fp.project && !fp.union_ {
+            sj_view_deletion_in(&ctx, t)?
+        } else {
+            exact_turn(&mut ctx, t)?
+        };
         ctx.apply_delete(&sol.deletions);
         out.push(Some(sol));
     }

@@ -81,7 +81,12 @@ impl JoinLayout {
 /// compares equal to the old one is not propagated further. For that test
 /// to be sharp (never for correctness), [`Annotation::normalize`] should
 /// produce a canonical form — all five shipped instances do.
-pub trait Annotation: Clone + PartialEq {
+///
+/// The `Send + Sync` bounds let [`crate::plan::MaterializedPlan::build_with`]
+/// shard scans, join probes, and ⊕-bucket normalization across a
+/// [`crate::par::ParPool`]; every shipped carrier is plain owned data, so
+/// the bounds are satisfied automatically.
+pub trait Annotation: Clone + PartialEq + Send + Sync {
     /// The annotation of base tuple `tid`, scanned from a relation with
     /// `schema`. Per-attribute instances seed one cell per attribute.
     fn from_scan(tid: Tid, schema: &Schema) -> Self;

@@ -21,6 +21,11 @@
 //!   form — [`MaterializedPlan`] keeps per-operator state so the annotated
 //!   view stays current under source deletions in `O(affected)` instead of
 //!   a full re-evaluation;
+//! * the **scoped-thread parallel runtime** ([`par`]): a dependency-free
+//!   [`ParPool`] (thread count from `DAP_THREADS` or the hardware) whose
+//!   deterministic sharding helpers parallelize plan construction here and
+//!   the batched deletion dispatchers in `dap-core`, with one thread
+//!   degrading to the exact sequential code paths;
 //! * query classification ([`OpFootprint`], [`detect_chain_join`]) used by
 //!   the paper's dichotomy theorems;
 //! * the **union normal form** rewriter ([`normalize()`](normalize::normalize), Theorem 3.1 of the
@@ -51,6 +56,7 @@ pub mod eval;
 pub mod fd;
 pub mod name;
 pub mod normalize;
+pub mod par;
 pub mod parser;
 pub mod plan;
 pub mod predicate;
@@ -69,6 +75,7 @@ pub use eval::{eval, ResultSet};
 pub use fd::{closure, is_superkey, projection_determines_join, Fd, FdCatalog};
 pub use name::{Attr, RelName};
 pub use normalize::{is_normal_form, normalize, Branch, NormalForm, RenamedScan};
+pub use par::ParPool;
 pub use parser::{parse_database, parse_pred, parse_query};
 pub use plan::{MaterializedPlan, ViewDelta};
 pub use predicate::{CmpOp, Operand, Pred};

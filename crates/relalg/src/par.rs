@@ -1,0 +1,335 @@
+//! The **scoped-thread parallel runtime** — a small, dependency-free pool
+//! abstraction on [`std::thread::scope`] shared by every hot path that
+//! shards cleanly.
+//!
+//! The repository's two serving workloads — annotated plan construction
+//! ([`crate::plan::MaterializedPlan::build_with`]) and batched deletion
+//! solving (`dap-core`'s dichotomy dispatchers) — are embarrassingly
+//! parallel at well-defined seams: operator subtrees are independent, join
+//! build/probe shards by key hash, ⊕-bucket normalization is per-bucket,
+//! and batched targets solve over per-thread stamped indexes. [`ParPool`]
+//! provides exactly the helpers those seams need and nothing more:
+//!
+//! * [`ParPool::par_ranges`] — *static* contiguous sharding of an index
+//!   space, results concatenated in range order (for uniform per-item
+//!   work: scans, probes, bucket normalization);
+//! * [`ParPool::par_indices`] / [`ParPool::par_map`] — *dynamic*
+//!   work-stealing over an index space, results restored to index order
+//!   (for skewed per-item work: solver targets, branch-and-bound
+//!   branches);
+//! * [`ParPool::par_map_owned`] — static sharding that moves values
+//!   through the mapper (bucket normalization without a clone);
+//! * [`ParPool::join2`] — two independent closures in parallel (operator
+//!   subtree builds).
+//!
+//! ## Determinism
+//!
+//! Every helper returns results in the **same order the sequential loop
+//! would produce them**, so parallel callers are bit-identical to their
+//! sequential counterparts as long as the per-item work is itself
+//! deterministic (all of ours is). A pool with one thread never spawns:
+//! each helper degrades to the exact sequential loop, which is what the
+//! `DAP_THREADS=1` escape hatch and the differential property tests in
+//! `tests/prop_parallel.rs` rely on.
+//!
+//! ## Sizing
+//!
+//! [`ParPool::auto`] (and the process-wide [`ParPool::global`]) default to
+//! [`std::thread::available_parallelism`], overridable with the
+//! `DAP_THREADS` environment variable (`0` or unset means auto). Threads
+//! are scoped — spawned per call and joined before the helper returns — so
+//! the pool is a *policy* (how many ways to shard), not a set of live
+//! threads; there is nothing to shut down and no queue to poison.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// Sharding policy for the parallel helpers: how many worker threads each
+/// call may use. Copyable and stateless — see the module docs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ParPool {
+    threads: usize,
+}
+
+/// Fewest items per shard before a helper bothers spawning: below this the
+/// spawn/join overhead dominates any conceivable per-item win.
+const MIN_ITEMS_PER_SHARD: usize = 16;
+
+impl ParPool {
+    /// A pool using exactly `threads` workers (clamped to at least 1).
+    pub fn new(threads: usize) -> ParPool {
+        ParPool {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The single-threaded pool: every helper runs its exact sequential
+    /// code path inline, spawning nothing.
+    pub fn sequential() -> ParPool {
+        ParPool::new(1)
+    }
+
+    /// The default pool size: `DAP_THREADS` if set to a positive integer,
+    /// otherwise [`std::thread::available_parallelism`] (`DAP_THREADS=0`
+    /// explicitly requests auto). A malformed value is reported on stderr
+    /// and treated as auto — silently ignoring a typo would defeat the
+    /// `DAP_THREADS=1` sequential escape hatch.
+    pub fn auto() -> ParPool {
+        let from_env =
+            std::env::var("DAP_THREADS")
+                .ok()
+                .and_then(|v| match v.trim().parse::<usize>() {
+                    Ok(n) => Some(n).filter(|&n| n > 0),
+                    Err(_) => {
+                        eprintln!(
+                            "warning: ignoring unparsable DAP_THREADS={v:?} \
+                         (expected a non-negative integer; using auto)"
+                        );
+                        None
+                    }
+                });
+        let threads = from_env.unwrap_or_else(|| {
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        });
+        ParPool::new(threads)
+    }
+
+    /// The process-wide default pool, resolved once from [`ParPool::auto`].
+    pub fn global() -> ParPool {
+        static GLOBAL: OnceLock<ParPool> = OnceLock::new();
+        *GLOBAL.get_or_init(ParPool::auto)
+    }
+
+    /// Number of worker threads this pool shards across.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether this pool runs everything inline on the calling thread.
+    pub fn is_sequential(&self) -> bool {
+        self.threads == 1
+    }
+
+    /// Split `0..n` into contiguous ranges, run `f` on each range in
+    /// parallel, and concatenate the per-range outputs **in range order**
+    /// — exactly the output a single `f(0..n)` call would produce when `f`
+    /// maps each index independently. `grain` is the minimum range length
+    /// worth sharding; small inputs run inline as one range.
+    pub fn par_ranges<R, F>(&self, n: usize, grain: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> Vec<R> + Sync,
+    {
+        let grain = grain.max(MIN_ITEMS_PER_SHARD);
+        let shards = (n / grain).clamp(1, self.threads);
+        if shards == 1 {
+            return f(0..n);
+        }
+        let ranges: Vec<Range<usize>> = (0..shards)
+            .map(|s| (s * n / shards)..((s + 1) * n / shards))
+            .collect();
+        let mut chunks: Vec<Vec<R>> = thread::scope(|scope| {
+            let handles: Vec<_> = ranges
+                .into_iter()
+                .map(|range| scope.spawn(|| f(range)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
+        for chunk in &mut chunks {
+            out.append(chunk);
+        }
+        out
+    }
+
+    /// Run `f(i)` for every `i in 0..n` with **dynamic** scheduling (an
+    /// atomic work counter, so skewed per-item costs balance), returning
+    /// the results in index order. Use for coarse, uneven tasks — solver
+    /// targets, search branches; [`ParPool::par_ranges`] is cheaper for
+    /// uniform work.
+    pub fn par_indices<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let workers = self.threads.min(n);
+        let per_thread: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|| {
+                        let mut local = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= n {
+                                break;
+                            }
+                            local.push((i, f(i)));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut tagged: Vec<(usize, R)> = per_thread.into_iter().flatten().collect();
+        tagged.sort_unstable_by_key(|&(i, _)| i);
+        tagged.into_iter().map(|(_, r)| r).collect()
+    }
+
+    /// [`ParPool::par_indices`] over a slice: `f` applied to every item,
+    /// results in item order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Sync,
+    {
+        self.par_indices(items.len(), |i| f(&items[i]))
+    }
+
+    /// Map `f` over an owned vector with static sharding (each worker owns
+    /// its chunk — no clones), results in input order.
+    pub fn par_map_owned<T, R, F>(&self, items: Vec<T>, grain: usize, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let grain = grain.max(MIN_ITEMS_PER_SHARD);
+        let shards = (n / grain).clamp(1, self.threads);
+        if shards == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        // Split into owned chunks, front to back.
+        let mut rest = items;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let remaining_shards = shards - s;
+            let take = rest.len().div_ceil(remaining_shards);
+            let tail = rest.split_off(take);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        let mut mapped: Vec<Vec<R>> = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(|| chunk.into_iter().map(&f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for chunk in &mut mapped {
+            out.append(chunk);
+        }
+        out
+    }
+
+    /// Run two independent closures, in parallel when the pool has more
+    /// than one thread (the second runs on the calling thread).
+    pub fn join2<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
+    where
+        A: Send,
+        B: Send,
+        FA: FnOnce() -> A + Send,
+        FB: FnOnce() -> B + Send,
+    {
+        if self.threads == 1 {
+            return (fa(), fb());
+        }
+        thread::scope(|scope| {
+            let ha = scope.spawn(fa);
+            let b = fb();
+            (ha.join().expect("parallel worker panicked"), b)
+        })
+    }
+}
+
+impl Default for ParPool {
+    fn default() -> ParPool {
+        ParPool::global()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequential_pool_never_shards() {
+        let pool = ParPool::sequential();
+        assert!(pool.is_sequential());
+        assert_eq!(pool.threads(), 1);
+        let out = pool.par_ranges(100, 1, |r| r.map(|i| i * 2).collect());
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_ranges_matches_sequential_order() {
+        for threads in [1, 2, 3, 8] {
+            let pool = ParPool::new(threads);
+            let out = pool.par_ranges(1000, 1, |r| r.map(|i| i + 1).collect());
+            assert_eq!(out, (0..1000).map(|i| i + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_indices_restores_index_order() {
+        for threads in [1, 2, 5] {
+            let pool = ParPool::new(threads);
+            let out = pool.par_indices(257, |i| i * i);
+            assert_eq!(out, (0..257).map(|i| i * i).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_and_owned_agree() {
+        let items: Vec<usize> = (0..300).collect();
+        for threads in [1, 2, 4] {
+            let pool = ParPool::new(threads);
+            let by_ref = pool.par_map(&items, |&i| i + 7);
+            let by_val = pool.par_map_owned(items.clone(), 1, |i| i + 7);
+            assert_eq!(by_ref, by_val);
+        }
+    }
+
+    #[test]
+    fn join2_returns_both_sides() {
+        for threads in [1, 2] {
+            let pool = ParPool::new(threads);
+            let (a, b) = pool.join2(|| 1 + 1, || "two");
+            assert_eq!((a, b), (2, "two"));
+        }
+    }
+
+    #[test]
+    fn zero_threads_clamps_to_one() {
+        assert_eq!(ParPool::new(0).threads(), 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let pool = ParPool::new(4);
+        assert!(pool.par_indices(0, |i| i).is_empty());
+        assert!(pool
+            .par_ranges(0, 1, |r| r.collect::<Vec<usize>>())
+            .is_empty());
+        assert!(pool.par_map_owned(Vec::<u8>::new(), 1, |b| b).is_empty());
+    }
+}

@@ -47,6 +47,22 @@
 //! witness that had absorbed a larger one, and the surviving contributors
 //! still carry exactly the alternatives the fresh evaluation would see.
 //!
+//! ## Parallel construction
+//!
+//! Cold-start construction is the expensive half of the serving story, and
+//! its loops are pure: [`MaterializedPlan::build_with`] shards them over a
+//! [`ParPool`] — independent operator subtrees build concurrently
+//! (sub-builders spliced back in sequential node order), the join build
+//! hashes its right side into per-shard tables by key hash while the probe
+//! runs over left-row chunks, and per-row annotation work (scan seeding,
+//! projection, ⊕-bucket normalization) maps over contiguous ranges.
+//! ⊕-interning itself stays sequential, so every merge happens in the
+//! derivation order of the one-shot walk and the result is **identical to
+//! the sequential build** for every carrier; a one-thread pool runs the
+//! exact sequential code path. Tuples are shared between operator levels
+//! as [`Arc<Tuple>`], so select/union passthrough and bucket interning
+//! bump a refcount instead of cloning value vectors.
+//!
 //! ## Delta propagation
 //!
 //! Deltas are per-node `(removed slots, changed slots)` pairs, pushed in
@@ -85,6 +101,7 @@ use crate::database::{Database, Tid};
 use crate::engine::{Annotated, Annotation, JoinLayout};
 use crate::error::Result;
 use crate::name::{Attr, RelName};
+use crate::par::ParPool;
 use crate::query::Query;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
@@ -92,6 +109,7 @@ use crate::typecheck::output_schema;
 use crate::value::Value;
 use std::collections::hash_map::Entry;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// What one [`MaterializedPlan::delete_sources`] call did to the view.
 /// Both lists are sorted ascending and disjoint.
@@ -113,19 +131,25 @@ impl ViewDelta {
     }
 }
 
+/// Fewest rows per shard in the data-parallel build loops (below this the
+/// sharding overhead exceeds the row work for every shipped carrier).
+const BUILD_GRAIN: usize = 64;
+
 /// Materialized output rows of one operator: stable slots, tombstoned on
 /// deletion. `tuples[s]` / `annots[s]` stay readable after death but are
 /// never read by parents (their contributor lists are pruned first).
+/// Tuples are `Arc`-shared with the operators above (passthrough and
+/// bucket keys clone the handle, not the values).
 #[derive(Clone, Debug)]
 struct Rows<A> {
-    tuples: Vec<Tuple>,
+    tuples: Vec<Arc<Tuple>>,
     annots: Vec<A>,
     alive: Vec<bool>,
     alive_count: usize,
 }
 
 impl<A> Rows<A> {
-    fn new(tuples: Vec<Tuple>, annots: Vec<A>) -> Rows<A> {
+    fn new(tuples: Vec<Arc<Tuple>>, annots: Vec<A>) -> Rows<A> {
         let n = tuples.len();
         Rows {
             tuples,
@@ -218,20 +242,31 @@ pub struct MaterializedPlan<A> {
     /// filter dead slots).
     root_order: Vec<usize>,
     /// Root tuple → slot (lookups check liveness).
-    root_index: HashMap<Tuple, usize>,
+    root_index: HashMap<Arc<Tuple>, usize>,
     /// Scratch deltas, one per node, reused across calls.
     deltas: Vec<NodeDelta>,
 }
 
 impl<A: Annotation> MaterializedPlan<A> {
-    /// Build the pipeline for `q` over `db`: one annotated evaluation that
-    /// keeps its intermediate state. Fails (before materializing anything)
-    /// on the same type errors as evaluation.
+    /// Build the pipeline for `q` over `db` with the process-default
+    /// [`ParPool`]: one annotated evaluation that keeps its intermediate
+    /// state. Fails (before materializing anything) on the same type
+    /// errors as evaluation.
     pub fn build(q: &Query, db: &Database) -> Result<MaterializedPlan<A>> {
+        MaterializedPlan::build_with(q, db, ParPool::global())
+    }
+
+    /// [`MaterializedPlan::build`] sharded over an explicit pool. The
+    /// result is **identical** for every pool size (see the module docs);
+    /// a one-thread pool runs the exact sequential code path.
+    pub fn build_with(q: &Query, db: &Database, pool: ParPool) -> Result<MaterializedPlan<A>> {
         output_schema(q, &db.catalog())?;
         let mut builder = Builder {
             nodes: Vec::new(),
             scans: Vec::new(),
+            pool,
+            // Subtree fan-out budget: 2^depth leaves saturate the pool.
+            par_depth: pool.threads().ilog2(),
         };
         let (root, schema) = builder.node(q, db)?;
         let rows = &builder.nodes[root].rows;
@@ -276,7 +311,7 @@ impl<A: Annotation> MaterializedPlan<A> {
         self.root_order
             .iter()
             .filter(|&&s| rows.alive[s])
-            .map(move |&s| (&rows.tuples[s], &rows.annots[s]))
+            .map(move |&s| (&*rows.tuples[s], &rows.annots[s]))
     }
 
     /// The current annotation of `t`, if `t` is (still) in the view.
@@ -315,9 +350,13 @@ impl<A: Annotation> MaterializedPlan<A> {
             &mut self.nodes[self.root].rows,
             Rows::new(Vec::new(), Vec::new()),
         );
+        // Release the index's tuple handles so the unwrap below can move
+        // tuples out instead of cloning (non-root nodes may still share
+        // scan/select handles; those fall back to one clone).
+        self.root_index = HashMap::new();
         // Zip, drop dead slots, sort by tuple, unzip: the sort moves whole
         // pairs, so no per-element Option take-dance is needed.
-        let mut pairs: Vec<(Tuple, A)> = rows
+        let mut pairs: Vec<(Arc<Tuple>, A)> = rows
             .tuples
             .into_iter()
             .zip(rows.annots)
@@ -329,7 +368,7 @@ impl<A: Annotation> MaterializedPlan<A> {
         let mut tuples = Vec::with_capacity(pairs.len());
         let mut annots = Vec::with_capacity(pairs.len());
         for (t, a) in pairs {
-            tuples.push(t);
+            tuples.push(Arc::try_unwrap(t).unwrap_or_else(|shared| (*shared).clone()));
             annots.push(a);
         }
         Annotated::from_sorted_parts(self.schema, tuples, annots)
@@ -367,12 +406,12 @@ impl<A: Annotation> MaterializedPlan<A> {
         let mut removed: Vec<Tuple> = delta
             .removed
             .iter()
-            .map(|&s| rows.tuples[s].clone())
+            .map(|&s| (*rows.tuples[s]).clone())
             .collect();
         let mut changed: Vec<Tuple> = delta
             .changed
             .iter()
-            .map(|&s| rows.tuples[s].clone())
+            .map(|&s| (*rows.tuples[s]).clone())
             .collect();
         removed.sort();
         changed.sort();
@@ -556,17 +595,20 @@ impl<A: Annotation> MaterializedPlan<A> {
     }
 }
 
-/// Build-time accumulator: nodes in post-order plus the scan registry.
+/// Build-time accumulator: nodes in post-order plus the scan registry, and
+/// the sharding policy ([`ParPool`] + remaining subtree fan-out budget).
 struct Builder<A> {
     nodes: Vec<Node<A>>,
     scans: Vec<(RelName, usize)>,
+    pool: ParPool,
+    par_depth: u32,
 }
 
 /// ⊕-merge bucket accumulator shared by the project and union builds:
 /// interned output tuples with contributor bookkeeping.
 struct BucketAcc<A> {
-    index: HashMap<Tuple, usize>,
-    tuples: Vec<Tuple>,
+    index: HashMap<Arc<Tuple>, usize>,
+    tuples: Vec<Arc<Tuple>>,
     annots: Vec<A>,
 }
 
@@ -581,7 +623,7 @@ impl<A: Annotation> BucketAcc<A> {
 
     /// Insert a derivation of `t`, ⊕-merging into an existing bucket.
     /// Returns the bucket slot.
-    fn add(&mut self, t: Tuple, a: A) -> usize {
+    fn add(&mut self, t: Arc<Tuple>, a: A) -> usize {
         match self.index.entry(t) {
             Entry::Occupied(slot) => {
                 let o = *slot.get();
@@ -598,16 +640,27 @@ impl<A: Annotation> BucketAcc<A> {
         }
     }
 
-    /// Normalize every bucket and hand the rows over.
-    fn into_rows(self) -> Rows<A> {
-        let BucketAcc {
-            tuples, mut annots, ..
-        } = self;
-        for a in &mut annots {
+    /// Normalize every bucket (sharded over `pool`) and hand the rows over.
+    fn into_rows(self, pool: ParPool) -> Rows<A> {
+        let BucketAcc { tuples, annots, .. } = self;
+        let annots = pool.par_map_owned(annots, BUILD_GRAIN, |mut a| {
             a.normalize();
-        }
+            a
+        });
         Rows::new(tuples, annots)
     }
+}
+
+/// Deterministic hash of a join key, used only to pick a build shard (the
+/// shard choice is invisible in the output; a fixed hasher keeps runs
+/// reproducible).
+fn key_hash<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    for v in values {
+        v.hash(&mut h);
+    }
+    h.finish()
 }
 
 impl<A: Annotation> Builder<A> {
@@ -617,43 +670,128 @@ impl<A: Annotation> Builder<A> {
         id
     }
 
+    /// Build both children of a binary operator — in parallel (independent
+    /// sub-builders, spliced back left-then-right so node ids match the
+    /// sequential build exactly) while the fan-out budget lasts.
+    fn child_pair(
+        &mut self,
+        left: &Query,
+        right: &Query,
+        db: &Database,
+    ) -> Result<((usize, Schema), (usize, Schema))> {
+        if self.pool.is_sequential() || self.par_depth == 0 {
+            let l = self.node(left, db)?;
+            let r = self.node(right, db)?;
+            return Ok((l, r));
+        }
+        // Each side gets half the thread budget: at fan-out depth `d` up
+        // to 2^d subtrees build concurrently, so halving per split keeps
+        // the aggregate number of worker threads at ~`threads` instead of
+        // `threads²` (the helpers spawn per call; an unbudgeted nest
+        // would oversubscribe the machine on exactly this cold path).
+        let sub = |this: &Builder<A>| Builder {
+            nodes: Vec::new(),
+            scans: Vec::new(),
+            pool: ParPool::new(this.pool.threads().div_ceil(2)),
+            par_depth: this.par_depth - 1,
+        };
+        let mut lb = sub(self);
+        let mut rb = sub(self);
+        let ((lres, lb), (rres, rb)) = self.pool.join2(
+            move || {
+                let res = lb.node(left, db);
+                (res, lb)
+            },
+            move || {
+                let res = rb.node(right, db);
+                (res, rb)
+            },
+        );
+        let (lroot, lschema) = lres?;
+        let (rroot, rschema) = rres?;
+        let loff = self.splice(lb);
+        let roff = self.splice(rb);
+        Ok(((lroot + loff, lschema), (rroot + roff, rschema)))
+    }
+
+    /// Append a sub-builder's nodes after this builder's, shifting child
+    /// node ids (slot-level state needs no translation — slots are local
+    /// to each node). Returns the id offset.
+    fn splice(&mut self, sub: Builder<A>) -> usize {
+        let off = self.nodes.len();
+        for mut node in sub.nodes {
+            match &mut node.op {
+                Op::Scan => {}
+                Op::Select { child, .. } | Op::Project { child, .. } => *child += off,
+                Op::Join { left, right, .. } | Op::Union { left, right, .. } => {
+                    *left += off;
+                    *right += off;
+                }
+            }
+            self.nodes.push(node);
+        }
+        for (rel, id) in sub.scans {
+            self.scans.push((rel, id + off));
+        }
+        off
+    }
+
     /// Build the plan node for `q`, returning its index and schema.
     /// Children are pushed before parents, so indices are in post-order.
     fn node(&mut self, q: &Query, db: &Database) -> Result<(usize, Schema)> {
+        let pool = self.pool;
         match q {
             Query::Scan(rel) => {
                 let r = db.require(rel)?;
                 let schema = r.schema().clone();
-                let annots = (0..r.len())
-                    .map(|row| {
-                        A::from_scan(
-                            Tid {
-                                rel: r.name().clone(),
-                                row,
-                            },
-                            &schema,
-                        )
-                    })
-                    .collect();
-                let id = self.push(Op::Scan, Rows::new(r.tuples().to_vec(), annots));
+                let base = r.tuples();
+                // One parallel sweep produces both columns (two passes
+                // would double the spawn/join rounds on this hot path).
+                let seeded: Vec<(Arc<Tuple>, A)> =
+                    pool.par_ranges(base.len(), BUILD_GRAIN, |range| {
+                        range
+                            .map(|row| {
+                                (
+                                    Arc::new(base[row].clone()),
+                                    A::from_scan(
+                                        Tid {
+                                            rel: r.name().clone(),
+                                            row,
+                                        },
+                                        &schema,
+                                    ),
+                                )
+                            })
+                            .collect()
+                    });
+                let (tuples, annots) = seeded.into_iter().unzip();
+                let id = self.push(Op::Scan, Rows::new(tuples, annots));
                 self.scans.push((rel.clone(), id));
                 Ok((id, schema))
             }
             Query::Select { input, pred } => {
                 let (child, schema) = self.node(input, db)?;
                 let ch = &self.nodes[child].rows;
+                // Parallel predicate evaluation; errors surface in row
+                // order during the sequential assembly below.
+                let verdicts: Vec<Result<bool>> =
+                    pool.par_ranges(ch.tuples.len(), BUILD_GRAIN, |range| {
+                        range.map(|i| pred.eval(&schema, &ch.tuples[i])).collect()
+                    });
                 let mut out_of = Vec::with_capacity(ch.tuples.len());
-                let mut tuples = Vec::new();
-                let mut annots = Vec::new();
-                for (t, a) in ch.tuples.iter().zip(&ch.annots) {
-                    if pred.eval(&schema, t)? {
-                        out_of.push(Some(tuples.len()));
-                        tuples.push(t.clone());
-                        annots.push(a.clone());
+                let mut kept: Vec<usize> = Vec::new();
+                for (i, verdict) in verdicts.into_iter().enumerate() {
+                    if verdict? {
+                        out_of.push(Some(kept.len()));
+                        kept.push(i);
                     } else {
                         out_of.push(None);
                     }
                 }
+                let tuples: Vec<Arc<Tuple>> = kept.iter().map(|&i| ch.tuples[i].clone()).collect();
+                let annots: Vec<A> = pool.par_ranges(kept.len(), BUILD_GRAIN, |range| {
+                    range.map(|k| ch.annots[kept[k]].clone()).collect()
+                });
                 let id = self.push(Op::Select { child, out_of }, Rows::new(tuples, annots));
                 Ok((id, schema))
             }
@@ -662,16 +800,32 @@ impl<A: Annotation> Builder<A> {
                 let schema = in_schema.project(attrs)?;
                 let positions = in_schema.positions_of(attrs)?;
                 let ch = &self.nodes[child].rows;
-                let mut acc = BucketAcc::with_capacity(ch.tuples.len());
-                let mut out_of = Vec::with_capacity(ch.tuples.len());
-                for (t, a) in ch.tuples.iter().zip(&ch.annots) {
-                    out_of.push(acc.add(t.project_positions(&positions), a.project(&positions)));
+                // Phase 1 (parallel): per-row tuple and annotation
+                // projection.
+                let projected: Vec<(Arc<Tuple>, A)> =
+                    pool.par_ranges(ch.tuples.len(), BUILD_GRAIN, |range| {
+                        range
+                            .map(|c| {
+                                (
+                                    Arc::new(ch.tuples[c].project_positions(&positions)),
+                                    ch.annots[c].project(&positions),
+                                )
+                            })
+                            .collect()
+                    });
+                // Phase 2 (sequential): ⊕-intern in derivation order, so
+                // every bucket merges in exactly the one-shot walk's order.
+                let mut acc = BucketAcc::with_capacity(projected.len());
+                let mut out_of = Vec::with_capacity(projected.len());
+                for (t, a) in projected {
+                    out_of.push(acc.add(t, a));
                 }
                 let mut contributors = vec![Vec::new(); acc.annots.len()];
                 for (c, &o) in out_of.iter().enumerate() {
                     contributors[o].push(c);
                 }
-                let rows = acc.into_rows();
+                // Phase 3 (parallel): per-bucket normalization.
+                let rows = acc.into_rows(pool);
                 let id = self.push(
                     Op::Project {
                         child,
@@ -684,8 +838,7 @@ impl<A: Annotation> Builder<A> {
                 Ok((id, schema))
             }
             Query::Join { left, right } => {
-                let (lid, ls) = self.node(left, db)?;
-                let (rid, rs) = self.node(right, db)?;
+                let ((lid, ls), (rid, rs)) = self.child_pair(left, right, db)?;
                 let shared: Vec<Attr> = ls.shared_with(&rs);
                 let schema = ls.join_with(&rs);
                 let l_keys: Vec<usize> = shared
@@ -710,40 +863,108 @@ impl<A: Annotation> Builder<A> {
                 let (lrows, rrows) = (&self.nodes[lid].rows, &self.nodes[rid].rows);
                 // Build on the right, probe with the left; borrowed keys as
                 // in the one-shot walk — the retained state is the pair map
-                // plus the reverse adjacency, not the table itself.
-                let mut table: HashMap<Vec<&Value>, Vec<usize>> =
-                    HashMap::with_capacity(rrows.tuples.len());
-                for (idx, t) in rrows.tuples.iter().enumerate() {
-                    let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
-                    table.entry(key).or_default().push(idx);
-                }
-                let mut tuples = Vec::new();
-                let mut annots: Vec<A> = Vec::new();
-                let mut pair_of = Vec::new();
+                // plus the reverse adjacency, not the table itself. The
+                // build shards by key hash (shard `s` owns the keys whose
+                // hash lands on it, so per-key row order stays ascending);
+                // one shard is the exact sequential build.
+                let shards = if rrows.tuples.len() >= 2 * BUILD_GRAIN {
+                    pool.threads()
+                } else {
+                    1
+                };
+                let tables: Vec<HashMap<Vec<&Value>, Vec<usize>>> = if shards == 1 {
+                    let mut table: HashMap<Vec<&Value>, Vec<usize>> =
+                        HashMap::with_capacity(rrows.tuples.len());
+                    for (idx, t) in rrows.tuples.iter().enumerate() {
+                        let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
+                        table.entry(key).or_default().push(idx);
+                    }
+                    vec![table]
+                } else {
+                    // One parallel pass buckets row indices per shard
+                    // (range-order concat keeps each shard's rows
+                    // ascending), so every shard then scans only its own
+                    // rows — O(|R|) partition work total, not
+                    // O(shards · |R|).
+                    let bucketed: Vec<Vec<Vec<usize>>> =
+                        pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
+                            let mut local: Vec<Vec<usize>> = vec![Vec::new(); shards];
+                            for i in range {
+                                let h = key_hash(r_keys.iter().map(|&k| rrows.tuples[i].get(k)));
+                                local[(h % shards as u64) as usize].push(i);
+                            }
+                            vec![local]
+                        });
+                    let mut shard_rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
+                    for local in bucketed {
+                        for (s, rows) in local.into_iter().enumerate() {
+                            shard_rows[s].extend(rows);
+                        }
+                    }
+                    pool.par_indices(shards, |s| {
+                        let mut table: HashMap<Vec<&Value>, Vec<usize>> =
+                            HashMap::with_capacity(shard_rows[s].len());
+                        for &idx in &shard_rows[s] {
+                            let key: Vec<&Value> =
+                                r_keys.iter().map(|&i| rrows.tuples[idx].get(i)).collect();
+                            table.entry(key).or_default().push(idx);
+                        }
+                        table
+                    })
+                };
+                // Probe over left-row chunks; chunk-order concatenation
+                // reproduces the sequential emission order (left rows
+                // ascending, per-key matches in build order).
+                let produced: Vec<(usize, usize, Arc<Tuple>, A)> =
+                    pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
+                        let mut out = Vec::new();
+                        for li in range {
+                            let lt = &lrows.tuples[li];
+                            let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
+                            let table = if shards == 1 {
+                                &tables[0]
+                            } else {
+                                &tables[(key_hash(key.iter().copied()) % shards as u64) as usize]
+                            };
+                            let Some(matches) = table.get(&key) else {
+                                continue;
+                            };
+                            for &ri in matches {
+                                let mut a = A::join(&lrows.annots[li], &rrows.annots[ri], &layout);
+                                a.normalize();
+                                out.push((
+                                    li,
+                                    ri,
+                                    Arc::new(
+                                        lt.join_concat(&rrows.tuples[ri], &layout.right_extra),
+                                    ),
+                                    a,
+                                ));
+                            }
+                        }
+                        out
+                    });
+                // Sequential assembly: stable output slots in emission
+                // order. The joined tuple embeds the left tuple and
+                // determines the right one, and node outputs are sets —
+                // each output has exactly one (l, r) pair.
+                let mut tuples = Vec::with_capacity(produced.len());
+                let mut annots: Vec<A> = Vec::with_capacity(produced.len());
+                let mut pair_of = Vec::with_capacity(produced.len());
                 let mut left_outs = vec![Vec::new(); lrows.tuples.len()];
                 let mut right_outs = vec![Vec::new(); rrows.tuples.len()];
-                for (li, (lt, la)) in lrows.tuples.iter().zip(&lrows.annots).enumerate() {
-                    let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
-                    let Some(matches) = table.get(&key) else {
-                        continue;
-                    };
-                    for &ri in matches {
-                        // The joined tuple embeds the left tuple and
-                        // determines the right one, and node outputs are
-                        // sets — each output has exactly one (l, r) pair.
-                        let o = tuples.len();
-                        tuples.push(lt.join_concat(&rrows.tuples[ri], &layout.right_extra));
-                        let mut a = A::join(la, &rrows.annots[ri], &layout);
-                        a.normalize();
-                        annots.push(a);
-                        pair_of.push((li, ri));
-                        left_outs[li].push(o);
-                        right_outs[ri].push(o);
-                    }
+                for (li, ri, t, a) in produced {
+                    let o = tuples.len();
+                    tuples.push(t);
+                    annots.push(a);
+                    pair_of.push((li, ri));
+                    left_outs[li].push(o);
+                    right_outs[ri].push(o);
                 }
                 debug_assert_eq!(
                     tuples
                         .iter()
+                        .map(|t| &**t)
                         .collect::<std::collections::HashSet<_>>()
                         .len(),
                     tuples.len(),
@@ -763,21 +984,39 @@ impl<A: Annotation> Builder<A> {
                 Ok((id, schema))
             }
             Query::Union { left, right } => {
-                let (lid, ls) = self.node(left, db)?;
-                let (rid, rs) = self.node(right, db)?;
+                let ((lid, ls), (rid, rs)) = self.child_pair(left, right, db)?;
                 // Align the right branch to the left branch's attribute
                 // order (a bijection, so aligned right tuples stay distinct).
                 let positions = rs.positions_of(ls.attrs())?;
                 let (lrows, rrows) = (&self.nodes[lid].rows, &self.nodes[rid].rows);
-                let mut acc = BucketAcc::with_capacity(lrows.tuples.len() + rrows.tuples.len());
-                let mut from_left = Vec::with_capacity(lrows.tuples.len());
-                for (t, a) in lrows.tuples.iter().zip(&lrows.annots) {
-                    from_left.push(acc.add(t.clone(), a.clone()));
+                // Phase 1 (parallel): left passthrough clones, right
+                // alignment.
+                let left_in: Vec<(Arc<Tuple>, A)> =
+                    pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
+                        range
+                            .map(|i| (lrows.tuples[i].clone(), lrows.annots[i].clone()))
+                            .collect()
+                    });
+                let right_in: Vec<(Arc<Tuple>, A)> =
+                    pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
+                        range
+                            .map(|i| {
+                                (
+                                    Arc::new(rrows.tuples[i].project_positions(&positions)),
+                                    rrows.annots[i].project(&positions),
+                                )
+                            })
+                            .collect()
+                    });
+                // Phase 2 (sequential): ⊕-intern, left branch first.
+                let mut acc = BucketAcc::with_capacity(left_in.len() + right_in.len());
+                let mut from_left = Vec::with_capacity(left_in.len());
+                for (t, a) in left_in {
+                    from_left.push(acc.add(t, a));
                 }
-                let mut from_right = Vec::with_capacity(rrows.tuples.len());
-                for (t, a) in rrows.tuples.iter().zip(&rrows.annots) {
-                    from_right
-                        .push(acc.add(t.project_positions(&positions), a.project(&positions)));
+                let mut from_right = Vec::with_capacity(right_in.len());
+                for (t, a) in right_in {
+                    from_right.push(acc.add(t, a));
                 }
                 let mut sources = vec![(None, None); acc.annots.len()];
                 for (c, &o) in from_left.iter().enumerate() {
@@ -786,7 +1025,8 @@ impl<A: Annotation> Builder<A> {
                 for (c, &o) in from_right.iter().enumerate() {
                     sources[o].1 = Some(c);
                 }
-                let rows = acc.into_rows();
+                // Phase 3 (parallel): per-bucket normalization.
+                let rows = acc.into_rows(pool);
                 let id = self.push(
                     Op::Union {
                         left: lid,
@@ -863,6 +1103,17 @@ mod tests {
     }
 
     #[test]
+    fn parallel_build_is_identical_to_sequential() {
+        let (q, db) = fixture();
+        let seq = MaterializedPlan::<Unit>::build_with(&q, &db, ParPool::sequential()).unwrap();
+        for threads in [2, 4] {
+            let par = MaterializedPlan::<Unit>::build_with(&q, &db, ParPool::new(threads)).unwrap();
+            assert_eq!(par.snapshot().tuples(), seq.snapshot().tuples());
+            assert_eq!(par.len(), seq.len());
+        }
+    }
+
+    #[test]
     fn deletions_track_fresh_eval_per_operator() {
         let (_, db) = fixture();
         let all: Vec<Tid> = db.all_tids().collect();
@@ -932,5 +1183,8 @@ mod tests {
         assert!(MaterializedPlan::<Unit>::build(&Query::scan("Nope"), &db).is_err());
         let q = Query::scan("UserGroup").project(["nope"]);
         assert!(MaterializedPlan::<Unit>::build(&q, &db).is_err());
+        // The parallel subtree path surfaces child errors too.
+        let q = Query::scan("UserGroup").join(Query::scan("Nope"));
+        assert!(MaterializedPlan::<Unit>::build_with(&q, &db, ParPool::new(4)).is_err());
     }
 }

@@ -60,8 +60,9 @@ pub mod prelude {
     pub use dap_core::deletion::view_side_effect::ExactOptions;
     pub use dap_core::dichotomy::delete_min_view_side_effects_with_fds;
     pub use dap_core::dichotomy::{
-        delete_min_source_apply_many, delete_min_source_many,
+        delete_min_source_apply_many, delete_min_source_many, delete_min_source_many_with,
         delete_min_view_side_effects_apply_many, delete_min_view_side_effects_many,
+        delete_min_view_side_effects_many_with,
     };
     pub use dap_core::{
         complexity, delete_min_source, delete_min_view_side_effects, format_paper_table,
@@ -76,8 +77,8 @@ pub mod prelude {
     };
     pub use dap_relalg::{
         eval, eval_annotated, normalize, parse_database, parse_pred, parse_query, schema, tuple,
-        Annotation, Attr, Database, Fd, FdCatalog, MaterializedPlan, OpFootprint, Pred, Query,
-        RelName, Relation, Schema, Tid, Tuple, Value, ViewDelta,
+        Annotation, Attr, Database, Fd, FdCatalog, MaterializedPlan, OpFootprint, ParPool, Pred,
+        Query, RelName, Relation, Schema, Tid, Tuple, Value, ViewDelta,
     };
 }
 
