@@ -1,0 +1,206 @@
+//! Race the unified 0/1-ILP deletion solver (`dap_core::ilp`) against the
+//! specialized solver stack on one workload per dichotomy class and emit
+//! `BENCH_ilp.json`.
+//!
+//! ```text
+//! cargo run --release -p dap-bench --bin report_ilp
+//! ```
+//!
+//! Every row solves the **same** target with the class's specialized
+//! solver (SPU closed form, SJ component scan, chain min-cut, PJ exact
+//! branch-and-bound / hitting set) and with the generic pseudo-Boolean
+//! encoding, then asserts the optima are **cost-identical** — the
+//! correctness contract of the unified solver, checked unconditionally on
+//! every run (there is no wall-clock bar to shelter from noisy runners;
+//! the timings are reported for the record, the assertion is the point).
+
+use dap_bench::{chain_workload, median_time, pj_multiwitness_workload, sj_workload, spu_workload};
+use dap_core::deletion::view_side_effect::ExactOptions;
+use dap_core::deletion::{Deletion, DeletionContext};
+use dap_core::ilp::IlpOptions;
+use std::time::Duration;
+
+const RUNS: usize = 9;
+
+/// One measured comparison: a dichotomy class, the objective solved, the
+/// instance's support/frontier sizes, both timings, and both optima.
+struct Row {
+    class: &'static str,
+    objective: &'static str,
+    support: usize,
+    frontier: usize,
+    specialized: Duration,
+    ilp: Duration,
+    cost_specialized: usize,
+    cost_ilp: usize,
+}
+
+fn race(
+    class: &'static str,
+    objective: &'static str,
+    ctx: &DeletionContext,
+    target: &dap_relalg::Tuple,
+    mut specialized: impl FnMut() -> Deletion,
+    mut ilp: impl FnMut() -> Deletion,
+    cost: impl Fn(&Deletion) -> usize,
+) -> Row {
+    let (inst, idx) = ctx.instance_and_index(target).expect("target in view");
+    // Warm both paths once (page-in, allocator) before timing.
+    let (mut spec_sol, mut ilp_sol) = (specialized(), ilp());
+    let spec_t = median_time(RUNS, || spec_sol = specialized());
+    let ilp_t = median_time(RUNS, || ilp_sol = ilp());
+    let row = Row {
+        class,
+        objective,
+        support: inst.support.len(),
+        frontier: idx.frontier_len(),
+        specialized: spec_t,
+        ilp: ilp_t,
+        cost_specialized: cost(&spec_sol),
+        cost_ilp: cost(&ilp_sol),
+    };
+    assert_eq!(
+        row.cost_specialized, row.cost_ilp,
+        "{class}/{objective}: the unified ILP must match the specialized optimum"
+    );
+    row
+}
+
+fn main() {
+    println!("==============================================================");
+    println!(" ilp_unified — specialized dichotomy solvers vs 0/1-ILP");
+    println!("==============================================================\n");
+    println!(
+        "{:>8} {:>8} {:>8} {:>9} {:>14} {:>14} {:>6} {:>6}",
+        "class", "obj", "support", "frontier", "specialized", "ilp", "cost", "same"
+    );
+
+    let exact = ExactOptions::default();
+    let opts = IlpOptions::default();
+    let mut rows: Vec<Row> = Vec::new();
+
+    let w = spu_workload(11, 40);
+    let ctx = DeletionContext::new(&w.query, &w.db).expect("builds");
+    rows.push(race(
+        "SPU",
+        "view",
+        &ctx,
+        &w.target,
+        || ctx.spu_view_deletion(&w.target).expect("SPU class"),
+        || {
+            ctx.min_view_side_effects_ilp(&w.target, &opts)
+                .expect("solves")
+        },
+        Deletion::view_cost,
+    ));
+    rows.push(race(
+        "SPU",
+        "source",
+        &ctx,
+        &w.target,
+        || ctx.min_source_deletion(&w.target).expect("solves"),
+        || {
+            ctx.min_source_deletion_ilp(&w.target, &opts)
+                .expect("solves")
+        },
+        Deletion::source_cost,
+    ));
+
+    let w = sj_workload(13, 40);
+    let ctx = DeletionContext::new(&w.query, &w.db).expect("builds");
+    rows.push(race(
+        "SJ",
+        "view",
+        &ctx,
+        &w.target,
+        || {
+            dap_core::deletion::view_side_effect::sj_view_deletion(&w.query, &w.db, &w.target)
+                .expect("SJ class")
+        },
+        || {
+            ctx.min_view_side_effects_ilp(&w.target, &opts)
+                .expect("solves")
+        },
+        Deletion::view_cost,
+    ));
+
+    let w = chain_workload(7, 3, 8);
+    let ctx = DeletionContext::new(&w.query, &w.db).expect("builds");
+    rows.push(race(
+        "chain",
+        "source",
+        &ctx,
+        &w.target,
+        || ctx.chain_min_source_deletion(&w.target).expect("chain"),
+        || {
+            ctx.min_source_deletion_ilp(&w.target, &opts)
+                .expect("solves")
+        },
+        Deletion::source_cost,
+    ));
+
+    let w = pj_multiwitness_workload(8, 4, 8);
+    let ctx = DeletionContext::new(&w.query, &w.db).expect("builds");
+    rows.push(race(
+        "PJ",
+        "view",
+        &ctx,
+        &w.target,
+        || {
+            ctx.min_view_side_effects(&w.target, &exact)
+                .expect("solves")
+        },
+        || {
+            ctx.min_view_side_effects_ilp(&w.target, &opts)
+                .expect("solves")
+        },
+        Deletion::view_cost,
+    ));
+    rows.push(race(
+        "PJ",
+        "source",
+        &ctx,
+        &w.target,
+        || ctx.min_source_deletion(&w.target).expect("solves"),
+        || {
+            ctx.min_source_deletion_ilp(&w.target, &opts)
+                .expect("solves")
+        },
+        Deletion::source_cost,
+    ));
+
+    let mut json = String::from("{\n  \"bench\": \"ilp_unified\",\n  \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "{:>8} {:>8} {:>8} {:>9} {:>14?} {:>14?} {:>6} {:>6}",
+            r.class,
+            r.objective,
+            r.support,
+            r.frontier,
+            r.specialized,
+            r.ilp,
+            r.cost_specialized,
+            r.cost_specialized == r.cost_ilp,
+        );
+        json.push_str(&format!(
+            "    {{\"class\": \"{}\", \"objective\": \"{}\", \"support\": {}, \
+             \"frontier\": {}, \"specialized_ns\": {}, \"ilp_ns\": {}, \
+             \"cost_specialized\": {}, \"cost_ilp\": {}, \"identical_cost\": {}}}{}\n",
+            r.class,
+            r.objective,
+            r.support,
+            r.frontier,
+            r.specialized.as_nanos(),
+            r.ilp.as_nanos(),
+            r.cost_specialized,
+            r.cost_ilp,
+            r.cost_specialized == r.cost_ilp,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    let all = rows.iter().all(|r| r.cost_specialized == r.cost_ilp);
+    json.push_str(&format!("  ],\n  \"all_identical_costs\": {all}\n}}\n"));
+    std::fs::write("BENCH_ilp.json", &json).expect("write BENCH_ilp.json");
+    println!("\nwrote BENCH_ilp.json");
+    println!("acceptance: identical optima on all {} rows", rows.len());
+}

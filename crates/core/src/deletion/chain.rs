@@ -16,11 +16,14 @@
 //! This gives a **polynomial** algorithm for a query class whose general
 //! form is set-cover-hard — the special case the dichotomy table footnotes.
 
-use crate::deletion::Deletion;
+use crate::deletion::index::WitnessIndex;
+use crate::deletion::{Deletion, DeletionContext};
 use crate::error::{CoreError, Result};
 use dap_flow::UnitNodeGraph;
-use dap_relalg::{detect_chain_join, eval, Attr, Database, Query, Schema, Tid, Tuple};
-use std::collections::BTreeSet;
+use dap_relalg::{
+    detect_chain_join, eval, Attr, ChainJoin, Database, Query, RelName, Schema, Tid, Tuple,
+};
+use std::collections::{BTreeSet, HashMap};
 
 /// Minimum source deletion for a chain-join query (optional outer
 /// projection over a join of distinct relations whose shared-attribute graph
@@ -172,6 +175,110 @@ pub fn chain_min_source_deletion(q: &Query, db: &Database, target: &Tuple) -> Re
     })
 }
 
+/// Theorem 2.6 on a **maintained** context: build the layered witness
+/// network from the target's *patched* why-provenance instead of re-scanning
+/// the original database. Nodes are the target's support tids (one layer
+/// per chain relation), and edges connect consecutive-layer tids that
+/// co-occur in some witness. By the chain property (non-consecutive
+/// relations share no attributes) every source–sink path through that graph
+/// — including paths mixing tuples from different witnesses — is itself a
+/// minimal witness of the target already present in the provenance, so the
+/// path set *is* the witness set and a minimum node cut is a minimum
+/// hitting set, i.e. a minimum source deletion **against the current
+/// view**. Side effects are read off the index counters (patched state
+/// again), not off a re-evaluation of the stale original database.
+fn chain_cut_on(chain: &ChainJoin, idx: &mut WitnessIndex) -> Result<Deletion> {
+    let layer_of: HashMap<&RelName, usize> = chain
+        .order
+        .iter()
+        .enumerate()
+        .map(|(i, r)| (r, i))
+        .collect();
+    let layers = chain.order.len();
+    let slot_layer: Vec<usize> = idx.support().iter().map(|tid| layer_of[&tid.rel]).collect();
+    let mut graph = UnitNodeGraph::new(idx.support().len());
+    let mut sources = BTreeSet::new();
+    let mut sinks = BTreeSet::new();
+    let mut edges = BTreeSet::new();
+    for wi in 0..idx.target_witness_count() {
+        let mut by_layer: Vec<Option<usize>> = vec![None; layers];
+        for &slot in idx.target_witness_members(wi) {
+            debug_assert!(
+                by_layer[slot_layer[slot]].is_none(),
+                "a chain witness has one tuple per relation"
+            );
+            by_layer[slot_layer[slot]] = Some(slot);
+        }
+        let path: Vec<usize> = by_layer
+            .into_iter()
+            .map(|s| s.expect("a chain witness covers every layer"))
+            .collect();
+        sources.insert(path[0]);
+        sinks.insert(path[layers - 1]);
+        for w in path.windows(2) {
+            edges.insert((w[0], w[1]));
+        }
+    }
+    for &s in &sources {
+        graph.connect_source(s);
+    }
+    for &t in &sinks {
+        graph.connect_sink(t);
+    }
+    for &(a, b) in &edges {
+        graph.add_edge(a, b);
+    }
+    let (value, cut) = graph.min_node_cut();
+    debug_assert!(value >= 1, "a target in the view has a witness path");
+    debug_assert_eq!(value as usize, cut.len());
+    for &slot in &cut {
+        idx.insert_slot(slot);
+    }
+    debug_assert!(idx.deletes_target(), "the cut hits every witness");
+    let sol = Deletion {
+        deletions: idx.deleted_tids(),
+        view_side_effects: idx.side_effects(),
+    };
+    for &slot in &cut {
+        idx.remove_slot(slot);
+    }
+    Ok(sol)
+}
+
+impl DeletionContext {
+    /// [`chain_min_source_deletion`] against this context's **patched**
+    /// state: after [`DeletionContext::apply_delete`] commits, the free
+    /// function keeps solving over the original database (stale cuts over
+    /// tuples that no longer exist); this method rebuilds the Thm 2.6 flow
+    /// network from the maintained why-provenance, so committed tuples are
+    /// never proposed and costs track the current view. Within a context
+    /// the witness lists are already materialized, so — unlike the free
+    /// function, which deliberately avoids why-provenance — reading them
+    /// costs nothing extra. Errors with [`CoreError::NotAChain`] on
+    /// non-chain queries and [`CoreError::TargetNotInView`] when the
+    /// (current) view lacks the target.
+    pub fn chain_min_source_deletion(&self, target: &Tuple) -> Result<Deletion> {
+        let chain =
+            detect_chain_join(self.query(), &self.db().catalog()).ok_or(CoreError::NotAChain)?;
+        let (_, mut idx) = self.instance_and_index(target)?;
+        chain_cut_on(&chain, &mut idx)
+    }
+
+    /// [`DeletionContext::chain_min_source_deletion`] for the serving
+    /// loop: solves on the target's cached, in-place-patched
+    /// [`WitnessIndex`] (same cache as the other `*_turn` entry points —
+    /// the chain class no longer bypasses it). Identical solutions to the
+    /// uncached entry point.
+    pub fn chain_min_source_turn(&mut self, target: &Tuple) -> Result<Deletion> {
+        let chain =
+            detect_chain_join(self.query(), &self.db().catalog()).ok_or(CoreError::NotAChain)?;
+        let mut idx = self.take_index(target)?;
+        let sol = chain_cut_on(&chain, &mut idx);
+        self.cache_index(target, idx);
+        sol
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,6 +372,115 @@ mod tests {
             chain_min_source_deletion(&q, &db, &tuple(["zz", "zz"])),
             Err(CoreError::TargetNotInView { .. })
         ));
+    }
+
+    #[test]
+    fn context_chain_cut_matches_free_function_on_a_fresh_context() {
+        let db = chain_db();
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A, D])").unwrap();
+        let ctx = DeletionContext::new(&q, &db).unwrap();
+        for t in eval(&q, &db).unwrap().tuples.clone() {
+            let via_ctx = ctx.chain_min_source_deletion(&t).unwrap();
+            let via_free = chain_min_source_deletion(&q, &db, &t).unwrap();
+            assert_eq!(via_ctx.source_cost(), via_free.source_cost(), "target {t}");
+            assert_eq!(via_ctx.view_cost(), via_free.view_cost(), "target {t}");
+            let exact = min_source_deletion(&q, &db, &t).unwrap();
+            assert_eq!(via_ctx.source_cost(), exact.source_cost(), "target {t}");
+        }
+    }
+
+    /// The headline regression: after a commit, the free function solves
+    /// the *original* database (silently wrong), the context method the
+    /// patched one.
+    #[test]
+    fn chain_cut_reads_the_patched_state_after_commits() {
+        let db = parse_database(
+            "relation R1(A, B) { (a, b1), (a, b2) }
+             relation R2(B, C) { (b1, c1), (b2, c2) }
+             relation R3(C, D) { (c1, d), (c2, d), (c1, e) }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A, D])").unwrap();
+        let t = tuple(["a", "d"]);
+        let mut ctx = DeletionContext::new(&q, &db).unwrap();
+        // Commit R2(b1,c1): (a,e) dies, (a,d) drops to its b2-c2 witness.
+        let committed = BTreeSet::from([db.tid_of("R2", &tuple(["b1", "c1"])).unwrap()]);
+        ctx.apply_delete(&committed);
+        assert!(!ctx.contains(&tuple(["a", "e"])));
+
+        let sol = ctx.chain_min_source_deletion(&t).unwrap();
+        assert_eq!(sol.source_cost(), 1, "one surviving witness path");
+        assert!(
+            sol.deletions.is_disjoint(ctx.committed()),
+            "a chain-class solve after apply_delete must never propose an \
+             already-deleted tuple"
+        );
+        // It agrees with a fresh solve over the actually-current database.
+        let db_now = db.without(ctx.committed());
+        let fresh = chain_min_source_deletion(&q, &db_now, &t).unwrap();
+        assert_eq!(sol.source_cost(), fresh.source_cost());
+        assert_eq!(sol.view_side_effects, fresh.view_side_effects);
+        // …while the pre-fix path — the free function over the context's
+        // original database — still sees two disjoint witness paths and
+        // returns a stale min cut of 2: the silent wrong answer this PR
+        // fixes.
+        let stale = chain_min_source_deletion(&q, &db, &t).unwrap();
+        assert_eq!(stale.source_cost(), 2, "stale network, stale cut");
+        // The turn variant (cached index) returns the identical solution.
+        let turn = ctx.chain_min_source_turn(&t).unwrap();
+        assert_eq!(turn, sol);
+        assert_eq!(ctx.cached_index_count(), 1);
+        // A target an earlier commit removed errors as not-in-view instead
+        // of resolving against the stale database.
+        assert!(matches!(
+            ctx.chain_min_source_deletion(&tuple(["a", "e"])),
+            Err(CoreError::TargetNotInView { .. })
+        ));
+        // The packaged source-objective turn handles it as None.
+        let gone = ctx
+            .resolve_source_after_delete(&BTreeSet::new(), &tuple(["a", "e"]))
+            .unwrap();
+        assert!(gone.is_none());
+    }
+
+    #[test]
+    fn context_chain_cut_side_effects_match_reevaluation_after_commit() {
+        let db = chain_db();
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A, D])").unwrap();
+        let mut ctx = DeletionContext::new(&q, &db).unwrap();
+        // Commit R2(b2,c2) first; (a,d) keeps witnesses through c1.
+        let committed = BTreeSet::from([db.tid_of("R2", &tuple(["b2", "c2"])).unwrap()]);
+        ctx.apply_delete(&committed);
+        let t = tuple(["a", "d"]);
+        let sol = ctx.chain_min_source_turn(&t).unwrap();
+        // Verify against re-evaluation on the patched database.
+        let db_now = db.without(ctx.committed());
+        let before = eval(&q, &db_now).unwrap();
+        let all: BTreeSet<Tid> = sol.deletions.iter().cloned().collect();
+        let after = eval(&q, &db_now.without(&all)).unwrap();
+        assert!(!after.contains(&t));
+        let dead: BTreeSet<Tuple> = before
+            .tuples
+            .iter()
+            .filter(|u| **u != t && !after.contains(u))
+            .cloned()
+            .collect();
+        assert_eq!(sol.view_side_effects, dead);
+        // And the cost is optimal on the patched state.
+        let exact = min_source_deletion(&q, &db_now, &t).unwrap();
+        assert_eq!(sol.source_cost(), exact.source_cost());
+    }
+
+    #[test]
+    fn context_chain_cut_rejects_non_chain() {
+        let db = chain_db();
+        let q = parse_query("project(join(scan R1, scan R1), [A])").unwrap();
+        assert!(DeletionContext::new(&q, &db)
+            .map(|ctx| matches!(
+                ctx.chain_min_source_deletion(&tuple(["a"])),
+                Err(CoreError::NotAChain)
+            ))
+            .unwrap_or(true));
     }
 
     #[test]

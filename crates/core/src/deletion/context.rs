@@ -358,6 +358,30 @@ impl DeletionContext {
         self.min_view_side_effects_turn(target, opts).map(Some)
     }
 
+    /// [`DeletionContext::resolve_after_delete`] for the **source**
+    /// objective: commit `deletions`, then find a minimum source deletion
+    /// for `target` against the patched view — through the maintained
+    /// chain min-cut ([`DeletionContext::chain_min_source_turn`]) when the
+    /// query is a chain join, the exact hitting-set turn otherwise. Both
+    /// routes read the patched why-provenance and go through the cached
+    /// per-target indexes.
+    pub fn resolve_source_after_delete(
+        &mut self,
+        deletions: &BTreeSet<Tid>,
+        target: &Tuple,
+    ) -> Result<Option<Deletion>> {
+        self.apply_delete(deletions);
+        if !self.contains(target) {
+            return Ok(None);
+        }
+        let sol = if dap_relalg::detect_chain_join(&self.query, &self.db.catalog()).is_some() {
+            self.chain_min_source_turn(target)?
+        } else {
+            self.min_source_deletion_turn(target)?
+        };
+        Ok(Some(sol))
+    }
+
     /// Stamp out the [`DeletionInstance`] for `target`, sharing the query,
     /// database, and why-provenance — no recomputation, no deep clones.
     /// Errors if `target` is not in the (current) view.
@@ -388,9 +412,21 @@ impl DeletionContext {
     /// entries — dead tuples, or tuples whose patched basis no longer
     /// touches the tid — are filtered here and by the index build.
     pub fn index_for(&self, inst: &DeletionInstance) -> WitnessIndex {
-        let mut candidate_ids: Vec<usize> = inst
-            .support
-            .iter()
+        WitnessIndex::from_candidates(&self.why, inst, self.candidates_touching(&inst.support))
+    }
+
+    /// The alive view tuples with at least one witness touching `support`,
+    /// read off the touch skeleton in view order — the candidate frontier
+    /// shared by [`DeletionContext::index_for`] and the `dap_core::ilp`
+    /// encoder. Stale skeleton entries (dead tuples) are filtered here;
+    /// tuples whose patched basis no longer touches the tid are filtered
+    /// by the consumers' witness scans.
+    pub(crate) fn candidates_touching<'s>(
+        &self,
+        support: impl IntoIterator<Item = &'s Tid>,
+    ) -> Vec<&Tuple> {
+        let mut candidate_ids: Vec<usize> = support
+            .into_iter()
             .filter_map(|tid| self.touching.get(tid))
             .flatten()
             .copied()
@@ -398,11 +434,7 @@ impl DeletionContext {
             .collect();
         candidate_ids.sort_unstable();
         candidate_ids.dedup();
-        WitnessIndex::from_candidates(
-            &self.why,
-            inst,
-            candidate_ids.iter().map(|&i| &self.tuples[i]),
-        )
+        candidate_ids.into_iter().map(|i| &self.tuples[i]).collect()
     }
 
     /// Instance and index for `target` in one call.

@@ -56,22 +56,36 @@ pub struct WitnessIndex {
     tuple_alive: Vec<usize>,
     /// The frontier tuples (the target is `tuples[target_tuple]`).
     tuples: Vec<Tuple>,
-    /// Frontier tuple → its id in `tuples` (the patching entry point).
-    tuple_ids: HashMap<Tuple, usize>,
     /// Index of the target in `tuples`.
     target_tuple: usize,
     /// Running count of dead frontier tuples other than the target.
     dead_other: usize,
-    /// witness id → member slots (the transpose of `occurrences`). The
-    /// target's entries are the sets the branch-and-bound branches over;
-    /// the rest exist so [`WitnessIndex::retire_tuple`] can unlink a dead
-    /// tuple's witnesses in place.
+    /// Member slots per target witness (parallel to `target_witness_ids`) —
+    /// the sets the branch-and-bound branches over, kept eager because
+    /// every solve reads them.
+    target_members: Vec<Vec<usize>>,
+    /// Global witness ids of the target's witnesses.
+    target_witness_ids: Vec<usize>,
+    /// Retire/encode support (tuple-id map + full witness transpose),
+    /// derivable from the eager fields — built lazily on the first
+    /// [`WitnessIndex::retire_tuple`] / [`WitnessIndex::in_frontier`] /
+    /// ILP-encoding call, so the throwaway per-target stamps of the
+    /// one-shot solvers never pay for it.
+    retire: Option<Box<RetireSupport>>,
+}
+
+/// The lazily-built machinery behind [`WitnessIndex::retire_tuple`] and the
+/// `dap_core::ilp` encoder: reverse lookups the counter updates never need.
+#[derive(Clone, Debug)]
+struct RetireSupport {
+    /// Frontier tuple → its id in `tuples` (the patching entry point).
+    tuple_ids: HashMap<Tuple, usize>,
+    /// witness id → member slots (the transpose of `occurrences`; emptied
+    /// per witness when its owner is retired).
     witness_members: Vec<Vec<usize>>,
     /// frontier-tuple id → ids of the witnesses it owns (emptied when the
     /// tuple is retired).
     witnesses_of_tuple: Vec<Vec<usize>>,
-    /// Global witness ids of the target's witnesses.
-    target_witness_ids: Vec<usize>,
 }
 
 impl WitnessIndex {
@@ -97,10 +111,8 @@ impl WitnessIndex {
         let mut witness_hits = Vec::new();
         let mut tuple_alive = Vec::new();
         let mut tuples: Vec<Tuple> = Vec::new();
-        let mut tuple_ids = HashMap::new();
         let mut target_tuple = 0;
-        let mut witness_members: Vec<Vec<usize>> = Vec::new();
-        let mut witnesses_of_tuple: Vec<Vec<usize>> = Vec::new();
+        let mut target_members: Vec<Vec<usize>> = Vec::new();
         let mut target_witness_ids = Vec::new();
         // Scratch: member slots per witness of the current candidate.
         let mut member_slots: Vec<Vec<usize>> = Vec::new();
@@ -122,12 +134,10 @@ impl WitnessIndex {
             }
             let tuple_id = tuples.len();
             tuples.push(t.clone());
-            tuple_ids.insert(t.clone(), tuple_id);
             tuple_alive.push(member_slots.len());
             if is_target {
                 target_tuple = tuple_id;
             }
-            let mut owned = Vec::with_capacity(member_slots.len());
             for slots in member_slots.drain(..) {
                 let wid = witness_owner.len();
                 witness_owner.push(tuple_id);
@@ -137,11 +147,9 @@ impl WitnessIndex {
                 }
                 if is_target {
                     target_witness_ids.push(wid);
+                    target_members.push(slots);
                 }
-                owned.push(wid);
-                witness_members.push(slots);
             }
-            witnesses_of_tuple.push(owned);
         }
         debug_assert_eq!(
             target_witness_ids.len(),
@@ -156,14 +164,74 @@ impl WitnessIndex {
             witness_hits,
             tuple_alive,
             tuples,
-            tuple_ids,
             target_tuple,
             dead_other: 0,
-            witness_members,
-            witnesses_of_tuple,
+            target_members,
             target_witness_ids,
+            retire: None,
             tids,
         }
+    }
+
+    /// Build (once) and return the lazily-constructed retire/encode
+    /// support. Everything in it is derivable from the eager fields, and
+    /// [`WitnessIndex::insert_slot`] / [`WitnessIndex::remove_slot`] never
+    /// touch `occurrences`, so the reconstruction is identical whether it
+    /// happens at build time or after any number of solves.
+    fn retire_support(&mut self) -> &mut RetireSupport {
+        if self.retire.is_none() {
+            let mut witness_members: Vec<Vec<usize>> = vec![Vec::new(); self.witness_owner.len()];
+            for (slot, wids) in self.occurrences.iter().enumerate() {
+                for &wid in wids {
+                    witness_members[wid].push(slot);
+                }
+            }
+            let mut witnesses_of_tuple: Vec<Vec<usize>> = vec![Vec::new(); self.tuples.len()];
+            for (wid, &owner) in self.witness_owner.iter().enumerate() {
+                witnesses_of_tuple[owner].push(wid);
+            }
+            let tuple_ids = self
+                .tuples
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (t.clone(), i))
+                .collect();
+            self.retire = Some(Box::new(RetireSupport {
+                tuple_ids,
+                witness_members,
+                witnesses_of_tuple,
+            }));
+        }
+        self.retire.as_mut().expect("just built")
+    }
+
+    /// Whether the lazy retire/encode support has been built (tests pin
+    /// that one-shot solves never pay for it).
+    #[cfg(test)]
+    pub(crate) fn has_retire_support(&self) -> bool {
+        self.retire.is_some()
+    }
+
+    /// Id of the target within the frontier (for the ILP encoder).
+    pub(crate) fn target_id(&self) -> usize {
+        self.target_tuple
+    }
+
+    /// The frontier tuple with id `id` (for the ILP encoder).
+    pub(crate) fn tuple_at(&self, id: usize) -> &Tuple {
+        &self.tuples[id]
+    }
+
+    /// The member-slot lists of frontier tuple `id`'s witnesses, one list
+    /// per witness — empty for a retired tuple (its witnesses are unlinked;
+    /// it can never die again). This is the ILP encoder's read path into
+    /// the hypergraph; it forces the lazy retire support.
+    pub(crate) fn witness_slot_lists(&mut self, id: usize) -> Vec<Vec<usize>> {
+        let support = self.retire_support();
+        support.witnesses_of_tuple[id]
+            .iter()
+            .map(|&wid| support.witness_members[wid].clone())
+            .collect()
     }
 
     /// The target's support, sorted. Slot `i` addresses `support()[i]` in
@@ -304,7 +372,7 @@ impl WitnessIndex {
     /// Member slots of target witness `i` (same order as
     /// `DeletionInstance::target_witnesses`).
     pub fn target_witness_members(&self, i: usize) -> &[usize] {
-        &self.witness_members[self.target_witness_ids[i]]
+        &self.target_members[i]
     }
 
     /// Whether target witness `i` is hit by the current deletion set.
@@ -313,9 +381,11 @@ impl WitnessIndex {
     }
 
     /// Whether `t` is one of this index's frontier tuples (retired tuples
-    /// still answer `true`; they are inert, not forgotten).
-    pub fn in_frontier(&self, t: &Tuple) -> bool {
-        self.tuple_ids.contains_key(t)
+    /// still answer `true`; they are inert, not forgotten). Forces the
+    /// lazy retire support (the callers — cache patching and the ILP
+    /// encoder — are about to use it anyway).
+    pub fn in_frontier(&mut self, t: &Tuple) -> bool {
+        self.retire_support().tuple_ids.contains_key(t)
     }
 
     /// Permanently unlink a dead frontier tuple's witnesses, so the tuple
@@ -330,21 +400,27 @@ impl WitnessIndex {
     /// is a no-op returning `false`.
     pub fn retire_tuple(&mut self, t: &Tuple) -> bool {
         debug_assert_eq!(self.deleted_count, 0, "retire requires a clean index");
-        let Some(&id) = self.tuple_ids.get(t) else {
+        let target_tuple = self.target_tuple;
+        let support = self.retire_support();
+        let Some(&id) = support.tuple_ids.get(t) else {
             return false;
         };
-        if id == self.target_tuple {
+        if id == target_tuple {
             return false;
         }
-        let wids = std::mem::take(&mut self.witnesses_of_tuple[id]);
+        let wids = std::mem::take(&mut support.witnesses_of_tuple[id]);
         if wids.is_empty() {
             return false;
         }
+        let mut unlink: Vec<(usize, usize)> = Vec::new(); // (slot, wid)
         for wid in wids {
-            for &slot in &self.witness_members[wid] {
-                self.occurrences[slot].retain(|&w| w != wid);
+            for &slot in &support.witness_members[wid] {
+                unlink.push((slot, wid));
             }
-            self.witness_members[wid].clear();
+            support.witness_members[wid].clear();
+        }
+        for (slot, wid) in unlink {
+            self.occurrences[slot].retain(|&w| w != wid);
         }
         true
     }
@@ -469,6 +545,59 @@ mod tests {
         assert_eq!(idx.deletes_target(), fresh.deletes_target());
         idx.remove(&dev);
         assert_eq!(idx.side_effect_count(), 0);
+    }
+
+    #[test]
+    fn retire_support_is_lazy() {
+        let inst = instance();
+        let mut idx = WitnessIndex::build(&inst);
+        assert!(!idx.has_retire_support(), "never built eagerly");
+        // A full solve-style workout touches only the eager structures.
+        for slot in 0..idx.support().len() {
+            let _ = idx.delta_if_deleted(slot);
+            idx.insert_slot(slot);
+        }
+        let _ = (
+            idx.side_effect_count(),
+            idx.side_effects(),
+            idx.deleted_tids(),
+        );
+        for slot in (0..idx.support().len()).rev() {
+            idx.remove_slot(slot);
+        }
+        let _: usize = (0..idx.target_witness_count())
+            .map(|i| idx.target_witness_members(i).len())
+            .sum();
+        assert!(
+            !idx.has_retire_support(),
+            "one-shot per-target stamps never pay for the transpose"
+        );
+        // The first retire builds it, with identical behavior to an eager
+        // build (pinned by `retire_tuple_makes_a_frontier_tuple_inert`).
+        assert!(idx.retire_tuple(&tuple(["bob", "main"])));
+        assert!(idx.has_retire_support());
+    }
+
+    #[test]
+    fn encoder_accessors_expose_the_hypergraph() {
+        let inst = instance();
+        let mut idx = WitnessIndex::build(&inst);
+        let target = idx.target_id();
+        assert_eq!(idx.tuple_at(target), &tuple(["bob", "report"]));
+        // The target's slot lists via the lazy path equal the eager ones.
+        let via_lazy = idx.witness_slot_lists(target);
+        let via_eager: Vec<Vec<usize>> = (0..idx.target_witness_count())
+            .map(|i| idx.target_witness_members(i).to_vec())
+            .collect();
+        assert_eq!(via_lazy, via_eager);
+        // Retiring a tuple empties its lists.
+        let (main_id, _) = (0..idx.frontier_len())
+            .map(|i| (i, idx.tuple_at(i).clone()))
+            .find(|(_, t)| *t == tuple(["bob", "main"]))
+            .expect("in frontier");
+        assert!(!idx.witness_slot_lists(main_id).is_empty());
+        assert!(idx.retire_tuple(&tuple(["bob", "main"])));
+        assert!(idx.witness_slot_lists(main_id).is_empty());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! | [`source_side_effect`] | exact minimum hitting set + greedy `H_n` approximation; poly SPU / SJ | Thms 2.5, 2.7–2.9 |
 //! | [`chain`] | min-cut over the layered witness network for chain joins | Thm 2.6 |
 //! | [`lineage_baseline`] | Cui–Widom-style candidate enumeration with re-evaluation | the \[14\] baseline |
+//! | [`crate::ilp`] | unified 0/1-ILP over the witness hypergraph (both objectives, weights, multi-tuple targets) | all of §2, generalized |
 //!
 //! The searches share two substrates: [`index::WitnessIndex`], the
 //! incremental witness-hypergraph index that makes per-node side-effect

@@ -124,6 +124,10 @@ pub enum SolverKind {
     Keyed,
     /// Exact search over the witness hypergraph (NP-hard classes).
     ExactSearch,
+    /// The unified 0/1-ILP solver ([`crate::ilp`]) — one encoding for
+    /// every variant, including the weighted and multi-target
+    /// generalizations no specialized solver expresses.
+    Ilp,
     /// Generic where-provenance placement.
     GenericPlacement,
 }
@@ -137,6 +141,7 @@ impl fmt::Display for SolverKind {
             SolverKind::ChainMinCut => write!(f, "chain-join min-cut (Thm 2.6)"),
             SolverKind::Keyed => write!(f, "keyed fast path (§2.1.1 FDs)"),
             SolverKind::ExactSearch => write!(f, "exact witness-hypergraph search"),
+            SolverKind::Ilp => write!(f, "unified 0/1-ILP (pseudo-Boolean branch-and-bound)"),
             SolverKind::GenericPlacement => write!(f, "generic where-provenance placement"),
         }
     }
@@ -274,18 +279,18 @@ pub fn delete_min_source_many_with(
             .collect();
     }
     if fp.project || fp.union_ {
+        // Both arms share one context — the chain min-cut reads the same
+        // materialized why-provenance the exact search does (and stays
+        // consistent with the single-target and serving-loop dispatches).
+        let ctx = DeletionContext::new_with(q, db, pool)?;
         if detect_chain_join(q, &db.catalog()).is_some() {
             return pool
                 .par_map(targets, |t| {
-                    Ok((
-                        chain_min_source_deletion(q, db, t)?,
-                        SolverKind::ChainMinCut,
-                    ))
+                    Ok((ctx.chain_min_source_deletion(t)?, SolverKind::ChainMinCut))
                 })
                 .into_iter()
                 .collect();
         }
-        let ctx = DeletionContext::new_with(q, db, pool)?;
         return pool
             .par_map(targets, |t| {
                 Ok((ctx.min_source_deletion(t)?, SolverKind::ExactSearch))
@@ -316,13 +321,12 @@ pub fn delete_min_source_many_with(
 /// branch fan-out), not across turns. SPU targets take the Thm 2.3 linear
 /// path ([`DeletionContext::spu_view_deletion`]) and SJ targets the
 /// Thm 2.4 component scan — same solutions the exact search degenerates
-/// to, read straight off the maintained context. Everything else
-/// (including chain joins, whose min-cut solver is not
-/// maintenance-aware — it reads the original database, which goes stale
-/// after the first commit) solves via
-/// [`DeletionContext::min_view_side_effects_turn`], which keeps each
+/// to, read straight off the maintained context. Everything else solves
+/// via [`DeletionContext::min_view_side_effects_turn`], which keeps each
 /// target's [`crate::deletion::WitnessIndex`] warm (patched in place)
-/// across turns.
+/// across turns. (The chain min-cut is a *source*-objective solver; for
+/// the view objective chain queries take the exact turn like any other PJ
+/// class.)
 pub fn delete_min_view_side_effects_apply_many(
     q: &Query,
     db: &Database,
@@ -338,15 +342,27 @@ pub fn delete_min_view_side_effects_apply_many(
 /// like [`delete_min_view_side_effects_apply_many`], but targets outside
 /// the SPU/SJ fast paths solve with
 /// [`DeletionContext::min_source_deletion_turn`] (cached indexes again)
-/// before their deletion is committed. The fast paths apply equally:
-/// SPU's unique deletion is simultaneously both optima (Thm 2.8), and
-/// SJ's Thm 2.9 component scan already returns the size-1 minimum.
+/// before their deletion is committed — except chain joins, which take
+/// the **maintenance-aware** Thm 2.6 min-cut
+/// ([`DeletionContext::chain_min_source_turn`]): polynomial where the
+/// exact turn is NP-hard, and solved against the context's patched
+/// why-provenance, never the stale original database. The fast paths
+/// apply equally: SPU's unique deletion is simultaneously both optima
+/// (Thm 2.8), and SJ's Thm 2.9 component scan already returns the size-1
+/// minimum.
 pub fn delete_min_source_apply_many(
     q: &Query,
     db: &Database,
     targets: &[Tuple],
 ) -> Result<Vec<Option<Deletion>>> {
-    serve_apply_loop(q, db, targets, |ctx, t| ctx.min_source_deletion_turn(t))
+    let chain = detect_chain_join(q, &db.catalog()).is_some();
+    serve_apply_loop(q, db, targets, move |ctx, t| {
+        if chain {
+            ctx.chain_min_source_turn(t)
+        } else {
+            ctx.min_source_deletion_turn(t)
+        }
+    })
 }
 
 /// The shared driver of both apply-and-re-solve loops: per-class routing
@@ -677,6 +693,58 @@ mod tests {
             .flat_map(|d| d.deletions.iter().cloned())
             .collect();
         assert!(dap_relalg::eval(&q, &db.without(&all)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn source_apply_loop_serves_chain_targets_against_the_patched_view() {
+        use crate::deletion::source_side_effect::min_source_deletion;
+        let db = parse_database(
+            "relation R1(A, B) { (a, b1), (a, b2) }
+             relation R2(B, C) { (b1, c1), (b2, c2) }
+             relation R3(C, D) { (c1, d), (c2, d), (c1, e) }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(join(scan R1, scan R2), scan R3), [A, D])").unwrap();
+        assert!(detect_chain_join(&q, &db.catalog()).is_some());
+        let view = dap_relalg::eval(&q, &db).unwrap();
+        let sols = delete_min_source_apply_many(&q, &db, &view.tuples).unwrap();
+        // Each turn's solution must be minimal and sound for the database
+        // *as patched by the earlier commits* — exactly what the stale
+        // free-function min-cut gets wrong.
+        let mut acc = std::collections::BTreeSet::new();
+        for (t, sol) in view.tuples.iter().zip(&sols) {
+            let db_now = db.without(&acc);
+            let Some(sol) = sol else {
+                assert!(
+                    !dap_relalg::eval(&q, &db_now).unwrap().contains(t),
+                    "None only for targets earlier commits removed"
+                );
+                continue;
+            };
+            assert!(
+                sol.deletions.is_disjoint(&acc),
+                "serving loop proposed an already-deleted tuple for {t}"
+            );
+            let exact = min_source_deletion(&q, &db_now, t).unwrap();
+            assert_eq!(
+                sol.source_cost(),
+                exact.source_cost(),
+                "stale cut for {t} after commits {acc:?}"
+            );
+            assert!(!dap_relalg::eval(&q, &db_now.without(&sol.deletions))
+                .unwrap()
+                .contains(t));
+            acc.extend(sol.deletions.iter().cloned());
+        }
+        // The batched what-if dispatcher stays on the (now context-backed)
+        // chain arm and agrees with the single-shot dispatch.
+        let batch = delete_min_source_many(&q, &db, &view.tuples).unwrap();
+        for (t, (sol, kind)) in view.tuples.iter().zip(&batch) {
+            assert_eq!(*kind, SolverKind::ChainMinCut);
+            let (single, single_kind) = delete_min_source(&q, &db, t).unwrap();
+            assert_eq!(single_kind, SolverKind::ChainMinCut);
+            assert_eq!(sol.source_cost(), single.source_cost(), "target {t}");
+        }
     }
 
     #[test]

@@ -48,6 +48,7 @@ pub mod deletion;
 pub mod dichotomy;
 pub mod error;
 pub mod figures;
+pub mod ilp;
 pub mod placement;
 pub mod reductions;
 
@@ -65,5 +66,6 @@ pub use dichotomy::{
     place_annotations, Complexity, Problem, SolverKind,
 };
 pub use error::{CoreError, Result};
+pub use ilp::{IlpObjective, IlpOptions, IlpRequest};
 pub use placement::generic::PlacementIndex;
 pub use placement::Placement;

@@ -1,9 +1,12 @@
-//! # dap-sat — CNF, monotone 3SAT, and a DPLL solver
+//! # dap-sat — CNF, monotone 3SAT, a DPLL solver, and a 0/1-ILP solver
 //!
 //! SAT substrate for the hardness reductions of the paper: monotone 3SAT
 //! (every clause all-positive or all-negative) is the source problem of
 //! Theorems 2.1 and 2.2, and plain 3SAT of Theorem 3.2. The [`dpll`] solver
-//! is the oracle the reduction round-trip tests compare against.
+//! is the oracle the reduction round-trip tests compare against. The [`pb`]
+//! module extends the same branch-and-bound style to 0/1 pseudo-Boolean
+//! *optimization* — the solving substrate of `dap_core::ilp`'s unified
+//! deletion-propagation encodings.
 //!
 //! ```
 //! use dap_sat::{Monotone3Sat, dpll};
@@ -19,7 +22,9 @@
 pub mod cnf;
 pub mod dpll;
 pub mod gen;
+pub mod pb;
 
 pub use cnf::{Clause, Cnf, Lit, Monotone3Sat, MonotoneClause};
 pub use dpll::{brute_force, is_satisfiable, solve};
 pub use gen::{random_monotone_3sat, random_satisfiable_monotone_3sat};
+pub use pb::{PbConstraint, PbError, PbOptions, PbProblem, PbSolution};

@@ -1,0 +1,573 @@
+//! A 0/1 **pseudo-Boolean** (integer-linear) branch-and-bound solver.
+//!
+//! The deletion-propagation variants of the paper are all expressible as
+//! small 0/1 integer programs over the witness hypergraph (Makhija &
+//! Gatterbauer, *A Unified Approach for Resilience and Causal
+//! Responsibility*, and the follow-up unified deletion-propagation ILP):
+//! hitting constraints kill the target's witnesses, indicator variables
+//! count collateral view damage, and the objective weighs whichever
+//! side-effect the variant minimizes. This module is the solving substrate
+//! for `dap_core::ilp`: linear constraints `Σ aᵢ·xᵢ ≥ b` over Boolean
+//! variables, a non-negative linear objective to minimize, and a DPLL-style
+//! branch-and-bound in the spirit of [`crate::dpll`] extended with
+//! bound-slack propagation and objective pruning.
+//!
+//! The search is deterministic: ties break on the lowest constraint /
+//! variable index, and the reported optimum is the first one found in that
+//! fixed order.
+//!
+//! ```
+//! use dap_sat::pb::{minimize, PbConstraint, PbOptions, PbProblem};
+//!
+//! // Hit both {0,1} and {1,2}, minimizing 3·x0 + 1·x1 + 3·x2.
+//! let p = PbProblem {
+//!     num_vars: 3,
+//!     constraints: vec![
+//!         PbConstraint::at_least([(0, 1), (1, 1)], 1),
+//!         PbConstraint::at_least([(1, 1), (2, 1)], 1),
+//!     ],
+//!     objective: vec![3, 1, 3],
+//! };
+//! let sol = minimize(&p, &PbOptions::default()).unwrap().expect("feasible");
+//! assert_eq!(sol.objective, 1, "x1 alone hits both");
+//! assert_eq!(sol.assignment, vec![false, true, false]);
+//! ```
+
+use std::fmt;
+
+/// One linear constraint `Σ aᵢ·xᵢ ≥ bound` over 0/1 variables. Coefficients
+/// may be negative (that is how `≤` constraints are expressed — see
+/// [`PbConstraint::at_most`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PbConstraint {
+    /// `(variable, coefficient)` terms. A variable may appear at most once
+    /// (the constructors merge duplicates).
+    pub terms: Vec<(usize, i64)>,
+    /// The right-hand side: the term sum must be `≥ bound`.
+    pub bound: i64,
+}
+
+impl PbConstraint {
+    /// `Σ aᵢ·xᵢ ≥ bound`, merging duplicate variables by summing their
+    /// coefficients (dropping zero coefficients).
+    pub fn at_least(terms: impl IntoIterator<Item = (usize, i64)>, bound: i64) -> PbConstraint {
+        let mut merged: Vec<(usize, i64)> = Vec::new();
+        for (v, a) in terms {
+            match merged.iter_mut().find(|(w, _)| *w == v) {
+                Some((_, acc)) => *acc += a,
+                None => merged.push((v, a)),
+            }
+        }
+        merged.retain(|(_, a)| *a != 0);
+        PbConstraint {
+            terms: merged,
+            bound,
+        }
+    }
+
+    /// `Σ aᵢ·xᵢ ≤ bound`, expressed by negating both sides.
+    pub fn at_most(terms: impl IntoIterator<Item = (usize, i64)>, bound: i64) -> PbConstraint {
+        PbConstraint::at_least(terms.into_iter().map(|(v, a)| (v, -a)), -bound)
+    }
+}
+
+/// A 0/1 integer program: constraints plus a non-negative linear objective
+/// to minimize.
+#[derive(Clone, Debug)]
+pub struct PbProblem {
+    /// Number of Boolean variables, indexed `0..num_vars`.
+    pub num_vars: usize,
+    /// The constraints, all of which must hold.
+    pub constraints: Vec<PbConstraint>,
+    /// Objective coefficient per variable (`len == num_vars`): minimize
+    /// `Σ objective[v]·xᵥ`. Coefficients are non-negative by construction
+    /// (`u64`); callers must keep their total below `u64::MAX`.
+    pub objective: Vec<u64>,
+}
+
+/// An optimal assignment with its objective value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PbSolution {
+    /// One value per variable.
+    pub assignment: Vec<bool>,
+    /// The (minimal) objective value of the assignment.
+    pub objective: u64,
+}
+
+/// Search limits for [`minimize`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PbOptions {
+    /// Maximum number of branch-and-bound nodes before giving up with
+    /// [`PbError::BudgetExhausted`]. The encodings are NP-hard in general
+    /// — this is the same pressure valve the exact hypergraph search has.
+    pub node_budget: u64,
+}
+
+impl Default for PbOptions {
+    fn default() -> PbOptions {
+        PbOptions {
+            node_budget: u64::MAX,
+        }
+    }
+}
+
+/// The solver ran out of a resource before proving optimality.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PbError {
+    /// The node budget in [`PbOptions`] was exhausted.
+    BudgetExhausted {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl fmt::Display for PbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PbError::BudgetExhausted { budget } => {
+                write!(
+                    f,
+                    "pseudo-Boolean search exceeded its node budget of {budget}"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for PbError {}
+
+/// Minimize the objective subject to the constraints. Returns `None` if the
+/// problem is infeasible, `Err` if the node budget runs out first.
+pub fn minimize(p: &PbProblem, opts: &PbOptions) -> Result<Option<PbSolution>, PbError> {
+    assert_eq!(
+        p.objective.len(),
+        p.num_vars,
+        "objective must cover every variable"
+    );
+    for c in &p.constraints {
+        for &(v, _) in &c.terms {
+            assert!(v < p.num_vars, "constraint variable {v} out of range");
+        }
+    }
+    let mut search = Search::new(p, opts.node_budget);
+    search.run()?;
+    Ok(search.best)
+}
+
+/// Exhaustive reference solver for testing (≤ 24 variables): the first
+/// minimum in ascending bit order.
+pub fn brute_force_minimize(p: &PbProblem) -> Option<PbSolution> {
+    assert!(p.num_vars <= 24, "brute force limited to 24 variables");
+    let mut best: Option<PbSolution> = None;
+    for bits in 0u64..(1u64 << p.num_vars) {
+        let a: Vec<bool> = (0..p.num_vars).map(|i| bits & (1 << i) != 0).collect();
+        let feasible = p.constraints.iter().all(|c| {
+            c.terms
+                .iter()
+                .map(|&(v, coef)| if a[v] { coef } else { 0 })
+                .sum::<i64>()
+                >= c.bound
+        });
+        if !feasible {
+            continue;
+        }
+        let cost: u64 = (0..p.num_vars)
+            .filter(|&v| a[v])
+            .map(|v| p.objective[v])
+            .sum();
+        if best.as_ref().is_none_or(|b| cost < b.objective) {
+            best = Some(PbSolution {
+                assignment: a,
+                objective: cost,
+            });
+        }
+    }
+    best
+}
+
+/// Branch-and-bound state. Per constraint we keep the *maximum* and
+/// *minimum* sums still achievable over completions of the current partial
+/// assignment; `max < bound` is a conflict, `min ≥ bound` means the
+/// constraint is settled whatever happens below.
+struct Search<'a> {
+    p: &'a PbProblem,
+    assign: Vec<Option<bool>>,
+    max_left: Vec<i64>,
+    min_left: Vec<i64>,
+    /// variable → (constraint, coefficient) occurrences.
+    var_cons: Vec<Vec<(usize, i64)>>,
+    /// Objective cost of the variables currently assigned 1.
+    cost: u64,
+    best: Option<PbSolution>,
+    nodes: u64,
+    budget: u64,
+}
+
+impl<'a> Search<'a> {
+    fn new(p: &'a PbProblem, budget: u64) -> Search<'a> {
+        let mut var_cons: Vec<Vec<(usize, i64)>> = vec![Vec::new(); p.num_vars];
+        let mut max_left = Vec::with_capacity(p.constraints.len());
+        let mut min_left = Vec::with_capacity(p.constraints.len());
+        for (ci, c) in p.constraints.iter().enumerate() {
+            let mut hi = 0i64;
+            let mut lo = 0i64;
+            for &(v, a) in &c.terms {
+                var_cons[v].push((ci, a));
+                hi += a.max(0);
+                lo += a.min(0);
+            }
+            max_left.push(hi);
+            min_left.push(lo);
+        }
+        Search {
+            p,
+            assign: vec![None; p.num_vars],
+            max_left,
+            min_left,
+            var_cons,
+            cost: 0,
+            best: None,
+            nodes: 0,
+            budget,
+        }
+    }
+
+    fn run(&mut self) -> Result<(), PbError> {
+        self.search()
+    }
+
+    fn set(&mut self, v: usize, val: bool) {
+        debug_assert!(self.assign[v].is_none());
+        self.assign[v] = Some(val);
+        if val {
+            self.cost += self.p.objective[v];
+        }
+        for k in 0..self.var_cons[v].len() {
+            let (ci, a) = self.var_cons[v][k];
+            let contrib = if val { a } else { 0 };
+            self.max_left[ci] += contrib - a.max(0);
+            self.min_left[ci] += contrib - a.min(0);
+        }
+    }
+
+    fn unset(&mut self, v: usize) {
+        let val = self.assign[v].take().expect("unset of unassigned variable");
+        if val {
+            self.cost -= self.p.objective[v];
+        }
+        for k in 0..self.var_cons[v].len() {
+            let (ci, a) = self.var_cons[v][k];
+            let contrib = if val { a } else { 0 };
+            self.max_left[ci] -= contrib - a.max(0);
+            self.min_left[ci] -= contrib - a.min(0);
+        }
+    }
+
+    fn unwind(&mut self, trail: &[usize]) {
+        for &v in trail.iter().rev() {
+            self.unset(v);
+        }
+    }
+
+    /// Slack propagation to a fixed point: conflict when a constraint's
+    /// maximum achievable sum drops below its bound; a variable is forced
+    /// when one of its values would cause that. Returns `false` on
+    /// conflict (with `trail` holding the assignments to unwind).
+    fn propagate(&mut self, trail: &mut Vec<usize>) -> bool {
+        'fixpoint: loop {
+            for ci in 0..self.p.constraints.len() {
+                let bound = self.p.constraints[ci].bound;
+                if self.max_left[ci] < bound {
+                    return false;
+                }
+                if self.min_left[ci] >= bound {
+                    continue; // settled whatever the completion
+                }
+                for ti in 0..self.p.constraints[ci].terms.len() {
+                    let (v, a) = self.p.constraints[ci].terms[ti];
+                    if self.assign[v].is_some() {
+                        continue;
+                    }
+                    // max_left counts this variable at max(a, 0); probe
+                    // both concrete values.
+                    let top = a.max(0);
+                    let if_zero = self.max_left[ci] - top;
+                    let if_one = self.max_left[ci] - top + a;
+                    if if_zero < bound && if_one < bound {
+                        return false;
+                    }
+                    let forced = if if_zero < bound {
+                        Some(true)
+                    } else if if_one < bound {
+                        Some(false)
+                    } else {
+                        None
+                    };
+                    if let Some(val) = forced {
+                        self.set(v, val);
+                        trail.push(v);
+                        continue 'fixpoint;
+                    }
+                }
+            }
+            return true;
+        }
+    }
+
+    /// A lower bound on the objective of any feasible completion: the cost
+    /// already committed, plus — for variable-disjoint constraints that the
+    /// all-zeros completion would violate — the cheapest positive-coefficient
+    /// variable each still needs (the generalization of the disjoint-set
+    /// bound in `dap-setcover`).
+    fn objective_lower_bound(&self) -> u64 {
+        let mut lb = self.cost;
+        let mut used = vec![false; self.p.num_vars];
+        'constraints: for (ci, c) in self.p.constraints.iter().enumerate() {
+            if self.min_left[ci] >= c.bound {
+                continue;
+            }
+            // Sum under the all-zeros completion of the unassigned tail.
+            let mut zeros = self.max_left[ci];
+            let mut cheapest: Option<u64> = None;
+            for &(v, a) in &c.terms {
+                if self.assign[v].is_some() {
+                    continue;
+                }
+                zeros -= a.max(0);
+                if a > 0 {
+                    if used[v] {
+                        continue 'constraints; // not disjoint from a counted one
+                    }
+                    let w = self.p.objective[v];
+                    cheapest = Some(cheapest.map_or(w, |c0| c0.min(w)));
+                }
+            }
+            if zeros >= c.bound {
+                continue; // satisfiable for free
+            }
+            let Some(w) = cheapest else { continue };
+            for &(v, a) in &c.terms {
+                if a > 0 && self.assign[v].is_none() {
+                    used[v] = true;
+                }
+            }
+            lb += w;
+        }
+        lb
+    }
+
+    fn search(&mut self) -> Result<(), PbError> {
+        self.nodes += 1;
+        if self.nodes > self.budget {
+            return Err(PbError::BudgetExhausted {
+                budget: self.budget,
+            });
+        }
+        let mut trail = Vec::new();
+        if !self.propagate(&mut trail) {
+            self.unwind(&trail);
+            return Ok(());
+        }
+        if let Some(best) = &self.best {
+            if self.objective_lower_bound() >= best.objective {
+                self.unwind(&trail);
+                return Ok(());
+            }
+        }
+        // Branch on the unsettled constraint with the fewest unassigned
+        // variables (fail-first), lowest index on ties.
+        let mut pick: Option<(usize, usize)> = None; // (unassigned count, ci)
+        for (ci, c) in self.p.constraints.iter().enumerate() {
+            if self.min_left[ci] >= c.bound {
+                continue;
+            }
+            let unassigned = c
+                .terms
+                .iter()
+                .filter(|(v, _)| self.assign[*v].is_none())
+                .count();
+            if pick.is_none_or(|(u, _)| unassigned < u) {
+                pick = Some((unassigned, ci));
+            }
+        }
+        let Some((_, ci)) = pick else {
+            // Every constraint settled: complete with zeros (cost-minimal,
+            // always feasible from here) and record on strict improvement —
+            // the reported optimum is the first found in search order.
+            if self.best.as_ref().is_none_or(|b| self.cost < b.objective) {
+                self.best = Some(PbSolution {
+                    assignment: self.assign.iter().map(|v| v.unwrap_or(false)).collect(),
+                    objective: self.cost,
+                });
+            }
+            self.unwind(&trail);
+            return Ok(());
+        };
+        let (v, a) = self.p.constraints[ci]
+            .terms
+            .iter()
+            .copied()
+            .find(|(v, _)| self.assign[*v].is_none())
+            .expect("unsettled constraint has an unassigned variable");
+        // Try the value that moves the constraint toward satisfaction first.
+        let toward = a > 0;
+        for val in [toward, !toward] {
+            self.set(v, val);
+            self.search()?;
+            self.unset(v);
+        }
+        self.unwind(&trail);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hitting(sets: &[&[usize]], costs: Vec<u64>) -> PbProblem {
+        PbProblem {
+            num_vars: costs.len(),
+            constraints: sets
+                .iter()
+                .map(|s| PbConstraint::at_least(s.iter().map(|&v| (v, 1)), 1))
+                .collect(),
+            objective: costs,
+        }
+    }
+
+    #[test]
+    fn unweighted_hitting_set() {
+        let p = hitting(&[&[0, 1], &[1, 2], &[0, 2]], vec![1; 3]);
+        let sol = minimize(&p, &PbOptions::default()).unwrap().unwrap();
+        assert_eq!(sol.objective, 2);
+        let p = hitting(&[&[0, 3], &[1, 3], &[2, 3]], vec![1; 4]);
+        let sol = minimize(&p, &PbOptions::default()).unwrap().unwrap();
+        assert_eq!(sol.objective, 1);
+        assert!(sol.assignment[3]);
+    }
+
+    #[test]
+    fn weights_steer_the_optimum() {
+        // The shared element is expensive: three cheap singletons win.
+        let p = hitting(&[&[0, 3], &[1, 3], &[2, 3]], vec![1, 1, 1, 5]);
+        let sol = minimize(&p, &PbOptions::default()).unwrap().unwrap();
+        assert_eq!(sol.objective, 3);
+        assert_eq!(sol.assignment, vec![true, true, true, false]);
+    }
+
+    #[test]
+    fn at_most_and_indicator_rows() {
+        // y ≥ 1 - s (dies unless a survivor), s ≤ 1 - x (survivor needs x=0),
+        // and a hitting row forcing x = 1: the optimum must pay for y.
+        let p = PbProblem {
+            num_vars: 3, // x, s, y
+            constraints: vec![
+                PbConstraint::at_least([(0, 1)], 1),
+                PbConstraint::at_most([(1, 1), (0, 1)], 1),
+                PbConstraint::at_least([(2, 1), (1, 1)], 1),
+            ],
+            objective: vec![1, 0, 10],
+        };
+        let sol = minimize(&p, &PbOptions::default()).unwrap().unwrap();
+        assert_eq!(sol.objective, 11, "x forced, s forced 0, y forced 1");
+    }
+
+    #[test]
+    fn infeasible_is_none() {
+        let p = PbProblem {
+            num_vars: 2,
+            constraints: vec![
+                PbConstraint::at_least([(0, 1), (1, 1)], 2),
+                PbConstraint::at_most([(0, 1)], 0),
+            ],
+            objective: vec![1, 1],
+        };
+        assert_eq!(minimize(&p, &PbOptions::default()).unwrap(), None);
+    }
+
+    #[test]
+    fn empty_problem_is_trivially_optimal() {
+        let p = PbProblem {
+            num_vars: 0,
+            constraints: vec![],
+            objective: vec![],
+        };
+        let sol = minimize(&p, &PbOptions::default()).unwrap().unwrap();
+        assert_eq!(sol.objective, 0);
+        assert!(sol.assignment.is_empty());
+    }
+
+    #[test]
+    fn budget_exhaustion_reports() {
+        // Large enough to need more than one node.
+        let sets: Vec<Vec<usize>> = (0..12).map(|i| vec![i, (i + 1) % 12, 12]).collect();
+        let set_refs: Vec<&[usize]> = sets.iter().map(|s| s.as_slice()).collect();
+        let p = hitting(&set_refs, vec![1; 13]);
+        assert!(matches!(
+            minimize(&p, &PbOptions { node_budget: 1 }),
+            Err(PbError::BudgetExhausted { budget: 1 })
+        ));
+    }
+
+    #[test]
+    fn duplicate_terms_merge() {
+        let c = PbConstraint::at_least([(0, 1), (0, 2), (1, -1), (1, 1)], 2);
+        assert_eq!(c.terms, vec![(0, 3)]);
+        assert_eq!(c.bound, 2);
+    }
+
+    #[test]
+    fn agrees_with_brute_force_on_random_instances() {
+        // Deterministic xorshift, mirroring the DPLL differential test.
+        let mut seed = 0x5eedcafeu64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for round in 0..150 {
+            let n = 3 + (next() % 6) as usize; // 3..=8 variables
+            let m = 2 + (next() % 8) as usize;
+            let constraints: Vec<PbConstraint> = (0..m)
+                .map(|_| {
+                    let width = 1 + (next() % 3) as usize;
+                    let terms: Vec<(usize, i64)> = (0..width)
+                        .map(|_| {
+                            let v = (next() % n as u64) as usize;
+                            let a = 1 + (next() % 3) as i64;
+                            (v, if next() % 4 == 0 { -a } else { a })
+                        })
+                        .collect();
+                    let bound = (next() % 4) as i64 - 1;
+                    PbConstraint::at_least(terms, bound)
+                })
+                .collect();
+            let objective: Vec<u64> = (0..n).map(|_| next() % 5).collect();
+            let p = PbProblem {
+                num_vars: n,
+                constraints,
+                objective,
+            };
+            let got = minimize(&p, &PbOptions::default()).unwrap();
+            let want = brute_force_minimize(&p);
+            match (got, want) {
+                (None, None) => {}
+                (Some(g), Some(w)) => {
+                    assert_eq!(g.objective, w.objective, "round {round}");
+                    // The returned assignment really is feasible.
+                    for c in &p.constraints {
+                        let sum: i64 = c
+                            .terms
+                            .iter()
+                            .map(|&(v, a)| if g.assignment[v] { a } else { 0 })
+                            .sum();
+                        assert!(sum >= c.bound, "round {round}");
+                    }
+                }
+                (g, w) => panic!("round {round}: feasibility mismatch {g:?} vs {w:?}"),
+            }
+        }
+    }
+}

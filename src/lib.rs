@@ -67,8 +67,8 @@ pub mod prelude {
     pub use dap_core::{
         complexity, delete_min_source, delete_min_view_side_effects, format_paper_table,
         paper_table, place_annotation, place_annotations, Complexity, CoreError, Deletion,
-        DeletionContext, DeletionInstance, Placement, PlacementIndex, Problem, SolverKind,
-        WitnessIndex,
+        DeletionContext, DeletionInstance, IlpObjective, IlpOptions, IlpRequest, Placement,
+        PlacementIndex, Problem, SolverKind, WitnessIndex,
     };
     pub use dap_provenance::{
         lineage, minimal_witnesses, participating_tids, propagate, propagate_all, provenance_exprs,
