@@ -220,6 +220,34 @@ pub fn generic_placement_workload(users: usize, groups: usize, files: usize) -> 
     }
 }
 
+/// A family of `n` standing queries over one user/group/file database
+/// that share a heavy core: query 0 **is** the PJ core
+/// `Π_{user,file}(UserGroup ⋈ GroupFile)` of
+/// [`pj_multiwitness_workload`], and every further query is a distinct
+/// per-user subscription filter `σ_{user=uᵢ}(core)` — the multi-query
+/// serving shape where all the scan/join/project work is common and only
+/// a cheap select top differs per subscriber. A `PlanRegistry`
+/// materializes (and maintains) the core once for the whole family, while
+/// `n` independent `MaterializedPlan`s redo it `n` times; `report_shared`
+/// measures exactly that gap.
+pub fn shared_query_family(
+    n: usize,
+    users: usize,
+    groups: usize,
+    files: usize,
+) -> (Database, Vec<Query>) {
+    assert!(n >= 1, "a family has at least the core query");
+    let w = pj_multiwitness_workload(users, groups, files);
+    let core = w.query;
+    let mut queries = Vec::with_capacity(n);
+    queries.push(core.clone());
+    for i in 1..n {
+        let user = Value::str(format!("u{}", (i - 1) % users));
+        queries.push(core.clone().select(Pred::attr_eq_const("user", user)));
+    }
+    (w.db, queries)
+}
+
 /// A deterministic deletion stream for the view-maintenance benches: `k`
 /// tuple ids spread evenly across the whole database (every relation gets
 /// hit), in a fixed order. Spreading — rather than clustering on one
@@ -326,6 +354,22 @@ mod tests {
         let w = pj_multiwitness_workload(3, 4, 2);
         let witnesses = dap_provenance::minimal_witnesses(&w.query, &w.db, &w.target).unwrap();
         assert_eq!(witnesses.len(), 4, "one witness per group");
+    }
+
+    #[test]
+    fn shared_family_shares_the_whole_core() {
+        let (db, queries) = shared_query_family(4, 8, 3, 8);
+        assert_eq!(queries.len(), 4);
+        let mut reg = dap_relalg::PlanRegistry::<dap_relalg::Unit>::new(&db);
+        for q in &queries {
+            reg.register(q).expect("family queries register");
+        }
+        // The core is 2 scans + join + project = 4 shared nodes; each
+        // subscription filter adds exactly one select on top.
+        assert_eq!(reg.node_count(), 4 + (queries.len() - 1));
+        for (q, id) in queries.iter().zip(reg.query_ids()) {
+            assert_eq!(reg.view_len(id), eval(q, &db).expect("evaluates").len());
+        }
     }
 
     #[test]

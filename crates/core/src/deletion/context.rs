@@ -24,6 +24,16 @@
 //! `delete_min_source_apply_many` dispatchers in [`crate::dichotomy`] run
 //! it over whole target lists.
 //!
+//! A context can also be served from a **shared-plan registry**
+//! ([`DeletionContext::new_in_registry`]): instead of owning a private
+//! [`MaterializedPlan`], the context registers its query in a
+//! [`PlanRegistry`] — α-equivalent operator subtrees are shared with every
+//! other registered query, and one registry `delete_sources` push maintains
+//! them all. The context subscribes to its query's delta stream;
+//! [`DeletionContext::apply_delete_in`] commits through the registry and
+//! [`DeletionContext::sync_in`] drains deltas other contexts committed, so
+//! any number of serving loops stay coherent over one shared DAG.
+//!
 //! The solver entry points live here as methods
 //! ([`DeletionContext::min_view_side_effects`],
 //! [`DeletionContext::side_effect_free`],
@@ -38,7 +48,10 @@ use crate::deletion::view_side_effect::ExactOptions;
 use crate::deletion::{Deletion, DeletionInstance};
 use crate::error::{CoreError, Result};
 use dap_provenance::{WhyProvenance, Witness, WitnessesAnn};
-use dap_relalg::{Database, MaterializedPlan, ParPool, Query, Tid, Tuple, ViewDelta};
+use dap_relalg::{
+    Database, MaterializedPlan, ParPool, PlanRegistry, Query, QueryId, Schema, Tid, Tuple,
+    ViewDelta,
+};
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
@@ -47,6 +60,32 @@ use std::sync::Arc;
 /// repeat targets; prevents one-pass sweeps over huge views from
 /// accumulating an index per view tuple.
 const MAX_CACHED_INDEXES: usize = 256;
+
+/// Where a context's maintained annotated view lives: a private
+/// [`MaterializedPlan`], or one registered query inside a shared
+/// [`PlanRegistry`] whose deltas arrive through the subscription outbox.
+#[derive(Clone, Debug)]
+enum PlanBackend {
+    /// The context owns its pipeline; [`DeletionContext::apply_delete`]
+    /// pushes deltas directly.
+    Owned(MaterializedPlan<WitnessesAnn>),
+    /// The pipeline is shared: the context holds its registered query's id
+    /// and commits through [`DeletionContext::apply_delete_in`] /
+    /// [`DeletionContext::sync_in`] against the registry.
+    Registry(QueryId),
+}
+
+/// The view skeleton every context derives from its annotated view at
+/// build time: the why-provenance plus the inverted tid → view-tuple touch
+/// index (see the matching [`DeletionContext`] fields).
+struct Skeleton {
+    why: Arc<WhyProvenance>,
+    tuples: Vec<Tuple>,
+    alive: Vec<bool>,
+    index_of: HashMap<Tuple, usize>,
+    touch_of: Vec<BTreeSet<Tid>>,
+    touching: HashMap<Tid, Vec<usize>>,
+}
 
 /// The shared substrate of all deletion problems over one `(Q, S)`: the
 /// maintained annotated plan, the why-provenance read off it, and the
@@ -60,9 +99,10 @@ const MAX_CACHED_INDEXES: usize = 256;
 pub struct DeletionContext {
     query: Arc<Query>,
     db: Arc<Database>,
-    /// The maintained pipeline: `delete_sources` keeps the annotated view
-    /// (and hence everything below) current.
-    plan: MaterializedPlan<WitnessesAnn>,
+    /// The maintained pipeline — owned, or a query registered in a shared
+    /// [`PlanRegistry`]; either way `delete_sources` keeps the annotated
+    /// view (and hence everything below) current.
+    backend: PlanBackend,
     why: Arc<WhyProvenance>,
     /// View tuples in why-provenance order (indexed by the skeleton).
     /// Slots are stable; deletions tombstone via `alive`.
@@ -121,7 +161,73 @@ impl DeletionContext {
         pool: ParPool,
     ) -> Result<DeletionContext> {
         let plan = MaterializedPlan::<WitnessesAnn>::build_with(&query, &db, pool)?;
-        let entries: Vec<(&Tuple, &WitnessesAnn)> = plan.iter().collect();
+        let sk =
+            DeletionContext::build_skeleton(plan.schema().clone(), plan.iter().collect(), pool);
+        Ok(DeletionContext {
+            query,
+            db,
+            backend: PlanBackend::Owned(plan),
+            why: sk.why,
+            tuples: sk.tuples,
+            alive: sk.alive,
+            index_of: sk.index_of,
+            touch_of: sk.touch_of,
+            touching: sk.touching,
+            committed: BTreeSet::new(),
+            index_cache: HashMap::new(),
+            pool,
+        })
+    }
+
+    /// Materialize a context **inside a shared-plan registry** instead of
+    /// over a private plan: registers `query` in `reg` (sharing every
+    /// α-equivalent operator subtree with the queries already there),
+    /// subscribes to its delta stream, and reads the skeleton off the
+    /// registered view. Deletions the registry already committed are
+    /// inherited, so the context starts on the current (deleted-from)
+    /// database exactly like a late-joining subscriber.
+    ///
+    /// Commits go through [`DeletionContext::apply_delete_in`]; after
+    /// *another* context (or the registry user directly) commits, call
+    /// [`DeletionContext::sync_in`] to drain the pending deltas before the
+    /// next solve.
+    pub fn new_in_registry(
+        reg: &mut PlanRegistry<WitnessesAnn>,
+        query: &Query,
+    ) -> Result<DeletionContext> {
+        let id = reg.register(query)?;
+        reg.subscribe(id);
+        let sk = DeletionContext::build_skeleton(
+            reg.query_schema(id).clone(),
+            reg.iter_query(id).collect(),
+            reg.pool(),
+        );
+        Ok(DeletionContext {
+            query: Arc::new(query.clone()),
+            db: reg.db().clone(),
+            backend: PlanBackend::Registry(id),
+            why: sk.why,
+            tuples: sk.tuples,
+            alive: sk.alive,
+            index_of: sk.index_of,
+            touch_of: sk.touch_of,
+            touching: sk.touching,
+            committed: reg.committed().clone(),
+            index_cache: HashMap::new(),
+            pool: reg.pool(),
+        })
+    }
+
+    /// Flatten an annotated view into the context's skeleton: the
+    /// why-provenance rows, the slot-indexed tuple list, and the inverted
+    /// tid → slot touch index. The per-tuple witness clones and touch-set
+    /// flattening shard on `pool`; assembly stays sequential in view
+    /// order, so the skeleton is identical for every pool size.
+    fn build_skeleton(
+        schema: Schema,
+        entries: Vec<(&Tuple, &WitnessesAnn)>,
+        pool: ParPool,
+    ) -> Skeleton {
         // Parallel: per-tuple witness clones and touch-set flattening.
         let prepared: Vec<(Tuple, Vec<Witness>, BTreeSet<Tid>)> =
             pool.par_ranges(entries.len(), 64, |range| {
@@ -149,22 +255,16 @@ impl DeletionContext {
             touch_of.push(touch);
             why_rows.push((t, ws));
         }
-        let why = Arc::new(WhyProvenance::from_parts(plan.schema().clone(), why_rows));
+        let why = Arc::new(WhyProvenance::from_parts(schema, why_rows));
         let alive = vec![true; tuples.len()];
-        Ok(DeletionContext {
-            query,
-            db,
-            plan,
+        Skeleton {
             why,
             tuples,
             alive,
             index_of,
             touch_of,
             touching,
-            committed: BTreeSet::new(),
-            index_cache: HashMap::new(),
-            pool,
-        })
+        }
     }
 
     /// The shared query.
@@ -184,9 +284,24 @@ impl DeletionContext {
         &self.why
     }
 
-    /// The maintained annotated view itself.
-    pub fn plan(&self) -> &MaterializedPlan<WitnessesAnn> {
-        &self.plan
+    /// The maintained annotated view itself, when the context owns it.
+    /// `None` for a registry-backed context — the view lives in the shared
+    /// [`PlanRegistry`] (read it there via
+    /// [`DeletionContext::registry_query`]).
+    pub fn plan(&self) -> Option<&MaterializedPlan<WitnessesAnn>> {
+        match &self.backend {
+            PlanBackend::Owned(plan) => Some(plan),
+            PlanBackend::Registry(_) => None,
+        }
+    }
+
+    /// The id this context's query is registered under in its shared
+    /// [`PlanRegistry`]; `None` when the context owns its plan.
+    pub fn registry_query(&self) -> Option<QueryId> {
+        match self.backend {
+            PlanBackend::Registry(id) => Some(id),
+            PlanBackend::Owned(_) => None,
+        }
     }
 
     /// Every source tuple deleted through this context so far.
@@ -222,9 +337,105 @@ impl DeletionContext {
     /// a deletion may un-absorb a previously non-minimal witness) get
     /// their new basis and any new skeleton edges. Unknown or already
     /// deleted tids are no-ops. Returns the view delta.
+    ///
+    /// # Panics
+    ///
+    /// On a registry-backed context — the shared plan lives in the
+    /// registry, so commits must go through
+    /// [`DeletionContext::apply_delete_in`].
     pub fn apply_delete(&mut self, tids: &BTreeSet<Tid>) -> ViewDelta {
         let tid_vec: Vec<Tid> = tids.iter().cloned().collect();
-        let delta = self.plan.delete_sources(&tid_vec);
+        let PlanBackend::Owned(plan) = &mut self.backend else {
+            panic!("apply_delete on a registry-backed context; use apply_delete_in");
+        };
+        let delta = plan.delete_sources(&tid_vec);
+        let changed_ws: Vec<Option<Vec<Witness>>> = delta
+            .changed
+            .iter()
+            .map(|t| {
+                Some(
+                    plan.annotation_of(t)
+                        .expect("changed tuples survive the deletion")
+                        .0
+                        .clone(),
+                )
+            })
+            .collect();
+        self.patch_view(tids, &delta, changed_ws);
+        delta
+    }
+
+    /// [`DeletionContext::apply_delete`] for a **registry-backed** context:
+    /// push `tids` through the shared [`PlanRegistry`] (maintaining *every*
+    /// registered query in one pass), then drain and patch this context's
+    /// pending deltas — including the one this very commit produced.
+    /// Returns this context's own view delta.
+    ///
+    /// # Panics
+    ///
+    /// On an owned-plan context — use [`DeletionContext::apply_delete`].
+    pub fn apply_delete_in(
+        &mut self,
+        reg: &mut PlanRegistry<WitnessesAnn>,
+        tids: &BTreeSet<Tid>,
+    ) -> ViewDelta {
+        let id = self
+            .registry_query()
+            .expect("apply_delete_in on an owned-plan context; use apply_delete");
+        let tid_vec: Vec<Tid> = tids.iter().cloned().collect();
+        let mut own = ViewDelta::default();
+        for (q, d) in reg.delete_sources(&tid_vec) {
+            if q == id {
+                own = d;
+            }
+        }
+        // A no-op batch may not reach the outbox, but the registry still
+        // records it for future registrations — mirror that here.
+        self.committed.extend(tids.iter().cloned());
+        self.sync_in(reg);
+        own
+    }
+
+    /// Drain everything committed through the registry since this context
+    /// last synced and patch the skeleton entry by entry, in commit order.
+    /// Call after *another* context (or the registry user directly) pushed
+    /// deletions; [`DeletionContext::apply_delete_in`] syncs implicitly.
+    /// A no-op when nothing is pending.
+    ///
+    /// # Panics
+    ///
+    /// On an owned-plan context — there is no registry stream to drain.
+    pub fn sync_in(&mut self, reg: &mut PlanRegistry<WitnessesAnn>) {
+        let id = self
+            .registry_query()
+            .expect("sync_in on an owned-plan context; nothing to drain");
+        for (tids, delta) in reg.drain_pending(id) {
+            let tid_set: BTreeSet<Tid> = tids.into_iter().collect();
+            // Bases are read at their *final* value: a tuple re-based by
+            // this entry but removed by a later pending one reads `None`
+            // and is skipped — the removal entry patches it out.
+            let changed_ws: Vec<Option<Vec<Witness>>> = delta
+                .changed
+                .iter()
+                .map(|t| reg.annotation_of(id, t).map(|a| a.0.clone()))
+                .collect();
+            self.patch_view(&tid_set, &delta, changed_ws);
+        }
+    }
+
+    /// The backend-independent half of a commit: patch the why-provenance,
+    /// liveness, and touch skeleton from one [`ViewDelta`], fold `tids`
+    /// into [`DeletionContext::committed`], and carry the cached indexes
+    /// across. `changed_ws` holds the post-deletion witness basis for each
+    /// entry of `delta.changed` in order (`None` = the tuple is already
+    /// dead in the backend — a later pending delta removes it — so its
+    /// basis patch is skipped).
+    fn patch_view(
+        &mut self,
+        tids: &BTreeSet<Tid>,
+        delta: &ViewDelta,
+        changed_ws: Vec<Option<Vec<Witness>>>,
+    ) {
         // Instances stamped earlier hold clones of the Arc; make_mut keeps
         // them on the old snapshot and patches ours in place when unique.
         let why = Arc::make_mut(&mut self.why);
@@ -233,14 +444,9 @@ impl DeletionContext {
             self.alive[i] = false;
             why.remove_tuple(t);
         }
-        for t in &delta.changed {
+        for (t, ws) in delta.changed.iter().zip(changed_ws) {
+            let Some(ws) = ws else { continue };
             let i = self.index_of[t];
-            let ws = self
-                .plan
-                .annotation_of(t)
-                .expect("changed tuples survive the deletion")
-                .0
-                .clone();
             let touch: BTreeSet<Tid> = ws.iter().flatten().cloned().collect();
             for tid in touch.difference(&self.touch_of[i]) {
                 self.touching.entry(tid.clone()).or_default().push(i);
@@ -249,8 +455,7 @@ impl DeletionContext {
             why.set_witnesses(t, ws);
         }
         self.committed.extend(tids.iter().cloned());
-        self.patch_index_cache(&delta, tids);
-        delta
+        self.patch_index_cache(delta, tids);
     }
 
     /// Carry the cached per-target indexes across a committed deletion:
@@ -355,6 +560,24 @@ impl DeletionContext {
         }
         // The cached-index turn solver: repeat targets reuse (and the
         // apply above may have patched in place) their stamped index.
+        self.min_view_side_effects_turn(target, opts).map(Some)
+    }
+
+    /// [`DeletionContext::resolve_after_delete`] for a registry-backed
+    /// context: commit `deletions` through the shared registry (syncing in
+    /// anything other contexts committed first), then re-solve `target`
+    /// against the patched view. `None` once the commit removes `target`.
+    pub fn resolve_after_delete_in(
+        &mut self,
+        reg: &mut PlanRegistry<WitnessesAnn>,
+        deletions: &BTreeSet<Tid>,
+        target: &Tuple,
+        opts: &ExactOptions,
+    ) -> Result<Option<Deletion>> {
+        self.apply_delete_in(reg, deletions);
+        if !self.contains(target) {
+            return Ok(None);
+        }
         self.min_view_side_effects_turn(target, opts).map(Some)
     }
 
@@ -557,6 +780,75 @@ mod tests {
                 "witness multiplicity for {t}"
             );
         }
+    }
+
+    #[test]
+    fn registry_backed_context_matches_owned_context() {
+        let (q, db) = fixture();
+        let mut owned = DeletionContext::new(&q, &db).unwrap();
+        let mut reg = PlanRegistry::<WitnessesAnn>::new(&db);
+        let mut shared = DeletionContext::new_in_registry(&mut reg, &q).unwrap();
+        assert!(shared.plan().is_none());
+        assert!(shared.registry_query().is_some());
+        assert_eq!(shared.view_len(), owned.view_len());
+        for step in [
+            BTreeSet::from([db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap()]),
+            BTreeSet::from([db.tid_of("GroupFile", &tuple(["staff", "report"])).unwrap()]),
+        ] {
+            let d_owned = owned.apply_delete(&step);
+            let d_shared = shared.apply_delete_in(&mut reg, &step);
+            assert_eq!(d_owned.removed, d_shared.removed);
+            assert_eq!(d_owned.changed, d_shared.changed);
+            assert_eq!(owned.committed(), shared.committed());
+            assert_eq!(owned.view_len(), shared.view_len());
+            for t in owned.why().tuples() {
+                assert_eq!(
+                    owned.why().witnesses_of(t),
+                    shared.why().witnesses_of(t),
+                    "witness basis for {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sibling_contexts_stay_coherent_through_sync_in() {
+        let (q, db) = fixture();
+        let mut reg = PlanRegistry::<WitnessesAnn>::new(&db);
+        let mut a = DeletionContext::new_in_registry(&mut reg, &q).unwrap();
+        let mut b = DeletionContext::new_in_registry(&mut reg, &q).unwrap();
+        // Sharing check: two registrations of the same query add no nodes.
+        assert_eq!(reg.query_count(), 2);
+        let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        a.apply_delete_in(&mut reg, &BTreeSet::from([dev.clone()]));
+        // `b` hasn't drained yet: still on the pre-delete snapshot.
+        assert_eq!(b.view_len(), 3);
+        b.sync_in(&mut reg);
+        assert_eq!(b.view_len(), a.view_len());
+        assert!(!b.contains(&tuple(["bob", "main"])));
+        assert_eq!(b.committed(), &BTreeSet::from([dev]));
+        // A context registered after the commit starts on the current view.
+        let late = DeletionContext::new_in_registry(&mut reg, &q).unwrap();
+        assert_eq!(late.view_len(), a.view_len());
+        assert_eq!(late.committed(), a.committed());
+    }
+
+    #[test]
+    fn resolve_after_delete_in_runs_on_the_shared_view() {
+        let (q, db) = fixture();
+        let mut reg = PlanRegistry::<WitnessesAnn>::new(&db);
+        let mut ctx = DeletionContext::new_in_registry(&mut reg, &q).unwrap();
+        let opts = ExactOptions::default();
+        let first = ctx
+            .min_view_side_effects(&tuple(["bob", "report"]), &opts)
+            .unwrap();
+        assert!(first.is_side_effect_free());
+        let second = ctx
+            .resolve_after_delete_in(&mut reg, &first.deletions, &tuple(["ann", "report"]), &opts)
+            .unwrap()
+            .expect("(ann, report) survives the first deletion");
+        let inst = ctx.for_target(&tuple(["ann", "report"])).unwrap();
+        assert!(inst.verify_against_reevaluation(&second.deletions).unwrap());
     }
 
     #[test]

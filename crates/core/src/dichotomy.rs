@@ -459,26 +459,42 @@ pub fn place_annotations(
     db: &Database,
     targets: &[ViewLoc],
 ) -> Result<(Vec<Placement>, SolverKind)> {
+    place_annotations_with(q, db, targets, ParPool::global())
+}
+
+/// [`place_annotations`] with an explicit [`ParPool`]: the per-target
+/// solves are independent, so the batch shards across the pool and
+/// recombines in index order — placements (and which error surfaces, on
+/// failure: the lowest-index one) are bit-identical for every pool size,
+/// and a one-thread pool runs the exact sequential path. The shared
+/// [`PlacementIndex`] for the generic class is still built once, before
+/// the fan-out.
+pub fn place_annotations_with(
+    q: &Query,
+    db: &Database,
+    targets: &[ViewLoc],
+    pool: ParPool,
+) -> Result<(Vec<Placement>, SolverKind)> {
     match placement_solver_for(q) {
         SolverKind::Spu => {
-            let sols = targets
-                .iter()
-                .map(|t| spu_placement(q, db, t))
+            let sols = pool
+                .par_map(targets, |t| spu_placement(q, db, t))
+                .into_iter()
                 .collect::<Result<_>>()?;
             Ok((sols, SolverKind::Spu))
         }
         SolverKind::Sju => {
-            let sols = targets
-                .iter()
-                .map(|t| sju_placement(q, db, t))
+            let sols = pool
+                .par_map(targets, |t| sju_placement(q, db, t))
+                .into_iter()
                 .collect::<Result<_>>()?;
             Ok((sols, SolverKind::Sju))
         }
         _ => {
             let index = PlacementIndex::build(q, db)?;
-            let sols = targets
-                .iter()
-                .map(|t| index.place(t))
+            let sols = pool
+                .par_map(targets, |t| index.place(t))
+                .into_iter()
                 .collect::<Result<_>>()?;
             Ok((sols, SolverKind::GenericPlacement))
         }

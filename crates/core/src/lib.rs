@@ -63,7 +63,7 @@ pub use dichotomy::{
     delete_min_source_many_with, delete_min_view_side_effects,
     delete_min_view_side_effects_apply_many, delete_min_view_side_effects_many,
     delete_min_view_side_effects_many_with, format_paper_table, paper_table, place_annotation,
-    place_annotations, Complexity, Problem, SolverKind,
+    place_annotations, place_annotations_with, Complexity, Problem, SolverKind,
 };
 pub use error::{CoreError, Result};
 pub use ilp::{IlpObjective, IlpOptions, IlpRequest};

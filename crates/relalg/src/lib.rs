@@ -21,6 +21,12 @@
 //!   form — [`MaterializedPlan`] keeps per-operator state so the annotated
 //!   view stays current under source deletions in `O(affected)` instead of
 //!   a full re-evaluation;
+//! * the **shared-plan registry** ([`registry`]): many standing queries
+//!   materialized as one hash-consed operator DAG — α-equivalent subtrees
+//!   resolve to a single shared node, and
+//!   [`PlanRegistry::delete_sources`] pushes each deletion through the
+//!   DAG once, fanning per-query [`ViewDelta`]s out to every registered
+//!   query;
 //! * the **scoped-thread parallel runtime** ([`par`]): a dependency-free
 //!   [`ParPool`] (thread count from `DAP_THREADS` or the hardware) whose
 //!   deterministic sharding helpers parallelize plan construction here and
@@ -61,6 +67,7 @@ pub mod parser;
 pub mod plan;
 pub mod predicate;
 pub mod query;
+pub mod registry;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
@@ -80,6 +87,7 @@ pub use parser::{parse_database, parse_pred, parse_query};
 pub use plan::{MaterializedPlan, ViewDelta};
 pub use predicate::{CmpOp, Operand, Pred};
 pub use query::Query;
+pub use registry::{PlanRegistry, QueryId};
 pub use relation::Relation;
 pub use schema::{schema, Schema};
 pub use tuple::{tuple, Tuple};

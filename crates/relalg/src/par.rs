@@ -241,6 +241,52 @@ impl ParPool {
         out
     }
 
+    /// Run a handful of **coarse, independent tasks** with static sharding
+    /// and *no grain floor* — unlike [`ParPool::par_map_owned`], which
+    /// refuses to spawn below a minimum item count per shard.
+    /// Each worker owns a contiguous chunk of tasks; results come back in
+    /// input order. Use when each task is itself substantial (one DAG
+    /// node's delta propagation, one operator subtree) so that even two or
+    /// three tasks are worth a thread each; the fine-grained helpers are
+    /// cheaper for per-row work.
+    pub fn par_tasks<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = tasks.len();
+        let shards = self.threads.min(n);
+        if shards <= 1 {
+            return tasks.into_iter().map(f).collect();
+        }
+        // Split into owned chunks, front to back (chunk sizes differ by at
+        // most one, so no worker idles while another holds two tasks).
+        let mut rest = tasks;
+        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(shards);
+        for s in 0..shards {
+            let remaining_shards = shards - s;
+            let take = rest.len().div_ceil(remaining_shards);
+            let tail = rest.split_off(take);
+            chunks.push(std::mem::replace(&mut rest, tail));
+        }
+        let mut mapped: Vec<Vec<R>> = thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(|| chunk.into_iter().map(&f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel worker panicked"))
+                .collect()
+        });
+        let mut out = Vec::with_capacity(n);
+        for chunk in &mut mapped {
+            out.append(chunk);
+        }
+        out
+    }
+
     /// Run two independent closures, in parallel when the pool has more
     /// than one thread (the second runs on the calling thread).
     pub fn join2<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
@@ -306,6 +352,20 @@ mod tests {
             let by_ref = pool.par_map(&items, |&i| i + 7);
             let by_val = pool.par_map_owned(items.clone(), 1, |i| i + 7);
             assert_eq!(by_ref, by_val);
+        }
+    }
+
+    #[test]
+    fn par_tasks_preserves_input_order_below_the_grain_floor() {
+        // Two tasks is below MIN_ITEMS_PER_SHARD — par_map_owned would run
+        // them inline, par_tasks spawns anyway.
+        for threads in [1, 2, 3, 8] {
+            let pool = ParPool::new(threads);
+            for n in [0, 1, 2, 3, 7] {
+                let tasks: Vec<usize> = (0..n).collect();
+                let out = pool.par_tasks(tasks, |i| i * 10);
+                assert_eq!(out, (0..n).map(|i| i * 10).collect::<Vec<_>>());
+            }
         }
     }
 

@@ -141,15 +141,15 @@ const BUILD_GRAIN: usize = 64;
 /// Tuples are `Arc`-shared with the operators above (passthrough and
 /// bucket keys clone the handle, not the values).
 #[derive(Clone, Debug)]
-struct Rows<A> {
-    tuples: Vec<Arc<Tuple>>,
-    annots: Vec<A>,
-    alive: Vec<bool>,
-    alive_count: usize,
+pub(crate) struct Rows<A> {
+    pub(crate) tuples: Vec<Arc<Tuple>>,
+    pub(crate) annots: Vec<A>,
+    pub(crate) alive: Vec<bool>,
+    pub(crate) alive_count: usize,
 }
 
 impl<A> Rows<A> {
-    fn new(tuples: Vec<Arc<Tuple>>, annots: Vec<A>) -> Rows<A> {
+    pub(crate) fn new(tuples: Vec<Arc<Tuple>>, annots: Vec<A>) -> Rows<A> {
         let n = tuples.len();
         Rows {
             tuples,
@@ -159,7 +159,7 @@ impl<A> Rows<A> {
         }
     }
 
-    fn kill(&mut self, slot: usize) {
+    pub(crate) fn kill(&mut self, slot: usize) {
         debug_assert!(self.alive[slot], "slot {slot} killed twice");
         self.alive[slot] = false;
         self.alive_count -= 1;
@@ -170,7 +170,7 @@ impl<A> Rows<A> {
 /// each variant maintains). Child indices always point at earlier plan
 /// nodes: the build pushes children first.
 #[derive(Clone, Debug)]
-enum Op {
+pub(crate) enum Op {
     /// Slot `i` ↔ base row `i`; deletion of `Tid { rel, row }` kills slot
     /// `row`. The relation name lives in [`MaterializedPlan::scans`].
     Scan,
@@ -214,16 +214,39 @@ enum Op {
 }
 
 #[derive(Clone, Debug)]
-struct Node<A> {
-    op: Op,
-    rows: Rows<A>,
+pub(crate) struct Node<A> {
+    pub(crate) op: Op,
+    pub(crate) rows: Rows<A>,
+}
+
+impl<A> Node<A> {
+    /// An empty stand-in node: what a tombstoned (or temporarily
+    /// extracted) slot holds. Never read as a child — freed registry slots
+    /// are not reused and same-level nodes are never each other's children.
+    pub(crate) fn placeholder() -> Node<A> {
+        Node {
+            op: Op::Scan,
+            rows: Rows::new(Vec::new(), Vec::new()),
+        }
+    }
 }
 
 /// Per-node scratch delta for one `delete_sources` push.
 #[derive(Clone, Debug, Default)]
-struct NodeDelta {
-    removed: Vec<usize>,
-    changed: Vec<usize>,
+pub(crate) struct NodeDelta {
+    pub(crate) removed: Vec<usize>,
+    pub(crate) changed: Vec<usize>,
+}
+
+impl NodeDelta {
+    pub(crate) fn clear(&mut self) {
+        self.removed.clear();
+        self.changed.clear();
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.removed.is_empty() && self.changed.is_empty()
+    }
 }
 
 /// A materialized annotated pipeline for one `(Q, S)`: build once, then
@@ -377,13 +400,17 @@ impl<A: Annotation> MaterializedPlan<A> {
     /// Delete the source tuples named by `tids` and push the change through
     /// the pipeline, recomputing only affected buckets. Returns the view
     /// delta. Tids addressing relations the query never scans, rows outside
-    /// the relation, or rows already deleted are no-ops, so the call is
-    /// idempotent and deletions are cumulative across calls.
+    /// the relation, rows already deleted, or repeats within `tids` are
+    /// no-ops, so the call is idempotent and deletions are cumulative
+    /// across calls. An empty or all-no-op slice returns an empty delta
+    /// without walking the operator tree.
     pub fn delete_sources(&mut self, tids: &[Tid]) -> ViewDelta {
-        for d in &mut self.deltas {
-            d.removed.clear();
-            d.changed.clear();
+        if tids.is_empty() {
+            return ViewDelta::default();
         }
+        // Seed the scan kills first: repeated tids dedupe via the alive
+        // check, and a batch with no effect skips the tree walk entirely.
+        let mut seeds: Vec<(usize, usize)> = Vec::new();
         for tid in tids {
             for &(ref rel, node) in &self.scans {
                 if *rel != tid.rel {
@@ -392,9 +419,18 @@ impl<A: Annotation> MaterializedPlan<A> {
                 let rows = &mut self.nodes[node].rows;
                 if tid.row < rows.alive.len() && rows.alive[tid.row] {
                     rows.kill(tid.row);
-                    self.deltas[node].removed.push(tid.row);
+                    seeds.push((node, tid.row));
                 }
             }
+        }
+        if seeds.is_empty() {
+            return ViewDelta::default();
+        }
+        for d in &mut self.deltas {
+            d.clear();
+        }
+        for (node, row) in seeds {
+            self.deltas[node].removed.push(row);
         }
         for id in 0..self.nodes.len() {
             if !matches!(self.nodes[id].op, Op::Scan) {
@@ -424,7 +460,26 @@ impl<A: Annotation> MaterializedPlan<A> {
         let (child_deltas, rest) = self.deltas.split_at_mut(id);
         let delta = &mut rest[0];
         let (child_nodes, rest) = self.nodes.split_at_mut(id);
-        let Node { op, rows } = &mut rest[0];
+        propagate_node(&mut rest[0], delta, child_nodes, child_deltas);
+    }
+}
+
+/// Apply the children's settled deltas to one (non-scan) node, filling
+/// `delta` with the node's own removed/changed slots. `nodes` and `deltas`
+/// are indexed by absolute child id; the node itself need not be inside
+/// them (the registry's level-parallel push extracts nodes out of the
+/// arena while their children stay behind). This is the single propagation
+/// kernel shared by [`MaterializedPlan::delete_sources`] and
+/// `crate::registry::PlanRegistry::delete_sources`.
+pub(crate) fn propagate_node<A: Annotation>(
+    node: &mut Node<A>,
+    delta: &mut NodeDelta,
+    nodes: &[Node<A>],
+    deltas: &[NodeDelta],
+) {
+    let Node { op, rows } = node;
+    {
+        let (child_nodes, child_deltas) = (nodes, deltas);
         match op {
             Op::Scan => unreachable!("scan deltas are seeded, not propagated"),
             Op::Select { child, out_of } => {
@@ -663,6 +718,319 @@ fn key_hash<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
     h.finish()
 }
 
+/// Natural-join bookkeeping off the two operand schemas: the key positions
+/// on each side (shared attributes, left-schema order) and the annotation
+/// [`JoinLayout`]. Shared by the tree builder and the registry.
+pub(crate) fn join_keys_and_layout(
+    ls: &Schema,
+    rs: &Schema,
+) -> (Vec<usize>, Vec<usize>, JoinLayout) {
+    let shared: Vec<Attr> = ls.shared_with(rs);
+    let l_keys: Vec<usize> = shared
+        .iter()
+        .map(|a| ls.index_of(a).expect("shared attr"))
+        .collect();
+    let r_keys: Vec<usize> = shared
+        .iter()
+        .map(|a| rs.index_of(a).expect("shared attr"))
+        .collect();
+    let layout = JoinLayout {
+        left_arity: ls.arity(),
+        merge_from_right: ls.attrs().iter().map(|a| rs.index_of(a)).collect(),
+        right_extra: rs
+            .attrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| !ls.contains(a))
+            .map(|(i, _)| i)
+            .collect(),
+    };
+    (l_keys, r_keys, layout)
+}
+
+/// Seed a scan node's rows from a base relation: slot `i` ↔ base row `i`,
+/// annotations from [`Annotation::from_scan`]. One parallel sweep produces
+/// both columns (two passes would double the spawn/join rounds on this hot
+/// path).
+pub(crate) fn build_scan_rows<A: Annotation>(
+    r: &crate::relation::Relation,
+    pool: ParPool,
+) -> Rows<A> {
+    let schema = r.schema();
+    let base = r.tuples();
+    let seeded: Vec<(Arc<Tuple>, A)> = pool.par_ranges(base.len(), BUILD_GRAIN, |range| {
+        range
+            .map(|row| {
+                (
+                    Arc::new(base[row].clone()),
+                    A::from_scan(
+                        Tid {
+                            rel: r.name().clone(),
+                            row,
+                        },
+                        schema,
+                    ),
+                )
+            })
+            .collect()
+    });
+    let (tuples, annots) = seeded.into_iter().unzip();
+    Rows::new(tuples, annots)
+}
+
+/// Build a select node over its child's rows (`child` is the child's plan
+/// id, recorded in the op). Predicate evaluation shards over the pool;
+/// errors surface in row order during the sequential assembly.
+pub(crate) fn build_select_node<A: Annotation>(
+    child: usize,
+    ch: &Rows<A>,
+    schema: &Schema,
+    pred: &crate::predicate::Pred,
+    pool: ParPool,
+) -> Result<(Op, Rows<A>)> {
+    let verdicts: Vec<Result<bool>> = pool.par_ranges(ch.tuples.len(), BUILD_GRAIN, |range| {
+        range.map(|i| pred.eval(schema, &ch.tuples[i])).collect()
+    });
+    let mut out_of = Vec::with_capacity(ch.tuples.len());
+    let mut kept: Vec<usize> = Vec::new();
+    for (i, verdict) in verdicts.into_iter().enumerate() {
+        if verdict? {
+            out_of.push(Some(kept.len()));
+            kept.push(i);
+        } else {
+            out_of.push(None);
+        }
+    }
+    let tuples: Vec<Arc<Tuple>> = kept.iter().map(|&i| ch.tuples[i].clone()).collect();
+    let annots: Vec<A> = pool.par_ranges(kept.len(), BUILD_GRAIN, |range| {
+        range.map(|k| ch.annots[kept[k]].clone()).collect()
+    });
+    Ok((Op::Select { child, out_of }, Rows::new(tuples, annots)))
+}
+
+/// Build a project node over its child's rows: parallel per-row
+/// projection, sequential ⊕-intern in derivation order (so every bucket
+/// merges in exactly the one-shot walk's order), parallel normalization.
+pub(crate) fn build_project_node<A: Annotation>(
+    child: usize,
+    ch: &Rows<A>,
+    positions: Vec<usize>,
+    pool: ParPool,
+) -> (Op, Rows<A>) {
+    let projected: Vec<(Arc<Tuple>, A)> = pool.par_ranges(ch.tuples.len(), BUILD_GRAIN, |range| {
+        range
+            .map(|c| {
+                (
+                    Arc::new(ch.tuples[c].project_positions(&positions)),
+                    ch.annots[c].project(&positions),
+                )
+            })
+            .collect()
+    });
+    let mut acc = BucketAcc::with_capacity(projected.len());
+    let mut out_of = Vec::with_capacity(projected.len());
+    for (t, a) in projected {
+        out_of.push(acc.add(t, a));
+    }
+    let mut contributors = vec![Vec::new(); acc.annots.len()];
+    for (c, &o) in out_of.iter().enumerate() {
+        contributors[o].push(c);
+    }
+    let rows = acc.into_rows(pool);
+    (
+        Op::Project {
+            child,
+            positions,
+            out_of,
+            contributors,
+        },
+        rows,
+    )
+}
+
+/// Build a join node over its operands' rows. Build on the right, probe
+/// with the left; borrowed keys as in the one-shot walk — the retained
+/// state is the pair map plus the reverse adjacency, not the table itself.
+/// The build shards by key hash (shard `s` owns the keys whose hash lands
+/// on it, so per-key row order stays ascending); one shard is the exact
+/// sequential build. Each side arrives as `(node id, rows, key positions)`.
+pub(crate) fn build_join_node<A: Annotation>(
+    left_side: (usize, &Rows<A>, &[usize]),
+    right_side: (usize, &Rows<A>, &[usize]),
+    layout: JoinLayout,
+    pool: ParPool,
+) -> (Op, Rows<A>) {
+    let (left, lrows, l_keys) = left_side;
+    let (right, rrows, r_keys) = right_side;
+    let shards = if rrows.tuples.len() >= 2 * BUILD_GRAIN {
+        pool.threads()
+    } else {
+        1
+    };
+    let tables: Vec<HashMap<Vec<&Value>, Vec<usize>>> = if shards == 1 {
+        let mut table: HashMap<Vec<&Value>, Vec<usize>> =
+            HashMap::with_capacity(rrows.tuples.len());
+        for (idx, t) in rrows.tuples.iter().enumerate() {
+            let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
+            table.entry(key).or_default().push(idx);
+        }
+        vec![table]
+    } else {
+        // One parallel pass buckets row indices per shard (range-order
+        // concat keeps each shard's rows ascending), so every shard then
+        // scans only its own rows — O(|R|) partition work total, not
+        // O(shards · |R|).
+        let bucketed: Vec<Vec<Vec<usize>>> =
+            pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
+                let mut local: Vec<Vec<usize>> = vec![Vec::new(); shards];
+                for i in range {
+                    let h = key_hash(r_keys.iter().map(|&k| rrows.tuples[i].get(k)));
+                    local[(h % shards as u64) as usize].push(i);
+                }
+                vec![local]
+            });
+        let mut shard_rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for local in bucketed {
+            for (s, rows) in local.into_iter().enumerate() {
+                shard_rows[s].extend(rows);
+            }
+        }
+        pool.par_indices(shards, |s| {
+            let mut table: HashMap<Vec<&Value>, Vec<usize>> =
+                HashMap::with_capacity(shard_rows[s].len());
+            for &idx in &shard_rows[s] {
+                let key: Vec<&Value> = r_keys.iter().map(|&i| rrows.tuples[idx].get(i)).collect();
+                table.entry(key).or_default().push(idx);
+            }
+            table
+        })
+    };
+    // Probe over left-row chunks; chunk-order concatenation reproduces the
+    // sequential emission order (left rows ascending, per-key matches in
+    // build order).
+    let produced: Vec<(usize, usize, Arc<Tuple>, A)> =
+        pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
+            let mut out = Vec::new();
+            for li in range {
+                let lt = &lrows.tuples[li];
+                let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
+                let table = if shards == 1 {
+                    &tables[0]
+                } else {
+                    &tables[(key_hash(key.iter().copied()) % shards as u64) as usize]
+                };
+                let Some(matches) = table.get(&key) else {
+                    continue;
+                };
+                for &ri in matches {
+                    let mut a = A::join(&lrows.annots[li], &rrows.annots[ri], &layout);
+                    a.normalize();
+                    out.push((
+                        li,
+                        ri,
+                        Arc::new(lt.join_concat(&rrows.tuples[ri], &layout.right_extra)),
+                        a,
+                    ));
+                }
+            }
+            out
+        });
+    // Sequential assembly: stable output slots in emission order. The
+    // joined tuple embeds the left tuple and determines the right one, and
+    // node outputs are sets — each output has exactly one (l, r) pair.
+    let mut tuples = Vec::with_capacity(produced.len());
+    let mut annots: Vec<A> = Vec::with_capacity(produced.len());
+    let mut pair_of = Vec::with_capacity(produced.len());
+    let mut left_outs = vec![Vec::new(); lrows.tuples.len()];
+    let mut right_outs = vec![Vec::new(); rrows.tuples.len()];
+    for (li, ri, t, a) in produced {
+        let o = tuples.len();
+        tuples.push(t);
+        annots.push(a);
+        pair_of.push((li, ri));
+        left_outs[li].push(o);
+        right_outs[ri].push(o);
+    }
+    debug_assert_eq!(
+        tuples
+            .iter()
+            .map(|t| &**t)
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
+        tuples.len(),
+        "join outputs are distinct: one derivation per output"
+    );
+    (
+        Op::Join {
+            left,
+            right,
+            layout,
+            pair_of,
+            left_outs,
+            right_outs,
+        },
+        Rows::new(tuples, annots),
+    )
+}
+
+/// Build a union node over its operands' rows: parallel left passthrough
+/// and right alignment (`positions` maps the right schema onto the left
+/// attribute order), sequential ⊕-intern left branch first, parallel
+/// normalization.
+pub(crate) fn build_union_node<A: Annotation>(
+    left: usize,
+    right: usize,
+    lrows: &Rows<A>,
+    rrows: &Rows<A>,
+    positions: Vec<usize>,
+    pool: ParPool,
+) -> (Op, Rows<A>) {
+    let left_in: Vec<(Arc<Tuple>, A)> = pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
+        range
+            .map(|i| (lrows.tuples[i].clone(), lrows.annots[i].clone()))
+            .collect()
+    });
+    let right_in: Vec<(Arc<Tuple>, A)> =
+        pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
+            range
+                .map(|i| {
+                    (
+                        Arc::new(rrows.tuples[i].project_positions(&positions)),
+                        rrows.annots[i].project(&positions),
+                    )
+                })
+                .collect()
+        });
+    let mut acc = BucketAcc::with_capacity(left_in.len() + right_in.len());
+    let mut from_left = Vec::with_capacity(left_in.len());
+    for (t, a) in left_in {
+        from_left.push(acc.add(t, a));
+    }
+    let mut from_right = Vec::with_capacity(right_in.len());
+    for (t, a) in right_in {
+        from_right.push(acc.add(t, a));
+    }
+    let mut sources = vec![(None, None); acc.annots.len()];
+    for (c, &o) in from_left.iter().enumerate() {
+        sources[o].0 = Some(c);
+    }
+    for (c, &o) in from_right.iter().enumerate() {
+        sources[o].1 = Some(c);
+    }
+    let rows = acc.into_rows(pool);
+    (
+        Op::Union {
+            left,
+            right,
+            positions,
+            from_left,
+            from_right,
+            sources,
+        },
+        rows,
+    )
+}
+
 impl<A: Annotation> Builder<A> {
     fn push(&mut self, op: Op, rows: Rows<A>) -> usize {
         let id = self.nodes.len();
@@ -738,249 +1106,46 @@ impl<A: Annotation> Builder<A> {
 
     /// Build the plan node for `q`, returning its index and schema.
     /// Children are pushed before parents, so indices are in post-order.
+    /// The per-operator heavy lifting lives in the free `build_*`
+    /// functions shared with `crate::registry::PlanRegistry`.
     fn node(&mut self, q: &Query, db: &Database) -> Result<(usize, Schema)> {
         let pool = self.pool;
         match q {
             Query::Scan(rel) => {
                 let r = db.require(rel)?;
                 let schema = r.schema().clone();
-                let base = r.tuples();
-                // One parallel sweep produces both columns (two passes
-                // would double the spawn/join rounds on this hot path).
-                let seeded: Vec<(Arc<Tuple>, A)> =
-                    pool.par_ranges(base.len(), BUILD_GRAIN, |range| {
-                        range
-                            .map(|row| {
-                                (
-                                    Arc::new(base[row].clone()),
-                                    A::from_scan(
-                                        Tid {
-                                            rel: r.name().clone(),
-                                            row,
-                                        },
-                                        &schema,
-                                    ),
-                                )
-                            })
-                            .collect()
-                    });
-                let (tuples, annots) = seeded.into_iter().unzip();
-                let id = self.push(Op::Scan, Rows::new(tuples, annots));
+                let rows = build_scan_rows::<A>(r, pool);
+                let id = self.push(Op::Scan, rows);
                 self.scans.push((rel.clone(), id));
                 Ok((id, schema))
             }
             Query::Select { input, pred } => {
                 let (child, schema) = self.node(input, db)?;
-                let ch = &self.nodes[child].rows;
-                // Parallel predicate evaluation; errors surface in row
-                // order during the sequential assembly below.
-                let verdicts: Vec<Result<bool>> =
-                    pool.par_ranges(ch.tuples.len(), BUILD_GRAIN, |range| {
-                        range.map(|i| pred.eval(&schema, &ch.tuples[i])).collect()
-                    });
-                let mut out_of = Vec::with_capacity(ch.tuples.len());
-                let mut kept: Vec<usize> = Vec::new();
-                for (i, verdict) in verdicts.into_iter().enumerate() {
-                    if verdict? {
-                        out_of.push(Some(kept.len()));
-                        kept.push(i);
-                    } else {
-                        out_of.push(None);
-                    }
-                }
-                let tuples: Vec<Arc<Tuple>> = kept.iter().map(|&i| ch.tuples[i].clone()).collect();
-                let annots: Vec<A> = pool.par_ranges(kept.len(), BUILD_GRAIN, |range| {
-                    range.map(|k| ch.annots[kept[k]].clone()).collect()
-                });
-                let id = self.push(Op::Select { child, out_of }, Rows::new(tuples, annots));
+                let (op, rows) =
+                    build_select_node(child, &self.nodes[child].rows, &schema, pred, pool)?;
+                let id = self.push(op, rows);
                 Ok((id, schema))
             }
             Query::Project { input, attrs } => {
                 let (child, in_schema) = self.node(input, db)?;
                 let schema = in_schema.project(attrs)?;
                 let positions = in_schema.positions_of(attrs)?;
-                let ch = &self.nodes[child].rows;
-                // Phase 1 (parallel): per-row tuple and annotation
-                // projection.
-                let projected: Vec<(Arc<Tuple>, A)> =
-                    pool.par_ranges(ch.tuples.len(), BUILD_GRAIN, |range| {
-                        range
-                            .map(|c| {
-                                (
-                                    Arc::new(ch.tuples[c].project_positions(&positions)),
-                                    ch.annots[c].project(&positions),
-                                )
-                            })
-                            .collect()
-                    });
-                // Phase 2 (sequential): ⊕-intern in derivation order, so
-                // every bucket merges in exactly the one-shot walk's order.
-                let mut acc = BucketAcc::with_capacity(projected.len());
-                let mut out_of = Vec::with_capacity(projected.len());
-                for (t, a) in projected {
-                    out_of.push(acc.add(t, a));
-                }
-                let mut contributors = vec![Vec::new(); acc.annots.len()];
-                for (c, &o) in out_of.iter().enumerate() {
-                    contributors[o].push(c);
-                }
-                // Phase 3 (parallel): per-bucket normalization.
-                let rows = acc.into_rows(pool);
-                let id = self.push(
-                    Op::Project {
-                        child,
-                        positions,
-                        out_of,
-                        contributors,
-                    },
-                    rows,
-                );
+                let (op, rows) =
+                    build_project_node(child, &self.nodes[child].rows, positions, pool);
+                let id = self.push(op, rows);
                 Ok((id, schema))
             }
             Query::Join { left, right } => {
                 let ((lid, ls), (rid, rs)) = self.child_pair(left, right, db)?;
-                let shared: Vec<Attr> = ls.shared_with(&rs);
                 let schema = ls.join_with(&rs);
-                let l_keys: Vec<usize> = shared
-                    .iter()
-                    .map(|a| ls.index_of(a).expect("shared attr"))
-                    .collect();
-                let r_keys: Vec<usize> = shared
-                    .iter()
-                    .map(|a| rs.index_of(a).expect("shared attr"))
-                    .collect();
-                let layout = JoinLayout {
-                    left_arity: ls.arity(),
-                    merge_from_right: ls.attrs().iter().map(|a| rs.index_of(a)).collect(),
-                    right_extra: rs
-                        .attrs()
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, a)| !ls.contains(a))
-                        .map(|(i, _)| i)
-                        .collect(),
-                };
-                let (lrows, rrows) = (&self.nodes[lid].rows, &self.nodes[rid].rows);
-                // Build on the right, probe with the left; borrowed keys as
-                // in the one-shot walk — the retained state is the pair map
-                // plus the reverse adjacency, not the table itself. The
-                // build shards by key hash (shard `s` owns the keys whose
-                // hash lands on it, so per-key row order stays ascending);
-                // one shard is the exact sequential build.
-                let shards = if rrows.tuples.len() >= 2 * BUILD_GRAIN {
-                    pool.threads()
-                } else {
-                    1
-                };
-                let tables: Vec<HashMap<Vec<&Value>, Vec<usize>>> = if shards == 1 {
-                    let mut table: HashMap<Vec<&Value>, Vec<usize>> =
-                        HashMap::with_capacity(rrows.tuples.len());
-                    for (idx, t) in rrows.tuples.iter().enumerate() {
-                        let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
-                        table.entry(key).or_default().push(idx);
-                    }
-                    vec![table]
-                } else {
-                    // One parallel pass buckets row indices per shard
-                    // (range-order concat keeps each shard's rows
-                    // ascending), so every shard then scans only its own
-                    // rows — O(|R|) partition work total, not
-                    // O(shards · |R|).
-                    let bucketed: Vec<Vec<Vec<usize>>> =
-                        pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
-                            let mut local: Vec<Vec<usize>> = vec![Vec::new(); shards];
-                            for i in range {
-                                let h = key_hash(r_keys.iter().map(|&k| rrows.tuples[i].get(k)));
-                                local[(h % shards as u64) as usize].push(i);
-                            }
-                            vec![local]
-                        });
-                    let mut shard_rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
-                    for local in bucketed {
-                        for (s, rows) in local.into_iter().enumerate() {
-                            shard_rows[s].extend(rows);
-                        }
-                    }
-                    pool.par_indices(shards, |s| {
-                        let mut table: HashMap<Vec<&Value>, Vec<usize>> =
-                            HashMap::with_capacity(shard_rows[s].len());
-                        for &idx in &shard_rows[s] {
-                            let key: Vec<&Value> =
-                                r_keys.iter().map(|&i| rrows.tuples[idx].get(i)).collect();
-                            table.entry(key).or_default().push(idx);
-                        }
-                        table
-                    })
-                };
-                // Probe over left-row chunks; chunk-order concatenation
-                // reproduces the sequential emission order (left rows
-                // ascending, per-key matches in build order).
-                let produced: Vec<(usize, usize, Arc<Tuple>, A)> =
-                    pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
-                        let mut out = Vec::new();
-                        for li in range {
-                            let lt = &lrows.tuples[li];
-                            let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
-                            let table = if shards == 1 {
-                                &tables[0]
-                            } else {
-                                &tables[(key_hash(key.iter().copied()) % shards as u64) as usize]
-                            };
-                            let Some(matches) = table.get(&key) else {
-                                continue;
-                            };
-                            for &ri in matches {
-                                let mut a = A::join(&lrows.annots[li], &rrows.annots[ri], &layout);
-                                a.normalize();
-                                out.push((
-                                    li,
-                                    ri,
-                                    Arc::new(
-                                        lt.join_concat(&rrows.tuples[ri], &layout.right_extra),
-                                    ),
-                                    a,
-                                ));
-                            }
-                        }
-                        out
-                    });
-                // Sequential assembly: stable output slots in emission
-                // order. The joined tuple embeds the left tuple and
-                // determines the right one, and node outputs are sets —
-                // each output has exactly one (l, r) pair.
-                let mut tuples = Vec::with_capacity(produced.len());
-                let mut annots: Vec<A> = Vec::with_capacity(produced.len());
-                let mut pair_of = Vec::with_capacity(produced.len());
-                let mut left_outs = vec![Vec::new(); lrows.tuples.len()];
-                let mut right_outs = vec![Vec::new(); rrows.tuples.len()];
-                for (li, ri, t, a) in produced {
-                    let o = tuples.len();
-                    tuples.push(t);
-                    annots.push(a);
-                    pair_of.push((li, ri));
-                    left_outs[li].push(o);
-                    right_outs[ri].push(o);
-                }
-                debug_assert_eq!(
-                    tuples
-                        .iter()
-                        .map(|t| &**t)
-                        .collect::<std::collections::HashSet<_>>()
-                        .len(),
-                    tuples.len(),
-                    "join outputs are distinct: one derivation per output"
+                let (l_keys, r_keys, layout) = join_keys_and_layout(&ls, &rs);
+                let (op, rows) = build_join_node(
+                    (lid, &self.nodes[lid].rows, &l_keys),
+                    (rid, &self.nodes[rid].rows, &r_keys),
+                    layout,
+                    pool,
                 );
-                let id = self.push(
-                    Op::Join {
-                        left: lid,
-                        right: rid,
-                        layout,
-                        pair_of,
-                        left_outs,
-                        right_outs,
-                    },
-                    Rows::new(tuples, annots),
-                );
+                let id = self.push(op, rows);
                 Ok((id, schema))
             }
             Query::Union { left, right } => {
@@ -988,56 +1153,15 @@ impl<A: Annotation> Builder<A> {
                 // Align the right branch to the left branch's attribute
                 // order (a bijection, so aligned right tuples stay distinct).
                 let positions = rs.positions_of(ls.attrs())?;
-                let (lrows, rrows) = (&self.nodes[lid].rows, &self.nodes[rid].rows);
-                // Phase 1 (parallel): left passthrough clones, right
-                // alignment.
-                let left_in: Vec<(Arc<Tuple>, A)> =
-                    pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
-                        range
-                            .map(|i| (lrows.tuples[i].clone(), lrows.annots[i].clone()))
-                            .collect()
-                    });
-                let right_in: Vec<(Arc<Tuple>, A)> =
-                    pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
-                        range
-                            .map(|i| {
-                                (
-                                    Arc::new(rrows.tuples[i].project_positions(&positions)),
-                                    rrows.annots[i].project(&positions),
-                                )
-                            })
-                            .collect()
-                    });
-                // Phase 2 (sequential): ⊕-intern, left branch first.
-                let mut acc = BucketAcc::with_capacity(left_in.len() + right_in.len());
-                let mut from_left = Vec::with_capacity(left_in.len());
-                for (t, a) in left_in {
-                    from_left.push(acc.add(t, a));
-                }
-                let mut from_right = Vec::with_capacity(right_in.len());
-                for (t, a) in right_in {
-                    from_right.push(acc.add(t, a));
-                }
-                let mut sources = vec![(None, None); acc.annots.len()];
-                for (c, &o) in from_left.iter().enumerate() {
-                    sources[o].0 = Some(c);
-                }
-                for (c, &o) in from_right.iter().enumerate() {
-                    sources[o].1 = Some(c);
-                }
-                // Phase 3 (parallel): per-bucket normalization.
-                let rows = acc.into_rows(pool);
-                let id = self.push(
-                    Op::Union {
-                        left: lid,
-                        right: rid,
-                        positions,
-                        from_left,
-                        from_right,
-                        sources,
-                    },
-                    rows,
+                let (op, rows) = build_union_node(
+                    lid,
+                    rid,
+                    &self.nodes[lid].rows,
+                    &self.nodes[rid].rows,
+                    positions,
+                    pool,
                 );
+                let id = self.push(op, rows);
                 Ok((id, ls))
             }
             Query::Rename { input, mapping } => {

@@ -66,9 +66,9 @@ pub mod prelude {
     };
     pub use dap_core::{
         complexity, delete_min_source, delete_min_view_side_effects, format_paper_table,
-        paper_table, place_annotation, place_annotations, Complexity, CoreError, Deletion,
-        DeletionContext, DeletionInstance, IlpObjective, IlpOptions, IlpRequest, Placement,
-        PlacementIndex, Problem, SolverKind, WitnessIndex,
+        paper_table, place_annotation, place_annotations, place_annotations_with, Complexity,
+        CoreError, Deletion, DeletionContext, DeletionInstance, IlpObjective, IlpOptions,
+        IlpRequest, Placement, PlacementIndex, Problem, SolverKind, WitnessIndex,
     };
     pub use dap_provenance::{
         lineage, minimal_witnesses, participating_tids, propagate, propagate_all, provenance_exprs,
@@ -77,8 +77,9 @@ pub mod prelude {
     };
     pub use dap_relalg::{
         eval, eval_annotated, normalize, parse_database, parse_pred, parse_query, schema, tuple,
-        Annotation, Attr, Database, Fd, FdCatalog, MaterializedPlan, OpFootprint, ParPool, Pred,
-        Query, RelName, Relation, Schema, Tid, Tuple, Value, ViewDelta,
+        Annotation, Attr, Database, Fd, FdCatalog, MaterializedPlan, OpFootprint, ParPool,
+        PlanRegistry, Pred, Query, QueryId, RelName, Relation, Schema, Tid, Tuple, Value,
+        ViewDelta,
     };
 }
 

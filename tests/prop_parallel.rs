@@ -8,6 +8,8 @@
 //!   (`min_view_side_effects_on_par`) against the sequential search;
 //! * the batched dichotomy dispatchers (`*_many_with`) for both solver
 //!   objectives across pool sizes;
+//! * the batched annotation-placement path (`place_annotations_with`)
+//!   across pool sizes, for all three dispatch arms;
 //! * the serving-loop `*_turn` solvers (cached, in-place-patched
 //!   [`WitnessIndex`]es) against per-call re-stamping from the touch
 //!   skeleton, across apply-delete turns;
@@ -151,6 +153,35 @@ proptest! {
             let par_source =
                 delete_min_source_many_with(&q, &db, &targets, pool).expect("dispatches");
             prop_assert_eq!(&seq_source, &par_source, "threads {}", pool.threads());
+        }
+    }
+
+    /// The batched annotation-placement path returns identical placements
+    /// (and the same solver) for every pool size, across all three
+    /// dispatch arms (SPU / SJU / generic) as the generated query class
+    /// varies.
+    #[test]
+    fn batched_placement_pool_invariant((q, _) in typed_query(), db in small_database()) {
+        let view = eval(&q, &db).expect("evaluates");
+        let out_schema = dap::relalg::output_schema(&q, &db.catalog()).expect("typechecks");
+        let targets: Vec<ViewLoc> = view
+            .tuples
+            .iter()
+            .take(3)
+            .flat_map(|t| {
+                out_schema
+                    .attrs()
+                    .iter()
+                    .take(2)
+                    .map(|a| ViewLoc::new(t.clone(), a.clone()))
+            })
+            .collect();
+        let (seq, seq_kind) =
+            place_annotations_with(&q, &db, &targets, ParPool::sequential()).expect("places");
+        for pool in pools().into_iter().skip(1) {
+            let (par, par_kind) = place_annotations_with(&q, &db, &targets, pool).expect("places");
+            prop_assert_eq!(&seq, &par, "threads {}", pool.threads());
+            prop_assert_eq!(seq_kind, par_kind, "threads {}", pool.threads());
         }
     }
 

@@ -1,0 +1,193 @@
+//! Differential property tests for the **shared-plan registry**
+//! (`dap_relalg::PlanRegistry`): a registry serving N standing queries
+//! over one hash-consed DAG must be observationally identical to N
+//! independently maintained `MaterializedPlan`s.
+//!
+//! * under random deletion batches over random `(Q₁..Qₙ, S)`, every
+//!   registered query's per-batch `ViewDelta` and its full annotated view
+//!   must equal its independent plan's, after **every** batch, for all
+//!   five annotation instances (the registry never renumbers tids, so
+//!   annotations compare exactly — no translation needed);
+//! * queries registered **mid-stream** (after deletions committed) must
+//!   come up equal to an independent plan that replayed the committed
+//!   prefix, and unregistering must not disturb the surviving queries;
+//! * a registry-backed `DeletionContext` must track an owned-plan context
+//!   commit for commit — same deltas, same why-provenance, same committed
+//!   set.
+
+mod common;
+
+use common::{small_database, typed_query};
+use dap::prelude::*;
+use dap::provenance::{ExprAnn, LineageAnn, LocationsAnn, WitnessesAnn};
+use dap::relalg::Unit;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use std::fmt::Debug;
+
+/// Turn proptest index picks into concrete deletion batches over `db`.
+fn pick_batches(db: &Database, picks: &[Vec<prop::sample::Index>]) -> Vec<Vec<Tid>> {
+    let pool: Vec<Tid> = db.all_tids().collect();
+    picks
+        .iter()
+        .map(|batch| {
+            batch
+                .iter()
+                .filter(|_| !pool.is_empty())
+                .map(|i| pool[i.index(pool.len())].clone())
+                .collect()
+        })
+        .collect()
+}
+
+/// One registered query's view equals its independent plan's — tuples and
+/// annotations, in iteration order.
+fn assert_view_matches<A: Annotation>(
+    reg: &PlanRegistry<A>,
+    id: QueryId,
+    plan: &MaterializedPlan<A>,
+) -> std::result::Result<(), TestCaseError> {
+    let shared: Vec<(&Tuple, &A)> = reg.iter_query(id).collect();
+    let independent: Vec<(&Tuple, &A)> = plan.iter().collect();
+    prop_assert_eq!(shared.len(), independent.len(), "view size for {}", id);
+    for ((st, sa), (it, ia)) in shared.iter().zip(&independent) {
+        prop_assert_eq!(*st, *it, "tuples diverged for {}", id);
+        prop_assert!(*sa == *ia, "annotation diverged for {} at {}", id, st);
+    }
+    Ok(())
+}
+
+/// Drive N queries through a deletion sequence on one shared registry and
+/// on N independent plans, comparing deltas and views after every batch.
+fn check_instance<A: Annotation + Debug>(
+    queries: &[Query],
+    db: &Database,
+    batches: &[Vec<Tid>],
+) -> std::result::Result<(), TestCaseError> {
+    let mut reg = PlanRegistry::<A>::new(db);
+    let ids: Vec<QueryId> = queries
+        .iter()
+        .map(|q| reg.register(q).expect("typed queries register"))
+        .collect();
+    let mut plans: Vec<MaterializedPlan<A>> = queries
+        .iter()
+        .map(|q| MaterializedPlan::<A>::build(q, db).expect("typed queries build"))
+        .collect();
+    for batch in batches {
+        let deltas = reg.delete_sources(batch);
+        prop_assert_eq!(deltas.len(), ids.len(), "one delta per registered query");
+        // `delete_sources` reports in QueryId (= registration) order.
+        for ((id, shared), plan) in deltas.iter().zip(plans.iter_mut()) {
+            let independent = plan.delete_sources(batch);
+            prop_assert_eq!(&shared.removed, &independent.removed, "removed for {}", id);
+            prop_assert_eq!(&shared.changed, &independent.changed, "changed for {}", id);
+        }
+        for (id, plan) in ids.iter().zip(&plans) {
+            assert_view_matches(&reg, *id, plan)?;
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Shared-registry maintenance equals N independent plans after every
+    /// deletion batch, for all five annotation instances.
+    #[test]
+    fn registry_matches_independent_plans_for_all_instances(
+        qs in proptest::collection::vec(typed_query(), 1..4),
+        db in small_database(),
+        picks in proptest::collection::vec(
+            proptest::collection::vec(any::<prop::sample::Index>(), 1..4), 1..4),
+    ) {
+        let queries: Vec<Query> = qs.into_iter().map(|(q, _)| q).collect();
+        let batches = pick_batches(&db, &picks);
+        check_instance::<Unit>(&queries, &db, &batches)?;
+        check_instance::<WitnessesAnn>(&queries, &db, &batches)?;
+        check_instance::<LocationsAnn>(&queries, &db, &batches)?;
+        check_instance::<LineageAnn>(&queries, &db, &batches)?;
+        check_instance::<ExprAnn>(&queries, &db, &batches)?;
+    }
+
+    /// Mid-stream registrations replay the committed prefix (coming up
+    /// equal to an independent plan that saw every earlier batch), and
+    /// unregistering one query never disturbs the survivors.
+    #[test]
+    fn register_and_unregister_mid_stream_stay_consistent(
+        qs in proptest::collection::vec(typed_query(), 2..4),
+        db in small_database(),
+        picks in proptest::collection::vec(
+            proptest::collection::vec(any::<prop::sample::Index>(), 1..4), 2..4),
+    ) {
+        let queries: Vec<Query> = qs.into_iter().map(|(q, _)| q).collect();
+        let batches = pick_batches(&db, &picks);
+        let mut reg = PlanRegistry::<WitnessesAnn>::new(&db);
+        let first = reg.register(&queries[0]).expect("registers");
+        // Commit the first batch with only `queries[0]` registered.
+        reg.delete_sources(&batches[0]);
+        // Late joiners observe the deleted-from database immediately.
+        let mut survivors = Vec::new();
+        for q in &queries[1..] {
+            let id = reg.register(q).expect("registers mid-stream");
+            let mut plan = MaterializedPlan::<WitnessesAnn>::build(q, &db).expect("builds");
+            plan.delete_sources(&batches[0]);
+            assert_view_matches(&reg, id, &plan)?;
+            survivors.push((id, plan));
+        }
+        // Unregistering the founding query leaves the late joiners intact —
+        // through every remaining batch.
+        prop_assert!(reg.unregister(first));
+        prop_assert!(!reg.unregister(first), "double unregister is a no-op");
+        for batch in &batches[1..] {
+            let deltas = reg.delete_sources(batch);
+            prop_assert_eq!(deltas.len(), survivors.len());
+            for (id, plan) in &mut survivors {
+                let independent = plan.delete_sources(batch);
+                let shared = &deltas
+                    .iter()
+                    .find(|(q, _)| q == id)
+                    .expect("survivor keeps its delta stream")
+                    .1;
+                prop_assert_eq!(&shared.removed, &independent.removed, "removed for {}", id);
+                prop_assert_eq!(&shared.changed, &independent.changed, "changed for {}", id);
+            }
+        }
+        for (id, plan) in &survivors {
+            assert_view_matches(&reg, *id, plan)?;
+        }
+    }
+
+    /// A registry-backed `DeletionContext` tracks an owned-plan context
+    /// commit for commit: same per-batch deltas, same why-provenance, same
+    /// committed set.
+    #[test]
+    fn registry_backed_context_matches_owned_context(
+        (q, _) in typed_query(),
+        db in small_database(),
+        picks in proptest::collection::vec(
+            proptest::collection::vec(any::<prop::sample::Index>(), 1..4), 1..4),
+    ) {
+        let batches = pick_batches(&db, &picks);
+        let mut owned = DeletionContext::new(&q, &db).expect("builds");
+        let mut reg = PlanRegistry::<WitnessesAnn>::new(&db);
+        let mut shared = DeletionContext::new_in_registry(&mut reg, &q).expect("registers");
+        for batch in batches {
+            let set: BTreeSet<Tid> = batch.into_iter().collect();
+            let d_owned = owned.apply_delete(&set);
+            let d_shared = shared.apply_delete_in(&mut reg, &set);
+            prop_assert_eq!(&d_owned.removed, &d_shared.removed);
+            prop_assert_eq!(&d_owned.changed, &d_shared.changed);
+            prop_assert_eq!(owned.view_len(), shared.view_len());
+            prop_assert_eq!(owned.committed(), shared.committed());
+            for t in owned.why().tuples() {
+                prop_assert_eq!(
+                    owned.why().witnesses_of(t),
+                    shared.why().witnesses_of(t),
+                    "witness basis diverged for {}",
+                    t
+                );
+            }
+        }
+    }
+}
