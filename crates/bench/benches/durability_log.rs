@@ -1,0 +1,74 @@
+//! **durability_log** — Criterion trends for the WAL hot paths: framed
+//! commit appends under each fsync mode (in-memory sink, isolating the
+//! encode/CRC/frame cost from disk noise) and full [`recover_with`] of
+//! directories with growing log tails. The `report_durability` binary
+//! measures the same shapes on real files with identity gates and the
+//! acceptance bar; this bench tracks the trend under Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dap_bench::{maintenance_deletion_sequence, pj_multiwitness_workload};
+use dap_durability::{recover_with, CommitLog, DurableOptions, FsyncMode, LogRecord, MemLog};
+use std::hint::black_box;
+
+const COMMITS: usize = 64;
+const LOG_LENGTHS: [usize; 3] = [16, 64, 256];
+
+/// Frame + checksum + append `COMMITS` delete records into an in-memory
+/// sink — the per-commit logging overhead the serving loop pays.
+fn bench_commit_append(c: &mut Criterion) {
+    let w = pj_multiwitness_workload(16, 5, 16);
+    let seq = maintenance_deletion_sequence(&w.db, COMMITS);
+    let records: Vec<LogRecord> = seq
+        .iter()
+        .map(|tid| LogRecord::Delete(vec![tid.clone()]))
+        .collect();
+    let mut group = c.benchmark_group("durability_log/append");
+    group.sample_size(20);
+    for fsync in [FsyncMode::Always, FsyncMode::Batch, FsyncMode::Never] {
+        group.bench_function(BenchmarkId::from_parameter(fsync.to_string()), |b| {
+            b.iter(|| {
+                let (mem, _bytes) = MemLog::new();
+                let mut log = CommitLog::new(Box::new(mem), fsync, 1);
+                for record in &records {
+                    black_box(log.append(record).expect("append"));
+                }
+                log.sync().expect("sync");
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Rebuild a durable directory whose log holds `N` committed deletions —
+/// snapshot load, catalog re-registration, and tail replay end to end.
+fn bench_recover(c: &mut Criterion) {
+    let w = pj_multiwitness_workload(32, 6, 32);
+    let seq = maintenance_deletion_sequence(&w.db, *LOG_LENGTHS.iter().max().unwrap());
+    let opts = DurableOptions {
+        fsync: FsyncMode::Never,
+        snapshot_every: 0,
+    };
+    let mut group = c.benchmark_group("durability_log/recover");
+    group.sample_size(10);
+    for len in LOG_LENGTHS {
+        let dir = std::env::temp_dir().join(format!("dap-crit-dur-{len}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut state = dap_durability::DurableState::create(&dir, &w.db, opts).expect("create");
+        state.register(&w.query).expect("register");
+        for tid in &seq[..len] {
+            state
+                .delete_sources(std::slice::from_ref(tid))
+                .expect("commit");
+        }
+        state.sync().expect("sync");
+        drop(state);
+        group.bench_function(BenchmarkId::from_parameter(format!("records={len}")), |b| {
+            b.iter(|| black_box(recover_with(&dir, opts).expect("recover")))
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_commit_append, bench_recover);
+criterion_main!(benches);

@@ -1,0 +1,225 @@
+//! Measure the durability layer — commit throughput under each fsync
+//! mode and recovery time as the log grows — and emit
+//! `BENCH_durability.json`.
+//!
+//! ```text
+//! cargo run --release -p dap-bench --bin report_durability
+//! ```
+//!
+//! Two tables:
+//!
+//! * **commit** — a [`pj_multiwitness_workload`] core view is registered
+//!   durably and a stream of single-tuple deletions is committed through
+//!   [`DurableState::delete_sources`] (WAL append + registry apply) under
+//!   [`FsyncMode::Always`] / [`FsyncMode::Batch`] / [`FsyncMode::Never`];
+//!   the table reports median per-commit latency for each mode. After
+//!   every measured configuration the directory is recovered and the
+//!   recovered view is asserted **identical** to the live one — this
+//!   correctness gate is always on (`DAP_BENCH_NO_ASSERT` only relaxes
+//!   the wall-clock bar).
+//! * **recovery** — directories with log tails of 16 / 64 / 256 delete
+//!   records are rebuilt with [`recover_with`]; the table reports median
+//!   recovery time, and every recovered registry is asserted identical to
+//!   an in-memory oracle that applied the same stream directly.
+
+use dap_bench::{maintenance_deletion_sequence, median_time, pj_multiwitness_workload};
+use dap_durability::{recover_with, DurableOptions, DurableState, FsyncMode};
+use dap_provenance::WitnessesAnn;
+use dap_relalg::{Database, PlanRegistry, Query, QueryId, Tid, Tuple};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// `(users, groups, files)` for the commit-throughput view.
+const COMMIT_SHAPE: (usize, usize, usize) = (16, 5, 16);
+/// Deletions committed per timed run.
+const COMMITS: usize = 64;
+/// Log lengths for the recovery table (the `(32, 6, 32)` instance has
+/// 384 source tuples, enough for distinct tids at every length).
+const RECOVERY_SHAPE: (usize, usize, usize) = (32, 6, 32);
+const LOG_LENGTHS: [usize; 3] = [16, 64, 256];
+const RUNS: usize = 5;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dap-bench-dur-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn view_of(reg: &PlanRegistry<WitnessesAnn>, id: QueryId) -> Vec<(Tuple, WitnessesAnn)> {
+    reg.iter_query(id)
+        .map(|(t, a)| (t.clone(), a.clone()))
+        .collect()
+}
+
+fn opts(fsync: FsyncMode) -> DurableOptions {
+    DurableOptions {
+        fsync,
+        snapshot_every: 0,
+    }
+}
+
+/// Commit `seq` through a fresh durable directory under `fsync`,
+/// returning the median wall time of the whole stream. The last run's
+/// directory is recovered and checked against its live state.
+fn commit_run(db: &Database, q: &Query, seq: &[Tid], fsync: FsyncMode) -> Duration {
+    let mut samples: Vec<Duration> = (0..RUNS)
+        .map(|run| {
+            let dir = scratch(&format!("commit-{fsync}-{run}"));
+            let mut state = DurableState::create(&dir, db, opts(fsync)).expect("create");
+            let id = state.register(q).expect("register");
+            let start = Instant::now();
+            for tid in seq {
+                std::hint::black_box(
+                    state
+                        .delete_sources(std::slice::from_ref(tid))
+                        .expect("commit"),
+                );
+            }
+            state.sync().expect("final sync");
+            let elapsed = start.elapsed();
+
+            // Identity gate (always on): what recovery rebuilds from disk
+            // is exactly the state the live process is serving.
+            let live = view_of(state.registry(), id);
+            let live_seq = state.last_seq();
+            drop(state);
+            let (rec, report) = recover_with(&dir, opts(fsync)).expect("recover");
+            assert!(report.corrupt_tail.is_none(), "clean shutdown, clean log");
+            assert_eq!(report.last_seq, live_seq, "every acked commit recovered");
+            assert_eq!(
+                view_of(rec.registry(), id),
+                live,
+                "recovered view identical"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+            elapsed
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Build a durable directory with `len` committed delete records; return
+/// it together with the oracle registry that applied the same stream.
+fn recovery_fixture(
+    db: &Database,
+    q: &Query,
+    seq: &[Tid],
+    len: usize,
+) -> (PathBuf, PlanRegistry<WitnessesAnn>, QueryId) {
+    let dir = scratch(&format!("recover-{len}"));
+    let mut state = DurableState::create(&dir, db, opts(FsyncMode::Never)).expect("create");
+    let id = state.register(q).expect("register");
+    let mut oracle = PlanRegistry::<WitnessesAnn>::new(db);
+    oracle.register(q).expect("oracle register");
+    for tid in &seq[..len] {
+        state
+            .delete_sources(std::slice::from_ref(tid))
+            .expect("commit");
+        oracle.delete_sources(std::slice::from_ref(tid));
+    }
+    state.sync().expect("sync");
+    (dir, oracle, id)
+}
+
+fn main() {
+    println!("==============================================================");
+    println!(" durability — WAL commit latency and recovery time");
+    println!("==============================================================\n");
+
+    // ---- commit throughput per fsync mode --------------------------------
+    let (users, groups, files) = COMMIT_SHAPE;
+    let w = pj_multiwitness_workload(users, groups, files);
+    let seq = maintenance_deletion_sequence(&w.db, COMMITS);
+    assert_eq!(seq.len(), COMMITS, "instance large enough for the stream");
+    println!(
+        "commit: {} deletions through a {}-tuple view ({} runs, median)\n",
+        COMMITS,
+        users * files,
+        RUNS
+    );
+    println!("{:>8} {:>14} {:>16}", "fsync", "total", "per commit");
+    let modes = [FsyncMode::Always, FsyncMode::Batch, FsyncMode::Never];
+    let mut commit_rows: Vec<(FsyncMode, Duration)> = Vec::new();
+    for fsync in modes {
+        let total = commit_run(&w.db, &w.query, &seq, fsync);
+        println!(
+            "{:>8} {:>14?} {:>16?}",
+            fsync.to_string(),
+            total,
+            total / COMMITS as u32
+        );
+        commit_rows.push((fsync, total));
+    }
+
+    // ---- recovery time vs log length -------------------------------------
+    let (users, groups, files) = RECOVERY_SHAPE;
+    let w = pj_multiwitness_workload(users, groups, files);
+    let seq = maintenance_deletion_sequence(&w.db, *LOG_LENGTHS.iter().max().unwrap());
+    assert_eq!(seq.len(), *LOG_LENGTHS.iter().max().unwrap());
+    println!(
+        "\nrecovery: replay of N delete records over a {}-tuple view\n",
+        users * files
+    );
+    println!("{:>8} {:>14}", "records", "recover");
+    let mut recovery_rows: Vec<(usize, Duration)> = Vec::new();
+    for len in LOG_LENGTHS {
+        let (dir, oracle, id) = recovery_fixture(&w.db, &w.query, &seq, len);
+        // Correctness first (always on): recovery lands exactly on the
+        // oracle's state, replaying every record.
+        let (rec, report) = recover_with(&dir, opts(FsyncMode::Never)).expect("recover");
+        assert_eq!(report.records_replayed, len + 1, "register + {len} deletes");
+        assert!(report.corrupt_tail.is_none());
+        assert_eq!(
+            view_of(rec.registry(), id),
+            view_of(&oracle, id),
+            "recovered view identical to the oracle at {len} records"
+        );
+        drop(rec);
+        let t = median_time(RUNS, || {
+            std::hint::black_box(recover_with(&dir, opts(FsyncMode::Never)).expect("recover"));
+        });
+        println!("{:>8} {:>14?}", len, t);
+        recovery_rows.push((len, t));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    // ---- JSON -------------------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"durability\",\n  \"commit\": [\n");
+    for (i, (fsync, total)) in commit_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"fsync\": \"{fsync}\", \"commits\": {COMMITS}, \"total_ns\": {}, \
+             \"per_commit_ns\": {}}}{}\n",
+            total.as_nanos(),
+            total.as_nanos() / COMMITS as u128,
+            if i + 1 < commit_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"recovery\": [\n");
+    for (i, (len, t)) in recovery_rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"log_records\": {len}, \"recover_ns\": {}}}{}\n",
+            t.as_nanos(),
+            if i + 1 < recovery_rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+    println!("\nwrote BENCH_durability.json");
+
+    // The only wall-clock bar (relaxed by DAP_BENCH_NO_ASSERT): replaying
+    // the longest log stays interactive.
+    let worst = recovery_rows.last().expect("rows").1;
+    if std::env::var_os("DAP_BENCH_NO_ASSERT").is_none() {
+        assert!(
+            worst < Duration::from_secs(5),
+            "recovering a {}-record log must stay under 5s (measured {worst:?})",
+            LOG_LENGTHS[LOG_LENGTHS.len() - 1]
+        );
+    }
+    println!(
+        "acceptance: {:?} to recover {} records (bar: 5s); identity gates always on",
+        worst,
+        LOG_LENGTHS[LOG_LENGTHS.len() - 1]
+    );
+}

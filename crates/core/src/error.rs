@@ -45,6 +45,24 @@ pub enum CoreError {
         /// The budget that was exhausted.
         budget: u64,
     },
+    /// An I/O failure in the durability layer. `CoreError` is `Clone + Eq`
+    /// (solver results carry it by value), so the underlying
+    /// `std::io::Error` is rendered into `context` rather than stored.
+    Io {
+        /// What was being done and what the OS said, e.g.
+        /// `"append to commit.log: No space left on device"`.
+        context: String,
+    },
+    /// The commit log (or a snapshot file) failed validation: a checksum
+    /// mismatch, a torn frame, or a semantically impossible record.
+    /// Recovery truncates at `offset` and reports this — it never applies
+    /// the bytes past it.
+    CorruptLog {
+        /// Byte offset of the first invalid frame.
+        offset: u64,
+        /// Human-readable diagnosis, e.g. `"crc mismatch"`.
+        reason: String,
+    },
 }
 
 impl fmt::Display for CoreError {
@@ -71,6 +89,10 @@ impl fmt::Display for CoreError {
             }
             CoreError::BudgetExhausted { budget } => {
                 write!(f, "exact search exceeded its node budget of {budget}")
+            }
+            CoreError::Io { context } => write!(f, "io error: {context}"),
+            CoreError::CorruptLog { offset, reason } => {
+                write!(f, "corrupt log at byte {offset}: {reason}")
             }
         }
     }
@@ -116,6 +138,15 @@ mod tests {
         assert!(e.to_string().contains("SPU") && e.to_string().contains("PJ"));
         let e = CoreError::BudgetExhausted { budget: 7 };
         assert!(e.to_string().contains('7'));
+        let e = CoreError::Io {
+            context: "append to commit.log: disk full".into(),
+        };
+        assert!(e.to_string().contains("commit.log"));
+        let e = CoreError::CorruptLog {
+            offset: 42,
+            reason: "crc mismatch".into(),
+        };
+        assert!(e.to_string().contains("byte 42") && e.to_string().contains("crc mismatch"));
     }
 
     #[test]

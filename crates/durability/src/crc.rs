@@ -1,0 +1,67 @@
+//! CRC-32 (IEEE 802.3 polynomial, reflected) — the frame checksum.
+//!
+//! Hand-rolled table-driven implementation: the build environment vendors
+//! no checksum crate, and the durability layer only needs a fast,
+//! well-known 32-bit error-detecting code to catch torn frames and bit
+//! flips, not a cryptographic digest.
+
+/// The reflected IEEE polynomial `0xEDB88320` (the one zip/zlib/ethernet
+/// use), driven through a 256-entry table built at first use.
+fn table() -> &'static [u32; 256] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[u32; 256]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0u32; 256];
+        for (i, slot) in t.iter_mut().enumerate() {
+            let mut c = i as u32;
+            for _ in 0..8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+            }
+            *slot = c;
+        }
+        t
+    })
+}
+
+/// The CRC-32 of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let t = table();
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = t[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard CRC-32/ISO-HDLC check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414F_A339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flips() {
+        let base = b"hello durability layer".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32(&flipped), c0, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+}

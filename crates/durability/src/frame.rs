@@ -1,0 +1,179 @@
+//! Length-prefixed, checksummed frames — the unit of both the commit log
+//! and the snapshot files.
+//!
+//! ```text
+//! [u32 payload_len LE] [u32 crc32(payload) LE] [payload bytes]
+//! ```
+//!
+//! A reader walks frames front to back and stops at the first one that
+//! does not validate: short header, impossible length, short payload, or
+//! checksum mismatch. Everything before that point is trusted; everything
+//! from it on is a *corrupt tail* to be truncated and reported — torn
+//! writes at the end of a log are the normal crash artifact, not an
+//! exceptional one.
+
+use crate::crc::crc32;
+use dap_core::CoreError;
+
+/// Bytes of header before the payload: length + checksum.
+pub const FRAME_HEADER: usize = 8;
+
+/// Upper bound on a single frame payload. Real records are tiny (tens to
+/// hundreds of bytes); snapshots hold one big frame. The bound exists so a
+/// corrupted length word cannot make the reader attempt a multi-gigabyte
+/// allocation — anything larger is diagnosed as corruption instead.
+pub const MAX_PAYLOAD: u32 = 256 * 1024 * 1024;
+
+/// Append one frame around `payload` to `out`.
+pub fn encode_frame(payload: &[u8], out: &mut Vec<u8>) {
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+}
+
+/// A frame rendered as a standalone byte vector.
+pub fn frame_bytes(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(FRAME_HEADER + payload.len());
+    encode_frame(payload, &mut out);
+    out
+}
+
+/// Why decoding stopped at a given offset.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct FrameError {
+    /// Byte offset of the first invalid frame.
+    pub offset: u64,
+    /// Diagnosis, e.g. `"crc mismatch"`.
+    pub reason: String,
+}
+
+impl FrameError {
+    /// Lift into the shared error surface.
+    pub fn into_core(self) -> CoreError {
+        CoreError::CorruptLog {
+            offset: self.offset,
+            reason: self.reason,
+        }
+    }
+}
+
+/// Decode the frame starting at `offset`. Returns
+/// `Ok(Some((payload, next_offset)))` on a valid frame, `Ok(None)` at a
+/// clean end of input, and `Err` on a torn or corrupted frame.
+pub fn decode_frame(buf: &[u8], offset: u64) -> Result<Option<(&[u8], u64)>, FrameError> {
+    let at = offset as usize;
+    if at == buf.len() {
+        return Ok(None);
+    }
+    let torn = |reason: &str| FrameError {
+        offset,
+        reason: reason.into(),
+    };
+    if buf.len() - at < FRAME_HEADER {
+        return Err(torn("torn frame header"));
+    }
+    let len = u32::from_le_bytes(buf[at..at + 4].try_into().expect("4 bytes"));
+    let crc = u32::from_le_bytes(buf[at + 4..at + 8].try_into().expect("4 bytes"));
+    if len > MAX_PAYLOAD {
+        return Err(torn("implausible frame length"));
+    }
+    let body = at + FRAME_HEADER;
+    if buf.len() - body < len as usize {
+        return Err(torn("torn frame payload"));
+    }
+    let payload = &buf[body..body + len as usize];
+    if crc32(payload) != crc {
+        return Err(torn("crc mismatch"));
+    }
+    Ok(Some((payload, (body + len as usize) as u64)))
+}
+
+/// Walk every valid frame in `buf` front to back. Returns the payload
+/// slices, the offset just past the last valid frame, and — if the tail
+/// failed validation — the diagnosis for it.
+pub fn decode_all(buf: &[u8]) -> (Vec<&[u8]>, u64, Option<FrameError>) {
+    let mut frames = Vec::new();
+    let mut offset = 0u64;
+    loop {
+        match decode_frame(buf, offset) {
+            Ok(Some((payload, next))) => {
+                frames.push(payload);
+                offset = next;
+            }
+            Ok(None) => return (frames, offset, None),
+            Err(e) => return (frames, offset, Some(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_multiple_frames() {
+        let mut buf = Vec::new();
+        encode_frame(b"first", &mut buf);
+        encode_frame(b"", &mut buf);
+        encode_frame(b"third frame", &mut buf);
+        let (frames, end, err) = decode_all(&buf);
+        assert_eq!(frames, vec![&b"first"[..], &b""[..], &b"third frame"[..]]);
+        assert_eq!(end, buf.len() as u64);
+        assert!(err.is_none());
+    }
+
+    #[test]
+    fn every_truncation_point_is_prefix_consistent() {
+        let mut buf = Vec::new();
+        encode_frame(b"alpha", &mut buf);
+        encode_frame(b"beta", &mut buf);
+        let boundaries = [0u64, (FRAME_HEADER + 5) as u64, buf.len() as u64];
+        for cut in 0..=buf.len() {
+            let (frames, end, err) = decode_all(&buf[..cut]);
+            // The recovered prefix always ends exactly on a frame boundary.
+            assert!(boundaries.contains(&end), "cut={cut} end={end}");
+            assert_eq!(
+                frames.len(),
+                boundaries.iter().filter(|&&b| b != 0 && b <= end).count()
+            );
+            // Mid-frame cuts are reported as a torn tail, clean cuts are not.
+            assert_eq!(err.is_some(), (cut as u64) != end, "cut={cut}");
+        }
+    }
+
+    #[test]
+    fn bit_flip_is_caught_and_attributed() {
+        let mut buf = Vec::new();
+        encode_frame(b"alpha", &mut buf);
+        encode_frame(b"beta", &mut buf);
+        let second = (FRAME_HEADER + 5) as u64;
+        // Flip a payload byte of the second frame.
+        buf[second as usize + FRAME_HEADER] ^= 0x40;
+        let (frames, end, err) = decode_all(&buf);
+        assert_eq!(frames, vec![&b"alpha"[..]]);
+        assert_eq!(end, second);
+        let err = err.unwrap();
+        assert_eq!(err.offset, second);
+        assert_eq!(err.reason, "crc mismatch");
+    }
+
+    #[test]
+    fn implausible_length_is_corruption_not_allocation() {
+        let mut buf = (u32::MAX).to_le_bytes().to_vec();
+        buf.extend_from_slice(&[0; 12]);
+        let (frames, end, err) = decode_all(&buf);
+        assert!(frames.is_empty());
+        assert_eq!(end, 0);
+        assert_eq!(err.unwrap().reason, "implausible frame length");
+    }
+
+    #[test]
+    fn frame_error_lifts_into_core_error() {
+        let e = FrameError {
+            offset: 9,
+            reason: "crc mismatch".into(),
+        }
+        .into_core();
+        assert_eq!(e.to_string(), "corrupt log at byte 9: crc mismatch");
+    }
+}

@@ -1,0 +1,297 @@
+//! The byte sink the commit log writes through — a real file, an
+//! in-memory buffer, or the fault-injection harness.
+//!
+//! Everything above this module ([`crate::log::CommitLog`],
+//! [`crate::state::DurableState`]) is written against the [`LogFile`]
+//! trait, so the crash-point property tests exercise the *production*
+//! append/commit/recover code paths with only the bottom byte sink
+//! swapped out.
+
+use std::io::{self, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// How eagerly appended records are forced to stable storage. Read from
+/// the `DAP_FSYNC` environment variable by [`FsyncMode::from_env`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum FsyncMode {
+    /// `fsync` after every record — an acknowledged commit is durable.
+    #[default]
+    Always,
+    /// `fsync` every [`FsyncMode::BATCH_INTERVAL`] records (and on
+    /// explicit [`crate::log::CommitLog::sync`]) — a crash may lose the
+    /// tail of acknowledged-but-unsynced records, never a prefix.
+    Batch,
+    /// Never `fsync`; the OS flushes when it pleases. Fastest, weakest.
+    Never,
+}
+
+impl FsyncMode {
+    /// Records between syncs in [`FsyncMode::Batch`].
+    pub const BATCH_INTERVAL: usize = 8;
+
+    /// Parse `DAP_FSYNC` (`always` | `batch` | `never`, default
+    /// [`FsyncMode::Always`]; unknown values fall back to the default).
+    pub fn from_env() -> FsyncMode {
+        match std::env::var("DAP_FSYNC").as_deref() {
+            Ok("batch") => FsyncMode::Batch,
+            Ok("never") => FsyncMode::Never,
+            _ => FsyncMode::Always,
+        }
+    }
+}
+
+impl std::fmt::Display for FsyncMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FsyncMode::Always => "always",
+            FsyncMode::Batch => "batch",
+            FsyncMode::Never => "never",
+        })
+    }
+}
+
+/// An append-only byte sink with an explicit durability point.
+///
+/// The contract the recovery proofs rest on: bytes reach the sink in
+/// append order, a failed [`LogFile::append`] may have persisted any
+/// *prefix* of its bytes (a torn write), and after a crash the sink's
+/// contents are some prefix of everything appended — possibly cut
+/// mid-frame — plus, for the fault harness, injected corruption.
+pub trait LogFile: Send {
+    /// Append `bytes` at the end. On error, any prefix may have landed.
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()>;
+    /// Force everything appended so far to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+    /// Bytes successfully appended so far.
+    fn offset(&self) -> u64;
+}
+
+/// A real `std::fs::File` opened for append.
+pub struct StdLogFile {
+    file: std::fs::File,
+    offset: u64,
+}
+
+impl StdLogFile {
+    /// Open (creating if absent) `path` for appending; the logical offset
+    /// starts at the current file length.
+    pub fn open(path: &Path) -> io::Result<StdLogFile> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let offset = file.metadata()?.len();
+        Ok(StdLogFile { file, offset })
+    }
+}
+
+impl LogFile for StdLogFile {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.file.write_all(bytes)?;
+        self.offset += bytes.len() as u64;
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_data()
+    }
+
+    fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+/// Shared in-memory image of a simulated log — what "the disk" holds.
+/// Tests keep a clone of the handle, crash the writer, and hand the bytes
+/// to recovery.
+pub type SharedBytes = Arc<Mutex<Vec<u8>>>;
+
+/// An in-memory [`LogFile`] over a [`SharedBytes`] buffer. Never fails.
+pub struct MemLog {
+    buf: SharedBytes,
+}
+
+impl MemLog {
+    /// A fresh empty in-memory log plus the shared handle to its bytes.
+    pub fn new() -> (MemLog, SharedBytes) {
+        let buf: SharedBytes = Arc::default();
+        (MemLog { buf: buf.clone() }, buf)
+    }
+}
+
+impl LogFile for MemLog {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.buf.lock().expect("poisoned").extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+
+    fn offset(&self) -> u64 {
+        self.buf.lock().expect("poisoned").len() as u64
+    }
+}
+
+/// The fault-injection [`LogFile`]: persists into a [`SharedBytes`]
+/// buffer until a byte budget runs out, then *tears* the append that
+/// crossed the budget (persisting only the prefix that fit) and fails it
+/// and every later append — simulating a crash at an arbitrary byte
+/// offset of the write stream. Optionally flips one bit of what was
+/// persisted, simulating media corruption beneath a successful write.
+///
+/// The surviving buffer is exactly what recovery gets to see; tests sweep
+/// the budget over every offset of a workload's write stream to prove
+/// prefix-consistency at *every* crash point.
+pub struct FaultyLog {
+    buf: SharedBytes,
+    /// Bytes still allowed to persist before the simulated crash.
+    budget: usize,
+    crashed: bool,
+    /// `(offset, bit)` to corrupt once that offset exists.
+    flip: Option<(usize, u8)>,
+}
+
+impl FaultyLog {
+    /// A log that crashes once `budget` persisted bytes are exceeded.
+    pub fn new(budget: usize) -> (FaultyLog, SharedBytes) {
+        let buf: SharedBytes = Arc::default();
+        (
+            FaultyLog {
+                buf: buf.clone(),
+                budget,
+                crashed: false,
+                flip: None,
+            },
+            buf,
+        )
+    }
+
+    /// Additionally flip bit `bit` of the byte at `offset` as soon as
+    /// that byte is persisted.
+    pub fn with_bit_flip(budget: usize, offset: usize, bit: u8) -> (FaultyLog, SharedBytes) {
+        let (mut log, buf) = FaultyLog::new(budget);
+        log.flip = Some((offset, bit % 8));
+        (log, buf)
+    }
+
+    /// Has the simulated crash happened yet?
+    pub fn crashed(&self) -> bool {
+        self.crashed
+    }
+}
+
+/// Fire a pending `(offset, bit)` flip once that offset is persisted.
+fn apply_flip(flip: &mut Option<(usize, u8)>, buf: &mut [u8]) {
+    if let Some((at, bit)) = *flip {
+        if at < buf.len() {
+            buf[at] ^= 1 << bit;
+            *flip = None;
+        }
+    }
+}
+
+impl LogFile for FaultyLog {
+    fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
+        let mut buf = self.buf.lock().expect("poisoned");
+        if self.crashed {
+            return Err(io::Error::other("simulated crash: log file is gone"));
+        }
+        if bytes.len() <= self.budget {
+            self.budget -= bytes.len();
+            buf.extend_from_slice(bytes);
+            apply_flip(&mut self.flip, &mut buf);
+            return Ok(());
+        }
+        // Torn write: the prefix that fit the budget reaches the disk,
+        // the rest of the record never does, and the writer sees a crash.
+        let fit = self.budget;
+        self.budget = 0;
+        self.crashed = true;
+        buf.extend_from_slice(&bytes[..fit]);
+        apply_flip(&mut self.flip, &mut buf);
+        Err(io::Error::other("simulated crash: torn append"))
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::other("simulated crash: log file is gone"));
+        }
+        Ok(())
+    }
+
+    fn offset(&self) -> u64 {
+        self.buf.lock().expect("poisoned").len() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fsync_mode_parses_and_displays() {
+        assert_eq!(FsyncMode::default(), FsyncMode::Always);
+        assert_eq!(FsyncMode::Always.to_string(), "always");
+        assert_eq!(FsyncMode::Batch.to_string(), "batch");
+        assert_eq!(FsyncMode::Never.to_string(), "never");
+    }
+
+    #[test]
+    fn mem_log_accumulates() {
+        let (mut log, buf) = MemLog::new();
+        log.append(b"ab").unwrap();
+        log.append(b"cd").unwrap();
+        log.sync().unwrap();
+        assert_eq!(log.offset(), 4);
+        assert_eq!(&*buf.lock().unwrap(), b"abcd");
+    }
+
+    #[test]
+    fn std_log_file_appends_and_reopens() {
+        let dir = std::env::temp_dir().join(format!("dap-logfile-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.log");
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut f = StdLogFile::open(&path).unwrap();
+            f.append(b"hello ").unwrap();
+            f.sync().unwrap();
+            assert_eq!(f.offset(), 6);
+        }
+        {
+            let mut f = StdLogFile::open(&path).unwrap();
+            assert_eq!(f.offset(), 6);
+            f.append(b"again").unwrap();
+        }
+        assert_eq!(std::fs::read(&path).unwrap(), b"hello again");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn faulty_log_tears_the_crossing_write() {
+        let (mut log, buf) = FaultyLog::new(5);
+        log.append(b"abc").unwrap();
+        assert!(!log.crashed());
+        // 3 persisted + 4 requested crosses the 5-byte budget: 2 land.
+        assert!(log.append(b"defg").is_err());
+        assert!(log.crashed());
+        assert_eq!(&*buf.lock().unwrap(), b"abcde");
+        // Everything after the crash fails without persisting.
+        assert!(log.append(b"x").is_err());
+        assert!(log.sync().is_err());
+        assert_eq!(&*buf.lock().unwrap(), b"abcde");
+    }
+
+    #[test]
+    fn faulty_log_flips_the_requested_bit() {
+        let (mut log, buf) = FaultyLog::with_bit_flip(100, 1, 0);
+        log.append(b"ab").unwrap();
+        assert_eq!(&*buf.lock().unwrap(), &[b'a', b'b' ^ 1]);
+        // The flip fires once.
+        log.append(b"b").unwrap();
+        assert_eq!(&*buf.lock().unwrap(), &[b'a', b'b' ^ 1, b'b']);
+    }
+}

@@ -1,0 +1,321 @@
+//! Snapshots: a point-in-time encoding of everything recovery needs to
+//! rebuild the served state without replaying the whole log.
+//!
+//! A snapshot file is **one** checksummed frame (see [`crate::frame`])
+//! whose payload is UTF-8 text:
+//!
+//! ```text
+//! dap-snapshot v1
+//! seq <last applied sequence number>
+//! next-query <id sequence position>
+//! committed <rel>#<row>,...
+//! query q<k> <query in Display/parser syntax>      (0+ lines, ascending k)
+//! database
+//! <the ORIGINAL source instance in fixture syntax, to end of payload>
+//! ```
+//!
+//! Two deliberate choices:
+//!
+//! * **The original database, not the deleted-from one.** `Tid`s are
+//!   `(relation, row)` into the *original* sorted instance; log records
+//!   and the committed set are expressed in them. A deleted-from
+//!   database re-packs rows ([`Database::without`]) and would silently
+//!   re-key every tid in the log tail. Recovery therefore rebuilds from
+//!   the original instance and re-applies the committed set — which is
+//!   exactly the registry's own mid-stream-registration replay path, so
+//!   its correctness is already pinned by the registry tests.
+//! * **Queries via the `Display` → parser round trip** (the durable view
+//!   catalog, decentdb-ADR style: explicit id + full query text). The
+//!   round-trip law is pinned by `tests/prop_query_roundtrip.rs`.
+
+use crate::frame::{decode_frame, frame_bytes};
+use crate::log::{parse_query_id, parse_tid};
+use dap_core::{CoreError, Result};
+use dap_relalg::{parse_database, parse_query, Database, Query, QueryId, Tid};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// Magic first line of a snapshot payload; bump the version on any
+/// format change.
+pub const SNAPSHOT_MAGIC: &str = "dap-snapshot v1";
+
+/// A decoded snapshot: the recovery base state.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Snapshot {
+    /// Every log record with sequence number ≤ `seq` is folded in;
+    /// recovery replays only the tail beyond it.
+    pub seq: u64,
+    /// The registry id sequence position at snapshot time (may exceed the
+    /// highest catalog id — unregistered and ephemeral queries burn ids).
+    pub next_query: u64,
+    /// Every source tid deleted so far.
+    pub committed: BTreeSet<Tid>,
+    /// The durable view catalog: `(id, query)` ascending by id.
+    pub catalog: Vec<(QueryId, Query)>,
+    /// The original (pre-deletion) source instance.
+    pub db: Database,
+}
+
+impl Snapshot {
+    /// Render the single-frame file image.
+    pub fn encode(&self) -> Vec<u8> {
+        use std::fmt::Write;
+        let mut text = String::new();
+        let _ = writeln!(text, "{SNAPSHOT_MAGIC}");
+        let _ = writeln!(text, "seq {}", self.seq);
+        let _ = writeln!(text, "next-query {}", self.next_query);
+        let committed: Vec<String> = self.committed.iter().map(Tid::to_string).collect();
+        let _ = writeln!(text, "committed {}", committed.join(","));
+        for (id, q) in &self.catalog {
+            let _ = writeln!(text, "query {id} {q}");
+        }
+        let _ = writeln!(text, "database");
+        text.push_str(&self.db.to_fixture_string());
+        frame_bytes(text.as_bytes())
+    }
+
+    /// Decode a frame payload produced by [`Snapshot::encode`]. Errors
+    /// carry only the diagnosis; the caller owns the file identity.
+    pub fn decode_payload(payload: &[u8]) -> std::result::Result<Snapshot, String> {
+        let text = std::str::from_utf8(payload).map_err(|_| "snapshot is not utf-8".to_string())?;
+        let mut lines = text.lines();
+        if lines.next() != Some(SNAPSHOT_MAGIC) {
+            return Err("bad snapshot magic".into());
+        }
+        let field = |line: Option<&str>, key: &str| -> std::result::Result<String, String> {
+            let line = line.ok_or_else(|| format!("snapshot missing `{key}`"))?;
+            line.strip_prefix(key)
+                .and_then(|rest| {
+                    rest.strip_prefix(' ')
+                        .or(Some(rest).filter(|r| r.is_empty()))
+                })
+                .map(str::to_string)
+                .ok_or_else(|| format!("snapshot missing `{key}`"))
+        };
+        let seq: u64 = field(lines.next(), "seq")?
+            .parse()
+            .map_err(|_| "bad snapshot seq".to_string())?;
+        let next_query: u64 = field(lines.next(), "next-query")?
+            .parse()
+            .map_err(|_| "bad snapshot next-query".to_string())?;
+        let committed_text = field(lines.next(), "committed")?;
+        let mut committed = BTreeSet::new();
+        for part in committed_text.split(',').filter(|p| !p.is_empty()) {
+            committed.insert(parse_tid(part)?);
+        }
+        let mut catalog: Vec<(QueryId, Query)> = Vec::new();
+        loop {
+            let line = lines
+                .next()
+                .ok_or_else(|| "snapshot missing `database` section".to_string())?;
+            if line == "database" {
+                break;
+            }
+            let rest = line
+                .strip_prefix("query ")
+                .ok_or_else(|| format!("unexpected snapshot line `{line}`"))?;
+            let (id_text, query_text) = rest
+                .split_once(' ')
+                .ok_or_else(|| "catalog entry missing query text".to_string())?;
+            let id = parse_query_id(id_text)?;
+            if let Some((last, _)) = catalog.last() {
+                if id <= *last {
+                    return Err(format!("catalog ids not ascending at {id}"));
+                }
+            }
+            if id.index() >= next_query {
+                return Err(format!("catalog id {id} beyond next-query {next_query}"));
+            }
+            let q = parse_query(query_text)
+                .map_err(|e| format!("catalog query does not parse: {e}"))?;
+            catalog.push((id, q));
+        }
+        let fixture: String = lines.collect::<Vec<&str>>().join("\n");
+        let db = parse_database(&fixture)
+            .map_err(|e| format!("snapshot database does not parse: {e}"))?;
+        for tid in &committed {
+            if db.tuple(tid).is_none() {
+                return Err(format!("committed tid {tid} not in snapshot database"));
+            }
+        }
+        Ok(Snapshot {
+            seq,
+            next_query,
+            committed,
+            catalog,
+            db,
+        })
+    }
+
+    /// The file name a snapshot at this sequence number is stored under.
+    pub fn file_name(seq: u64) -> String {
+        format!("snap-{seq:020}")
+    }
+
+    /// Write the snapshot into `dir` (write-then-rename, so a crash mid
+    /// write leaves no half `snap-*` file — at worst a `.tmp` that
+    /// recovery ignores). Returns the final path.
+    pub fn write_to(&self, dir: &Path) -> Result<PathBuf> {
+        let io = |what: &str, e: std::io::Error| CoreError::Io {
+            context: format!("{what}: {e}"),
+        };
+        let final_path = dir.join(Snapshot::file_name(self.seq));
+        let tmp_path = dir.join(format!("{}.tmp", Snapshot::file_name(self.seq)));
+        std::fs::write(&tmp_path, self.encode())
+            .map_err(|e| io(&format!("write {}", tmp_path.display()), e))?;
+        // Flush file contents before the rename makes it visible.
+        let f = std::fs::File::open(&tmp_path)
+            .map_err(|e| io(&format!("open {}", tmp_path.display()), e))?;
+        f.sync_all()
+            .map_err(|e| io(&format!("sync {}", tmp_path.display()), e))?;
+        std::fs::rename(&tmp_path, &final_path)
+            .map_err(|e| io(&format!("rename to {}", final_path.display()), e))?;
+        Ok(final_path)
+    }
+
+    /// Read and validate the snapshot file at `path`.
+    pub fn read_from(path: &Path) -> Result<Snapshot> {
+        let bytes = std::fs::read(path).map_err(|e| CoreError::Io {
+            context: format!("read {}: {e}", path.display()),
+        })?;
+        let corrupt = |offset: u64, reason: String| CoreError::CorruptLog { offset, reason };
+        let (payload, end) = decode_frame(&bytes, 0)
+            .map_err(|e| {
+                corrupt(
+                    e.offset,
+                    format!("snapshot {}: {}", path.display(), e.reason),
+                )
+            })?
+            .ok_or_else(|| corrupt(0, format!("snapshot {}: empty file", path.display())))?;
+        if end != bytes.len() as u64 {
+            return Err(corrupt(
+                end,
+                format!("snapshot {}: trailing bytes", path.display()),
+            ));
+        }
+        Snapshot::decode_payload(payload)
+            .map_err(|reason| corrupt(0, format!("snapshot {}: {reason}", path.display())))
+    }
+
+    /// Every `snap-*` file in `dir` (ignoring `.tmp` leftovers), as
+    /// `(seq, path)` sorted descending by seq — the order recovery tries
+    /// them in.
+    pub fn list_dir(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+        let entries = std::fs::read_dir(dir).map_err(|e| CoreError::Io {
+            context: format!("read dir {}: {e}", dir.display()),
+        })?;
+        let mut found = Vec::new();
+        for entry in entries {
+            let entry = entry.map_err(|e| CoreError::Io {
+                context: format!("read dir {}: {e}", dir.display()),
+            })?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(seq_text) = name.strip_prefix("snap-") else {
+                continue;
+            };
+            if seq_text.ends_with(".tmp") {
+                continue;
+            }
+            if let Ok(seq) = seq_text.parse::<u64>() {
+                found.push((seq, entry.path()));
+            }
+        }
+        found.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+        Ok(found)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let db = parse_database(
+            "relation R(A, B) { (a, x1), (a, x2), ('sp ace', 'it''s') }
+             relation S(B, C) { (x1, c) }",
+        )
+        .unwrap();
+        let q = parse_query("project(join(scan R, scan S), [A, C])").unwrap();
+        Snapshot {
+            seq: 12,
+            next_query: 5,
+            committed: BTreeSet::from([Tid::new("R", 1), Tid::new("S", 0)]),
+            catalog: vec![
+                (QueryId::from_index(1), q.clone()),
+                (QueryId::from_index(4), q),
+            ],
+            db,
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let snap = sample();
+        let bytes = snap.encode();
+        let (payload, _) = decode_frame(&bytes, 0).unwrap().unwrap();
+        assert_eq!(Snapshot::decode_payload(payload).unwrap(), snap);
+    }
+
+    #[test]
+    fn empty_snapshot_round_trips() {
+        let snap = Snapshot {
+            seq: 0,
+            next_query: 0,
+            committed: BTreeSet::new(),
+            catalog: Vec::new(),
+            db: parse_database("relation R(A) { (a) }").unwrap(),
+        };
+        let bytes = snap.encode();
+        let (payload, _) = decode_frame(&bytes, 0).unwrap().unwrap();
+        assert_eq!(Snapshot::decode_payload(payload).unwrap(), snap);
+    }
+
+    #[test]
+    fn semantic_violations_are_rejected() {
+        let snap = sample();
+        let text = String::from_utf8(snap.encode()[8..].to_vec()).unwrap();
+        for (needle, replacement) in [
+            (SNAPSHOT_MAGIC, "dap-snapshot v9"),
+            ("seq 12", "seq twelve"),
+            ("committed R#1,S#0", "committed R#9"),
+            ("query q1", "query q6"),
+            ("query q4", "query q1"),
+            ("database", "databse"),
+        ] {
+            let bad = text.replacen(needle, replacement, 1);
+            assert!(
+                Snapshot::decode_payload(bad.as_bytes()).is_err(),
+                "accepted mutation {needle:?} -> {replacement:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn file_round_trip_and_listing() {
+        let dir = std::env::temp_dir().join(format!("dap-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let snap = sample();
+        let path = snap.write_to(&dir).unwrap();
+        assert_eq!(Snapshot::read_from(&path).unwrap(), snap);
+        let mut older = snap.clone();
+        older.seq = 3;
+        older.write_to(&dir).unwrap();
+        let listed = Snapshot::list_dir(&dir).unwrap();
+        assert_eq!(
+            listed.iter().map(|(s, _)| *s).collect::<Vec<_>>(),
+            vec![12, 3]
+        );
+        // A flipped bit anywhere in the file is caught by the frame crc.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&path, bytes).unwrap();
+        assert!(matches!(
+            Snapshot::read_from(&path),
+            Err(CoreError::CorruptLog { .. })
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

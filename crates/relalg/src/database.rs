@@ -146,6 +146,50 @@ impl Database {
         self.without(&deletions)
     }
 
+    /// Render the database in the fixture syntax accepted by
+    /// [`crate::parse_database`], so `parse_database(&db.to_fixture_string())`
+    /// reproduces the instance exactly — including every [`Tid`], because
+    /// relation instances are kept sorted and the round trip preserves the
+    /// tuple sets. String values are always quoted (SQL-style, `''` for an
+    /// embedded quote), so values like `'sp ace'`, `'true'` or `'7'` that a
+    /// bare token would mis-lex survive. This is the durability layer's
+    /// snapshot encoding for the source instance.
+    pub fn to_fixture_string(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for r in self.rels.values() {
+            let _ = write!(out, "relation {}(", r.name());
+            for (i, a) in r.schema().attrs().iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let _ = write!(out, "{a}");
+            }
+            out.push_str(") {");
+            for (i, t) in r.tuples().iter().enumerate() {
+                out.push_str(if i > 0 { ", (" } else { " (" });
+                for (j, v) in t.values().iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    match v {
+                        crate::value::Value::Str(s) => {
+                            out.push('\'');
+                            out.push_str(&s.replace('\'', "''"));
+                            out.push('\'');
+                        }
+                        other => {
+                            let _ = write!(out, "{other}");
+                        }
+                    }
+                }
+                out.push(')');
+            }
+            out.push_str(" }\n");
+        }
+        out
+    }
+
     /// The paper's `S \ T`: a copy of the database with the tuples named by
     /// `deletions` removed. Tids refer to *this* instance; the result
     /// re-packs row indices.
@@ -273,5 +317,35 @@ mod tests {
     #[test]
     fn tid_display() {
         assert_eq!(Tid::new("R1", 3).to_string(), "R1#3");
+    }
+
+    #[test]
+    fn fixture_string_round_trips() {
+        let db = db();
+        let back = crate::parser::parse_database(&db.to_fixture_string()).unwrap();
+        assert_eq!(back, db);
+    }
+
+    #[test]
+    fn fixture_string_quotes_hostile_values() {
+        use crate::value::Value;
+        let db = Database::from_relations(vec![Relation::new(
+            "R",
+            schema(["A", "B", "C"]),
+            vec![Tuple::new(vec![
+                Value::str("sp ace"),
+                Value::str("it's"),
+                Value::str("7"),
+            ])],
+        )
+        .unwrap()])
+        .unwrap();
+        let back = crate::parser::parse_database(&db.to_fixture_string()).unwrap();
+        assert_eq!(back, db);
+        // The string "7" must stay a string, not re-lex as an integer.
+        assert_eq!(
+            back.tuple(&Tid::new("R", 0)).unwrap().values()[2],
+            Value::str("7")
+        );
     }
 }

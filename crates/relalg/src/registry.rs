@@ -108,6 +108,22 @@ use std::sync::Arc;
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct QueryId(u64);
 
+impl QueryId {
+    /// The raw registration index (the `k` rendered as `qk`). Stable
+    /// across runs for the same registration order — the durable catalog
+    /// persists this.
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+
+    /// Rebuild a handle from a persisted index. Only meaningful against a
+    /// registry whose registration sequence reproduces the original one
+    /// (see [`PlanRegistry::register_at`]).
+    pub fn from_index(index: u64) -> QueryId {
+        QueryId(index)
+    }
+}
+
 impl fmt::Display for QueryId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "q{}", self.0)
@@ -376,6 +392,57 @@ impl<A: Annotation> PlanRegistry<A> {
         self.queries.insert(id, RegisteredQuery { root, schema });
         self.rebuild_push_order();
         Ok(id)
+    }
+
+    /// The index the next [`PlanRegistry::register`] call will assign.
+    /// Restore paths validate persisted catalog ids against this before
+    /// calling [`PlanRegistry::register_at`].
+    pub fn next_query_index(&self) -> u64 {
+        self.next_query
+    }
+
+    /// [`PlanRegistry::register`], but forcing the assigned handle to be
+    /// exactly `id` — the restore hook that lets recovery reproduce a
+    /// persisted catalog's ids even though the original process may have
+    /// burned intermediate indexes on since-unregistered (or ephemeral)
+    /// queries. Indexes between [`PlanRegistry::next_query_index`] and
+    /// `id` are skipped forever, exactly as if those registrations had
+    /// happened and been unregistered. On error the id sequence is left
+    /// untouched.
+    ///
+    /// # Panics
+    ///
+    /// If `id` is behind the current sequence (`id.index()` <
+    /// [`PlanRegistry::next_query_index`]) — ids are never reused, so the
+    /// caller must validate persisted ids first and surface violations as
+    /// data corruption.
+    pub fn register_at(&mut self, q: &Query, id: QueryId) -> Result<QueryId> {
+        assert!(
+            id.0 >= self.next_query,
+            "register_at cannot move the id sequence backwards (requested {id}, next is q{})",
+            self.next_query
+        );
+        let saved = self.next_query;
+        self.next_query = id.0;
+        match self.register(q) {
+            Ok(got) => {
+                debug_assert_eq!(got, id);
+                Ok(got)
+            }
+            Err(e) => {
+                self.next_query = saved;
+                Err(e)
+            }
+        }
+    }
+
+    /// Advance the id sequence to at least `to` without registering
+    /// anything — the other restore hook: ids the original process burned
+    /// on queries that never reached (or already left) a durable catalog
+    /// must stay burned, or a later registration would mint a handle the
+    /// history already used. No-op when the sequence is already past `to`.
+    pub fn advance_query_index(&mut self, to: u64) {
+        self.next_query = self.next_query.max(to);
     }
 
     /// Remove a standing query, releasing its root reference; nodes no
@@ -1124,5 +1191,35 @@ mod tests {
         let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
         let out = reg.delete_sources(&[dev.clone(), dev]);
         assert_eq!(out[0].1.removed, vec![tuple(["bob", "main"])]);
+    }
+
+    #[test]
+    fn register_at_reproduces_persisted_ids() {
+        let db = fixture();
+        let mut reg = PlanRegistry::<Unit>::new(&db);
+        assert_eq!(reg.next_query_index(), 0);
+        // Skip ahead: q0..q2 were burned by the original process.
+        let q3 = reg.register_at(&core(), QueryId::from_index(3)).unwrap();
+        assert_eq!(q3.index(), 3);
+        assert_eq!(q3.to_string(), "q3");
+        assert_eq!(reg.next_query_index(), 4);
+        // Plain registration continues from there.
+        let q4 = reg
+            .register(&parse_query("scan UserGroup").unwrap())
+            .unwrap();
+        assert_eq!(q4.index(), 4);
+        // A failed register_at leaves the sequence untouched.
+        let bad = parse_query("scan Nope").unwrap();
+        assert!(reg.register_at(&bad, QueryId::from_index(9)).is_err());
+        assert_eq!(reg.next_query_index(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "backwards")]
+    fn register_at_rejects_reused_ids() {
+        let db = fixture();
+        let mut reg = PlanRegistry::<Unit>::new(&db);
+        reg.register(&core()).unwrap();
+        let _ = reg.register_at(&core(), QueryId::from_index(0));
     }
 }

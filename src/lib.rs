@@ -19,7 +19,9 @@
 //! * [`core`] — the paper's contribution: deletion propagation (view- and
 //!   source-side-effect minimization), annotation placement, the dichotomy
 //!   dispatcher, and the executable hardness reductions with the paper's
-//!   Figures 1–3.
+//!   Figures 1–3;
+//! * [`durability`] — the checksummed write-ahead commit log, snapshots
+//!   with a durable view catalog, and crash recovery for the served state.
 //!
 //! ## Quickstart
 //!
@@ -48,6 +50,7 @@
 #![forbid(unsafe_code)]
 
 pub use dap_core as core;
+pub use dap_durability as durability;
 pub use dap_flow as flow;
 pub use dap_provenance as provenance;
 pub use dap_relalg as relalg;
@@ -69,6 +72,10 @@ pub mod prelude {
         paper_table, place_annotation, place_annotations, place_annotations_with, Complexity,
         CoreError, Deletion, DeletionContext, DeletionInstance, IlpObjective, IlpOptions,
         IlpRequest, Placement, PlacementIndex, Problem, SolverKind, WitnessIndex,
+    };
+    pub use dap_durability::{
+        recover, recover_with, CommitLog, DurableOptions, DurableState, FaultyLog, FsyncMode,
+        LogFile, LogRecord, MemLog, RecoveryReport, Snapshot, StdLogFile,
     };
     pub use dap_provenance::{
         lineage, minimal_witnesses, participating_tids, propagate, propagate_all, provenance_exprs,
