@@ -228,7 +228,10 @@ impl DeletionContext {
         entries: Vec<(&Tuple, &WitnessesAnn)>,
         pool: ParPool,
     ) -> Skeleton {
-        // Parallel: per-tuple witness clones and touch-set flattening.
+        // Parallel: per-tuple witness clones and touch-set flattening. A
+        // Tid clone is a name-refcount bump, and the interned name layout
+        // makes the BTreeSet's Tid compares pointer-shortcut integer work
+        // rather than byte walks.
         let prepared: Vec<(Tuple, Vec<Witness>, BTreeSet<Tid>)> =
             pool.par_ranges(entries.len(), 64, |range| {
                 range
@@ -241,10 +244,13 @@ impl DeletionContext {
             });
         drop(entries);
         // Sequential: skeleton and why-provenance assembly in view order.
+        // `touching` is sized by the total touch count (an upper bound on
+        // its distinct tids) so the build never rehashes mid-loop.
+        let touch_total: usize = prepared.iter().map(|(_, _, touch)| touch.len()).sum();
         let mut tuples = Vec::with_capacity(prepared.len());
         let mut index_of = HashMap::with_capacity(prepared.len());
         let mut touch_of = Vec::with_capacity(prepared.len());
-        let mut touching: HashMap<Tid, Vec<usize>> = HashMap::new();
+        let mut touching: HashMap<Tid, Vec<usize>> = HashMap::with_capacity(touch_total);
         let mut why_rows = Vec::with_capacity(prepared.len());
         for (i, (t, ws, touch)) in prepared.into_iter().enumerate() {
             tuples.push(t.clone());

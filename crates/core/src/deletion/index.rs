@@ -79,6 +79,8 @@ pub struct WitnessIndex {
 #[derive(Clone, Debug)]
 struct RetireSupport {
     /// Frontier tuple → its id in `tuples` (the patching entry point).
+    /// With interned string values a tuple hashes as a few integer ids,
+    /// so this map costs no byte-walking on the patch path.
     tuple_ids: HashMap<Tuple, usize>,
     /// witness id → member slots (the transpose of `occurrences`; emptied
     /// per witness when its owner is retired).
@@ -105,6 +107,8 @@ impl WitnessIndex {
         candidates: impl IntoIterator<Item = &'a Tuple>,
     ) -> WitnessIndex {
         let tids = inst.support.clone();
+        // Tid compares pointer-shortcut on interned relation names, so the
+        // per-member binary search is integer work, not byte walks.
         let slot_of = |tid: &Tid| tids.binary_search(tid).ok();
         let mut occurrences: Vec<Vec<usize>> = vec![Vec::new(); tids.len()];
         let mut witness_owner = Vec::new();

@@ -21,6 +21,12 @@ pub fn minimize(mut witnesses: Vec<Witness>) -> Vec<Witness> {
     let mut minimal: Vec<Witness> = Vec::with_capacity(witnesses.len());
     'outer: for w in witnesses {
         for kept in &minimal {
+            // Distinct same-size sets (dedup removed equals) can't be
+            // subsets — only strictly smaller kept sets need the check.
+            // Skipping them makes the common all-singletons case linear.
+            if kept.len() >= w.len() {
+                break;
+            }
             if kept.is_subset(&w) {
                 continue 'outer;
             }

@@ -1,0 +1,239 @@
+//! Global string interning for [`crate::value::Value`].
+//!
+//! Every string constant in the system — fixture literals, CLI tuple
+//! arguments, snapshot recovery, parser output — funnels through
+//! [`Value::str`](crate::value::Value::str), which used to allocate a fresh
+//! `Arc<str>` per call. At serving scale the same handful of constants
+//! ("bob", "staff", …) is materialized millions of times, and worse, every
+//! hash of a `Value` re-walked the string bytes. The interner fixes both:
+//! each distinct string is stored **once** in a process-global dictionary
+//! and handed out as a [`Sym`] — a dense `u32` id plus a shared handle to
+//! the canonical text. Equality and hashing are a single integer compare on
+//! the id; ordering still follows the text (with an id-equality shortcut),
+//! so relations keep their deterministic sort order.
+//!
+//! The id space is what makes the hot-path fingerprinting in
+//! [`crate::fingerprint`] possible: a join key over interned strings packs
+//! into one `u64` word per value instead of a hashed byte walk.
+//!
+//! ## Invariant
+//!
+//! All [`Sym`]s are constructed by the single global interner, so
+//! *id equality ⇔ text equality*. `Sym`'s `Eq`/`Hash` (by id) and `Ord`
+//! (by text) are mutually consistent because of exactly this invariant;
+//! the constructor is private to enforce it.
+
+use std::borrow::Borrow;
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// An interned string: a dense `u32` id into the process-global dictionary
+/// plus a shared handle to the canonical text. Cheap to clone, `O(1)` to
+/// compare and hash (by id), ordered by text content.
+#[derive(Clone)]
+pub struct Sym {
+    id: u32,
+    text: Arc<str>,
+}
+
+impl Sym {
+    /// The dense dictionary id. Stable for the lifetime of the process
+    /// (ids are assigned in first-interning order and never reused); the
+    /// fingerprint layer packs this into join-key words.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// The canonical text.
+    pub fn as_str(&self) -> &str {
+        &self.text
+    }
+
+    /// A shared handle to the canonical text — what name types and other
+    /// `Arc<str>`-shaped consumers store so repeated constants share one
+    /// allocation.
+    pub fn to_arc(&self) -> Arc<str> {
+        self.text.clone()
+    }
+}
+
+impl PartialEq for Sym {
+    fn eq(&self, other: &Sym) -> bool {
+        // Sound because all Syms come from the one global interner:
+        // same text ⇔ same id.
+        self.id == other.id
+    }
+}
+
+impl Eq for Sym {}
+
+impl Hash for Sym {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.id.hash(state);
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.id == other.id {
+            std::cmp::Ordering::Equal
+        } else {
+            self.text.cmp(&other.text)
+        }
+    }
+}
+
+impl Deref for Sym {
+    type Target = str;
+
+    fn deref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl Borrow<str> for Sym {
+    fn borrow(&self) -> &str {
+        &self.text
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        &self.text
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", &*self.text)
+    }
+}
+
+/// The dictionary: text → id plus the id → text column. Reads (the common
+/// case once a workload's constants are seen) take the shared lock only.
+#[derive(Default)]
+struct Interner {
+    ids: HashMap<Arc<str>, u32>,
+    texts: Vec<Arc<str>>,
+}
+
+fn global() -> &'static RwLock<Interner> {
+    static GLOBAL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    GLOBAL.get_or_init(|| RwLock::new(Interner::default()))
+}
+
+/// Intern `s`, returning its [`Sym`]. The first interning of a string
+/// allocates once; every later call for the same text is a read-locked
+/// lookup returning a clone of the canonical handle.
+pub fn intern(s: &str) -> Sym {
+    {
+        let inner = global().read().expect("interner lock");
+        if let Some(&id) = inner.ids.get(s) {
+            return Sym {
+                id,
+                text: inner.texts[id as usize].clone(),
+            };
+        }
+    }
+    let mut inner = global().write().expect("interner lock");
+    // Re-check: another thread may have interned between the locks.
+    if let Some(&id) = inner.ids.get(s) {
+        return Sym {
+            id,
+            text: inner.texts[id as usize].clone(),
+        };
+    }
+    let id = u32::try_from(inner.texts.len()).expect("interner exhausted the u32 id space");
+    let text: Arc<str> = Arc::from(s);
+    inner.texts.push(text.clone());
+    inner.ids.insert(text.clone(), id);
+    Sym { id, text }
+}
+
+/// Number of distinct strings interned so far (dictionary size). Useful
+/// for capacity reporting and the allocation-budget guards.
+pub fn interned_count() -> usize {
+    global().read().expect("interner lock").texts.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn same_text_same_id_and_shared_allocation() {
+        let a = intern("intern-test-shared");
+        let b = intern("intern-test-shared");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert!(Arc::ptr_eq(&a.text, &b.text), "one allocation per text");
+    }
+
+    #[test]
+    fn distinct_texts_distinct_ids() {
+        let a = intern("intern-test-a");
+        let b = intern("intern-test-b");
+        assert_ne!(a, b);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn ordering_follows_text_not_id() {
+        // Interning order is b-then-a, so ids are "backwards" w.r.t. text.
+        let b = intern("intern-test-ord-b");
+        let a = intern("intern-test-ord-a");
+        assert!(a < b);
+        assert!(b > a);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+    }
+
+    #[test]
+    fn hash_agrees_with_eq() {
+        let a = intern("intern-test-hash");
+        let b = intern("intern-test-hash");
+        assert_eq!(hash_of(&a), hash_of(&b));
+    }
+
+    #[test]
+    fn str_views_expose_the_text() {
+        let s = intern("intern-test-view");
+        assert_eq!(s.as_str(), "intern-test-view");
+        assert_eq!(&*s, "intern-test-view");
+        assert_eq!(s.to_string(), "intern-test-view");
+        assert_eq!(format!("{s:?}"), "\"intern-test-view\"");
+        assert_eq!(s.len(), 16); // Deref<Target = str>
+    }
+
+    #[test]
+    fn count_grows_monotonically() {
+        let before = interned_count();
+        let first = intern("intern-test-count-unique-string");
+        assert!(interned_count() > before);
+        // Re-interning adds nothing: the id is stable (other tests may
+        // intern concurrently, so only id stability is assertable here).
+        let second = intern("intern-test-count-unique-string");
+        assert_eq!(first.id(), second.id());
+    }
+}

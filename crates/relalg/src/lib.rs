@@ -27,11 +27,18 @@
 //!   [`PlanRegistry::delete_sources`] pushes each deletion through the
 //!   DAG once, fanning per-query [`ViewDelta`]s out to every registered
 //!   query;
-//! * the **scoped-thread parallel runtime** ([`par`]): a dependency-free
+//! * the **persistent parallel runtime** ([`par`]): a dependency-free
 //!   [`ParPool`] (thread count from `DAP_THREADS` or the hardware) whose
 //!   deterministic sharding helpers parallelize plan construction here and
-//!   the batched deletion dispatchers in `dap-core`, with one thread
-//!   degrading to the exact sequential code paths;
+//!   the batched deletion dispatchers in `dap-core` over a process-global
+//!   set of parked worker threads, with one thread degrading to the exact
+//!   sequential code paths;
+//! * the **hot-path data layout** ([`mod@intern`], [`fingerprint`]): globally
+//!   interned string values ([`Sym`] — id-compare equality, one allocation
+//!   per distinct constant) and fixed-width `u64` join-key fingerprints
+//!   with a collision-checked fallback, selectable at runtime
+//!   (`DAP_LAYOUT` / [`force_layout`]) with bit-identical outputs in
+//!   every mode;
 //! * query classification ([`OpFootprint`], [`detect_chain_join`]) used by
 //!   the paper's dichotomy theorems;
 //! * the **union normal form** rewriter ([`normalize()`](normalize::normalize), Theorem 3.1 of the
@@ -52,7 +59,7 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 
 pub mod classify;
 pub mod database;
@@ -60,8 +67,14 @@ pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod fd;
+pub mod fingerprint;
+pub mod intern;
 pub mod name;
 pub mod normalize;
+// The parallel runtime is the one module allowed `unsafe`: its persistent
+// workers borrow the dispatching caller's stack through an erased pointer
+// (soundness argument in the module docs).
+#[allow(unsafe_code)]
 pub mod par;
 pub mod parser;
 pub mod plan;
@@ -80,6 +93,8 @@ pub use engine::{eval_annotated, Annotated, Annotation, JoinLayout, Unit};
 pub use error::{RelalgError, Result};
 pub use eval::{eval, ResultSet};
 pub use fd::{closure, is_superkey, projection_determines_join, Fd, FdCatalog};
+pub use fingerprint::{force_layout, LayoutMode};
+pub use intern::{intern, interned_count, Sym};
 pub use name::{Attr, RelName};
 pub use normalize::{is_normal_form, normalize, Branch, NormalForm, RenamedScan};
 pub use par::ParPool;

@@ -1,61 +1,294 @@
-//! The **scoped-thread parallel runtime** — a small, dependency-free pool
-//! abstraction on [`std::thread::scope`] shared by every hot path that
-//! shards cleanly.
+//! The **persistent parallel runtime** — a small, dependency-free pool of
+//! long-lived worker threads shared by every hot path that shards cleanly.
 //!
-//! The repository's two serving workloads — annotated plan construction
-//! ([`crate::plan::MaterializedPlan::build_with`]) and batched deletion
-//! solving (`dap-core`'s dichotomy dispatchers) — are embarrassingly
-//! parallel at well-defined seams: operator subtrees are independent, join
-//! build/probe shards by key hash, ⊕-bucket normalization is per-bucket,
-//! and batched targets solve over per-thread stamped indexes. [`ParPool`]
-//! provides exactly the helpers those seams need and nothing more:
+//! The repository's serving workloads — annotated plan construction
+//! ([`crate::plan::MaterializedPlan::build_with`]), the registry's
+//! level-parallel delta push, and batched deletion solving (`dap-core`'s
+//! dichotomy dispatchers) — are embarrassingly parallel at well-defined
+//! seams. [`ParPool`] provides exactly the helpers those seams need:
 //!
-//! * [`ParPool::par_ranges`] — *static* contiguous sharding of an index
-//!   space, results concatenated in range order (for uniform per-item
-//!   work: scans, probes, bucket normalization);
-//! * [`ParPool::par_indices`] / [`ParPool::par_map`] — *dynamic*
+//! * [`ParPool::par_ranges`] — contiguous sharding of an index space,
+//!   results concatenated in range order (for uniform per-item work:
+//!   scans, probes, bucket normalization);
+//! * [`ParPool::par_indices`] / [`ParPool::par_map`] — dynamic
 //!   work-stealing over an index space, results restored to index order
 //!   (for skewed per-item work: solver targets, branch-and-bound
 //!   branches);
-//! * [`ParPool::par_map_owned`] — static sharding that moves values
-//!   through the mapper (bucket normalization without a clone);
+//! * [`ParPool::par_map_owned`] — chunked mapping over an owned vector
+//!   (bucket normalization without a clone);
+//! * [`ParPool::par_tasks`] — a handful of coarse independent tasks with
+//!   no grain floor (one DAG node's delta propagation each);
 //! * [`ParPool::join2`] — two independent closures in parallel (operator
 //!   subtree builds).
 //!
+//! ## Persistent workers
+//!
+//! Earlier revisions spawned scoped threads **per call** — at serving
+//! scale (a registry push per deletion, thousands of turns per second)
+//! thread spawn/join latency dominated the sharded work. The runtime now
+//! keeps a process-global set of detached helper threads that **park on a
+//! condvar between calls**. A dispatching call publishes one `Job` —
+//! an erased pointer to its claim loop plus item/entrant accounting —
+//! enqueues up to `threads - 1` helper tickets, and then *always runs the
+//! claim loop itself*: with every helper busy the caller drains all items
+//! inline (so nested dispatches can never deadlock), and idle helpers that
+//! pick the ticket up steal items from the shared atomic counter. The
+//! caller returns only after every item is finished **and** every helper
+//! has left the job, so borrowing the caller's stack from worker threads
+//! is sound; tickets that outlive their job in the queue are rejected by
+//! the job's closed bit without touching the stale pointer.
+//!
+//! [`ParPool`] itself stays a **copyable sharding policy** (how many ways
+//! to split), not a handle to live threads: pools of any size share the
+//! one process-wide worker set, which grows on demand up to the largest
+//! requested size (capped at `MAX_HELPERS`) and is never torn down.
+//!
 //! ## Determinism
 //!
-//! Every helper returns results in the **same order the sequential loop
-//! would produce them**, so parallel callers are bit-identical to their
-//! sequential counterparts as long as the per-item work is itself
-//! deterministic (all of ours is). A pool with one thread never spawns:
-//! each helper degrades to the exact sequential loop, which is what the
-//! `DAP_THREADS=1` escape hatch and the differential property tests in
-//! `tests/prop_parallel.rs` rely on.
+//! Every helper writes each item's result into its own slot, so results
+//! come back in the **same order the sequential loop would produce them**
+//! regardless of which thread claimed what — parallel callers are
+//! bit-identical to their sequential counterparts as long as the per-item
+//! work is deterministic (all of ours is). A pool with one thread never
+//! touches the worker set: each helper degrades to the exact sequential
+//! loop, which is what the `DAP_THREADS=1` escape hatch and the
+//! differential property tests in `tests/prop_parallel.rs` rely on.
 //!
 //! ## Sizing
 //!
 //! [`ParPool::auto`] (and the process-wide [`ParPool::global`]) default to
 //! [`std::thread::available_parallelism`], overridable with the
-//! `DAP_THREADS` environment variable (`0` or unset means auto). Threads
-//! are scoped — spawned per call and joined before the helper returns — so
-//! the pool is a *policy* (how many ways to shard), not a set of live
-//! threads; there is nothing to shut down and no queue to poison.
+//! `DAP_THREADS` environment variable (`0` or unset means auto).
+//!
+//! ## Safety
+//!
+//! This is the one module in the crate that uses `unsafe` (the crate is
+//! otherwise `#![deny(unsafe_code)]`): dispatch erases the lifetime of a
+//! borrowed closure into a raw pointer so parked workers can run it. The
+//! invariant making that sound is stated above and enforced by
+//! `dispatch`'s two-phase wait: the pointee outlives every dereference
+//! because the dispatching frame cannot return while items remain or any
+//! worker is inside the job.
 
+use std::collections::VecDeque;
 use std::ops::Range;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread;
 
 /// Sharding policy for the parallel helpers: how many worker threads each
-/// call may use. Copyable and stateless — see the module docs.
+/// call may use. Copyable and stateless — see the module docs; the live
+/// threads are process-global and shared by every pool.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ParPool {
     threads: usize,
 }
 
-/// Fewest items per shard before a helper bothers spawning: below this the
-/// spawn/join overhead dominates any conceivable per-item win.
+/// Fewest items per shard before a helper bothers going parallel: below
+/// this the dispatch overhead dominates any conceivable per-item win.
 const MIN_ITEMS_PER_SHARD: usize = 16;
+
+/// Hard ceiling on persistent helper threads — a backstop against absurd
+/// `DAP_THREADS` values, far above any real hardware this serves on.
+const MAX_HELPERS: usize = 96;
+
+/// One parallel dispatch in flight. Workers and the dispatching caller
+/// meet here: `work` points at the caller's claim loop, `remaining`
+/// counts unfinished items, `state` packs the active-entrant count with a
+/// closed bit, and the gate/condvar pair wakes the caller when either
+/// reaches zero.
+struct Job {
+    /// Erased pointer to the dispatcher's claim loop. Only dereferenced
+    /// between a successful `try_enter` and the matching `exit`; the
+    /// dispatching frame waits for all entrants to leave before returning,
+    /// so the pointee is alive for every dereference.
+    work: *const (dyn Fn(&Job) + Sync),
+    /// Items not yet finished.
+    remaining: AtomicUsize,
+    /// Low bits: threads currently inside `work`. High bit: closed — set
+    /// by the dispatcher once all items are done; entry is refused after.
+    state: AtomicUsize,
+    poisoned: AtomicBool,
+    gate: Mutex<()>,
+    cv: Condvar,
+}
+
+/// SAFETY: `work` is only touched under the entrant protocol described on
+/// the field; the pointee is `Sync`, so calling it from several threads at
+/// once is fine. All other fields are `Send + Sync` already.
+#[allow(unsafe_code)]
+unsafe impl Send for Job {}
+#[allow(unsafe_code)]
+unsafe impl Sync for Job {}
+
+const CLOSED: usize = 1 << (usize::BITS - 1);
+
+impl Job {
+    fn new(items: usize, work: *const (dyn Fn(&Job) + Sync)) -> Job {
+        Job {
+            work,
+            remaining: AtomicUsize::new(items),
+            state: AtomicUsize::new(0),
+            poisoned: AtomicBool::new(false),
+            gate: Mutex::new(()),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Register as an entrant unless the job is already closed.
+    fn try_enter(&self) -> bool {
+        self.state
+            .fetch_update(Ordering::Acquire, Ordering::Relaxed, |s| {
+                if s & CLOSED != 0 {
+                    None
+                } else {
+                    Some(s + 1)
+                }
+            })
+            .is_ok()
+    }
+
+    /// Leave the job, waking the dispatcher when the last entrant is out.
+    fn exit(&self) {
+        let prev = self.state.fetch_sub(1, Ordering::Release);
+        if prev & !CLOSED == 1 {
+            let _g = self.gate.lock().expect("job gate");
+            self.cv.notify_all();
+        }
+    }
+
+    /// Mark one item finished, waking the dispatcher on the last one.
+    fn item_done(&self) {
+        if self.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            let _g = self.gate.lock().expect("job gate");
+            self.cv.notify_all();
+        }
+    }
+
+    fn poison(&self) {
+        self.poisoned.store(true, Ordering::Relaxed);
+    }
+}
+
+/// The process-global persistent worker set: a ticket queue plus the
+/// number of helper threads spawned so far. Helpers park on `cv` between
+/// jobs; they are detached and live for the rest of the process.
+struct WorkerSet {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    cv: Condvar,
+    spawned: AtomicUsize,
+}
+
+fn workers() -> &'static WorkerSet {
+    static WORKERS: OnceLock<WorkerSet> = OnceLock::new();
+    WORKERS.get_or_init(|| WorkerSet {
+        queue: Mutex::new(VecDeque::new()),
+        cv: Condvar::new(),
+        spawned: AtomicUsize::new(0),
+    })
+}
+
+/// Grow the worker set to at least `want` helpers (capped). Lazy: the
+/// first parallel dispatch pays the spawns once; afterwards workers are
+/// parked and reused.
+fn ensure_spawned(set: &'static WorkerSet, want: usize) {
+    let want = want.min(MAX_HELPERS);
+    loop {
+        let cur = set.spawned.load(Ordering::Relaxed);
+        if cur >= want {
+            return;
+        }
+        if set
+            .spawned
+            .compare_exchange(cur, cur + 1, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            continue;
+        }
+        let spawned = thread::Builder::new()
+            .name(format!("dap-par-{cur}"))
+            .spawn(move || helper_loop(set))
+            .is_ok();
+        if !spawned {
+            // Could not spawn (resource limits): give the slot back and
+            // run with fewer helpers — the dispatch protocol tolerates
+            // helpers that never show up.
+            set.spawned.fetch_sub(1, Ordering::Relaxed);
+            return;
+        }
+    }
+}
+
+fn helper_loop(set: &'static WorkerSet) {
+    loop {
+        let job = {
+            let mut q = set.queue.lock().expect("worker queue");
+            loop {
+                if let Some(job) = q.pop_front() {
+                    break job;
+                }
+                q = set.cv.wait(q).expect("worker queue");
+            }
+        };
+        if job.try_enter() {
+            let work = job.work;
+            // SAFETY: `try_enter` succeeded, so the job is not closed and
+            // the dispatching frame is still inside `dispatch`, keeping
+            // the pointee alive until we `exit()` below (it waits for the
+            // entrant count to drain after closing).
+            #[allow(unsafe_code)]
+            let work = unsafe { &*work };
+            work(&job);
+            job.exit();
+        }
+        // A ticket for an already-closed job is stale: drop it untouched.
+    }
+}
+
+/// Publish `work` to up to `helpers` parked workers, run it inline, and
+/// wait until all `items` are finished and every helper has left. Returns
+/// whether any item panicked.
+fn dispatch(helpers: usize, items: usize, work: &(dyn Fn(&Job) + Sync)) -> bool {
+    // SAFETY (lifetime erasure): the raw pointer is dereferenced only by
+    // entrants, and this frame does not return until the entrant count is
+    // zero after closing — so every dereference happens while `work`'s
+    // referent is alive. Stale queue tickets fail `try_enter` and never
+    // touch the pointer.
+    #[allow(unsafe_code)]
+    let erased = unsafe {
+        std::mem::transmute::<&(dyn Fn(&Job) + Sync), *const (dyn Fn(&Job) + Sync)>(work)
+    };
+    let job = Arc::new(Job::new(items, erased));
+    if helpers > 0 {
+        let set = workers();
+        ensure_spawned(set, helpers);
+        {
+            let mut q = set.queue.lock().expect("worker queue");
+            for _ in 0..helpers {
+                q.push_back(job.clone());
+            }
+        }
+        set.cv.notify_all();
+    }
+    // The dispatcher always participates: every item gets drained even if
+    // no helper is free, and a nested dispatch can never deadlock.
+    let entered = job.try_enter();
+    debug_assert!(entered, "job cannot be closed before the dispatcher ran");
+    work(&job);
+    job.exit();
+    {
+        let mut g = job.gate.lock().expect("job gate");
+        while job.remaining.load(Ordering::Acquire) != 0 {
+            g = job.cv.wait(g).expect("job gate");
+        }
+        job.state.fetch_or(CLOSED, Ordering::AcqRel);
+        while job.state.load(Ordering::Acquire) & !CLOSED != 0 {
+            g = job.cv.wait(g).expect("job gate");
+        }
+    }
+    job.poisoned.load(Ordering::Relaxed)
+}
 
 impl ParPool {
     /// A pool using exactly `threads` workers (clamped to at least 1).
@@ -66,7 +299,7 @@ impl ParPool {
     }
 
     /// The single-threaded pool: every helper runs its exact sequential
-    /// code path inline, spawning nothing.
+    /// code path inline, never touching the worker set.
     pub fn sequential() -> ParPool {
         ParPool::new(1)
     }
@@ -114,6 +347,44 @@ impl ParPool {
         self.threads == 1
     }
 
+    /// The core primitive behind every helper: run `f(i)` for all
+    /// `i in 0..n` with dynamic claiming over the persistent workers,
+    /// each result written to its own slot — results in index order.
+    fn run_indexed<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        if self.threads == 1 || n <= 1 {
+            return (0..n).map(f).collect();
+        }
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let work = |job: &Job| loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            if i >= n {
+                break;
+            }
+            match catch_unwind(AssertUnwindSafe(|| f(i))) {
+                Ok(r) => *slots[i].lock().expect("result slot") = Some(r),
+                Err(_) => job.poison(),
+            }
+            job.item_done();
+        };
+        let poisoned = dispatch(self.threads.min(n) - 1, n, &work);
+        if poisoned {
+            panic!("parallel worker panicked");
+        }
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("result slot")
+                    .expect("every index produced a result")
+            })
+            .collect()
+    }
+
     /// Split `0..n` into contiguous ranges, run `f` on each range in
     /// parallel, and concatenate the per-range outputs **in range order**
     /// — exactly the output a single `f(0..n)` call would produce when `f`
@@ -132,16 +403,7 @@ impl ParPool {
         let ranges: Vec<Range<usize>> = (0..shards)
             .map(|s| (s * n / shards)..((s + 1) * n / shards))
             .collect();
-        let mut chunks: Vec<Vec<R>> = thread::scope(|scope| {
-            let handles: Vec<_> = ranges
-                .into_iter()
-                .map(|range| scope.spawn(|| f(range)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
+        let mut chunks: Vec<Vec<R>> = self.run_indexed(shards, |s| f(ranges[s].clone()));
         let mut out = Vec::with_capacity(chunks.iter().map(Vec::len).sum());
         for chunk in &mut chunks {
             out.append(chunk);
@@ -159,35 +421,7 @@ impl ParPool {
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        if self.threads == 1 || n <= 1 {
-            return (0..n).map(f).collect();
-        }
-        let next = AtomicUsize::new(0);
-        let workers = self.threads.min(n);
-        let per_thread: Vec<Vec<(usize, R)>> = thread::scope(|scope| {
-            let handles: Vec<_> = (0..workers)
-                .map(|_| {
-                    scope.spawn(|| {
-                        let mut local = Vec::new();
-                        loop {
-                            let i = next.fetch_add(1, Ordering::Relaxed);
-                            if i >= n {
-                                break;
-                            }
-                            local.push((i, f(i)));
-                        }
-                        local
-                    })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
-        let mut tagged: Vec<(usize, R)> = per_thread.into_iter().flatten().collect();
-        tagged.sort_unstable_by_key(|&(i, _)| i);
-        tagged.into_iter().map(|(_, r)| r).collect()
+        self.run_indexed(n, f)
     }
 
     /// [`ParPool::par_indices`] over a slice: `f` applied to every item,
@@ -198,11 +432,11 @@ impl ParPool {
         R: Send,
         F: Fn(&T) -> R + Sync,
     {
-        self.par_indices(items.len(), |i| f(&items[i]))
+        self.run_indexed(items.len(), |i| f(&items[i]))
     }
 
-    /// Map `f` over an owned vector with static sharding (each worker owns
-    /// its chunk — no clones), results in input order.
+    /// Map `f` over an owned vector, each worker owning a contiguous chunk
+    /// (no clones), results in input order.
     pub fn par_map_owned<T, R, F>(&self, items: Vec<T>, grain: usize, f: F) -> Vec<R>
     where
         T: Send,
@@ -217,21 +451,19 @@ impl ParPool {
         }
         // Split into owned chunks, front to back.
         let mut rest = items;
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(shards);
+        let mut chunks: Vec<Mutex<Option<Vec<T>>>> = Vec::with_capacity(shards);
         for s in 0..shards {
             let remaining_shards = shards - s;
             let take = rest.len().div_ceil(remaining_shards);
             let tail = rest.split_off(take);
-            chunks.push(std::mem::replace(&mut rest, tail));
+            chunks.push(Mutex::new(Some(std::mem::replace(&mut rest, tail))));
         }
-        let mut mapped: Vec<Vec<R>> = thread::scope(|scope| {
-            let handles: Vec<_> = chunks
+        let mut mapped: Vec<Vec<R>> = self.run_indexed(shards, |s| {
+            let chunk = chunks[s].lock().expect("chunk slot").take();
+            chunk
+                .expect("each chunk is claimed exactly once")
                 .into_iter()
-                .map(|chunk| scope.spawn(|| chunk.into_iter().map(&f).collect::<Vec<R>>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
+                .map(&f)
                 .collect()
         });
         let mut out = Vec::with_capacity(n);
@@ -241,13 +473,13 @@ impl ParPool {
         out
     }
 
-    /// Run a handful of **coarse, independent tasks** with static sharding
-    /// and *no grain floor* — unlike [`ParPool::par_map_owned`], which
-    /// refuses to spawn below a minimum item count per shard.
-    /// Each worker owns a contiguous chunk of tasks; results come back in
-    /// input order. Use when each task is itself substantial (one DAG
+    /// Run a handful of **coarse, independent tasks** with *no grain
+    /// floor* — unlike [`ParPool::par_map_owned`], which refuses to go
+    /// parallel below a minimum item count per shard. Tasks are claimed
+    /// dynamically (one at a time, so skew balances) and results come back
+    /// in input order. Use when each task is itself substantial (one DAG
     /// node's delta propagation, one operator subtree) so that even two or
-    /// three tasks are worth a thread each; the fine-grained helpers are
+    /// three tasks are worth dispatching; the fine-grained helpers are
     /// cheaper for per-row work.
     pub fn par_tasks<T, R, F>(&self, tasks: Vec<T>, f: F) -> Vec<R>
     where
@@ -256,39 +488,22 @@ impl ParPool {
         F: Fn(T) -> R + Sync,
     {
         let n = tasks.len();
-        let shards = self.threads.min(n);
-        if shards <= 1 {
+        if self.threads == 1 || n <= 1 {
             return tasks.into_iter().map(f).collect();
         }
-        // Split into owned chunks, front to back (chunk sizes differ by at
-        // most one, so no worker idles while another holds two tasks).
-        let mut rest = tasks;
-        let mut chunks: Vec<Vec<T>> = Vec::with_capacity(shards);
-        for s in 0..shards {
-            let remaining_shards = shards - s;
-            let take = rest.len().div_ceil(remaining_shards);
-            let tail = rest.split_off(take);
-            chunks.push(std::mem::replace(&mut rest, tail));
-        }
-        let mut mapped: Vec<Vec<R>> = thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| scope.spawn(|| chunk.into_iter().map(&f).collect::<Vec<R>>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel worker panicked"))
-                .collect()
-        });
-        let mut out = Vec::with_capacity(n);
-        for chunk in &mut mapped {
-            out.append(chunk);
-        }
-        out
+        let cells: Vec<Mutex<Option<T>>> = tasks.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        self.run_indexed(n, |i| {
+            let task = cells[i]
+                .lock()
+                .expect("task slot")
+                .take()
+                .expect("each task is claimed exactly once");
+            f(task)
+        })
     }
 
     /// Run two independent closures, in parallel when the pool has more
-    /// than one thread (the second runs on the calling thread).
+    /// than one thread.
     pub fn join2<A, B, FA, FB>(&self, fa: FA, fb: FB) -> (A, B)
     where
         A: Send,
@@ -299,11 +514,25 @@ impl ParPool {
         if self.threads == 1 {
             return (fa(), fb());
         }
-        thread::scope(|scope| {
-            let ha = scope.spawn(fa);
-            let b = fb();
-            (ha.join().expect("parallel worker panicked"), b)
-        })
+        enum Either<A, B> {
+            A(A),
+            B(B),
+        }
+        let ca = Mutex::new(Some(fa));
+        let cb = Mutex::new(Some(fb));
+        let mut out = self.run_indexed(2, |i| {
+            if i == 0 {
+                Either::A((ca.lock().expect("closure slot").take().expect("once"))())
+            } else {
+                Either::B((cb.lock().expect("closure slot").take().expect("once"))())
+            }
+        });
+        let b = out.pop();
+        let a = out.pop();
+        match (a, b) {
+            (Some(Either::A(a)), Some(Either::B(b))) => (a, b),
+            _ => unreachable!("run_indexed returns slot 0 then slot 1"),
+        }
     }
 }
 
@@ -358,7 +587,7 @@ mod tests {
     #[test]
     fn par_tasks_preserves_input_order_below_the_grain_floor() {
         // Two tasks is below MIN_ITEMS_PER_SHARD — par_map_owned would run
-        // them inline, par_tasks spawns anyway.
+        // them inline, par_tasks dispatches anyway.
         for threads in [1, 2, 3, 8] {
             let pool = ParPool::new(threads);
             for n in [0, 1, 2, 3, 7] {
@@ -391,5 +620,51 @@ mod tests {
             .par_ranges(0, 1, |r| r.collect::<Vec<usize>>())
             .is_empty());
         assert!(pool.par_map_owned(Vec::<u8>::new(), 1, |b| b).is_empty());
+    }
+
+    #[test]
+    fn workers_are_reused_across_many_dispatches() {
+        // Thousands of back-to-back dispatches on one pool: the persistent
+        // set must serve them all without unbounded thread growth (the
+        // spawn counter is monotone and capped).
+        let pool = ParPool::new(4);
+        for round in 0..2_000 {
+            let out = pool.par_indices(8, |i| i + round);
+            assert_eq!(out, (0..8).map(|i| i + round).collect::<Vec<_>>());
+        }
+        assert!(workers().spawned.load(Ordering::Relaxed) <= MAX_HELPERS);
+    }
+
+    #[test]
+    fn nested_dispatches_complete() {
+        // A parallel call whose items themselves dispatch in parallel:
+        // the caller-participates rule makes this deadlock-free even when
+        // every helper is busy.
+        let pool = ParPool::new(4);
+        let out = pool.par_indices(6, |i| {
+            let inner = ParPool::new(2).par_indices(5, move |j| i * 10 + j);
+            inner.into_iter().sum::<usize>()
+        });
+        let expect: Vec<usize> = (0..6)
+            .map(|i| (0..5).map(|j| i * 10 + j).sum::<usize>())
+            .collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn panics_propagate_to_the_dispatcher() {
+        let pool = ParPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.par_indices(64, |i| {
+                if i == 33 {
+                    panic!("boom");
+                }
+                i
+            })
+        }));
+        assert!(result.is_err(), "dispatcher observes the worker panic");
+        // The pool is still usable afterwards.
+        let out = pool.par_indices(4, |i| i);
+        assert_eq!(out, vec![0, 1, 2, 3]);
     }
 }

@@ -100,14 +100,13 @@
 use crate::database::{Database, Tid};
 use crate::engine::{Annotated, Annotation, JoinLayout};
 use crate::error::Result;
+use crate::fingerprint::{Bucket, ContentKey, FpMap, LayoutMode, TupleSlotMap};
 use crate::name::{Attr, RelName};
 use crate::par::ParPool;
 use crate::query::Query;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::typecheck::output_schema;
-use crate::value::Value;
-use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -236,12 +235,17 @@ impl<A> Node<A> {
 pub(crate) struct NodeDelta {
     pub(crate) removed: Vec<usize>,
     pub(crate) changed: Vec<usize>,
+    /// Affected-bucket scratch for [`propagate_node`], kept here so
+    /// steady-state pushes reuse its allocation instead of growing a fresh
+    /// `Vec` per node per turn. Always left empty between pushes.
+    affected: Vec<usize>,
 }
 
 impl NodeDelta {
     pub(crate) fn clear(&mut self) {
         self.removed.clear();
         self.changed.clear();
+        self.affected.clear();
     }
 
     pub(crate) fn is_empty(&self) -> bool {
@@ -264,8 +268,10 @@ pub struct MaterializedPlan<A> {
     /// Root slots in sorted-tuple order (deletion never reorders; reads
     /// filter dead slots).
     root_order: Vec<usize>,
-    /// Root tuple → slot (lookups check liveness).
-    root_index: HashMap<Arc<Tuple>, usize>,
+    /// Root tuple → slot (lookups check liveness). Fingerprint-keyed with
+    /// collision-checked fallback against the root rows — see
+    /// [`crate::fingerprint::TupleSlotMap`].
+    root_index: TupleSlotMap,
     /// Scratch deltas, one per node, reused across calls.
     deltas: Vec<NodeDelta>,
 }
@@ -295,12 +301,10 @@ impl<A: Annotation> MaterializedPlan<A> {
         let rows = &builder.nodes[root].rows;
         let mut root_order: Vec<usize> = (0..rows.tuples.len()).collect();
         root_order.sort_by(|&i, &j| rows.tuples[i].cmp(&rows.tuples[j]));
-        let root_index = rows
-            .tuples
-            .iter()
-            .enumerate()
-            .map(|(slot, t)| (t.clone(), slot))
-            .collect();
+        let mut root_index = TupleSlotMap::with_capacity(rows.tuples.len());
+        for (slot, t) in rows.tuples.iter().enumerate() {
+            root_index.insert(t, slot);
+        }
         let deltas = vec![NodeDelta::default(); builder.nodes.len()];
         Ok(MaterializedPlan {
             nodes: builder.nodes,
@@ -341,9 +345,9 @@ impl<A: Annotation> MaterializedPlan<A> {
     pub fn annotation_of(&self, t: &Tuple) -> Option<&A> {
         let rows = &self.nodes[self.root].rows;
         self.root_index
-            .get(t)
-            .filter(|&&s| rows.alive[s])
-            .map(|&s| &rows.annots[s])
+            .get(t, &rows.tuples)
+            .filter(|&s| rows.alive[s])
+            .map(|s| &rows.annots[s])
     }
 
     /// Whether `t` is (still) in the view.
@@ -373,10 +377,13 @@ impl<A: Annotation> MaterializedPlan<A> {
             &mut self.nodes[self.root].rows,
             Rows::new(Vec::new(), Vec::new()),
         );
-        // Release the index's tuple handles so the unwrap below can move
-        // tuples out instead of cloning (non-root nodes may still share
-        // scan/select handles; those fall back to one clone).
-        self.root_index = HashMap::new();
+        // Release any tuple handles the index holds (legacy layout) so the
+        // unwrap below can move tuples out instead of cloning (non-root
+        // nodes may still share scan/select handles; those fall back to one
+        // clone). `clear` keeps the map's allocation — this plan is being
+        // consumed, but the same call is what the steady-state delta path
+        // uses, so there is exactly one reset idiom.
+        self.root_index.clear();
         // Zip, drop dead slots, sort by tuple, unzip: the sort moves whole
         // pairs, so no per-element Option take-dance is needed.
         let mut pairs: Vec<(Arc<Tuple>, A)> = rows
@@ -506,7 +513,9 @@ pub(crate) fn propagate_node<A: Annotation>(
             } => {
                 let ch = &child_nodes[*child];
                 let cd = &child_deltas[*child];
-                let mut affected = Vec::new();
+                // Reused scratch (returned empty below): steady-state
+                // pushes must not grow a fresh Vec per node per turn.
+                let mut affected = std::mem::take(&mut delta.affected);
                 for &c in &cd.removed {
                     let o = out_of[c];
                     let list = &mut contributors[o];
@@ -522,7 +531,7 @@ pub(crate) fn propagate_node<A: Annotation>(
                 }
                 affected.sort_unstable();
                 affected.dedup();
-                for o in affected {
+                for &o in &affected {
                     let list = &contributors[o];
                     if list.is_empty() {
                         rows.kill(o);
@@ -539,6 +548,8 @@ pub(crate) fn propagate_node<A: Annotation>(
                         delta.changed.push(o);
                     }
                 }
+                affected.clear();
+                delta.affected = affected;
             }
             Op::Join {
                 left,
@@ -568,7 +579,7 @@ pub(crate) fn propagate_node<A: Annotation>(
                         }
                     }
                 }
-                let mut affected = Vec::new();
+                let mut affected = std::mem::take(&mut delta.affected);
                 for &c in &ld.changed {
                     for &o in &left_outs[c] {
                         if rows.alive[o] {
@@ -585,7 +596,7 @@ pub(crate) fn propagate_node<A: Annotation>(
                 }
                 affected.sort_unstable();
                 affected.dedup();
-                for o in affected {
+                for &o in &affected {
                     let (l, r) = pair_of[o];
                     let mut acc = A::join(&lch.rows.annots[l], &rch.rows.annots[r], layout);
                     acc.normalize();
@@ -594,6 +605,8 @@ pub(crate) fn propagate_node<A: Annotation>(
                         delta.changed.push(o);
                     }
                 }
+                affected.clear();
+                delta.affected = affected;
             }
             Op::Union {
                 left,
@@ -605,7 +618,7 @@ pub(crate) fn propagate_node<A: Annotation>(
             } => {
                 let (lch, rch) = (&child_nodes[*left], &child_nodes[*right]);
                 let (ld, rd) = (&child_deltas[*left], &child_deltas[*right]);
-                let mut affected = Vec::new();
+                let mut affected = std::mem::take(&mut delta.affected);
                 for &c in &ld.removed {
                     let o = from_left[c];
                     sources[o].0 = None;
@@ -624,7 +637,7 @@ pub(crate) fn propagate_node<A: Annotation>(
                 }
                 affected.sort_unstable();
                 affected.dedup();
-                for o in affected {
+                for &o in &affected {
                     let mut acc = match sources[o] {
                         (None, None) => {
                             rows.kill(o);
@@ -645,6 +658,8 @@ pub(crate) fn propagate_node<A: Annotation>(
                         delta.changed.push(o);
                     }
                 }
+                affected.clear();
+                delta.affected = affected;
             }
         }
     }
@@ -660,9 +675,11 @@ struct Builder<A> {
 }
 
 /// ⊕-merge bucket accumulator shared by the project and union builds:
-/// interned output tuples with contributor bookkeeping.
+/// interned output tuples with contributor bookkeeping. The bucket index
+/// is fingerprint-keyed (candidates verified against `tuples`), so a
+/// derivation lookup hashes one `u64` instead of the tuple's values.
 struct BucketAcc<A> {
-    index: HashMap<Arc<Tuple>, usize>,
+    index: TupleSlotMap,
     tuples: Vec<Arc<Tuple>>,
     annots: Vec<A>,
 }
@@ -670,7 +687,7 @@ struct BucketAcc<A> {
 impl<A: Annotation> BucketAcc<A> {
     fn with_capacity(n: usize) -> BucketAcc<A> {
         BucketAcc {
-            index: HashMap::with_capacity(n),
+            index: TupleSlotMap::with_capacity(n),
             tuples: Vec::with_capacity(n),
             annots: Vec::with_capacity(n),
         }
@@ -679,19 +696,15 @@ impl<A: Annotation> BucketAcc<A> {
     /// Insert a derivation of `t`, ⊕-merging into an existing bucket.
     /// Returns the bucket slot.
     fn add(&mut self, t: Arc<Tuple>, a: A) -> usize {
-        match self.index.entry(t) {
-            Entry::Occupied(slot) => {
-                let o = *slot.get();
-                self.annots[o].merge(a);
-                o
-            }
-            Entry::Vacant(slot) => {
-                let o = self.annots.len();
-                self.tuples.push(slot.key().clone());
-                slot.insert(o);
-                self.annots.push(a);
-                o
-            }
+        if let Some(o) = self.index.get(&t, &self.tuples) {
+            self.annots[o].merge(a);
+            o
+        } else {
+            let o = self.annots.len();
+            self.index.insert(&t, o);
+            self.tuples.push(t);
+            self.annots.push(a);
+            o
         }
     }
 
@@ -706,16 +719,191 @@ impl<A: Annotation> BucketAcc<A> {
     }
 }
 
-/// Deterministic hash of a join key, used only to pick a build shard (the
-/// shard choice is invisible in the output; a fixed hasher keeps runs
-/// reproducible).
-fn key_hash<'a>(values: impl Iterator<Item = &'a Value>) -> u64 {
+/// Deterministic hash of a legacy join key, used only to pick a build
+/// shard (the shard choice is invisible in the output; a fixed hasher
+/// keeps runs reproducible). Hashes key content, like the seed did.
+fn key_hash(key: &ContentKey<'_>) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
-    for v in values {
-        v.hash(&mut h);
-    }
+    key.hash(&mut h);
     h.finish()
+}
+
+/// The legacy (pre-interning) join build/probe: allocated `Vec<&Value>`
+/// keys under SipHash over the key content (string bytes, not interned
+/// ids — [`ContentKey`] restores the seed's cost model). Kept as the
+/// honest baseline layout for `report_hotpath` and the differential
+/// layout tests; emission order is identical to the fingerprint path.
+#[allow(clippy::too_many_arguments)]
+fn build_join_produced_legacy<A: Annotation>(
+    lrows: &Rows<A>,
+    l_keys: &[usize],
+    rrows: &Rows<A>,
+    r_keys: &[usize],
+    layout: &JoinLayout,
+    shards: usize,
+    pool: ParPool,
+) -> Vec<(usize, usize, Arc<Tuple>, A)> {
+    fn key_of<'a>(t: &'a Tuple, keys: &[usize]) -> ContentKey<'a> {
+        ContentKey(keys.iter().map(|&i| t.get(i)).collect())
+    }
+    let tables: Vec<HashMap<ContentKey, Vec<usize>>> = if shards == 1 {
+        let mut table: HashMap<ContentKey, Vec<usize>> = HashMap::with_capacity(rrows.tuples.len());
+        for (idx, t) in rrows.tuples.iter().enumerate() {
+            table.entry(key_of(t, r_keys)).or_default().push(idx);
+        }
+        vec![table]
+    } else {
+        // One parallel pass buckets row indices per shard (range-order
+        // concat keeps each shard's rows ascending), so every shard then
+        // scans only its own rows — O(|R|) partition work total, not
+        // O(shards · |R|).
+        let bucketed: Vec<Vec<Vec<usize>>> =
+            pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
+                let mut local: Vec<Vec<usize>> = vec![Vec::new(); shards];
+                for i in range {
+                    let h = key_hash(&key_of(&rrows.tuples[i], r_keys));
+                    local[(h % shards as u64) as usize].push(i);
+                }
+                vec![local]
+            });
+        let mut shard_rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
+        for local in bucketed {
+            for (s, rows) in local.into_iter().enumerate() {
+                shard_rows[s].extend(rows);
+            }
+        }
+        pool.par_indices(shards, |s| {
+            let mut table: HashMap<ContentKey, Vec<usize>> =
+                HashMap::with_capacity(shard_rows[s].len());
+            for &idx in &shard_rows[s] {
+                table
+                    .entry(key_of(&rrows.tuples[idx], r_keys))
+                    .or_default()
+                    .push(idx);
+            }
+            table
+        })
+    };
+    // Probe over left-row chunks; chunk-order concatenation reproduces the
+    // sequential emission order (left rows ascending, per-key matches in
+    // build order).
+    pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
+        let mut out = Vec::new();
+        for li in range {
+            let lt = &lrows.tuples[li];
+            let key = key_of(lt, l_keys);
+            let table = if shards == 1 {
+                &tables[0]
+            } else {
+                &tables[(key_hash(&key) % shards as u64) as usize]
+            };
+            let Some(matches) = table.get(&key) else {
+                continue;
+            };
+            for &ri in matches {
+                let mut a = A::join(&lrows.annots[li], &rrows.annots[ri], layout);
+                a.normalize();
+                out.push((
+                    li,
+                    ri,
+                    Arc::new(lt.join_concat(&rrows.tuples[ri], &layout.right_extra)),
+                    a,
+                ));
+            }
+        }
+        out
+    })
+}
+
+/// The fingerprinted join build/probe: tables keyed by `u64` key
+/// fingerprints through an identity-hash [`FpMap`] — no per-row key
+/// allocation, no byte-walking hash. Candidates sharing a fingerprint are
+/// verified against the actual key values before they join (an integer
+/// compare per attribute under interning), so collisions — including the
+/// forced-collision test mode — only cost time, never correctness, and the
+/// sequential emission order is preserved exactly.
+#[allow(clippy::too_many_arguments)]
+fn build_join_produced_fp<A: Annotation>(
+    mode: LayoutMode,
+    lrows: &Rows<A>,
+    l_keys: &[usize],
+    rrows: &Rows<A>,
+    r_keys: &[usize],
+    layout: &JoinLayout,
+    shards: usize,
+    pool: ParPool,
+) -> Vec<(usize, usize, Arc<Tuple>, A)> {
+    let tables: Vec<FpMap<Bucket<usize>>> = if shards == 1 {
+        let mut table: FpMap<Bucket<usize>> =
+            FpMap::with_capacity_and_hasher(rrows.tuples.len(), Default::default());
+        for (idx, t) in rrows.tuples.iter().enumerate() {
+            table
+                .entry(mode.key_fp(t, r_keys))
+                .and_modify(|b| b.push(idx))
+                .or_insert(Bucket::One(idx));
+        }
+        vec![table]
+    } else {
+        // Same O(|R|) partition-then-build as the legacy path, but the
+        // shard of a row is its key fingerprint — computed once and reused
+        // as the table key.
+        let bucketed: Vec<Vec<Vec<(u64, usize)>>> =
+            pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
+                let mut local: Vec<Vec<(u64, usize)>> = vec![Vec::new(); shards];
+                for i in range {
+                    let fp = mode.key_fp(&rrows.tuples[i], r_keys);
+                    local[(fp % shards as u64) as usize].push((fp, i));
+                }
+                vec![local]
+            });
+        let mut shard_rows: Vec<Vec<(u64, usize)>> = vec![Vec::new(); shards];
+        for local in bucketed {
+            for (s, rows) in local.into_iter().enumerate() {
+                shard_rows[s].extend(rows);
+            }
+        }
+        pool.par_indices(shards, |s| {
+            let mut table: FpMap<Bucket<usize>> =
+                FpMap::with_capacity_and_hasher(shard_rows[s].len(), Default::default());
+            for &(fp, idx) in &shard_rows[s] {
+                table
+                    .entry(fp)
+                    .and_modify(|b| b.push(idx))
+                    .or_insert(Bucket::One(idx));
+            }
+            table
+        })
+    };
+    pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
+        let mut out = Vec::new();
+        for li in range {
+            let lt = &lrows.tuples[li];
+            let fp = mode.key_fp(lt, l_keys);
+            let table = if shards == 1 {
+                &tables[0]
+            } else {
+                &tables[(fp % shards as u64) as usize]
+            };
+            let Some(matches) = table.get(&fp) else {
+                continue;
+            };
+            for &ri in matches.as_slice() {
+                let rt = &rrows.tuples[ri];
+                let keys_match = l_keys
+                    .iter()
+                    .zip(r_keys)
+                    .all(|(&lk, &rk)| lt.get(lk) == rt.get(rk));
+                if !keys_match {
+                    continue;
+                }
+                let mut a = A::join(&lrows.annots[li], &rrows.annots[ri], layout);
+                a.normalize();
+                out.push((li, ri, Arc::new(lt.join_concat(rt, &layout.right_extra)), a));
+            }
+        }
+        out
+    })
 }
 
 /// Natural-join bookkeeping off the two operand schemas: the key positions
@@ -757,24 +945,28 @@ pub(crate) fn build_scan_rows<A: Annotation>(
     pool: ParPool,
 ) -> Rows<A> {
     let schema = r.schema();
-    let base = r.tuples();
-    let seeded: Vec<(Arc<Tuple>, A)> = pool.par_ranges(base.len(), BUILD_GRAIN, |range| {
+    // Shared handles off the relation's cache: a refcount bump per row
+    // instead of a deep tuple clone per plan build. The legacy layout
+    // keeps the pre-overhaul behavior — a fresh `Arc::new(clone)` per
+    // row on every build — which is what the cache replaced.
+    let tuples: Vec<Arc<Tuple>> = if LayoutMode::current().is_legacy() {
+        r.tuples().iter().map(|t| Arc::new(t.clone())).collect()
+    } else {
+        r.shared_tuples().to_vec()
+    };
+    let annots: Vec<A> = pool.par_ranges(tuples.len(), BUILD_GRAIN, |range| {
         range
             .map(|row| {
-                (
-                    Arc::new(base[row].clone()),
-                    A::from_scan(
-                        Tid {
-                            rel: r.name().clone(),
-                            row,
-                        },
-                        schema,
-                    ),
+                A::from_scan(
+                    Tid {
+                        rel: r.name().clone(),
+                        row,
+                    },
+                    schema,
                 )
             })
             .collect()
     });
-    let (tuples, annots) = seeded.into_iter().unzip();
     Rows::new(tuples, annots)
 }
 
@@ -849,11 +1041,13 @@ pub(crate) fn build_project_node<A: Annotation>(
 }
 
 /// Build a join node over its operands' rows. Build on the right, probe
-/// with the left; borrowed keys as in the one-shot walk — the retained
-/// state is the pair map plus the reverse adjacency, not the table itself.
-/// The build shards by key hash (shard `s` owns the keys whose hash lands
-/// on it, so per-key row order stays ascending); one shard is the exact
-/// sequential build. Each side arrives as `(node id, rows, key positions)`.
+/// with the left; the retained state is the pair map plus the reverse
+/// adjacency, not the table itself. Tables key on `u64` key fingerprints
+/// (collision-verified; [`LayoutMode::Legacy`] keeps the borrowed-slice
+/// layout as the baseline). The build shards by key fingerprint/hash
+/// (shard `s` owns the keys landing on it, so per-key row order stays
+/// ascending); one shard is the exact sequential build. Each side arrives
+/// as `(node id, rows, key positions)`.
 pub(crate) fn build_join_node<A: Annotation>(
     left_side: (usize, &Rows<A>, &[usize]),
     right_side: (usize, &Rows<A>, &[usize]),
@@ -862,79 +1056,17 @@ pub(crate) fn build_join_node<A: Annotation>(
 ) -> (Op, Rows<A>) {
     let (left, lrows, l_keys) = left_side;
     let (right, rrows, r_keys) = right_side;
+    let mode = LayoutMode::current();
     let shards = if rrows.tuples.len() >= 2 * BUILD_GRAIN {
         pool.threads()
     } else {
         1
     };
-    let tables: Vec<HashMap<Vec<&Value>, Vec<usize>>> = if shards == 1 {
-        let mut table: HashMap<Vec<&Value>, Vec<usize>> =
-            HashMap::with_capacity(rrows.tuples.len());
-        for (idx, t) in rrows.tuples.iter().enumerate() {
-            let key: Vec<&Value> = r_keys.iter().map(|&i| t.get(i)).collect();
-            table.entry(key).or_default().push(idx);
-        }
-        vec![table]
+    let produced: Vec<(usize, usize, Arc<Tuple>, A)> = if mode.is_legacy() {
+        build_join_produced_legacy(lrows, l_keys, rrows, r_keys, &layout, shards, pool)
     } else {
-        // One parallel pass buckets row indices per shard (range-order
-        // concat keeps each shard's rows ascending), so every shard then
-        // scans only its own rows — O(|R|) partition work total, not
-        // O(shards · |R|).
-        let bucketed: Vec<Vec<Vec<usize>>> =
-            pool.par_ranges(rrows.tuples.len(), BUILD_GRAIN, |range| {
-                let mut local: Vec<Vec<usize>> = vec![Vec::new(); shards];
-                for i in range {
-                    let h = key_hash(r_keys.iter().map(|&k| rrows.tuples[i].get(k)));
-                    local[(h % shards as u64) as usize].push(i);
-                }
-                vec![local]
-            });
-        let mut shard_rows: Vec<Vec<usize>> = vec![Vec::new(); shards];
-        for local in bucketed {
-            for (s, rows) in local.into_iter().enumerate() {
-                shard_rows[s].extend(rows);
-            }
-        }
-        pool.par_indices(shards, |s| {
-            let mut table: HashMap<Vec<&Value>, Vec<usize>> =
-                HashMap::with_capacity(shard_rows[s].len());
-            for &idx in &shard_rows[s] {
-                let key: Vec<&Value> = r_keys.iter().map(|&i| rrows.tuples[idx].get(i)).collect();
-                table.entry(key).or_default().push(idx);
-            }
-            table
-        })
+        build_join_produced_fp(mode, lrows, l_keys, rrows, r_keys, &layout, shards, pool)
     };
-    // Probe over left-row chunks; chunk-order concatenation reproduces the
-    // sequential emission order (left rows ascending, per-key matches in
-    // build order).
-    let produced: Vec<(usize, usize, Arc<Tuple>, A)> =
-        pool.par_ranges(lrows.tuples.len(), BUILD_GRAIN, |range| {
-            let mut out = Vec::new();
-            for li in range {
-                let lt = &lrows.tuples[li];
-                let key: Vec<&Value> = l_keys.iter().map(|&i| lt.get(i)).collect();
-                let table = if shards == 1 {
-                    &tables[0]
-                } else {
-                    &tables[(key_hash(key.iter().copied()) % shards as u64) as usize]
-                };
-                let Some(matches) = table.get(&key) else {
-                    continue;
-                };
-                for &ri in matches {
-                    let mut a = A::join(&lrows.annots[li], &rrows.annots[ri], &layout);
-                    a.normalize();
-                    out.push((
-                        li,
-                        ri,
-                        Arc::new(lt.join_concat(&rrows.tuples[ri], &layout.right_extra)),
-                        a,
-                    ));
-                }
-            }
-            out
-        });
     // Sequential assembly: stable output slots in emission order. The
     // joined tuple embeds the left tuple and determines the right one, and
     // node outputs are sets — each output has exactly one (l, r) pair.

@@ -86,6 +86,7 @@
 use crate::database::{Database, Tid};
 use crate::engine::{Annotated, Annotation};
 use crate::error::Result;
+use crate::fingerprint::TupleSlotMap;
 use crate::name::RelName;
 use crate::par::ParPool;
 use crate::plan::{
@@ -222,13 +223,14 @@ struct RegisteredQuery {
 }
 
 /// Read-side state of one distinct root node: sorted iteration order and
-/// the tuple → slot index, shared by every query rooted there. Built over
-/// all slots; reads filter dead ones.
+/// the tuple → slot index (fingerprint-keyed with collision-checked
+/// fallback against the root rows), shared by every query rooted there.
+/// Built over all slots; reads filter dead ones.
 #[derive(Clone, Debug)]
 struct RootTap {
     refs: usize,
     order: Vec<usize>,
-    index: HashMap<Arc<Tuple>, usize>,
+    index: TupleSlotMap,
 }
 
 /// A multi-query materialization: hash-consed shared operator nodes,
@@ -273,6 +275,10 @@ pub struct PlanRegistry<A> {
     /// built by later registrations.
     committed: BTreeSet<Tid>,
     next_query: u64,
+    /// Scratch for [`PlanRegistry::delete_sources`]'s per-root delta
+    /// extraction, reused across pushes so steady-state turns keep the
+    /// table's allocation instead of building a fresh map per deletion.
+    per_root_scratch: HashMap<usize, ViewDelta>,
 }
 
 impl<A: Annotation> PlanRegistry<A> {
@@ -313,6 +319,7 @@ impl<A: Annotation> PlanRegistry<A> {
             outbox: BTreeMap::new(),
             committed: BTreeSet::new(),
             next_query: 0,
+            per_root_scratch: HashMap::new(),
         }
     }
 
@@ -371,12 +378,10 @@ impl<A: Annotation> PlanRegistry<A> {
             let rows = &self.nodes[root].rows;
             let mut order: Vec<usize> = (0..rows.tuples.len()).collect();
             order.sort_by(|&i, &j| rows.tuples[i].cmp(&rows.tuples[j]));
-            let index = rows
-                .tuples
-                .iter()
-                .enumerate()
-                .map(|(slot, t)| (t.clone(), slot))
-                .collect();
+            let mut index = TupleSlotMap::with_capacity(rows.tuples.len());
+            for (slot, t) in rows.tuples.iter().enumerate() {
+                index.insert(t, slot);
+            }
             self.taps.insert(
                 root,
                 RootTap {
@@ -516,9 +521,9 @@ impl<A: Annotation> PlanRegistry<A> {
         let rows = &self.nodes[root].rows;
         self.taps[&root]
             .index
-            .get(t)
-            .filter(|&&s| rows.alive[s])
-            .map(|&s| &rows.annots[s])
+            .get(t, &rows.tuples)
+            .filter(|&s| rows.alive[s])
+            .map(|s| &rows.annots[s])
     }
 
     /// Whether `t` is (still) in a registered query's view.
@@ -583,8 +588,11 @@ impl<A: Annotation> PlanRegistry<A> {
             self.propagate_level(level);
         }
         self.push_order = order;
-        // One extraction per distinct root; clone per query.
-        let mut per_root: HashMap<usize, ViewDelta> = HashMap::new();
+        // One extraction per distinct root; clone per query. The map is
+        // reused scratch (taken and returned) so steady-state pushes keep
+        // its table allocation.
+        let mut per_root = std::mem::take(&mut self.per_root_scratch);
+        per_root.clear();
         for rq in self.queries.values() {
             per_root
                 .entry(rq.root)
@@ -595,6 +603,7 @@ impl<A: Annotation> PlanRegistry<A> {
             .iter()
             .map(|(&q, rq)| (q, per_root[&rq.root].clone()))
             .collect();
+        self.per_root_scratch = per_root;
         for (q, delta) in &out {
             if let Some(pending) = self.outbox.get_mut(q) {
                 pending.push((tids.to_vec(), delta.clone()));

@@ -12,14 +12,33 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 /// A named relation instance with set semantics.
-#[derive(Clone, PartialEq, Eq)]
+#[derive(Clone)]
 pub struct Relation {
     name: RelName,
     schema: Schema,
     /// Sorted and deduplicated; the index of a tuple in this vector is its
     /// stable row id within the instance.
     tuples: Vec<Tuple>,
+    /// Lazily materialized `Arc` handles over `tuples`, row-aligned. Plan
+    /// builds share these instead of deep-cloning every base tuple per
+    /// build — the second and every later plan over the same instance
+    /// (registry fan-out, deletion contexts, benches) bumps refcounts
+    /// only. The cell itself sits behind an `Arc` so *clones of the
+    /// relation share one cache*: a deletion context cloning its database
+    /// still reuses (and back-fills) the caller's handles. Not part of
+    /// the relation's value (see the manual [`PartialEq`]).
+    shared: std::sync::Arc<std::sync::OnceLock<Vec<std::sync::Arc<Tuple>>>>,
 }
+
+/// Equality is over name, schema and tuples; the lazily-filled shared
+/// handle cache is a materialization detail, never part of the value.
+impl PartialEq for Relation {
+    fn eq(&self, other: &Relation) -> bool {
+        self.name == other.name && self.schema == other.schema && self.tuples == other.tuples
+    }
+}
+
+impl Eq for Relation {}
 
 impl Relation {
     /// Build a relation, sorting and deduplicating `tuples`. Errors if any
@@ -44,6 +63,7 @@ impl Relation {
             name,
             schema,
             tuples: set.into_iter().collect(),
+            shared: std::sync::Arc::new(std::sync::OnceLock::new()),
         })
     }
 
@@ -53,6 +73,7 @@ impl Relation {
             name: name.into(),
             schema,
             tuples: Vec::new(),
+            shared: std::sync::Arc::new(std::sync::OnceLock::new()),
         }
     }
 
@@ -79,6 +100,17 @@ impl Relation {
     /// Tuples in sorted order.
     pub fn tuples(&self) -> &[Tuple] {
         &self.tuples
+    }
+
+    /// Row-aligned shared handles over [`Relation::tuples`], materialized
+    /// once per instance and reused by every plan built over it.
+    pub fn shared_tuples(&self) -> &[std::sync::Arc<Tuple>] {
+        self.shared.get_or_init(|| {
+            self.tuples
+                .iter()
+                .map(|t| std::sync::Arc::new(t.clone()))
+                .collect()
+        })
     }
 
     /// The tuple at stable row index `row`.
@@ -110,6 +142,7 @@ impl Relation {
             name: self.name.clone(),
             schema: self.schema.clone(),
             tuples,
+            shared: std::sync::Arc::new(std::sync::OnceLock::new()),
         }
     }
 

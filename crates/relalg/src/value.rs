@@ -2,11 +2,15 @@
 //!
 //! The paper's constructions use symbolic constants (`a`, `x1`, `c3`, `T`, `F`,
 //! dummies `d`) and the examples use strings and numbers, so the value domain
-//! is integers, strings and booleans. Strings are shared `Arc<str>` because
-//! join keys and provenance copies clone values heavily.
+//! is integers, strings and booleans. Strings are **globally interned**
+//! ([`crate::intern::Sym`]): each distinct text is allocated once per
+//! process and every occurrence shares the canonical handle, so cloning a
+//! value bumps a refcount, equality and hashing are a single integer
+//! compare on the dictionary id, and the hot-path fingerprints
+//! ([`crate::fingerprint`]) pack a value into one `u64` word.
 
+use crate::intern::{intern, Sym};
 use std::fmt;
-use std::sync::Arc;
 
 /// A single attribute value. Totally ordered across variants (Bool < Int <
 /// Str) so relations have a deterministic iteration order.
@@ -17,13 +21,14 @@ pub enum Value {
     /// 64-bit signed integer.
     Int(i64),
     /// Interned string / symbolic constant.
-    Str(Arc<str>),
+    Str(Sym),
 }
 
 impl Value {
-    /// Build a string value.
+    /// Build a string value, interning the text: repeated constants share
+    /// one allocation and compare by dictionary id.
     pub fn str(s: impl AsRef<str>) -> Value {
-        Value::Str(Arc::from(s.as_ref()))
+        Value::Str(intern(s.as_ref()))
     }
 
     /// Build an integer value.
@@ -77,7 +82,7 @@ impl fmt::Debug for Value {
         match self {
             Value::Bool(b) => write!(f, "{b}"),
             Value::Int(i) => write!(f, "{i}"),
-            Value::Str(s) => write!(f, "{:?}", &**s),
+            Value::Str(s) => write!(f, "{s:?}"),
         }
     }
 }
@@ -108,7 +113,7 @@ impl From<&str> for Value {
 
 impl From<String> for Value {
     fn from(s: String) -> Self {
-        Value::Str(Arc::from(s))
+        Value::str(&s)
     }
 }
 
@@ -170,5 +175,16 @@ mod tests {
         assert_eq!(Value::int(0).type_name(), "int");
         assert_eq!(Value::str("").type_name(), "str");
         assert_eq!(Value::bool(true).type_name(), "bool");
+    }
+
+    #[test]
+    fn repeated_string_constants_share_one_allocation() {
+        let a = Value::str("value-intern-shared");
+        let b = Value::str("value-intern-shared");
+        match (&a, &b) {
+            (Value::Str(sa), Value::Str(sb)) => assert_eq!(sa.id(), sb.id()),
+            _ => unreachable!(),
+        }
+        assert_eq!(a, b);
     }
 }

@@ -83,10 +83,10 @@ pub mod prelude {
         ViewLoc, Witness,
     };
     pub use dap_relalg::{
-        eval, eval_annotated, normalize, parse_database, parse_pred, parse_query, schema, tuple,
-        Annotation, Attr, Database, Fd, FdCatalog, MaterializedPlan, OpFootprint, ParPool,
-        PlanRegistry, Pred, Query, QueryId, RelName, Relation, Schema, Tid, Tuple, Value,
-        ViewDelta,
+        eval, eval_annotated, force_layout, intern, interned_count, normalize, parse_database,
+        parse_pred, parse_query, schema, tuple, Annotation, Attr, Database, Fd, FdCatalog,
+        LayoutMode, MaterializedPlan, OpFootprint, ParPool, PlanRegistry, Pred, Query, QueryId,
+        RelName, Relation, Schema, Sym, Tid, Tuple, Value, ViewDelta,
     };
 }
 
