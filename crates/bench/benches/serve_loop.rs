@@ -1,0 +1,90 @@
+//! **serve_loop** — Criterion trends for the server's request loop: a
+//! full client round trip (frame encode, TCP, admission queue, engine
+//! dispatch, reply) for the cheap control path (`ping`) and the durable
+//! commit path (`delete-source`). The `report_serve` binary measures
+//! the same loop under chaos with identity gates; this bench tracks the
+//! clean-path trend under Criterion.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dap_durability::{DurableOptions, FsyncMode};
+use dap_relalg::{parse_database, parse_query, Tid};
+use dap_serve::{Client, ClientOptions, Response, ServeOptions, Server};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn serve_fixture(tag: &str) -> (dap_serve::ServerHandle, std::path::PathBuf) {
+    let dir =
+        std::env::temp_dir().join(format!("dap-bench-serveloop-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let db = parse_database("relation Edge(src, dst) { (a, b), (c, d), (e, f), (g, h) }")
+        .expect("fixture parses");
+    let opts = ServeOptions {
+        durable: DurableOptions {
+            fsync: FsyncMode::Never, // isolate the loop from disk noise
+            snapshot_every: 0,
+        },
+        ..ServeOptions::default()
+    };
+    let handle = Server::create_and_start(&dir, &db, 0, opts).expect("server");
+    (handle, dir)
+}
+
+fn client_for(addr: std::net::SocketAddr, id: &str) -> Client {
+    Client::new(
+        addr,
+        ClientOptions {
+            backoff: Duration::from_millis(1),
+            ..ClientOptions::new(id)
+        },
+    )
+}
+
+/// Round-trip latency of the cheap control path: answered from shared
+/// counters on the session thread, never touching the engine queue.
+fn bench_ping(c: &mut Criterion) {
+    let (handle, dir) = serve_fixture("ping");
+    let mut client = client_for(handle.addr(), "bench-ping");
+    let mut group = c.benchmark_group("serve_loop");
+    group.sample_size(30);
+    group.bench_function("ping", |b| {
+        b.iter(|| {
+            let resp = client.ping().expect("pong");
+            assert!(matches!(resp, Response::Ok { .. }));
+            black_box(resp);
+        })
+    });
+    group.finish();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Round-trip latency of the durable commit path: admission queue,
+/// single-writer engine, WAL append, reply. Deleting an already-deleted
+/// tid keeps every iteration identical while exercising the full path.
+fn bench_delete_turn(c: &mut Criterion) {
+    let (handle, dir) = serve_fixture("delete");
+    let mut client = client_for(handle.addr(), "bench-delete");
+    let q = parse_query("scan Edge").expect("query");
+    assert!(matches!(
+        client.register(&q).expect("register"),
+        Response::Ok { .. }
+    ));
+    let tid = Tid::new("Edge", 0);
+    let mut group = c.benchmark_group("serve_loop");
+    group.sample_size(30);
+    group.bench_function("delete_turn", |b| {
+        b.iter(|| {
+            let resp = client
+                .delete_source(std::slice::from_ref(&tid))
+                .expect("delete");
+            assert!(matches!(resp, Response::Ok { .. }));
+            black_box(resp);
+        })
+    });
+    group.finish();
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_ping, bench_delete_turn);
+criterion_main!(benches);

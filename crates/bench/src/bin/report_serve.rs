@@ -1,0 +1,326 @@
+//! Measure `dap serve` — request turns/sec clean and under every chaos
+//! fault class, plus overload shedding under a flood — and emit
+//! `BENCH_serve.json`.
+//!
+//! ```text
+//! cargo run --release -p dap-bench --features serve-chaos --bin report_serve
+//! ```
+//!
+//! Two tables:
+//!
+//! * **turns** — a subscribed client drives a mixed workload (a
+//!   stream of single-tuple deletion commits with interleaved solves,
+//!   subscription events arriving on the same socket) through a live
+//!   server, first directly and then through the fault-injecting proxy
+//!   with each fault class (torn frames, bit flips, slow-loris stalls,
+//!   lost acks). After **every** row the
+//!   server is shut down and the directory recovered; the recovered
+//!   registry must be identical to an in-memory oracle that applied the
+//!   same deletions directly. This identity gate is always on —
+//!   `DAP_BENCH_NO_ASSERT` only relaxes wall-clock expectations, never
+//!   correctness.
+//! * **flood** — a single connection blasts requests with no pacing at
+//!   a server with a deliberately small admission queue. The table
+//!   reports how many were shed with `overloaded` and the observed
+//!   in-flight peak; the peak must stay within `queue_capacity + 1`
+//!   (one executing plus a full queue) — the always-on proof that
+//!   admission keeps memory bounded under any client behavior.
+//!
+//! `DAP_FSYNC` selects the WAL discipline (`always` by default), so CI
+//! can sweep fsync modes across the same harness.
+
+use dap_provenance::WitnessesAnn;
+use dap_relalg::{parse_database, parse_query, tuple, Database, PlanRegistry, QueryId, Tid, Tuple};
+use dap_serve::protocol::{encode_wire_frame, SolveObjective};
+use dap_serve::{
+    ChaosProxy, Client, ClientOptions, Command, Fault, FaultPlan, Request, Response, ServeOptions,
+    Server,
+};
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+/// Deletion turns per measured scenario.
+const TURNS: usize = 48;
+/// Unpaced requests in the flood section.
+const FLOOD: usize = 400;
+/// Admission queue depth for the flood section.
+const FLOOD_QUEUE: usize = 8;
+/// Chaos rows fault every k-th proxy connection.
+const FAULT_EVERY: usize = 3;
+/// Every k-th turn of the mixed workload also runs a `solve`.
+const SOLVE_EVERY: usize = 8;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dap-bench-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A relation wide enough for `TURNS` distinct deletions.
+fn wide_database(rows: usize) -> Database {
+    let mut text = String::from("relation Edge(src, dst) { ");
+    for i in 0..rows {
+        if i > 0 {
+            text.push_str(", ");
+        }
+        text.push_str(&format!("(n{i}, m{i})"));
+    }
+    text.push_str(" }");
+    parse_database(&text).expect("generated database parses")
+}
+
+fn view_of(reg: &PlanRegistry<WitnessesAnn>, id: QueryId) -> Vec<(Tuple, WitnessesAnn)> {
+    reg.iter_query(id)
+        .map(|(t, a)| (t.clone(), a.clone()))
+        .collect()
+}
+
+fn serve_opts() -> ServeOptions {
+    ServeOptions {
+        read_timeout: Duration::from_millis(400),
+        ..ServeOptions::from_env()
+    }
+}
+
+fn client_opts(id: &str) -> ClientOptions {
+    ClientOptions {
+        backoff: Duration::from_millis(5),
+        reply_timeout: Duration::from_secs(10),
+        ..ClientOptions::new(id)
+    }
+}
+
+/// The measured mixed workload: subscribe to the standing query, then
+/// stream `TURNS` durable deletions, interleaving a `solve` every
+/// `SOLVE_EVERY` turns while subscription events arrive on the same
+/// socket. Every request is awaited to a definitive answer. Returns
+/// the wall time of the stream.
+fn drive_turns(addr: std::net::SocketAddr, client: &str, id: QueryId, tids: &[Tid]) -> Duration {
+    let mut c = Client::new(addr, client_opts(client));
+    // The last row is deleted last, so it stays solvable all stream.
+    let probe = tuple([format!("n{}", TURNS - 1), format!("m{}", TURNS - 1)]);
+    let start = Instant::now();
+    match c.subscribe(id).expect("subscribe answers") {
+        Response::Ok { .. } => {}
+        other => panic!("subscribe answered {other:?}"),
+    }
+    for (i, tid) in tids.iter().enumerate() {
+        match c.delete_source(std::slice::from_ref(tid)).expect("answer") {
+            Response::Ok { .. } => {}
+            other => panic!("delete answered {other:?}"),
+        }
+        if i % SOLVE_EVERY == 0 && i + 1 < tids.len() {
+            match c
+                .solve(id, SolveObjective::Source, probe.clone())
+                .expect("solve answers")
+            {
+                Response::Ok { .. } => {}
+                other => panic!("solve answered {other:?}"),
+            }
+        }
+    }
+    let elapsed = start.elapsed();
+    assert!(
+        !c.take_events().is_empty(),
+        "subscription events streamed during the workload"
+    );
+    elapsed
+}
+
+/// Run one scenario end to end: fresh directory, live server, optional
+/// fault proxy, `TURNS` deletions, shutdown, recovery-identity gate.
+fn scenario(name: &str, fault: Option<Fault>) -> (String, Duration) {
+    let dir = scratch(name);
+    let db = wide_database(TURNS);
+    let handle = Server::create_and_start(&dir, &db, 0, serve_opts()).expect("server");
+    let direct = handle.addr();
+    let proxy = fault.map(|fault| {
+        ChaosProxy::start(
+            direct,
+            Some(FaultPlan {
+                fault,
+                every: FAULT_EVERY,
+            }),
+        )
+        .expect("proxy")
+    });
+    let addr = proxy.as_ref().map(ChaosProxy::addr).unwrap_or(direct);
+
+    // Register the standing query through the same path, then time the
+    // deletion turns.
+    let q = parse_query("scan Edge").expect("query");
+    let mut c = Client::new(addr, client_opts(&format!("bench-{name}")));
+    let id = match c.register(&q).expect("register answers") {
+        Response::Ok { body, .. } => {
+            dap_serve::protocol::parse_query_id(body.split(' ').next().unwrap()).expect("id")
+        }
+        other => panic!("register answered {other:?}"),
+    };
+    let tids: Vec<Tid> = (0..TURNS).map(|i| Tid::new("Edge", i)).collect();
+    let elapsed = drive_turns(addr, &format!("turns-{name}"), id, &tids);
+
+    if let Some(p) = proxy {
+        p.stop();
+    }
+    handle.shutdown();
+
+    // Identity gate (always on): the recovered directory equals an
+    // oracle that applied the same stream directly — exactly once each,
+    // despite every retry and resubmission the fault forced.
+    let (state, report) = dap_durability::recover(&dir).expect("recover");
+    assert_eq!(
+        report.last_seq,
+        (TURNS + 1) as u64,
+        "{name}: register + {TURNS} deletes, each exactly once"
+    );
+    let mut oracle = PlanRegistry::<WitnessesAnn>::new(&db);
+    let oid = oracle.register(&q).expect("oracle register");
+    for tid in &tids {
+        oracle.delete_sources(std::slice::from_ref(tid));
+    }
+    assert_eq!(
+        state.registry().committed(),
+        oracle.committed(),
+        "{name}: committed sets identical"
+    );
+    assert_eq!(
+        view_of(state.registry(), id),
+        view_of(&oracle, oid),
+        "{name}: recovered view identical to the oracle"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    (name.to_string(), elapsed)
+}
+
+/// The flood section: blast `FLOOD` unpaced requests at a small queue,
+/// count sheds, and prove the in-flight peak honors the bound.
+fn flood() -> (usize, usize, usize) {
+    use std::io::{Read as _, Write as _};
+
+    let dir = scratch("flood");
+    let db = wide_database(4);
+    let opts = ServeOptions {
+        queue_capacity: FLOOD_QUEUE,
+        ..serve_opts()
+    };
+    let handle = Server::create_and_start(&dir, &db, 0, opts).expect("server");
+
+    let raw = std::net::TcpStream::connect(handle.addr()).expect("connect");
+    raw.set_nodelay(true).expect("nodelay");
+    let blaster = {
+        let mut w = raw.try_clone().expect("clone");
+        std::thread::spawn(move || {
+            for i in 0..FLOOD {
+                let req = Request {
+                    client: "flood".into(),
+                    seq: (i + 1) as u64,
+                    cmd: Command::DeleteSource(vec![Tid::new("Edge", 0)]),
+                };
+                w.write_all(&encode_wire_frame(&req.encode()))
+                    .expect("write");
+            }
+        })
+    };
+    let mut raw = raw;
+    let mut reader = dap_serve::protocol::FrameReader::new(1 << 20);
+    let mut got = 0usize;
+    let mut shed = 0usize;
+    raw.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut buf = [0u8; 4096];
+    while got < FLOOD {
+        match reader.next_frame().expect("well-formed response stream") {
+            Some(payload) => {
+                got += 1;
+                if matches!(
+                    Response::decode(&payload).expect("decodes"),
+                    Response::Overloaded { .. }
+                ) {
+                    shed += 1;
+                }
+            }
+            None => {
+                let n = raw.read(&mut buf).expect("server keeps answering");
+                assert!(n > 0, "server closed mid-flood");
+                reader.push(&buf[..n]);
+            }
+        }
+    }
+    blaster.join().expect("blaster");
+    let stats = handle.stats();
+    // The bound is always-on: a violated admission queue is a bug, not a
+    // slow run.
+    assert!(
+        stats.peak_inflight <= FLOOD_QUEUE + 1,
+        "in-flight peak {} exceeded queue bound {}",
+        stats.peak_inflight,
+        FLOOD_QUEUE + 1
+    );
+    assert_eq!(stats.shed, shed as u64, "every shed was answered");
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+    (FLOOD, shed, stats.peak_inflight)
+}
+
+fn main() {
+    println!("==============================================================");
+    println!(" serve — request turns under chaos, and overload shedding");
+    println!("==============================================================\n");
+
+    let rows: Vec<(String, Duration)> = vec![
+        scenario("clean", None),
+        scenario("torn-frame", Some(Fault::TornFrame { after_bytes: 13 })),
+        scenario("bit-flip", Some(Fault::BitFlip { offset: 11, bit: 3 })),
+        scenario(
+            "slow-loris",
+            Some(Fault::Stall {
+                after_bytes: 9,
+                hold: Duration::from_millis(700),
+            }),
+        ),
+        scenario("lost-ack", Some(Fault::DisconnectAfterRequests { n: 2 })),
+    ];
+
+    println!(
+        "turns: {TURNS} durable deletions per scenario, subscribed, solve every \
+         {SOLVE_EVERY} turns (fault on every {FAULT_EVERY}-th connection)\n"
+    );
+    println!(
+        "{:>12} {:>14} {:>12} {:>10}",
+        "scenario", "total", "turns/sec", "recovered"
+    );
+    for (name, total) in &rows {
+        let per_sec = TURNS as f64 / total.as_secs_f64();
+        println!(
+            "{name:>12} {total:>14?} {per_sec:>12.1} {:>10}",
+            "identical"
+        );
+    }
+
+    println!("\nflood: {FLOOD} unpaced requests at a {FLOOD_QUEUE}-deep queue\n");
+    let (requests, shed, peak) = flood();
+    println!(
+        "{:>10} {:>8} {:>14} {:>8}",
+        "requests", "shed", "peak inflight", "bound"
+    );
+    println!("{requests:>10} {shed:>8} {peak:>14} {:>8}", FLOOD_QUEUE + 1);
+
+    // ---- JSON -------------------------------------------------------------
+    let mut json = String::from("{\n  \"bench\": \"serve\",\n  \"turns\": [\n");
+    for (i, (name, total)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"scenario\": \"{name}\", \"turns\": {TURNS}, \"total_ns\": {}, \
+             \"turns_per_sec\": {:.1}, \"recovered_identical\": true}}{}\n",
+            total.as_nanos(),
+            TURNS as f64 / total.as_secs_f64(),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"flood\": {{\"requests\": {requests}, \"shed\": {shed}, \
+         \"peak_inflight\": {peak}, \"queue_capacity\": {FLOOD_QUEUE}, \
+         \"bound_held\": true}}\n}}\n"
+    ));
+    std::fs::write("BENCH_serve.json", &json).expect("write BENCH_serve.json");
+    println!("\nwrote BENCH_serve.json");
+}

@@ -181,6 +181,16 @@ impl CommitLog {
         Ok(seq)
     }
 
+    /// Rotate the first `keep_from` bytes out of the underlying file —
+    /// called by the state layer after a snapshot has made them
+    /// redundant. Sequence numbers are unaffected; the next append
+    /// continues the chain.
+    pub fn rotate(&mut self, keep_from: u64) -> Result<()> {
+        self.file.rotate(keep_from).map_err(|e| CoreError::Io {
+            context: format!("rotate commit log: {e}"),
+        })
+    }
+
     /// Force everything appended so far to stable storage.
     pub fn sync(&mut self) -> Result<()> {
         self.file.sync().map_err(|e| CoreError::Io {

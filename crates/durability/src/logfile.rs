@@ -65,11 +65,22 @@ pub trait LogFile: Send {
     fn sync(&mut self) -> io::Result<()>;
     /// Bytes successfully appended so far.
     fn offset(&self) -> u64;
+    /// Drop the first `keep_from` bytes — the rotation primitive. After
+    /// a successful rotation [`LogFile::offset`] reports the shortened
+    /// length. Rotation is an *optimization*: implementations that keep
+    /// the prefix (the default) are still correct, recovery just skips
+    /// the covered records. A crash mid-rotation must leave either the
+    /// whole log or the rotated suffix — never a torn middle.
+    fn rotate(&mut self, keep_from: u64) -> io::Result<()> {
+        let _ = keep_from;
+        Ok(())
+    }
 }
 
 /// A real `std::fs::File` opened for append.
 pub struct StdLogFile {
     file: std::fs::File,
+    path: std::path::PathBuf,
     offset: u64,
 }
 
@@ -82,7 +93,22 @@ impl StdLogFile {
             .append(true)
             .open(path)?;
         let offset = file.metadata()?.len();
-        Ok(StdLogFile { file, offset })
+        Ok(StdLogFile {
+            file,
+            path: path.to_path_buf(),
+            offset,
+        })
+    }
+
+    /// The sibling path rotation stages the kept suffix under before the
+    /// atomic rename — exposed so recovery can clean up a leftover.
+    pub fn rotation_staging_path(path: &Path) -> std::path::PathBuf {
+        let mut name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        name.push_str(".rot");
+        path.with_file_name(name)
     }
 }
 
@@ -99,6 +125,35 @@ impl LogFile for StdLogFile {
 
     fn offset(&self) -> u64 {
         self.offset
+    }
+
+    /// Rotate via write-suffix-then-rename: the kept suffix is written to
+    /// a `.rot` sibling, fsynced, and renamed over the log. A crash
+    /// before the rename leaves the original log (plus a stale `.rot`
+    /// staging file recovery deletes); a crash after it leaves exactly
+    /// the rotated suffix — both recover cleanly.
+    fn rotate(&mut self, keep_from: u64) -> io::Result<()> {
+        if keep_from == 0 {
+            return Ok(());
+        }
+        self.file.sync_data()?;
+        let bytes = std::fs::read(&self.path)?;
+        let keep = (keep_from.min(bytes.len() as u64)) as usize;
+        let staging = StdLogFile::rotation_staging_path(&self.path);
+        {
+            let mut f = std::fs::File::create(&staging)?;
+            f.write_all(&bytes[keep..])?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&staging, &self.path)?;
+        if let Some(parent) = self.path.parent() {
+            if let Ok(d) = std::fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        self.file = std::fs::OpenOptions::new().append(true).open(&self.path)?;
+        self.offset = self.file.metadata()?.len();
+        Ok(())
     }
 }
 
@@ -133,6 +188,13 @@ impl LogFile for MemLog {
     fn offset(&self) -> u64 {
         self.buf.lock().expect("poisoned").len() as u64
     }
+
+    fn rotate(&mut self, keep_from: u64) -> io::Result<()> {
+        let mut buf = self.buf.lock().expect("poisoned");
+        let keep = (keep_from.min(buf.len() as u64)) as usize;
+        buf.drain(..keep);
+        Ok(())
+    }
 }
 
 /// The fault-injection [`LogFile`]: persists into a [`SharedBytes`]
@@ -145,6 +207,10 @@ impl LogFile for MemLog {
 /// The surviving buffer is exactly what recovery gets to see; tests sweep
 /// the budget over every offset of a workload's write stream to prove
 /// prefix-consistency at *every* crash point.
+///
+/// Available to downstream crates (the serve chaos harness, benches)
+/// behind the `testing` cargo feature; release builds exclude it.
+#[cfg(any(test, feature = "testing"))]
 pub struct FaultyLog {
     buf: SharedBytes,
     /// Bytes still allowed to persist before the simulated crash.
@@ -154,6 +220,7 @@ pub struct FaultyLog {
     flip: Option<(usize, u8)>,
 }
 
+#[cfg(any(test, feature = "testing"))]
 impl FaultyLog {
     /// A log that crashes once `budget` persisted bytes are exceeded.
     pub fn new(budget: usize) -> (FaultyLog, SharedBytes) {
@@ -184,6 +251,7 @@ impl FaultyLog {
 }
 
 /// Fire a pending `(offset, bit)` flip once that offset is persisted.
+#[cfg(any(test, feature = "testing"))]
 fn apply_flip(flip: &mut Option<(usize, u8)>, buf: &mut [u8]) {
     if let Some((at, bit)) = *flip {
         if at < buf.len() {
@@ -193,6 +261,7 @@ fn apply_flip(flip: &mut Option<(usize, u8)>, buf: &mut [u8]) {
     }
 }
 
+#[cfg(any(test, feature = "testing"))]
 impl LogFile for FaultyLog {
     fn append(&mut self, bytes: &[u8]) -> io::Result<()> {
         let mut buf = self.buf.lock().expect("poisoned");
@@ -224,6 +293,21 @@ impl LogFile for FaultyLog {
 
     fn offset(&self) -> u64 {
         self.buf.lock().expect("poisoned").len() as u64
+    }
+
+    fn rotate(&mut self, keep_from: u64) -> io::Result<()> {
+        if self.crashed {
+            return Err(io::Error::other("simulated crash: log file is gone"));
+        }
+        let mut buf = self.buf.lock().expect("poisoned");
+        let keep = (keep_from.min(buf.len() as u64)) as usize;
+        buf.drain(..keep);
+        // A pending flip aimed at a rotated-away byte shifts with the
+        // surviving suffix; one aimed inside the dropped prefix is spent.
+        if let Some((at, bit)) = self.flip {
+            self.flip = at.checked_sub(keep).map(|at| (at, bit));
+        }
+        Ok(())
     }
 }
 
@@ -268,6 +352,48 @@ mod tests {
         }
         assert_eq!(std::fs::read(&path).unwrap(), b"hello again");
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn std_log_file_rotates_the_prefix_away() {
+        let dir = std::env::temp_dir().join(format!("dap-logrot-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("probe.log");
+        let _ = std::fs::remove_file(&path);
+        let mut f = StdLogFile::open(&path).unwrap();
+        f.append(b"oldnew").unwrap();
+        f.rotate(3).unwrap();
+        assert_eq!(f.offset(), 3);
+        assert_eq!(std::fs::read(&path).unwrap(), b"new");
+        // The append handle keeps working after the rename-and-reopen.
+        f.append(b"er").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"newer");
+        // Rotating past the end empties the log; rotating at 0 is a no-op.
+        f.rotate(100).unwrap();
+        assert_eq!(f.offset(), 0);
+        f.rotate(0).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn mem_log_rotates() {
+        let (mut log, buf) = MemLog::new();
+        log.append(b"abcdef").unwrap();
+        log.rotate(4).unwrap();
+        assert_eq!(log.offset(), 2);
+        assert_eq!(&*buf.lock().unwrap(), b"ef");
+    }
+
+    #[test]
+    fn faulty_log_rotation_respects_the_crash() {
+        let (mut log, buf) = FaultyLog::new(4);
+        log.append(b"abcd").unwrap();
+        log.rotate(2).unwrap();
+        assert_eq!(&*buf.lock().unwrap(), b"cd");
+        assert!(log.append(b"x").is_err());
+        assert!(log.rotate(1).is_err());
+        assert_eq!(&*buf.lock().unwrap(), b"cd");
     }
 
     #[test]

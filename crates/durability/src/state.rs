@@ -115,6 +115,11 @@ pub struct DurableState {
     opts: DurableOptions,
     last_seq: u64,
     last_snapshot_seq: u64,
+    /// Byte offset of the first log record not folded into the newest
+    /// snapshot (seq `last_snapshot_seq`). The bytes before it are kept
+    /// until the *next* snapshot lands — so recovery can fall back one
+    /// snapshot — and are rotated away then.
+    rotate_at: u64,
 }
 
 fn io_err(what: impl fmt::Display, e: std::io::Error) -> CoreError {
@@ -145,9 +150,9 @@ impl DurableState {
 
     /// [`DurableState::create`] with an explicit log sink — the
     /// fault-injection entry point: the snapshot goes to `dir` as usual
-    /// while appends flow through `file` (e.g. a
-    /// [`crate::logfile::FaultyLog`]), whose surviving bytes a test then
-    /// plants as `dir/commit.log` before exercising [`recover`].
+    /// while appends flow through `file` (e.g. a `FaultyLog`, behind the
+    /// `testing` feature), whose surviving bytes a test then plants as
+    /// `dir/commit.log` before exercising [`recover`].
     pub fn create_with_log(
         dir: &Path,
         db: &Database,
@@ -171,6 +176,7 @@ impl DurableState {
             opts,
             last_seq: 0,
             last_snapshot_seq: 0,
+            rotate_at: 0,
         })
     }
 
@@ -288,10 +294,23 @@ impl DurableState {
         self.log.sync()
     }
 
+    /// How many snapshot files [`DurableState::snapshot`] retains: the
+    /// one just written plus one fallback (recovery skips a corrupt
+    /// newest snapshot, and the retained log suffix reaches back exactly
+    /// one snapshot).
+    pub const SNAPSHOTS_KEPT: usize = 2;
+
     /// Write a snapshot of the current state; later [`recover`] calls
     /// start from it and replay only the log tail beyond. Returns the
-    /// snapshot path. The log is not rotated — older records are simply
-    /// skipped at recovery.
+    /// snapshot path.
+    ///
+    /// Afterwards the log is *rotated*: every record already folded into
+    /// the **previous** snapshot is dropped from the front of the file
+    /// (write-suffix-then-atomic-rename, crash-safe at any point), and
+    /// all but the [`DurableState::SNAPSHOTS_KEPT`] newest snapshot files
+    /// are pruned — so disk use is bounded by one snapshot interval, and
+    /// recovery can still fall back one snapshot with a log that covers
+    /// the gap.
     pub fn snapshot(&mut self) -> Result<PathBuf> {
         let snap = Snapshot {
             seq: self.last_seq,
@@ -305,8 +324,29 @@ impl DurableState {
             db: self.reg.db().as_ref().clone(),
         };
         let path = snap.write_to(&self.dir)?;
+        // Records before `rotate_at` are covered by the previous snapshot
+        // and are now two snapshots deep — rotate them away. The records
+        // between the previous snapshot and this one stay on disk as the
+        // fallback path's replay tail.
+        if self.rotate_at > 0 {
+            self.log.rotate(self.rotate_at)?;
+        }
+        self.rotate_at = self.log.offset();
         self.last_snapshot_seq = self.last_seq;
+        // Prune snapshots that can no longer be reached: the retained log
+        // suffix only replays on top of the newest SNAPSHOTS_KEPT.
+        for (i, (_, old)) in Snapshot::list_dir(&self.dir)?.iter().enumerate() {
+            if i >= DurableState::SNAPSHOTS_KEPT {
+                let _ = std::fs::remove_file(old);
+            }
+        }
         Ok(path)
+    }
+
+    /// Bytes currently held by the commit log file — bounded between
+    /// snapshots by rotation.
+    pub fn log_bytes(&self) -> u64 {
+        self.log.offset()
     }
 }
 
@@ -396,8 +436,13 @@ pub fn recover_with(dir: &Path, opts: DurableOptions) -> Result<(DurableState, R
         reg.delete_sources(&committed);
     }
 
-    // 3. Scan the log and replay the tail beyond the snapshot.
+    // 3. Scan the log and replay the tail beyond the snapshot. A stale
+    //    rotation staging file means a crash hit between writing the
+    //    rotated suffix and renaming it over the log — the log itself is
+    //    whole (the rename never happened), so the staging copy is
+    //    redundant and removed.
     let log_path = dir.join(LOG_FILE);
+    let _ = std::fs::remove_file(StdLogFile::rotation_staging_path(&log_path));
     let bytes = match std::fs::read(&log_path) {
         Ok(bytes) => bytes,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
@@ -410,10 +455,14 @@ pub fn recover_with(dir: &Path, opts: DurableOptions) -> Result<(DurableState, R
     let mut last_seq = snap.seq;
     let mut records_replayed = 0usize;
     let mut records_skipped = 0usize;
+    let mut rotate_at = None;
     for tail in &records {
         if tail.seq <= snap.seq {
             records_skipped += 1;
             continue;
+        }
+        if rotate_at.is_none() {
+            rotate_at = Some(tail.offset);
         }
         // Semantic replay failures are corruption too: stop *before* the
         // offending record and truncate it away with the rest.
@@ -488,6 +537,10 @@ pub fn recover_with(dir: &Path, opts: DurableOptions) -> Result<(DurableState, R
         opts,
         last_seq,
         last_snapshot_seq: snap.seq,
+        // First byte beyond the recovered snapshot's coverage: the offset
+        // of the first replayed record, or the valid end if the snapshot
+        // already folded the whole log in.
+        rotate_at: rotate_at.unwrap_or(valid_end),
     };
     Ok((state, report))
 }
@@ -559,7 +612,7 @@ mod tests {
             let mut state = DurableState::create(&dir, &db, DurableOptions::default()).unwrap();
             q = state.register(&core).unwrap();
             let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
-            state.delete_sources(&[dev]).unwrap();
+            state.delete_sources(std::slice::from_ref(&dev)).unwrap();
         }
         // Second generation: recover, snapshot, commit more.
         let report1;
@@ -622,6 +675,115 @@ mod tests {
             .register(&parse_query("scan UserGroup").unwrap())
             .unwrap();
         assert_eq!(q3.index(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Shared setup for the rotation tests: register the join view,
+    /// delete `bob/dev`, snapshot (covers seq 1–2), delete `ann/staff`,
+    /// snapshot again (covers seq 3, rotates seq 1–2 away).
+    fn two_snapshot_setup(dir: &Path) -> (Database, QueryId, u64) {
+        let db = fixture();
+        let mut state = DurableState::create(dir, &db, DurableOptions::default()).unwrap();
+        let core =
+            parse_query("project(join(scan UserGroup, scan GroupFile), [user, file])").unwrap();
+        let q = state.register(&core).unwrap();
+        let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        state.delete_sources(&[dev]).unwrap();
+        let full = state.log_bytes();
+        state.snapshot().unwrap();
+        // The first snapshot rotates nothing: snap-0 covered no records,
+        // so the whole log stays as the fallback replay tail.
+        assert_eq!(state.log_bytes(), full);
+        let ann = db.tid_of("UserGroup", &tuple(["ann", "staff"])).unwrap();
+        state.delete_sources(&[ann]).unwrap();
+        state.snapshot().unwrap();
+        // The second snapshot rotates seq 1–2 (covered by snap-2) away;
+        // only the seq-3 delete remains on disk.
+        assert!(state.log_bytes() < full);
+        assert!(state.log_bytes() > 0);
+        (db, q, full)
+    }
+
+    #[test]
+    fn snapshot_rotates_log_and_prunes_snapshots() {
+        let dir = tmp_dir("rotate");
+        let (_db, q, _full) = two_snapshot_setup(&dir);
+        let snaps = Snapshot::list_dir(&dir).unwrap();
+        let seqs: Vec<u64> = snaps.iter().map(|(seq, _)| *seq).collect();
+        assert_eq!(seqs, vec![3, 2], "keep the newest two snapshots only");
+        let (rec, report) = recover(&dir).unwrap();
+        assert_eq!(report.snapshot_seq, 3);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(report.records_skipped, 1);
+        assert!(report.corrupt_tail.is_none());
+        let view: Vec<Tuple> = rec
+            .registry()
+            .iter_query(q)
+            .map(|(t, _)| t.clone())
+            .collect();
+        assert_eq!(view, vec![tuple(["bob", "report"])]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotated_log_still_covers_the_fallback_snapshot() {
+        let dir = tmp_dir("rotate-fallback");
+        let (_db, q, _full) = two_snapshot_setup(&dir);
+        // Corrupt the newest snapshot: recovery must fall back to snap-2
+        // and replay the seq-3 delete from the rotated log's suffix.
+        let snaps = Snapshot::list_dir(&dir).unwrap();
+        std::fs::write(&snaps[0].1, b"not a snapshot").unwrap();
+        let (rec, report) = recover(&dir).unwrap();
+        assert_eq!(report.snapshot_seq, 2);
+        assert_eq!(report.snapshots_skipped.len(), 1);
+        assert_eq!(report.records_replayed, 1);
+        let view: Vec<Tuple> = rec
+            .registry()
+            .iter_query(q)
+            .map(|(t, _)| t.clone())
+            .collect();
+        assert_eq!(view, vec![tuple(["bob", "report"])]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_disk_use_is_bounded_under_snapshot_cadence() {
+        let dir = tmp_dir("rotate-bound");
+        let db = fixture();
+        let opts = DurableOptions {
+            snapshot_every: 2,
+            ..DurableOptions::default()
+        };
+        let mut state = DurableState::create(&dir, &db, opts).unwrap();
+        let q = state
+            .register(&parse_query("scan UserGroup").unwrap())
+            .unwrap();
+        let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        state.delete_sources(std::slice::from_ref(&dev)).unwrap();
+        // Register record + one delete record: a generous per-interval
+        // unit for the growth bound below.
+        let baseline = state.log_bytes();
+        let mut max_log = baseline;
+        for _ in 0..19 {
+            state.delete_sources(std::slice::from_ref(&dev)).unwrap();
+            max_log = max_log.max(state.log_bytes());
+        }
+        // Auto-snapshots every 2 records rotate everything two intervals
+        // back: the log never holds more than ~2 intervals of records,
+        // no matter how many commits flow through.
+        assert!(
+            max_log <= 4 * baseline + 8,
+            "log grew unboundedly: peak {max_log} bytes vs baseline {baseline}"
+        );
+        assert_eq!(
+            Snapshot::list_dir(&dir).unwrap().len(),
+            DurableState::SNAPSHOTS_KEPT
+        );
+        // And the bounded log still recovers the full state.
+        let live = view_of(state.registry(), q);
+        drop(state);
+        let (rec, _) = recover(&dir).unwrap();
+        assert_eq!(view_of(rec.registry(), q), live);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -102,7 +102,7 @@ pub use parser::{parse_database, parse_pred, parse_query};
 pub use plan::{MaterializedPlan, ViewDelta};
 pub use predicate::{CmpOp, Operand, Pred};
 pub use query::Query;
-pub use registry::{PlanRegistry, QueryId};
+pub use registry::{PlanRegistry, QueryId, SubscriberId};
 pub use relation::Relation;
 pub use schema::{schema, Schema};
 pub use tuple::{tuple, Tuple};

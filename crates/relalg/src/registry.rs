@@ -131,6 +131,36 @@ impl fmt::Display for QueryId {
     }
 }
 
+/// Handle of one per-session subscription created by
+/// [`PlanRegistry::subscribe_session`]. Unlike the per-query outbox
+/// (where all consumers of a [`QueryId`] share one drain), each
+/// `SubscriberId` owns a private pending queue — the unit a server
+/// session drains without stealing deltas from other sessions watching
+/// the same query.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct SubscriberId(u64);
+
+impl SubscriberId {
+    /// The raw subscription counter (the `k` rendered as `sk`).
+    pub fn index(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for SubscriberId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// One per-session subscription: the query it watches plus its private
+/// pending queue.
+#[derive(Clone, Debug)]
+struct SessionSub {
+    query: QueryId,
+    pending: Vec<(Vec<Tid>, ViewDelta)>,
+}
+
 /// One side of a canonicalized comparison: a column position or a constant.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 enum CanonOperand {
@@ -271,6 +301,11 @@ pub struct PlanRegistry<A> {
     /// Per-subscriber pending `(tids, delta)` entries, appended by every
     /// effective `delete_sources` call in commit order.
     outbox: BTreeMap<QueryId, Vec<(Vec<Tid>, ViewDelta)>>,
+    /// Per-session subscriptions: private pending queues keyed by
+    /// [`SubscriberId`], so concurrent consumers of one query never steal
+    /// each other's deltas.
+    session_outbox: BTreeMap<SubscriberId, SessionSub>,
+    next_subscriber: u64,
     /// Every tid ever deleted through this registry — replayed into nodes
     /// built by later registrations.
     committed: BTreeSet<Tid>,
@@ -317,6 +352,8 @@ impl<A: Annotation> PlanRegistry<A> {
             queries: BTreeMap::new(),
             taps: HashMap::new(),
             outbox: BTreeMap::new(),
+            session_outbox: BTreeMap::new(),
+            next_subscriber: 0,
             committed: BTreeSet::new(),
             next_query: 0,
             per_root_scratch: HashMap::new(),
@@ -459,6 +496,7 @@ impl<A: Annotation> PlanRegistry<A> {
             return false;
         };
         self.outbox.remove(&id);
+        self.session_outbox.retain(|_, sub| sub.query != id);
         let tap = self
             .taps
             .get_mut(&rq.root)
@@ -489,6 +527,50 @@ impl<A: Annotation> PlanRegistry<A> {
             .get_mut(&id)
             .map(std::mem::take)
             .unwrap_or_default()
+    }
+
+    /// Open a *private* subscription on `id`: every subsequent effective
+    /// [`PlanRegistry::delete_sources`] call appends `(tids, delta)` to
+    /// this subscriber's own queue, drained with
+    /// [`PlanRegistry::drain_session`]. Multiple sessions subscribing to
+    /// the same query each get every delta (unlike the shared
+    /// [`PlanRegistry::subscribe`] outbox, whose drain is
+    /// first-come-first-served). `None` for unknown ids.
+    pub fn subscribe_session(&mut self, id: QueryId) -> Option<SubscriberId> {
+        if !self.queries.contains_key(&id) {
+            return None;
+        }
+        let sub = SubscriberId(self.next_subscriber);
+        self.next_subscriber += 1;
+        self.session_outbox.insert(
+            sub,
+            SessionSub {
+                query: id,
+                pending: Vec::new(),
+            },
+        );
+        Some(sub)
+    }
+
+    /// Take everything committed since this subscriber last drained, in
+    /// commit order. Empty for closed or unknown subscribers.
+    pub fn drain_session(&mut self, sub: SubscriberId) -> Vec<(Vec<Tid>, ViewDelta)> {
+        self.session_outbox
+            .get_mut(&sub)
+            .map(|s| std::mem::take(&mut s.pending))
+            .unwrap_or_default()
+    }
+
+    /// Close a per-session subscription, dropping anything still pending.
+    /// Returns whether the subscriber existed. Subscriptions also close
+    /// implicitly when their query is unregistered.
+    pub fn unsubscribe_session(&mut self, sub: SubscriberId) -> bool {
+        self.session_outbox.remove(&sub).is_some()
+    }
+
+    /// The query a live per-session subscription watches, if any.
+    pub fn session_query(&self, sub: SubscriberId) -> Option<QueryId> {
+        self.session_outbox.get(&sub).map(|s| s.query)
     }
 
     /// The output schema of a registered query (with its renames applied —
@@ -607,6 +689,11 @@ impl<A: Annotation> PlanRegistry<A> {
         for (q, delta) in &out {
             if let Some(pending) = self.outbox.get_mut(q) {
                 pending.push((tids.to_vec(), delta.clone()));
+            }
+        }
+        for sub in self.session_outbox.values_mut() {
+            if let Some((_, delta)) = out.iter().find(|(q, _)| *q == sub.query) {
+                sub.pending.push((tids.to_vec(), delta.clone()));
             }
         }
         out
@@ -1130,6 +1217,41 @@ mod tests {
         assert_eq!(pending[1].0, vec![staff]);
         assert_eq!(pending[1].1.removed, vec![tuple(["bob", "report"])]);
         assert!(reg.drain_pending(q1).is_empty(), "drain is destructive");
+    }
+
+    #[test]
+    fn session_subscriptions_are_private_per_consumer() {
+        let db = fixture();
+        let mut reg = PlanRegistry::<Unit>::new(&db);
+        let q1 = reg.register(&core()).unwrap();
+        // Two sessions watch the same query; a third watches nothing.
+        let a = reg.subscribe_session(q1).unwrap();
+        let b = reg.subscribe_session(q1).unwrap();
+        assert_ne!(a, b);
+        assert_eq!(reg.session_query(a), Some(q1));
+        assert!(reg.subscribe_session(QueryId::from_index(99)).is_none());
+        let dev = db.tid_of("UserGroup", &tuple(["bob", "dev"])).unwrap();
+        let staff = db.tid_of("UserGroup", &tuple(["bob", "staff"])).unwrap();
+        reg.delete_sources(std::slice::from_ref(&dev));
+        // Unlike the shared outbox, each subscriber sees every delta:
+        // a's drain does not steal b's copy.
+        let got_a = reg.drain_session(a);
+        assert_eq!(got_a.len(), 1);
+        assert_eq!(got_a[0].1.removed, vec![tuple(["bob", "main"])]);
+        let got_b = reg.drain_session(b);
+        assert_eq!(got_b.len(), 1);
+        assert_eq!(got_b[0].1.removed, vec![tuple(["bob", "main"])]);
+        assert!(reg.drain_session(a).is_empty(), "drain is destructive");
+        // Unsubscribing stops the flow for that consumer only.
+        assert!(reg.unsubscribe_session(a));
+        assert!(!reg.unsubscribe_session(a), "second close is a no-op");
+        reg.delete_sources(std::slice::from_ref(&staff));
+        assert!(reg.drain_session(a).is_empty());
+        assert_eq!(reg.drain_session(b).len(), 1);
+        // Unregistering the query closes the remaining subscription.
+        reg.unregister(q1);
+        assert_eq!(reg.session_query(b), None);
+        assert!(reg.drain_session(b).is_empty());
     }
 
     #[test]

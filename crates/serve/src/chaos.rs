@@ -1,0 +1,303 @@
+//! A fault-injecting TCP proxy for chaos-testing the server.
+//!
+//! Tests point a [`crate::Client`] at the proxy instead of the server;
+//! the proxy forwards bytes both ways and injects one configured
+//! [`Fault`] on selected connections — torn frames, flipped bits,
+//! mid-frame stalls (slow loris), and disconnects that swallow acks.
+//! Combined with [`crate::ServerHandle::kill`] and
+//! `dap_durability::recover`, this covers the full fault matrix: bad
+//! bytes, bad timing, and bad luck.
+//!
+//! Only available in test builds (the `testing` cargo feature).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One injected failure mode, applied to the client→server byte stream
+/// of a selected connection.
+#[derive(Clone, Copy, Debug)]
+pub enum Fault {
+    /// Forward only the first `after_bytes` bytes, then cut the
+    /// connection — the server sees a frame torn mid-payload.
+    TornFrame {
+        /// Bytes to forward before cutting.
+        after_bytes: usize,
+    },
+    /// Flip bit `bit` of the byte at stream `offset` — the server sees
+    /// a frame whose checksum no longer matches (or a corrupt header).
+    BitFlip {
+        /// Byte offset into the client→server stream.
+        offset: usize,
+        /// Bit index 0–7 within that byte.
+        bit: u8,
+    },
+    /// Forward `after_bytes` bytes, then hold the stream for `hold`
+    /// before continuing — a slow-loris client parked mid-frame.
+    Stall {
+        /// Bytes to forward before stalling.
+        after_bytes: usize,
+        /// How long to park.
+        hold: Duration,
+    },
+    /// Forward `n` complete request frames, then cut both directions —
+    /// the n-th request reaches the server but its ack is lost, forcing
+    /// the client into idempotent re-submission.
+    DisconnectAfterRequests {
+        /// Complete frames to forward before cutting.
+        n: usize,
+    },
+}
+
+/// Which connections receive the fault.
+#[derive(Clone, Copy, Debug)]
+pub struct FaultPlan {
+    /// The failure mode to inject.
+    pub fault: Fault,
+    /// `0`: only the first connection (index 0). `k > 0`: every k-th
+    /// connection (indices `0, k, 2k, ...`).
+    pub every: usize,
+}
+
+impl FaultPlan {
+    fn applies(&self, conn_index: usize) -> bool {
+        if self.every == 0 {
+            conn_index == 0
+        } else {
+            conn_index % self.every == 0
+        }
+    }
+}
+
+/// The proxy itself. Listens on an ephemeral localhost port; forwards
+/// to `upstream`.
+pub struct ChaosProxy {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+    connections: Arc<AtomicUsize>,
+    faulted: Arc<AtomicUsize>,
+}
+
+impl ChaosProxy {
+    /// Start proxying `upstream` with `plan` (or cleanly, with `None`).
+    pub fn start(upstream: SocketAddr, plan: Option<FaultPlan>) -> std::io::Result<ChaosProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let connections = Arc::new(AtomicUsize::new(0));
+        let faulted = Arc::new(AtomicUsize::new(0));
+        let accept = {
+            let stop = stop.clone();
+            let connections = connections.clone();
+            let faulted = faulted.clone();
+            std::thread::Builder::new()
+                .name("chaos-proxy".into())
+                .spawn(move || {
+                    let mut index: usize = 0;
+                    while !stop.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((client, _)) => {
+                                connections.fetch_add(1, Ordering::SeqCst);
+                                let fault = plan.filter(|p| p.applies(index)).map(|p| p.fault);
+                                if fault.is_some() {
+                                    faulted.fetch_add(1, Ordering::SeqCst);
+                                }
+                                index += 1;
+                                std::thread::spawn(move || run_connection(client, upstream, fault));
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                                std::thread::sleep(Duration::from_millis(2));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                })?
+        };
+        Ok(ChaosProxy {
+            addr,
+            stop,
+            accept: Some(accept),
+            connections,
+            faulted,
+        })
+    }
+
+    /// The address clients should dial.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Connections accepted so far.
+    pub fn connections(&self) -> usize {
+        self.connections.load(Ordering::SeqCst)
+    }
+
+    /// Connections that received the fault.
+    pub fn faulted(&self) -> usize {
+        self.faulted.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting. In-flight pump threads die with their sockets.
+    pub fn stop(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for ChaosProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(t) = self.accept.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn run_connection(client: TcpStream, upstream: SocketAddr, fault: Option<Fault>) {
+    let Ok(server) = TcpStream::connect(upstream) else {
+        return;
+    };
+    let _ = client.set_nodelay(true);
+    let _ = server.set_nodelay(true);
+    let (Ok(client_r), Ok(server_r)) = (client.try_clone(), server.try_clone()) else {
+        return;
+    };
+    // Server→client: a plain pump. Cutting c2s shuts these sockets too,
+    // which is what loses the ack on a disconnect fault.
+    let s2c = {
+        let client_w = client;
+        std::thread::spawn(move || pump_plain(server_r, client_w))
+    };
+    pump_with_fault(client_r, server, fault);
+    let _ = s2c.join();
+}
+
+fn pump_plain(mut from: TcpStream, mut to: TcpStream) {
+    let mut buf = [0u8; 4096];
+    loop {
+        match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                if to.write_all(&buf[..n]).is_err() {
+                    break;
+                }
+            }
+        }
+    }
+    let _ = to.shutdown(std::net::Shutdown::Both);
+    let _ = from.shutdown(std::net::Shutdown::Both);
+}
+
+/// Frame-boundary tracker over the `[len][crc][payload]` wire format,
+/// fed raw bytes as they stream through the proxy.
+struct FrameCounter {
+    header: Vec<u8>,
+    payload_left: usize,
+    complete: usize,
+}
+
+impl FrameCounter {
+    fn new() -> FrameCounter {
+        FrameCounter {
+            header: Vec::with_capacity(8),
+            payload_left: 0,
+            complete: 0,
+        }
+    }
+
+    fn feed(&mut self, mut bytes: &[u8]) {
+        while !bytes.is_empty() {
+            if self.payload_left > 0 {
+                let take = self.payload_left.min(bytes.len());
+                self.payload_left -= take;
+                bytes = &bytes[take..];
+                if self.payload_left == 0 {
+                    self.complete += 1;
+                }
+            } else {
+                let need = 8 - self.header.len();
+                let take = need.min(bytes.len());
+                self.header.extend_from_slice(&bytes[..take]);
+                bytes = &bytes[take..];
+                if self.header.len() == 8 {
+                    let len = u32::from_le_bytes([
+                        self.header[0],
+                        self.header[1],
+                        self.header[2],
+                        self.header[3],
+                    ]);
+                    self.payload_left = len as usize;
+                    self.header.clear();
+                    if self.payload_left == 0 {
+                        self.complete += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn pump_with_fault(mut from: TcpStream, mut to: TcpStream, fault: Option<Fault>) {
+    let mut buf = [0u8; 4096];
+    let mut sent: usize = 0;
+    let mut stalled = false;
+    let mut frames = FrameCounter::new();
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let mut chunk = buf[..n].to_vec();
+        match fault {
+            Some(Fault::TornFrame { after_bytes }) if sent + chunk.len() >= after_bytes => {
+                chunk.truncate(after_bytes.saturating_sub(sent));
+                let _ = to.write_all(&chunk);
+                break; // cut mid-frame
+            }
+            Some(Fault::BitFlip { offset, bit })
+                if offset >= sent && offset < sent + chunk.len() =>
+            {
+                chunk[offset - sent] ^= 1 << (bit & 7);
+            }
+            Some(Fault::Stall { after_bytes, hold })
+                if !stalled && sent + chunk.len() >= after_bytes =>
+            {
+                let head = after_bytes.saturating_sub(sent);
+                if to.write_all(&chunk[..head]).is_err() {
+                    break;
+                }
+                std::thread::sleep(hold);
+                stalled = true;
+                chunk.drain(..head);
+                if chunk.is_empty() {
+                    sent = after_bytes;
+                    continue;
+                }
+            }
+            Some(Fault::DisconnectAfterRequests { n: cut_after }) => {
+                // `feed` must see every chunk, so this arm has no guard.
+                frames.feed(&chunk);
+                if frames.complete >= cut_after {
+                    // Forward through the end of the cut frame, then sever
+                    // both directions before the reply can come back.
+                    let _ = to.write_all(&chunk);
+                    break;
+                }
+            }
+            _ => {}
+        }
+        if to.write_all(&chunk).is_err() {
+            break;
+        }
+        sent += chunk.len();
+    }
+    let _ = to.shutdown(std::net::Shutdown::Both);
+    let _ = from.shutdown(std::net::Shutdown::Both);
+}

@@ -1,0 +1,42 @@
+//! `dap serve`: a crash-safe, overload-shedding subscription server
+//! over the durable deletion-propagation state.
+//!
+//! One long-lived process owns a durable directory
+//! ([`dap_durability::DurableState`]) and serves it over a localhost
+//! TCP socket. The wire protocol reuses the durability layer's
+//! checksummed framing (`[len][crc32][payload]`), so a torn or
+//! bit-flipped frame is detected the same way on the wire as in the
+//! log. Text commands: `register`, `unregister`, `subscribe`,
+//! `delete-source`, `solve`, `ping`, `shutdown`.
+//!
+//! The crate is structured around its failure story:
+//!
+//! * [`protocol`] — framing, request/response grammar, and the
+//!   incremental [`protocol::FrameReader`] with its length cap.
+//! * [`server`] (via [`Server`], [`ServerHandle`], [`ServeOptions`]) —
+//!   single-writer engine, bounded admission queue with `overloaded`
+//!   shedding, per-session isolation, panic self-healing via WAL
+//!   re-recovery, graceful drain on shutdown.
+//! * [`client`] (via [`Client`]) — retry/backoff with idempotent
+//!   re-submission keyed by per-client sequence numbers.
+//! * `chaos` (behind the `testing` cargo feature) — a fault-injecting
+//!   proxy for torn frames, bit flips, slow-loris stalls, and
+//!   ack-swallowing disconnects.
+//! * [`signal`] — a SIGTERM/SIGINT-to-atomic-flag bridge so the serving
+//!   loop can drain gracefully under process supervision.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+#[cfg(any(test, feature = "testing"))]
+pub mod chaos;
+
+#[cfg(any(test, feature = "testing"))]
+pub use chaos::{ChaosProxy, Fault, FaultPlan};
+pub use client::{Client, ClientError, ClientOptions};
+pub use protocol::{Command, Request, Response, SolveObjective};
+pub use server::{ServeOptions, Server, ServerHandle, StatsSnapshot};

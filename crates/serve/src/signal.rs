@@ -1,0 +1,71 @@
+//! SIGTERM-to-flag bridge for graceful shutdown, with no libc
+//! dependency: the std library exposes no signal API, so this module
+//! registers a minimal handler through the POSIX `signal(2)` symbol
+//! directly. The handler only stores into an atomic — the one thing
+//! that is async-signal-safe — and the serving loop polls the flag.
+//!
+//! On non-unix targets installation is a no-op and the flag simply
+//! never fires.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    use super::TERM_FLAG;
+    use std::sync::atomic::Ordering;
+
+    const SIGTERM: i32 = 15;
+    const SIGINT: i32 = 2;
+
+    unsafe extern "C" {
+        /// POSIX `signal(2)`. Takes and returns the previous handler as a
+        /// raw function address; `usize` matches the pointer-sized ABI on
+        /// every unix target this crate builds for.
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    extern "C" fn on_term(_signum: i32) {
+        // Only an atomic store: async-signal-safe by construction.
+        TERM_FLAG.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `on_term` is an `extern "C" fn(i32)` whose address is a
+        // valid handler for `signal(2)`, and it performs only an atomic
+        // store, which is async-signal-safe. Replacing the process
+        // disposition for SIGTERM/SIGINT is the explicit purpose of this
+        // call.
+        unsafe {
+            signal(SIGTERM, on_term as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_term as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// Install the SIGTERM/SIGINT handler (idempotent) and return whether
+/// installation is supported on this target.
+pub fn install_term_handler() -> bool {
+    #[cfg(unix)]
+    {
+        imp::install();
+        true
+    }
+    #[cfg(not(unix))]
+    {
+        false
+    }
+}
+
+/// Whether a termination signal has arrived since the handler was
+/// installed.
+pub fn term_requested() -> bool {
+    TERM_FLAG.load(Ordering::SeqCst)
+}
+
+/// Reset the flag — for tests that exercise the signal path repeatedly
+/// in one process.
+pub fn clear_term_flag() {
+    TERM_FLAG.store(false, Ordering::SeqCst);
+}

@@ -24,7 +24,15 @@
 //! dap log           <dir>                 print the commit log
 //! dap snapshot      <dir>                 write a snapshot of the current state
 //! dap recover       <dir>                 recover and report the state
+//! dap serve         <dir> [port]          serve the directory over localhost TCP
 //! ```
+//!
+//! `dap serve` recovers the directory and holds it open behind a
+//! crash-safe, overload-shedding TCP server (port 0 = pick a free one;
+//! the bound address is printed on startup). SIGTERM/SIGINT drain
+//! gracefully: queued commands finish, the log is synced, and a
+//! snapshot is written. kill -9 is also fine — the next `dap serve` or
+//! `dap recover` replays the log.
 //!
 //! Database files use the fixture syntax, e.g.
 //!
@@ -69,7 +77,8 @@ fn usage() -> &'static str {
   dap delete-source <dir> <rel>#<row> [<rel>#<row> ...]
   dap log           <dir>
   dap snapshot      <dir>
-  dap recover       <dir>"
+  dap recover       <dir>
+  dap serve         <dir> [port]"
 }
 
 /// A [`Tid`]'s tuple, or a graceful error for a dangling id.
@@ -312,6 +321,29 @@ fn run(args: &[String]) -> Result<String, String> {
                 ));
             }
             Ok(out)
+        }
+        "serve" => {
+            let rest = &args[1..];
+            if rest.is_empty() || rest.len() > 2 {
+                return Err("serve needs <dir> [port]".into());
+            }
+            let dir = std::path::Path::new(&rest[0]);
+            let port: u16 = match rest.get(1) {
+                Some(p) => p.parse().map_err(|_| format!("bad port `{p}`"))?,
+                None => 0,
+            };
+            dap::serve::signal::install_term_handler();
+            let handle = Server::start(dir, port, ServeOptions::from_env())
+                .map_err(|e| format!("serve: {e}"))?;
+            // Printed (and flushed) before blocking so supervisors and
+            // smoke tests can read the bound port.
+            println!("listening on {}", handle.addr());
+            use std::io::Write as _;
+            let _ = std::io::stdout().flush();
+            // Blocks until a client `shutdown` or a termination signal;
+            // the engine drains, syncs, and snapshots on the way out.
+            handle.join();
+            Ok("server stopped\n".into())
         }
         "tables" => {
             let mut out = String::new();

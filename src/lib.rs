@@ -21,7 +21,10 @@
 //!   dispatcher, and the executable hardness reductions with the paper's
 //!   Figures 1–3;
 //! * [`durability`] — the checksummed write-ahead commit log, snapshots
-//!   with a durable view catalog, and crash recovery for the served state.
+//!   with a durable view catalog, and crash recovery for the served state;
+//! * [`serve`] — the long-lived localhost TCP server over the durable
+//!   state: framed wire protocol, admission control with load shedding,
+//!   per-session fault isolation, graceful drain, and a retrying client.
 //!
 //! ## Quickstart
 //!
@@ -55,6 +58,7 @@ pub use dap_flow as flow;
 pub use dap_provenance as provenance;
 pub use dap_relalg as relalg;
 pub use dap_sat as sat;
+pub use dap_serve as serve;
 pub use dap_setcover as setcover;
 
 /// One-stop imports for examples and downstream users.
@@ -74,8 +78,8 @@ pub mod prelude {
         IlpRequest, Placement, PlacementIndex, Problem, SolverKind, WitnessIndex,
     };
     pub use dap_durability::{
-        recover, recover_with, CommitLog, DurableOptions, DurableState, FaultyLog, FsyncMode,
-        LogFile, LogRecord, MemLog, RecoveryReport, Snapshot, StdLogFile,
+        recover, recover_with, CommitLog, DurableOptions, DurableState, FsyncMode, LogFile,
+        LogRecord, MemLog, RecoveryReport, Snapshot, StdLogFile,
     };
     pub use dap_provenance::{
         lineage, minimal_witnesses, participating_tids, propagate, propagate_all, provenance_exprs,
@@ -86,8 +90,9 @@ pub mod prelude {
         eval, eval_annotated, force_layout, intern, interned_count, normalize, parse_database,
         parse_pred, parse_query, schema, tuple, Annotation, Attr, Database, Fd, FdCatalog,
         LayoutMode, MaterializedPlan, OpFootprint, ParPool, PlanRegistry, Pred, Query, QueryId,
-        RelName, Relation, Schema, Sym, Tid, Tuple, Value, ViewDelta,
+        RelName, Relation, Schema, SubscriberId, Sym, Tid, Tuple, Value, ViewDelta,
     };
+    pub use dap_serve::{Client, Response, ServeOptions, Server, ServerHandle};
 }
 
 #[cfg(test)]

@@ -191,3 +191,87 @@ fn missing_tuple_is_an_error() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("not in the view"));
 }
+
+/// **Spawned-process smoke test**: `dap serve` comes up, answers a real
+/// client round trip, drains gracefully on SIGTERM (exit code 0, final
+/// status line), and the directory recovers with everything it served.
+#[cfg(unix)]
+#[test]
+fn serve_round_trips_and_drains_on_sigterm() {
+    use dap::serve::{Client, ClientOptions};
+    use std::io::BufRead as _;
+    use std::time::{Duration, Instant};
+
+    let db = fixture_file();
+    let dir = std::env::temp_dir().join(format!("dap-cli-serve-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let out = dap()
+        .args(["init", dir.to_str().unwrap(), db.to_str().unwrap()])
+        .output()
+        .expect("init runs");
+    assert!(out.status.success());
+
+    let mut child = dap()
+        .args(["serve", dir.to_str().unwrap(), "0"])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let mut lines = std::io::BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let banner = lines
+        .next()
+        .expect("serve prints its address before blocking")
+        .expect("stdout readable");
+    let addr: std::net::SocketAddr = banner
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected banner: {banner}"))
+        .parse()
+        .expect("banner carries an address");
+
+    // A real round trip against the spawned process.
+    let mut c = Client::new(addr, ClientOptions::new("smoke"));
+    let reg = c
+        .register(&dap::relalg::parse_query("scan UserGroup").unwrap())
+        .expect("register answers");
+    assert!(matches!(reg, dap::serve::Response::Ok { .. }), "{reg:?}");
+    let del = c
+        .delete_source(&[dap::relalg::Tid::new("UserGroup", 2)])
+        .expect("delete answers");
+    assert!(matches!(del, dap::serve::Response::Ok { .. }), "{del:?}");
+
+    // SIGTERM: graceful drain, clean exit, parting status line.
+    let term = std::process::Command::new("kill")
+        .args(["-TERM", &child.id().to_string()])
+        .status()
+        .expect("kill runs");
+    assert!(term.success());
+    let deadline = Instant::now() + Duration::from_secs(10);
+    let status = loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            break status;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            panic!("serve did not drain within 10s of SIGTERM");
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    assert!(status.success(), "SIGTERM drain must exit cleanly");
+    let parting: Vec<String> = lines.map_while(Result::ok).collect();
+    assert!(
+        parting.iter().any(|l| l.contains("server stopped")),
+        "got: {parting:?}"
+    );
+
+    // Everything acknowledged survived the drain.
+    let out = dap()
+        .args(["recover", dir.to_str().unwrap()])
+        .output()
+        .expect("recover runs");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("last_seq 2") || text.contains("seq 2"),
+        "got:\n{text}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -17,10 +17,11 @@
 mod common;
 
 use common::{small_database, tid_subset, typed_query};
-use dap::durability::{recover, DurableOptions, DurableState, FaultyLog, FsyncMode, MemLog};
+use dap::durability::{recover, DurableOptions, DurableState, FsyncMode, MemLog};
 use dap::prelude::*;
 use dap::provenance::WitnessesAnn;
 use dap::relalg::engine::Annotated;
+use dap_durability::FaultyLog;
 use proptest::prelude::*;
 use std::collections::BTreeSet;
 use std::path::PathBuf;
@@ -285,6 +286,91 @@ fn snapshot_corruption_falls_back_or_reports() {
     }
     let err = recover(&dir).err().expect("no valid snapshot left");
     assert!(err.to_string().contains("no valid snapshot"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// **Crash-during-rotation sweep.** Snapshotting rotates the already
+/// -covered log prefix away (write suffix to a `.rot` staging sibling →
+/// fsync → rename → reopen). A crash can strand the directory at every
+/// intermediate point; each distinct on-disk state is staged by hand and
+/// recovery must be prefix-consistent in all of them.
+#[test]
+fn crash_during_rotation_recovers_prefix_consistently() {
+    use dap::durability::{Snapshot, StdLogFile, LOG_FILE};
+    let (db, ops) = fixture_workload();
+    let dir = scratch_dir("rotation");
+    let opts = DurableOptions {
+        fsync: FsyncMode::Always,
+        snapshot_every: 0,
+    };
+    let mut state = DurableState::create(&dir, &db, opts).unwrap();
+    assert_eq!(drive(&mut state, &ops[..2]), 2);
+    state.snapshot().unwrap(); // snap@2 — rotate_at was 0, nothing rotated yet
+    assert_eq!(drive(&mut state, &ops[2..4]), 2);
+    let pre_rotation_log = std::fs::read(dir.join(LOG_FILE)).unwrap();
+    state.snapshot().unwrap(); // snap@4 — rotates the records snap@2 covers
+    assert_eq!(drive(&mut state, &ops[4..]), ops.len() - 4);
+    drop(state);
+    let rotated_log = std::fs::read(dir.join(LOG_FILE)).unwrap();
+    assert!(
+        rotated_log.len() < pre_rotation_log.len(),
+        "rotation must shrink the log"
+    );
+
+    // Stage a directory representing one intermediate crash state.
+    let stage = |tag: &str, log: &[u8], staging: Option<&[u8]>| -> PathBuf {
+        let d = scratch_dir(tag);
+        std::fs::create_dir_all(&d).unwrap();
+        std::fs::write(d.join(LOG_FILE), log).unwrap();
+        for seq in [2u64, 4u64] {
+            std::fs::copy(
+                dir.join(Snapshot::file_name(seq)),
+                d.join(Snapshot::file_name(seq)),
+            )
+            .unwrap();
+        }
+        if let Some(bytes) = staging {
+            std::fs::write(StdLogFile::rotation_staging_path(&d.join(LOG_FILE)), bytes).unwrap();
+        }
+        d
+    };
+
+    // (a) Crash after snap@4 was written but before rotation touched the
+    // log: the full pre-rotation log plus both snapshots. Every record is
+    // covered by snap@4 — all skipped, none replayed.
+    let d = stage("rot-a", &pre_rotation_log, None);
+    let (rec, report) = recover(&d).expect("unrotated log + snapshots");
+    assert_eq!(report.records_replayed, 0, "all records under snap@4");
+    assert_eq!(report.records_skipped, 4);
+    assert_state_matches_oracle(&rec, &db, &ops, 4);
+    let _ = std::fs::remove_dir_all(&d);
+
+    // (b) Crash after the `.rot` staging suffix was written but before
+    // the rename: recovery must sweep the stale staging file and use the
+    // intact original log.
+    let d = stage("rot-b", &pre_rotation_log, Some(&rotated_log));
+    let staging = StdLogFile::rotation_staging_path(&d.join(LOG_FILE));
+    let (rec, report) = recover(&d).expect("stale staging file");
+    assert_eq!(report.records_skipped + report.records_replayed, 4);
+    assert!(!staging.exists(), "stale rotation staging must be removed");
+    assert_state_matches_oracle(&rec, &db, &ops, 4);
+    let _ = std::fs::remove_dir_all(&d);
+
+    // (c) Crash after the rename but before older snapshots were pruned:
+    // a garbage extra snapshot must not derail recovery off snap@4.
+    let d = stage("rot-c", &rotated_log, None);
+    std::fs::write(d.join(Snapshot::file_name(1)), b"not a snapshot").unwrap();
+    let (rec, report) = recover(&d).expect("unpruned snapshots");
+    assert_eq!(report.snapshot_seq, 4);
+    assert_state_matches_oracle(&rec, &db, &ops, ops.len());
+    let _ = std::fs::remove_dir_all(&d);
+
+    // (d) Rotation fully completed (the real directory): the rotated
+    // suffix replays the post-snapshot records and nothing else.
+    let (rec, report) = recover(&dir).expect("post-rotation directory");
+    assert_eq!(report.snapshot_seq, 4);
+    assert_eq!(report.records_replayed, ops.len() - 4);
+    assert_state_matches_oracle(&rec, &db, &ops, ops.len());
     let _ = std::fs::remove_dir_all(&dir);
 }
 
